@@ -1,0 +1,27 @@
+//! Baseline accelerator models for the paper's taxonomy (§III.A, Fig. 2).
+//!
+//! The paper classifies CNN accelerators by how operands move:
+//!
+//! * **Memory-centric** (Fig. 2(a), DianNao/DaDianNao class) — PEs are a
+//!   stateless adder-tree datapath; *every* operand crosses the memory
+//!   interface every cycle. Implemented in [`memory_centric`], both
+//!   functionally (bit-exact vs the golden model) and analytically.
+//! * **2D spatial** (Fig. 2(b), Eyeriss class) — PEs keep operands in
+//!   local register files and exchange them over an on-chip network.
+//!   Implemented in [`spatial_2d`] with row-stationary-style reuse
+//!   accounting.
+//! * **1D chain** (Fig. 2(c)) — the paper's design, in
+//!   [`chain_nn_core`]. The single-channel ablation (Fig. 5(a)) is
+//!   exposed through
+//!   [`ChannelMode::Single`](chain_nn_core::sim::ChannelMode).
+//!
+//! [`taxonomy`] runs all three classes over a layer and compares their
+//! per-level access counts — the quantitative version of the paper's
+//! Fig. 2 argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory_centric;
+pub mod spatial_2d;
+pub mod taxonomy;

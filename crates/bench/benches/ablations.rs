@@ -1,0 +1,17 @@
+//! Criterion wrapper for the design-choice ablation sweeps, so `cargo
+//! bench` regenerates them alongside the paper tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("pipeline_batch_kmemory", |b| {
+        b.iter(|| black_box(chain_nn_bench::repro_ablations()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches of the baseline architecture simulators on the same
+//! layer, for apples-to-apples simulator cost and for regression-guarding
+//! the taxonomy comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chain_nn_baselines::memory_centric::{AdderTreeConfig, MemCentricSim};
+use chain_nn_baselines::spatial_2d::{SpatialConfig, SpatialSim};
+use chain_nn_baselines::taxonomy::compare_classes;
+use chain_nn_core::sim::ChainSim;
+use chain_nn_core::{ChainConfig, LayerShape};
+use chain_nn_fixed::Fix16;
+use chain_nn_tensor::Tensor;
+
+fn tensors(shape: &LayerShape) -> (Tensor<Fix16>, Tensor<Fix16>) {
+    let vi = shape.c * shape.h * shape.w;
+    let ifmap = Tensor::from_vec(
+        [1, shape.c, shape.h, shape.w],
+        (0..vi).map(|i| Fix16::from_raw((i % 23) as i16 - 11)).collect(),
+    )
+    .unwrap();
+    let vw = shape.m * shape.c * shape.kh * shape.kw;
+    let weights = Tensor::from_vec(
+        [shape.m, shape.c, shape.kh, shape.kw],
+        (0..vw).map(|i| Fix16::from_raw((i % 11) as i16 - 5)).collect(),
+    )
+    .unwrap();
+    (ifmap, weights)
+}
+
+fn bench_three_classes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/classes");
+    g.sample_size(10);
+    let shape = LayerShape::square(4, 13, 8, 3, 1, 1);
+    let (ifmap, weights) = tensors(&shape);
+
+    let mc = MemCentricSim::new(AdderTreeConfig::diannao());
+    g.bench_function("memory_centric", |b| {
+        b.iter(|| mc.run_layer(&shape, &ifmap, &weights).unwrap())
+    });
+
+    let sp = SpatialSim::new(SpatialConfig::eyeriss());
+    g.bench_function("spatial_2d", |b| {
+        b.iter(|| sp.run_layer(&shape, &ifmap, &weights).unwrap())
+    });
+
+    let chain = ChainSim::new(ChainConfig::builder().num_pes(72).build().unwrap());
+    g.bench_function("chain_1d", |b| {
+        b.iter(|| chain.run_layer(&shape, &ifmap, &weights).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_taxonomy_report(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/taxonomy");
+    g.sample_size(10);
+    let shape = LayerShape::square(2, 9, 4, 3, 1, 0);
+    g.bench_function("compare_classes", |b| {
+        b.iter(|| compare_classes(&shape, 36).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_three_classes, bench_taxonomy_report);
+criterion_main!(benches);

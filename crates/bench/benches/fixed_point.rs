@@ -1,0 +1,77 @@
+//! Criterion benches of the fixed-point substrate: quantization, MAC
+//! loops, and the golden-model convolution the simulator is checked
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use chain_nn_fixed::{quantize_slice, Acc32, Fix16, OverflowMode, QFormat};
+use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
+use chain_nn_tensor::Tensor;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed/quantize");
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.137).sin() * 4.0).collect();
+    let fmt = QFormat::new(12).unwrap();
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("4096", |b| b.iter(|| black_box(quantize_slice(&xs, fmt))));
+    g.finish();
+}
+
+fn bench_mac_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed/mac");
+    let xs: Vec<Fix16> = (0..4096).map(|i| Fix16::from_raw((i % 251) as i16)).collect();
+    let ws: Vec<Fix16> = (0..4096).map(|i| Fix16::from_raw((i % 127) as i16 - 64)).collect();
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("wrapping", |b| {
+        b.iter(|| {
+            let mut acc = Acc32::ZERO;
+            for (&x, &w) in xs.iter().zip(&ws) {
+                acc = acc.mac(x, w);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("saturating", |b| {
+        b.iter(|| {
+            let mut acc = Acc32::ZERO;
+            for (&x, &w) in xs.iter().zip(&ws) {
+                acc = acc.mac_with(x, w, OverflowMode::Saturating);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_golden_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed/golden_conv");
+    g.sample_size(10);
+    for (name, cch, h, m, k) in [("small", 2usize, 13usize, 4usize, 3usize), ("wide", 8, 13, 16, 3)] {
+        let vi = cch * h * h;
+        let ifmap = Tensor::from_vec(
+            [1, cch, h, h],
+            (0..vi).map(|i| Fix16::from_raw((i % 19) as i16)).collect(),
+        )
+        .unwrap();
+        let vw = m * cch * k * k;
+        let weights = Tensor::from_vec(
+            [m, cch, k, k],
+            (0..vw).map(|i| Fix16::from_raw((i % 7) as i16 - 3)).collect(),
+        )
+        .unwrap();
+        let geom = ConvGeometry::new(k, 1, 1).unwrap();
+        g.throughput(Throughput::Elements(
+            (m * h * h * cch * k * k) as u64,
+        ));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                conv2d_fix(&ifmap, &weights, geom, OverflowMode::Wrapping).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_mac_chain, bench_golden_conv);
+criterion_main!(benches);

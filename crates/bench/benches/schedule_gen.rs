@@ -1,0 +1,78 @@
+//! Criterion benches of the column-wise scan schedule generator: feed,
+//! mux-select and emit rates (these run once per simulated cycle, so
+//! their cost bounds the whole simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use chain_nn_core::schedule::{DualChannelSchedule, InputSchedule, SingleChannelSchedule};
+
+fn bench_feed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule/feed");
+    for k in [3usize, 5, 11] {
+        let s = DualChannelSchedule::new(k, k, 64).unwrap();
+        g.throughput(Throughput::Elements(s.duration() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for t in 1..=s.duration() {
+                    for px in s.feed(t).into_iter().flatten() {
+                        acc += px.row + px.col;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule/select");
+    let s = DualChannelSchedule::new(3, 3, 64).unwrap();
+    g.throughput(Throughput::Elements(576 * 200));
+    g.bench_function("576pe_200cycles", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in 1..=200i64 {
+                for p in 0..576usize {
+                    acc += s.select(p, t - 1 - p as i64).index();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule/emit");
+    let dual = DualChannelSchedule::new(3, 3, 64).unwrap();
+    let single = SingleChannelSchedule::new(3, 3, 64).unwrap();
+    g.bench_function("dual", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for u in 0..400i64 {
+                if dual.emit(u, 62).is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("single", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for u in 0..400i64 {
+                if single.emit(u, 62).is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feed, bench_select, bench_emit);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches of the cycle-accurate chain simulator: how fast the
+//! *simulator* runs (simulated-cycles per wall second) across chain sizes
+//! and schedules, plus the polyphase path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chain_nn_core::sim::{ChainSim, ChannelMode};
+use chain_nn_core::{polyphase, ChainConfig, LayerShape};
+use chain_nn_fixed::Fix16;
+use chain_nn_tensor::Tensor;
+
+fn tensors(shape: &LayerShape) -> (Tensor<Fix16>, Tensor<Fix16>) {
+    let vi = shape.c * shape.h * shape.w;
+    let ifmap = Tensor::from_vec(
+        [1, shape.c, shape.h, shape.w],
+        (0..vi).map(|i| Fix16::from_raw((i % 31) as i16 - 15)).collect(),
+    )
+    .expect("shape consistent");
+    let vw = shape.m * shape.c * shape.kh * shape.kw;
+    let weights = Tensor::from_vec(
+        [shape.m, shape.c, shape.kh, shape.kw],
+        (0..vw).map(|i| Fix16::from_raw((i % 13) as i16 - 6)).collect(),
+    )
+    .expect("shape consistent");
+    (ifmap, weights)
+}
+
+fn bench_chain_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_sim/pes");
+    g.sample_size(10);
+    for pes in [36usize, 144, 576] {
+        let prims = pes / 9;
+        let shape = LayerShape::square(2, 13, prims, 3, 1, 1);
+        let (ifmap, weights) = tensors(&shape);
+        let sim = ChainSim::new(ChainConfig::builder().num_pes(pes).build().unwrap());
+        // Report simulated PE-cycles per wall second.
+        let rep = sim.run_layer(&shape, &ifmap, &weights).unwrap();
+        g.throughput(Throughput::Elements(
+            rep.stats.total_cycles() * pes as u64,
+        ));
+        g.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |b, _| {
+            b.iter(|| sim.run_layer(&shape, &ifmap, &weights).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_sim/kernel");
+    g.sample_size(10);
+    for k in [3usize, 5, 7] {
+        let shape = LayerShape::square(2, 4 * k, 2, k, 1, 0);
+        let (ifmap, weights) = tensors(&shape);
+        let sim =
+            ChainSim::new(ChainConfig::builder().num_pes(2 * k * k).build().unwrap());
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| sim.run_layer(&shape, &ifmap, &weights).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_sim/mode");
+    g.sample_size(10);
+    let shape = LayerShape::square(2, 15, 2, 3, 1, 1);
+    let (ifmap, weights) = tensors(&shape);
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(18).build().unwrap());
+    for (name, mode) in [("dual", ChannelMode::Dual), ("single", ChannelMode::Single)] {
+        g.bench_function(name, |b| {
+            b.iter(|| sim.run_layer_with(&shape, &ifmap, &weights, mode).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_polyphase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_sim/polyphase");
+    g.sample_size(10);
+    // Shrunken AlexNet conv1: K=11, stride 4.
+    let shape = LayerShape::square(1, 39, 2, 11, 4, 0);
+    let (ifmap, weights) = tensors(&shape);
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(36).build().unwrap());
+    g.bench_function("k11_s4", |b| {
+        b.iter(|| polyphase::run(&sim, &shape, &ifmap, &weights).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_sizes,
+    bench_kernel_sizes,
+    bench_channel_modes,
+    bench_polyphase
+);
+criterion_main!(benches);

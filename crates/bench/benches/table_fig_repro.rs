@@ -1,0 +1,41 @@
+//! One Criterion bench per paper table/figure: times each regeneration
+//! end-to-end (models + simulators + formatting) and pins the experiment
+//! harness into `cargo bench --workspace`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chain_nn_bench as repro;
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    g.bench_function("table2_utilization", |b| {
+        b.iter(|| black_box(repro::repro_table2()))
+    });
+    g.bench_function("fig5_channel_ablation", |b| {
+        b.iter(|| black_box(repro::repro_fig5()))
+    });
+    g.bench_function("fig9_alexnet_times", |b| {
+        b.iter(|| black_box(repro::repro_fig9()))
+    });
+    g.bench_function("table4_memory_traffic", |b| {
+        b.iter(|| black_box(repro::repro_table4()))
+    });
+    g.bench_function("fig10_power_breakdown", |b| {
+        b.iter(|| black_box(repro::repro_fig10()))
+    });
+    g.bench_function("table5_state_of_the_art", |b| {
+        b.iter(|| black_box(repro::repro_table5()))
+    });
+    g.bench_function("fig8_area_report", |b| {
+        b.iter(|| black_box(repro::repro_area()))
+    });
+    g.bench_function("fig2_taxonomy", |b| {
+        b.iter(|| black_box(repro::repro_taxonomy()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables_and_figures);
+criterion_main!(benches);

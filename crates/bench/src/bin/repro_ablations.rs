@@ -1,0 +1,5 @@
+//! Prints the design-choice ablation studies (pipeline depth, batch
+//! size, kMemory depth).
+fn main() {
+    print!("{}", chain_nn_bench::repro_ablations());
+}

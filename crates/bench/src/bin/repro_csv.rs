@@ -1,0 +1,15 @@
+//! Writes every reproduced table/figure as CSV into `results/` (or a
+//! directory given as the first argument).
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_owned());
+    fs::create_dir_all(&dir)?;
+    for (name, csv) in chain_nn_bench::csv::all_csv() {
+        let path = Path::new(&dir).join(format!("{name}.csv"));
+        fs::write(&path, csv)?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Prints the paper-vs-measured reproduction for this artifact.
+fn main() {
+    print!("{}", chain_nn_bench::repro_fig9());
+}

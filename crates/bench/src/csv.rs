@@ -1,0 +1,178 @@
+//! Machine-readable (CSV) exports of every reproduced artifact, so the
+//! results can be plotted or regression-tracked without parsing the
+//! pretty tables.
+
+use std::fmt::Write as _;
+
+use chain_nn_core::mapper::table_two;
+use chain_nn_core::perf::{CycleModel, PerfModel};
+use chain_nn_core::ChainConfig;
+use chain_nn_energy::compare::table_five;
+use chain_nn_energy::power::PowerModel;
+use chain_nn_mem::traffic::TrafficModel;
+use chain_nn_mem::MemoryConfig;
+use chain_nn_nets::zoo;
+
+use crate::paper;
+
+/// Table II as CSV: `k,pes_per_primitive,primitives,active_pes,eff_pct,paper_pct`.
+pub fn table2_csv() -> String {
+    let mut s = String::from("k,pes_per_primitive,primitives,active_pes,eff_pct,paper_pct\n");
+    for (row, paper) in table_two(576).iter().zip(paper::TABLE2_EFF) {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{:.1},{paper}",
+            row.k, row.pes_per_primitive, row.active_primitives, row.active_pes,
+            row.efficiency_pct
+        );
+    }
+    s
+}
+
+/// Fig. 9 as CSV: `layer,paper_conv_ms,model_conv_ms,strict_conv_ms,paper_load_ms,model_load_ms`.
+pub fn fig9_csv() -> String {
+    let model = PerfModel::new(ChainConfig::paper_576());
+    let alex = zoo::alexnet();
+    let cal = model
+        .network(&alex, 128, CycleModel::PaperCalibrated)
+        .expect("alexnet maps");
+    let strict = model
+        .network(&alex, 128, CycleModel::Strict)
+        .expect("alexnet maps");
+    let mut s =
+        String::from("layer,paper_conv_ms,model_conv_ms,strict_conv_ms,paper_load_ms,model_load_ms\n");
+    for (i, (l, st)) in cal.layers.iter().zip(&strict.layers).enumerate() {
+        let _ = writeln!(
+            s,
+            "{},{},{:.2},{:.2},{},{:.2}",
+            l.name,
+            paper::FIG9_CONV_MS[i],
+            l.conv_ms,
+            st.conv_ms,
+            paper::FIG9_LOAD_MS[i],
+            l.load_ms
+        );
+    }
+    s
+}
+
+/// Table IV as CSV, bytes: `layer,level,paper_mb,model_bytes`.
+pub fn table4_csv() -> String {
+    let model = TrafficModel::new(ChainConfig::paper_576(), MemoryConfig::paper());
+    let rows = model
+        .network_traffic(&zoo::alexnet(), 4)
+        .expect("alexnet maps");
+    let mut s = String::from("layer,level,paper_mb,model_bytes\n");
+    for (i, r) in rows.iter().enumerate() {
+        for (level, paper_mb, bytes) in [
+            ("dram", paper::TABLE4_DRAM[i], r.dram_bytes),
+            ("imem", paper::TABLE4_IMEM[i], r.imem_bytes),
+            ("kmem", paper::TABLE4_KMEM[i], r.kmem_bytes),
+            ("omem", paper::TABLE4_OMEM[i], r.omem_bytes),
+        ] {
+            let _ = writeln!(s, "{},{level},{paper_mb},{bytes}", r.name);
+        }
+    }
+    s
+}
+
+/// Fig. 10 as CSV: `component,paper_mw,model_mw`.
+pub fn fig10_csv() -> String {
+    let r = PowerModel::new(ChainConfig::paper_576(), MemoryConfig::paper())
+        .network_power(&zoo::alexnet(), 4)
+        .expect("alexnet maps");
+    let b = r.breakdown;
+    let mut s = String::from("component,paper_mw,model_mw\n");
+    for (name, p, m) in [
+        ("chain", paper::FIG10_MW[0], b.chain_mw),
+        ("kmem", paper::FIG10_MW[1], b.kmem_mw),
+        ("imem", paper::FIG10_MW[2], b.imem_mw),
+        ("omem", paper::FIG10_MW[3], b.omem_mw),
+    ] {
+        let _ = writeln!(s, "{name},{p},{m:.2}");
+    }
+    let _ = writeln!(s, "total,{},{:.2}", paper::HEADLINE.0, b.total_mw());
+    s
+}
+
+/// Table V as CSV: `design,tech_nm,gates_k,memory_kb,parallelism,freq_mhz,power_w,gops,gops_per_watt`.
+pub fn table5_csv() -> String {
+    let mut s = String::from(
+        "design,tech_nm,gates_k,memory_kb,parallelism,freq_mhz,power_w,gops,gops_per_watt\n",
+    );
+    for r in table_five() {
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.1},{},{},{},{},{:.1}",
+            r.name.replace(',', ";"),
+            r.tech.feature_nm(),
+            r.gate_count_k.map_or("".to_owned(), |g| format!("{g:.0}")),
+            r.onchip_memory_kb,
+            r.parallelism,
+            r.freq_mhz,
+            r.power_w,
+            r.peak_gops,
+            r.gops_per_watt()
+        );
+    }
+    s
+}
+
+/// Every CSV, keyed by a file-stem name.
+pub fn all_csv() -> Vec<(&'static str, String)> {
+    vec![
+        ("table2_utilization", table2_csv()),
+        ("fig9_alexnet_times", fig9_csv()),
+        ("table4_memory_traffic", table4_csv()),
+        ("fig10_power_breakdown", fig10_csv()),
+        ("table5_comparison", table5_csv()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(csv: &str) -> Vec<Vec<String>> {
+        csv.lines()
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect()
+    }
+
+    #[test]
+    fn rectangular_and_headed() {
+        for (name, csv) in all_csv() {
+            let rows = parse(&csv);
+            assert!(rows.len() >= 4, "{name}: too few rows");
+            let width = rows[0].len();
+            assert!(width >= 3, "{name}: too few columns");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.len(), width, "{name}: ragged row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_values() {
+        let rows = parse(&table2_csv());
+        assert_eq!(rows[1][0], "3");
+        assert_eq!(rows[1][3], "576");
+        assert_eq!(rows[5][3], "484");
+    }
+
+    #[test]
+    fn fig9_numeric_columns() {
+        let rows = parse(&fig9_csv());
+        for row in &rows[1..] {
+            for cell in &row[1..] {
+                assert!(cell.parse::<f64>().is_ok(), "non-numeric cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn table4_has_four_levels_per_layer() {
+        let rows = parse(&table4_csv());
+        assert_eq!(rows.len() - 1, 5 * 4);
+    }
+}

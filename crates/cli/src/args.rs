@@ -1,0 +1,129 @@
+//! Tiny `--key value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced while parsing command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A positional token appeared where a flag was expected.
+    Unexpected(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value text.
+        value: String,
+    },
+    /// A flag appeared twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::Unexpected(tok) => write!(f, "unexpected argument '{tok}'"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "cannot parse '{value}' for --{flag}")
+            }
+            ArgError::Duplicate(flag) => write!(f, "flag --{flag} given twice"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses everything after the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] on malformed input.
+    pub fn parse(tokens: &[String]) -> Result<Self, ArgError> {
+        let mut values = HashMap::new();
+        let mut it = tokens.iter();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(tok.clone()));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+            if values.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(ArgError::Duplicate(name.to_owned()));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// A typed flag value, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparseable.
+    pub fn get_or<T: FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_owned(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A string flag value, if present.
+    pub fn get_str(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| (*t).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&toks(&["--pes", "576", "--net", "alexnet"])).unwrap();
+        assert_eq!(f.get_or("pes", 0usize).unwrap(), 576);
+        assert_eq!(f.get_str("net"), Some("alexnet"));
+        assert_eq!(f.get_or("batch", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(
+            Flags::parse(&toks(&["576"])).unwrap_err(),
+            ArgError::Unexpected("576".into())
+        );
+        assert_eq!(
+            Flags::parse(&toks(&["--pes"])).unwrap_err(),
+            ArgError::MissingValue("pes".into())
+        );
+        assert_eq!(
+            Flags::parse(&toks(&["--k", "1", "--k", "2"])).unwrap_err(),
+            ArgError::Duplicate("k".into())
+        );
+    }
+
+    #[test]
+    fn typed_errors() {
+        let f = Flags::parse(&toks(&["--pes", "many"])).unwrap();
+        let err = f.get_or("pes", 0usize).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("many"));
+    }
+}

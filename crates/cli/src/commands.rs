@@ -1,0 +1,387 @@
+//! Subcommand implementations. Every command is a pure function from
+//! parsed arguments to output text, so the test suite drives them
+//! directly.
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use chain_nn_core::perf::{CycleModel, PerfModel};
+use chain_nn_core::sim::ChainSim;
+use chain_nn_core::{polyphase, trace, ChainConfig, LayerShape};
+use chain_nn_energy::power::PowerModel;
+use chain_nn_fixed::{Fix16, OverflowMode};
+use chain_nn_mem::traffic::{totals, TrafficModel};
+use chain_nn_mem::MemoryConfig;
+use chain_nn_nets::{zoo, Network};
+use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
+use chain_nn_tensor::Tensor;
+
+use crate::args::Flags;
+
+type CmdResult = Result<String, Box<dyn Error>>;
+
+/// Dispatches a full argument vector (without argv0).
+///
+/// # Errors
+///
+/// Returns a human-readable error for unknown commands, bad flags or
+/// failed model/simulator invocations.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(help());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "tables" => Ok(chain_nn_bench::repro_all()),
+        "table2" => Ok(chain_nn_bench::repro_table2()),
+        "table4" => Ok(chain_nn_bench::repro_table4()),
+        "table5" => Ok(chain_nn_bench::repro_table5()),
+        "fig5" => Ok(chain_nn_bench::repro_fig5()),
+        "fig9" => Ok(chain_nn_bench::repro_fig9()),
+        "fig10" => Ok(chain_nn_bench::repro_fig10()),
+        "area" => Ok(chain_nn_bench::repro_area()),
+        "taxonomy" => Ok(chain_nn_bench::repro_taxonomy()),
+        "ablations" => Ok(chain_nn_bench::repro_ablations()),
+        "nets" => Ok(nets_cmd()),
+        "perf" => perf_cmd(&Flags::parse(rest)?),
+        "traffic" => traffic_cmd(&Flags::parse(rest)?),
+        "power" => power_cmd(&Flags::parse(rest)?),
+        "simulate" => simulate_cmd(&Flags::parse(rest)?),
+        "trace" => trace_cmd(&Flags::parse(rest)?),
+        other => Err(format!("unknown command '{other}'").into()),
+    }
+}
+
+fn help() -> String {
+    "\
+chain-nn — Chain-NN (DATE 2017) reproduction toolkit
+
+USAGE: chain-nn <command> [--flag value ...]
+
+paper artifacts:
+  tables                 every table/figure, paper vs measured
+  table2|table4|table5   Tables II / IV / V
+  fig5|fig9|fig10        Figures 5 / 9 / 10
+  area|taxonomy          Fig. 8 substitute / Fig. 2 measured
+  ablations              pipeline-depth, batch, kMemory-depth sweeps
+
+models:
+  perf    --net NAME [--batch N] [--pes N] [--freq MHZ] [--model paper|strict]
+  traffic --net NAME [--batch N] [--pes N]
+  power   --net NAME [--batch N]
+  nets    list the built-in networks
+
+simulator:
+  simulate --c C --h H --m M --k K [--stride S] [--pad P] [--pes N] [--batch N]
+           cycle-accurate run, golden-checked (strides use polyphase)
+  trace    --h H --k K [--m M] [--out FILE]  VCD waveform of one pattern
+"
+    .to_owned()
+}
+
+fn net_by_name(name: &str) -> Result<Network, Box<dyn Error>> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Ok(zoo::alexnet()),
+        "vgg16" | "vgg-16" => Ok(zoo::vgg16()),
+        "lenet" | "lenet-5" | "mnist" => Ok(zoo::lenet()),
+        "cifar10" | "cifar-10" => Ok(zoo::cifar10()),
+        "resnet18" | "resnet-18" => Ok(zoo::resnet18()),
+        "mobilenet" | "mobilenetv1" | "mobilenet-v1" => Ok(zoo::mobilenet_v1()),
+        other => Err(format!(
+            "unknown network '{other}' (try `chain-nn nets`)"
+        )
+        .into()),
+    }
+}
+
+fn nets_cmd() -> String {
+    let mut s = String::new();
+    for net in zoo::all() {
+        let _ = write!(s, "{net}");
+    }
+    s
+}
+
+fn chain_from(flags: &Flags) -> Result<ChainConfig, Box<dyn Error>> {
+    let pes = flags.get_or("pes", 576usize)?;
+    let freq = flags.get_or("freq", 700.0f64)?;
+    let depth = flags.get_or("kmemory", 256usize)?;
+    Ok(ChainConfig::builder()
+        .num_pes(pes)
+        .freq_mhz(freq)
+        .kmemory_depth(depth)
+        .build()?)
+}
+
+fn perf_cmd(flags: &Flags) -> CmdResult {
+    let net = net_by_name(flags.get_str("net").unwrap_or("alexnet"))?;
+    let batch = flags.get_or("batch", 4usize)?;
+    let cfg = chain_from(flags)?;
+    let model = match flags.get_str("model").unwrap_or("paper") {
+        "strict" => CycleModel::Strict,
+        _ => CycleModel::PaperCalibrated,
+    };
+    let perf = PerfModel::new(cfg).network(&net, batch, model)?;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== {} on {} PEs @ {} MHz, batch {batch} ==",
+        net.name(),
+        cfg.num_pes(),
+        cfg.freq_mhz()
+    );
+    let _ = writeln!(s, "{:<14} {:>12} {:>10}", "layer", "conv(ms)", "load(ms)");
+    for l in &perf.layers {
+        let _ = writeln!(s, "{:<14} {:>12.3} {:>10.3}", l.name, l.conv_ms, l.load_ms);
+    }
+    let _ = writeln!(
+        s,
+        "total {:.2} ms | {:.1} fps | {:.1} GOPS achieved ({:.1}% of peak)",
+        perf.total_ms,
+        perf.fps,
+        perf.gops,
+        100.0 * perf.gops / cfg.peak_gops()
+    );
+    Ok(s)
+}
+
+fn traffic_cmd(flags: &Flags) -> CmdResult {
+    let net = net_by_name(flags.get_str("net").unwrap_or("alexnet"))?;
+    let batch = flags.get_or("batch", 4usize)?;
+    let cfg = chain_from(flags)?;
+    let rows = TrafficModel::new(cfg, MemoryConfig::paper()).network_traffic(&net, batch)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "== {} memory traffic, batch {batch} (MB) ==", net.name());
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "layer", "DRAM", "iMem", "kMem", "oMem"
+    );
+    let mb = |b: u64| b as f64 / 1e6;
+    for r in &rows {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.name,
+            mb(r.dram_bytes),
+            mb(r.imem_bytes),
+            mb(r.kmem_bytes),
+            mb(r.omem_bytes)
+        );
+    }
+    let t = totals(&rows);
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+        "Total",
+        mb(t.dram_bytes),
+        mb(t.imem_bytes),
+        mb(t.kmem_bytes),
+        mb(t.omem_bytes)
+    );
+    Ok(s)
+}
+
+fn power_cmd(flags: &Flags) -> CmdResult {
+    let net = net_by_name(flags.get_str("net").unwrap_or("alexnet"))?;
+    let batch = flags.get_or("batch", 4usize)?;
+    let cfg = chain_from(flags)?;
+    let r = PowerModel::new(cfg, MemoryConfig::paper()).network_power(&net, batch)?;
+    let b = r.breakdown;
+    let mut s = String::new();
+    let _ = writeln!(s, "== {} power, batch {batch} ==", net.name());
+    let _ = writeln!(s, "chain   {:>8.1} mW", b.chain_mw);
+    let _ = writeln!(s, "kMemory {:>8.1} mW", b.kmem_mw);
+    let _ = writeln!(s, "iMemory {:>8.1} mW", b.imem_mw);
+    let _ = writeln!(s, "oMemory {:>8.1} mW", b.omem_mw);
+    let _ = writeln!(s, "total   {:>8.1} mW (+{:.1} mW DRAM interface)", b.total_mw(), r.dram_mw);
+    let _ = writeln!(
+        s,
+        "{:.1} GOPS/W whole-chip | {:.1} GOPS/W core-only",
+        r.gops_per_watt_total(),
+        r.gops_per_watt_core()
+    );
+    Ok(s)
+}
+
+fn simulate_cmd(flags: &Flags) -> CmdResult {
+    let c = flags.get_or("c", 1usize)?;
+    let h = flags.get_or("h", 8usize)?;
+    let m = flags.get_or("m", 1usize)?;
+    let k = flags.get_or("k", 3usize)?;
+    let stride = flags.get_or("stride", 1usize)?;
+    let pad = flags.get_or("pad", 0usize)?;
+    let batch = flags.get_or("batch", 1usize)?;
+    let pes = flags.get_or("pes", (m.min(4) * k * k).max(k * k))?;
+    let shape = LayerShape::square(c, h, m, k, stride, pad);
+    shape.validate()?;
+
+    let vi = batch * c * h * h;
+    let ifmap = Tensor::from_vec(
+        [batch, c, h, h],
+        (0..vi).map(|i| Fix16::from_raw((i % 29) as i16 - 14)).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    let vw = m * c * k * k;
+    let weights = Tensor::from_vec(
+        [m, c, k, k],
+        (0..vw).map(|i| Fix16::from_raw((i % 13) as i16 - 6)).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let cfg = ChainConfig::builder().num_pes(pes).build()?;
+    let sim = ChainSim::new(cfg);
+    let (ofmaps, stream, drain, load, util) = if stride == 1 {
+        let r = sim.run_layer(&shape, &ifmap, &weights)?;
+        let u = r.stats.utilization(pes);
+        (r.ofmaps, r.stats.stream_cycles, r.stats.drain_cycles, r.stats.load_cycles, u)
+    } else {
+        let r = polyphase::run(&sim, &shape, &ifmap, &weights)?;
+        let total = r.stats.stream_cycles + r.stats.drain_cycles + r.stats.load_cycles;
+        let u = r.stats.mac_ops as f64 / (pes as u64 * total) as f64;
+        (r.ofmaps, r.stats.stream_cycles, r.stats.drain_cycles, r.stats.load_cycles, u)
+    };
+
+    let golden = conv2d_fix(
+        &ifmap,
+        &weights,
+        ConvGeometry::new(k, stride, pad).map_err(|e| e.to_string())?,
+        OverflowMode::Wrapping,
+    )
+    .map_err(|e| e.to_string())?;
+    let check = if ofmaps == golden { "bit-exact vs golden model" } else { "MISMATCH" };
+    if ofmaps != golden {
+        return Err("simulator output mismatched the golden model".into());
+    }
+
+    let mut s = String::new();
+    let _ = writeln!(s, "layer {shape} on {pes} PEs (batch {batch})");
+    let _ = writeln!(
+        s,
+        "cycles: {stream} stream + {drain} drain + {load} load = {}",
+        stream + drain + load
+    );
+    let _ = writeln!(s, "utilization: {:.1}%", 100.0 * util);
+    let _ = writeln!(s, "outputs: {} ({check})", golden.as_slice().len());
+    Ok(s)
+}
+
+fn trace_cmd(flags: &Flags) -> CmdResult {
+    let h = flags.get_or("h", 6usize)?;
+    let k = flags.get_or("k", 3usize)?;
+    let m = flags.get_or("m", 2usize)?;
+    let shape = LayerShape::square(1, h, m, k, 1, 0);
+    let vi = h * h;
+    let ifmap = Tensor::from_vec(
+        [1, 1, h, h],
+        (0..vi).map(|i| Fix16::from_raw((i % 17) as i16 + 1)).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    let vw = m * k * k;
+    let weights = Tensor::from_vec(
+        [m, 1, k, k],
+        (0..vw).map(|i| Fix16::from_raw((i % 5) as i16 + 1)).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    let vcd = trace::trace_pattern(&shape, &ifmap, &weights, 0)?;
+    match flags.get_str("out") {
+        Some(path) => {
+            std::fs::write(path, &vcd)?;
+            Ok(format!(
+                "wrote {} bytes of VCD to {path} (open with GTKWave/Surfer)\n",
+                vcd.len()
+            ))
+        }
+        None => Ok(vcd),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> String {
+        dispatch(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+            .expect("command succeeds")
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run(&["help"]);
+        for cmd in ["perf", "traffic", "power", "simulate", "trace", "tables"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+        assert_eq!(run(&[]), h); // empty argv -> help
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch(&["frobnicate".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn perf_runs_on_every_zoo_net() {
+        for net in ["alexnet", "vgg16", "lenet", "cifar10", "resnet18", "mobilenet"] {
+            let out = run(&["perf", "--net", net, "--batch", "2"]);
+            assert!(out.contains("fps"), "{net}: {out}");
+        }
+    }
+
+    #[test]
+    fn perf_strict_mode() {
+        let out = run(&["perf", "--net", "alexnet", "--model", "strict"]);
+        assert!(out.contains("total"));
+    }
+
+    #[test]
+    fn traffic_and_power_run() {
+        assert!(run(&["traffic", "--net", "alexnet"]).contains("oMem"));
+        assert!(run(&["power", "--net", "alexnet"]).contains("GOPS/W"));
+    }
+
+    #[test]
+    fn simulate_is_golden_checked() {
+        let out = run(&[
+            "simulate", "--c", "2", "--h", "7", "--m", "3", "--k", "3", "--pad", "1",
+            "--pes", "27",
+        ]);
+        assert!(out.contains("bit-exact"), "{out}");
+        // Strided path.
+        let out = run(&["simulate", "--h", "9", "--k", "3", "--stride", "2"]);
+        assert!(out.contains("bit-exact"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_shapes() {
+        assert!(dispatch(&["simulate", "--h", "2", "--k", "5"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>())
+        .is_err());
+    }
+
+    #[test]
+    fn trace_produces_vcd() {
+        let out = run(&["trace", "--h", "6", "--k", "3"]);
+        assert!(out.starts_with("$date"));
+        assert!(out.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn table_commands_alias_bench_runners() {
+        assert!(run(&["table2"]).contains("576"));
+        assert!(run(&["nets"]).contains("AlexNet"));
+    }
+
+    #[test]
+    fn bad_flags_reported() {
+        let err = dispatch(
+            &["perf", "--batch", "lots"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>(),
+        )
+        .expect_err("bad value");
+        assert!(err.to_string().contains("lots"));
+    }
+}

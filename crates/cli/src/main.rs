@@ -1,0 +1,32 @@
+//! `chain-nn` — command-line frontend for the Chain-NN reproduction.
+//!
+//! ```text
+//! chain-nn tables                      # every paper table/figure
+//! chain-nn table2|table4|table5|fig5|fig9|fig10|area|taxonomy|ablations
+//! chain-nn perf    --net alexnet --batch 128 [--pes N] [--freq MHZ] [--model strict]
+//! chain-nn traffic --net vgg16 --batch 4
+//! chain-nn power   --net alexnet --batch 4
+//! chain-nn simulate --c 2 --h 8 --m 4 --k 3 [--stride 1] [--pad 1] [--pes 36]
+//! chain-nn trace   --h 6 --k 3 [--m 2] [--out chain.vcd]
+//! chain-nn nets
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `chain-nn help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Chain instantiation parameters.
+
+use crate::{CoreError, KernelMapping};
+
+/// Word width of operands on the chain (the paper's 16-bit fixed point).
+pub const OPERAND_BITS: u32 = 16;
+
+/// Parameters of one Chain-NN instance.
+///
+/// Build with [`ChainConfig::builder`] or use the paper's instance
+/// [`ChainConfig::paper_576`]: 576 PEs, 700 MHz, 3 pipeline stages,
+/// 256-weight kMemory per PE.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_core::ChainConfig;
+/// let cfg = ChainConfig::paper_576();
+/// assert_eq!(cfg.num_pes(), 576);
+/// assert_eq!(cfg.peak_gops(), 806.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainConfig {
+    num_pes: usize,
+    freq_mhz: f64,
+    kmemory_depth: usize,
+    pipeline_stages: usize,
+}
+
+impl ChainConfig {
+    /// The paper's 576-PE instance (§V.B): 700 MHz after 3-stage MAC
+    /// pipelining, 256 kernel weights per PE (295 KB kMemory total).
+    pub fn paper_576() -> Self {
+        ChainConfig {
+            num_pes: 576,
+            freq_mhz: 700.0,
+            kmemory_depth: 256,
+            pipeline_stages: 3,
+        }
+    }
+
+    /// Starts building a custom configuration (defaults match
+    /// [`ChainConfig::paper_576`] except for the PE count, which must be
+    /// chosen deliberately).
+    pub fn builder() -> ChainConfigBuilder {
+        ChainConfigBuilder::default()
+    }
+
+    /// Number of PEs in the chain.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Core clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Kernel weights stored per PE.
+    pub fn kmemory_depth(&self) -> usize {
+        self.kmemory_depth
+    }
+
+    /// MAC pipeline depth (the paper pipelines each PE into 3 stages to
+    /// reach 700 MHz).
+    pub fn pipeline_stages(&self) -> usize {
+        self.pipeline_stages
+    }
+
+    /// Peak throughput in GOPS, counting each MAC as 2 operations:
+    /// `num_pes · 2 · f`.
+    pub fn peak_gops(&self) -> f64 {
+        self.num_pes as f64 * 2.0 * self.freq_mhz / 1e3
+    }
+
+    /// Total kMemory capacity in bytes (16-bit weights).
+    pub fn kmemory_bytes(&self) -> usize {
+        self.num_pes * self.kmemory_depth * (OPERAND_BITS as usize / 8)
+    }
+
+    /// Partitions the chain for a square K×K kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::KernelTooLargeForChain`] when K² exceeds the
+    /// chain length.
+    pub fn map_kernel(&self, k: usize) -> Result<KernelMapping, CoreError> {
+        KernelMapping::new(self.num_pes, k, k)
+    }
+
+    /// Partitions the chain for a rectangular `kh×kw` kernel (used by the
+    /// polyphase decomposition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::KernelTooLargeForChain`] when `kh·kw` exceeds
+    /// the chain length.
+    pub fn map_kernel_rect(&self, kh: usize, kw: usize) -> Result<KernelMapping, CoreError> {
+        KernelMapping::new(self.num_pes, kh, kw)
+    }
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig::paper_576()
+    }
+}
+
+/// Builder for [`ChainConfig`].
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_core::ChainConfig;
+/// let cfg = ChainConfig::builder()
+///     .num_pes(144)
+///     .freq_mhz(500.0)
+///     .kmemory_depth(64)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.peak_gops(), 144.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainConfigBuilder {
+    num_pes: usize,
+    freq_mhz: f64,
+    kmemory_depth: usize,
+    pipeline_stages: usize,
+}
+
+impl Default for ChainConfigBuilder {
+    fn default() -> Self {
+        ChainConfigBuilder {
+            num_pes: 576,
+            freq_mhz: 700.0,
+            kmemory_depth: 256,
+            pipeline_stages: 3,
+        }
+    }
+}
+
+impl ChainConfigBuilder {
+    /// Sets the chain length in PEs.
+    pub fn num_pes(&mut self, n: usize) -> &mut Self {
+        self.num_pes = n;
+        self
+    }
+
+    /// Sets the clock frequency in MHz.
+    pub fn freq_mhz(&mut self, f: f64) -> &mut Self {
+        self.freq_mhz = f;
+        self
+    }
+
+    /// Sets the kMemory depth (weights per PE).
+    pub fn kmemory_depth(&mut self, d: usize) -> &mut Self {
+        self.kmemory_depth = d;
+        self
+    }
+
+    /// Sets the MAC pipeline depth.
+    pub fn pipeline_stages(&mut self, s: usize) -> &mut Self {
+        self.pipeline_stages = s;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] if any parameter is zero or the
+    /// frequency is not finite and positive.
+    pub fn build(&self) -> Result<ChainConfig, CoreError> {
+        if self.num_pes == 0 {
+            return Err(CoreError::Config("num_pes must be non-zero".into()));
+        }
+        if !(self.freq_mhz.is_finite() && self.freq_mhz > 0.0) {
+            return Err(CoreError::Config(format!(
+                "freq_mhz must be positive and finite, got {}",
+                self.freq_mhz
+            )));
+        }
+        if self.kmemory_depth == 0 {
+            return Err(CoreError::Config("kmemory_depth must be non-zero".into()));
+        }
+        if self.pipeline_stages == 0 {
+            return Err(CoreError::Config(
+                "pipeline_stages must be non-zero".into(),
+            ));
+        }
+        Ok(ChainConfig {
+            num_pes: self.num_pes,
+            freq_mhz: self.freq_mhz,
+            kmemory_depth: self.kmemory_depth,
+            pipeline_stages: self.pipeline_stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_headline_numbers() {
+        let cfg = ChainConfig::paper_576();
+        // §V.B: "a peak throughput of 806.4GOPS" at 700 MHz.
+        assert_eq!(cfg.peak_gops(), 806.4);
+        // §V.B: 295 KB of kMemory = 576 PEs x 256 weights x 2 B = 294912 B.
+        assert_eq!(cfg.kmemory_bytes(), 294_912);
+        assert_eq!(cfg, ChainConfig::default());
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(ChainConfig::builder().num_pes(0).build().is_err());
+        assert!(ChainConfig::builder().freq_mhz(-1.0).build().is_err());
+        assert!(ChainConfig::builder().freq_mhz(f64::NAN).build().is_err());
+        assert!(ChainConfig::builder().kmemory_depth(0).build().is_err());
+        assert!(ChainConfig::builder().pipeline_stages(0).build().is_err());
+        assert!(ChainConfig::builder().num_pes(9).build().is_ok());
+    }
+
+    #[test]
+    fn map_kernel_errors_when_too_large() {
+        let cfg = ChainConfig::builder().num_pes(8).build().unwrap();
+        assert!(matches!(
+            cfg.map_kernel(3),
+            Err(CoreError::KernelTooLargeForChain {
+                needed: 9,
+                available: 8
+            })
+        ));
+    }
+}

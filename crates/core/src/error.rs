@@ -1,0 +1,80 @@
+//! Error type for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by chain configuration, mapping and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Chain configuration is invalid.
+    Config(String),
+    /// The kernel does not fit the chain at all (K² > number of PEs).
+    KernelTooLargeForChain {
+        /// PEs required by one primitive.
+        needed: usize,
+        /// PEs available in the chain.
+        available: usize,
+    },
+    /// A layer shape is inconsistent (e.g. kernel larger than padded
+    /// input).
+    Shape(String),
+    /// The simulator only implements stride-1 schedules directly; strided
+    /// layers go through [`polyphase`](crate::polyphase).
+    UnsupportedStride {
+        /// The stride requested.
+        stride: usize,
+    },
+    /// Tensor dimensions passed to the simulator disagree with the layer
+    /// shape.
+    DataMismatch(String),
+    /// kMemory cannot hold the working set and the caller disabled
+    /// kernel re-tiling.
+    KMemoryOverflow {
+        /// Weight slots needed per PE.
+        needed: usize,
+        /// Slots available per PE.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(msg) => write!(f, "invalid chain configuration: {msg}"),
+            CoreError::KernelTooLargeForChain { needed, available } => write!(
+                f,
+                "primitive needs {needed} PEs but the chain has only {available}"
+            ),
+            CoreError::Shape(msg) => write!(f, "invalid layer shape: {msg}"),
+            CoreError::UnsupportedStride { stride } => write!(
+                f,
+                "stride {stride} has no direct dual-channel schedule; use polyphase decomposition"
+            ),
+            CoreError::DataMismatch(msg) => write!(f, "data does not match layer shape: {msg}"),
+            CoreError::KMemoryOverflow { needed, depth } => write!(
+                f,
+                "kMemory needs {needed} weight slots per PE but only {depth} are available"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_numbers() {
+        let e = CoreError::KernelTooLargeForChain {
+            needed: 121,
+            available: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("121") && s.contains("64"));
+        assert!(CoreError::UnsupportedStride { stride: 4 }
+            .to_string()
+            .contains("polyphase"));
+    }
+}

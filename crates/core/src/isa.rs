@@ -1,0 +1,435 @@
+//! The configuration-stream ISA of the controller.
+//!
+//! Paper §III.B: "The finite-state machine is initialized to specific
+//! CNN parameters", then loads kernels and streams patterns. This module
+//! concretizes that interface as a little instruction set — the 64-bit
+//! configuration words a host would DMA to the accelerator — with a
+//! bit-exact encoder/decoder and an assembler from the control sequence
+//! of [`crate::fsm::ControllerFsm`].
+//!
+//! Word format (64 bits, opcode in the top 4):
+//!
+//! ```text
+//! CFG_SHAPE  op=1 | kh:6 | kw:6 | stride:4 | pad:4 | c:14 | m:14      (+ reserved)
+//! CFG_DIMS   op=2 | h:16 | w:16                                      (+ reserved)
+//! LOAD       op=3 | m_tile:16 | c_tile:16
+//! STREAM     op=4 | c:16 | band:16
+//! DRAIN      op=5 | m_tile:16
+//! HALT       op=6
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_core::isa::{Program, Instruction};
+//! use chain_nn_core::{KernelMapping, LayerShape};
+//!
+//! let shape = LayerShape::square(2, 6, 3, 3, 1, 0);
+//! let mapping = KernelMapping::new(18, 3, 3).unwrap();
+//! let prog = Program::assemble(&shape, &mapping, 256).unwrap();
+//! let words = prog.encode();
+//! let back = Program::decode(&words).unwrap();
+//! assert_eq!(prog, back);
+//! assert!(matches!(back.instructions().last(), Some(Instruction::Halt)));
+//! ```
+
+use std::fmt;
+
+use crate::fsm::{ControlStep, ControllerFsm};
+use crate::{CoreError, KernelMapping, LayerShape};
+
+/// One controller instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Layer shape half 1: kernel, stride, pad, channel counts.
+    CfgShape {
+        /// Kernel rows (≤ 63).
+        kh: u8,
+        /// Kernel columns (≤ 63).
+        kw: u8,
+        /// Stride (≤ 15).
+        stride: u8,
+        /// Padding (≤ 15).
+        pad: u8,
+        /// Input channels (≤ 16383).
+        c: u16,
+        /// Output channels (≤ 16383).
+        m: u16,
+    },
+    /// Layer shape half 2: input extents.
+    CfgDims {
+        /// Input height.
+        h: u16,
+        /// Input width.
+        w: u16,
+    },
+    /// Load kernels for (ofmap tile, kernel tile).
+    Load {
+        /// Ofmap tile.
+        m_tile: u16,
+        /// Kernel tile.
+        c_tile: u16,
+    },
+    /// Stream one pattern of input channel `c`, row band `band`.
+    Stream {
+        /// Input channel.
+        c: u16,
+        /// Row band.
+        band: u16,
+    },
+    /// Drain the pipeline before the next load.
+    Drain {
+        /// Ofmap tile being finished.
+        m_tile: u16,
+    },
+    /// End of program.
+    Halt,
+}
+
+/// Decode error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaError {
+    /// Unknown opcode in word `index`.
+    BadOpcode {
+        /// Word position.
+        index: usize,
+        /// The opcode found.
+        opcode: u8,
+    },
+    /// A field exceeded its encodable range at assembly time.
+    FieldOverflow(&'static str),
+    /// Program does not end with HALT.
+    MissingHalt,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadOpcode { index, opcode } => {
+                write!(f, "unknown opcode {opcode} at word {index}")
+            }
+            IsaError::FieldOverflow(field) => write!(f, "field {field} exceeds encoding range"),
+            IsaError::MissingHalt => write!(f, "program does not end with HALT"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+const OP_CFG_SHAPE: u64 = 1;
+const OP_CFG_DIMS: u64 = 2;
+const OP_LOAD: u64 = 3;
+const OP_STREAM: u64 = 4;
+const OP_DRAIN: u64 = 5;
+const OP_HALT: u64 = 6;
+
+impl Instruction {
+    /// Encodes to one 64-bit word.
+    pub fn encode(&self) -> u64 {
+        match *self {
+            Instruction::CfgShape {
+                kh,
+                kw,
+                stride,
+                pad,
+                c,
+                m,
+            } => {
+                (OP_CFG_SHAPE << 60)
+                    | ((kh as u64 & 0x3f) << 54)
+                    | ((kw as u64 & 0x3f) << 48)
+                    | ((stride as u64 & 0xf) << 44)
+                    | ((pad as u64 & 0xf) << 40)
+                    | ((c as u64 & 0x3fff) << 26)
+                    | ((m as u64 & 0x3fff) << 12)
+            }
+            Instruction::CfgDims { h, w } => {
+                (OP_CFG_DIMS << 60) | ((h as u64) << 44) | ((w as u64) << 28)
+            }
+            Instruction::Load { m_tile, c_tile } => {
+                (OP_LOAD << 60) | ((m_tile as u64) << 44) | ((c_tile as u64) << 28)
+            }
+            Instruction::Stream { c, band } => {
+                (OP_STREAM << 60) | ((c as u64) << 44) | ((band as u64) << 28)
+            }
+            Instruction::Drain { m_tile } => (OP_DRAIN << 60) | ((m_tile as u64) << 44),
+            Instruction::Halt => OP_HALT << 60,
+        }
+    }
+
+    /// Decodes one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadOpcode`] for unknown opcodes.
+    pub fn decode(word: u64, index: usize) -> Result<Self, IsaError> {
+        let field16 = |shift: u32| ((word >> shift) & 0xffff) as u16;
+        match word >> 60 {
+            OP_CFG_SHAPE => Ok(Instruction::CfgShape {
+                kh: ((word >> 54) & 0x3f) as u8,
+                kw: ((word >> 48) & 0x3f) as u8,
+                stride: ((word >> 44) & 0xf) as u8,
+                pad: ((word >> 40) & 0xf) as u8,
+                c: ((word >> 26) & 0x3fff) as u16,
+                m: ((word >> 12) & 0x3fff) as u16,
+            }),
+            OP_CFG_DIMS => Ok(Instruction::CfgDims {
+                h: field16(44),
+                w: field16(28),
+            }),
+            OP_LOAD => Ok(Instruction::Load {
+                m_tile: field16(44),
+                c_tile: field16(28),
+            }),
+            OP_STREAM => Ok(Instruction::Stream {
+                c: field16(44),
+                band: field16(28),
+            }),
+            OP_DRAIN => Ok(Instruction::Drain {
+                m_tile: field16(44),
+            }),
+            OP_HALT => Ok(Instruction::Halt),
+            op => Err(IsaError::BadOpcode {
+                index,
+                opcode: op as u8,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::CfgShape {
+                kh,
+                kw,
+                stride,
+                pad,
+                c,
+                m,
+            } => write!(f, "cfg.shape k={kh}x{kw} s={stride} p={pad} c={c} m={m}"),
+            Instruction::CfgDims { h, w } => write!(f, "cfg.dims  {h}x{w}"),
+            Instruction::Load { m_tile, c_tile } => {
+                write!(f, "load      mtile={m_tile} ctile={c_tile}")
+            }
+            Instruction::Stream { c, band } => write!(f, "stream    c={c} band={band}"),
+            Instruction::Drain { m_tile } => write!(f, "drain     mtile={m_tile}"),
+            Instruction::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A complete controller program for one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Assembles the program for a layer: two configuration words, then
+    /// the FSM's load/stream/drain sequence, then HALT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for invalid shapes and
+    /// [`IsaError::FieldOverflow`] (wrapped in [`CoreError::Config`])
+    /// when a dimension exceeds its field width.
+    pub fn assemble(
+        shape: &LayerShape,
+        mapping: &KernelMapping,
+        kmemory_depth: usize,
+    ) -> Result<Self, CoreError> {
+        shape.validate()?;
+        let ensure = |ok: bool, field: &'static str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(CoreError::Config(IsaError::FieldOverflow(field).to_string()))
+            }
+        };
+        ensure(shape.kh <= 63 && shape.kw <= 63, "kernel")?;
+        ensure(shape.stride <= 15, "stride")?;
+        ensure(shape.pad <= 15, "pad")?;
+        ensure(shape.c <= 0x3fff && shape.m <= 0x3fff, "channels")?;
+        ensure(shape.h <= 0xffff && shape.w <= 0xffff, "extent")?;
+
+        let mut instructions = vec![
+            Instruction::CfgShape {
+                kh: shape.kh as u8,
+                kw: shape.kw as u8,
+                stride: shape.stride as u8,
+                pad: shape.pad as u8,
+                c: shape.c as u16,
+                m: shape.m as u16,
+            },
+            Instruction::CfgDims {
+                h: shape.h as u16,
+                w: shape.w as u16,
+            },
+        ];
+        let mut fsm = ControllerFsm::new(shape, mapping, kmemory_depth)?;
+        loop {
+            match fsm.next_step() {
+                ControlStep::Done => break,
+                ControlStep::LoadKernels { m_tile, c_tile } => {
+                    instructions.push(Instruction::Load {
+                        m_tile: m_tile as u16,
+                        c_tile: c_tile as u16,
+                    });
+                }
+                ControlStep::Pattern { c, band, .. } => {
+                    instructions.push(Instruction::Stream {
+                        c: c as u16,
+                        band: band as u16,
+                    });
+                }
+                ControlStep::Drain { m_tile } => {
+                    instructions.push(Instruction::Drain {
+                        m_tile: m_tile as u16,
+                    });
+                }
+            }
+        }
+        instructions.push(Instruction::Halt);
+        Ok(Program { instructions })
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Encodes to configuration words.
+    pub fn encode(&self) -> Vec<u64> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+
+    /// Decodes a word stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadOpcode`] or [`IsaError::MissingHalt`].
+    pub fn decode(words: &[u64]) -> Result<Self, IsaError> {
+        let instructions = words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Instruction::decode(w, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        if instructions.last() != Some(&Instruction::Halt) {
+            return Err(IsaError::MissingHalt);
+        }
+        Ok(Program { instructions })
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembly listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.instructions.iter().enumerate() {
+            writeln!(f, "{i:>5}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        let cases = [
+            Instruction::CfgShape {
+                kh: 11,
+                kw: 11,
+                stride: 4,
+                pad: 0,
+                c: 3,
+                m: 96,
+            },
+            Instruction::CfgDims { h: 227, w: 227 },
+            Instruction::Load {
+                m_tile: 23,
+                c_tile: 1,
+            },
+            Instruction::Stream { c: 255, band: 4 },
+            Instruction::Drain { m_tile: 5 },
+            Instruction::Halt,
+        ];
+        for inst in cases {
+            let word = inst.encode();
+            assert_eq!(Instruction::decode(word, 0).unwrap(), inst, "{inst}");
+        }
+    }
+
+    #[test]
+    fn program_matches_fsm_sequence() {
+        let shape = LayerShape::square(2, 6, 3, 3, 1, 0);
+        let mapping = KernelMapping::new(18, 3, 3).unwrap();
+        let prog = Program::assemble(&shape, &mapping, 256).unwrap();
+        let fsm_steps = ControllerFsm::new(&shape, &mapping, 256)
+            .unwrap()
+            .into_steps();
+        // 2 config + fsm steps + halt.
+        assert_eq!(prog.instructions().len(), 2 + fsm_steps.len() + 1);
+        let streams = prog
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Stream { .. }))
+            .count();
+        let patterns = fsm_steps
+            .iter()
+            .filter(|s| matches!(s, ControlStep::Pattern { .. }))
+            .count();
+        assert_eq!(streams, patterns);
+    }
+
+    #[test]
+    fn encode_decode_program_roundtrip() {
+        let shape = LayerShape::square(3, 13, 7, 3, 1, 1);
+        let mapping = KernelMapping::new(36, 3, 3).unwrap();
+        let prog = Program::assemble(&shape, &mapping, 2).unwrap();
+        let words = prog.encode();
+        assert_eq!(Program::decode(&words).unwrap(), prog);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            Program::decode(&[u64::MAX]),
+            Err(IsaError::BadOpcode { .. })
+        ));
+        // A valid instruction without HALT.
+        let w = Instruction::Drain { m_tile: 0 }.encode();
+        assert_eq!(Program::decode(&[w]), Err(IsaError::MissingHalt));
+    }
+
+    #[test]
+    fn assemble_rejects_oversized_fields() {
+        let mut shape = LayerShape::square(1, 64, 1, 3, 1, 0);
+        shape.c = 0x4000;
+        let mapping = KernelMapping::new(9, 3, 3).unwrap();
+        assert!(Program::assemble(&shape, &mapping, 256).is_err());
+    }
+
+    #[test]
+    fn disassembly_readable() {
+        let shape = LayerShape::square(1, 6, 1, 3, 1, 0);
+        let mapping = KernelMapping::new(9, 3, 3).unwrap();
+        let prog = Program::assemble(&shape, &mapping, 256).unwrap();
+        let listing = prog.to_string();
+        assert!(listing.contains("cfg.shape"));
+        assert!(listing.contains("stream"));
+        assert!(listing.trim_end().ends_with("halt"));
+    }
+
+    #[test]
+    fn alexnet_conv3_program_size() {
+        // Program length = 2 cfg + m_tiles·(load + C·bands·stream + drain) + halt.
+        let shape = LayerShape::square(256, 13, 384, 3, 1, 1);
+        let mapping = KernelMapping::new(576, 3, 3).unwrap();
+        let prog = Program::assemble(&shape, &mapping, 256).unwrap();
+        let expect = 2 + 6 * (1 + 256 * 5 + 1) + 1;
+        assert_eq!(prog.instructions().len(), expect);
+    }
+}

@@ -1,0 +1,69 @@
+//! The Chain-NN 1D chain architecture (the paper's contribution).
+//!
+//! Chain-NN organizes processing engines (PEs) as a single 1D chain
+//! (paper Fig. 2(c)). Adjacent groups of K² PEs form **1D systolic
+//! primitives** (Fig. 3/4) computing 2D convolutions: kernel weights stay
+//! resident inside each PE (`kMemory`), ifmap pixels stream through two
+//! channels (`OddIF`/`EvenIF`, Fig. 6), and the **column-wise scan input
+//! pattern** (Fig. 5) keeps every PE busy every cycle after warm-up.
+//!
+//! Module map:
+//!
+//! * [`config`] — chain instantiation parameters ([`ChainConfig`],
+//!   including the paper's 576-PE / 700 MHz instance).
+//! * [`mapper`] — how a kernel size partitions the chain into primitives
+//!   (Table II) and how a layer is tiled across primitives.
+//! * [`schedule`] — the column-wise scan input pattern generator and the
+//!   per-PE channel-select (mux) rule, both derived in closed form.
+//! * [`pe`] / [`primitive`] / [`chain`] — the cycle-accurate hardware
+//!   model: dual-channel PEs, systolic primitives, the full chain.
+//! * [`fsm`] — the controller finite-state machine (paper §III.B).
+//! * [`sim`] — drives a convolutional layer through the chain cycle by
+//!   cycle, collecting ofmaps, cycle counts and access counters.
+//! * [`perf`] — the analytic performance model (validated against both
+//!   the simulator and the paper's Fig. 9).
+//! * [`polyphase`] — extension: stride-s convolution decomposed into s²
+//!   stride-1 phase convolutions on rectangular primitives, so strided
+//!   layers (AlexNet conv1) run at full chain utilization.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_core::{ChainConfig, LayerShape, sim::ChainSim};
+//! use chain_nn_fixed::Fix16;
+//! use chain_nn_tensor::Tensor;
+//!
+//! // A small chain: 2 primitives of 3x3.
+//! let cfg = ChainConfig::builder().num_pes(18).build().unwrap();
+//! let shape = LayerShape::square(1, 6, 2, 3, 1, 0);
+//! let ifmap = Tensor::<Fix16>::filled([1, 1, 6, 6], Fix16::from_raw(2));
+//! let weights = Tensor::<Fix16>::filled([2, 1, 3, 3], Fix16::from_raw(3));
+//! let run = ChainSim::new(cfg).run_layer(&shape, &ifmap, &weights).unwrap();
+//! // Every output is 9 * 2 * 3 = 54.
+//! assert!(run.ofmaps.as_slice().iter().all(|&v| v == 54));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod config;
+pub mod fsm;
+pub mod isa;
+pub mod mapper;
+pub mod pe;
+pub mod perf;
+pub mod polyphase;
+pub mod primitive;
+pub mod schedule;
+pub mod sim;
+pub mod timing;
+pub mod trace;
+
+mod error;
+mod shape;
+
+pub use config::{ChainConfig, ChainConfigBuilder};
+pub use error::CoreError;
+pub use mapper::KernelMapping;
+pub use shape::LayerShape;

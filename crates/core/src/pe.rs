@@ -1,0 +1,210 @@
+//! The dual-channel processing engine (paper Fig. 6).
+//!
+//! Each PE holds:
+//!
+//! * a register-file `kMemory` of stationary kernel weights (one slot per
+//!   input channel of the current ofmap assignment),
+//! * a working weight register, latched from kMemory once per pattern —
+//!   this is why kMemory's activity factor is only `1/KE` (paper §V.C),
+//! * two ifmap pipeline registers (`OddIF`, `EvenIF`) plus the mux that
+//!   picks which one feeds the MAC,
+//! * the MAC with its output register (the "vertical cut" of Fig. 4(b))
+//!   and one psum transfer register, so partial sums advance one PE every
+//!   two cycles while pixels advance every cycle — the classic 1D systolic
+//!   arrangement of Kung & Picard (paper ref \[16\]).
+
+use chain_nn_fixed::{Acc32, Fix16};
+
+use crate::schedule::Lane;
+use crate::CoreError;
+
+/// One dual-channel processing engine.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_core::pe::DualChannelPe;
+/// use chain_nn_core::schedule::Lane;
+/// use chain_nn_fixed::{Acc32, Fix16};
+///
+/// let mut pe = DualChannelPe::new(4);
+/// pe.write_kmemory(0, Fix16::from_raw(3)).unwrap();
+/// pe.latch_weight(0).unwrap();
+/// // Cycle 1: shift a pixel into the odd lane.
+/// pe.step(Fix16::from_raw(5), Fix16::ZERO, Acc32::ZERO, Lane::Odd);
+/// // Cycle 2: the MAC consumes the registered pixel: 0 + 3·5.
+/// pe.step(Fix16::ZERO, Fix16::ZERO, Acc32::ZERO, Lane::Odd);
+/// assert_eq!(pe.mac_out().raw(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualChannelPe {
+    kmemory: Vec<Fix16>,
+    weight: Fix16,
+    lanes: [Fix16; 2],
+    mac_reg: Acc32,
+    pass_reg: Acc32,
+}
+
+impl DualChannelPe {
+    /// Creates a PE with a `depth`-slot kMemory, all state zeroed.
+    pub fn new(depth: usize) -> Self {
+        DualChannelPe {
+            kmemory: vec![Fix16::ZERO; depth],
+            weight: Fix16::ZERO,
+            lanes: [Fix16::ZERO; 2],
+            mac_reg: Acc32::ZERO,
+            pass_reg: Acc32::ZERO,
+        }
+    }
+
+    /// kMemory capacity in weight slots.
+    pub fn kmemory_depth(&self) -> usize {
+        self.kmemory.len()
+    }
+
+    /// Writes a kernel weight into kMemory slot `slot` (the load phase of
+    /// the FSM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::KMemoryOverflow`] if `slot` is out of range.
+    pub fn write_kmemory(&mut self, slot: usize, w: Fix16) -> Result<(), CoreError> {
+        let depth = self.kmemory.len();
+        *self
+            .kmemory
+            .get_mut(slot)
+            .ok_or(CoreError::KMemoryOverflow {
+                needed: slot + 1,
+                depth,
+            })? = w;
+        Ok(())
+    }
+
+    /// Latches the working weight register from kMemory slot `slot` — one
+    /// kMemory read, performed once per pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::KMemoryOverflow`] if `slot` is out of range.
+    pub fn latch_weight(&mut self, slot: usize) -> Result<(), CoreError> {
+        self.weight = *self.kmemory.get(slot).ok_or(CoreError::KMemoryOverflow {
+            needed: slot + 1,
+            depth: self.kmemory.len(),
+        })?;
+        Ok(())
+    }
+
+    /// The working weight currently multiplying the stream.
+    pub fn weight(&self) -> Fix16 {
+        self.weight
+    }
+
+    /// Value in the given lane register (what the next PE will receive).
+    pub fn lane(&self, lane: Lane) -> Fix16 {
+        self.lanes[lane.index()]
+    }
+
+    /// The MAC output register — the primitive's result port when this PE
+    /// is a primitive tail.
+    pub fn mac_out(&self) -> Acc32 {
+        self.mac_reg
+    }
+
+    /// The psum transfer register — what the next PE's MAC consumes.
+    pub fn psum_out(&self) -> Acc32 {
+        self.pass_reg
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// `odd_in`/`even_in` are the lane values arriving from the previous
+    /// PE (or the memory feed for the chain head); `psum_in` is the
+    /// previous PE's [`psum_out`](Self::psum_out) (or zero at a primitive
+    /// head); `select` is the mux control computed by the FSM from the
+    /// schedule.
+    ///
+    /// Register semantics (everything reads pre-cycle state): the MAC
+    /// consumes the *currently registered* pixel of the selected lane,
+    /// `mac_reg` latches the new sum, `pass_reg` latches the old
+    /// `mac_reg`, and both lane registers shift in the new values.
+    pub fn step(&mut self, odd_in: Fix16, even_in: Fix16, psum_in: Acc32, select: Lane) {
+        let x = self.lanes[select.index()];
+        let new_mac = psum_in.mac(self.weight, x);
+        self.pass_reg = self.mac_reg;
+        self.mac_reg = new_mac;
+        self.lanes = [odd_in, even_in];
+    }
+
+    /// Clears the pipeline registers (lane, MAC, pass) but not kMemory —
+    /// the FSM does this between patterns.
+    pub fn flush_pipeline(&mut self) {
+        self.lanes = [Fix16::ZERO; 2];
+        self.mac_reg = Acc32::ZERO;
+        self.pass_reg = Acc32::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmemory_bounds_checked() {
+        let mut pe = DualChannelPe::new(2);
+        assert!(pe.write_kmemory(1, Fix16::from_raw(1)).is_ok());
+        assert!(matches!(
+            pe.write_kmemory(2, Fix16::ZERO),
+            Err(CoreError::KMemoryOverflow { needed: 3, depth: 2 })
+        ));
+        assert!(pe.latch_weight(5).is_err());
+    }
+
+    #[test]
+    fn mac_uses_registered_pixel_not_incoming() {
+        let mut pe = DualChannelPe::new(1);
+        pe.write_kmemory(0, Fix16::from_raw(2)).unwrap();
+        pe.latch_weight(0).unwrap();
+        // The pixel arriving this cycle must not be multiplied yet.
+        pe.step(Fix16::from_raw(7), Fix16::ZERO, Acc32::ZERO, Lane::Odd);
+        assert_eq!(pe.mac_out().raw(), 0);
+        pe.step(Fix16::ZERO, Fix16::ZERO, Acc32::ZERO, Lane::Odd);
+        assert_eq!(pe.mac_out().raw(), 14);
+    }
+
+    #[test]
+    fn psum_takes_two_cycles_per_pe() {
+        let mut pe = DualChannelPe::new(1);
+        // weight 0 so the MAC only forwards psum_in.
+        pe.step(Fix16::ZERO, Fix16::ZERO, Acc32::from_raw(9), Lane::Odd);
+        // After one cycle the sum sits in mac_reg, not yet at psum_out.
+        assert_eq!(pe.mac_out().raw(), 9);
+        assert_eq!(pe.psum_out().raw(), 0);
+        pe.step(Fix16::ZERO, Fix16::ZERO, Acc32::ZERO, Lane::Odd);
+        assert_eq!(pe.psum_out().raw(), 9);
+    }
+
+    #[test]
+    fn mux_selects_lane() {
+        let mut pe = DualChannelPe::new(1);
+        pe.write_kmemory(0, Fix16::from_raw(1)).unwrap();
+        pe.latch_weight(0).unwrap();
+        pe.step(Fix16::from_raw(3), Fix16::from_raw(4), Acc32::ZERO, Lane::Odd);
+        pe.step(Fix16::ZERO, Fix16::ZERO, Acc32::ZERO, Lane::Even);
+        assert_eq!(pe.mac_out().raw(), 4);
+    }
+
+    #[test]
+    fn flush_clears_pipeline_keeps_kmemory() {
+        let mut pe = DualChannelPe::new(1);
+        pe.write_kmemory(0, Fix16::from_raw(5)).unwrap();
+        pe.latch_weight(0).unwrap();
+        pe.step(Fix16::from_raw(1), Fix16::from_raw(2), Acc32::from_raw(3), Lane::Odd);
+        pe.flush_pipeline();
+        assert_eq!(pe.mac_out().raw(), 0);
+        assert_eq!(pe.lane(Lane::Odd).raw(), 0);
+        // kMemory and the working weight survive a flush.
+        assert_eq!(pe.weight().raw(), 5);
+        pe.latch_weight(0).unwrap();
+        assert_eq!(pe.weight().raw(), 5);
+    }
+}

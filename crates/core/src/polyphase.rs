@@ -1,0 +1,326 @@
+//! Polyphase decomposition: stride-s convolution as s² stride-1
+//! convolutions (extension beyond the paper).
+//!
+//! The paper's column-wise scan pattern is defined for stride 1; its
+//! strided handling (AlexNet conv1) is left implicit. This module
+//! implements the natural extension the 1D chain is well suited for —
+//! because primitives are just *runs of adjacent PEs*, the chain can be
+//! repartitioned per phase, including rectangular kernels:
+//!
+//! ```text
+//! y[d,c] = Σ_{i,j} x[s·d+i, s·c+j] · k[i,j]
+//!        = Σ_{a<s, b<s} Σ_{ii,jj} x_{a,b}[d+ii, c+jj] · k_{a,b}[ii,jj]
+//! ```
+//!
+//! where `x_{a,b}[i,j] = x[a+s·i, b+s·j]` (a decimated plane) and
+//! `k_{a,b}[ii,jj] = k[a+s·ii, b+s·jj]` (a decimated kernel of
+//! `⌈(K−a)/s⌉ × ⌈(K−b)/s⌉` taps). Each phase is an ordinary stride-1
+//! convolution the dual-channel schedule executes at full utilization;
+//! phases accumulate in oMemory exactly like extra input channels.
+//!
+//! For AlexNet conv1 (K=11, s=4) this yields 16 phases with 3×3…2×2
+//! kernels and beats the paper's own conv1 throughput (see
+//! EXPERIMENTS.md, Fig. 9 strict rows).
+
+use chain_nn_fixed::Fix16;
+use chain_nn_tensor::Tensor;
+
+use crate::sim::{ChainSim, RunReport, RunStats};
+use crate::{CoreError, KernelMapping, LayerShape};
+
+/// One phase of the decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Row offset `a` into the original kernel.
+    pub row_offset: usize,
+    /// Column offset `b`.
+    pub col_offset: usize,
+    /// Decimated kernel rows `⌈(K−a)/s⌉`.
+    pub kh: usize,
+    /// Decimated kernel columns `⌈(K−b)/s⌉`.
+    pub kw: usize,
+}
+
+/// Enumerates the non-empty phases of a strided shape.
+///
+/// For `stride == 1` this is a single phase equal to the original kernel.
+pub fn phases(shape: &LayerShape) -> Vec<Phase> {
+    let s = shape.stride;
+    let mut out = Vec::new();
+    for a in 0..s.min(shape.kh) {
+        let kh = (shape.kh - a).div_ceil(s);
+        for b in 0..s.min(shape.kw) {
+            let kw = (shape.kw - b).div_ceil(s);
+            out.push(Phase {
+                row_offset: a,
+                col_offset: b,
+                kh,
+                kw,
+            });
+        }
+    }
+    out
+}
+
+/// The stride-1 layer shape one phase presents to the chain: the
+/// decimated plane is sized so the phase's valid output is exactly the
+/// original `E×E`.
+pub fn phase_shape(shape: &LayerShape, phase: &Phase) -> LayerShape {
+    LayerShape {
+        c: shape.c,
+        h: shape.out_h() + phase.kh - 1,
+        w: shape.out_w() + phase.kw - 1,
+        m: shape.m,
+        kh: phase.kh,
+        kw: phase.kw,
+        stride: 1,
+        pad: 0,
+    }
+}
+
+/// All phase shapes of a strided layer (used by the strict performance
+/// model).
+pub fn phase_shapes(shape: &LayerShape) -> Vec<LayerShape> {
+    phases(shape)
+        .iter()
+        .map(|ph| phase_shape(shape, ph))
+        .collect()
+}
+
+/// Extracts the decimated ifmap plane for `phase`: element `(i, j)` is
+/// padded-image pixel `(a + s·i, b + s·j)`.
+pub fn decimate_ifmap(
+    shape: &LayerShape,
+    phase: &Phase,
+    ifmap: &Tensor<Fix16>,
+) -> Tensor<Fix16> {
+    let ps = phase_shape(shape, phase);
+    let batch = ifmap.shape().n();
+    let mut out = Tensor::<Fix16>::zeros([batch, ps.c, ps.h, ps.w]);
+    let pad = shape.pad as isize;
+    for n in 0..batch {
+        for c in 0..ps.c {
+            for i in 0..ps.h {
+                for j in 0..ps.w {
+                    let r = (phase.row_offset + shape.stride * i) as isize - pad;
+                    let q = (phase.col_offset + shape.stride * j) as isize - pad;
+                    out.set(n, c, i, j, ifmap.get_padded(n, c, r, q, Fix16::ZERO));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the decimated kernel for `phase`: tap `(ii, jj)` is original
+/// tap `(a + s·ii, b + s·jj)`.
+pub fn decimate_weights(
+    shape: &LayerShape,
+    phase: &Phase,
+    weights: &Tensor<Fix16>,
+) -> Tensor<Fix16> {
+    let mut out = Tensor::<Fix16>::zeros([shape.m, shape.c, phase.kh, phase.kw]);
+    for m in 0..shape.m {
+        for c in 0..shape.c {
+            for ii in 0..phase.kh {
+                for jj in 0..phase.kw {
+                    let w = weights.get(
+                        m,
+                        c,
+                        phase.row_offset + shape.stride * ii,
+                        phase.col_offset + shape.stride * jj,
+                    );
+                    out.set(m, c, ii, jj, w);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Report of a polyphase execution.
+#[derive(Debug, Clone)]
+pub struct PolyphaseReport {
+    /// Accumulated ofmaps (bit-exact vs the strided golden model).
+    pub ofmaps: Tensor<i32>,
+    /// Summed counters across all phases.
+    pub stats: RunStats,
+    /// Phase list with each phase's chain mapping.
+    pub phases: Vec<(Phase, KernelMapping)>,
+}
+
+/// Runs a strided layer on the chain by executing every phase as a
+/// stride-1 pass and accumulating the results (as oMemory would).
+///
+/// # Errors
+///
+/// Propagates shape/mapping/data errors from the underlying simulator.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_core::{polyphase, sim::ChainSim, ChainConfig, LayerShape};
+/// use chain_nn_fixed::Fix16;
+/// use chain_nn_tensor::Tensor;
+///
+/// // 4x4 kernel at stride 2 -> four 2x2 phases.
+/// let shape = LayerShape::square(1, 8, 1, 4, 2, 0);
+/// let ifmap = Tensor::filled([1, 1, 8, 8], Fix16::from_raw(1));
+/// let weights = Tensor::filled([1, 1, 4, 4], Fix16::from_raw(1));
+/// let sim = ChainSim::new(ChainConfig::builder().num_pes(8).build().unwrap());
+/// let rep = polyphase::run(&sim, &shape, &ifmap, &weights).unwrap();
+/// assert!(rep.ofmaps.as_slice().iter().all(|&v| v == 16));
+/// assert_eq!(rep.phases.len(), 4);
+/// ```
+pub fn run(
+    sim: &ChainSim,
+    shape: &LayerShape,
+    ifmap: &Tensor<Fix16>,
+    weights: &Tensor<Fix16>,
+) -> Result<PolyphaseReport, CoreError> {
+    shape.validate()?;
+    let batch = ifmap.shape().n();
+    let mut ofmaps = Tensor::<i32>::zeros([batch, shape.m, shape.out_h(), shape.out_w()]);
+    let mut stats = RunStats::default();
+    let mut phase_maps = Vec::new();
+    for phase in phases(shape) {
+        let ps = phase_shape(shape, &phase);
+        let pif = decimate_ifmap(shape, &phase, ifmap);
+        let pw = decimate_weights(shape, &phase, weights);
+        let RunReport {
+            ofmaps: part,
+            stats: s,
+            mapping,
+        } = sim.run_layer(&ps, &pif, &pw)?;
+        for (n, m, h, w, v) in part.iter_indexed() {
+            let cur = ofmaps.get(n, m, h, w);
+            ofmaps.set(n, m, h, w, cur.wrapping_add(v));
+        }
+        stats.stream_cycles += s.stream_cycles;
+        stats.drain_cycles += s.drain_cycles;
+        stats.load_cycles += s.load_cycles;
+        stats.imem_reads += s.imem_reads;
+        stats.kmem_reads += s.kmem_reads;
+        stats.omem_accesses += s.omem_accesses;
+        stats.valid_outputs += s.valid_outputs;
+        stats.mac_ops += s.mac_ops;
+        phase_maps.push((phase, mapping));
+    }
+    Ok(PolyphaseReport {
+        ofmaps,
+        stats,
+        phases: phase_maps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChainConfig;
+    use chain_nn_fixed::OverflowMode;
+    use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
+
+    fn tensor_from(dims: [usize; 4], f: impl Fn(usize) -> i16) -> Tensor<Fix16> {
+        let vol: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..vol).map(|i| Fix16::from_raw(f(i))).collect()).unwrap()
+    }
+
+    fn golden(shape: &LayerShape, ifmap: &Tensor<Fix16>, w: &Tensor<Fix16>) -> Tensor<i32> {
+        conv2d_fix(
+            ifmap,
+            w,
+            ConvGeometry::rect(shape.kh, shape.kw, shape.stride, shape.pad).unwrap(),
+            OverflowMode::Wrapping,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn phase_taps_partition_the_kernel() {
+        for (k, s) in [(11usize, 4usize), (5, 2), (7, 3), (3, 2), (4, 4), (3, 5)] {
+            let shape = LayerShape::square(1, 4 * k, 1, k, s, 0);
+            let ph = phases(&shape);
+            let row_taps: usize = ph
+                .iter()
+                .filter(|p| p.col_offset == 0)
+                .map(|p| p.kh)
+                .sum();
+            assert_eq!(row_taps, k, "K={k} s={s} row taps");
+            let total: usize = ph.iter().map(|p| p.kh * p.kw).sum();
+            assert_eq!(total, k * k, "K={k} s={s} total taps");
+        }
+    }
+
+    #[test]
+    fn alexnet_conv1_phase_structure() {
+        let shape = LayerShape::square(3, 227, 96, 11, 4, 0);
+        let ph = phases(&shape);
+        assert_eq!(ph.len(), 16);
+        let khs: Vec<usize> = ph.iter().filter(|p| p.col_offset == 0).map(|p| p.kh).collect();
+        assert_eq!(khs, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn stride1_is_identity_decomposition() {
+        let shape = LayerShape::square(2, 8, 2, 3, 1, 1);
+        let ph = phases(&shape);
+        assert_eq!(ph.len(), 1);
+        assert_eq!((ph[0].kh, ph[0].kw), (3, 3));
+        let ps = phase_shape(&shape, &ph[0]);
+        assert_eq!((ps.h, ps.w), (shape.padded_h(), shape.padded_w()));
+    }
+
+    fn assert_polyphase_matches(pes: usize, shape: LayerShape) {
+        let ifmap = tensor_from([1, shape.c, shape.h, shape.w], |i| {
+            ((i * 11 + 5) % 31) as i16 - 15
+        });
+        let weights = tensor_from([shape.m, shape.c, shape.kh, shape.kw], |i| {
+            ((i * 3 + 2) % 13) as i16 - 6
+        });
+        let sim = ChainSim::new(ChainConfig::builder().num_pes(pes).build().unwrap());
+        let rep = run(&sim, &shape, &ifmap, &weights).unwrap();
+        assert_eq!(rep.ofmaps, golden(&shape, &ifmap, &weights), "{shape}");
+    }
+
+    #[test]
+    fn stride2_matches_golden() {
+        assert_polyphase_matches(9, LayerShape::square(2, 9, 1, 3, 2, 0));
+        assert_polyphase_matches(16, LayerShape::square(1, 10, 2, 4, 2, 1));
+    }
+
+    #[test]
+    fn stride3_and_4_match_golden() {
+        assert_polyphase_matches(9, LayerShape::square(1, 13, 1, 5, 3, 0));
+        // A shrunken AlexNet conv1: K=11, s=4 over a 31x31 image.
+        assert_polyphase_matches(18, LayerShape::square(1, 31, 2, 11, 4, 0));
+    }
+
+    #[test]
+    fn stride_larger_than_kernel() {
+        // s=5 > K=3: windows are disjoint with gaps.
+        assert_polyphase_matches(9, LayerShape::square(1, 13, 1, 3, 5, 0));
+    }
+
+    #[test]
+    fn stride1_through_polyphase_equals_direct() {
+        let shape = LayerShape::square(2, 6, 2, 3, 1, 1);
+        let ifmap = tensor_from([1, 2, 6, 6], |i| (i % 23) as i16 - 11);
+        let weights = tensor_from([2, 2, 3, 3], |i| (i % 9) as i16 - 4);
+        let sim = ChainSim::new(ChainConfig::builder().num_pes(9).build().unwrap());
+        let poly = run(&sim, &shape, &ifmap, &weights).unwrap();
+        let direct = sim.run_layer(&shape, &ifmap, &weights).unwrap();
+        assert_eq!(poly.ofmaps, direct.ofmaps);
+        assert_eq!(poly.stats.stream_cycles, direct.stats.stream_cycles);
+    }
+
+    #[test]
+    fn stats_accumulate_loads_to_total_weights() {
+        let shape = LayerShape::square(2, 9, 2, 3, 2, 0);
+        let ifmap = tensor_from([1, 2, 9, 9], |_| 1);
+        let weights = tensor_from([2, 2, 3, 3], |_| 1);
+        let sim = ChainSim::new(ChainConfig::builder().num_pes(9).build().unwrap());
+        let rep = run(&sim, &shape, &ifmap, &weights).unwrap();
+        // Every original weight is loaded exactly once across phases.
+        assert_eq!(rep.stats.load_cycles, 2 * 2 * 9);
+    }
+}

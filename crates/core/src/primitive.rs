@@ -1,0 +1,255 @@
+//! A standalone 1D systolic primitive (paper Fig. 4).
+//!
+//! [`SystolicPrimitive`] is a single-primitive [chain][crate::chain::Chain]
+//! with a convenience API for running one 2D convolution window stream —
+//! useful for unit testing and for understanding the architecture without
+//! the full chain/FSM machinery. The heavy lifting (multi-primitive
+//! chains, channel accumulation, tiling) lives in
+//! [`sim`](crate::sim).
+
+use chain_nn_fixed::{Acc32, Fix16};
+use chain_nn_tensor::Tensor;
+
+use crate::chain::Chain;
+use crate::schedule::{DualChannelSchedule, InputSchedule};
+use crate::CoreError;
+
+/// A single `kh×kw` systolic primitive with a dual-channel feed.
+///
+/// # Example — one 3×3 convolution band
+///
+/// ```
+/// use chain_nn_core::primitive::SystolicPrimitive;
+/// use chain_nn_fixed::Fix16;
+/// use chain_nn_tensor::Tensor;
+///
+/// // All-ones 3x3 kernel over an all-twos 5x5 image: every window sums
+/// // to 18.
+/// let kernel = Tensor::filled([1, 1, 3, 3], Fix16::from_raw(1));
+/// let image = Tensor::filled([1, 1, 5, 5], Fix16::from_raw(2));
+/// let mut prim = SystolicPrimitive::new(3, 3).unwrap();
+/// prim.load_kernel(&kernel).unwrap();
+/// let band = prim.run_band(&image, 0).unwrap();
+/// assert_eq!(band.len(), 3);           // 3 ofmap rows per band
+/// assert!(band.iter().all(|row| row.iter().all(|&v| v == 18)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicPrimitive {
+    chain: Chain,
+    kh: usize,
+    kw: usize,
+}
+
+impl SystolicPrimitive {
+    /// Builds a `kh×kw` primitive (kh·kw PEs, 1-deep kMemory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for zero kernel extents.
+    pub fn new(kh: usize, kw: usize) -> Result<Self, CoreError> {
+        Ok(SystolicPrimitive {
+            chain: Chain::new(1, kh * kw, 1)?,
+            kh,
+            kw,
+        })
+    }
+
+    /// Kernel rows.
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel columns.
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+
+    /// Number of PEs (`kh·kw`).
+    pub fn len(&self) -> usize {
+        self.kh * self.kw
+    }
+
+    /// Always false (a primitive has at least one PE).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Loads a 1×1×kh×kw kernel tensor, column-major into the PEs: PE `p`
+    /// holds kernel element `(p mod kh, p div kh)`, matching the
+    /// column-wise window scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DataMismatch`] if the tensor extent is not
+    /// `kh×kw`.
+    pub fn load_kernel(&mut self, kernel: &Tensor<Fix16>) -> Result<(), CoreError> {
+        let [_, _, h, w] = kernel.shape().dims();
+        if (h, w) != (self.kh, self.kw) {
+            return Err(CoreError::DataMismatch(format!(
+                "kernel {h}x{w} does not match primitive {}x{}",
+                self.kh, self.kw
+            )));
+        }
+        for p in 0..self.len() {
+            let (i, j) = (p % self.kh, p / self.kh);
+            self.chain.write_weight(p, 0, kernel.get(0, 0, i, j))?;
+        }
+        self.chain.latch_all(0)
+    }
+
+    /// Runs one pattern band over a single-channel image: streams the
+    /// `2·kh−1` ifmap rows starting at `band·kh` and returns the `kh`
+    /// ofmap rows of the band (rows clipped at the image bottom are
+    /// omitted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if the image is narrower than the
+    /// kernel.
+    pub fn run_band(
+        &mut self,
+        image: &Tensor<Fix16>,
+        band: usize,
+    ) -> Result<Vec<Vec<i32>>, CoreError> {
+        let [_, _, h, w] = image.shape().dims();
+        let schedule = DualChannelSchedule::new(self.kh, self.kw, w)?;
+        let out_w = w - self.kw + 1;
+        let out_h = if h >= self.kh { h - self.kh + 1 } else { 0 };
+        let band_rows = out_h.saturating_sub(band * self.kh).min(self.kh);
+        let mut rows = vec![vec![0i32; out_w]; band_rows];
+
+        self.chain.flush_pipeline();
+        let p = self.len();
+        let t_end = schedule.duration() as u64 + 2 * p as u64;
+        for t in 1..=t_end {
+            let mut feed = [Fix16::ZERO; 2];
+            if t <= schedule.duration() as u64 {
+                for (lane, px) in schedule.feed(t as usize).iter().enumerate() {
+                    if let Some(px) = px {
+                        let row = band * self.kh + px.row;
+                        if row < h {
+                            feed[lane] = image.get(0, 0, row, px.col);
+                        }
+                    }
+                }
+            }
+            self.chain.step(t, feed, &schedule);
+            let u = t as i64 - 2 * p as i64;
+            if let Some(slot) = schedule.emit(u, out_w) {
+                if slot.row_in_band < band_rows {
+                    rows[slot.row_in_band][slot.col] = self.chain.tail(0).raw();
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// The primitive's output port value (tail MAC register).
+    pub fn output_port(&self) -> Acc32 {
+        self.chain.tail(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_nn_fixed::OverflowMode;
+    use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
+
+    fn fix_tensor(dims: [usize; 4], vals: &[i16]) -> Tensor<Fix16> {
+        Tensor::from_vec(dims, vals.iter().map(|&v| Fix16::from_raw(v)).collect()).unwrap()
+    }
+
+    /// The primitive reproduces the golden convolution for every band of
+    /// a 3x3 kernel with distinct weights and pixels.
+    #[test]
+    fn matches_golden_model_3x3() {
+        let kernel = fix_tensor([1, 1, 3, 3], &[1, -2, 3, 4, -5, 6, 7, 8, -9]);
+        let vals: Vec<i16> = (0..49).map(|i| (i * 3 % 17) as i16 - 8).collect();
+        let image = fix_tensor([1, 1, 7, 7], &vals);
+        let golden = conv2d_fix(
+            &image,
+            &kernel,
+            ConvGeometry::new(3, 1, 0).unwrap(),
+            OverflowMode::Wrapping,
+        )
+        .unwrap();
+
+        let mut prim = SystolicPrimitive::new(3, 3).unwrap();
+        prim.load_kernel(&kernel).unwrap();
+        for band in 0..2 {
+            let rows = prim.run_band(&image, band).unwrap();
+            for (d, row) in rows.iter().enumerate() {
+                for (x, &v) in row.iter().enumerate() {
+                    assert_eq!(
+                        v,
+                        golden.get(0, 0, band * 3 + d, x),
+                        "band {band} row {d} col {x}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rectangular kernels work too (needed by the polyphase extension).
+    #[test]
+    fn matches_golden_model_2x3() {
+        let kernel = fix_tensor([1, 1, 2, 3], &[1, 2, 3, 4, 5, 6]);
+        let vals: Vec<i16> = (0..30).map(|i| i as i16 - 15).collect();
+        let image = fix_tensor([1, 1, 5, 6], &vals);
+        let golden = conv2d_fix(
+            &image,
+            &kernel,
+            ConvGeometry::rect(2, 3, 1, 0).unwrap(),
+            OverflowMode::Wrapping,
+        )
+        .unwrap();
+        let mut prim = SystolicPrimitive::new(2, 3).unwrap();
+        prim.load_kernel(&kernel).unwrap();
+        for band in 0..2 {
+            let rows = prim.run_band(&image, band).unwrap();
+            for (d, row) in rows.iter().enumerate() {
+                for (x, &v) in row.iter().enumerate() {
+                    assert_eq!(v, golden.get(0, 0, band * 2 + d, x));
+                }
+            }
+        }
+    }
+
+    /// A 1x1 primitive degenerates to elementwise scaling.
+    #[test]
+    fn one_by_one_kernel() {
+        let kernel = fix_tensor([1, 1, 1, 1], &[3]);
+        let image = fix_tensor([1, 1, 2, 4], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut prim = SystolicPrimitive::new(1, 1).unwrap();
+        prim.load_kernel(&kernel).unwrap();
+        let band0 = prim.run_band(&image, 0).unwrap();
+        assert_eq!(band0, vec![vec![3, 6, 9, 12]]);
+        let band1 = prim.run_band(&image, 1).unwrap();
+        assert_eq!(band1, vec![vec![15, 18, 21, 24]]);
+    }
+
+    /// Partial last band returns only the remaining rows.
+    #[test]
+    fn partial_band_clipped() {
+        let kernel = fix_tensor([1, 1, 3, 3], &[0, 0, 0, 0, 1, 0, 0, 0, 0]);
+        let image = fix_tensor([1, 1, 6, 5], &(0..30).map(|i| i as i16).collect::<Vec<_>>());
+        let mut prim = SystolicPrimitive::new(3, 3).unwrap();
+        prim.load_kernel(&kernel).unwrap();
+        // out_h = 4 -> band 1 has only 1 valid row.
+        let rows = prim.run_band(&image, 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        // identity kernel: output row 3 = image row 4, cols 1..4
+        assert_eq!(rows[0], vec![21, 22, 23]);
+    }
+
+    #[test]
+    fn kernel_shape_checked() {
+        let mut prim = SystolicPrimitive::new(3, 3).unwrap();
+        let bad = fix_tensor([1, 1, 2, 2], &[1, 2, 3, 4]);
+        assert!(matches!(
+            prim.load_kernel(&bad),
+            Err(CoreError::DataMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,546 @@
+//! The column-wise scan input pattern (paper Fig. 5) in closed form.
+//!
+//! # Derivation
+//!
+//! For a `kh×kw` kernel at stride 1, a *pattern* processes `kh` adjacent
+//! ofmap rows at once and streams `2·kh−1` ifmap rows column by column.
+//! Pattern pixel `(i, j)` (row `i ∈ [0, 2kh−1)`, column `j`) enters the
+//! chain at timestamp
+//!
+//! ```text
+//! t(i, j) = kh·j + i + 1                                   (1-based)
+//! ```
+//!
+//! which reproduces the timestamps printed inside Fig. 5(b) for K = 3.
+//! Two pixels share every timestamp `t` — with `r = (t−1) mod kh` and
+//! `q = (t−1) div kh`, they are `(r, q)` and `(r+kh, q−1)` — and they
+//! always lie in adjacent columns, so a two-channel feed with columns
+//! split by parity (OddIF/EvenIF) carries them conflict-free.
+//!
+//! The window for ofmap position `(d, c)` (row-in-band `d`, column `c`)
+//! consists of the pixels entering at the `kh·kw` *consecutive* timestamps
+//! `kh·c + d + 1 … kh·c + d + kh·kw` in column-major window order — this
+//! is the paper's "matching" property: once warm-up ends, every timestamp
+//! completes one window.
+//!
+//! Each PE must multiply its stationary weight by the window element with
+//! its own index, which pins down the **channel-select (mux) rule**: PE
+//! `p` (chain index) looking at the pixels of timestamp `τ` needs the one
+//! whose pattern row `i` satisfies `i − (p mod kh) ∈ [0, kh)`; hence it
+//! selects `(r, q)` when `r ≥ p mod kh` and `(r+kh, q−1)` otherwise.
+//! Lane identity follows from column parity. The same structure with a
+//! single channel can only complete one window every `kh` timestamps
+//! (Fig. 5(a)) — [`SingleChannelSchedule`] implements that variant for
+//! the ablation study.
+
+use std::fmt;
+
+use crate::{CoreError, LayerShape};
+
+/// One of the two ifmap channels threaded through the chain (Fig. 6).
+///
+/// `Odd` carries the first, third, … pattern columns (0-based even
+/// indices — the paper counts columns from 1) and `Even` the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// The OddIF channel (pattern columns 0, 2, 4, … 0-based).
+    Odd,
+    /// The EvenIF channel (pattern columns 1, 3, 5, … 0-based).
+    Even,
+}
+
+impl Lane {
+    /// Lane that carries pattern column `j`.
+    pub fn of_column(j: usize) -> Lane {
+        if j.is_multiple_of(2) {
+            Lane::Odd
+        } else {
+            Lane::Even
+        }
+    }
+
+    /// 0 for `Odd`, 1 for `Even` — index into per-lane register arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Lane::Odd => 0,
+            Lane::Even => 1,
+        }
+    }
+}
+
+/// A pixel position within the current pattern (row-in-pattern, column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternPixel {
+    /// Row within the streamed pattern band (0-based).
+    pub row: usize,
+    /// Pattern column (0-based, padded image coordinates).
+    pub col: usize,
+}
+
+/// A completed output slot emitted by a primitive's tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitSlot {
+    /// Ofmap row within the band (0-based; always 0 for single-channel).
+    pub row_in_band: usize,
+    /// Ofmap column.
+    pub col: usize,
+}
+
+/// An input schedule: what enters each lane at each timestamp, which lane
+/// each PE's mux selects, and which output slot each tail position
+/// corresponds to.
+///
+/// Implemented by [`DualChannelSchedule`] (the paper's design) and
+/// [`SingleChannelSchedule`] (the 1/K-throughput strawman of Fig. 5(a)).
+pub trait InputSchedule: fmt::Debug {
+    /// Column period: timestamps per pattern column (= kernel rows).
+    fn kh(&self) -> usize;
+
+    /// Ifmap rows streamed per pattern.
+    fn pattern_rows(&self) -> usize;
+
+    /// Ofmap rows completed per pattern (kh for dual, 1 for single).
+    fn rows_per_band(&self) -> usize;
+
+    /// Number of feed lanes in use (2 or 1).
+    fn lanes(&self) -> usize;
+
+    /// Timestamps in one pattern (feed phase only, no drain).
+    fn duration(&self) -> usize;
+
+    /// Pixels entering at (1-based) timestamp `t`, indexed by lane.
+    fn feed(&self, t: usize) -> [Option<PatternPixel>; 2];
+
+    /// The lane PE `p` (global chain index) selects for the pixel pair of
+    /// timestamp `τ`. `τ ≤ 0` occurs during pipeline fill; any lane is
+    /// acceptable then (the outputs are discarded).
+    fn select(&self, p: usize, tau: i64) -> Lane;
+
+    /// Maps a tail position `u = kh·col + row_in_band` to the output slot
+    /// it completes, if any. `out_w` bounds the valid columns.
+    fn emit(&self, u: i64, out_w: usize) -> Option<EmitSlot>;
+}
+
+/// The paper's dual-channel column-wise scan pattern for stride-1
+/// convolutions.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_core::schedule::{DualChannelSchedule, InputSchedule, Lane};
+/// // K=3 over a 5-column pattern, as in Fig. 5(b).
+/// let s = DualChannelSchedule::new(3, 3, 5).unwrap();
+/// assert_eq!(s.duration(), 17);           // 3·5 + 2
+/// // Timestamp 1 carries only the first pixel of column 0.
+/// let f = s.feed(1);
+/// assert_eq!(f[Lane::Odd.index()].unwrap().row, 0);
+/// assert!(f[Lane::Even.index()].is_none());
+/// // Timestamp 4 carries (0,1) on Even and (3,0) on Odd.
+/// let f = s.feed(4);
+/// assert_eq!(f[Lane::Even.index()].unwrap().col, 1);
+/// assert_eq!(f[Lane::Odd.index()].unwrap().row, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualChannelSchedule {
+    kh: usize,
+    kw: usize,
+    width: usize,
+}
+
+impl DualChannelSchedule {
+    /// Builds the schedule for a `kh×kw` kernel over a pattern of
+    /// `width` (padded) columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for zero extents or `width < kw`.
+    pub fn new(kh: usize, kw: usize, width: usize) -> Result<Self, CoreError> {
+        if kh == 0 || kw == 0 || width == 0 {
+            return Err(CoreError::Shape(
+                "schedule extents must be non-zero".into(),
+            ));
+        }
+        if width < kw {
+            return Err(CoreError::Shape(format!(
+                "pattern width {width} narrower than kernel {kw}"
+            )));
+        }
+        Ok(DualChannelSchedule { kh, kw, width })
+    }
+
+    /// Builds the schedule for a validated stride-1 layer shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedStride`] for `stride != 1` (use
+    /// [`polyphase`](crate::polyphase)) or [`CoreError::Shape`] from
+    /// shape validation.
+    pub fn for_shape(shape: &LayerShape) -> Result<Self, CoreError> {
+        shape.validate()?;
+        if shape.stride != 1 {
+            return Err(CoreError::UnsupportedStride {
+                stride: shape.stride,
+            });
+        }
+        DualChannelSchedule::new(shape.kh, shape.kw, shape.padded_w())
+    }
+}
+
+impl InputSchedule for DualChannelSchedule {
+    fn kh(&self) -> usize {
+        self.kh
+    }
+
+    fn pattern_rows(&self) -> usize {
+        2 * self.kh - 1
+    }
+
+    fn rows_per_band(&self) -> usize {
+        self.kh
+    }
+
+    fn lanes(&self) -> usize {
+        2
+    }
+
+    fn duration(&self) -> usize {
+        // Column W−1 spans timestamps kh·(W−1)+1 … kh·(W−1)+2kh−1.
+        self.kh * self.width + self.kh - 1
+    }
+
+    fn feed(&self, t: usize) -> [Option<PatternPixel>; 2] {
+        let mut out = [None, None];
+        if t == 0 {
+            return out;
+        }
+        let r = (t - 1) % self.kh;
+        let q = (t - 1) / self.kh;
+        // Shallow pixel (r, q).
+        if q < self.width {
+            out[Lane::of_column(q).index()] = Some(PatternPixel { row: r, col: q });
+        }
+        // Deep pixel (r + kh, q − 1); rows r+kh must stay within the
+        // 2kh−1 pattern rows, i.e. r ≤ kh−2.
+        if q >= 1 && r + 1 < self.kh {
+            out[Lane::of_column(q - 1).index()] = Some(PatternPixel {
+                row: r + self.kh,
+                col: q - 1,
+            });
+        }
+        out
+    }
+
+    fn select(&self, p: usize, tau: i64) -> Lane {
+        if tau < 1 {
+            return Lane::Odd;
+        }
+        let kh = self.kh as i64;
+        let r = (tau - 1).rem_euclid(kh);
+        let q = (tau - 1).div_euclid(kh);
+        let pk = (p % self.kh) as i64;
+        if r >= pk {
+            // Shallow pixel lives on lane parity(q).
+            Lane::of_column(q.rem_euclid(2) as usize)
+        } else {
+            // Deep pixel lives on the opposite parity (column q−1).
+            Lane::of_column((q + 1).rem_euclid(2) as usize)
+        }
+    }
+
+    fn emit(&self, u: i64, out_w: usize) -> Option<EmitSlot> {
+        if u < 0 {
+            return None;
+        }
+        let kh = self.kh as i64;
+        let d = (u % kh) as usize;
+        let col = (u / kh) as usize;
+        (col < out_w).then_some(EmitSlot {
+            row_in_band: d,
+            col,
+        })
+    }
+}
+
+/// The single-channel strawman of Fig. 5(a): one ifmap channel, one ofmap
+/// row per pattern, one valid output every `kh` cycles (1/K of peak).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleChannelSchedule {
+    kh: usize,
+    kw: usize,
+    width: usize,
+}
+
+impl SingleChannelSchedule {
+    /// Builds the schedule for a `kh×kw` kernel over `width` padded
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for zero extents or `width < kw`.
+    pub fn new(kh: usize, kw: usize, width: usize) -> Result<Self, CoreError> {
+        if kh == 0 || kw == 0 || width == 0 {
+            return Err(CoreError::Shape(
+                "schedule extents must be non-zero".into(),
+            ));
+        }
+        if width < kw {
+            return Err(CoreError::Shape(format!(
+                "pattern width {width} narrower than kernel {kw}"
+            )));
+        }
+        Ok(SingleChannelSchedule { kh, kw, width })
+    }
+
+    /// Builds the schedule for a validated stride-1 layer shape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DualChannelSchedule::for_shape`].
+    pub fn for_shape(shape: &LayerShape) -> Result<Self, CoreError> {
+        shape.validate()?;
+        if shape.stride != 1 {
+            return Err(CoreError::UnsupportedStride {
+                stride: shape.stride,
+            });
+        }
+        SingleChannelSchedule::new(shape.kh, shape.kw, shape.padded_w())
+    }
+}
+
+impl InputSchedule for SingleChannelSchedule {
+    fn kh(&self) -> usize {
+        self.kh
+    }
+
+    fn pattern_rows(&self) -> usize {
+        self.kh
+    }
+
+    fn rows_per_band(&self) -> usize {
+        1
+    }
+
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn duration(&self) -> usize {
+        self.kh * self.width
+    }
+
+    fn feed(&self, t: usize) -> [Option<PatternPixel>; 2] {
+        let mut out = [None, None];
+        if t == 0 {
+            return out;
+        }
+        let r = (t - 1) % self.kh;
+        let q = (t - 1) / self.kh;
+        if q < self.width {
+            out[Lane::Odd.index()] = Some(PatternPixel { row: r, col: q });
+        }
+        out
+    }
+
+    fn select(&self, _p: usize, _tau: i64) -> Lane {
+        Lane::Odd
+    }
+
+    fn emit(&self, u: i64, out_w: usize) -> Option<EmitSlot> {
+        if u < 0 || u % self.kh as i64 != 0 {
+            return None;
+        }
+        let col = (u / self.kh as i64) as usize;
+        (col < out_w).then_some(EmitSlot {
+            row_in_band: 0,
+            col,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Every pattern pixel is fed exactly once, on the lane of its
+    /// column's parity.
+    #[test]
+    fn dual_feed_is_a_bijection() {
+        for (kh, kw, w) in [(3, 3, 7), (2, 2, 5), (5, 5, 9), (3, 2, 4), (1, 1, 3)] {
+            let s = DualChannelSchedule::new(kh, kw, w).unwrap();
+            let mut seen: HashMap<(usize, usize), usize> = HashMap::new();
+            for t in 1..=s.duration() {
+                for (lane_idx, px) in s.feed(t).iter().enumerate() {
+                    if let Some(px) = px {
+                        assert_eq!(
+                            Lane::of_column(px.col).index(),
+                            lane_idx,
+                            "pixel {px:?} on wrong lane"
+                        );
+                        assert!(px.row < s.pattern_rows());
+                        assert!(px.col < w);
+                        *seen.entry((px.row, px.col)).or_insert(0) += 1;
+                    }
+                }
+            }
+            for i in 0..s.pattern_rows() {
+                for j in 0..w {
+                    assert_eq!(
+                        seen.get(&(i, j)).copied().unwrap_or(0),
+                        1,
+                        "kh={kh} w={w}: pixel ({i},{j}) fed wrong number of times"
+                    );
+                }
+            }
+            assert_eq!(seen.len(), s.pattern_rows() * w);
+        }
+    }
+
+    /// The timestamps match the closed form t = kh·j + i + 1 — i.e. the
+    /// numbers printed in the paper's Fig. 5(b) for K = 3.
+    #[test]
+    fn dual_feed_matches_figure_5b_timestamps() {
+        let s = DualChannelSchedule::new(3, 3, 8).unwrap();
+        for t in 1..=s.duration() {
+            for px in s.feed(t).into_iter().flatten() {
+                assert_eq!(t, 3 * px.col + px.row + 1);
+            }
+        }
+        // Fig. 5(b), first column: timestamps 1..5; second column: 4..8.
+        assert_eq!(
+            s.feed(4)[Lane::Even.index()],
+            Some(PatternPixel { row: 0, col: 1 })
+        );
+        assert_eq!(
+            s.feed(5)[Lane::Odd.index()],
+            Some(PatternPixel { row: 4, col: 0 })
+        );
+    }
+
+    /// At most one pixel per lane per timestamp (no channel conflicts) —
+    /// the property that makes two channels sufficient.
+    #[test]
+    fn dual_feed_never_conflicts() {
+        let s = DualChannelSchedule::new(4, 4, 9).unwrap();
+        for t in 1..=s.duration() + 5 {
+            let f = s.feed(t);
+            // feed() returning an array indexed by lane already encodes
+            // one-per-lane; check the two pixels differ when both present.
+            if let (Some(a), Some(b)) = (f[0], f[1]) {
+                assert_ne!((a.row, a.col), (b.row, b.col));
+                assert_eq!((a.col as i64 - b.col as i64).abs(), 1);
+            }
+        }
+    }
+
+    /// The mux rule hands PE p exactly the window element it owns: for
+    /// every window (d, c) and element e, at timestamp τ = kh·c + d + 1 + e
+    /// the pixel selected by `select(e, τ)` is (d + e % kh, c + e / kh).
+    #[test]
+    fn mux_selects_window_elements_in_column_scan_order() {
+        for (kh, kw, w) in [(3, 3, 7), (2, 3, 6), (5, 5, 11), (4, 2, 8)] {
+            let s = DualChannelSchedule::new(kh, kw, w).unwrap();
+            let e_cols = w - kw + 1;
+            for d in 0..kh {
+                for c in 0..e_cols {
+                    for e in 0..kh * kw {
+                        let tau = (kh * c + d + 1 + e) as i64;
+                        let want = PatternPixel {
+                            row: d + e % kh,
+                            col: c + e / kh,
+                        };
+                        let lane = s.select(e, tau);
+                        let fed = s.feed(tau as usize)[lane.index()];
+                        assert_eq!(
+                            fed,
+                            Some(want),
+                            "kh={kh} kw={kw} window ({d},{c}) elem {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// PEs beyond the first primitive (p >= kh·kw) use the same rule via
+    /// p mod kh.
+    #[test]
+    fn mux_rule_periodic_in_pe_index() {
+        let s = DualChannelSchedule::new(3, 3, 6).unwrap();
+        for p in 0..36 {
+            for tau in 1..=s.duration() as i64 {
+                assert_eq!(s.select(p, tau), s.select(p % 3, tau));
+            }
+        }
+    }
+
+    #[test]
+    fn emit_walks_bands_column_major() {
+        let s = DualChannelSchedule::new(3, 3, 7).unwrap();
+        assert_eq!(
+            s.emit(0, 5),
+            Some(EmitSlot {
+                row_in_band: 0,
+                col: 0
+            })
+        );
+        assert_eq!(
+            s.emit(4, 5),
+            Some(EmitSlot {
+                row_in_band: 1,
+                col: 1
+            })
+        );
+        assert_eq!(s.emit(-1, 5), None);
+        // col = 5 is out of range for out_w = 5
+        assert_eq!(s.emit(15, 5), None);
+    }
+
+    #[test]
+    fn single_channel_feeds_one_lane_and_emits_every_kh() {
+        let s = SingleChannelSchedule::new(3, 3, 5).unwrap();
+        assert_eq!(s.duration(), 15);
+        assert_eq!(s.lanes(), 1);
+        for t in 1..=s.duration() {
+            let f = s.feed(t);
+            assert!(f[Lane::Even.index()].is_none());
+            assert!(f[Lane::Odd.index()].is_some());
+        }
+        let emitted: Vec<_> = (0..15).filter_map(|u| s.emit(u, 3)).collect();
+        assert_eq!(emitted.len(), 3);
+        assert!(emitted.iter().all(|e| e.row_in_band == 0));
+        assert_eq!(emitted[2].col, 2);
+    }
+
+    #[test]
+    fn schedules_validate_inputs() {
+        assert!(DualChannelSchedule::new(0, 3, 5).is_err());
+        assert!(DualChannelSchedule::new(3, 3, 2).is_err());
+        assert!(SingleChannelSchedule::new(3, 0, 5).is_err());
+        let mut shape = LayerShape::square(1, 8, 1, 3, 1, 0);
+        shape.stride = 2;
+        assert!(matches!(
+            DualChannelSchedule::for_shape(&shape),
+            Err(CoreError::UnsupportedStride { stride: 2 })
+        ));
+    }
+
+    #[test]
+    fn input_bandwidth_is_two_pixels_per_cycle_amortized() {
+        // Paper §IV.B: invariant input bandwidth regardless of K.
+        for k in [2usize, 3, 5, 7] {
+            let w = 4 * k;
+            let s = DualChannelSchedule::new(k, k, w).unwrap();
+            let pixels: usize = (1..=s.duration())
+                .map(|t| s.feed(t).iter().flatten().count())
+                .sum();
+            let rate = pixels as f64 / s.duration() as f64;
+            // Sustained rate is (2K−1)/K ≈ 2 pixels/cycle, never more.
+            let sustained = (2 * k - 1) as f64 / k as f64;
+            assert!(
+                rate > 0.93 * sustained && rate <= 2.0,
+                "K={k}: feed rate {rate} vs sustained {sustained}"
+            );
+        }
+    }
+}

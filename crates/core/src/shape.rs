@@ -1,0 +1,190 @@
+//! Layer shape as seen by the chain (a thin, validated view).
+
+use std::fmt;
+
+use chain_nn_nets::ConvLayerSpec;
+
+use crate::CoreError;
+
+/// The geometry of one convolution as the chain schedules it.
+///
+/// Unlike [`ConvLayerSpec`] (which describes a network layer, possibly
+/// grouped), a `LayerShape` is what one *pass* over the chain computes:
+/// `c` input channels, `m` output channels, a `kh×kw` kernel, one stride
+/// and padding. Grouped layers become one `LayerShape` per group;
+/// strided layers become several rectangular-kernel shapes via
+/// [`polyphase`](crate::polyphase).
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_core::LayerShape;
+/// let s = LayerShape::square(16, 13, 32, 3, 1, 1);
+/// assert_eq!(s.out_h(), 13);
+/// assert_eq!(s.padded_w(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Input channels processed sequentially (accumulated in oMemory).
+    pub c: usize,
+    /// Input height (unpadded).
+    pub h: usize,
+    /// Input width (unpadded).
+    pub w: usize,
+    /// Output channels (mapped onto primitives).
+    pub m: usize,
+    /// Kernel rows.
+    pub kh: usize,
+    /// Kernel columns.
+    pub kw: usize,
+    /// Stride (1 for directly schedulable shapes).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl LayerShape {
+    /// Square-input, square-kernel shape.
+    pub fn square(c: usize, h: usize, m: usize, k: usize, stride: usize, pad: usize) -> Self {
+        LayerShape {
+            c,
+            h,
+            w: h,
+            m,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Builds the shape of one group of a network layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= spec.groups()` — iterating groups is the
+    /// caller's loop, an out-of-range index is a bug.
+    pub fn from_spec_group(spec: &ConvLayerSpec, group: usize) -> Self {
+        assert!(group < spec.groups(), "group {group} out of range");
+        LayerShape {
+            c: spec.c_per_group(),
+            h: spec.h(),
+            w: spec.w(),
+            m: spec.m_per_group(),
+            kh: spec.k(),
+            kw: spec.k(),
+            stride: spec.stride(),
+            pad: spec.pad(),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] for zero extents or kernels that do
+    /// not fit the padded input.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.c == 0 || self.h == 0 || self.w == 0 || self.m == 0 {
+            return Err(CoreError::Shape(format!(
+                "zero extent in {self}"
+            )));
+        }
+        if self.kh == 0 || self.kw == 0 || self.stride == 0 {
+            return Err(CoreError::Shape(format!("zero kernel/stride in {self}")));
+        }
+        if self.kh > self.padded_h() || self.kw > self.padded_w() {
+            return Err(CoreError::Shape(format!(
+                "kernel {}x{} exceeds padded input {}x{}",
+                self.kh,
+                self.kw,
+                self.padded_h(),
+                self.padded_w()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Padded input height.
+    pub fn padded_h(&self) -> usize {
+        self.h + 2 * self.pad
+    }
+
+    /// Padded input width.
+    pub fn padded_w(&self) -> usize {
+        self.w + 2 * self.pad
+    }
+
+    /// Output rows.
+    pub fn out_h(&self) -> usize {
+        (self.padded_h() - self.kh) / self.stride + 1
+    }
+
+    /// Output columns.
+    pub fn out_w(&self) -> usize {
+        (self.padded_w() - self.kw) / self.stride + 1
+    }
+
+    /// PEs one primitive needs for this kernel.
+    pub fn pes_per_primitive(&self) -> usize {
+        self.kh * self.kw
+    }
+
+    /// MACs per image for this shape.
+    pub fn macs(&self) -> u64 {
+        self.m as u64
+            * self.out_h() as u64
+            * self.out_w() as u64
+            * self.c as u64
+            * (self.kh * self.kw) as u64
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C={} {}x{} K={}x{} s={} p={} M={}",
+            self.c, self.h, self.w, self.kh, self.kw, self.stride, self.pad, self.m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_helper() {
+        let s = LayerShape::square(3, 13, 8, 3, 1, 1);
+        assert_eq!((s.out_h(), s.out_w()), (13, 13));
+        assert_eq!(s.pes_per_primitive(), 9);
+        assert_eq!(s.macs(), 8 * 13 * 13 * 3 * 9);
+    }
+
+    #[test]
+    fn from_spec_group_splits_channels() {
+        let spec = ConvLayerSpec::named("conv2", 96, 27, 27, 5, 1, 2, 256, 2).unwrap();
+        let g = LayerShape::from_spec_group(&spec, 1);
+        assert_eq!(g.c, 48);
+        assert_eq!(g.m, 128);
+        assert_eq!(g.out_h(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_index_checked() {
+        let spec = ConvLayerSpec::square("c", 4, 8, 3, 1, 1, 4).unwrap();
+        let _ = LayerShape::from_spec_group(&spec, 1);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LayerShape::square(1, 8, 1, 3, 1, 0).validate().is_ok());
+        assert!(LayerShape::square(0, 8, 1, 3, 1, 0).validate().is_err());
+        assert!(LayerShape::square(1, 2, 1, 5, 1, 0).validate().is_err());
+        let mut s = LayerShape::square(1, 8, 1, 3, 1, 0);
+        s.stride = 0;
+        assert!(s.validate().is_err());
+    }
+}

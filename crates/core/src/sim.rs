@@ -1,0 +1,520 @@
+//! Cycle-accurate simulation of a convolutional layer on the chain.
+//!
+//! [`ChainSim`] executes the [`ControllerFsm`]'s control steps on a
+//! [`Chain`]: kernels are written into kMemory (serially, one weight per
+//! cycle, as the paper's 0.05–1.23 ms load phases imply), then each
+//! pattern streams the column-wise scan feed through the chain while
+//! primitive tails emit window sums that accumulate into the ofmaps
+//! (read-modify-write per input channel, like oMemory).
+//!
+//! ## Cycle accounting
+//!
+//! Patterns are simulated in isolation (pipeline flushed in between) but
+//! *charged* as the real hardware overlaps them: each pattern costs its
+//! feed duration `kh·W + kh − 1`, and one pipeline drain of
+//! `primitives·kh·kw` cycles is charged per kernel tile (when streaming
+//! must stop before the next kMemory load). The
+//! [`perf`](crate::perf) strict model reproduces these counts exactly and
+//! is tested against the simulator.
+//!
+//! ## Verification
+//!
+//! Outputs are bit-exact against
+//! [`conv2d_fix`](chain_nn_tensor::conv::conv2d_fix) (wrapping mode) —
+//! the reproduction's analogue of the paper's on-the-fly ModelSim vs
+//! float-to-fix-simulator check.
+
+use chain_nn_fixed::Fix16;
+use chain_nn_tensor::Tensor;
+
+use crate::chain::Chain;
+use crate::fsm::{ControlStep, ControllerFsm};
+use crate::schedule::{DualChannelSchedule, InputSchedule, SingleChannelSchedule};
+use crate::{ChainConfig, CoreError, KernelMapping, LayerShape};
+
+/// Which input-channel scheme drives the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelMode {
+    /// The paper's dual-channel column-wise scan (full utilization).
+    #[default]
+    Dual,
+    /// The single-channel strawman of Fig. 5(a) (1/K utilization) — used
+    /// by the ablation study.
+    Single,
+}
+
+/// Counters accumulated over a simulated layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Cycles spent streaming patterns (feed phases).
+    pub stream_cycles: u64,
+    /// Cycles spent draining the pipeline before kernel reloads.
+    pub drain_cycles: u64,
+    /// Cycles spent loading kernels (one weight per cycle).
+    pub load_cycles: u64,
+    /// iMemory reads: pixels fed into the lanes.
+    pub imem_reads: u64,
+    /// kMemory reads: working-weight latches (one per PE per pattern).
+    pub kmem_reads: u64,
+    /// oMemory accesses: one read + one write per accumulated output.
+    pub omem_accesses: u64,
+    /// Convolution windows committed to the ofmaps.
+    pub valid_outputs: u64,
+    /// Useful multiply-accumulates (windows × kernel size).
+    pub mac_ops: u64,
+}
+
+impl RunStats {
+    /// Total cycles: stream + drain + load.
+    pub fn total_cycles(&self) -> u64 {
+        self.stream_cycles + self.drain_cycles + self.load_cycles
+    }
+
+    /// Fraction of PE-cycles doing useful MACs, over `num_pes` PEs.
+    pub fn utilization(&self, num_pes: usize) -> f64 {
+        let denom = (num_pes as u64 * self.total_cycles()) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.mac_ops as f64 / denom
+    }
+}
+
+/// Result of simulating one layer.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Raw 32-bit accumulator ofmaps, shaped N×M×E×E.
+    pub ofmaps: Tensor<i32>,
+    /// Cycle and access counters.
+    pub stats: RunStats,
+    /// The kernel mapping used (primitives, active PEs).
+    pub mapping: KernelMapping,
+}
+
+impl RunReport {
+    /// Wall-clock seconds at frequency `freq_mhz`.
+    pub fn seconds_at(&self, freq_mhz: f64) -> f64 {
+        self.stats.total_cycles() as f64 / (freq_mhz * 1e6)
+    }
+}
+
+/// Cycle-accurate simulator for one chain configuration.
+///
+/// See the [crate example](crate) for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct ChainSim {
+    cfg: ChainConfig,
+}
+
+impl ChainSim {
+    /// Creates a simulator for `cfg`.
+    pub fn new(cfg: ChainConfig) -> Self {
+        ChainSim { cfg }
+    }
+
+    /// The simulated configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.cfg
+    }
+
+    /// Runs a stride-1 layer with the dual-channel schedule.
+    ///
+    /// `ifmap` is N×C×H×W (each image processed independently, kernels
+    /// reloaded per image — batch amortization is modeled analytically in
+    /// [`perf`](crate::perf)); `weights` is M×C×KH×KW.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnsupportedStride`] for `stride != 1` — use
+    ///   [`polyphase`](crate::polyphase).
+    /// * [`CoreError::DataMismatch`] when tensor extents disagree with
+    ///   `shape`.
+    /// * [`CoreError::KernelTooLargeForChain`] when `kh·kw` exceeds the
+    ///   chain.
+    pub fn run_layer(
+        &self,
+        shape: &LayerShape,
+        ifmap: &Tensor<Fix16>,
+        weights: &Tensor<Fix16>,
+    ) -> Result<RunReport, CoreError> {
+        self.run_layer_with(shape, ifmap, weights, ChannelMode::Dual)
+    }
+
+    /// Runs a stride-1 layer under an explicit [`ChannelMode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChainSim::run_layer`].
+    pub fn run_layer_with(
+        &self,
+        shape: &LayerShape,
+        ifmap: &Tensor<Fix16>,
+        weights: &Tensor<Fix16>,
+        mode: ChannelMode,
+    ) -> Result<RunReport, CoreError> {
+        match mode {
+            ChannelMode::Dual => {
+                let s = DualChannelSchedule::for_shape(shape)?;
+                self.run_with_schedule(shape, ifmap, weights, &s)
+            }
+            ChannelMode::Single => {
+                let s = SingleChannelSchedule::for_shape(shape)?;
+                self.run_with_schedule(shape, ifmap, weights, &s)
+            }
+        }
+    }
+
+    fn check_tensors(
+        &self,
+        shape: &LayerShape,
+        ifmap: &Tensor<Fix16>,
+        weights: &Tensor<Fix16>,
+    ) -> Result<(), CoreError> {
+        let idims = ifmap.shape().dims();
+        if idims[1] != shape.c || idims[2] != shape.h || idims[3] != shape.w {
+            return Err(CoreError::DataMismatch(format!(
+                "ifmap {}x{}x{} vs shape C={} {}x{}",
+                idims[1], idims[2], idims[3], shape.c, shape.h, shape.w
+            )));
+        }
+        let wdims = weights.shape().dims();
+        if wdims != [shape.m, shape.c, shape.kh, shape.kw] {
+            return Err(CoreError::DataMismatch(format!(
+                "weights {}x{}x{}x{} vs shape M={} C={} K={}x{}",
+                wdims[0], wdims[1], wdims[2], wdims[3], shape.m, shape.c, shape.kh, shape.kw
+            )));
+        }
+        Ok(())
+    }
+
+    fn run_with_schedule<S: InputSchedule>(
+        &self,
+        shape: &LayerShape,
+        ifmap: &Tensor<Fix16>,
+        weights: &Tensor<Fix16>,
+        schedule: &S,
+    ) -> Result<RunReport, CoreError> {
+        shape.validate()?;
+        self.check_tensors(shape, ifmap, weights)?;
+        let mapping = KernelMapping::new(self.cfg.num_pes(), shape.kh, shape.kw)?;
+        let prims = mapping.num_primitives();
+        let p = mapping.pes_per_primitive();
+        let depth = self.cfg.kmemory_depth();
+        let mut chain = Chain::new(prims, p, depth.min(shape.c).max(1))?;
+        let c_per_tile = depth.min(shape.c);
+
+        let batch = ifmap.shape().n();
+        let out_h = shape.out_h();
+        let out_w = shape.out_w();
+        let mut ofmaps = Tensor::<i32>::zeros([batch, shape.m, out_h, out_w]);
+        let mut stats = RunStats::default();
+
+        let duration = schedule.duration() as u64;
+        let pad = shape.pad as isize;
+
+        for n in 0..batch {
+            let mut fsm = ControllerFsm::with_rows_per_band(
+                shape,
+                &mapping,
+                depth,
+                schedule.rows_per_band(),
+            )?;
+            loop {
+                match fsm.next_step() {
+                    ControlStep::Done => break,
+                    ControlStep::LoadKernels { m_tile, c_tile } => {
+                        let active = mapping.primitives_in_tile(shape.m, m_tile);
+                        let channels = fsm.channels_in_tile(c_tile);
+                        for g in 0..active {
+                            let m = m_tile * prims + g;
+                            for slot in 0..channels {
+                                let c = c_tile * c_per_tile + slot;
+                                for pe in 0..p {
+                                    let w = weights.get(m, c, pe % shape.kh, pe / shape.kh);
+                                    chain.write_weight(g * p + pe, slot, w)?;
+                                }
+                                stats.load_cycles += p as u64;
+                            }
+                        }
+                    }
+                    ControlStep::Pattern { m_tile, c, band } => {
+                        let active = mapping.primitives_in_tile(shape.m, m_tile);
+                        let slot = c % c_per_tile;
+                        chain.latch_all(slot)?;
+                        stats.kmem_reads += (active * p) as u64;
+                        chain.flush_pipeline();
+
+                        // Steady-state charge: the feed duration only;
+                        // extra steps below overlap the next pattern in
+                        // real hardware.
+                        stats.stream_cycles += duration;
+                        let t_end = duration + (active * p) as u64;
+                        let band_base = band * schedule.rows_per_band();
+                        for t in 1..=t_end {
+                            let mut feed = [Fix16::ZERO; 2];
+                            if t <= duration {
+                                for (lane, px) in
+                                    schedule.feed(t as usize).iter().enumerate()
+                                {
+                                    if let Some(px) = px {
+                                        // Pattern rows live in padded
+                                        // coordinates.
+                                        let prow =
+                                            (band_base + px.row) as isize - pad;
+                                        let pcol = px.col as isize - pad;
+                                        feed[lane] = ifmap.get_padded(
+                                            n,
+                                            c,
+                                            prow,
+                                            pcol,
+                                            Fix16::ZERO,
+                                        );
+                                        stats.imem_reads += 1;
+                                    }
+                                }
+                            }
+                            chain.step(t, feed, schedule);
+                            for g in 0..active {
+                                let u = t as i64 - (2 * p + g * p) as i64;
+                                if let Some(slot) = schedule.emit(u, out_w) {
+                                    let row = band_base + slot.row_in_band;
+                                    if row < out_h {
+                                        let m = m_tile * prims + g;
+                                        let cur = ofmaps.get(n, m, row, slot.col);
+                                        let sum =
+                                            cur.wrapping_add(chain.tail(g).raw());
+                                        ofmaps.set(n, m, row, slot.col, sum);
+                                        stats.omem_accesses += 2;
+                                        stats.valid_outputs += 1;
+                                        stats.mac_ops += p as u64;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ControlStep::Drain { m_tile } => {
+                        let active = mapping.primitives_in_tile(shape.m, m_tile);
+                        stats.drain_cycles += (active * p) as u64;
+                    }
+                }
+            }
+        }
+
+        Ok(RunReport {
+            ofmaps,
+            stats,
+            mapping,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_nn_fixed::OverflowMode;
+    use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
+
+    fn cfg(pes: usize) -> ChainConfig {
+        ChainConfig::builder().num_pes(pes).build().unwrap()
+    }
+
+    fn tensor_from(dims: [usize; 4], f: impl Fn(usize) -> i16) -> Tensor<Fix16> {
+        let vol: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..vol).map(|i| Fix16::from_raw(f(i))).collect()).unwrap()
+    }
+
+    fn golden(
+        shape: &LayerShape,
+        ifmap: &Tensor<Fix16>,
+        weights: &Tensor<Fix16>,
+    ) -> Tensor<i32> {
+        conv2d_fix(
+            ifmap,
+            weights,
+            ConvGeometry::rect(shape.kh, shape.kw, shape.stride, shape.pad).unwrap(),
+            OverflowMode::Wrapping,
+        )
+        .unwrap()
+    }
+
+    fn assert_matches_golden(pes: usize, shape: LayerShape, mode: ChannelMode) {
+        let ifmap = tensor_from([1, shape.c, shape.h, shape.w], |i| {
+            ((i * 7 + 3) % 23) as i16 - 11
+        });
+        let weights = tensor_from([shape.m, shape.c, shape.kh, shape.kw], |i| {
+            ((i * 5 + 1) % 17) as i16 - 8
+        });
+        let run = ChainSim::new(cfg(pes))
+            .run_layer_with(&shape, &ifmap, &weights, mode)
+            .unwrap();
+        let want = golden(&shape, &ifmap, &weights);
+        assert_eq!(run.ofmaps, want, "shape {shape} on {pes} PEs");
+    }
+
+    #[test]
+    fn single_primitive_single_channel_layer() {
+        assert_matches_golden(9, LayerShape::square(1, 6, 1, 3, 1, 0), ChannelMode::Dual);
+    }
+
+    #[test]
+    fn multi_channel_accumulation() {
+        assert_matches_golden(9, LayerShape::square(3, 6, 1, 3, 1, 0), ChannelMode::Dual);
+    }
+
+    #[test]
+    fn multi_primitive_parallel_ofmaps() {
+        assert_matches_golden(27, LayerShape::square(2, 7, 3, 3, 1, 0), ChannelMode::Dual);
+    }
+
+    #[test]
+    fn m_tiling_with_partial_tile() {
+        // 5 ofmap channels on 2 primitives -> 3 tiles, last partial.
+        assert_matches_golden(18, LayerShape::square(2, 6, 5, 3, 1, 0), ChannelMode::Dual);
+    }
+
+    #[test]
+    fn padding_layers() {
+        assert_matches_golden(9, LayerShape::square(2, 6, 2, 3, 1, 1), ChannelMode::Dual);
+        assert_matches_golden(25, LayerShape::square(1, 7, 1, 5, 1, 2), ChannelMode::Dual);
+    }
+
+    #[test]
+    fn kernel_sizes_sweep() {
+        for k in [1usize, 2, 3, 4, 5] {
+            let shape = LayerShape::square(2, k + 5, 2, k, 1, 0);
+            assert_matches_golden(2 * k * k, shape, ChannelMode::Dual);
+        }
+    }
+
+    #[test]
+    fn rectangular_kernels() {
+        let mut shape = LayerShape::square(2, 8, 2, 3, 1, 0);
+        shape.kw = 2;
+        assert_matches_golden(12, shape, ChannelMode::Dual);
+        let mut shape = LayerShape::square(1, 8, 1, 2, 1, 0);
+        shape.kw = 4;
+        assert_matches_golden(8, shape, ChannelMode::Dual);
+    }
+
+    #[test]
+    fn non_square_images() {
+        let mut shape = LayerShape::square(1, 5, 1, 3, 1, 0);
+        shape.w = 9;
+        assert_matches_golden(9, shape, ChannelMode::Dual);
+    }
+
+    #[test]
+    fn kmemory_tiling_reloads() {
+        // 5 channels with a 2-deep kMemory forces 3 kernel tiles.
+        let shape = LayerShape::square(5, 6, 2, 3, 1, 0);
+        let ifmap = tensor_from([1, 5, 6, 6], |i| (i % 13) as i16 - 6);
+        let weights = tensor_from([2, 5, 3, 3], |i| (i % 7) as i16 - 3);
+        let sim = ChainSim::new(
+            ChainConfig::builder()
+                .num_pes(18)
+                .kmemory_depth(2)
+                .build()
+                .unwrap(),
+        );
+        let run = sim.run_layer(&shape, &ifmap, &weights).unwrap();
+        assert_eq!(run.ofmaps, golden(&shape, &ifmap, &weights));
+        // Kernels loaded once per channel even with 3 tiles.
+        assert_eq!(run.stats.load_cycles, 2 * 5 * 9);
+        // Three drains (one per kernel tile).
+        assert_eq!(run.stats.drain_cycles, 3 * 2 * 9);
+    }
+
+    #[test]
+    fn single_channel_mode_matches_golden_too() {
+        assert_matches_golden(9, LayerShape::square(2, 6, 1, 3, 1, 0), ChannelMode::Single);
+        assert_matches_golden(18, LayerShape::square(1, 7, 3, 3, 1, 1), ChannelMode::Single);
+    }
+
+    #[test]
+    fn single_channel_takes_about_k_times_longer() {
+        let shape = LayerShape::square(1, 14, 1, 3, 1, 1);
+        let ifmap = tensor_from([1, 1, 14, 14], |i| (i % 9) as i16);
+        let weights = tensor_from([1, 1, 3, 3], |i| i as i16);
+        let sim = ChainSim::new(cfg(9));
+        let dual = sim
+            .run_layer_with(&shape, &ifmap, &weights, ChannelMode::Dual)
+            .unwrap();
+        let single = sim
+            .run_layer_with(&shape, &ifmap, &weights, ChannelMode::Single)
+            .unwrap();
+        assert_eq!(dual.ofmaps, single.ofmaps);
+        let ratio =
+            single.stats.stream_cycles as f64 / dual.stats.stream_cycles as f64;
+        // 14 rows: dual runs ceil(14/3)=5 patterns, single runs 14.
+        assert!(
+            (2.3..=3.0).contains(&ratio),
+            "single/dual cycle ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn batch_processes_each_image() {
+        let shape = LayerShape::square(2, 5, 2, 3, 1, 0);
+        let ifmap = tensor_from([2, 2, 5, 5], |i| (i % 19) as i16 - 9);
+        let weights = tensor_from([2, 2, 3, 3], |i| (i % 5) as i16 - 2);
+        let run = ChainSim::new(cfg(18))
+            .run_layer(&shape, &ifmap, &weights)
+            .unwrap();
+        assert_eq!(run.ofmaps, golden(&shape, &ifmap, &weights));
+        assert_eq!(run.ofmaps.shape().n(), 2);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let shape = LayerShape::square(2, 7, 3, 3, 1, 1);
+        let ifmap = tensor_from([1, 2, 7, 7], |i| (i % 11) as i16);
+        let weights = tensor_from([3, 2, 3, 3], |i| (i % 3) as i16);
+        let run = ChainSim::new(cfg(27))
+            .run_layer(&shape, &ifmap, &weights)
+            .unwrap();
+        let s = &run.stats;
+        // Every output = 9 MACs; every output = 2 oMemory accesses.
+        assert_eq!(s.mac_ops, 9 * s.valid_outputs);
+        assert_eq!(s.omem_accesses, 2 * s.valid_outputs);
+        // All windows of all channels committed: M·E²·C.
+        assert_eq!(s.valid_outputs, 3 * 7 * 7 * 2);
+        // Load = all weights once.
+        assert_eq!(s.load_cycles, 3 * 2 * 9);
+        // kMemory: one latch per active PE per pattern: 3 prims x 9 PEs x
+        // (2 channels x 3 bands).
+        assert_eq!(s.kmem_reads, 27 * 6);
+        // Stream cycles: 6 patterns x (3·9 + 2) = 174.
+        assert_eq!(s.stream_cycles, 6 * 29);
+        assert_eq!(s.total_cycles(), s.stream_cycles + s.drain_cycles + s.load_cycles);
+        assert!(s.utilization(27) > 0.3);
+    }
+
+    #[test]
+    fn data_mismatch_rejected() {
+        let shape = LayerShape::square(2, 5, 2, 3, 1, 0);
+        let bad_if = tensor_from([1, 3, 5, 5], |_| 0);
+        let w = tensor_from([2, 2, 3, 3], |_| 0);
+        let sim = ChainSim::new(cfg(9));
+        assert!(matches!(
+            sim.run_layer(&shape, &bad_if, &w),
+            Err(CoreError::DataMismatch(_))
+        ));
+        let good_if = tensor_from([1, 2, 5, 5], |_| 0);
+        let bad_w = tensor_from([2, 2, 5, 5], |_| 0);
+        assert!(matches!(
+            sim.run_layer(&shape, &good_if, &bad_w),
+            Err(CoreError::DataMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn strided_layers_rejected_with_pointer_to_polyphase() {
+        let shape = LayerShape::square(1, 11, 1, 3, 2, 0);
+        let ifmap = tensor_from([1, 1, 11, 11], |_| 1);
+        let weights = tensor_from([1, 1, 3, 3], |_| 1);
+        assert!(matches!(
+            ChainSim::new(cfg(9)).run_layer(&shape, &ifmap, &weights),
+            Err(CoreError::UnsupportedStride { stride: 2 })
+        ));
+    }
+}

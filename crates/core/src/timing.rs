@@ -1,0 +1,125 @@
+//! Critical-path timing model: pipeline depth ↔ clock frequency.
+//!
+//! The paper pipelines each PE "into three stages so that the critical
+//! path delay is reduced to 1.428 ns (700 MHz)" (§V.B) and notes that
+//! deeper pipelining is a free knob of the 1D organization. This model
+//! captures that tradeoff with a classic two-term delay: the MAC logic
+//! (multiplier + adder + mux) divides across stages, the register
+//! overhead (setup + clock-to-Q + skew margin) does not.
+//!
+//! ```text
+//! T(stages) = logic_ps / stages + reg_overhead_ps
+//! ```
+//!
+//! Constants are fitted so 3 stages lands exactly on the paper's
+//! 1.428 ns; the resulting 1-stage (≈270 MHz) and deeper points are
+//! consistent with 28 nm 16-bit MAC datapaths.
+
+use crate::{ChainConfig, CoreError};
+
+/// Delay model of the PE's MAC path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Combinational delay of the full MAC path (multiplier + adder +
+    /// channel mux), in picoseconds.
+    pub logic_ps: f64,
+    /// Per-stage sequential overhead (FF setup + clock-to-Q + margin),
+    /// in picoseconds.
+    pub reg_overhead_ps: f64,
+}
+
+impl TimingModel {
+    /// Constants fitted to the paper's 3-stage / 1.428 ns point at
+    /// TSMC 28 nm slow corner (0.81 V, 125 °C, as synthesized).
+    pub fn fitted_28nm() -> Self {
+        TimingModel {
+            logic_ps: 3_420.0,
+            reg_overhead_ps: 288.0,
+        }
+    }
+
+    /// Critical path at `stages` pipeline stages, in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` — configurations are validated upstream
+    /// by [`ChainConfigBuilder`](crate::ChainConfigBuilder).
+    pub fn critical_path_ps(&self, stages: usize) -> f64 {
+        assert!(stages > 0, "pipeline depth must be non-zero");
+        self.logic_ps / stages as f64 + self.reg_overhead_ps
+    }
+
+    /// Maximum clock frequency at `stages`, in MHz.
+    pub fn max_freq_mhz(&self, stages: usize) -> f64 {
+        1e6 / self.critical_path_ps(stages)
+    }
+
+    /// Rebuilds `cfg` at `stages` pipeline stages running at the
+    /// model's maximum frequency — the knob the design-space ablation
+    /// sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Config`] from the builder.
+    pub fn config_at_stages(
+        &self,
+        cfg: &ChainConfig,
+        stages: usize,
+    ) -> Result<ChainConfig, CoreError> {
+        ChainConfig::builder()
+            .num_pes(cfg.num_pes())
+            .kmemory_depth(cfg.kmemory_depth())
+            .pipeline_stages(stages)
+            .freq_mhz(self.max_freq_mhz(stages))
+            .build()
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::fitted_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_reproduced() {
+        let t = TimingModel::fitted_28nm();
+        // §V.B: 3 stages -> 1.428 ns -> 700 MHz.
+        assert!((t.critical_path_ps(3) - 1_428.0).abs() < 1.0);
+        assert!((t.max_freq_mhz(3) - 700.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn frequency_monotone_with_depth_but_saturating() {
+        let t = TimingModel::fitted_28nm();
+        let f: Vec<f64> = (1..=8).map(|s| t.max_freq_mhz(s)).collect();
+        for w in f.windows(2) {
+            assert!(w[1] > w[0], "deeper pipeline must not be slower");
+        }
+        // Diminishing returns: stage 8 gains less than 2x over stage 3.
+        assert!(f[7] / f[2] < 2.0);
+        // Register overhead bounds the asymptote.
+        assert!(f[7] < 1e6 / t.reg_overhead_ps);
+    }
+
+    #[test]
+    fn config_rebuild_carries_structure() {
+        let t = TimingModel::fitted_28nm();
+        let base = ChainConfig::paper_576();
+        let deep = t.config_at_stages(&base, 5).expect("valid");
+        assert_eq!(deep.num_pes(), 576);
+        assert_eq!(deep.pipeline_stages(), 5);
+        assert!(deep.freq_mhz() > 700.0);
+        assert!(deep.peak_gops() > base.peak_gops());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_stages_rejected() {
+        let _ = TimingModel::fitted_28nm().critical_path_ps(0);
+    }
+}

@@ -1,0 +1,287 @@
+//! VCD waveform tracing of the chain — the reproduction's ModelSim.
+//!
+//! The paper debugs its RTL in ModelSim; this module gives the simulator
+//! the same observability: a standard Value-Change-Dump (IEEE 1364 §18)
+//! writer plus a helper that records every PE's lane registers, working
+//! weight and MAC output while streaming one pattern. The output loads
+//! in GTKWave/Surfer.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_core::trace::trace_pattern;
+//! use chain_nn_core::LayerShape;
+//! use chain_nn_fixed::Fix16;
+//! use chain_nn_tensor::Tensor;
+//!
+//! let shape = LayerShape::square(1, 5, 1, 3, 1, 0);
+//! let ifmap = Tensor::filled([1, 1, 5, 5], Fix16::from_raw(1));
+//! let weights = Tensor::filled([1, 1, 3, 3], Fix16::from_raw(2));
+//! let vcd = trace_pattern(&shape, &ifmap, &weights, 0).unwrap();
+//! assert!(vcd.starts_with("$date"));
+//! assert!(vcd.contains("$var wire 16"));
+//! ```
+
+use std::fmt::Write as _;
+
+use chain_nn_fixed::Fix16;
+use chain_nn_tensor::Tensor;
+
+use crate::chain::Chain;
+use crate::schedule::{DualChannelSchedule, InputSchedule, Lane};
+use crate::{CoreError, LayerShape};
+
+/// A minimal VCD (value-change-dump) writer.
+///
+/// Signals are fixed-width wires; values are emitted only on change,
+/// per the format's contract.
+#[derive(Debug)]
+pub struct VcdWriter {
+    header: String,
+    body: String,
+    ids: Vec<(String, u32)>, // (identifier, width)
+    last: Vec<Option<u64>>,
+    time: u64,
+    header_closed: bool,
+}
+
+impl VcdWriter {
+    /// Starts a VCD document with a module scope named `scope`.
+    pub fn new(scope: &str) -> Self {
+        let mut header = String::new();
+        let _ = writeln!(header, "$date\n  chain-nn-repro\n$end");
+        let _ = writeln!(header, "$version\n  chain-nn-core trace\n$end");
+        let _ = writeln!(header, "$timescale 1ns $end");
+        let _ = writeln!(header, "$scope module {scope} $end");
+        VcdWriter {
+            header,
+            body: String::new(),
+            ids: Vec::new(),
+            last: Vec::new(),
+            time: 0,
+            header_closed: false,
+        }
+    }
+
+    /// Declares a `width`-bit wire named `name`; returns its signal
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first [`VcdWriter::step`] — VCD
+    /// headers cannot be amended mid-dump.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> usize {
+        assert!(
+            !self.header_closed,
+            "signals must be declared before the first step"
+        );
+        let idx = self.ids.len();
+        let ident = Self::identifier(idx);
+        let _ = writeln!(self.header, "$var wire {width} {ident} {name} $end");
+        self.ids.push((ident, width));
+        self.last.push(None);
+        idx
+    }
+
+    /// VCD short identifiers: printable ASCII starting at `!`.
+    fn identifier(idx: usize) -> String {
+        let mut s = String::new();
+        let mut i = idx;
+        loop {
+            s.push((b'!' + (i % 94) as u8) as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+        s
+    }
+
+    /// Advances simulation time to `t` (nanoseconds granularity).
+    pub fn step(&mut self, t: u64) {
+        if !self.header_closed {
+            let _ = writeln!(self.header, "$upscope $end");
+            let _ = writeln!(self.header, "$enddefinitions $end");
+            self.header_closed = true;
+        }
+        self.time = t;
+        let _ = writeln!(self.body, "#{t}");
+    }
+
+    /// Records signal `sig` holding `value` (two's-complement bits,
+    /// truncated to the declared width). Emits only on change.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown signal handle.
+    pub fn change(&mut self, sig: usize, value: u64) {
+        let (ident, width) = &self.ids[sig];
+        let masked = if *width >= 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        if self.last[sig] == Some(masked) {
+            return;
+        }
+        self.last[sig] = Some(masked);
+        let _ = writeln!(self.body, "b{masked:b} {ident}");
+    }
+
+    /// Finishes the dump and returns the VCD text.
+    pub fn finish(mut self) -> String {
+        if !self.header_closed {
+            let _ = writeln!(self.header, "$upscope $end");
+            let _ = writeln!(self.header, "$enddefinitions $end");
+        }
+        self.header + &self.body
+    }
+}
+
+/// Streams one pattern (`band`) of a single-channel stride-1 layer
+/// through a freshly built chain, tracing every PE's odd/even lane
+/// registers, working weight and MAC register, plus the two feed lanes.
+///
+/// Returns the VCD text.
+///
+/// # Errors
+///
+/// Propagates shape/schedule/mapping errors; the layer must be
+/// stride 1 with `c = 1` (tracing one pattern of one channel keeps
+/// dumps readable).
+pub fn trace_pattern(
+    shape: &LayerShape,
+    ifmap: &Tensor<Fix16>,
+    weights: &Tensor<Fix16>,
+    band: usize,
+) -> Result<String, CoreError> {
+    shape.validate()?;
+    if shape.c != 1 {
+        return Err(CoreError::Shape(
+            "pattern tracing expects a single input channel".into(),
+        ));
+    }
+    let schedule = DualChannelSchedule::for_shape(shape)?;
+    let p = shape.kh * shape.kw;
+    let prims = shape.m.clamp(1, 4); // keep the dump small
+    let mut chain = Chain::new(prims, p, 1)?;
+    for g in 0..prims {
+        for pe in 0..p {
+            chain.write_weight(g * p + pe, 0, weights.get(g, 0, pe % shape.kh, pe / shape.kh))?;
+        }
+    }
+    chain.latch_all(0)?;
+
+    let mut vcd = VcdWriter::new("chain_nn");
+    let feed_odd = vcd.add_signal("feed_odd_if", 16);
+    let feed_even = vcd.add_signal("feed_even_if", 16);
+    let mut pe_sigs = Vec::new();
+    for i in 0..chain.len() {
+        let odd = vcd.add_signal(&format!("pe{i}_odd_if"), 16);
+        let even = vcd.add_signal(&format!("pe{i}_even_if"), 16);
+        let w = vcd.add_signal(&format!("pe{i}_weight"), 16);
+        let mac = vcd.add_signal(&format!("pe{i}_mac_out"), 32);
+        pe_sigs.push((odd, even, w, mac));
+    }
+
+    let pad = shape.pad as isize;
+    let t_end = schedule.duration() as u64 + 2 * (prims * p) as u64;
+    for t in 1..=t_end {
+        let mut feed = [Fix16::ZERO; 2];
+        if t <= schedule.duration() as u64 {
+            for (lane, px) in schedule.feed(t as usize).iter().enumerate() {
+                if let Some(px) = px {
+                    let row = (band * schedule.rows_per_band() + px.row) as isize - pad;
+                    let col = px.col as isize - pad;
+                    feed[lane] = ifmap.get_padded(0, 0, row, col, Fix16::ZERO);
+                }
+            }
+        }
+        chain.step(t, feed, &schedule);
+        vcd.step(t);
+        vcd.change(feed_odd, feed[0].raw() as u16 as u64);
+        vcd.change(feed_even, feed[1].raw() as u16 as u64);
+        for (i, &(odd, even, w, mac)) in pe_sigs.iter().enumerate() {
+            let pe = chain.pe(i);
+            vcd.change(odd, pe.lane(Lane::Odd).raw() as u16 as u64);
+            vcd.change(even, pe.lane(Lane::Even).raw() as u16 as u64);
+            vcd.change(w, pe.weight().raw() as u16 as u64);
+            vcd.change(mac, pe.mac_out().raw() as u32 as u64);
+        }
+    }
+    Ok(vcd.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let id = VcdWriter::identifier(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id), "identifier collision at {i}");
+        }
+    }
+
+    #[test]
+    fn emits_only_changes() {
+        let mut vcd = VcdWriter::new("t");
+        let s = vcd.add_signal("sig", 8);
+        vcd.step(1);
+        vcd.change(s, 5);
+        vcd.step(2);
+        vcd.change(s, 5); // no change -> no line
+        vcd.step(3);
+        vcd.change(s, 6);
+        let text = vcd.finish();
+        assert_eq!(text.matches("b101 ").count(), 1);
+        assert_eq!(text.matches("b110 ").count(), 1);
+    }
+
+    #[test]
+    fn header_structure() {
+        let mut vcd = VcdWriter::new("top");
+        let _ = vcd.add_signal("a", 16);
+        vcd.step(0);
+        let text = vcd.finish();
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        let defs_end = text.find("$enddefinitions").expect("defs");
+        let var = text.find("$var").expect("var");
+        assert!(var < defs_end, "vars must precede enddefinitions");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first step")]
+    fn late_signal_rejected() {
+        let mut vcd = VcdWriter::new("t");
+        vcd.step(0);
+        let _ = vcd.add_signal("late", 1);
+    }
+
+    #[test]
+    fn pattern_trace_contains_weights_and_activity() {
+        let shape = LayerShape::square(1, 6, 2, 3, 1, 0);
+        let ifmap = Tensor::filled([1, 1, 6, 6], Fix16::from_raw(3));
+        let weights = Tensor::filled([2, 1, 3, 3], Fix16::from_raw(2));
+        let vcd = trace_pattern(&shape, &ifmap, &weights, 0).expect("traces");
+        // 2 primitives x 9 PEs, 4 signals each, plus 2 feeds.
+        assert_eq!(vcd.matches("$var wire").count(), 2 * 9 * 4 + 2);
+        // Weights latched to 2 appear; pixel 3s flow; MACs move.
+        assert!(vcd.contains("pe0_weight"));
+        assert!(vcd.contains("pe17_mac_out"));
+        assert!(vcd.matches('#').count() >= 21); // timeline present
+    }
+
+    #[test]
+    fn multi_channel_rejected() {
+        let shape = LayerShape::square(2, 6, 1, 3, 1, 0);
+        let ifmap = Tensor::filled([1, 2, 6, 6], Fix16::ZERO);
+        let weights = Tensor::filled([1, 2, 3, 3], Fix16::ZERO);
+        assert!(trace_pattern(&shape, &ifmap, &weights, 0).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Table V: comparison with DaDianNao and Eyeriss.
+//!
+//! The paper compares against the two chips' *published* numbers (its
+//! refs \[10\] and \[12\]); we embed the same published specs and add our
+//! modeled Chain-NN row. [`table_five`] regenerates the table, including
+//! the 65→28 nm scaled Eyeriss efficiency from the table's footnote.
+
+use chain_nn_core::ChainConfig;
+use chain_nn_mem::MemoryConfig;
+use chain_nn_nets::zoo;
+
+use crate::area::AreaModel;
+use crate::power::PowerModel;
+use crate::tech::TechNode;
+
+/// One column of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorSpec {
+    /// Design name.
+    pub name: String,
+    /// Technology node.
+    pub tech: TechNode,
+    /// Logic gate count in kGE (`None` where the paper prints N/A).
+    pub gate_count_k: Option<f64>,
+    /// On-chip memory description.
+    pub onchip_memory: String,
+    /// On-chip memory in KB (for derived metrics).
+    pub onchip_memory_kb: f64,
+    /// Parallelism (MAC units), as the paper states it.
+    pub parallelism: String,
+    /// Core clock in MHz.
+    pub freq_mhz: f64,
+    /// Power in watts.
+    pub power_w: f64,
+    /// Peak throughput in GOPS.
+    pub peak_gops: f64,
+}
+
+impl AcceleratorSpec {
+    /// Energy efficiency in GOPS/W (peak over power, the paper's
+    /// convention).
+    pub fn gops_per_watt(&self) -> f64 {
+        self.peak_gops / self.power_w
+    }
+
+    /// Efficiency scaled to `target` with the paper's linear rule.
+    pub fn gops_per_watt_scaled_to(&self, target: &TechNode) -> f64 {
+        self.tech.scale_gops_per_watt(self.gops_per_watt(), target)
+    }
+}
+
+/// DaDianNao's published specs (MICRO'14, one node): the paper's
+/// memory-centric representative.
+pub fn dadiannao() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "DaDianNao [10]".to_owned(),
+        tech: TechNode::st28(),
+        gate_count_k: None,
+        onchip_memory: "36MB eDRAM".to_owned(),
+        onchip_memory_kb: 36.0 * 1024.0,
+        parallelism: "288x16".to_owned(),
+        freq_mhz: 606.0,
+        power_w: 15.97,
+        peak_gops: 5_584.9,
+    }
+}
+
+/// DaDianNao's core-only efficiency quoted in Fig. 10 (3035.3 GOPS/W):
+/// the fraction of its power spent in the processor core (the paper's
+/// pie: 11.52 % core, 88.48 % memory hierarchy).
+pub fn dadiannao_core_gops_per_watt() -> f64 {
+    let spec = dadiannao();
+    spec.peak_gops / (spec.power_w * 0.1152)
+}
+
+/// Eyeriss's published specs (ISSCC'16): the 2D-spatial representative.
+pub fn eyeriss() -> AcceleratorSpec {
+    AcceleratorSpec {
+        name: "Eyeriss [12]".to_owned(),
+        tech: TechNode::tsmc65(),
+        gate_count_k: Some(1_852.0),
+        onchip_memory: "181.5KB SRAM".to_owned(),
+        onchip_memory_kb: 181.5,
+        parallelism: "168".to_owned(),
+        freq_mhz: 250.0,
+        power_w: 0.450,
+        peak_gops: 84.0,
+    }
+}
+
+/// Our modeled Chain-NN column, derived from the area and power models
+/// on the AlexNet workload (batch 4, as Table IV uses).
+pub fn chain_nn() -> AcceleratorSpec {
+    let cfg = ChainConfig::paper_576();
+    let mem = MemoryConfig::paper();
+    let area = AreaModel::new(cfg);
+    let power = PowerModel::new(cfg, mem)
+        .network_power(&zoo::alexnet(), 4)
+        .expect("paper configuration always maps");
+    AcceleratorSpec {
+        name: "Chain-NN (this model)".to_owned(),
+        tech: TechNode::tsmc28(),
+        gate_count_k: Some(area.total_gates() / 1e3),
+        onchip_memory: "352KB SRAM".to_owned(),
+        onchip_memory_kb: area.onchip_memory_bytes(mem.imem_bytes, mem.omem_bytes) as f64
+            / 1024.0,
+        parallelism: cfg.num_pes().to_string(),
+        freq_mhz: cfg.freq_mhz(),
+        power_w: power.breakdown.total_mw() / 1e3,
+        peak_gops: cfg.peak_gops(),
+    }
+}
+
+/// The three columns of Table V.
+pub fn table_five() -> Vec<AcceleratorSpec> {
+    vec![dadiannao(), eyeriss(), chain_nn()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table V bottom row: 349.7 / 245.6 (570.1 scaled) / 1421.0 GOPS/W.
+    #[test]
+    fn published_efficiencies() {
+        assert!((dadiannao().gops_per_watt() - 349.7).abs() < 0.5);
+        assert!((eyeriss().gops_per_watt() - 186.7).abs() < 0.5);
+        // NOTE: the paper prints 245.6 GOPS/W for Eyeriss; 84.0 GOPS /
+        // 0.45 W is 186.7 — the paper evidently used a different power
+        // point (e.g. 342 mW): 84/0.342 = 245.6. Documented in
+        // EXPERIMENTS.md; we keep the published chip specs.
+        let scaled = eyeriss().gops_per_watt_scaled_to(&TechNode::tsmc28());
+        assert!((scaled - 433.5).abs() < 1.0, "scaled {scaled}");
+    }
+
+    /// The headline claim: Chain-NN ≥ 2.5× DaDianNao and ≥ 2.5× the
+    /// 28nm-scaled Eyeriss.
+    #[test]
+    fn chain_nn_wins_by_2_5x_or_more() {
+        let ours = chain_nn();
+        let e = ours.gops_per_watt();
+        assert!(e / dadiannao().gops_per_watt() > 2.5, "vs DaDianNao {e}");
+        let eyeriss28 = eyeriss().gops_per_watt_scaled_to(&TechNode::tsmc28());
+        assert!(e / eyeriss28 > 2.5, "vs scaled Eyeriss {e} / {eyeriss28}");
+    }
+
+    /// Fig. 10: DaDianNao core-only ≈ 3035 GOPS/W beats our core-only —
+    /// Chain-NN spends more in the core to spend far less in memory.
+    #[test]
+    fn dadiannao_core_only_wins_cores() {
+        let dd = dadiannao_core_gops_per_watt();
+        assert!((dd - 3035.3).abs() / 3035.3 < 0.01, "dd core {dd}");
+    }
+
+    /// Table V structure: three designs, Chain-NN matches paper's
+    /// configuration claims.
+    #[test]
+    fn table_five_rows() {
+        let rows = table_five();
+        assert_eq!(rows.len(), 3);
+        let ours = &rows[2];
+        assert_eq!(ours.parallelism, "576");
+        assert_eq!(ours.freq_mhz, 700.0);
+        assert!((ours.peak_gops - 806.4).abs() < 1e-9);
+        let gates = ours.gate_count_k.unwrap();
+        assert!((gates - 3751.0).abs() < 20.0, "gates {gates}");
+        assert!((ours.power_w - 0.5675).abs() / 0.5675 < 0.06);
+        assert!(rows[0].gate_count_k.is_none());
+    }
+}

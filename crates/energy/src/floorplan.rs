@@ -1,0 +1,215 @@
+//! Floorplan and wirelength model: the physical argument for the 1D
+//! chain.
+//!
+//! The paper attributes part of its area/energy win to "simplified data
+//! paths among PEs" (§V.D). This model makes that quantitative: PEs are
+//! placed on a grid — serpentine for the chain, row-major for a 2D
+//! mesh — and the inter-PE wiring each architecture *requires* is summed
+//! (Manhattan length in PE pitches):
+//!
+//! * **1D chain**: every hop connects physical neighbours (pitch 1),
+//!   even at serpentine row turns, so total length ≈ #PEs·width.
+//! * **2D mesh NoC** (Eyeriss class): each PE wires to up to 4
+//!   neighbours *plus* the row/column broadcast and psum trunks.
+//!
+//! Wire capacitance per pitch then converts length into a pJ/transfer
+//! estimate, feeding the taxonomy argument with physics instead of
+//! adjectives.
+
+use chain_nn_core::CoreError;
+
+/// Position of a PE in the floorplan grid (PE pitches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Column.
+    pub x: usize,
+    /// Row.
+    pub y: usize,
+}
+
+/// A rectangular floorplan of `num_pes` PEs, `width` per row.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    width: usize,
+    places: Vec<Placement>,
+    serpentine: bool,
+}
+
+impl Floorplan {
+    /// Serpentine placement: row 0 left→right, row 1 right→left, … so
+    /// consecutive chain indices are always physical neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for zero dimensions.
+    pub fn serpentine(num_pes: usize, width: usize) -> Result<Self, CoreError> {
+        if num_pes == 0 || width == 0 {
+            return Err(CoreError::Config("floorplan dimensions must be non-zero".into()));
+        }
+        let places = (0..num_pes)
+            .map(|i| {
+                let y = i / width;
+                let x = if y.is_multiple_of(2) { i % width } else { width - 1 - i % width };
+                Placement { x, y }
+            })
+            .collect();
+        Ok(Floorplan {
+            width,
+            places,
+            serpentine: true,
+        })
+    }
+
+    /// Plain row-major placement (what a 2D array uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for zero dimensions.
+    pub fn row_major(num_pes: usize, width: usize) -> Result<Self, CoreError> {
+        if num_pes == 0 || width == 0 {
+            return Err(CoreError::Config("floorplan dimensions must be non-zero".into()));
+        }
+        let places = (0..num_pes)
+            .map(|i| Placement {
+                x: i % width,
+                y: i / width,
+            })
+            .collect();
+        Ok(Floorplan {
+            width,
+            places,
+            serpentine: false,
+        })
+    }
+
+    /// Number of PEs.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// True when empty (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// Grid width in PEs.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Placement of PE `i`.
+    pub fn place(&self, i: usize) -> Placement {
+        self.places[i]
+    }
+
+    /// Manhattan distance between two PEs, in pitches.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (pa, pb) = (self.places[a], self.places[b]);
+        pa.x.abs_diff(pb.x) + pa.y.abs_diff(pb.y)
+    }
+
+    /// Total wirelength of the chain's PE-to-PE links (lanes + psum),
+    /// in pitches: the sum over consecutive indices.
+    pub fn chain_wirelength(&self) -> usize {
+        (1..self.len()).map(|i| self.distance(i - 1, i)).sum()
+    }
+
+    /// Total wirelength of a 2D mesh NoC over the same grid: one link to
+    /// the east and one to the south neighbour per PE (the standard mesh
+    /// channel count), in pitches.
+    pub fn mesh_wirelength(&self) -> usize {
+        let rows = self.len().div_ceil(self.width);
+        let mut total = 0usize;
+        for y in 0..rows {
+            let cols = (self.len() - y * self.width).min(self.width);
+            total += cols.saturating_sub(1); // east links
+            if y + 1 < rows {
+                let below = (self.len() - (y + 1) * self.width).min(self.width);
+                total += cols.min(below); // south links
+            }
+        }
+        total
+    }
+
+    /// True if every consecutive chain hop is a physical neighbour.
+    pub fn chain_hops_are_unit(&self) -> bool {
+        (1..self.len()).all(|i| self.distance(i - 1, i) == 1)
+    }
+
+    /// Whether this plan used serpentine ordering.
+    pub fn is_serpentine(&self) -> bool {
+        self.serpentine
+    }
+}
+
+/// Energy per inter-PE transfer given wiring of `pitches` pitches: wire
+/// capacitance scales linearly with length (`pj_per_bit_pitch` ≈
+/// 0.0035 pJ/bit/pitch at 28 nm for a ~60 µm PE pitch).
+pub fn transfer_pj(pitches: f64, bits: u32, pj_per_bit_pitch: f64) -> f64 {
+    pitches * bits as f64 * pj_per_bit_pitch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serpentine_keeps_neighbours_adjacent() {
+        let fp = Floorplan::serpentine(576, 24).unwrap();
+        assert!(fp.chain_hops_are_unit());
+        assert_eq!(fp.chain_wirelength(), 575);
+        assert!(fp.is_serpentine());
+    }
+
+    #[test]
+    fn row_major_chain_pays_row_turns() {
+        let fp = Floorplan::row_major(576, 24).unwrap();
+        assert!(!fp.chain_hops_are_unit());
+        // Each row turn costs width-1 extra pitches.
+        assert_eq!(fp.chain_wirelength(), 575 + 23 * (24 - 1));
+    }
+
+    #[test]
+    fn serpentine_positions() {
+        let fp = Floorplan::serpentine(8, 4).unwrap();
+        assert_eq!(fp.place(3), Placement { x: 3, y: 0 });
+        assert_eq!(fp.place(4), Placement { x: 3, y: 1 }); // turns around
+        assert_eq!(fp.place(7), Placement { x: 0, y: 1 });
+        assert_eq!(fp.distance(3, 4), 1);
+    }
+
+    #[test]
+    fn mesh_needs_more_wire_than_chain() {
+        // Same 576 PEs: the chain wires 575 unit links; a mesh wires
+        // ~2x as many channels.
+        let fp = Floorplan::serpentine(576, 24).unwrap();
+        let mesh = fp.mesh_wirelength();
+        let chain = fp.chain_wirelength();
+        assert!(mesh > 1100, "mesh {mesh}");
+        assert!(mesh as f64 / chain as f64 > 1.9);
+    }
+
+    #[test]
+    fn mesh_wirelength_small_grid() {
+        // 2x2 grid: 2 east + 2 south links.
+        let fp = Floorplan::row_major(4, 2).unwrap();
+        assert_eq!(fp.mesh_wirelength(), 4);
+        // 3x2 ragged: row0 has 2 PEs... 5 PEs width 2 -> rows 2,2,1.
+        let fp = Floorplan::row_major(5, 2).unwrap();
+        assert_eq!(fp.mesh_wirelength(), (1 + 1) + 2 + 1);
+    }
+
+    #[test]
+    fn transfer_energy_scales() {
+        let one = transfer_pj(1.0, 16, 0.0035);
+        let far = transfer_pj(10.0, 16, 0.0035);
+        assert!((far / one - 10.0).abs() < 1e-9);
+        assert!(one > 0.05 && one < 0.06); // 16b neighbour hop ~0.056 pJ
+    }
+
+    #[test]
+    fn invalid_dims_rejected() {
+        assert!(Floorplan::serpentine(0, 4).is_err());
+        assert!(Floorplan::row_major(4, 0).is_err());
+    }
+}

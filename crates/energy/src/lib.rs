@@ -1,0 +1,30 @@
+//! Technology, power and area models — the reproduction's stand-in for
+//! the paper's Design Compiler / Power Compiler / Encounter flow.
+//!
+//! Without the TSMC 28 nm PDK, absolute joules and square microns cannot
+//! be re-derived; instead this crate provides *parameterized architectural
+//! models* whose coefficients are *fitted once* to the paper's reported
+//! numbers (Fig. 8/10, Table V) and cross-checked against public energy
+//! surveys (Horowitz, ISSCC'14 ballpark). Everything that matters for the
+//! paper's claims — breakdown shares, efficiency ratios, scaling
+//! behaviour — derives from the *activity counts* produced by the
+//! simulator and traffic models, not from the fitted constants alone.
+//!
+//! * [`tech`] — technology nodes and the linear GOPS/W scaling the paper
+//!   applies to Eyeriss (65 → 28 nm).
+//! * [`area`] — NAND2-equivalent gate counts per PE component (6.51k
+//!   gates/PE, 3751k total — Fig. 8's caption numbers) and the Eyeriss
+//!   comparison (11.02k gates/PE).
+//! * [`power`] — component power from activity × energy coefficients +
+//!   leakage (Fig. 10's 567.5 mW breakdown).
+//! * [`compare`] — Table V: published DaDianNao/Eyeriss specs vs our
+//!   modeled Chain-NN.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod compare;
+pub mod floorplan;
+pub mod power;
+pub mod tech;

@@ -1,0 +1,130 @@
+//! Technology nodes and scaling.
+
+use std::fmt;
+
+/// A CMOS technology node.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_energy::tech::TechNode;
+/// let tsmc28 = TechNode::tsmc28();
+/// let tsmc65 = TechNode::new("TSMC 65nm", 65.0, 1.0);
+/// // Paper Table V footnote: Eyeriss 245.6 GOPS/W at 65 nm scales to
+/// // 570.1 GOPS/W at 28 nm (linear-in-feature-size scaling).
+/// let scaled = tsmc65.scale_gops_per_watt(245.6, &tsmc28);
+/// assert!((scaled - 570.1).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    name: String,
+    feature_nm: f64,
+    nominal_volts: f64,
+}
+
+impl TechNode {
+    /// Creates a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_nm` or `nominal_volts` is not positive — nodes
+    /// are constructed from literals, not user input.
+    pub fn new(name: &str, feature_nm: f64, nominal_volts: f64) -> Self {
+        assert!(
+            feature_nm > 0.0 && nominal_volts > 0.0,
+            "technology parameters must be positive"
+        );
+        TechNode {
+            name: name.to_owned(),
+            feature_nm,
+            nominal_volts,
+        }
+    }
+
+    /// The paper's implementation node: TSMC 28 nm HPC, 0.9 V typical.
+    pub fn tsmc28() -> Self {
+        TechNode::new("TSMC 28nm", 28.0, 0.9)
+    }
+
+    /// Eyeriss's node: TSMC 65 nm, 1.0 V nominal.
+    pub fn tsmc65() -> Self {
+        TechNode::new("TSMC 65nm", 65.0, 1.0)
+    }
+
+    /// DaDianNao's node: ST 28 nm.
+    pub fn st28() -> Self {
+        TechNode::new("ST 28nm", 28.0, 0.9)
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feature size in nanometres.
+    pub fn feature_nm(&self) -> f64 {
+        self.feature_nm
+    }
+
+    /// Nominal supply voltage.
+    pub fn nominal_volts(&self) -> f64 {
+        self.nominal_volts
+    }
+
+    /// Scales a GOPS/W figure measured on `self` to `target`, using the
+    /// paper's own convention (Table V footnote): efficiency improves
+    /// linearly with feature size.
+    pub fn scale_gops_per_watt(&self, gops_per_watt: f64, target: &TechNode) -> f64 {
+        gops_per_watt * self.feature_nm / target.feature_nm
+    }
+
+    /// Full-scaling energy factor to `target`: capacitance ∝ L and
+    /// energy ∝ C·V², the textbook first-order model — provided for
+    /// sensitivity studies alongside the paper's linear rule.
+    pub fn energy_scale_factor(&self, target: &TechNode) -> f64 {
+        (target.feature_nm / self.feature_nm)
+            * (target.nominal_volts / self.nominal_volts).powi(2)
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} nm, {} V)", self.name, self.feature_nm, self.nominal_volts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_eyeriss_scaling() {
+        let s = TechNode::tsmc65().scale_gops_per_watt(245.6, &TechNode::tsmc28());
+        assert!((s - 570.14).abs() < 0.1, "got {s}");
+    }
+
+    #[test]
+    fn scaling_is_identity_on_same_node() {
+        let n = TechNode::tsmc28();
+        assert_eq!(n.scale_gops_per_watt(100.0, &n.clone()), 100.0);
+        assert_eq!(n.energy_scale_factor(&n.clone()), 1.0);
+    }
+
+    #[test]
+    fn full_scaling_shrinks_energy() {
+        let f = TechNode::tsmc65().energy_scale_factor(&TechNode::tsmc28());
+        // 28/65 · (0.9/1.0)² ≈ 0.349
+        assert!((f - 0.3489).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let _ = TechNode::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert!(TechNode::tsmc28().to_string().contains("28"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The 32-bit partial-sum accumulator of the psum channel.
+
+use std::fmt;
+use std::ops::Add;
+
+use crate::Fix16;
+
+/// Overflow policy of the accumulator adder.
+///
+/// The paper does not state whether the psum adder saturates; real silicon
+/// of this class typically wraps (cheapest) and relies on the quantizer's
+/// range analysis to keep sums in range. Both policies are provided so the
+/// quantization study can measure the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowMode {
+    /// Two's-complement wrapping — the hardware default.
+    #[default]
+    Wrapping,
+    /// Saturate at `i32::MIN`/`i32::MAX`.
+    Saturating,
+}
+
+/// A 32-bit partial sum as carried on the PSum channel between PEs.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_fixed::{Acc32, Fix16};
+/// let acc = Acc32::ZERO
+///     .mac(Fix16::from_raw(100), Fix16::from_raw(30))
+///     .mac(Fix16::from_raw(-5), Fix16::from_raw(7));
+/// assert_eq!(acc.raw(), 100 * 30 - 35);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Acc32(i32);
+
+impl Acc32 {
+    /// The additive identity — the value injected at a primitive's head.
+    pub const ZERO: Acc32 = Acc32(0);
+
+    /// Wraps a raw 32-bit two's-complement accumulator value.
+    pub const fn from_raw(raw: i32) -> Acc32 {
+        Acc32(raw)
+    }
+
+    /// The underlying two's-complement value.
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// One multiply-accumulate step with wrapping accumulation — exactly
+    /// what one PE contributes per cycle.
+    #[must_use]
+    pub const fn mac(self, a: Fix16, b: Fix16) -> Acc32 {
+        Acc32(self.0.wrapping_add(a.widening_mul(b)))
+    }
+
+    /// One multiply-accumulate step under an explicit overflow policy.
+    #[must_use]
+    pub fn mac_with(self, a: Fix16, b: Fix16, mode: OverflowMode) -> Acc32 {
+        let p = a.widening_mul(b);
+        match mode {
+            OverflowMode::Wrapping => Acc32(self.0.wrapping_add(p)),
+            OverflowMode::Saturating => Acc32(self.0.saturating_add(p)),
+        }
+    }
+
+    /// Interprets the accumulator as a real number with `frac_bits`
+    /// fractional bits (products of two Q`m`.`n` words carry `2n`).
+    pub fn to_f32(self, frac_bits: u32) -> f32 {
+        self.0 as f64 as f32 * 2f32.powi(-(frac_bits as i32))
+    }
+
+    /// Narrows to a 16-bit word, arithmetic-shifting right by `shift` and
+    /// saturating — the write-back converter between the psum channel and
+    /// oMemory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 32`.
+    pub fn narrow(self, shift: u32) -> Fix16 {
+        assert!(shift < 32, "narrowing shift {shift} out of range");
+        let shifted = self.0 >> shift;
+        Fix16::from_raw(shifted.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+impl fmt::Display for Acc32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0 as u32)
+    }
+}
+
+impl From<i32> for Acc32 {
+    fn from(raw: i32) -> Acc32 {
+        Acc32(raw)
+    }
+}
+
+impl From<Acc32> for i32 {
+    fn from(x: Acc32) -> i32 {
+        x.0
+    }
+}
+
+impl From<Fix16> for Acc32 {
+    /// Sign-extends a 16-bit word into the accumulator.
+    fn from(x: Fix16) -> Acc32 {
+        Acc32(i32::from(x))
+    }
+}
+
+/// Wrapping addition, matching the 32-bit psum adder.
+impl Add for Acc32 {
+    type Output = Acc32;
+    fn add(self, rhs: Acc32) -> Acc32 {
+        Acc32(self.0.wrapping_add(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_accumulates() {
+        let mut acc = Acc32::ZERO;
+        for i in 1..=10i16 {
+            acc = acc.mac(Fix16::from_raw(i), Fix16::from_raw(i));
+        }
+        assert_eq!(acc.raw(), (1..=10i32).map(|i| i * i).sum::<i32>());
+    }
+
+    #[test]
+    fn saturating_vs_wrapping() {
+        let near_max = Acc32::from_raw(i32::MAX - 10);
+        let a = Fix16::from_raw(100);
+        let b = Fix16::from_raw(100);
+        let wrapped = near_max.mac_with(a, b, OverflowMode::Wrapping);
+        let saturated = near_max.mac_with(a, b, OverflowMode::Saturating);
+        assert!(wrapped.raw() < 0, "wrapping overflow goes negative");
+        assert_eq!(saturated.raw(), i32::MAX);
+    }
+
+    #[test]
+    fn narrow_saturates_and_shifts() {
+        assert_eq!(Acc32::from_raw(1 << 20).narrow(8).raw(), 1 << 12);
+        assert_eq!(Acc32::from_raw(i32::MAX).narrow(0).raw(), i16::MAX);
+        assert_eq!(Acc32::from_raw(i32::MIN).narrow(0).raw(), i16::MIN);
+        assert_eq!(Acc32::from_raw(-256).narrow(8).raw(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn narrow_rejects_bad_shift() {
+        let _ = Acc32::ZERO.narrow(32);
+    }
+
+    #[test]
+    fn to_f32_scaling() {
+        let acc = Acc32::from_raw(1 << 16);
+        assert_eq!(acc.to_f32(16), 1.0);
+        assert_eq!(acc.to_f32(0), 65536.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Acc32::from_raw(-1).to_string(), "0xffffffff");
+    }
+}

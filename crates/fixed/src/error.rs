@@ -1,0 +1,127 @@
+//! Quantization-error metrics for the float-to-fix study.
+//!
+//! The paper validates its RTL against a float-to-fixed simulator on
+//! MNIST/CIFAR-10/AlexNet/VGG-16 (§V.A). These metrics quantify the
+//! float-vs-fixed gap: mean-squared error, maximum absolute error, and
+//! signal-to-quantization-noise ratio (SQNR) in decibels.
+
+/// Summary statistics of the error between a float reference and its
+/// fixed-point reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean squared error.
+    pub mse: f64,
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Signal power (mean of squared reference values).
+    pub signal_power: f64,
+    /// Number of samples compared.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Signal-to-quantization-noise ratio in dB; `f64::INFINITY` when the
+    /// error is exactly zero, `0.0` when the signal itself is zero.
+    pub fn sqnr_db(&self) -> f64 {
+        if self.signal_power == 0.0 {
+            return 0.0;
+        }
+        if self.mse == 0.0 {
+            return f64::INFINITY;
+        }
+        10.0 * (self.signal_power / self.mse).log10()
+    }
+}
+
+/// Compares a float reference against a reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length — comparing tensors of different
+/// shapes is a caller bug, not a data condition.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_fixed::error::compare;
+/// let stats = compare(&[1.0, 2.0], &[1.0, 2.5]);
+/// assert_eq!(stats.max_abs, 0.5);
+/// assert_eq!(stats.count, 2);
+/// ```
+pub fn compare(reference: &[f32], reconstructed: &[f32]) -> ErrorStats {
+    assert_eq!(
+        reference.len(),
+        reconstructed.len(),
+        "error comparison requires equal-length slices"
+    );
+    if reference.is_empty() {
+        return ErrorStats::default();
+    }
+    let n = reference.len() as f64;
+    let mut sq_err = 0f64;
+    let mut max_abs = 0f64;
+    let mut sig = 0f64;
+    for (&r, &q) in reference.iter().zip(reconstructed) {
+        let e = (r as f64) - (q as f64);
+        sq_err += e * e;
+        max_abs = max_abs.max(e.abs());
+        sig += (r as f64) * (r as f64);
+    }
+    ErrorStats {
+        mse: sq_err / n,
+        max_abs,
+        signal_power: sig / n,
+        count: reference.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dequantize_slice, quantize_slice, QFormat};
+
+    #[test]
+    fn zero_error_is_infinite_sqnr() {
+        let s = compare(&[1.0, -2.0], &[1.0, -2.0]);
+        assert_eq!(s.mse, 0.0);
+        assert!(s.sqnr_db().is_infinite());
+    }
+
+    #[test]
+    fn zero_signal_is_zero_sqnr() {
+        let s = compare(&[0.0, 0.0], &[0.1, -0.1]);
+        assert_eq!(s.sqnr_db(), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_default() {
+        assert_eq!(compare(&[], &[]), ErrorStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn more_frac_bits_means_higher_sqnr() {
+        // A deterministic signal in [-1, 1] that no fixed-point grid
+        // represents exactly.
+        let xs: Vec<f32> = (0..512).map(|i| (i as f32 * 0.437_21).sin()).collect();
+        let mut last = -1.0f64;
+        for frac in [4u32, 8, 12, 15] {
+            let fmt = QFormat::new(frac).unwrap();
+            let back = dequantize_slice(&quantize_slice(&xs, fmt), fmt);
+            let sqnr = compare(&xs, &back).sqnr_db();
+            assert!(
+                sqnr > last,
+                "SQNR must improve with precision: {sqnr} !> {last} at {frac} bits"
+            );
+            last = sqnr;
+        }
+        // Rule of thumb: ~6 dB per bit. At 15 fractional bits on a ±1
+        // signal we expect well over 70 dB.
+        assert!(last > 70.0, "Q0.15 SQNR too low: {last}");
+    }
+}

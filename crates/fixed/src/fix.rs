@@ -1,0 +1,182 @@
+//! The 16-bit fixed-point word type.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A raw 16-bit fixed-point word, as carried on the chain's ifmap and
+/// kernel channels.
+///
+/// `Fix16` is deliberately format-free: the hardware shifts bits, and only
+/// the memory-interface converters know the Q-format (see
+/// [`QFormat`](crate::QFormat)). Arithmetic on `Fix16` matches the RTL:
+/// addition/subtraction wrap (two's complement), and multiplication widens
+/// into the 32-bit accumulator via [`Fix16::widening_mul`].
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_fixed::Fix16;
+/// let a = Fix16::from_raw(300);
+/// let b = Fix16::from_raw(-200);
+/// assert_eq!(a.widening_mul(b), -60_000);
+/// assert_eq!((a + b).raw(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fix16(i16);
+
+impl Fix16 {
+    /// The additive identity.
+    pub const ZERO: Fix16 = Fix16(0);
+    /// The most positive word.
+    pub const MAX: Fix16 = Fix16(i16::MAX);
+    /// The most negative word.
+    pub const MIN: Fix16 = Fix16(i16::MIN);
+
+    /// Wraps a raw two's-complement word.
+    pub const fn from_raw(raw: i16) -> Fix16 {
+        Fix16(raw)
+    }
+
+    /// The underlying two's-complement word.
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Full-precision 16×16→32 multiply — the first stage of the PE's MAC.
+    ///
+    /// Never overflows: |i16::MIN|² < 2³¹.
+    pub const fn widening_mul(self, rhs: Fix16) -> i32 {
+        self.0 as i32 * rhs.0 as i32
+    }
+
+    /// Saturating addition (used by converters, not the psum path).
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Fix16) -> Fix16 {
+        Fix16(self.0.saturating_add(rhs.0))
+    }
+
+    /// True if the word is zero — the idle/bubble value on the channels.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Fix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0 as u16)
+    }
+}
+
+impl fmt::LowerHex for Fix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&(self.0 as u16), f)
+    }
+}
+
+impl fmt::UpperHex for Fix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&(self.0 as u16), f)
+    }
+}
+
+impl fmt::Binary for Fix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&(self.0 as u16), f)
+    }
+}
+
+impl fmt::Octal for Fix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&(self.0 as u16), f)
+    }
+}
+
+impl From<i16> for Fix16 {
+    fn from(raw: i16) -> Fix16 {
+        Fix16(raw)
+    }
+}
+
+impl From<Fix16> for i16 {
+    fn from(x: Fix16) -> i16 {
+        x.0
+    }
+}
+
+impl From<Fix16> for i32 {
+    fn from(x: Fix16) -> i32 {
+        x.0 as i32
+    }
+}
+
+/// Wrapping two's-complement addition, matching a 16-bit hardware adder.
+impl Add for Fix16 {
+    type Output = Fix16;
+    fn add(self, rhs: Fix16) -> Fix16 {
+        Fix16(self.0.wrapping_add(rhs.0))
+    }
+}
+
+/// Wrapping two's-complement subtraction.
+impl Sub for Fix16 {
+    type Output = Fix16;
+    fn sub(self, rhs: Fix16) -> Fix16 {
+        Fix16(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+/// Wrapping two's-complement negation.
+impl Neg for Fix16 {
+    type Output = Fix16;
+    fn neg(self) -> Fix16 {
+        Fix16(self.0.wrapping_neg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_mul_extremes() {
+        assert_eq!(
+            Fix16::MIN.widening_mul(Fix16::MIN),
+            (i16::MIN as i32) * (i16::MIN as i32)
+        );
+        assert_eq!(Fix16::MAX.widening_mul(Fix16::ZERO), 0);
+        assert_eq!(Fix16::from_raw(-1).widening_mul(Fix16::from_raw(1)), -1);
+    }
+
+    #[test]
+    fn add_wraps_like_hardware() {
+        assert_eq!((Fix16::MAX + Fix16::from_raw(1)).raw(), i16::MIN);
+        assert_eq!((Fix16::MIN - Fix16::from_raw(1)).raw(), i16::MAX);
+        assert_eq!((-Fix16::MIN).raw(), i16::MIN); // two's complement edge
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(Fix16::MAX.saturating_add(Fix16::from_raw(1)), Fix16::MAX);
+        assert_eq!(
+            Fix16::MIN.saturating_add(Fix16::from_raw(-1)),
+            Fix16::MIN
+        );
+    }
+
+    #[test]
+    fn formatting_nonempty() {
+        let x = Fix16::from_raw(-1);
+        assert_eq!(format!("{x}"), "0xffff");
+        assert_eq!(format!("{x:x}"), "ffff");
+        assert_eq!(format!("{x:b}"), "1111111111111111");
+        assert_eq!(format!("{x:o}"), "177777");
+        assert!(!format!("{x:?}").is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        let x = Fix16::from(-42i16);
+        assert_eq!(i16::from(x), -42);
+        assert_eq!(i32::from(x), -42);
+    }
+}

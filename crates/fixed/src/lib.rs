@@ -1,0 +1,99 @@
+//! 16-bit fixed-point arithmetic and float→fixed quantization.
+//!
+//! Chain-NN's datapath is a 16-bit fixed-point multiply-accumulate (paper
+//! §IV.B: "each PE is in charge of a 16-bit fixed-point MAC operation").
+//! The paper verifies the RTL against a "float-point-to-fix-point simulator"
+//! (§V.A); this crate is that simulator's numerical core:
+//!
+//! * [`QFormat`] — a signed Q-format (integer/fractional bit split) for
+//!   16-bit words, with saturating conversion from `f32` and range fitting.
+//! * [`Fix16`] — a 16-bit fixed-point word as carried on the chain's ifmap
+//!   and kernel channels.
+//! * [`Acc32`] — the 32-bit partial-sum accumulator flowing along the psum
+//!   channel, with both wrapping (hardware-exact) and saturating modes.
+//! * [`quantize_slice`]/[`dequantize_slice`] — bulk conversions.
+//! * [`error`] — SQNR / MSE metrics used by the quantization study.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_fixed::{QFormat, Fix16, Acc32};
+//!
+//! let fmt = QFormat::new(8).unwrap();          // Q7.8: 1 sign, 7 int, 8 frac
+//! let a = fmt.quantize(1.5);
+//! let b = fmt.quantize(-0.25);
+//! let mut acc = Acc32::ZERO;
+//! acc = acc.mac(a, b);
+//! // product is in Q(2·8) = 16 fractional bits
+//! let got = acc.to_f32(2 * fmt.frac_bits());
+//! assert!((got - (1.5 * -0.25)).abs() < 1e-3);
+//! let _ = Fix16::from_raw(42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acc;
+mod fix;
+mod qformat;
+
+pub mod error;
+
+pub use acc::{Acc32, OverflowMode};
+pub use fix::Fix16;
+pub use qformat::{QFormat, QFormatError, RoundMode};
+
+/// Quantizes a slice of `f32` values into raw 16-bit words under `fmt`.
+///
+/// Values outside the representable range saturate to the format limits,
+/// mirroring the saturating converters commonly placed at the accelerator's
+/// memory interface.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_fixed::{QFormat, quantize_slice};
+/// let fmt = QFormat::new(12).unwrap();
+/// let q = quantize_slice(&[0.5, -0.5], fmt);
+/// assert_eq!(q[0].raw(), 2048);
+/// assert_eq!(q[1].raw(), -2048);
+/// ```
+pub fn quantize_slice(data: &[f32], fmt: QFormat) -> Vec<Fix16> {
+    data.iter().map(|&x| fmt.quantize(x)).collect()
+}
+
+/// Converts a slice of fixed-point words back to `f32` under `fmt`.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_fixed::{QFormat, quantize_slice, dequantize_slice};
+/// let fmt = QFormat::new(10).unwrap();
+/// let q = quantize_slice(&[0.25f32, 1.0], fmt);
+/// let back = dequantize_slice(&q, fmt);
+/// assert_eq!(back, vec![0.25, 1.0]);
+/// ```
+pub fn dequantize_slice(data: &[Fix16], fmt: QFormat) -> Vec<f32> {
+    data.iter().map(|&x| fmt.dequantize(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_roundtrip_exact_for_representable() {
+        let fmt = QFormat::new(8).unwrap();
+        let xs = [0.0f32, 1.0, -1.0, 0.5, -127.996_09, 127.996_09];
+        let back = dequantize_slice(&quantize_slice(&xs, fmt), fmt);
+        assert_eq!(&back[..], &xs[..]);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fix16>();
+        assert_send_sync::<QFormat>();
+        assert_send_sync::<Acc32>();
+    }
+}

@@ -1,0 +1,280 @@
+//! Signed Q-format descriptors for 16-bit words.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Fix16;
+
+/// Total word width of the Chain-NN datapath operands, in bits.
+pub const WORD_BITS: u32 = 16;
+
+/// Rounding behaviour applied when converting `f32` to fixed point.
+///
+/// The paper's float-to-fix simulator does not document its rounding; we
+/// default to round-to-nearest (ties away from zero, the behaviour of
+/// `f32::round`), and expose truncation variants for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundMode {
+    /// Round to the nearest representable value, ties away from zero.
+    #[default]
+    Nearest,
+    /// Round toward zero (drop fractional bits of the magnitude).
+    TowardZero,
+    /// Round toward negative infinity (arithmetic shift behaviour).
+    Floor,
+}
+
+/// Error returned when constructing an invalid [`QFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QFormatError {
+    frac_bits: u32,
+}
+
+impl fmt::Display for QFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fractional bit count {} exceeds {} available non-sign bits",
+            self.frac_bits,
+            WORD_BITS - 1
+        )
+    }
+}
+
+impl Error for QFormatError {}
+
+/// A signed 16-bit Q-format: 1 sign bit, `15 - frac_bits` integer bits and
+/// `frac_bits` fractional bits (Q`m`.`n` with `m + n = 15`).
+///
+/// A `QFormat` is the *interpretation* of a [`Fix16`] word; the word itself
+/// is format-free, exactly like the bits on the hardware ifmap channel.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_fixed::QFormat;
+/// let fmt = QFormat::new(8)?;
+/// assert_eq!(fmt.frac_bits(), 8);
+/// assert_eq!(fmt.int_bits(), 7);
+/// assert!((fmt.max_value() - 127.99609375).abs() < 1e-9);
+/// # Ok::<(), chain_nn_fixed::QFormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    frac_bits: u32,
+    round: RoundMode,
+}
+
+impl Default for QFormat {
+    /// Q7.8 — a balanced default for CNN activations.
+    fn default() -> Self {
+        QFormat::new(8).expect("8 fractional bits always valid")
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits(), self.frac_bits)
+    }
+}
+
+impl QFormat {
+    /// Creates a Q-format with `frac_bits` fractional bits and
+    /// round-to-nearest conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QFormatError`] if `frac_bits > 15` (no room for the sign
+    /// bit).
+    pub fn new(frac_bits: u32) -> Result<Self, QFormatError> {
+        if frac_bits > WORD_BITS - 1 {
+            return Err(QFormatError { frac_bits });
+        }
+        Ok(QFormat {
+            frac_bits,
+            round: RoundMode::Nearest,
+        })
+    }
+
+    /// Returns a copy of this format using rounding mode `round`.
+    #[must_use]
+    pub fn with_round_mode(mut self, round: RoundMode) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Number of fractional bits `n` in Q`m`.`n`.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Number of integer (non-sign) bits `m` in Q`m`.`n`.
+    pub fn int_bits(&self) -> u32 {
+        WORD_BITS - 1 - self.frac_bits
+    }
+
+    /// The rounding mode used by [`QFormat::quantize`].
+    pub fn round_mode(&self) -> RoundMode {
+        self.round
+    }
+
+    /// The weight of one least-significant bit: `2^-frac_bits`.
+    pub fn lsb(&self) -> f32 {
+        (self.frac_bits as i32).checked_neg().map_or(1.0, |e| 2f32.powi(e))
+    }
+
+    /// Largest representable value, `(2^15 - 1) · 2^-n`.
+    pub fn max_value(&self) -> f32 {
+        i16::MAX as f32 * self.lsb()
+    }
+
+    /// Smallest (most negative) representable value, `-2^15 · 2^-n`.
+    pub fn min_value(&self) -> f32 {
+        i16::MIN as f32 * self.lsb()
+    }
+
+    /// Converts `x` to fixed point, saturating at the format limits.
+    ///
+    /// NaN converts to zero (a deliberate, documented policy: the hardware
+    /// never sees NaN, so any mapping is acceptable and zero is inert).
+    pub fn quantize(&self, x: f32) -> Fix16 {
+        if x.is_nan() {
+            return Fix16::ZERO;
+        }
+        let scaled = x as f64 * f64::from(self.lsb()).recip();
+        let rounded = match self.round {
+            RoundMode::Nearest => scaled.round(),
+            RoundMode::TowardZero => scaled.trunc(),
+            RoundMode::Floor => scaled.floor(),
+        };
+        let clamped = rounded.clamp(i16::MIN as f64, i16::MAX as f64);
+        Fix16::from_raw(clamped as i16)
+    }
+
+    /// Converts a fixed-point word back to `f32` under this format.
+    pub fn dequantize(&self, x: Fix16) -> f32 {
+        x.raw() as f32 * self.lsb()
+    }
+
+    /// Quantization followed by dequantization — the value the hardware
+    /// actually computes with.
+    pub fn roundtrip(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Picks the Q-format with the most fractional bits that still
+    /// represents every value in `data` without saturating.
+    ///
+    /// This is the per-layer range analysis step of the paper's
+    /// float-to-fix flow. An empty slice yields the maximum-precision
+    /// format Q0.15.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use chain_nn_fixed::QFormat;
+    /// let fmt = QFormat::fit(&[3.7, -1.2, 0.05]);
+    /// assert_eq!(fmt.int_bits(), 2); // needs ±3.7 → 2 integer bits
+    /// ```
+    pub fn fit(data: &[f32]) -> QFormat {
+        let max_abs = data
+            .iter()
+            .filter(|x| x.is_finite())
+            .fold(0f32, |m, &x| m.max(x.abs()));
+        QFormat::fit_range(max_abs)
+    }
+
+    /// Like [`QFormat::fit`], but from a precomputed magnitude bound.
+    pub fn fit_range(max_abs: f32) -> QFormat {
+        let mut frac = WORD_BITS - 1;
+        // Reduce precision until max_abs fits. `max_value` grows by 2x per
+        // dropped fractional bit.
+        while frac > 0 {
+            let candidate = QFormat {
+                frac_bits: frac,
+                round: RoundMode::Nearest,
+            };
+            if max_abs <= candidate.max_value() {
+                return candidate;
+            }
+            frac -= 1;
+        }
+        QFormat {
+            frac_bits: 0,
+            round: RoundMode::Nearest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(QFormat::new(15).is_ok());
+        let err = QFormat::new(16).unwrap_err();
+        assert!(err.to_string().contains("16"));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(QFormat::new(8).unwrap().to_string(), "Q7.8");
+        assert_eq!(QFormat::new(0).unwrap().to_string(), "Q15.0");
+    }
+
+    #[test]
+    fn quantize_exact_values() {
+        let fmt = QFormat::new(8).unwrap();
+        assert_eq!(fmt.quantize(1.0).raw(), 256);
+        assert_eq!(fmt.quantize(-1.0).raw(), -256);
+        assert_eq!(fmt.quantize(0.0).raw(), 0);
+        assert_eq!(fmt.quantize(0.00390625).raw(), 1); // one LSB
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let fmt = QFormat::new(8).unwrap();
+        assert_eq!(fmt.quantize(1e9).raw(), i16::MAX);
+        assert_eq!(fmt.quantize(-1e9).raw(), i16::MIN);
+        assert_eq!(fmt.quantize(f32::INFINITY).raw(), i16::MAX);
+        assert_eq!(fmt.quantize(f32::NEG_INFINITY).raw(), i16::MIN);
+        assert_eq!(fmt.quantize(f32::NAN).raw(), 0);
+    }
+
+    #[test]
+    fn round_modes_differ() {
+        let near = QFormat::new(0).unwrap();
+        let zero = near.with_round_mode(RoundMode::TowardZero);
+        let floor = near.with_round_mode(RoundMode::Floor);
+        assert_eq!(near.quantize(1.5).raw(), 2);
+        assert_eq!(zero.quantize(1.5).raw(), 1);
+        assert_eq!(floor.quantize(-1.5).raw(), -2);
+        assert_eq!(zero.quantize(-1.5).raw(), -1);
+    }
+
+    #[test]
+    fn fit_picks_tightest_format() {
+        // 0.9 fits in Q0.15
+        assert_eq!(QFormat::fit(&[0.9]).frac_bits(), 15);
+        // 1.5 needs 1 integer bit
+        assert_eq!(QFormat::fit(&[1.5]).frac_bits(), 14);
+        // 100 needs 7 integer bits → Q7.8
+        assert_eq!(QFormat::fit(&[100.0]).frac_bits(), 8);
+        // empty → max precision
+        assert_eq!(QFormat::fit(&[]).frac_bits(), 15);
+        // non-finite values are ignored
+        assert_eq!(QFormat::fit(&[f32::NAN, 0.5]).frac_bits(), 15);
+    }
+
+    #[test]
+    fn lsb_and_limits_consistent() {
+        for frac in 0..=15 {
+            let fmt = QFormat::new(frac).unwrap();
+            let max = fmt.max_value();
+            assert_eq!(fmt.quantize(max).raw(), i16::MAX);
+            // One LSB above max saturates rather than wraps.
+            assert_eq!(fmt.quantize(max + fmt.lsb()).raw(), i16::MAX);
+        }
+    }
+}

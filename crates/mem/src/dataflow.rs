@@ -1,0 +1,188 @@
+//! The Fig. 7 loop-nest tiling plan.
+//!
+//! ```text
+//! for (m = 0; m < M; m += Tm)        // OuterTile: ofmap tiles
+//!   for (n = 0; n < N; n++)          // batch
+//!     for (row = 0; row < H; row += Th)  // InnerTile: row bands
+//!       for (m' = mm; m' < mm+Tm; m'++)  // ParaTile: primitives
+//!         for (c = 0; c < C; c++)
+//!           ofmaps[n][m'] += conv(ifmaps[n][c], kernel[m'][c])
+//! ```
+//!
+//! The plan decides, from the chain mapping and the memory capacities:
+//! `Tm` (primitives in flight), kernel tiles (when C exceeds the kMemory
+//! depth), row bands, and — the decision that dominates DRAM traffic —
+//! whether the ifmaps must be re-fetched for every ofmap tile. Ifmaps can
+//! stay resident only if *all* ofmap tiles' kernels fit in kMemory at
+//! once (`C · m_tiles ≤ depth`); otherwise each kernel reload forces a
+//! fresh pass over the ifmaps. This single criterion reproduces the
+//! paper's Table IV DRAM column for AlexNet conv2–conv5 (see
+//! EXPERIMENTS.md).
+
+use chain_nn_core::{ChainConfig, CoreError, KernelMapping, LayerShape};
+use chain_nn_nets::ConvLayerSpec;
+
+use crate::MemoryConfig;
+
+/// The tiling plan for one layer group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingPlan {
+    /// Primitives working in parallel (ParaTile width). May be smaller
+    /// than the chain provides when oMemory cannot hold one row band of
+    /// psums per primitive.
+    pub para_tile: usize,
+    /// Ofmap tiles (`⌈M/para_tile⌉`, the OuterTile count).
+    pub m_tiles: usize,
+    /// Kernel tiles per ofmap tile (`⌈C/kmemory_depth⌉`).
+    pub c_tiles: usize,
+    /// Row bands per (tile, channel) pass (`⌈E/K⌉`).
+    pub bands: usize,
+    /// True if the whole layer's kernels fit in kMemory simultaneously,
+    /// letting ifmaps stream from DRAM once per image.
+    pub ifmap_resident: bool,
+    /// How many times each ifmap pixel crosses DRAM→iMemory per image.
+    pub ifmap_dram_passes: usize,
+    /// True if one row band of psums per primitive fits in oMemory.
+    /// Because the InnerTile row loop sits *outside* the channel loop
+    /// (Fig. 7), this — not the whole E×E map — is the oMemory working
+    /// set. If even one primitive's band does not fit, psums spill to
+    /// DRAM.
+    pub psums_fit_omem: bool,
+}
+
+/// Computes the tiling plan for one layer group.
+///
+/// # Errors
+///
+/// Propagates mapping errors ([`CoreError::KernelTooLargeForChain`]) and
+/// shape validation failures.
+pub fn plan_group(
+    shape: &LayerShape,
+    chain: &ChainConfig,
+    mem: &MemoryConfig,
+) -> Result<TilingPlan, CoreError> {
+    shape.validate()?;
+    let mapping = KernelMapping::new(chain.num_pes(), shape.kh, shape.kw)?;
+    // oMemory must hold one row band of psums (kh × out_w words) per
+    // primitive in flight; shrink the ParaTile if it cannot.
+    let band_words = shape.kh * shape.out_w();
+    let omem_words = mem.omem_bytes / mem.word_bytes;
+    let psums_fit_omem = band_words <= omem_words;
+    let para_cap = (omem_words / band_words.max(1)).max(1);
+    let para_tile = mapping.num_primitives().min(para_cap);
+    let m_tiles = shape.m.div_ceil(para_tile);
+    let c_tiles = shape.c.div_ceil(chain.kmemory_depth());
+    let bands = shape.out_h().div_ceil(shape.kh);
+    // All kernels resident ⇔ every (m_tile, c) weight has a slot.
+    let ifmap_resident = shape
+        .c
+        .checked_mul(m_tiles)
+        .is_some_and(|slots| slots <= chain.kmemory_depth());
+    let ifmap_dram_passes = if ifmap_resident { 1 } else { m_tiles };
+    Ok(TilingPlan {
+        para_tile,
+        m_tiles,
+        c_tiles,
+        bands,
+        ifmap_resident,
+        ifmap_dram_passes,
+        psums_fit_omem,
+    })
+}
+
+/// Computes the per-group plans of a (possibly grouped) network layer.
+///
+/// # Errors
+///
+/// Propagates [`plan_group`] errors.
+pub fn plan_layer(
+    spec: &ConvLayerSpec,
+    chain: &ChainConfig,
+    mem: &MemoryConfig,
+) -> Result<Vec<TilingPlan>, CoreError> {
+    (0..spec.groups())
+        .map(|g| plan_group(&LayerShape::from_spec_group(spec, g), chain, mem))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_nn_nets::zoo;
+
+    fn paper() -> (ChainConfig, MemoryConfig) {
+        (ChainConfig::paper_576(), MemoryConfig::paper())
+    }
+
+    #[test]
+    fn alexnet_plans_match_hand_analysis() {
+        let (chain, mem) = paper();
+        let alex = zoo::alexnet();
+        // conv1: 4 primitives (K=11), 24 tiles, kernels all fit (3·24=72
+        // slots ≤ 256) -> ifmaps resident.
+        let p1 = &plan_layer(&alex.layers()[0], &chain, &mem).unwrap()[0];
+        assert_eq!(p1.para_tile, 4);
+        assert_eq!(p1.m_tiles, 24);
+        assert!(p1.ifmap_resident);
+        assert_eq!(p1.ifmap_dram_passes, 1);
+        assert!(p1.psums_fit_omem); // 4·55·55·2 B = 24.2 KB ≤ 25 KB
+
+        // conv2 (per group): 23 primitives, 6 tiles, 48·6=288 > 256 ->
+        // ifmaps reloaded per tile.
+        let p2 = &plan_layer(&alex.layers()[1], &chain, &mem).unwrap()[0];
+        assert_eq!(p2.para_tile, 23);
+        assert_eq!(p2.m_tiles, 6);
+        assert!(!p2.ifmap_resident);
+        assert_eq!(p2.ifmap_dram_passes, 6);
+
+        // conv3: 64 primitives, 6 tiles, 256·6 slots >> 256.
+        let p3 = &plan_layer(&alex.layers()[2], &chain, &mem).unwrap()[0];
+        assert_eq!(p3.para_tile, 64);
+        assert_eq!(p3.m_tiles, 6);
+        assert_eq!(p3.c_tiles, 1); // C=256 exactly fits the depth
+        assert_eq!(p3.bands, 5);
+        assert!(!p3.ifmap_resident);
+    }
+
+    #[test]
+    fn vgg_deep_layers_need_kernel_tiles() {
+        let (chain, mem) = paper();
+        let vgg = zoo::vgg16();
+        // conv5_3: C=512 -> 2 kernel tiles at depth 256.
+        let p = &plan_layer(vgg.layer("conv5_3").unwrap(), &chain, &mem).unwrap()[0];
+        assert_eq!(p.c_tiles, 2);
+    }
+
+    #[test]
+    fn omemory_pressure_shrinks_para_tile() {
+        let chain = ChainConfig::paper_576();
+        // VGG conv1_1: band = 3·224 = 672 words; 25 KB holds 12800 words
+        // -> at most 19 of the 64 available primitives in flight.
+        let vgg = zoo::vgg16();
+        let p = &plan_layer(&vgg.layers()[0], &chain, &MemoryConfig::paper()).unwrap()[0];
+        assert_eq!(p.para_tile, 19);
+        assert!(p.psums_fit_omem);
+        assert_eq!(p.m_tiles, 64usize.div_ceil(19));
+    }
+
+    #[test]
+    fn psum_spill_detected_for_tiny_omemory() {
+        let chain = ChainConfig::paper_576();
+        let mem = MemoryConfig {
+            // conv3 band = 3·13 = 39 words = 78 B; give it less.
+            omem_bytes: 64,
+            ..MemoryConfig::paper()
+        };
+        let alex = zoo::alexnet();
+        let p = &plan_layer(&alex.layers()[2], &chain, &mem).unwrap()[0];
+        assert!(!p.psums_fit_omem);
+        assert_eq!(p.para_tile, 1);
+    }
+
+    #[test]
+    fn grouped_layer_has_one_plan_per_group() {
+        let (chain, mem) = paper();
+        let alex = zoo::alexnet();
+        assert_eq!(plan_layer(&alex.layers()[3], &chain, &mem).unwrap().len(), 2);
+    }
+}

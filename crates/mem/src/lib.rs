@@ -1,0 +1,78 @@
+//! Memory hierarchy models and the dataflow traffic engine (paper §IV.D,
+//! Fig. 7, Table IV).
+//!
+//! Chain-NN's hierarchy is: off-chip DRAM → on-chip `iMemory` (32 KB,
+//! ifmaps) and `oMemory` (25 KB, partial sums) → per-PE `kMemory`
+//! register files (295 KB total, stationary kernels). This crate builds:
+//!
+//! * [`sram`] — counting models of the SRAMs and DRAM.
+//! * [`dataflow`] — the Fig. 7 loop-nest tiling plan: how many ofmap
+//!   tiles, kernel tiles and row bands a layer needs, and whether ifmaps
+//!   can stay resident across ofmap tiles (the kernel-fit criterion that
+//!   turns out to predict the paper's DRAM column).
+//! * [`traffic`] — the per-level byte counts of Table IV.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_core::ChainConfig;
+//! use chain_nn_mem::{MemoryConfig, traffic::TrafficModel};
+//! use chain_nn_nets::zoo;
+//!
+//! let model = TrafficModel::new(ChainConfig::paper_576(), MemoryConfig::paper());
+//! let alex = zoo::alexnet();
+//! // Paper Table IV, conv3 oMemory: 265.8 MB at batch 4.
+//! let t = model.layer_traffic(&alex.layers()[2], 4).unwrap();
+//! assert_eq!(t.omem_bytes, 265_814_016);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod sram;
+pub mod traffic;
+pub mod walker;
+
+/// On-chip memory capacities (paper §V.B: 32 KB iMemory, 25 KB oMemory,
+/// 295 KB kMemory distributed into the PEs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// iMemory capacity in bytes.
+    pub imem_bytes: usize,
+    /// oMemory capacity in bytes.
+    pub omem_bytes: usize,
+    /// Bytes per operand word (16-bit fixed point → 2).
+    pub word_bytes: usize,
+}
+
+impl MemoryConfig {
+    /// The paper's instance: 32 KB + 25 KB with 16-bit words.
+    pub fn paper() -> Self {
+        MemoryConfig {
+            imem_bytes: 32 * 1024,
+            omem_bytes: 25 * 1024,
+            word_bytes: 2,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        let m = MemoryConfig::paper();
+        assert_eq!(m.imem_bytes, 32_768);
+        assert_eq!(m.omem_bytes, 25_600);
+        assert_eq!(m.word_bytes, 2);
+        assert_eq!(m, MemoryConfig::default());
+    }
+}

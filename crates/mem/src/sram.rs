@@ -1,0 +1,192 @@
+//! Counting models of on-chip SRAMs and off-chip DRAM.
+//!
+//! These are *architectural* memory models: they track capacity and
+//! access counts (the inputs to the energy model), not contents — data
+//! correctness is the chain simulator's job.
+
+use std::fmt;
+
+/// Access counters shared by all memory models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounters {
+    /// Number of read accesses.
+    pub reads: u64,
+    /// Number of write accesses.
+    pub writes: u64,
+}
+
+impl AccessCounters {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total traffic in bytes given a word size.
+    pub fn bytes(&self, word_bytes: usize) -> u64 {
+        self.total() * word_bytes as u64
+    }
+}
+
+/// A single-level on-chip SRAM with capacity tracking.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_mem::sram::Sram;
+/// let mut m = Sram::new("iMemory", 32 * 1024, 2);
+/// m.read(4);
+/// m.write(2);
+/// assert_eq!(m.counters().bytes(2), 12);
+/// assert!(m.fits(16_000));
+/// assert!(!m.fits(17_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sram {
+    name: &'static str,
+    capacity_bytes: usize,
+    word_bytes: usize,
+    counters: AccessCounters,
+}
+
+impl Sram {
+    /// Creates an SRAM model named `name` with `capacity_bytes` capacity
+    /// and `word_bytes`-sized words.
+    pub fn new(name: &'static str, capacity_bytes: usize, word_bytes: usize) -> Self {
+        Sram {
+            name,
+            capacity_bytes,
+            word_bytes,
+            counters: AccessCounters::default(),
+        }
+    }
+
+    /// The memory's name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_bytes / self.word_bytes
+    }
+
+    /// True if `words` words fit.
+    pub fn fits(&self, words: usize) -> bool {
+        words <= self.capacity_words()
+    }
+
+    /// Records `n` word reads.
+    pub fn read(&mut self, n: u64) {
+        self.counters.reads += n;
+    }
+
+    /// Records `n` word writes.
+    pub fn write(&mut self, n: u64) {
+        self.counters.writes += n;
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    /// Clears the counters (capacity unchanged).
+    pub fn reset(&mut self) {
+        self.counters = AccessCounters::default();
+    }
+}
+
+impl fmt::Display for Sram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} KB, {} reads / {} writes",
+            self.name,
+            self.capacity_bytes / 1024,
+            self.counters.reads,
+            self.counters.writes
+        )
+    }
+}
+
+/// Off-chip DRAM: unbounded capacity, counted traffic.
+#[derive(Debug, Clone, Default)]
+pub struct Dram {
+    counters: AccessCounters,
+}
+
+impl Dram {
+    /// Creates a DRAM model with zeroed counters.
+    pub fn new() -> Self {
+        Dram::default()
+    }
+
+    /// Records `n` word reads.
+    pub fn read(&mut self, n: u64) {
+        self.counters.reads += n;
+    }
+
+    /// Records `n` word writes.
+    pub fn write(&mut self, n: u64) {
+        self.counters.writes += n;
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    /// Clears the counters.
+    pub fn reset(&mut self) {
+        self.counters = AccessCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Sram::new("oMemory", 25 * 1024, 2);
+        m.read(10);
+        m.write(5);
+        m.read(1);
+        assert_eq!(m.counters().reads, 11);
+        assert_eq!(m.counters().writes, 5);
+        assert_eq!(m.counters().total(), 16);
+        assert_eq!(m.counters().bytes(2), 32);
+        m.reset();
+        assert_eq!(m.counters().total(), 0);
+        assert_eq!(m.capacity_bytes(), 25_600);
+    }
+
+    #[test]
+    fn capacity_in_words() {
+        let m = Sram::new("x", 100, 2);
+        assert_eq!(m.capacity_words(), 50);
+        assert!(m.fits(50));
+        assert!(!m.fits(51));
+    }
+
+    #[test]
+    fn dram_counts() {
+        let mut d = Dram::new();
+        d.read(7);
+        d.write(3);
+        assert_eq!(d.counters().bytes(2), 20);
+        d.reset();
+        assert_eq!(d.counters().total(), 0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let m = Sram::new("iMemory", 32 * 1024, 2);
+        assert!(m.to_string().contains("iMemory"));
+    }
+}

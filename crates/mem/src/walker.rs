@@ -1,0 +1,212 @@
+//! Event-ordered walk of the Fig. 7 loop nest over the memory hierarchy.
+//!
+//! Where [`traffic`](crate::traffic) computes closed-form byte counts,
+//! the walker *executes* the tiling plan step by step — ofmap tile →
+//! kernel tile → channel → row band — driving the [`Sram`]/[`Dram`]
+//! counter models in program order. It produces the same totals (tested
+//! against each other) plus information only an ordered walk can give:
+//! per-phase bandwidth demand, which the paper's "invariant input
+//! bandwidth" claim is about.
+
+use chain_nn_core::perf::{CycleModel, PerfModel};
+use chain_nn_core::{ChainConfig, CoreError, LayerShape};
+use chain_nn_nets::ConvLayerSpec;
+
+use crate::dataflow::plan_group;
+use crate::sram::{Dram, Sram};
+use crate::MemoryConfig;
+
+/// The hierarchy state after walking a layer.
+#[derive(Debug, Clone)]
+pub struct HierarchyWalk {
+    /// iMemory model with accumulated counters.
+    pub imem: Sram,
+    /// oMemory model with accumulated counters.
+    pub omem: Sram,
+    /// Off-chip DRAM counters.
+    pub dram: Dram,
+    /// kMemory (distributed RF) read count.
+    pub kmem_reads: u64,
+    /// Streaming cycles of the walked layer (strict model), for
+    /// bandwidth figures.
+    pub stream_cycles: f64,
+}
+
+impl HierarchyWalk {
+    /// Average iMemory read bandwidth while streaming, in words/cycle —
+    /// the paper's "invariant input bandwidth" is ≤ 2 regardless of K.
+    pub fn imem_words_per_cycle(&self) -> f64 {
+        if self.stream_cycles == 0.0 {
+            return 0.0;
+        }
+        self.imem.counters().reads as f64 / self.stream_cycles
+    }
+}
+
+/// Walks one layer at batch size `batch` through the hierarchy.
+///
+/// # Errors
+///
+/// Propagates planning and mapping errors.
+pub fn walk_layer(
+    spec: &ConvLayerSpec,
+    chain: &ChainConfig,
+    mem: &MemoryConfig,
+    batch: usize,
+) -> Result<HierarchyWalk, CoreError> {
+    let mut imem = Sram::new("iMemory", mem.imem_bytes, mem.word_bytes);
+    let mut omem = Sram::new("oMemory", mem.omem_bytes, mem.word_bytes);
+    let mut dram = Dram::new();
+    let mut kmem_reads = 0u64;
+
+    // Kernels cross DRAM once per batch.
+    dram.read(spec.weights());
+
+    for g in 0..spec.groups() {
+        let shape = LayerShape::from_spec_group(spec, g);
+        let plan = plan_group(&shape, chain, mem)?;
+        let pattern_pixels = ((2 * shape.kh - 1) * shape.padded_w()) as u64;
+        let band_rows = shape.kh;
+        for _n in 0..batch {
+            for m_tile in 0..plan.m_tiles {
+                let prims = plan
+                    .para_tile
+                    .min(shape.m - m_tile * plan.para_tile);
+                if !plan.ifmap_resident || m_tile == 0 {
+                    // Ifmaps cross DRAM for this tile.
+                    dram.read((shape.c * shape.h * shape.w) as u64);
+                }
+                for ct in 0..plan.c_tiles {
+                    let channels = chain
+                        .kmemory_depth()
+                        .min(shape.c - ct * chain.kmemory_depth());
+                    for _c in 0..channels {
+                        for band in 0..plan.bands {
+                            // Stream one pattern from iMemory.
+                            imem.read(pattern_pixels);
+                            // Every active PE latches its weight once.
+                            kmem_reads += (prims * shape.kh * shape.kw) as u64;
+                            // Accumulate the band's outputs (RMW).
+                            let rows = band_rows.min(shape.out_h() - band * band_rows);
+                            let outs = (prims * rows * shape.out_w()) as u64;
+                            omem.read(outs);
+                            omem.write(outs);
+                        }
+                    }
+                }
+                // Finished tile: write its ofmaps back to DRAM.
+                dram.write((prims * shape.out_h() * shape.out_w()) as u64);
+            }
+        }
+    }
+
+    let stream_cycles = PerfModel::new(*chain)
+        .layer(spec, CycleModel::Strict)?
+        .stream_cycles
+        * batch as f64;
+    Ok(HierarchyWalk {
+        imem,
+        omem,
+        dram,
+        kmem_reads,
+        stream_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_nn_nets::zoo;
+
+    fn walk(spec: &ConvLayerSpec, batch: usize) -> HierarchyWalk {
+        walk_layer(
+            spec,
+            &ChainConfig::paper_576(),
+            &MemoryConfig::paper(),
+            batch,
+        )
+        .expect("walk succeeds")
+    }
+
+    /// The walker's oMemory accesses equal the closed form exactly —
+    /// including partial last bands and partial ofmap tiles.
+    #[test]
+    fn omem_matches_closed_form() {
+        let alex = zoo::alexnet();
+        for spec in &alex.layers()[1..] {
+            let w = walk(spec, 2);
+            let expect = 2
+                * 2u64
+                * spec.m() as u64
+                * (spec.out_h() * spec.out_w()) as u64
+                * spec.c_per_group() as u64;
+            assert_eq!(w.omem.counters().total(), expect, "{}", spec.name());
+        }
+    }
+
+    /// Input bandwidth is invariant in K and ≤ 2 words/cycle — paper
+    /// §IV.B's core claim, measured across kernel sizes.
+    #[test]
+    fn imem_bandwidth_invariant_in_k() {
+        for (k, c, m, h) in [(3usize, 8usize, 16usize, 27usize), (5, 8, 16, 27), (7, 8, 16, 29)] {
+            let spec = ConvLayerSpec::square("t", c, h, k, 1, k / 2, m).expect("spec");
+            let w = walk(&spec, 1);
+            let bw = w.imem_words_per_cycle();
+            assert!(
+                bw > 1.5 && bw <= 2.0,
+                "K={k}: bandwidth {bw} words/cycle"
+            );
+        }
+    }
+
+    /// DRAM ifmap passes follow the kernel-fit criterion (conv3 reloads
+    /// 6x, conv1 once), matching the analytic model's DRAM column.
+    #[test]
+    fn dram_matches_traffic_model() {
+        use crate::traffic::TrafficModel;
+        let model = TrafficModel::new(ChainConfig::paper_576(), MemoryConfig::paper());
+        let alex = zoo::alexnet();
+        for spec in alex.layers() {
+            if spec.stride() != 1 {
+                continue; // walker streams stride-1 patterns only
+            }
+            let w = walk(spec, 4);
+            let t = model.layer_traffic(spec, 4).expect("traffic");
+            let walked = w.dram.counters().bytes(2);
+            let analytic = t.dram_bytes;
+            let ratio = walked as f64 / analytic as f64;
+            assert!(
+                (0.99..=1.01).contains(&ratio),
+                "{}: walked {walked} vs analytic {analytic}",
+                spec.name()
+            );
+        }
+    }
+
+    /// kMemory latches: one per active PE per pattern, summed over the
+    /// whole walk.
+    #[test]
+    fn kmem_reads_counted_per_pattern() {
+        let spec = ConvLayerSpec::square("t", 4, 13, 3, 1, 1, 64).expect("spec");
+        let w = walk(&spec, 1);
+        // 64 ofmaps on 64 primitives -> 1 tile; 4 channels x 5 bands.
+        assert_eq!(w.kmem_reads, (64 * 9) as u64 * 4 * 5);
+    }
+
+    /// Larger batches scale streaming linearly but weights only once.
+    #[test]
+    fn batch_scaling() {
+        let spec = ConvLayerSpec::square("t", 4, 13, 3, 1, 1, 8).expect("spec");
+        let w1 = walk(&spec, 1);
+        let w4 = walk(&spec, 4);
+        assert_eq!(
+            w4.imem.counters().reads,
+            4 * w1.imem.counters().reads
+        );
+        let weight_words = spec.weights();
+        assert_eq!(
+            w4.dram.counters().reads - weight_words,
+            4 * (w1.dram.counters().reads - weight_words)
+        );
+    }
+}

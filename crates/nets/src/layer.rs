@@ -1,0 +1,330 @@
+//! Convolutional-layer geometry (Table I of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use chain_nn_tensor::conv::ConvGeometry;
+
+/// Error produced when a layer specification is internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerSpecError {
+    /// A structural parameter (C, M, H, W, K, stride, groups) was zero.
+    ZeroParam(&'static str),
+    /// The kernel does not fit the padded input.
+    KernelTooLarge {
+        /// Padded input extent.
+        padded: usize,
+        /// Kernel extent.
+        k: usize,
+    },
+    /// C or M is not divisible by the group count.
+    BadGrouping {
+        /// Input channels.
+        c: usize,
+        /// Output channels.
+        m: usize,
+        /// Groups.
+        groups: usize,
+    },
+}
+
+impl fmt::Display for LayerSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerSpecError::ZeroParam(p) => write!(f, "layer parameter {p} must be non-zero"),
+            LayerSpecError::KernelTooLarge { padded, k } => {
+                write!(f, "kernel {k} exceeds padded input extent {padded}")
+            }
+            LayerSpecError::BadGrouping { c, m, groups } => {
+                write!(f, "groups={groups} does not divide C={c} and M={m}")
+            }
+        }
+    }
+}
+
+impl Error for LayerSpecError {}
+
+/// Geometry of one convolutional layer, using the paper's Table I
+/// notation: C input channels, M output channels, H×W input maps, K×K
+/// kernels — extended with stride, padding and AlexNet-style channel
+/// groups.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_nets::ConvLayerSpec;
+/// let conv1 = ConvLayerSpec::named("conv1", 3, 227, 227, 11, 4, 0, 96, 1).unwrap();
+/// assert_eq!(conv1.out_h(), 55);
+/// assert_eq!(conv1.macs(), 105_415_200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvLayerSpec {
+    name: String,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    m: usize,
+    groups: usize,
+}
+
+impl ConvLayerSpec {
+    /// Builds and validates a named layer spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayerSpecError`] for zero parameters, kernels larger
+    /// than the padded input, or group counts that do not divide C and M.
+    #[allow(clippy::too_many_arguments)]
+    pub fn named(
+        name: &str,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        m: usize,
+        groups: usize,
+    ) -> Result<Self, LayerSpecError> {
+        for (v, n) in [
+            (c, "C"),
+            (h, "H"),
+            (w, "W"),
+            (k, "K"),
+            (stride, "stride"),
+            (m, "M"),
+            (groups, "groups"),
+        ] {
+            if v == 0 {
+                return Err(LayerSpecError::ZeroParam(n));
+            }
+        }
+        if k > h + 2 * pad || k > w + 2 * pad {
+            return Err(LayerSpecError::KernelTooLarge {
+                padded: (h + 2 * pad).min(w + 2 * pad),
+                k,
+            });
+        }
+        if !c.is_multiple_of(groups) || !m.is_multiple_of(groups) {
+            return Err(LayerSpecError::BadGrouping { c, m, groups });
+        }
+        Ok(ConvLayerSpec {
+            name: name.to_owned(),
+            c,
+            h,
+            w,
+            k,
+            stride,
+            pad,
+            m,
+            groups,
+        })
+    }
+
+    /// Convenience constructor for square inputs without groups.
+    pub fn square(
+        name: &str,
+        c: usize,
+        h: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        m: usize,
+    ) -> Result<Self, LayerSpecError> {
+        Self::named(name, c, h, h, k, stride, pad, m, 1)
+    }
+
+    /// Layer name, e.g. `"conv3"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input channels C (total, across groups).
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Input height H.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Input width W.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Kernel extent K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Output channels M (total, across groups).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Channel groups G.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Input channels per group.
+    pub fn c_per_group(&self) -> usize {
+        self.c / self.groups
+    }
+
+    /// Output channels per group.
+    pub fn m_per_group(&self) -> usize {
+        self.m / self.groups
+    }
+
+    /// The layer's [`ConvGeometry`].
+    pub fn geometry(&self) -> ConvGeometry {
+        ConvGeometry::new(self.k, self.stride, self.pad)
+            .expect("validated at construction")
+    }
+
+    /// Output map height E (the paper's E).
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output map width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Multiply-accumulate operations per image:
+    /// `M · E_h · E_w · (C/G) · K²`.
+    pub fn macs(&self) -> u64 {
+        self.m as u64
+            * self.out_h() as u64
+            * self.out_w() as u64
+            * self.c_per_group() as u64
+            * (self.k * self.k) as u64
+    }
+
+    /// Arithmetic operations per image, counting each MAC as 2 ops (the
+    /// paper's GOPS convention).
+    pub fn ops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Number of kernel weights: `M · (C/G) · K²`.
+    pub fn weights(&self) -> u64 {
+        self.m as u64 * self.c_per_group() as u64 * (self.k * self.k) as u64
+    }
+
+    /// Input feature-map elements per image (unpadded).
+    pub fn ifmap_elems(&self) -> u64 {
+        self.c as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Output feature-map elements per image.
+    pub fn ofmap_elems(&self) -> u64 {
+        self.m as u64 * self.out_h() as u64 * self.out_w() as u64
+    }
+
+    /// Padded input width, the extent actually streamed by the chain.
+    pub fn padded_w(&self) -> usize {
+        self.w + 2 * self.pad
+    }
+
+    /// Padded input height.
+    pub fn padded_h(&self) -> usize {
+        self.h + 2 * self.pad
+    }
+
+    /// Returns a copy renamed to `name` — useful when instantiating a
+    /// template layer at several points of a network.
+    #[must_use]
+    pub fn renamed(&self, name: &str) -> Self {
+        let mut s = self.clone();
+        s.name = name.to_owned();
+        s
+    }
+}
+
+impl fmt::Display for ConvLayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: C={} {}x{} K={} s={} p={} M={}",
+            self.name, self.c, self.h, self.w, self.k, self.stride, self.pad, self.m
+        )?;
+        if self.groups > 1 {
+            write!(f, " g={}", self.groups)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_numbers() {
+        let l = ConvLayerSpec::named("conv1", 3, 227, 227, 11, 4, 0, 96, 1).unwrap();
+        assert_eq!(l.out_h(), 55);
+        assert_eq!(l.out_w(), 55);
+        assert_eq!(l.macs(), 105_415_200);
+        assert_eq!(l.weights(), 34_848);
+        assert_eq!(l.ops(), 2 * 105_415_200);
+    }
+
+    #[test]
+    fn grouped_layer_macs() {
+        // AlexNet conv2: groups halve the per-output channel count.
+        let l = ConvLayerSpec::named("conv2", 96, 27, 27, 5, 1, 2, 256, 2).unwrap();
+        assert_eq!(l.c_per_group(), 48);
+        assert_eq!(l.m_per_group(), 128);
+        assert_eq!(l.out_h(), 27);
+        assert_eq!(l.macs(), 223_948_800);
+        assert_eq!(l.weights(), 307_200);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(matches!(
+            ConvLayerSpec::square("x", 0, 8, 3, 1, 0, 4),
+            Err(LayerSpecError::ZeroParam("C"))
+        ));
+        assert!(matches!(
+            ConvLayerSpec::square("x", 1, 4, 7, 1, 0, 4),
+            Err(LayerSpecError::KernelTooLarge { .. })
+        ));
+        assert!(matches!(
+            ConvLayerSpec::named("x", 3, 8, 8, 3, 1, 1, 4, 2),
+            Err(LayerSpecError::BadGrouping { .. })
+        ));
+    }
+
+    #[test]
+    fn display_contains_geometry() {
+        let l = ConvLayerSpec::named("conv2", 96, 27, 27, 5, 1, 2, 256, 2).unwrap();
+        let s = l.to_string();
+        assert!(s.contains("conv2") && s.contains("K=5") && s.contains("g=2"));
+    }
+
+    #[test]
+    fn padded_extents() {
+        let l = ConvLayerSpec::square("x", 1, 13, 3, 1, 1, 1).unwrap();
+        assert_eq!(l.padded_h(), 15);
+        assert_eq!(l.padded_w(), 15);
+    }
+}

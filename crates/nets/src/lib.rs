@@ -1,0 +1,33 @@
+//! CNN layer specifications and synthetic data generation.
+//!
+//! The paper evaluates Chain-NN on "convolutional layers of pre-trained
+//! networks for MNIST, Cifar-10, AlexNet and VGG-16" (§V.A). This crate
+//! provides those networks' layer geometries ([`zoo`]) and — because the
+//! pre-trained MatConvNet models are unavailable — seeded synthetic
+//! weights/activations with realistic dynamic ranges ([`synth`]). All of
+//! the paper's performance, traffic and energy results depend only on the
+//! layer geometry, never on the weight values (see DESIGN.md §5).
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_nets::zoo;
+//!
+//! let alex = zoo::alexnet();
+//! assert_eq!(alex.layers().len(), 5);
+//! // Paper §V.B: "AlexNet contains five convolutional layers, including
+//! // totally 666 millions of MACs per 227x227 input image."
+//! assert_eq!(alex.total_macs(), 665_784_864);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod network;
+
+pub mod synth;
+pub mod zoo;
+
+pub use layer::{ConvLayerSpec, LayerSpecError};
+pub use network::Network;

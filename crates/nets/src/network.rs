@@ -1,0 +1,121 @@
+//! A network = an ordered list of convolutional layers.
+
+use std::fmt;
+
+use crate::ConvLayerSpec;
+
+/// An ordered collection of convolutional layers (the part of a CNN that
+/// Chain-NN accelerates; pooling/activation live in `chain_nn_tensor::ops`
+/// and are applied between layers by the examples).
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_nets::{ConvLayerSpec, Network};
+/// let net = Network::new(
+///     "tiny",
+///     vec![ConvLayerSpec::square("c1", 1, 8, 3, 1, 1, 4).unwrap()],
+/// );
+/// assert_eq!(net.total_macs(), 4 * 8 * 8 * 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayerSpec>,
+}
+
+impl Network {
+    /// Builds a network from named layers.
+    pub fn new(name: &str, layers: Vec<ConvLayerSpec>) -> Self {
+        Network {
+            name: name.to_owned(),
+            layers,
+        }
+    }
+
+    /// The network's name, e.g. `"AlexNet"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The convolutional layers in execution order.
+    pub fn layers(&self) -> &[ConvLayerSpec] {
+        &self.layers
+    }
+
+    /// Looks a layer up by name.
+    pub fn layer(&self, name: &str) -> Option<&ConvLayerSpec> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// Total multiply-accumulates per image across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total arithmetic operations per image (2 ops per MAC).
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+
+    /// Total kernel weights across all layers.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weights()).sum()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} conv layers, {:.1}M MACs, {:.1}k weights)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e6,
+            self.total_weights() as f64 / 1e3
+        )?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer() -> Network {
+        Network::new(
+            "t",
+            vec![
+                ConvLayerSpec::square("a", 1, 8, 3, 1, 1, 4).unwrap(),
+                ConvLayerSpec::square("b", 4, 8, 3, 1, 1, 8).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_sum_layers() {
+        let net = two_layer();
+        assert_eq!(
+            net.total_macs(),
+            net.layers()[0].macs() + net.layers()[1].macs()
+        );
+        assert_eq!(net.total_ops(), 2 * net.total_macs());
+        assert_eq!(net.total_weights(), 36 + 288);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let net = two_layer();
+        assert_eq!(net.layer("b").unwrap().m(), 8);
+        assert!(net.layer("zz").is_none());
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let s = two_layer().to_string();
+        assert!(s.contains("a:") && s.contains("b:"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Seeded synthetic weights and activations.
+//!
+//! Substitute for the paper's MatConvNet-exported pre-trained models (see
+//! DESIGN.md §5): deterministic, seeded tensors whose dynamic ranges mimic
+//! trained CNNs (weights roughly N(0, (fan_in)^-1/2), activations
+//! non-negative post-ReLU). Architecture-level results never depend on the
+//! values; the quantization study only needs realistic ranges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use chain_nn_tensor::Tensor;
+
+use crate::ConvLayerSpec;
+
+/// Deterministic generator of synthetic network data.
+///
+/// Two generators with the same seed produce identical tensors, so the
+/// golden model and the chain simulator can be driven from independently
+/// reconstructed copies of the same data.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_nets::{synth::SynthSource, ConvLayerSpec};
+/// let layer = ConvLayerSpec::square("c", 3, 8, 3, 1, 1, 4).unwrap();
+/// let a = SynthSource::new(7).weights(&layer);
+/// let b = SynthSource::new(7).weights(&layer);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug)]
+pub struct SynthSource {
+    rng: StdRng,
+}
+
+impl SynthSource {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SynthSource {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Approximate standard normal via the sum of four uniforms
+    /// (Irwin–Hall, variance 1/3 each) — plenty for range realism and
+    /// avoids pulling a distributions crate.
+    fn normalish(&mut self) -> f32 {
+        let s: f32 = (0..4).map(|_| self.rng.gen_range(-1.0f32..1.0)).sum();
+        s * (3.0f32 / 4.0).sqrt() / 3.0f32.sqrt() // unit-ish variance
+    }
+
+    /// Kernel weights for `layer`, shaped M×(C/G)×K×K, scaled by
+    /// He-initialization magnitude `sqrt(2/fan_in)` like a trained network.
+    pub fn weights(&mut self, layer: &ConvLayerSpec) -> Tensor<f32> {
+        let fan_in = (layer.c_per_group() * layer.k() * layer.k()) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let dims = [
+            layer.m(),
+            layer.c_per_group(),
+            layer.k(),
+            layer.k(),
+        ];
+        let vol: usize = dims.iter().product();
+        let data = (0..vol).map(|_| self.normalish() * scale).collect();
+        Tensor::from_vec(dims, data).expect("generated buffer matches shape")
+    }
+
+    /// Per-output-channel biases for `layer`, small like trained biases.
+    pub fn biases(&mut self, layer: &ConvLayerSpec) -> Vec<f32> {
+        (0..layer.m()).map(|_| self.normalish() * 0.01).collect()
+    }
+
+    /// A batch of `n` input images for `layer`, shaped N×C×H×W with
+    /// non-negative post-ReLU-like magnitudes in `[0, max)`.
+    pub fn activations(&mut self, layer: &ConvLayerSpec, n: usize, max: f32) -> Tensor<f32> {
+        let dims = [n, layer.c(), layer.h(), layer.w()];
+        let vol: usize = dims.iter().product();
+        let data = (0..vol)
+            .map(|_| {
+                let x = self.normalish().abs() * max / 3.0;
+                x.min(max)
+            })
+            .collect();
+        Tensor::from_vec(dims, data).expect("generated buffer matches shape")
+    }
+
+    /// Signed activations (pre-ReLU style), for stressing the quantizer
+    /// with negative values.
+    pub fn signed_activations(
+        &mut self,
+        layer: &ConvLayerSpec,
+        n: usize,
+        max: f32,
+    ) -> Tensor<f32> {
+        let dims = [n, layer.c(), layer.h(), layer.w()];
+        let vol: usize = dims.iter().product();
+        let data = (0..vol)
+            .map(|_| (self.normalish() * max / 3.0).clamp(-max, max))
+            .collect();
+        Tensor::from_vec(dims, data).expect("generated buffer matches shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayerSpec {
+        ConvLayerSpec::square("t", 4, 8, 3, 1, 1, 6).unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = layer();
+        assert_eq!(SynthSource::new(1).weights(&l), SynthSource::new(1).weights(&l));
+        assert_ne!(SynthSource::new(1).weights(&l), SynthSource::new(2).weights(&l));
+    }
+
+    #[test]
+    fn weight_shape_and_scale() {
+        let l = layer();
+        let w = SynthSource::new(3).weights(&l);
+        assert_eq!(w.shape().dims(), [6, 4, 3, 3]);
+        let max = w.as_slice().iter().fold(0f32, |m, &x| m.max(x.abs()));
+        // He scale for fan_in 36 is ~0.24; 4-uniform tails are bounded.
+        assert!(max < 1.0, "weights unexpectedly large: {max}");
+        assert!(max > 0.01, "weights unexpectedly small: {max}");
+    }
+
+    #[test]
+    fn activations_nonnegative_and_bounded() {
+        let l = layer();
+        let a = SynthSource::new(4).activations(&l, 2, 8.0);
+        assert_eq!(a.shape().dims(), [2, 4, 8, 8]);
+        assert!(a.as_slice().iter().all(|&x| (0.0..=8.0).contains(&x)));
+    }
+
+    #[test]
+    fn signed_activations_have_both_signs() {
+        let l = layer();
+        let a = SynthSource::new(5).signed_activations(&l, 1, 4.0);
+        assert!(a.as_slice().iter().any(|&x| x > 0.0));
+        assert!(a.as_slice().iter().any(|&x| x < 0.0));
+        assert!(a.as_slice().iter().all(|&x| x.abs() <= 4.0));
+    }
+
+    #[test]
+    fn biases_small() {
+        let l = layer();
+        let b = SynthSource::new(6).biases(&l);
+        assert_eq!(b.len(), 6);
+        assert!(b.iter().all(|x| x.abs() < 0.1));
+    }
+}

@@ -1,0 +1,279 @@
+//! The four networks named in the paper's methodology (§V.A): AlexNet,
+//! VGG-16, LeNet-5 (MNIST) and a CIFAR-10 network.
+//!
+//! Geometry sources: AlexNet per Krizhevsky et al. (paper ref \[1\]) with
+//! the 227×227 input the paper itself uses; VGG-16 per Simonyan &
+//! Zisserman (ref \[2\]); LeNet-5 per LeCun's classic description; CIFAR-10
+//! per the cuda-convnet "layers-80sec" model that MatConvNet ships.
+
+use crate::{ConvLayerSpec, Network};
+
+/// AlexNet's five convolutional layers (227×227 input, grouped conv2/4/5).
+///
+/// Matches the paper's "666 millions of MACs per 227x227 input image".
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        vec![
+            ConvLayerSpec::named("conv1", 3, 227, 227, 11, 4, 0, 96, 1).unwrap(),
+            ConvLayerSpec::named("conv2", 96, 27, 27, 5, 1, 2, 256, 2).unwrap(),
+            ConvLayerSpec::named("conv3", 256, 13, 13, 3, 1, 1, 384, 1).unwrap(),
+            ConvLayerSpec::named("conv4", 384, 13, 13, 3, 1, 1, 384, 2).unwrap(),
+            ConvLayerSpec::named("conv5", 384, 13, 13, 3, 1, 1, 256, 2).unwrap(),
+        ],
+    )
+}
+
+/// VGG-16's thirteen 3×3 convolutional layers (224×224 input).
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    // (input channels, spatial size, output channels) per conv layer.
+    let plan: [(usize, usize, usize); 13] = [
+        (3, 224, 64),
+        (64, 224, 64),
+        (64, 112, 128),
+        (128, 112, 128),
+        (128, 56, 256),
+        (256, 56, 256),
+        (256, 56, 256),
+        (256, 28, 512),
+        (512, 28, 512),
+        (512, 28, 512),
+        (512, 14, 512),
+        (512, 14, 512),
+        (512, 14, 512),
+    ];
+    for (i, (c, h, m)) in plan.into_iter().enumerate() {
+        let name = format!("conv{}_{}", block_of(i), index_in_block(i));
+        layers.push(ConvLayerSpec::square(&name, c, h, 3, 1, 1, m).unwrap());
+    }
+    Network::new("VGG-16", layers)
+}
+
+fn block_of(i: usize) -> usize {
+    match i {
+        0 | 1 => 1,
+        2 | 3 => 2,
+        4..=6 => 3,
+        7..=9 => 4,
+        _ => 5,
+    }
+}
+
+fn index_in_block(i: usize) -> usize {
+    match i {
+        0 | 2 | 4 | 7 | 10 => 1,
+        1 | 3 | 5 | 8 | 11 => 2,
+        _ => 3,
+    }
+}
+
+/// LeNet-5's convolutional layers (32×32 MNIST input).
+pub fn lenet() -> Network {
+    Network::new(
+        "LeNet-5",
+        vec![
+            ConvLayerSpec::square("conv1", 1, 32, 5, 1, 0, 6).unwrap(),
+            ConvLayerSpec::square("conv2", 6, 14, 5, 1, 0, 16).unwrap(),
+            ConvLayerSpec::square("conv3", 16, 5, 5, 1, 0, 120).unwrap(),
+        ],
+    )
+}
+
+/// The cuda-convnet CIFAR-10 network's convolutional layers (32×32 input).
+pub fn cifar10() -> Network {
+    Network::new(
+        "CIFAR-10",
+        vec![
+            ConvLayerSpec::square("conv1", 3, 32, 5, 1, 2, 32).unwrap(),
+            ConvLayerSpec::square("conv2", 32, 15, 5, 1, 2, 32).unwrap(),
+            ConvLayerSpec::square("conv3", 32, 7, 5, 1, 2, 64).unwrap(),
+        ],
+    )
+}
+
+/// ResNet-18's convolutional layers (224×224 input) — beyond the
+/// paper's evaluation set, included because its stride-2 3×3/1×1 layers
+/// exercise the polyphase extension, and because the paper's
+/// introduction motivates deeper residual networks.
+pub fn resnet18() -> Network {
+    let mut layers = vec![ConvLayerSpec::square("conv1", 3, 224, 7, 2, 3, 64).unwrap()];
+    // (stage, input channels, spatial size, output channels).
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (1, 64, 56, 64),
+        (2, 64, 56, 128),
+        (3, 128, 28, 256),
+        (4, 256, 14, 512),
+    ];
+    for (idx, c_in, h_in, c_out) in stages {
+        let downsample = c_in != c_out;
+        let (s1, h_out) = if downsample { (2, h_in / 2) } else { (1, h_in) };
+        // Block 1 (possibly strided) + projection shortcut.
+        layers.push(
+            ConvLayerSpec::square(&format!("l{idx}.b1.conv1"), c_in, h_in, 3, s1, 1, c_out)
+                .unwrap(),
+        );
+        layers.push(
+            ConvLayerSpec::square(&format!("l{idx}.b1.conv2"), c_out, h_out, 3, 1, 1, c_out)
+                .unwrap(),
+        );
+        if downsample {
+            layers.push(
+                ConvLayerSpec::square(&format!("l{idx}.b1.down"), c_in, h_in, 1, 2, 0, c_out)
+                    .unwrap(),
+            );
+        }
+        // Block 2.
+        layers.push(
+            ConvLayerSpec::square(&format!("l{idx}.b2.conv1"), c_out, h_out, 3, 1, 1, c_out)
+                .unwrap(),
+        );
+        layers.push(
+            ConvLayerSpec::square(&format!("l{idx}.b2.conv2"), c_out, h_out, 3, 1, 1, c_out)
+                .unwrap(),
+        );
+    }
+    Network::new("ResNet-18", layers)
+}
+
+/// MobileNetV1's convolutional layers (224×224 input) — a
+/// depthwise-separable stress test. Depthwise layers are grouped
+/// convolutions with `groups = C` (one channel per group), the extreme
+/// the chain's ParaTile was never designed for; pointwise layers are
+/// 1×1 convolutions that map as single-PE primitives.
+pub fn mobilenet_v1() -> Network {
+    let mut layers = vec![ConvLayerSpec::named("conv1", 3, 224, 224, 3, 2, 1, 32, 1).unwrap()];
+    // (channels in, spatial in, stride of the depthwise, channels out).
+    let plan: [(usize, usize, usize, usize); 13] = [
+        (32, 112, 1, 64),
+        (64, 112, 2, 128),
+        (128, 56, 1, 128),
+        (128, 56, 2, 256),
+        (256, 28, 1, 256),
+        (256, 28, 2, 512),
+        (512, 14, 1, 512),
+        (512, 14, 1, 512),
+        (512, 14, 1, 512),
+        (512, 14, 1, 512),
+        (512, 14, 1, 512),
+        (512, 14, 2, 1024),
+        (1024, 7, 1, 1024),
+    ];
+    for (i, (c, h, s, m)) in plan.into_iter().enumerate() {
+        let h_out = if s == 2 { h / 2 } else { h };
+        layers.push(
+            ConvLayerSpec::named(&format!("dw{}", i + 1), c, h, h, 3, s, 1, c, c).unwrap(),
+        );
+        layers.push(
+            ConvLayerSpec::named(&format!("pw{}", i + 1), c, h_out, h_out, 1, 1, 0, m, 1)
+                .unwrap(),
+        );
+    }
+    Network::new("MobileNetV1", layers)
+}
+
+/// All six networks, for sweep-style experiments.
+pub fn all() -> Vec<Network> {
+    vec![lenet(), cifar10(), alexnet(), vgg16(), resnet18(), mobilenet_v1()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_macs_match_paper() {
+        let net = alexnet();
+        let macs: Vec<u64> = net.layers().iter().map(|l| l.macs()).collect();
+        assert_eq!(
+            macs,
+            vec![
+                105_415_200,
+                223_948_800,
+                149_520_384,
+                112_140_288,
+                74_760_192
+            ]
+        );
+        // "totally 666 millions of MACs"
+        assert_eq!(net.total_macs(), 665_784_864);
+    }
+
+    #[test]
+    fn alexnet_weights() {
+        let net = alexnet();
+        let w: Vec<u64> = net.layers().iter().map(|l| l.weights()).collect();
+        assert_eq!(w, vec![34_848, 307_200, 884_736, 663_552, 442_368]);
+        assert_eq!(net.total_weights(), 2_332_704);
+    }
+
+    #[test]
+    fn alexnet_ofmap_sizes_chain() {
+        let net = alexnet();
+        let e: Vec<usize> = net.layers().iter().map(|l| l.out_h()).collect();
+        assert_eq!(e, vec![55, 27, 13, 13, 13]);
+    }
+
+    #[test]
+    fn vgg16_structure() {
+        let net = vgg16();
+        assert_eq!(net.layers().len(), 13);
+        assert!(net.layers().iter().all(|l| l.k() == 3 && l.stride() == 1));
+        // VGG-16 convs are ~15.3 GMACs.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((15.0..15.7).contains(&g), "VGG-16 GMACs {g}");
+        // Every layer preserves spatial extent (pad 1, k 3, s 1).
+        assert!(net.layers().iter().all(|l| l.out_h() == l.h()));
+        assert_eq!(net.layer("conv5_3").unwrap().m(), 512);
+    }
+
+    #[test]
+    fn lenet_dims() {
+        let net = lenet();
+        let outs: Vec<usize> = net.layers().iter().map(|l| l.out_h()).collect();
+        assert_eq!(outs, vec![28, 10, 1]);
+    }
+
+    #[test]
+    fn cifar_dims() {
+        let net = cifar10();
+        let outs: Vec<usize> = net.layers().iter().map(|l| l.out_h()).collect();
+        assert_eq!(outs, vec![32, 15, 7]);
+    }
+
+    #[test]
+    fn all_contains_six() {
+        assert_eq!(all().len(), 6);
+    }
+
+    #[test]
+    fn mobilenet_structure() {
+        let net = mobilenet_v1();
+        assert_eq!(net.layers().len(), 1 + 13 * 2);
+        // ~568M MACs (the canonical MobileNetV1 conv count).
+        let m = net.total_macs() as f64 / 1e6;
+        assert!((540.0..590.0).contains(&m), "MobileNetV1 MMACs {m}");
+        // Depthwise layers are fully grouped.
+        let dw = net.layer("dw7").unwrap();
+        assert_eq!(dw.groups(), dw.c());
+        assert_eq!(dw.c_per_group(), 1);
+        // Pointwise layers are 1x1.
+        assert_eq!(net.layer("pw13").unwrap().k(), 1);
+        assert_eq!(net.layer("pw13").unwrap().out_h(), 7);
+    }
+
+    #[test]
+    fn resnet18_structure() {
+        let net = resnet18();
+        // conv1 + 4 stages x (4 convs + possibly 1 downsample): stage 1
+        // has no projection, stages 2-4 do.
+        assert_eq!(net.layers().len(), 1 + 4 + 5 + 5 + 5);
+        // ~1.81 GMACs for the conv layers.
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.75..1.90).contains(&g), "ResNet-18 GMACs {g}");
+        // Strided layers present (they exercise polyphase).
+        assert!(net.layers().iter().filter(|l| l.stride() == 2).count() >= 4);
+        assert_eq!(net.layer("l4.b2.conv2").unwrap().out_h(), 7);
+        assert_eq!(net.layer("l2.b1.down").unwrap().k(), 1);
+    }
+}

@@ -1,0 +1,438 @@
+//! Reference (golden-model) 2D convolution.
+//!
+//! Implements Equation (1) of the paper directly:
+//!
+//! ```text
+//! ofmaps[n][m][x][y] = bias[m]
+//!   + Σ_c Σ_i Σ_j ifmaps[n][c][x·s+i−p][y·s+j−p] · kernel[m][c][i][j]
+//! ```
+//!
+//! Two variants are provided: [`conv2d_f32`] (float reference) and
+//! [`conv2d_fix`] (bit-exact fixed point, matching the chain's 16-bit
+//! multipliers and 32-bit psum adders). Grouped convolution — needed for
+//! AlexNet layers 2/4/5 — is inferred from the channel counts.
+
+use std::error::Error;
+use std::fmt;
+
+use chain_nn_fixed::{Acc32, Fix16, OverflowMode};
+
+use crate::Tensor;
+
+/// Geometry of a convolution: kernel size, stride and zero padding.
+///
+/// Kernels may be rectangular (`kh != kw`) to support the polyphase
+/// stride decomposition; the paper's own layers are square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Kernel height (rows).
+    pub kh: usize,
+    /// Kernel width (columns).
+    pub kw: usize,
+    /// Stride (same in both dimensions, as in all the paper's networks).
+    pub stride: usize,
+    /// Zero padding applied symmetrically on all four sides.
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Square-kernel geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::BadGeometry`] if `k == 0` or `stride == 0`.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Result<Self, ConvError> {
+        Self::rect(k, k, stride, pad)
+    }
+
+    /// Rectangular-kernel geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::BadGeometry`] if any of `kh`, `kw`, `stride`
+    /// is zero.
+    pub fn rect(kh: usize, kw: usize, stride: usize, pad: usize) -> Result<Self, ConvError> {
+        if kh == 0 || kw == 0 || stride == 0 {
+            return Err(ConvError::BadGeometry { kh, kw, stride });
+        }
+        Ok(ConvGeometry { kh, kw, stride, pad })
+    }
+
+    /// Output extent for an input extent `in_dim` under kernel extent `k`:
+    /// `⌊(in + 2·pad − k)/stride⌋ + 1`, or `None` if the kernel does not
+    /// fit.
+    pub fn out_dim(&self, in_dim: usize, k: usize) -> Option<usize> {
+        let padded = in_dim + 2 * self.pad;
+        if k > padded {
+            return None;
+        }
+        Some((padded - k) / self.stride + 1)
+    }
+
+    /// Output height for input height `h`.
+    pub fn out_h(&self, h: usize) -> Option<usize> {
+        self.out_dim(h, self.kh)
+    }
+
+    /// Output width for input width `w`.
+    pub fn out_w(&self, w: usize) -> Option<usize> {
+        self.out_dim(w, self.kw)
+    }
+}
+
+/// Errors from the reference convolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvError {
+    /// Zero kernel extent or stride.
+    BadGeometry {
+        /// Kernel height supplied.
+        kh: usize,
+        /// Kernel width supplied.
+        kw: usize,
+        /// Stride supplied.
+        stride: usize,
+    },
+    /// Weight tensor H×W does not match the geometry's kernel extents.
+    KernelShape {
+        /// Expected (kh, kw).
+        expected: (usize, usize),
+        /// Weight tensor (h, w).
+        got: (usize, usize),
+    },
+    /// Input channels are not divisible by weight channels (invalid
+    /// grouping).
+    ChannelGrouping {
+        /// Input channel count C.
+        input_c: usize,
+        /// Weight per-group channel count.
+        weight_c: usize,
+        /// Output channel count M.
+        output_m: usize,
+    },
+    /// Kernel larger than the padded input.
+    KernelTooLarge {
+        /// Padded input (h, w).
+        padded: (usize, usize),
+        /// Kernel (kh, kw).
+        kernel: (usize, usize),
+    },
+    /// Bias length differs from output channel count.
+    BiasLength {
+        /// Output channels M.
+        expected: usize,
+        /// Bias entries supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::BadGeometry { kh, kw, stride } => {
+                write!(f, "invalid geometry kh={kh} kw={kw} stride={stride}")
+            }
+            ConvError::KernelShape { expected, got } => write!(
+                f,
+                "weight tensor is {}x{} but geometry says {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            ConvError::ChannelGrouping {
+                input_c,
+                weight_c,
+                output_m,
+            } => write!(
+                f,
+                "cannot group {input_c} input channels into weights of {weight_c} channels \
+                 and {output_m} output maps"
+            ),
+            ConvError::KernelTooLarge { padded, kernel } => write!(
+                f,
+                "kernel {}x{} exceeds padded input {}x{}",
+                kernel.0, kernel.1, padded.0, padded.1
+            ),
+            ConvError::BiasLength { expected, got } => {
+                write!(f, "bias has {got} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ConvError {}
+
+/// Shared validation; returns `(groups, out_h, out_w)`.
+fn validate<T: Copy, U: Copy>(
+    input: &Tensor<T>,
+    weights: &Tensor<U>,
+    geom: ConvGeometry,
+) -> Result<(usize, usize, usize), ConvError> {
+    let wdims = weights.shape().dims();
+    if (wdims[2], wdims[3]) != (geom.kh, geom.kw) {
+        return Err(ConvError::KernelShape {
+            expected: (geom.kh, geom.kw),
+            got: (wdims[2], wdims[3]),
+        });
+    }
+    let c_in = input.shape().c();
+    let c_g = wdims[1];
+    let m = wdims[0];
+    if !c_in.is_multiple_of(c_g) {
+        return Err(ConvError::ChannelGrouping {
+            input_c: c_in,
+            weight_c: c_g,
+            output_m: m,
+        });
+    }
+    let groups = c_in / c_g;
+    if !m.is_multiple_of(groups) {
+        return Err(ConvError::ChannelGrouping {
+            input_c: c_in,
+            weight_c: c_g,
+            output_m: m,
+        });
+    }
+    let (h, w) = (input.shape().h(), input.shape().w());
+    match (geom.out_h(h), geom.out_w(w)) {
+        (Some(oh), Some(ow)) => Ok((groups, oh, ow)),
+        _ => Err(ConvError::KernelTooLarge {
+            padded: (h + 2 * geom.pad, w + 2 * geom.pad),
+            kernel: (geom.kh, geom.kw),
+        }),
+    }
+}
+
+/// Float reference convolution.
+///
+/// `input` is N×C×H×W; `weights` is M×(C/G)×KH×KW where the group count G
+/// is inferred as `C / weights.c()`; `bias`, when given, must have M
+/// entries.
+///
+/// # Errors
+///
+/// Returns a [`ConvError`] describing any shape inconsistency.
+pub fn conv2d_f32(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    geom: ConvGeometry,
+) -> Result<Tensor<f32>, ConvError> {
+    let (groups, oh, ow) = validate(input, weights, geom)?;
+    let m = weights.shape().n();
+    if let Some(b) = bias {
+        if b.len() != m {
+            return Err(ConvError::BiasLength {
+                expected: m,
+                got: b.len(),
+            });
+        }
+    }
+    let n = input.shape().n();
+    let c_g = weights.shape().c();
+    let m_g = m / groups;
+    let mut out = Tensor::<f32>::zeros([n, m, oh, ow]);
+    for ni in 0..n {
+        for mi in 0..m {
+            let g = mi / m_g;
+            let b = bias.map_or(0.0, |b| b[mi]);
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = f64::from(b);
+                    for cg in 0..c_g {
+                        let ci = g * c_g + cg;
+                        for i in 0..geom.kh {
+                            for j in 0..geom.kw {
+                                let ih = (y * geom.stride + i) as isize - geom.pad as isize;
+                                let iw = (x * geom.stride + j) as isize - geom.pad as isize;
+                                let px = input.get_padded(ni, ci, ih, iw, 0.0);
+                                acc += f64::from(px) * f64::from(weights.get(mi, cg, i, j));
+                            }
+                        }
+                    }
+                    out.set(ni, mi, y, x, acc as f32);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bit-exact fixed-point convolution — the golden model the chain
+/// simulator is checked against.
+///
+/// Multiplication is 16×16→32 and accumulation follows `mode`, matching
+/// the PE datapath. The result tensor carries raw 32-bit accumulators; use
+/// [`Acc32::narrow`](chain_nn_fixed::Acc32::narrow) to write back 16-bit
+/// ofmaps.
+///
+/// # Errors
+///
+/// Returns a [`ConvError`] describing any shape inconsistency.
+pub fn conv2d_fix(
+    input: &Tensor<Fix16>,
+    weights: &Tensor<Fix16>,
+    geom: ConvGeometry,
+    mode: OverflowMode,
+) -> Result<Tensor<i32>, ConvError> {
+    let (groups, oh, ow) = validate(input, weights, geom)?;
+    let m = weights.shape().n();
+    let n = input.shape().n();
+    let c_g = weights.shape().c();
+    let m_g = m / groups;
+    let mut out = Tensor::<i32>::zeros([n, m, oh, ow]);
+    for ni in 0..n {
+        for mi in 0..m {
+            let g = mi / m_g;
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = Acc32::ZERO;
+                    for cg in 0..c_g {
+                        let ci = g * c_g + cg;
+                        for i in 0..geom.kh {
+                            for j in 0..geom.kw {
+                                let ih = (y * geom.stride + i) as isize - geom.pad as isize;
+                                let iw = (x * geom.stride + j) as isize - geom.pad as isize;
+                                let px = input.get_padded(ni, ci, ih, iw, Fix16::ZERO);
+                                acc = acc.mac_with(px, weights.get(mi, cg, i, j), mode);
+                            }
+                        }
+                    }
+                    out.set(ni, mi, y, x, acc.raw());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(dims: [usize; 4]) -> Tensor<f32> {
+        let vol: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..vol).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn out_dims() {
+        // AlexNet conv1: 227, K=11, s=4, p=0 -> 55
+        let g = ConvGeometry::new(11, 4, 0).unwrap();
+        assert_eq!(g.out_h(227), Some(55));
+        // conv2: 27, K=5, s=1, p=2 -> 27
+        let g = ConvGeometry::new(5, 1, 2).unwrap();
+        assert_eq!(g.out_h(27), Some(27));
+        // kernel too large
+        let g = ConvGeometry::new(7, 1, 0).unwrap();
+        assert_eq!(g.out_h(5), None);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // A delta kernel (1 at centre) with pad=1 reproduces the input.
+        let input = seq_tensor([1, 1, 4, 4]);
+        let mut k = Tensor::<f32>::zeros([1, 1, 3, 3]);
+        k.set(0, 0, 1, 1, 1.0);
+        let geom = ConvGeometry::new(3, 1, 1).unwrap();
+        let out = conv2d_f32(&input, &k, None, geom).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn box_kernel_counts_neighbours() {
+        let input = Tensor::<f32>::filled([1, 1, 3, 3], 1.0);
+        let k = Tensor::<f32>::filled([1, 1, 3, 3], 1.0);
+        let geom = ConvGeometry::new(3, 1, 1).unwrap();
+        let out = conv2d_f32(&input, &k, None, geom).unwrap();
+        // Centre sees 9 ones, corners see 4, edges see 6.
+        assert_eq!(out.get(0, 0, 1, 1), 9.0);
+        assert_eq!(out.get(0, 0, 0, 0), 4.0);
+        assert_eq!(out.get(0, 0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let input = seq_tensor([1, 1, 5, 5]);
+        let k = Tensor::<f32>::filled([1, 1, 1, 1], 1.0);
+        let geom = ConvGeometry::new(1, 2, 0).unwrap();
+        let out = conv2d_f32(&input, &k, None, geom).unwrap();
+        assert_eq!(out.shape().dims(), [1, 1, 3, 3]);
+        assert_eq!(out.get(0, 0, 1, 1), input.get(0, 0, 2, 2));
+    }
+
+    #[test]
+    fn bias_offsets_every_output() {
+        let input = Tensor::<f32>::filled([1, 1, 2, 2], 0.0);
+        let k = Tensor::<f32>::filled([2, 1, 1, 1], 1.0);
+        let geom = ConvGeometry::new(1, 1, 0).unwrap();
+        let out = conv2d_f32(&input, &k, Some(&[1.5, -2.5]), geom).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0), 1.5);
+        assert_eq!(out.get(0, 1, 1, 1), -2.5);
+    }
+
+    #[test]
+    fn grouped_conv_isolates_groups() {
+        // 2 input channels, 2 groups: each output channel sees only its
+        // own input channel.
+        let mut input = Tensor::<f32>::zeros([1, 2, 1, 1]);
+        input.set(0, 0, 0, 0, 3.0);
+        input.set(0, 1, 0, 0, 5.0);
+        let k = Tensor::<f32>::filled([2, 1, 1, 1], 1.0);
+        let geom = ConvGeometry::new(1, 1, 0).unwrap();
+        let out = conv2d_f32(&input, &k, None, geom).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0), 3.0);
+        assert_eq!(out.get(0, 1, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let input = Tensor::<f32>::zeros([1, 3, 4, 4]);
+        let k = Tensor::<f32>::zeros([2, 2, 3, 3]); // 3 % 2 != 0
+        let geom = ConvGeometry::new(3, 1, 0).unwrap();
+        assert!(matches!(
+            conv2d_f32(&input, &k, None, geom),
+            Err(ConvError::ChannelGrouping { .. })
+        ));
+
+        let k = Tensor::<f32>::zeros([2, 3, 5, 5]); // geometry says 3x3
+        assert!(matches!(
+            conv2d_f32(&input, &k, None, geom),
+            Err(ConvError::KernelShape { .. })
+        ));
+
+        let k = Tensor::<f32>::zeros([2, 3, 3, 3]);
+        assert!(matches!(
+            conv2d_f32(&input, &k, Some(&[0.0]), geom),
+            Err(ConvError::BiasLength { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_matches_float_for_small_integers() {
+        use chain_nn_fixed::QFormat;
+        // Integer-valued data in a Q12.3-ish format is exact, so float and
+        // fixed must agree bit for bit after scaling.
+        let fmt = QFormat::new(3).unwrap();
+        let vals: Vec<f32> = (0..16).map(|i| (i as f32) - 8.0).collect();
+        let input = Tensor::from_vec([1, 1, 4, 4], vals.clone()).unwrap();
+        let fxi = input.map(|x| fmt.quantize(x));
+        let w: Vec<f32> = (0..9).map(|i| ((i % 3) as f32) - 1.0).collect();
+        let weights = Tensor::from_vec([1, 1, 3, 3], w).unwrap();
+        let fxw = weights.map(|x| fmt.quantize(x));
+        let geom = ConvGeometry::new(3, 1, 1).unwrap();
+        let fref = conv2d_f32(&input, &weights, None, geom).unwrap();
+        let fixed = conv2d_fix(&fxi, &fxw, geom, OverflowMode::Wrapping).unwrap();
+        for ((.., a), (.., b)) in fref.iter_indexed().zip(fixed.iter_indexed()) {
+            let scaled = b as f32 * 2f32.powi(-6); // 2·3 fractional bits
+            assert_eq!(a, scaled);
+        }
+    }
+
+    #[test]
+    fn rect_kernel() {
+        let input = Tensor::<f32>::filled([1, 1, 4, 6], 1.0);
+        let k = Tensor::<f32>::filled([1, 1, 2, 3], 1.0);
+        let geom = ConvGeometry::rect(2, 3, 1, 0).unwrap();
+        let out = conv2d_f32(&input, &k, None, geom).unwrap();
+        assert_eq!(out.shape().dims(), [1, 1, 3, 4]);
+        assert_eq!(out.get(0, 0, 0, 0), 6.0);
+    }
+}

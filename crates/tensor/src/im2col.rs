@@ -1,0 +1,194 @@
+//! im2col + GEMM convolution: an independent second reference.
+//!
+//! The chain simulator is verified against [`crate::conv::conv2d_fix`]
+//! (direct nested loops); this module computes the same convolution by a
+//! structurally different route — unrolling windows into a matrix and
+//! multiplying — so the two references cross-validate each other. A bug
+//! would have to be replicated in two disjoint index derivations *and*
+//! the simulator to go unnoticed.
+
+use chain_nn_fixed::{Acc32, Fix16, OverflowMode};
+
+use crate::conv::{ConvError, ConvGeometry};
+use crate::Tensor;
+
+/// Unrolls the convolution windows of one image (batch index `n`) into
+/// a `(C·KH·KW) × (OH·OW)` matrix in row-major order: row `r` holds the
+/// pixel at kernel offset `(c, i, j) = unflatten(r)` for every output
+/// position.
+pub fn im2col(
+    input: &Tensor<Fix16>,
+    n: usize,
+    geom: ConvGeometry,
+) -> Result<Vec<Vec<Fix16>>, ConvError> {
+    let [_, c, h, w] = input.shape().dims();
+    let (oh, ow) = match (geom.out_h(h), geom.out_w(w)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(ConvError::KernelTooLarge {
+                padded: (h + 2 * geom.pad, w + 2 * geom.pad),
+                kernel: (geom.kh, geom.kw),
+            })
+        }
+    };
+    let mut rows = Vec::with_capacity(c * geom.kh * geom.kw);
+    for ci in 0..c {
+        for i in 0..geom.kh {
+            for j in 0..geom.kw {
+                let mut row = Vec::with_capacity(oh * ow);
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let ih = (y * geom.stride + i) as isize - geom.pad as isize;
+                        let iw = (x * geom.stride + j) as isize - geom.pad as isize;
+                        row.push(input.get_padded(n, ci, ih, iw, Fix16::ZERO));
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Convolution via im2col + fixed-point GEMM. Grouped convolution is
+/// inferred exactly like [`crate::conv::conv2d_fix`]; accumulation follows
+/// `mode`.
+///
+/// # Errors
+///
+/// Returns the same [`ConvError`]s as the direct reference.
+pub fn conv2d_im2col(
+    input: &Tensor<Fix16>,
+    weights: &Tensor<Fix16>,
+    geom: ConvGeometry,
+    mode: OverflowMode,
+) -> Result<Tensor<i32>, ConvError> {
+    let [n, c_in, h, w] = input.shape().dims();
+    let [m, c_g, wk_h, wk_w] = weights.shape().dims();
+    if (wk_h, wk_w) != (geom.kh, geom.kw) {
+        return Err(ConvError::KernelShape {
+            expected: (geom.kh, geom.kw),
+            got: (wk_h, wk_w),
+        });
+    }
+    if c_g == 0 || c_in % c_g != 0 || m % (c_in / c_g) != 0 {
+        return Err(ConvError::ChannelGrouping {
+            input_c: c_in,
+            weight_c: c_g,
+            output_m: m,
+        });
+    }
+    let groups = c_in / c_g;
+    let m_g = m / groups;
+    let (oh, ow) = match (geom.out_h(h), geom.out_w(w)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(ConvError::KernelTooLarge {
+                padded: (h + 2 * geom.pad, w + 2 * geom.pad),
+                kernel: (geom.kh, geom.kw),
+            })
+        }
+    };
+
+    let mut out = Tensor::<i32>::zeros([n, m, oh, ow]);
+    let taps_per_group = c_g * geom.kh * geom.kw;
+    for ni in 0..n {
+        let cols = im2col(input, ni, geom)?;
+        for mi in 0..m {
+            let g = mi / m_g;
+            // The group's rows of the im2col matrix.
+            let row_base = g * taps_per_group;
+            for (pos, _) in cols[0].iter().enumerate() {
+                let mut acc = Acc32::ZERO;
+                for t in 0..taps_per_group {
+                    let wv = weights.get(
+                        mi,
+                        t / (geom.kh * geom.kw),
+                        (t / geom.kw) % geom.kh,
+                        t % geom.kw,
+                    );
+                    acc = acc.mac_with(cols[row_base + t][pos], wv, mode);
+                }
+                out.set(ni, mi, pos / ow, pos % ow, acc.raw());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_fix;
+
+    fn tensor_from(dims: [usize; 4], f: impl Fn(usize) -> i16) -> Tensor<Fix16> {
+        let vol: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..vol).map(|i| Fix16::from_raw(f(i))).collect()).unwrap()
+    }
+
+    #[test]
+    fn im2col_matrix_shape_and_content() {
+        let input = tensor_from([1, 2, 4, 4], |i| i as i16);
+        let geom = ConvGeometry::new(3, 1, 0).unwrap();
+        let mat = im2col(&input, 0, geom).unwrap();
+        assert_eq!(mat.len(), 2 * 9);
+        assert_eq!(mat[0].len(), 4);
+        // Row 0 = tap (c=0,i=0,j=0): pixels (0,0),(0,1),(1,0),(1,1).
+        assert_eq!(
+            mat[0].iter().map(|x| x.raw()).collect::<Vec<_>>(),
+            vec![0, 1, 4, 5]
+        );
+        // Last row = tap (c=1,i=2,j=2): pixels (2,2)...(3,3) of channel 1.
+        assert_eq!(
+            mat[17].iter().map(|x| x.raw()).collect::<Vec<_>>(),
+            vec![26, 27, 30, 31]
+        );
+    }
+
+    #[test]
+    fn cross_validates_direct_reference() {
+        for (c, h, m, k, s, p, groups) in [
+            (2usize, 6usize, 3usize, 3usize, 1usize, 0usize, 1usize),
+            (2, 7, 4, 3, 1, 1, 1),
+            (4, 8, 6, 3, 2, 1, 2),
+            (3, 9, 2, 2, 3, 0, 1),
+            (6, 5, 6, 1, 1, 0, 3),
+        ] {
+            let input = tensor_from([2, c, h, h], |i| ((i * 7) % 31) as i16 - 15);
+            let weights =
+                tensor_from([m, c / groups, k, k], |i| ((i * 5) % 17) as i16 - 8);
+            let geom = ConvGeometry::new(k, s, p).unwrap();
+            let direct = conv2d_fix(&input, &weights, geom, OverflowMode::Wrapping).unwrap();
+            let gemm = conv2d_im2col(&input, &weights, geom, OverflowMode::Wrapping).unwrap();
+            assert_eq!(direct, gemm, "c={c} h={h} m={m} k={k} s={s} p={p} g={groups}");
+        }
+    }
+
+    #[test]
+    fn saturating_mode_cross_validates_too() {
+        let input = tensor_from([1, 1, 4, 4], |_| i16::MAX);
+        let weights = tensor_from([1, 1, 3, 3], |_| i16::MAX);
+        let geom = ConvGeometry::new(3, 1, 0).unwrap();
+        let a = conv2d_fix(&input, &weights, geom, OverflowMode::Saturating).unwrap();
+        let b = conv2d_im2col(&input, &weights, geom, OverflowMode::Saturating).unwrap();
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| v == i32::MAX));
+    }
+
+    #[test]
+    fn error_parity_with_direct() {
+        let input = tensor_from([1, 3, 4, 4], |_| 0);
+        let bad_w = tensor_from([2, 2, 3, 3], |_| 0);
+        let geom = ConvGeometry::new(3, 1, 0).unwrap();
+        assert!(matches!(
+            conv2d_im2col(&input, &bad_w, geom, OverflowMode::Wrapping),
+            Err(ConvError::ChannelGrouping { .. })
+        ));
+        let w = tensor_from([1, 3, 3, 3], |_| 0);
+        let tiny = tensor_from([1, 3, 2, 2], |_| 0);
+        assert!(matches!(
+            conv2d_im2col(&tiny, &w, geom, OverflowMode::Wrapping),
+            Err(ConvError::KernelTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! NCHW tensors and golden-model CNN operators.
+//!
+//! This crate is the reproduction's stand-in for the MatConvNet reference
+//! the paper checks its hardware against (§V.A): a minimal, obviously
+//! correct implementation of the operators Chain-NN accelerates. The
+//! cycle-accurate chain simulator's outputs are compared against
+//! [`conv::conv2d_fix`] "on-the-fly", exactly as the paper compares
+//! ModelSim output against its float-to-fix simulator.
+//!
+//! * [`Tensor`] — a dense row-major N×C×H×W tensor.
+//! * [`conv`] — reference 2D convolution (float and bit-exact fixed-point),
+//!   with stride, padding and grouped convolution.
+//! * [`ops`] — ReLU, max/average pooling, local response normalization.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_tensor::{Tensor, conv::{conv2d_f32, ConvGeometry}};
+//!
+//! let input = Tensor::<f32>::filled([1, 1, 4, 4], 1.0);
+//! let kernel = Tensor::<f32>::filled([1, 1, 3, 3], 1.0);
+//! let geom = ConvGeometry::new(3, 1, 0).unwrap();
+//! let out = conv2d_f32(&input, &kernel, None, geom).unwrap();
+//! assert_eq!(out.shape().dims(), [1, 1, 2, 2]);
+//! assert_eq!(out.as_slice(), &[9.0; 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod im2col;
+pub mod ops;
+
+mod shape;
+mod tensor;
+
+pub use shape::{Shape4, ShapeError};
+pub use tensor::Tensor;

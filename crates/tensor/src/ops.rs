@@ -1,0 +1,141 @@
+//! Auxiliary CNN operators: ReLU, pooling, local response normalization.
+//!
+//! Chain-NN accelerates only the convolutions; these operators exist so
+//! the examples can run the *complete* AlexNet/LeNet feature extractors
+//! end-to-end and validate layer chaining (pool shrinks the map the next
+//! conv consumes).
+
+use crate::Tensor;
+
+/// Elementwise `max(x, 0)`.
+pub fn relu(t: &Tensor<f32>) -> Tensor<f32> {
+    t.map(|x| x.max(0.0))
+}
+
+/// Elementwise ReLU on raw accumulators.
+pub fn relu_i32(t: &Tensor<i32>) -> Tensor<i32> {
+    t.map(|x| x.max(0))
+}
+
+/// `k×k` max pooling with stride `s` (no padding), the AlexNet/LeNet
+/// pooling flavour.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `s == 0` or the window does not fit the input.
+pub fn max_pool(t: &Tensor<f32>, k: usize, s: usize) -> Tensor<f32> {
+    pool(t, k, s, f32::NEG_INFINITY, |a, b| a.max(b), |m, _| m)
+}
+
+/// `k×k` average pooling with stride `s` (no padding).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `s == 0` or the window does not fit the input.
+pub fn avg_pool(t: &Tensor<f32>, k: usize, s: usize) -> Tensor<f32> {
+    pool(t, k, s, 0.0, |a, b| a + b, |sum, n| sum / n as f32)
+}
+
+fn pool(
+    t: &Tensor<f32>,
+    k: usize,
+    s: usize,
+    init: f32,
+    fold: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Tensor<f32> {
+    assert!(k > 0 && s > 0, "pooling window and stride must be non-zero");
+    let [n, c, h, w] = t.shape().dims();
+    assert!(k <= h && k <= w, "pooling window {k} larger than input {h}x{w}");
+    let oh = (h - k) / s + 1;
+    let ow = (w - k) / s + 1;
+    let mut out = Tensor::<f32>::zeros([n, c, oh, ow]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = init;
+                    for i in 0..k {
+                        for j in 0..k {
+                            acc = fold(acc, t.get(ni, ci, y * s + i, x * s + j));
+                        }
+                    }
+                    out.set(ni, ci, y, x, finish(acc, k * k));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// AlexNet-style local response normalization across channels:
+/// `x / (bias + alpha/size · Σ x²)^beta` over a window of `size`
+/// neighbouring channels.
+pub fn lrn(t: &Tensor<f32>, size: usize, alpha: f32, beta: f32, bias: f32) -> Tensor<f32> {
+    let [n, c, h, w] = t.shape().dims();
+    let half = size / 2;
+    let mut out = Tensor::<f32>::zeros([n, c, h, w]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let lo = ci.saturating_sub(half);
+            let hi = (ci + half).min(c - 1);
+            for y in 0..h {
+                for x in 0..w {
+                    let sq: f32 = (lo..=hi).map(|cc| t.get(ni, cc, y, x).powi(2)).sum();
+                    let denom = (bias + alpha / size as f32 * sq).powf(beta);
+                    out.set(ni, ci, y, x, t.get(ni, ci, y, x) / denom);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec([1, 1, 1, 4], vec![-1.0, 0.0, 2.0, -3.5]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let ti = Tensor::from_vec([1, 1, 1, 3], vec![-5i32, 0, 5]).unwrap();
+        assert_eq!(relu_i32(&ti).as_slice(), &[0, 0, 5]);
+    }
+
+    #[test]
+    fn max_pool_3x3_s2() {
+        // AlexNet pooling: 55 -> 27
+        let t = Tensor::<f32>::filled([1, 1, 55, 55], 1.0);
+        let p = max_pool(&t, 3, 2);
+        assert_eq!(p.shape().dims(), [1, 1, 27, 27]);
+    }
+
+    #[test]
+    fn max_pool_picks_max() {
+        let t = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        assert_eq!(max_pool(&t, 2, 1).as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let t = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        assert_eq!(avg_pool(&t, 2, 1).as_slice(), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn pool_window_must_fit() {
+        let t = Tensor::<f32>::filled([1, 1, 2, 2], 1.0);
+        let _ = max_pool(&t, 3, 1);
+    }
+
+    #[test]
+    fn lrn_normalizes_but_keeps_sign() {
+        let t = Tensor::from_vec([1, 2, 1, 1], vec![2.0, -2.0]).unwrap();
+        let n = lrn(&t, 5, 1e-4, 0.75, 2.0);
+        assert!(n.get(0, 0, 0, 0) > 0.0);
+        assert!(n.get(0, 1, 0, 0) < 0.0);
+        assert!(n.get(0, 0, 0, 0).abs() < 2.0);
+    }
+}

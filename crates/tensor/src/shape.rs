@@ -1,0 +1,210 @@
+//! Four-dimensional tensor shapes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by shape construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A dimension was zero.
+    ZeroDim {
+        /// Which axis (0 = N, 1 = C, 2 = H, 3 = W).
+        axis: usize,
+    },
+    /// The total element count overflows `usize`.
+    Overflow,
+    /// A data buffer length does not match the shape volume.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroDim { axis } => {
+                let name = ["N", "C", "H", "W"][*axis];
+                write!(f, "dimension {name} must be non-zero")
+            }
+            ShapeError::Overflow => write!(f, "shape volume overflows usize"),
+            ShapeError::LengthMismatch { expected, got } => {
+                write!(f, "buffer holds {got} elements but shape needs {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+/// The shape of a dense N×C×H×W tensor (batch, channels, height, width).
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_tensor::Shape4;
+/// let s = Shape4::new([2, 3, 5, 7]).unwrap();
+/// assert_eq!(s.volume(), 210);
+/// assert_eq!(s.index(1, 2, 4, 6), 209);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    dims: [usize; 4],
+}
+
+impl Shape4 {
+    /// Builds a shape from `[n, c, h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDim`] for any zero dimension and
+    /// [`ShapeError::Overflow`] if `n·c·h·w` does not fit in `usize`.
+    pub fn new(dims: [usize; 4]) -> Result<Self, ShapeError> {
+        if let Some(axis) = dims.iter().position(|&d| d == 0) {
+            return Err(ShapeError::ZeroDim { axis });
+        }
+        dims.iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(ShapeError::Overflow)?;
+        Ok(Shape4 { dims })
+    }
+
+    /// The dimensions as `[n, c, h, w]`.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Batch size N.
+    pub fn n(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Channel count C.
+    pub fn c(&self) -> usize {
+        self.dims[1]
+    }
+
+    /// Height H.
+    pub fn h(&self) -> usize {
+        self.dims[2]
+    }
+
+    /// Width W.
+    pub fn w(&self) -> usize {
+        self.dims[3]
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major linear index of `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range (debug-friendly bounds
+    /// reporting; use the typed getters on [`Tensor`](crate::Tensor) in
+    /// hot paths).
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        assert!(
+            n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3],
+            "index ({n},{c},{h},{w}) out of bounds for shape {self}"
+        );
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+
+    /// Validates that a buffer of `len` elements fills this shape exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::LengthMismatch`] when it does not.
+    pub fn check_len(&self, len: usize) -> Result<(), ShapeError> {
+        if len == self.volume() {
+            Ok(())
+        } else {
+            Err(ShapeError::LengthMismatch {
+                expected: self.volume(),
+                got: len,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}x{}",
+            self.dims[0], self.dims[1], self.dims[2], self.dims[3]
+        )
+    }
+}
+
+impl TryFrom<[usize; 4]> for Shape4 {
+    type Error = ShapeError;
+    fn try_from(dims: [usize; 4]) -> Result<Self, ShapeError> {
+        Shape4::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dims() {
+        for axis in 0..4 {
+            let mut dims = [2, 3, 4, 5];
+            dims[axis] = 0;
+            assert_eq!(Shape4::new(dims), Err(ShapeError::ZeroDim { axis }));
+        }
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        assert_eq!(
+            Shape4::new([usize::MAX, 2, 1, 1]),
+            Err(ShapeError::Overflow)
+        );
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape4::new([2, 3, 4, 5]).unwrap();
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_bounds_checked() {
+        let s = Shape4::new([1, 1, 2, 2]).unwrap();
+        let _ = s.index(0, 0, 2, 0);
+    }
+
+    #[test]
+    fn check_len_reports_both_sizes() {
+        let s = Shape4::new([1, 1, 2, 2]).unwrap();
+        let err = s.check_len(3).unwrap_err();
+        assert_eq!(
+            err,
+            ShapeError::LengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains('3') && err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape4::new([1, 2, 3, 4]).unwrap().to_string(), "1x2x3x4");
+    }
+}

@@ -1,0 +1,214 @@
+//! Dense row-major NCHW tensor storage.
+
+use std::fmt;
+
+use crate::{Shape4, ShapeError};
+
+/// A dense, row-major N×C×H×W tensor.
+///
+/// The element type is generic: the reproduction uses `Tensor<f32>` for
+/// float references, `Tensor<Fix16>` for quantized operands, and
+/// `Tensor<i32>` for raw accumulator outputs.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_tensor::Tensor;
+/// let mut t = Tensor::<i32>::zeros([1, 2, 2, 2]);
+/// t.set(0, 1, 0, 1, 42);
+/// assert_eq!(t.get(0, 1, 0, 1), 42);
+/// assert_eq!(t.as_slice().iter().sum::<i32>(), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid (zero dimension or overflow); shapes
+    /// originating from user input should be validated with
+    /// [`Shape4::new`] first.
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        Self::filled(dims, T::default())
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Creates a tensor with every element set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid.
+    pub fn filled(dims: [usize; 4], value: T) -> Self {
+        let shape = Shape4::new(dims).expect("invalid tensor shape");
+        Tensor {
+            shape,
+            data: vec![value; shape.volume()],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the shape is invalid or the buffer
+    /// length does not equal the shape volume.
+    pub fn from_vec(dims: [usize; 4], data: Vec<T>) -> Result<Self, ShapeError> {
+        let shape = Shape4::new(dims)?;
+        shape.check_len(data.len())?;
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Element at `(n, c, h, w)` if in bounds, else `None`.
+    pub fn try_get(&self, n: usize, c: usize, h: usize, w: usize) -> Option<T> {
+        let [dn, dc, dh, dw] = self.shape.dims();
+        if n < dn && c < dc && h < dh && w < dw {
+            Some(self.data[((n * dc + c) * dh + h) * dw + w])
+        } else {
+            None
+        }
+    }
+
+    /// Reads `(h, w)` treating coordinates outside the H×W plane as a
+    /// zero-padding halo. `h`/`w` are signed to allow negative halo
+    /// coordinates.
+    pub fn get_padded(&self, n: usize, c: usize, h: isize, w: isize, zero: T) -> T {
+        if h < 0 || w < 0 {
+            return zero;
+        }
+        self.try_get(n, c, h as usize, w as usize).unwrap_or(zero)
+    }
+
+    /// Writes `value` at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: T) {
+        let idx = self.shape.index(n, c, h, w);
+        self.data[idx] = value;
+    }
+
+    /// The backing buffer in row-major NCHW order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Applies `f` elementwise, producing a tensor of the same shape.
+    pub fn map<U: Copy>(&self, f: impl FnMut(T) -> U) -> Tensor<U> {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Iterates over `(n, c, h, w, value)` in row-major order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, usize, usize, T)> + '_ {
+        let [_, c, h, w] = self.shape.dims();
+        self.data.iter().enumerate().map(move |(i, &v)| {
+            let wi = i % w;
+            let hi = (i / w) % h;
+            let ci = (i / (w * h)) % c;
+            let ni = i / (w * h * c);
+            (ni, ci, hi, wi, v)
+        })
+    }
+}
+
+impl<T: Copy + fmt::Display> fmt::Display for Tensor<T> {
+    /// Prints the shape and the first plane — enough for debugging small
+    /// test tensors without flooding the terminal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {} [n=0,c=0]:", self.shape)?;
+        for h in 0..self.shape.h() {
+            for w in 0..self.shape.w() {
+                write!(f, "{:>8} ", self.get(0, 0, h, w))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_then_set_get() {
+        let mut t = Tensor::<f32>::zeros([2, 1, 3, 3]);
+        t.set(1, 0, 2, 2, 7.5);
+        assert_eq!(t.get(1, 0, 2, 2), 7.5);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec([1, 1, 2, 2], vec![1, 2, 3, 4]).is_ok());
+        assert!(Tensor::from_vec([1, 1, 2, 2], vec![1, 2, 3]).is_err());
+        assert!(Tensor::<i32>::from_vec([0, 1, 2, 2], vec![]).is_err());
+    }
+
+    #[test]
+    fn padded_reads() {
+        let t = Tensor::from_vec([1, 1, 2, 2], vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.get_padded(0, 0, -1, 0, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 2, 0, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 1, 1, 0), 4);
+    }
+
+    #[test]
+    fn iter_indexed_roundtrips() {
+        let t = Tensor::from_vec([2, 2, 1, 2], (0..8).collect()).unwrap();
+        for (n, c, h, w, v) in t.iter_indexed() {
+            assert_eq!(t.get(n, c, h, w), v);
+        }
+        assert_eq!(t.iter_indexed().count(), 8);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let t = Tensor::from_vec([1, 1, 2, 2], vec![1i32, -2, 3, -4]).unwrap();
+        let u = t.map(|x| x.unsigned_abs());
+        assert_eq!(u.shape(), t.shape());
+        assert_eq!(u.as_slice(), &[1u32, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let t = Tensor::from_vec([1, 1, 2, 2], vec![1, 2, 3, 4]).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("1x1x2x2"));
+        assert!(s.contains('4'));
+    }
+}

@@ -1,0 +1,120 @@
+//! AlexNet end-to-end: quantized inference through all five conv layers
+//! (with ReLU/pooling between them) plus the paper-style performance,
+//! traffic and power report for the 576-PE instance.
+//!
+//! The functional pipeline runs the golden fixed-point operators (the
+//! chain simulator is bit-exact against them — asserted layer by layer in
+//! `tests/chain_vs_reference.rs`); the architecture numbers come from the
+//! calibrated models. Run with `--small` (default) for a 4x-downscaled
+//! input or `--full` for the real 227×227 geometry.
+//!
+//! ```text
+//! cargo run --release --example alexnet            # downscaled, fast
+//! cargo run --release --example alexnet -- --full  # full geometry
+//! ```
+
+use chain_nn_repro::core::perf::{CycleModel, PerfModel};
+use chain_nn_repro::core::ChainConfig;
+use chain_nn_repro::energy::power::PowerModel;
+use chain_nn_repro::fixed::{OverflowMode, QFormat};
+use chain_nn_repro::mem::traffic::{totals, TrafficModel};
+use chain_nn_repro::mem::MemoryConfig;
+use chain_nn_repro::nets::synth::SynthSource;
+use chain_nn_repro::nets::{zoo, ConvLayerSpec, Network};
+use chain_nn_repro::tensor::conv::conv2d_fix;
+use chain_nn_repro::tensor::ops;
+
+fn small_alexnet() -> Network {
+    // Spatially downscaled AlexNet: same channel structure, ~1/16 work.
+    Network::new(
+        "AlexNet/4",
+        vec![
+            ConvLayerSpec::named("conv1", 3, 59, 59, 11, 4, 0, 96, 1).expect("valid"),
+            ConvLayerSpec::named("conv2", 96, 6, 6, 5, 1, 2, 256, 2).expect("valid"),
+            ConvLayerSpec::named("conv3", 256, 2, 2, 3, 1, 1, 384, 1).expect("valid"),
+            ConvLayerSpec::named("conv4", 384, 2, 2, 3, 1, 1, 384, 2).expect("valid"),
+            ConvLayerSpec::named("conv5", 384, 2, 2, 3, 1, 1, 256, 2).expect("valid"),
+        ],
+    )
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let net = if full { zoo::alexnet() } else { small_alexnet() };
+    println!("{net}");
+
+    // ---- functional quantized inference on synthetic data ----
+    let mut src = SynthSource::new(2017);
+    let first = &net.layers()[0];
+    let mut activation = src.activations(first, 1, 8.0);
+    let act_fmt = QFormat::new(8).expect("valid");
+    let w_fmt = QFormat::new(12).expect("valid");
+    for (i, layer) in net.layers().iter().enumerate() {
+        let weights = src.weights(layer);
+        let qa = activation.map(|x| act_fmt.quantize(x));
+        let qw = weights.map(|x| w_fmt.quantize(x));
+        let raw = conv2d_fix(&qa, &qw, layer.geometry(), OverflowMode::Wrapping)
+            .expect("layer geometry is consistent");
+        // Dequantize psums (act 8 + weight 12 fractional bits), ReLU.
+        let scale = 2f32.powi(-(8 + 12));
+        let mut f = raw.map(|v| (v as f32 * scale).max(0.0));
+        // AlexNet pools after conv1, conv2, conv5 (3x3, stride 2).
+        if matches!(i, 0 | 1 | 4) && f.shape().h() >= 3 {
+            f = ops::max_pool(&f, 3, 2);
+        }
+        let nonzero = f.as_slice().iter().filter(|&&x| x > 0.0).count();
+        println!(
+            "  {}: out {} ({} of {} activations firing)",
+            layer.name(),
+            f.shape(),
+            nonzero,
+            f.as_slice().len()
+        );
+        activation = f;
+    }
+
+    // ---- architecture report (always full AlexNet, like the paper) ----
+    let alex = zoo::alexnet();
+    let cfg = ChainConfig::paper_576();
+    let perf = PerfModel::new(cfg);
+    println!("\n-- performance (576 PEs @ 700 MHz) --");
+    for batch in [4usize, 128] {
+        let p = perf
+            .network(&alex, batch, CycleModel::PaperCalibrated)
+            .expect("alexnet maps");
+        println!(
+            "  batch {batch:>3}: {:>7.1} ms/batch  {:>6.1} fps  {:>6.1} GOPS achieved",
+            p.total_ms, p.fps, p.gops
+        );
+    }
+
+    let traffic = TrafficModel::new(cfg, MemoryConfig::paper());
+    let rows = traffic.network_traffic(&alex, 4).expect("alexnet maps");
+    let t = totals(&rows);
+    println!("\n-- memory traffic, batch 4 --");
+    println!(
+        "  DRAM {:.1} MB | iMemory {:.1} MB | kMemory {:.1} MB | oMemory {:.1} MB",
+        t.dram_bytes as f64 / 1e6,
+        t.imem_bytes as f64 / 1e6,
+        t.kmem_bytes as f64 / 1e6,
+        t.omem_bytes as f64 / 1e6
+    );
+
+    let power = PowerModel::new(cfg, MemoryConfig::paper())
+        .network_power(&alex, 4)
+        .expect("alexnet maps");
+    println!("\n-- power --");
+    println!(
+        "  {:.1} mW total ({:.1} chain / {:.1} kMem / {:.1} iMem / {:.1} oMem)",
+        power.breakdown.total_mw(),
+        power.breakdown.chain_mw,
+        power.breakdown.kmem_mw,
+        power.breakdown.imem_mw,
+        power.breakdown.omem_mw
+    );
+    println!(
+        "  {:.1} GOPS/W whole-chip (paper: 1421.0), {:.1} GOPS/W core-only",
+        power.gops_per_watt_total(),
+        power.gops_per_watt_core()
+    );
+}

@@ -1,0 +1,43 @@
+//! Umbrella crate for the Chain-NN (DATE 2017) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can write `use chain_nn_repro::core::...`. See the
+//! repository `README.md` for the architecture overview, `DESIGN.md` for
+//! the system inventory, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chain_nn_repro::core::{ChainConfig, LayerShape};
+//!
+//! // The paper's 576-PE instance at 700 MHz.
+//! let cfg = ChainConfig::paper_576();
+//! assert_eq!(cfg.peak_gops(), 806.4);
+//!
+//! // A 3x3 convolution maps 64 primitives, 576/576 PEs active.
+//! let shape = LayerShape::square(3, 8, 16, 3, 1, 1);
+//! let m = cfg.map_kernel(shape.kh).unwrap();
+//! assert_eq!(m.active_pes(), 576);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod runner;
+
+/// Baseline accelerator models (single-channel chain, memory-centric
+/// adder tree, 2D spatial array).
+pub use chain_nn_baselines as baselines;
+/// The 1D chain architecture: PEs, primitives, schedules, simulator and
+/// performance model.
+pub use chain_nn_core as core;
+/// Technology / power / area models.
+pub use chain_nn_energy as energy;
+/// Fixed-point arithmetic and quantization.
+pub use chain_nn_fixed as fixed;
+/// Memory hierarchy and dataflow traffic models.
+pub use chain_nn_mem as mem;
+/// Network zoo (AlexNet, VGG-16, LeNet, CIFAR-10).
+pub use chain_nn_nets as nets;
+/// Tensors and golden-model convolution.
+pub use chain_nn_tensor as tensor;

@@ -1,0 +1,285 @@
+//! High-level network runner: one call from a [`Network`] to the full
+//! paper-style report (performance, traffic, power), plus a functional
+//! quantized-inference pipeline and a chain-verification helper.
+//!
+//! This is the API a downstream user starts from; the `repro_*`
+//! binaries and examples are thin layers over the same building blocks.
+
+use chain_nn_core::perf::{CycleModel, LayerPerf, PerfModel};
+use chain_nn_core::sim::ChainSim;
+use chain_nn_core::{polyphase, ChainConfig, CoreError, LayerShape};
+use chain_nn_energy::power::{PowerModel, PowerReport};
+use chain_nn_fixed::{OverflowMode, QFormat};
+use chain_nn_mem::traffic::{LayerTraffic, TrafficModel};
+use chain_nn_mem::MemoryConfig;
+use chain_nn_nets::{ConvLayerSpec, Network};
+use chain_nn_tensor::conv::conv2d_fix;
+use chain_nn_tensor::Tensor;
+
+/// Everything the models can say about one layer.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Cycle prediction (paper-calibrated accounting).
+    pub perf: LayerPerf,
+    /// Strict (simulator-exact) cycle prediction.
+    pub strict: LayerPerf,
+    /// Per-level traffic for the requested batch.
+    pub traffic: LayerTraffic,
+}
+
+/// Whole-network report.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Per-layer breakdowns.
+    pub layers: Vec<LayerReport>,
+    /// Batch size used throughout.
+    pub batch: usize,
+    /// Frames per second (paper-calibrated model, loads amortized per
+    /// batch).
+    pub fps: f64,
+    /// Average power while running this workload.
+    pub power: PowerReport,
+}
+
+/// One-stop runner for a chain + memory configuration.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_repro::runner::NetworkRunner;
+/// use chain_nn_repro::nets::zoo;
+///
+/// let runner = NetworkRunner::paper();
+/// let report = runner.report(&zoo::alexnet(), 4).unwrap();
+/// assert_eq!(report.layers.len(), 5);
+/// assert!(report.fps > 200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkRunner {
+    cfg: ChainConfig,
+    mem: MemoryConfig,
+}
+
+impl NetworkRunner {
+    /// Runner over the paper's 576-PE / 32+25 KB configuration.
+    pub fn paper() -> Self {
+        NetworkRunner {
+            cfg: ChainConfig::paper_576(),
+            mem: MemoryConfig::paper(),
+        }
+    }
+
+    /// Runner over a custom configuration.
+    pub fn new(cfg: ChainConfig, mem: MemoryConfig) -> Self {
+        NetworkRunner { cfg, mem }
+    }
+
+    /// The chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.cfg
+    }
+
+    /// Full model-level report for `net` at `batch` images.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (kernel too large for the chain).
+    pub fn report(&self, net: &Network, batch: usize) -> Result<NetworkReport, CoreError> {
+        let perf_model = PerfModel::new(self.cfg);
+        let traffic_model = TrafficModel::new(self.cfg, self.mem);
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for spec in net.layers() {
+            layers.push(LayerReport {
+                name: spec.name().to_owned(),
+                perf: perf_model.layer(spec, CycleModel::PaperCalibrated)?,
+                strict: perf_model.layer(spec, CycleModel::Strict)?,
+                traffic: traffic_model.layer_traffic(spec, batch)?,
+            });
+        }
+        let fps = perf_model
+            .network(net, batch, CycleModel::PaperCalibrated)?
+            .fps;
+        let power = PowerModel::new(self.cfg, self.mem).network_power(net, batch)?;
+        Ok(NetworkReport {
+            layers,
+            batch,
+            fps,
+            power,
+        })
+    }
+
+    /// Functional quantized inference: runs every conv layer of `net` on
+    /// `input` with the given weights source, applying `between` after
+    /// each layer (ReLU, pooling, …) to produce the next layer's input.
+    ///
+    /// The arithmetic is the golden fixed-point model — bit-exact with
+    /// the chain simulator (see `tests/chain_vs_reference.rs`) but fast
+    /// enough for full networks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DataMismatch`] if an activation tensor does
+    /// not match the next layer's expected input shape.
+    pub fn run_functional(
+        &self,
+        net: &Network,
+        input: &Tensor<f32>,
+        mut weights_for: impl FnMut(&ConvLayerSpec) -> Tensor<f32>,
+        act_fmt: QFormat,
+        w_fmt: QFormat,
+        mut between: impl FnMut(usize, Tensor<f32>) -> Tensor<f32>,
+    ) -> Result<Tensor<f32>, CoreError> {
+        let mut act = input.clone();
+        let scale = 2f32.powi(-((act_fmt.frac_bits() + w_fmt.frac_bits()) as i32));
+        for (i, spec) in net.layers().iter().enumerate() {
+            let dims = act.shape().dims();
+            if dims[1] != spec.c() || dims[2] != spec.h() || dims[3] != spec.w() {
+                return Err(CoreError::DataMismatch(format!(
+                    "layer {} expects {}x{}x{}, got {}x{}x{}",
+                    spec.name(),
+                    spec.c(),
+                    spec.h(),
+                    spec.w(),
+                    dims[1],
+                    dims[2],
+                    dims[3]
+                )));
+            }
+            let w = weights_for(spec);
+            let qa = act.map(|x| act_fmt.quantize(x));
+            let qw = w.map(|x| w_fmt.quantize(x));
+            let raw = conv2d_fix(&qa, &qw, spec.geometry(), OverflowMode::Wrapping)
+                .map_err(|e| CoreError::DataMismatch(e.to_string()))?;
+            act = between(i, raw.map(|v| v as f32 * scale));
+        }
+        Ok(act)
+    }
+
+    /// Verifies one layer group on the cycle-accurate simulator against
+    /// the golden model (strided layers go through polyphase) and
+    /// returns the measured cycles. Intended for downscaled shapes —
+    /// cycle simulation of full ImageNet layers is minutes, not
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; panics never — a mismatch is
+    /// reported as `Err(CoreError::DataMismatch)`.
+    pub fn verify_on_chain(
+        &self,
+        shape: &LayerShape,
+        ifmap: &Tensor<chain_nn_fixed::Fix16>,
+        weights: &Tensor<chain_nn_fixed::Fix16>,
+    ) -> Result<u64, CoreError> {
+        let sim = ChainSim::new(self.cfg);
+        let (ofmaps, cycles) = if shape.stride == 1 {
+            let r = sim.run_layer(shape, ifmap, weights)?;
+            (r.ofmaps, r.stats.total_cycles())
+        } else {
+            let r = polyphase::run(&sim, shape, ifmap, weights)?;
+            let c = r.stats.stream_cycles + r.stats.drain_cycles + r.stats.load_cycles;
+            (r.ofmaps, c)
+        };
+        let golden = conv2d_fix(
+            ifmap,
+            weights,
+            chain_nn_tensor::conv::ConvGeometry::rect(
+                shape.kh,
+                shape.kw,
+                shape.stride,
+                shape.pad,
+            )
+            .map_err(|e| CoreError::Shape(e.to_string()))?,
+            OverflowMode::Wrapping,
+        )
+        .map_err(|e| CoreError::DataMismatch(e.to_string()))?;
+        if ofmaps != golden {
+            return Err(CoreError::DataMismatch(
+                "chain output differs from golden model".into(),
+            ));
+        }
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_nn_fixed::Fix16;
+    use chain_nn_nets::synth::SynthSource;
+    use chain_nn_nets::zoo;
+    use chain_nn_tensor::ops;
+
+    #[test]
+    fn report_covers_every_layer() {
+        let r = NetworkRunner::paper().report(&zoo::alexnet(), 4).expect("maps");
+        assert_eq!(r.layers.len(), 5);
+        for l in &r.layers {
+            assert!(l.perf.stream_cycles > 0.0, "{}", l.name);
+            assert!(l.strict.compute_cycles() > 0.0);
+            assert!(l.traffic.omem_bytes > 0);
+        }
+        assert!(r.power.breakdown.total_mw() > 100.0);
+    }
+
+    #[test]
+    fn functional_pipeline_chains_lenet() {
+        let net = zoo::lenet();
+        let mut src = SynthSource::new(5);
+        let input = src.activations(&net.layers()[0], 1, 1.0);
+        let mut wsrc = SynthSource::new(6);
+        let fmt = QFormat::new(12).expect("fmt");
+        let out = NetworkRunner::paper()
+            .run_functional(
+                &net,
+                &input,
+                |spec| wsrc.weights(spec),
+                fmt,
+                fmt,
+                |i, t| {
+                    let t = ops::relu(&t);
+                    // LeNet pools 2x2/2 after conv1 and conv2.
+                    if i < 2 {
+                        ops::max_pool(&t, 2, 2)
+                    } else {
+                        t
+                    }
+                },
+            )
+            .expect("pipeline runs");
+        assert_eq!(out.shape().dims(), [1, 120, 1, 1]);
+    }
+
+    #[test]
+    fn functional_pipeline_rejects_shape_breaks() {
+        let net = zoo::lenet();
+        let mut src = SynthSource::new(5);
+        let input = src.activations(&net.layers()[0], 1, 1.0);
+        let mut wsrc = SynthSource::new(6);
+        let fmt = QFormat::new(12).expect("fmt");
+        // No pooling -> conv2's expected 14x14 input never appears.
+        let err = NetworkRunner::paper()
+            .run_functional(&net, &input, |s| wsrc.weights(s), fmt, fmt, |_, t| t)
+            .expect_err("shape break detected");
+        assert!(matches!(err, CoreError::DataMismatch(_)));
+    }
+
+    #[test]
+    fn verify_on_chain_stride1_and_strided() {
+        let runner = NetworkRunner::new(
+            ChainConfig::builder().num_pes(36).build().expect("cfg"),
+            MemoryConfig::paper(),
+        );
+        let s1 = LayerShape::square(2, 7, 3, 3, 1, 1);
+        let ifmap = Tensor::filled([1, 2, 7, 7], Fix16::from_raw(2));
+        let w = Tensor::filled([3, 2, 3, 3], Fix16::from_raw(1));
+        assert!(runner.verify_on_chain(&s1, &ifmap, &w).expect("verifies") > 0);
+
+        let s2 = LayerShape::square(1, 9, 2, 3, 2, 0);
+        let ifmap = Tensor::filled([1, 1, 9, 9], Fix16::from_raw(3));
+        let w = Tensor::filled([2, 1, 3, 3], Fix16::from_raw(2));
+        assert!(runner.verify_on_chain(&s2, &ifmap, &w).expect("verifies") > 0);
+    }
+}

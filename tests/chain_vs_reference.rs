@@ -1,0 +1,182 @@
+//! The reproduction's central correctness claim: the cycle-accurate chain
+//! simulator is bit-exact against the golden fixed-point convolution for
+//! every supported configuration — the analogue of the paper's on-the-fly
+//! ModelSim vs float-to-fix-simulator check (§V.A).
+
+use proptest::prelude::*;
+
+use chain_nn_repro::core::sim::{ChainSim, ChannelMode};
+use chain_nn_repro::core::{polyphase, ChainConfig, LayerShape};
+use chain_nn_repro::fixed::{Fix16, OverflowMode};
+use chain_nn_repro::tensor::conv::{conv2d_fix, ConvGeometry};
+use chain_nn_repro::tensor::Tensor;
+
+fn tensors(shape: &LayerShape, seed: i16) -> (Tensor<Fix16>, Tensor<Fix16>) {
+    let vi = shape.c * shape.h * shape.w;
+    let ifmap = Tensor::from_vec(
+        [1, shape.c, shape.h, shape.w],
+        (0..vi)
+            .map(|i| Fix16::from_raw(((i as i16).wrapping_mul(seed)) % 97))
+            .collect(),
+    )
+    .expect("consistent dims");
+    let vw = shape.m * shape.c * shape.kh * shape.kw;
+    let weights = Tensor::from_vec(
+        [shape.m, shape.c, shape.kh, shape.kw],
+        (0..vw)
+            .map(|i| Fix16::from_raw(((i as i16).wrapping_mul(seed.wrapping_add(13))) % 53))
+            .collect(),
+    )
+    .expect("consistent dims");
+    (ifmap, weights)
+}
+
+fn golden(shape: &LayerShape, ifmap: &Tensor<Fix16>, w: &Tensor<Fix16>) -> Tensor<i32> {
+    conv2d_fix(
+        ifmap,
+        w,
+        ConvGeometry::rect(shape.kh, shape.kw, shape.stride, shape.pad).expect("geometry"),
+        OverflowMode::Wrapping,
+    )
+    .expect("golden conv")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random stride-1 layers, random chain lengths: bit-exact.
+    #[test]
+    fn random_stride1_layers_match(
+        c in 1usize..4,
+        m in 1usize..6,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        extra_h in 0usize..5,
+        pad in 0usize..2,
+        prims in 1usize..4,
+        seed in 1i16..1000,
+    ) {
+        let h = kh.max(kw) + 2 + extra_h;
+        let shape = LayerShape { c, h, w: h + 1, m, kh, kw, stride: 1, pad };
+        let (ifmap, weights) = tensors(&shape, seed);
+        let cfg = ChainConfig::builder()
+            .num_pes(prims * kh * kw)
+            .build()
+            .expect("valid cfg");
+        let run = ChainSim::new(cfg).run_layer(&shape, &ifmap, &weights).expect("runs");
+        prop_assert_eq!(run.ofmaps, golden(&shape, &ifmap, &weights));
+    }
+
+    /// Random strided layers through the polyphase decomposition.
+    #[test]
+    fn random_strided_layers_match(
+        c in 1usize..3,
+        m in 1usize..4,
+        k in 2usize..6,
+        stride in 2usize..5,
+        pad in 0usize..2,
+        seed in 1i16..1000,
+    ) {
+        let h = k + 3 * stride + 2;
+        let shape = LayerShape::square(c, h, m, k, stride, pad);
+        let (ifmap, weights) = tensors(&shape, seed);
+        let cfg = ChainConfig::builder().num_pes(2 * k * k).build().expect("valid cfg");
+        let sim = ChainSim::new(cfg);
+        let rep = polyphase::run(&sim, &shape, &ifmap, &weights).expect("runs");
+        prop_assert_eq!(rep.ofmaps, golden(&shape, &ifmap, &weights));
+    }
+
+    /// Single-channel mode agrees with dual on outputs (only timing
+    /// differs).
+    #[test]
+    fn single_channel_agrees(
+        c in 1usize..3,
+        m in 1usize..4,
+        k in 1usize..4,
+        extra in 0usize..4,
+        seed in 1i16..1000,
+    ) {
+        let h = k + 2 + extra;
+        let shape = LayerShape::square(c, h, m, k, 1, 0);
+        let (ifmap, weights) = tensors(&shape, seed);
+        let cfg = ChainConfig::builder().num_pes(2 * k * k).build().expect("valid cfg");
+        let sim = ChainSim::new(cfg);
+        let dual = sim.run_layer_with(&shape, &ifmap, &weights, ChannelMode::Dual).expect("dual");
+        let single = sim.run_layer_with(&shape, &ifmap, &weights, ChannelMode::Single).expect("single");
+        prop_assert_eq!(&dual.ofmaps, &single.ofmaps);
+        prop_assert_eq!(dual.ofmaps, golden(&shape, &ifmap, &weights));
+    }
+}
+
+/// Spatially downscaled AlexNet layers (exact channel structure, K,
+/// stride, pad, groups) through the full chain, bit-exact. Uses the
+/// paper's 576-PE chain for the 3x3 layers.
+#[test]
+fn downscaled_alexnet_layers_bit_exact() {
+    // (C_group, H, K, stride, pad, M_group, PEs)
+    let cases = [
+        ("conv2/4", 8, 9, 5, 1, 2, 6, 75),
+        ("conv3/4", 16, 7, 3, 1, 1, 12, 576),
+        ("conv4/4", 24, 7, 3, 1, 1, 12, 576),
+        ("conv5/4", 24, 7, 3, 1, 1, 8, 576),
+    ];
+    for (name, c, h, k, s, p, m, pes) in cases {
+        let shape = LayerShape::square(c, h, m, k, s, p);
+        let (ifmap, weights) = tensors(&shape, 7);
+        let cfg = ChainConfig::builder().num_pes(pes).build().expect("cfg");
+        let run = ChainSim::new(cfg)
+            .run_layer(&shape, &ifmap, &weights)
+            .expect("runs");
+        assert_eq!(run.ofmaps, golden(&shape, &ifmap, &weights), "{name}");
+    }
+}
+
+/// Downscaled AlexNet conv1 (K=11, stride 4) through polyphase on a
+/// 576-PE chain.
+#[test]
+fn downscaled_alexnet_conv1_polyphase_bit_exact() {
+    let shape = LayerShape::square(3, 35, 4, 11, 4, 0);
+    let (ifmap, weights) = tensors(&shape, 11);
+    let sim = ChainSim::new(ChainConfig::paper_576());
+    let rep = polyphase::run(&sim, &shape, &ifmap, &weights).expect("runs");
+    assert_eq!(rep.ofmaps, golden(&shape, &ifmap, &weights));
+    // 16 phases, each mapped onto the chain.
+    assert_eq!(rep.phases.len(), 16);
+}
+
+/// Batched input: every image of the batch is independent and exact.
+#[test]
+fn batch_of_three_images() {
+    let shape = LayerShape::square(2, 6, 3, 3, 1, 1);
+    let vi = 3 * 2 * 36;
+    let ifmap = Tensor::from_vec(
+        [3, 2, 6, 6],
+        (0..vi).map(|i| Fix16::from_raw((i % 41) as i16 - 20)).collect(),
+    )
+    .expect("dims");
+    let weights = Tensor::from_vec(
+        [3, 2, 3, 3],
+        (0..54).map(|i| Fix16::from_raw((i % 9) as i16 - 4)).collect(),
+    )
+    .expect("dims");
+    let run = ChainSim::new(ChainConfig::builder().num_pes(27).build().expect("cfg"))
+        .run_layer(&shape, &ifmap, &weights)
+        .expect("runs");
+    assert_eq!(run.ofmaps, golden(&shape, &ifmap, &weights));
+}
+
+/// Extreme operand values: saturated words through the wrapping datapath
+/// still match the golden model (both wrap identically).
+#[test]
+fn extreme_values_wrap_identically() {
+    let shape = LayerShape::square(1, 5, 1, 3, 1, 0);
+    let ifmap = Tensor::filled([1, 1, 5, 5], Fix16::MIN);
+    let weights = Tensor::filled([1, 1, 3, 3], Fix16::MIN);
+    let run = ChainSim::new(ChainConfig::builder().num_pes(9).build().expect("cfg"))
+        .run_layer(&shape, &ifmap, &weights)
+        .expect("runs");
+    assert_eq!(run.ofmaps, golden(&shape, &ifmap, &weights));
+    // 9 · (−32768)² = 9·2^30 wraps to 2^30 in 32-bit two's complement.
+    let expected = (0..9).fold(0i32, |acc, _| acc.wrapping_add(1 << 30));
+    assert_eq!(run.ofmaps.get(0, 0, 0, 0), expected);
+}

@@ -1,0 +1,159 @@
+//! Fault-injection tests: perturb one architectural state element and
+//! verify the damage lands exactly where the mapping says it must. A
+//! simulator can pass golden-equivalence tests with dead logic if some
+//! other path compensates; these tests pin each element to its role.
+
+use chain_nn_repro::core::sim::ChainSim;
+use chain_nn_repro::core::{ChainConfig, KernelMapping, LayerShape};
+use chain_nn_repro::fixed::Fix16;
+use chain_nn_repro::tensor::Tensor;
+
+fn tensors(shape: &LayerShape) -> (Tensor<Fix16>, Tensor<Fix16>) {
+    let vi = shape.c * shape.h * shape.w;
+    let ifmap = Tensor::from_vec(
+        [1, shape.c, shape.h, shape.w],
+        (0..vi).map(|i| Fix16::from_raw((i % 19) as i16 + 1)).collect(),
+    )
+    .expect("dims");
+    let vw = shape.m * shape.c * shape.kh * shape.kw;
+    let weights = Tensor::from_vec(
+        [shape.m, shape.c, shape.kh, shape.kw],
+        (0..vw).map(|i| Fix16::from_raw((i % 7) as i16 + 1)).collect(),
+    )
+    .expect("dims");
+    (ifmap, weights)
+}
+
+/// Corrupting one weight of ofmap channel m / input channel c changes
+/// *only* that ofmap channel, and every one of its outputs whose window
+/// covers the tap.
+#[test]
+fn single_weight_fault_is_contained_to_its_ofmap_channel() {
+    let shape = LayerShape::square(2, 8, 4, 3, 1, 1);
+    let (ifmap, weights) = tensors(&shape);
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(36).build().expect("cfg"));
+    let clean = sim.run_layer(&shape, &ifmap, &weights).expect("runs");
+
+    // Flip the centre tap of (m=2, c=1).
+    let mut faulty_w = weights.clone();
+    let old = faulty_w.get(2, 1, 1, 1);
+    faulty_w.set(2, 1, 1, 1, Fix16::from_raw(old.raw().wrapping_add(100)));
+    let faulty = sim.run_layer(&shape, &ifmap, &faulty_w).expect("runs");
+
+    for (n, m, h, w, v) in faulty.ofmaps.iter_indexed() {
+        let expect_differs = m == 2; // centre tap touches every output
+        let differs = v != clean.ofmaps.get(n, m, h, w);
+        assert_eq!(
+            differs, expect_differs,
+            "fault leaked: m={m} h={h} w={w} (differs={differs})"
+        );
+    }
+}
+
+/// A corner-tap fault with zero padding misses the outputs whose window
+/// clips that tap — damage tracks the window geometry exactly.
+#[test]
+fn corner_tap_fault_tracks_window_geometry() {
+    let shape = LayerShape::square(1, 6, 1, 3, 1, 0);
+    let (ifmap, weights) = tensors(&shape);
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(9).build().expect("cfg"));
+    let clean = sim.run_layer(&shape, &ifmap, &weights).expect("runs");
+
+    // Corrupt tap (0,0) — used by output (y,x) reading pixel (y, x).
+    let mut fw = weights.clone();
+    fw.set(0, 0, 0, 0, Fix16::from_raw(99));
+    let faulty = sim.run_layer(&shape, &ifmap, &fw).expect("runs");
+
+    // Without padding every window covers its (0,0) tap with a real
+    // pixel, so ALL outputs change (pixels are non-zero by
+    // construction).
+    for (n, m, h, w, v) in faulty.ofmaps.iter_indexed() {
+        assert_ne!(v, clean.ofmaps.get(n, m, h, w), "output ({h},{w}) unchanged");
+    }
+}
+
+/// Corrupting input channel c's pixels leaves other channels' *weights*
+/// contributions intact: with the faulty channel's weights zeroed, the
+/// result equals the clean run with that channel zeroed — accumulation
+/// isolation across the c-loop.
+#[test]
+fn channel_accumulation_is_isolated() {
+    let shape = LayerShape::square(3, 7, 2, 3, 1, 1);
+    let (ifmap, weights) = tensors(&shape);
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(18).build().expect("cfg"));
+
+    // Zero channel 1's weights.
+    let mut wz = weights.clone();
+    for m in 0..2 {
+        for i in 0..3 {
+            for j in 0..3 {
+                wz.set(m, 1, i, j, Fix16::ZERO);
+            }
+        }
+    }
+    let masked = sim.run_layer(&shape, &ifmap, &wz).expect("runs");
+
+    // Equivalent: zero channel 1's pixels instead.
+    let mut iz = ifmap.clone();
+    for h in 0..7 {
+        for w in 0..7 {
+            iz.set(0, 1, h, w, Fix16::ZERO);
+        }
+    }
+    let masked2 = sim.run_layer(&shape, &iz, &weights).expect("runs");
+    assert_eq!(masked.ofmaps, masked2.ofmaps);
+}
+
+/// The mapping determines which primitive computes which ofmap channel:
+/// permuting whole kernels permutes whole ofmap channels, nothing else.
+#[test]
+fn kernel_permutation_permutes_ofmaps() {
+    let shape = LayerShape::square(2, 6, 3, 3, 1, 0);
+    let (ifmap, weights) = tensors(&shape);
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(27).build().expect("cfg"));
+    let base = sim.run_layer(&shape, &ifmap, &weights).expect("runs");
+
+    // Swap kernels of m=0 and m=2.
+    let mut swapped = weights.clone();
+    for c in 0..2 {
+        for i in 0..3 {
+            for j in 0..3 {
+                let a = weights.get(0, c, i, j);
+                let b = weights.get(2, c, i, j);
+                swapped.set(0, c, i, j, b);
+                swapped.set(2, c, i, j, a);
+            }
+        }
+    }
+    let perm = sim.run_layer(&shape, &ifmap, &swapped).expect("runs");
+    for (n, m, h, w, v) in perm.ofmaps.iter_indexed() {
+        let src = match m {
+            0 => 2,
+            2 => 0,
+            other => other,
+        };
+        assert_eq!(v, base.ofmaps.get(n, src, h, w));
+    }
+}
+
+/// Idle tail PEs (mapping leftovers) can hold garbage weights without
+/// affecting results: adding junk ofmap channels beyond M changes
+/// nothing for the real ones.
+#[test]
+fn partial_tile_ignores_inactive_primitives() {
+    // 5 ofmap channels on a chain with room for 4 primitives.
+    let shape = LayerShape::square(2, 6, 5, 3, 1, 0);
+    let (ifmap, weights) = tensors(&shape);
+    let mapping = KernelMapping::new(36, 3, 3).expect("maps");
+    assert_eq!(mapping.m_tiles(5), 2);
+    assert_eq!(mapping.primitives_in_tile(5, 1), 1);
+    let run = ChainSim::new(ChainConfig::builder().num_pes(36).build().expect("cfg"))
+        .run_layer(&shape, &ifmap, &weights)
+        .expect("runs");
+
+    // Reference on a bigger chain (8 primitives, single tile).
+    let big = ChainSim::new(ChainConfig::builder().num_pes(72).build().expect("cfg"))
+        .run_layer(&shape, &ifmap, &weights)
+        .expect("runs");
+    assert_eq!(run.ofmaps, big.ofmaps);
+}

@@ -1,0 +1,111 @@
+//! Full-geometry cycle-accurate runs — expensive, so `#[ignore]`d by
+//! default. Run with:
+//!
+//! ```text
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use chain_nn_repro::core::perf::{CycleModel, PerfModel};
+use chain_nn_repro::core::sim::ChainSim;
+use chain_nn_repro::core::{ChainConfig, LayerShape};
+use chain_nn_repro::fixed::{Fix16, OverflowMode};
+use chain_nn_repro::nets::zoo;
+use chain_nn_repro::tensor::conv::{conv2d_fix, ConvGeometry};
+use chain_nn_repro::tensor::Tensor;
+
+/// AlexNet conv5 (one group) at full 13×13 geometry on the full 576-PE
+/// chain: bit-exact and cycle-exact vs the strict model. This simulates
+/// ~156k patterns-cycles × 576 PEs — seconds in release, minutes in
+/// debug, hence ignored.
+#[test]
+#[ignore = "full-geometry simulation; run with --release -- --ignored"]
+fn alexnet_conv5_group_full_geometry() {
+    let spec = zoo::alexnet();
+    let conv5 = spec.layer("conv5").expect("conv5");
+    let shape = LayerShape::from_spec_group(conv5, 0);
+    let vi = shape.c * shape.h * shape.w;
+    let ifmap = Tensor::from_vec(
+        [1, shape.c, shape.h, shape.w],
+        (0..vi).map(|i| Fix16::from_raw((i % 251) as i16 - 125)).collect(),
+    )
+    .expect("dims");
+    let vw = shape.m * shape.c * shape.kh * shape.kw;
+    let weights = Tensor::from_vec(
+        [shape.m, shape.c, shape.kh, shape.kw],
+        (0..vw).map(|i| Fix16::from_raw((i % 127) as i16 - 63)).collect(),
+    )
+    .expect("dims");
+
+    let cfg = ChainConfig::paper_576();
+    let run = ChainSim::new(cfg).run_layer(&shape, &ifmap, &weights).expect("runs");
+
+    // Bit-exact.
+    let golden = conv2d_fix(
+        &ifmap,
+        &weights,
+        ConvGeometry::new(3, 1, 1).expect("geom"),
+        OverflowMode::Wrapping,
+    )
+    .expect("golden");
+    assert_eq!(run.ofmaps, golden);
+
+    // Cycle-exact vs the strict model for this single group: build a
+    // one-group spec.
+    let one_group = chain_nn_repro::nets::ConvLayerSpec::named(
+        "conv5g",
+        shape.c,
+        shape.h,
+        shape.w,
+        shape.kh,
+        shape.stride,
+        shape.pad,
+        shape.m,
+        1,
+    )
+    .expect("spec");
+    let predicted = PerfModel::new(cfg)
+        .layer(&one_group, CycleModel::Strict)
+        .expect("maps");
+    assert_eq!(predicted.stream_cycles, run.stats.stream_cycles as f64);
+    assert_eq!(predicted.drain_cycles, run.stats.drain_cycles as f64);
+    assert_eq!(predicted.load_cycles, run.stats.load_cycles);
+}
+
+/// Full-geometry AlexNet conv1 (stride 4) through polyphase on the
+/// 576-PE chain — the heaviest verification in the repository.
+#[test]
+#[ignore = "full-geometry strided simulation; run with --release -- --ignored"]
+fn alexnet_conv1_full_geometry_polyphase() {
+    let alex = zoo::alexnet();
+    let conv1 = alex.layer("conv1").expect("conv1");
+    let shape = LayerShape::from_spec_group(conv1, 0);
+    let vi = shape.c * shape.h * shape.w;
+    let ifmap = Tensor::from_vec(
+        [1, shape.c, shape.h, shape.w],
+        (0..vi).map(|i| Fix16::from_raw((i % 97) as i16 - 48)).collect(),
+    )
+    .expect("dims");
+    // Full M=96 is slow; 8 ofmap channels exercise the full phase
+    // machinery at identical schedules.
+    let m = 8usize;
+    let vw = m * shape.c * shape.kh * shape.kw;
+    let weights = Tensor::from_vec(
+        [m, shape.c, shape.kh, shape.kw],
+        (0..vw).map(|i| Fix16::from_raw((i % 61) as i16 - 30)).collect(),
+    )
+    .expect("dims");
+    let mut shape = shape;
+    shape.m = m;
+
+    let sim = ChainSim::new(ChainConfig::paper_576());
+    let rep = chain_nn_repro::core::polyphase::run(&sim, &shape, &ifmap, &weights)
+        .expect("runs");
+    let golden = conv2d_fix(
+        &ifmap,
+        &weights,
+        ConvGeometry::new(11, 4, 0).expect("geom"),
+        OverflowMode::Wrapping,
+    )
+    .expect("golden");
+    assert_eq!(rep.ofmaps, golden);
+}

@@ -1,0 +1,114 @@
+//! The strict analytic performance model must reproduce the simulator's
+//! cycle accounting *exactly* — this is what makes the full-size AlexNet
+//! numbers (which are too big to simulate cycle by cycle) trustworthy.
+
+use chain_nn_repro::core::perf::{CycleModel, PerfModel};
+use chain_nn_repro::core::sim::ChainSim;
+use chain_nn_repro::core::{ChainConfig, LayerShape};
+use chain_nn_repro::fixed::Fix16;
+use chain_nn_repro::nets::ConvLayerSpec;
+use chain_nn_repro::tensor::Tensor;
+
+fn run_and_compare(spec: &ConvLayerSpec, pes: usize, depth: usize) {
+    let cfg = ChainConfig::builder()
+        .num_pes(pes)
+        .kmemory_depth(depth)
+        .build()
+        .expect("valid cfg");
+    let model = PerfModel::new(cfg);
+    let predicted = model.layer(spec, CycleModel::Strict).expect("maps");
+
+    // Simulate every group and sum.
+    let mut stream = 0u64;
+    let mut drain = 0u64;
+    let mut load = 0u64;
+    for g in 0..spec.groups() {
+        let shape = LayerShape::from_spec_group(spec, g);
+        let ifmap = Tensor::<Fix16>::filled([1, shape.c, shape.h, shape.w], Fix16::from_raw(1));
+        let weights = Tensor::<Fix16>::filled(
+            [shape.m, shape.c, shape.kh, shape.kw],
+            Fix16::from_raw(1),
+        );
+        let run = ChainSim::new(cfg)
+            .run_layer(&shape, &ifmap, &weights)
+            .expect("runs");
+        stream += run.stats.stream_cycles;
+        drain += run.stats.drain_cycles;
+        load += run.stats.load_cycles;
+    }
+    assert_eq!(
+        predicted.stream_cycles, stream as f64,
+        "{}: stream cycles",
+        spec.name()
+    );
+    assert_eq!(
+        predicted.drain_cycles, drain as f64,
+        "{}: drain cycles",
+        spec.name()
+    );
+    assert_eq!(predicted.load_cycles, load, "{}: load cycles", spec.name());
+}
+
+#[test]
+fn strict_model_matches_simulator_exactly() {
+    let cases = [
+        // (name, C, H, K, s, pad, M, groups, PEs, depth)
+        ConvLayerSpec::named("a", 2, 9, 9, 3, 1, 1, 3, 1).expect("spec"),
+        ConvLayerSpec::named("b", 3, 12, 12, 3, 1, 0, 7, 1).expect("spec"),
+        ConvLayerSpec::named("c", 4, 11, 11, 5, 1, 2, 2, 2).expect("spec"),
+        ConvLayerSpec::named("d", 1, 8, 8, 2, 1, 0, 5, 1).expect("spec"),
+        ConvLayerSpec::named("e", 2, 7, 7, 1, 1, 0, 2, 1).expect("spec"),
+    ];
+    for spec in &cases {
+        run_and_compare(spec, 2 * spec.k() * spec.k() + 1, 256);
+    }
+}
+
+#[test]
+fn strict_model_matches_simulator_with_kernel_tiling() {
+    // 6 channels with a 2-deep kMemory -> 3 kernel tiles and 3 drains.
+    let spec = ConvLayerSpec::named("tiled", 6, 8, 8, 3, 1, 1, 4, 1).expect("spec");
+    run_and_compare(&spec, 18, 2);
+}
+
+#[test]
+fn strict_model_matches_simulator_on_576_pes() {
+    // The paper's chain size, small maps: 64 primitives, partial tiles.
+    let spec = ConvLayerSpec::named("p576", 2, 7, 7, 3, 1, 1, 70, 1).expect("spec");
+    run_and_compare(&spec, 576, 256);
+}
+
+#[test]
+fn paper_calibrated_never_below_macs_bound() {
+    // No model may beat the arithmetic lower bound MACs / active PEs.
+    let model = PerfModel::new(ChainConfig::paper_576());
+    for spec in chain_nn_repro::nets::zoo::alexnet().layers() {
+        let p = model.layer(spec, CycleModel::PaperCalibrated).expect("maps");
+        let mapping = ChainConfig::paper_576().map_kernel(spec.k()).expect("maps");
+        let bound = spec.macs() as f64 / mapping.active_pes() as f64;
+        assert!(
+            p.compute_cycles() >= bound * 0.999,
+            "{}: {} < bound {}",
+            spec.name(),
+            p.compute_cycles(),
+            bound
+        );
+    }
+}
+
+#[test]
+fn polyphase_strict_cost_beats_paper_on_strided_layer() {
+    // The extension claim, verified at model level: for AlexNet conv1 the
+    // polyphase execution needs ~1/3 the cycles of the paper's own
+    // strided accounting.
+    let model = PerfModel::new(ChainConfig::paper_576());
+    let alex = chain_nn_repro::nets::zoo::alexnet();
+    let conv1 = alex.layer("conv1").expect("conv1 exists");
+    let paper = model.layer(conv1, CycleModel::PaperCalibrated).expect("maps");
+    let strict = model.layer(conv1, CycleModel::Strict).expect("maps");
+    let speedup = paper.compute_cycles() / strict.compute_cycles();
+    assert!(
+        speedup > 2.5 && speedup < 5.0,
+        "polyphase speedup {speedup} moved"
+    );
+}

@@ -1,0 +1,121 @@
+//! End-to-end float → fixed → chain-hardware pipeline across crates: the
+//! reproduction of the paper's verification flow (MatConvNet reference →
+//! float-to-fix simulator → ModelSim RTL, §V.A) with every arrow checked.
+
+use chain_nn_repro::core::sim::ChainSim;
+use chain_nn_repro::core::{ChainConfig, LayerShape};
+use chain_nn_repro::fixed::error::compare;
+use chain_nn_repro::fixed::{OverflowMode, QFormat};
+use chain_nn_repro::nets::synth::SynthSource;
+use chain_nn_repro::nets::ConvLayerSpec;
+use chain_nn_repro::tensor::conv::{conv2d_f32, conv2d_fix};
+
+/// One layer, three implementations: float reference, fixed golden
+/// model, cycle-accurate chain. Fixed == chain bit-exact; float vs fixed
+/// within quantization noise.
+#[test]
+fn three_way_equivalence() {
+    let spec = ConvLayerSpec::square("t", 3, 10, 3, 1, 1, 4).expect("spec");
+    let mut src = SynthSource::new(7);
+    let act = src.activations(&spec, 1, 2.0);
+    let w = src.weights(&spec);
+
+    // Float reference.
+    let fref = conv2d_f32(&act, &w, None, spec.geometry()).expect("float conv");
+
+    // Quantize with fitted per-tensor formats.
+    let afmt = QFormat::fit(act.as_slice());
+    let wfmt = QFormat::fit(w.as_slice());
+    let qa = act.map(|x| afmt.quantize(x));
+    let qw = w.map(|x| wfmt.quantize(x));
+
+    // Fixed golden model.
+    let fixed = conv2d_fix(&qa, &qw, spec.geometry(), OverflowMode::Wrapping).expect("fix conv");
+
+    // Chain hardware.
+    let shape = LayerShape::from_spec_group(&spec, 0);
+    let run = ChainSim::new(ChainConfig::builder().num_pes(36).build().expect("cfg"))
+        .run_layer(&shape, &qa, &qw)
+        .expect("runs");
+    assert_eq!(run.ofmaps, fixed, "hardware must be bit-exact vs golden");
+
+    // Dequantize and compare against float: SQNR must be high (Q0.15-ish
+    // formats on unit-range data).
+    let scale = 2f64.powi(-((afmt.frac_bits() + wfmt.frac_bits()) as i32)) as f32;
+    let deq = run.ofmaps.map(|v| v as f32 * scale);
+    let stats = compare(fref.as_slice(), deq.as_slice());
+    assert!(
+        stats.sqnr_db() > 60.0,
+        "quantization SQNR too low: {} dB",
+        stats.sqnr_db()
+    );
+}
+
+/// The same three-way check through a 2-layer network with requantization
+/// between layers (the error accumulates but stays bounded).
+#[test]
+fn two_layer_pipeline_requantized() {
+    let l1 = ConvLayerSpec::square("l1", 2, 12, 3, 1, 1, 4).expect("spec");
+    let l2 = ConvLayerSpec::square("l2", 4, 12, 3, 1, 1, 2).expect("spec");
+    let mut src = SynthSource::new(99);
+    let act0 = src.activations(&l1, 1, 1.0);
+    let w1 = src.weights(&l1);
+    let w2 = src.weights(&l2);
+
+    // Float path.
+    let f1 = conv2d_f32(&act0, &w1, None, l1.geometry()).expect("conv");
+    let f2 = conv2d_f32(&f1, &w2, None, l2.geometry()).expect("conv");
+
+    // Fixed/hardware path with per-layer requantization.
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(18).build().expect("cfg"));
+    let afmt = QFormat::new(12).expect("fmt");
+    let wfmt = QFormat::new(12).expect("fmt");
+
+    let qa = act0.map(|x| afmt.quantize(x));
+    let qw1 = w1.map(|x| wfmt.quantize(x));
+    let shape1 = LayerShape::from_spec_group(&l1, 0);
+    let r1 = sim.run_layer(&shape1, &qa, &qw1).expect("runs");
+    let scale1 = 2f32.powi(-24);
+    let deq1 = r1.ofmaps.map(|v| v as f32 * scale1);
+
+    let qa2 = deq1.map(|x| afmt.quantize(x));
+    let qw2 = w2.map(|x| wfmt.quantize(x));
+    let shape2 = LayerShape::from_spec_group(&l2, 0);
+    let r2 = sim.run_layer(&shape2, &qa2, &qw2).expect("runs");
+    let deq2 = r2.ofmaps.map(|v| v as f32 * scale1);
+
+    let stats = compare(f2.as_slice(), deq2.as_slice());
+    assert!(
+        stats.sqnr_db() > 45.0,
+        "two-layer SQNR too low: {} dB",
+        stats.sqnr_db()
+    );
+}
+
+/// Coarser formats must degrade SQNR monotonically through the hardware
+/// path — the quantization study's core property, measured on silicon
+/// semantics rather than the float simulator.
+#[test]
+fn hardware_sqnr_improves_with_precision() {
+    let spec = ConvLayerSpec::square("m", 2, 8, 3, 1, 0, 2).expect("spec");
+    let mut src = SynthSource::new(3);
+    let act = src.activations(&spec, 1, 1.0);
+    let w = src.weights(&spec);
+    let fref = conv2d_f32(&act, &w, None, spec.geometry()).expect("conv");
+    let sim = ChainSim::new(ChainConfig::builder().num_pes(9).build().expect("cfg"));
+    let shape = LayerShape::from_spec_group(&spec, 0);
+
+    let mut last = -1f64;
+    for frac in [4u32, 8, 12] {
+        let fmt = QFormat::new(frac).expect("fmt");
+        let qa = act.map(|x| fmt.quantize(x));
+        let qw = w.map(|x| fmt.quantize(x));
+        let run = sim.run_layer(&shape, &qa, &qw).expect("runs");
+        let scale = 2f32.powi(-(2 * frac as i32));
+        let deq = run.ofmaps.map(|v| v as f32 * scale);
+        let sqnr = compare(fref.as_slice(), deq.as_slice()).sqnr_db();
+        assert!(sqnr > last, "SQNR not monotone: {sqnr} after {last}");
+        last = sqnr;
+    }
+    assert!(last > 40.0, "12-bit SQNR {last}");
+}
