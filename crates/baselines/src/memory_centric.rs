@@ -142,9 +142,7 @@ impl MemCentricSim {
 
         // Synapse index space per output: c × kh × kw, chunked by ti.
         let synapses: Vec<(usize, usize, usize)> = (0..shape.c)
-            .flat_map(|c| {
-                (0..shape.kh).flat_map(move |i| (0..shape.kw).map(move |j| (c, i, j)))
-            })
+            .flat_map(|c| (0..shape.kh).flat_map(move |i| (0..shape.kw).map(move |j| (c, i, j))))
             .collect();
 
         for n in 0..batch {

@@ -160,8 +160,7 @@ impl SpatialSim {
                     // pass and slide diagonally: one SRAM read per pixel,
                     // K−1 NoC hops of reuse.
                     stats.sram_ifmap_reads += (shape.h * shape.w) as u64;
-                    stats.noc_hops +=
-                        ((shape.kh - 1) * shape.h * shape.w) as u64;
+                    stats.noc_hops += ((shape.kh - 1) * shape.h * shape.w) as u64;
                     for y in 0..oh {
                         for x in 0..ow {
                             let mut acc = Acc32::from_raw(out.get(n, m, y, x));
@@ -169,8 +168,7 @@ impl SpatialSim {
                                 for j in 0..shape.kw {
                                     let ih = (y * shape.stride + i) as isize - pad;
                                     let iw = (x * shape.stride + j) as isize - pad;
-                                    let px =
-                                        ifmap.get_padded(n, c, ih, iw, Fix16::ZERO);
+                                    let px = ifmap.get_padded(n, c, ih, iw, Fix16::ZERO);
                                     acc = acc.mac(px, weights.get(m, c, i, j));
                                     // Weight + pixel from RF per MAC.
                                     stats.rf_accesses += 2;
@@ -269,8 +267,7 @@ mod tests {
         let r_small = sim.run_layer(&small_k, &i2, &w2).unwrap();
         // 5x5 kernels host 4 patches vs 16 -> fewer passes in parallel.
         let per_out_big = r_big.stats.cycles as f64 / r_big.ofmaps.as_slice().len() as f64;
-        let per_out_small =
-            r_small.stats.cycles as f64 / r_small.ofmaps.as_slice().len() as f64;
+        let per_out_small = r_small.stats.cycles as f64 / r_small.ofmaps.as_slice().len() as f64;
         assert!(per_out_big > per_out_small);
     }
 }

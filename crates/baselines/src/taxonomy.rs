@@ -51,11 +51,8 @@ pub fn compare_classes(
     shape.validate()?;
     let mk = |i: usize| Fix16::from_raw(((i % 23) as i16) - 11);
     let vol_i = shape.c * shape.h * shape.w;
-    let ifmap = Tensor::from_vec(
-        [1, shape.c, shape.h, shape.w],
-        (0..vol_i).map(mk).collect(),
-    )
-    .map_err(|e| CoreError::DataMismatch(e.to_string()))?;
+    let ifmap = Tensor::from_vec([1, shape.c, shape.h, shape.w], (0..vol_i).map(mk).collect())
+        .map_err(|e| CoreError::DataMismatch(e.to_string()))?;
     let vol_w = shape.m * shape.c * shape.kh * shape.kw;
     let weights = Tensor::from_vec(
         [shape.m, shape.c, shape.kh, shape.kw],
@@ -83,8 +80,8 @@ pub fn compare_classes(
     let sp_macs = sp_rep.stats.macs as f64;
     let sp_profile = ClassProfile {
         class: "2D spatial",
-        sram_reads_per_mac: (sp_rep.stats.sram_ifmap_reads
-            + sp_rep.stats.sram_psum_accesses) as f64
+        sram_reads_per_mac: (sp_rep.stats.sram_ifmap_reads + sp_rep.stats.sram_psum_accesses)
+            as f64
             / sp_macs,
         inter_pe_per_mac: sp_rep.stats.noc_hops as f64 / sp_macs,
         utilization: (sp_rep.stats.macs as f64)
@@ -98,8 +95,7 @@ pub fn compare_classes(
     let ch_macs = ch_rep.stats.mac_ops as f64;
     let ch_profile = ClassProfile {
         class: "1D chain",
-        sram_reads_per_mac: (ch_rep.stats.imem_reads + ch_rep.stats.omem_accesses) as f64
-            / ch_macs,
+        sram_reads_per_mac: (ch_rep.stats.imem_reads + ch_rep.stats.omem_accesses) as f64 / ch_macs,
         // Lane shifts: two words advance one PE per active cycle.
         inter_pe_per_mac: 2.0 * ch_rep.stats.stream_cycles as f64 * chain_pes as f64
             / ch_macs

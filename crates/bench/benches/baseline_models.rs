@@ -16,13 +16,17 @@ fn tensors(shape: &LayerShape) -> (Tensor<Fix16>, Tensor<Fix16>) {
     let vi = shape.c * shape.h * shape.w;
     let ifmap = Tensor::from_vec(
         [1, shape.c, shape.h, shape.w],
-        (0..vi).map(|i| Fix16::from_raw((i % 23) as i16 - 11)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 23) as i16 - 11))
+            .collect(),
     )
     .unwrap();
     let vw = shape.m * shape.c * shape.kh * shape.kw;
     let weights = Tensor::from_vec(
         [shape.m, shape.c, shape.kh, shape.kw],
-        (0..vw).map(|i| Fix16::from_raw((i % 11) as i16 - 5)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 11) as i16 - 5))
+            .collect(),
     )
     .unwrap();
     (ifmap, weights)

@@ -1,0 +1,71 @@
+//! Benches of the design-space exploration engine: points evaluated
+//! per second at 1 vs N worker threads (queue + model-stack cost, cold
+//! cache every iteration), plus the cache-hit fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use chain_nn_dse::{executor, Explorer, PointCache, SweepSpec};
+
+fn sweep_spec() -> SweepSpec {
+    SweepSpec {
+        pes: (128..=1024).step_by(64).collect(),
+        freqs_mhz: vec![350.0, 700.0],
+        kmem_depths: vec![128, 256],
+        ..SweepSpec::paper_point()
+    }
+}
+
+fn bench_points_per_sec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse/points_per_sec");
+    g.sample_size(10);
+    let points = sweep_spec().points();
+    let evals = 8 * points.len();
+    g.throughput(Throughput::Elements(evals as u64));
+    let mut counts = vec![1usize, 2, executor::default_threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            // The probe amortizes worker spawn, so this measures the
+            // sustained 1-vs-N-thread evaluation rate.
+            b.iter(|| black_box(executor::throughput(&points, t, evals).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweep_wall_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse/sweep_wall");
+    g.sample_size(10);
+    let points = sweep_spec().points();
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            // Fresh cache: one full end-to-end sweep including spawn.
+            let cache = PointCache::new();
+            black_box(executor::run(&points, executor::default_threads(), &cache).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache_hit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse/cache_hits");
+    let spec = sweep_spec();
+    let mut explorer = Explorer::new();
+    explorer.run(&spec, executor::default_threads()).unwrap();
+    g.throughput(Throughput::Elements(spec.len() as u64));
+    g.bench_function("warm_sweep", |b| {
+        b.iter(|| black_box(explorer.run(&spec, executor::default_threads()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_points_per_sec,
+    bench_sweep_wall_clock,
+    bench_cache_hit_path
+);
+criterion_main!(benches);

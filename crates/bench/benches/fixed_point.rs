@@ -20,8 +20,12 @@ fn bench_quantize(c: &mut Criterion) {
 
 fn bench_mac_chain(c: &mut Criterion) {
     let mut g = c.benchmark_group("fixed/mac");
-    let xs: Vec<Fix16> = (0..4096).map(|i| Fix16::from_raw((i % 251) as i16)).collect();
-    let ws: Vec<Fix16> = (0..4096).map(|i| Fix16::from_raw((i % 127) as i16 - 64)).collect();
+    let xs: Vec<Fix16> = (0..4096)
+        .map(|i| Fix16::from_raw((i % 251) as i16))
+        .collect();
+    let ws: Vec<Fix16> = (0..4096)
+        .map(|i| Fix16::from_raw((i % 127) as i16 - 64))
+        .collect();
     g.throughput(Throughput::Elements(4096));
     g.bench_function("wrapping", |b| {
         b.iter(|| {
@@ -47,7 +51,10 @@ fn bench_mac_chain(c: &mut Criterion) {
 fn bench_golden_conv(c: &mut Criterion) {
     let mut g = c.benchmark_group("fixed/golden_conv");
     g.sample_size(10);
-    for (name, cch, h, m, k) in [("small", 2usize, 13usize, 4usize, 3usize), ("wide", 8, 13, 16, 3)] {
+    for (name, cch, h, m, k) in [
+        ("small", 2usize, 13usize, 4usize, 3usize),
+        ("wide", 8, 13, 16, 3),
+    ] {
         let vi = cch * h * h;
         let ifmap = Tensor::from_vec(
             [1, cch, h, h],
@@ -57,17 +64,15 @@ fn bench_golden_conv(c: &mut Criterion) {
         let vw = m * cch * k * k;
         let weights = Tensor::from_vec(
             [m, cch, k, k],
-            (0..vw).map(|i| Fix16::from_raw((i % 7) as i16 - 3)).collect(),
+            (0..vw)
+                .map(|i| Fix16::from_raw((i % 7) as i16 - 3))
+                .collect(),
         )
         .unwrap();
         let geom = ConvGeometry::new(k, 1, 1).unwrap();
-        g.throughput(Throughput::Elements(
-            (m * h * h * cch * k * k) as u64,
-        ));
+        g.throughput(Throughput::Elements((m * h * h * cch * k * k) as u64));
         g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| {
-                conv2d_fix(&ifmap, &weights, geom, OverflowMode::Wrapping).unwrap()
-            })
+            b.iter(|| conv2d_fix(&ifmap, &weights, geom, OverflowMode::Wrapping).unwrap())
         });
     }
     g.finish();

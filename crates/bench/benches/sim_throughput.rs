@@ -13,13 +13,17 @@ fn tensors(shape: &LayerShape) -> (Tensor<Fix16>, Tensor<Fix16>) {
     let vi = shape.c * shape.h * shape.w;
     let ifmap = Tensor::from_vec(
         [1, shape.c, shape.h, shape.w],
-        (0..vi).map(|i| Fix16::from_raw((i % 31) as i16 - 15)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 31) as i16 - 15))
+            .collect(),
     )
     .expect("shape consistent");
     let vw = shape.m * shape.c * shape.kh * shape.kw;
     let weights = Tensor::from_vec(
         [shape.m, shape.c, shape.kh, shape.kw],
-        (0..vw).map(|i| Fix16::from_raw((i % 13) as i16 - 6)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 13) as i16 - 6))
+            .collect(),
     )
     .expect("shape consistent");
     (ifmap, weights)
@@ -35,9 +39,7 @@ fn bench_chain_sizes(c: &mut Criterion) {
         let sim = ChainSim::new(ChainConfig::builder().num_pes(pes).build().unwrap());
         // Report simulated PE-cycles per wall second.
         let rep = sim.run_layer(&shape, &ifmap, &weights).unwrap();
-        g.throughput(Throughput::Elements(
-            rep.stats.total_cycles() * pes as u64,
-        ));
+        g.throughput(Throughput::Elements(rep.stats.total_cycles() * pes as u64));
         g.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |b, _| {
             b.iter(|| sim.run_layer(&shape, &ifmap, &weights).unwrap())
         });
@@ -51,8 +53,7 @@ fn bench_kernel_sizes(c: &mut Criterion) {
     for k in [3usize, 5, 7] {
         let shape = LayerShape::square(2, 4 * k, 2, k, 1, 0);
         let (ifmap, weights) = tensors(&shape);
-        let sim =
-            ChainSim::new(ChainConfig::builder().num_pes(2 * k * k).build().unwrap());
+        let sim = ChainSim::new(ChainConfig::builder().num_pes(2 * k * k).build().unwrap());
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| sim.run_layer(&shape, &ifmap, &weights).unwrap())
         });

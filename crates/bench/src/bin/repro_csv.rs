@@ -4,7 +4,9 @@ use std::fs;
 use std::path::Path;
 
 fn main() -> std::io::Result<()> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_owned());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_owned());
     fs::create_dir_all(&dir)?;
     for (name, csv) in chain_nn_bench::csv::all_csv() {
         let path = Path::new(&dir).join(format!("{name}.csv"));

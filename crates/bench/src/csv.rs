@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use chain_nn_core::mapper::table_two;
 use chain_nn_core::perf::{CycleModel, PerfModel};
 use chain_nn_core::ChainConfig;
+use chain_nn_dse::{export, Explorer, SweepSpec};
 use chain_nn_energy::compare::table_five;
 use chain_nn_energy::power::PowerModel;
 use chain_nn_mem::traffic::TrafficModel;
@@ -22,8 +23,7 @@ pub fn table2_csv() -> String {
         let _ = writeln!(
             s,
             "{},{},{},{},{:.1},{paper}",
-            row.k, row.pes_per_primitive, row.active_primitives, row.active_pes,
-            row.efficiency_pct
+            row.k, row.pes_per_primitive, row.active_primitives, row.active_pes, row.efficiency_pct
         );
     }
     s
@@ -39,8 +39,9 @@ pub fn fig9_csv() -> String {
     let strict = model
         .network(&alex, 128, CycleModel::Strict)
         .expect("alexnet maps");
-    let mut s =
-        String::from("layer,paper_conv_ms,model_conv_ms,strict_conv_ms,paper_load_ms,model_load_ms\n");
+    let mut s = String::from(
+        "layer,paper_conv_ms,model_conv_ms,strict_conv_ms,paper_load_ms,model_load_ms\n",
+    );
     for (i, (l, st)) in cal.layers.iter().zip(&strict.layers).enumerate() {
         let _ = writeln!(
             s,
@@ -118,6 +119,23 @@ pub fn table5_csv() -> String {
     s
 }
 
+/// A coarse design-space sweep around the paper's point (PEs × clock ×
+/// batch on AlexNet) as CSV, with Pareto-membership columns — the
+/// machine-readable version of `examples/design_space.rs`, produced by
+/// `chain-nn-dse`'s export conventions.
+pub fn dse_sweep_csv() -> String {
+    let spec = SweepSpec {
+        pes: vec![144, 288, 576, 1152],
+        freqs_mhz: vec![350.0, 700.0],
+        batches: vec![1, 4],
+        ..SweepSpec::paper_point()
+    };
+    let result = Explorer::new()
+        .run(&spec, chain_nn_dse::executor::default_threads())
+        .expect("default sweep axes are valid");
+    export::results_csv(&result)
+}
+
 /// Every CSV, keyed by a file-stem name.
 pub fn all_csv() -> Vec<(&'static str, String)> {
     vec![
@@ -126,6 +144,7 @@ pub fn all_csv() -> Vec<(&'static str, String)> {
         ("table4_memory_traffic", table4_csv()),
         ("fig10_power_breakdown", fig10_csv()),
         ("table5_comparison", table5_csv()),
+        ("dse_sweep", dse_sweep_csv()),
     ]
 }
 
@@ -168,6 +187,16 @@ mod tests {
                 assert!(cell.parse::<f64>().is_ok(), "non-numeric cell {cell}");
             }
         }
+    }
+
+    #[test]
+    fn dse_sweep_has_a_feasible_paper_row() {
+        let csv = dse_sweep_csv();
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with("alexnet,576,700,256,32,25,16,4,"))
+            .expect("paper configuration row present");
+        assert!(row.contains(",ok,"), "paper row infeasible: {row}");
     }
 
     #[test]

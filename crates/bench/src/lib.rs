@@ -204,7 +204,10 @@ pub fn repro_table4() -> String {
     let alex = zoo::alexnet();
     let rows = model.network_traffic(&alex, 4).expect("alexnet maps");
     let mut s = String::new();
-    let _ = writeln!(s, "== Table IV: memory communication breakdown, batch 4 (MB) ==");
+    let _ = writeln!(
+        s,
+        "== Table IV: memory communication breakdown, batch 4 (MB) =="
+    );
     let _ = writeln!(
         s,
         "{:<7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -252,7 +255,9 @@ pub fn repro_table4() -> String {
 /// Regenerates Fig. 10 (power breakdown and DaDianNao comparison).
 pub fn repro_fig10() -> String {
     let model = PowerModel::new(ChainConfig::paper_576(), MemoryConfig::paper());
-    let r = model.network_power(&zoo::alexnet(), 4).expect("alexnet maps");
+    let r = model
+        .network_power(&zoo::alexnet(), 4)
+        .expect("alexnet maps");
     let b = r.breakdown;
     let mut s = String::new();
     let _ = writeln!(s, "== Fig. 10: power breakdown (AlexNet, batch 4) ==");
@@ -322,7 +327,15 @@ pub fn repro_table5() -> String {
     let _ = writeln!(
         s,
         "{:<24} {:>10} {:>9} {:>14} {:>12} {:>9} {:>9} {:>10} {:>10}",
-        "design", "tech", "gates(k)", "on-chip mem", "parallelism", "MHz", "power", "GOPS", "GOPS/W"
+        "design",
+        "tech",
+        "gates(k)",
+        "on-chip mem",
+        "parallelism",
+        "MHz",
+        "power",
+        "GOPS",
+        "GOPS/W"
     );
     for r in &rows {
         let _ = writeln!(
@@ -330,7 +343,8 @@ pub fn repro_table5() -> String {
             "{:<24} {:>10} {:>9} {:>14} {:>12} {:>9.0} {:>8.2}W {:>10.1} {:>10.1}",
             r.name,
             r.tech.name(),
-            r.gate_count_k.map_or("N/A".to_owned(), |g| format!("{g:.0}")),
+            r.gate_count_k
+                .map_or("N/A".to_owned(), |g| format!("{g:.0}")),
             r.onchip_memory,
             r.parallelism,
             r.freq_mhz,
@@ -364,7 +378,10 @@ pub fn repro_area() -> String {
     let a = AreaModel::new(cfg);
     let pe = a.pe_gates();
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig. 8 substitute: area report (no PDK -> no layout) ==");
+    let _ = writeln!(
+        s,
+        "== Fig. 8 substitute: area report (no PDK -> no layout) =="
+    );
     let _ = writeln!(s, "per-PE gate breakdown (NAND2 equivalents):");
     for (name, g) in [
         ("16x16 multiplier", pe.multiplier),
@@ -437,7 +454,10 @@ pub fn repro_ablations() -> String {
     let alex = zoo::alexnet();
 
     // -- pipeline depth --
-    let _ = writeln!(s, "== Ablation: MAC pipeline depth (paper chooses 3 stages) ==");
+    let _ = writeln!(
+        s,
+        "== Ablation: MAC pipeline depth (paper chooses 3 stages) =="
+    );
     let _ = writeln!(
         s,
         "{:>7} {:>9} {:>10} {:>8} {:>9} {:>9} {:>10}",
@@ -470,8 +490,15 @@ pub fn repro_ablations() -> String {
     }
 
     // -- batch size --
-    let _ = writeln!(s, "\n== Ablation: batch size (kernels loaded once per batch) ==");
-    let _ = writeln!(s, "{:>7} {:>9} {:>11} {:>12}", "batch", "fps", "ms/frame", "load share");
+    let _ = writeln!(
+        s,
+        "\n== Ablation: batch size (kernels loaded once per batch) =="
+    );
+    let _ = writeln!(
+        s,
+        "{:>7} {:>9} {:>11} {:>12}",
+        "batch", "fps", "ms/frame", "load share"
+    );
     let model = PerfModel::new(ChainConfig::paper_576());
     for batch in [1usize, 2, 4, 16, 64, 128, 256] {
         let p = model
@@ -595,7 +622,9 @@ mod tests {
     fn ablations_have_the_expected_shape() {
         let s = repro_ablations();
         // The paper's 3-stage row is marked and runs at ~700 MHz.
-        let three = s.lines().find(|l| l.contains("<- paper") && l.trim_start().starts_with('3'))
+        let three = s
+            .lines()
+            .find(|l| l.contains("<- paper") && l.trim_start().starts_with('3'))
             .expect("3-stage row");
         assert!(three.contains("700"));
         // Batch amortization saturates: fps(256) < 1.05 x fps(64).
@@ -607,7 +636,9 @@ mod tests {
     #[test]
     fn repro_all_contains_all_sections() {
         let s = repro_all();
-        for section in ["Table II", "Fig. 5", "Fig. 9", "Table IV", "Fig. 10", "Table V", "Fig. 8"] {
+        for section in [
+            "Table II", "Fig. 5", "Fig. 9", "Table IV", "Fig. 10", "Table V", "Fig. 8",
+        ] {
             assert!(s.contains(section), "missing {section}");
         }
     }

@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 use chain_nn_core::perf::{CycleModel, PerfModel};
 use chain_nn_core::sim::ChainSim;
 use chain_nn_core::{polyphase, trace, ChainConfig, LayerShape};
+use chain_nn_dse::{executor, export, Explorer, RangeSpec, SweepSpec};
 use chain_nn_energy::power::PowerModel;
 use chain_nn_fixed::{Fix16, OverflowMode};
 use chain_nn_mem::traffic::{totals, TrafficModel};
@@ -43,6 +44,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "taxonomy" => Ok(chain_nn_bench::repro_taxonomy()),
         "ablations" => Ok(chain_nn_bench::repro_ablations()),
         "nets" => Ok(nets_cmd()),
+        "dse" => dse_cmd(&Flags::parse(rest)?),
         "perf" => perf_cmd(&Flags::parse(rest)?),
         "traffic" => traffic_cmd(&Flags::parse(rest)?),
         "power" => power_cmd(&Flags::parse(rest)?),
@@ -75,23 +77,23 @@ simulator:
   simulate --c C --h H --m M --k K [--stride S] [--pad P] [--pes N] [--batch N]
            cycle-accurate run, golden-checked (strides use polyphase)
   trace    --h H --k K [--m M] [--out FILE]  VCD waveform of one pattern
+
+design-space exploration:
+  dse      [--pes 64..=1024:16] [--freq 350,700] [--kmem 256] [--imem-kb 32]
+           [--omem-kb 25] [--bits 16] [--batch 1,4] [--net alexnet[,vgg16...]]
+           [--threads N] [--probe off] [--out FILE.csv] [--json FILE.json]
+           [--frontier FILE.csv]
+           parallel sweep over the model stack; axes are ranges (step
+           defaults to 1) or comma lists; prints the Pareto frontier
+           (fps x system power x area) and the 1-vs-N-thread evaluation
+           speedup (--probe off skips that measurement); writes CSV/JSON
 "
     .to_owned()
 }
 
 fn net_by_name(name: &str) -> Result<Network, Box<dyn Error>> {
-    match name.to_ascii_lowercase().as_str() {
-        "alexnet" => Ok(zoo::alexnet()),
-        "vgg16" | "vgg-16" => Ok(zoo::vgg16()),
-        "lenet" | "lenet-5" | "mnist" => Ok(zoo::lenet()),
-        "cifar10" | "cifar-10" => Ok(zoo::cifar10()),
-        "resnet18" | "resnet-18" => Ok(zoo::resnet18()),
-        "mobilenet" | "mobilenetv1" | "mobilenet-v1" => Ok(zoo::mobilenet_v1()),
-        other => Err(format!(
-            "unknown network '{other}' (try `chain-nn nets`)"
-        )
-        .into()),
-    }
+    chain_nn_dse::network_by_name(name)
+        .ok_or_else(|| format!("unknown network '{name}' (try `chain-nn nets`)").into())
 }
 
 fn nets_cmd() -> String {
@@ -111,6 +113,144 @@ fn chain_from(flags: &Flags) -> Result<ChainConfig, Box<dyn Error>> {
         .freq_mhz(freq)
         .kmemory_depth(depth)
         .build()?)
+}
+
+/// Builds the sweep grid from CLI flags, defaulting every unspecified
+/// axis to [`SweepSpec::default_grid`]'s choice.
+fn sweep_from(flags: &Flags) -> Result<SweepSpec, Box<dyn Error>> {
+    let mut spec = SweepSpec::default_grid();
+    let usizes = |text: &str| -> Result<Vec<usize>, Box<dyn Error>> {
+        Ok(text.parse::<RangeSpec>()?.as_usizes())
+    };
+    if let Some(p) = flags.get_str("pes") {
+        spec.pes = usizes(p)?;
+    }
+    if let Some(f) = flags.get_str("freq") {
+        spec.freqs_mhz = f
+            .split(',')
+            .map(|t| t.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("cannot parse '{f}' for --freq"))?;
+    }
+    if let Some(k) = flags.get_str("kmem") {
+        spec.kmem_depths = usizes(k)?;
+    }
+    if let Some(i) = flags.get_str("imem-kb") {
+        spec.imem_kb = usizes(i)?;
+    }
+    if let Some(o) = flags.get_str("omem-kb") {
+        spec.omem_kb = usizes(o)?;
+    }
+    if let Some(b) = flags.get_str("bits") {
+        spec.word_bits = b
+            .parse::<RangeSpec>()?
+            .values()
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
+    }
+    if let Some(b) = flags.get_str("batch") {
+        spec.batches = usizes(b)?;
+    }
+    if let Some(n) = flags.get_str("net") {
+        spec.nets = n.split(',').map(|t| t.trim().to_owned()).collect();
+    }
+    Ok(spec)
+}
+
+fn dse_cmd(flags: &Flags) -> CmdResult {
+    let spec = sweep_from(flags)?;
+    let threads = flags.get_or("threads", executor::default_threads())?;
+    let mut explorer = Explorer::new();
+    let result = explorer.run(&spec, threads)?;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== design-space sweep: {} points ({} feasible), {} threads ==",
+        result.stats.points, result.stats.feasible, result.stats.threads
+    );
+    let _ = writeln!(
+        s,
+        "wall {:.1} ms | {:.0} points/s | cache {} hits / {} misses",
+        result.stats.wall_ms,
+        result.stats.points_per_sec(),
+        result.stats.cache_hits,
+        result.stats.cache_misses
+    );
+
+    // Speedup vs --threads 1, measured as sustained evaluation
+    // throughput over this grid (the probe amortizes worker start-up,
+    // which would otherwise dwarf a sub-millisecond model sweep). The
+    // probe re-evaluates points uncached, so it costs more than the
+    // sweep itself; `--probe off` skips it.
+    if threads > 1 && flags.get_str("probe") != Some("off") {
+        let points = spec.points();
+        let evals = (8 * points.len()).clamp(20_000, 200_000);
+        let serial_rate = executor::throughput(&points, 1, evals)?;
+        let parallel_rate = executor::throughput(&points, threads, evals)?;
+        let speedup = parallel_rate / serial_rate;
+        let _ = writeln!(
+            s,
+            "evaluation throughput: {:.0} points/s serial, {:.0} points/s on {} threads \
+             -> {:.2}x speedup ({:.0}% parallel efficiency)",
+            serial_rate,
+            parallel_rate,
+            threads,
+            speedup,
+            100.0 * speedup / threads as f64
+        );
+    }
+
+    let _ = writeln!(
+        s,
+        "\nPareto frontier (fps x system mW x kilo-gates): {} of {} feasible points",
+        result.frontier_3d.len(),
+        result.stats.feasible
+    );
+    let _ = writeln!(
+        s,
+        "{:<10} {:>6} {:>6} {:>6} {:>5} {:>3} {:>9} {:>10} {:>10} {:>9}",
+        "net", "pes", "MHz", "kmem", "batch", "w", "fps", "system mW", "gates(k)", "GOPS/W"
+    );
+    for (p, r) in result.frontier_points() {
+        let paper = *p == chain_nn_dse::DesignPoint::paper_alexnet();
+        let _ = writeln!(
+            s,
+            "{:<10} {:>6} {:>6.0} {:>6} {:>5} {:>3} {:>9.1} {:>10.1} {:>10.0} {:>9.1}{}",
+            p.net,
+            p.pes,
+            p.freq_mhz,
+            p.kmem_depth,
+            p.batch,
+            p.word_bits,
+            r.fps,
+            r.system_mw(),
+            r.gates_k,
+            r.gops_per_watt(),
+            if paper { "   <- paper" } else { "" },
+        );
+    }
+    if result.contains_paper_point_on_frontier() {
+        let _ = writeln!(
+            s,
+            "the paper's 576-PE point is Pareto-optimal in this sweep"
+        );
+    }
+
+    if let Some(path) = flags.get_str("out") {
+        std::fs::write(path, export::results_csv(&result))?;
+        let _ = writeln!(s, "wrote full results CSV to {path}");
+    }
+    if let Some(path) = flags.get_str("frontier") {
+        std::fs::write(path, export::frontier_csv(&result))?;
+        let _ = writeln!(s, "wrote frontier CSV to {path}");
+    }
+    if let Some(path) = flags.get_str("json") {
+        std::fs::write(path, export::results_json(&result))?;
+        let _ = writeln!(s, "wrote JSON to {path}");
+    }
+    Ok(s)
 }
 
 fn perf_cmd(flags: &Flags) -> CmdResult {
@@ -194,7 +334,12 @@ fn power_cmd(flags: &Flags) -> CmdResult {
     let _ = writeln!(s, "kMemory {:>8.1} mW", b.kmem_mw);
     let _ = writeln!(s, "iMemory {:>8.1} mW", b.imem_mw);
     let _ = writeln!(s, "oMemory {:>8.1} mW", b.omem_mw);
-    let _ = writeln!(s, "total   {:>8.1} mW (+{:.1} mW DRAM interface)", b.total_mw(), r.dram_mw);
+    let _ = writeln!(
+        s,
+        "total   {:>8.1} mW (+{:.1} mW DRAM interface)",
+        b.total_mw(),
+        r.dram_mw
+    );
     let _ = writeln!(
         s,
         "{:.1} GOPS/W whole-chip | {:.1} GOPS/W core-only",
@@ -219,13 +364,17 @@ fn simulate_cmd(flags: &Flags) -> CmdResult {
     let vi = batch * c * h * h;
     let ifmap = Tensor::from_vec(
         [batch, c, h, h],
-        (0..vi).map(|i| Fix16::from_raw((i % 29) as i16 - 14)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 29) as i16 - 14))
+            .collect(),
     )
     .map_err(|e| e.to_string())?;
     let vw = m * c * k * k;
     let weights = Tensor::from_vec(
         [m, c, k, k],
-        (0..vw).map(|i| Fix16::from_raw((i % 13) as i16 - 6)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 13) as i16 - 6))
+            .collect(),
     )
     .map_err(|e| e.to_string())?;
 
@@ -234,12 +383,24 @@ fn simulate_cmd(flags: &Flags) -> CmdResult {
     let (ofmaps, stream, drain, load, util) = if stride == 1 {
         let r = sim.run_layer(&shape, &ifmap, &weights)?;
         let u = r.stats.utilization(pes);
-        (r.ofmaps, r.stats.stream_cycles, r.stats.drain_cycles, r.stats.load_cycles, u)
+        (
+            r.ofmaps,
+            r.stats.stream_cycles,
+            r.stats.drain_cycles,
+            r.stats.load_cycles,
+            u,
+        )
     } else {
         let r = polyphase::run(&sim, &shape, &ifmap, &weights)?;
         let total = r.stats.stream_cycles + r.stats.drain_cycles + r.stats.load_cycles;
         let u = r.stats.mac_ops as f64 / (pes as u64 * total) as f64;
-        (r.ofmaps, r.stats.stream_cycles, r.stats.drain_cycles, r.stats.load_cycles, u)
+        (
+            r.ofmaps,
+            r.stats.stream_cycles,
+            r.stats.drain_cycles,
+            r.stats.load_cycles,
+            u,
+        )
     };
 
     let golden = conv2d_fix(
@@ -249,7 +410,11 @@ fn simulate_cmd(flags: &Flags) -> CmdResult {
         OverflowMode::Wrapping,
     )
     .map_err(|e| e.to_string())?;
-    let check = if ofmaps == golden { "bit-exact vs golden model" } else { "MISMATCH" };
+    let check = if ofmaps == golden {
+        "bit-exact vs golden model"
+    } else {
+        "MISMATCH"
+    };
     if ofmaps != golden {
         return Err("simulator output mismatched the golden model".into());
     }
@@ -274,13 +439,17 @@ fn trace_cmd(flags: &Flags) -> CmdResult {
     let vi = h * h;
     let ifmap = Tensor::from_vec(
         [1, 1, h, h],
-        (0..vi).map(|i| Fix16::from_raw((i % 17) as i16 + 1)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 17) as i16 + 1))
+            .collect(),
     )
     .map_err(|e| e.to_string())?;
     let vw = m * k * k;
     let weights = Tensor::from_vec(
         [m, 1, k, k],
-        (0..vw).map(|i| Fix16::from_raw((i % 5) as i16 + 1)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 5) as i16 + 1))
+            .collect(),
     )
     .map_err(|e| e.to_string())?;
     let vcd = trace::trace_pattern(&shape, &ifmap, &weights, 0)?;
@@ -321,7 +490,14 @@ mod tests {
 
     #[test]
     fn perf_runs_on_every_zoo_net() {
-        for net in ["alexnet", "vgg16", "lenet", "cifar10", "resnet18", "mobilenet"] {
+        for net in [
+            "alexnet",
+            "vgg16",
+            "lenet",
+            "cifar10",
+            "resnet18",
+            "mobilenet",
+        ] {
             let out = run(&["perf", "--net", net, "--batch", "2"]);
             assert!(out.contains("fps"), "{net}: {out}");
         }
@@ -342,8 +518,7 @@ mod tests {
     #[test]
     fn simulate_is_golden_checked() {
         let out = run(&[
-            "simulate", "--c", "2", "--h", "7", "--m", "3", "--k", "3", "--pad", "1",
-            "--pes", "27",
+            "simulate", "--c", "2", "--h", "7", "--m", "3", "--k", "3", "--pad", "1", "--pes", "27",
         ]);
         assert!(out.contains("bit-exact"), "{out}");
         // Strided path.
@@ -353,10 +528,12 @@ mod tests {
 
     #[test]
     fn simulate_rejects_bad_shapes() {
-        assert!(dispatch(&["simulate", "--h", "2", "--k", "5"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect::<Vec<_>>())
+        assert!(dispatch(
+            &["simulate", "--h", "2", "--k", "5"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>()
+        )
         .is_err());
     }
 
@@ -371,6 +548,64 @@ mod tests {
     fn table_commands_alias_bench_runners() {
         assert!(run(&["table2"]).contains("576"));
         assert!(run(&["nets"]).contains("AlexNet"));
+    }
+
+    #[test]
+    fn dse_sweeps_and_marks_the_paper_point() {
+        let out = run(&[
+            "dse",
+            "--pes",
+            "288,576",
+            "--freq",
+            "700",
+            "--batch",
+            "4",
+            "--threads",
+            "2",
+        ]);
+        assert!(out.contains("2 points"), "{out}");
+        assert!(out.contains("Pareto frontier"), "{out}");
+        assert!(out.contains("<- paper"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+    }
+
+    #[test]
+    fn dse_range_axis_and_csv_export() {
+        let path = std::env::temp_dir().join("chain_nn_dse_test.csv");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let out = run(&[
+            "dse",
+            "--pes",
+            "64..=128:32",
+            "--freq",
+            "700",
+            "--net",
+            "lenet",
+            "--batch",
+            "1",
+            "--threads",
+            "1",
+            "--out",
+            path_str,
+        ]);
+        assert!(out.contains("3 points"), "{out}");
+        let csv = std::fs::read_to_string(&path).expect("csv written");
+        std::fs::remove_file(&path).ok();
+        assert!(csv.starts_with("net,pes,"));
+        assert_eq!(csv.lines().count(), 4); // header + 3 points
+    }
+
+    #[test]
+    fn dse_rejects_bad_axes() {
+        for bad in [
+            vec!["dse", "--pes", "10..=5"],
+            vec!["dse", "--freq", "fast"],
+            vec!["dse", "--net", "squeezenet"],
+            vec!["dse", "--bits", "12"],
+        ] {
+            let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
+            assert!(dispatch(&argv).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! chain-nn simulate --c 2 --h 8 --m 4 --k 3 [--stride 1] [--pad 1] [--pes 36]
 //! chain-nn trace   --h 6 --k 3 [--m 2] [--out chain.vcd]
 //! chain-nn nets
+//! chain-nn dse     [--pes 64..=1024] [--threads 8] [--out dse.csv]
 //! ```
 
 use std::process::ExitCode;

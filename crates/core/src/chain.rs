@@ -84,7 +84,12 @@ impl Chain {
     /// # Errors
     ///
     /// Propagates [`CoreError::KMemoryOverflow`] for a bad slot.
-    pub fn write_weight(&mut self, pe_index: usize, slot: usize, w: Fix16) -> Result<(), CoreError> {
+    pub fn write_weight(
+        &mut self,
+        pe_index: usize,
+        slot: usize,
+        w: Fix16,
+    ) -> Result<(), CoreError> {
         self.pes[pe_index].write_kmemory(slot, w)
     }
 

@@ -184,9 +184,7 @@ impl ChainConfigBuilder {
             return Err(CoreError::Config("kmemory_depth must be non-zero".into()));
         }
         if self.pipeline_stages == 0 {
-            return Err(CoreError::Config(
-                "pipeline_stages must be non-zero".into(),
-            ));
+            return Err(CoreError::Config("pipeline_stages must be non-zero".into()));
         }
         Ok(ChainConfig {
             num_pes: self.num_pes,

@@ -234,7 +234,13 @@ mod tests {
         let steps = fsm(2, 2, 6, 2, 16).into_steps();
         // Load, then 2 channels x 2 bands, then drain.
         assert_eq!(steps.len(), 1 + 4 + 1);
-        assert!(matches!(steps[0], ControlStep::LoadKernels { m_tile: 0, c_tile: 0 }));
+        assert!(matches!(
+            steps[0],
+            ControlStep::LoadKernels {
+                m_tile: 0,
+                c_tile: 0
+            }
+        ));
         assert!(matches!(
             steps[1],
             ControlStep::Pattern {
@@ -243,7 +249,10 @@ mod tests {
                 band: 0
             }
         ));
-        assert!(matches!(steps[4], ControlStep::Pattern { c: 1, band: 1, .. }));
+        assert!(matches!(
+            steps[4],
+            ControlStep::Pattern { c: 1, band: 1, .. }
+        ));
         assert!(matches!(steps[5], ControlStep::Drain { m_tile: 0 }));
     }
 

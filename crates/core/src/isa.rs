@@ -244,7 +244,9 @@ impl Program {
             if ok {
                 Ok(())
             } else {
-                Err(CoreError::Config(IsaError::FieldOverflow(field).to_string()))
+                Err(CoreError::Config(
+                    IsaError::FieldOverflow(field).to_string(),
+                ))
             }
         };
         ensure(shape.kh <= 63 && shape.kw <= 63, "kernel")?;

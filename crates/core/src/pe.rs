@@ -154,7 +154,10 @@ mod tests {
         assert!(pe.write_kmemory(1, Fix16::from_raw(1)).is_ok());
         assert!(matches!(
             pe.write_kmemory(2, Fix16::ZERO),
-            Err(CoreError::KMemoryOverflow { needed: 3, depth: 2 })
+            Err(CoreError::KMemoryOverflow {
+                needed: 3,
+                depth: 2
+            })
         ));
         assert!(pe.latch_weight(5).is_err());
     }
@@ -188,7 +191,12 @@ mod tests {
         let mut pe = DualChannelPe::new(1);
         pe.write_kmemory(0, Fix16::from_raw(1)).unwrap();
         pe.latch_weight(0).unwrap();
-        pe.step(Fix16::from_raw(3), Fix16::from_raw(4), Acc32::ZERO, Lane::Odd);
+        pe.step(
+            Fix16::from_raw(3),
+            Fix16::from_raw(4),
+            Acc32::ZERO,
+            Lane::Odd,
+        );
         pe.step(Fix16::ZERO, Fix16::ZERO, Acc32::ZERO, Lane::Even);
         assert_eq!(pe.mac_out().raw(), 4);
     }
@@ -198,7 +206,12 @@ mod tests {
         let mut pe = DualChannelPe::new(1);
         pe.write_kmemory(0, Fix16::from_raw(5)).unwrap();
         pe.latch_weight(0).unwrap();
-        pe.step(Fix16::from_raw(1), Fix16::from_raw(2), Acc32::from_raw(3), Lane::Odd);
+        pe.step(
+            Fix16::from_raw(1),
+            Fix16::from_raw(2),
+            Acc32::from_raw(3),
+            Lane::Odd,
+        );
         pe.flush_pipeline();
         assert_eq!(pe.mac_out().raw(), 0);
         assert_eq!(pe.lane(Lane::Odd).raw(), 0);

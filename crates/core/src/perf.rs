@@ -306,7 +306,11 @@ mod tests {
         let m = model();
         let p128 = m.network(&alex, 128, CycleModel::PaperCalibrated).unwrap();
         let p4 = m.network(&alex, 4, CycleModel::PaperCalibrated).unwrap();
-        assert!((p128.fps - 326.2).abs() / 326.2 < 0.10, "fps128 {}", p128.fps);
+        assert!(
+            (p128.fps - 326.2).abs() / 326.2 < 0.10,
+            "fps128 {}",
+            p128.fps
+        );
         assert!((p4.fps - 275.6).abs() / 275.6 < 0.12, "fps4 {}", p4.fps);
         // Larger batches amortize kernel loads -> more fps.
         assert!(p128.fps > p4.fps);

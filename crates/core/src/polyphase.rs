@@ -89,11 +89,7 @@ pub fn phase_shapes(shape: &LayerShape) -> Vec<LayerShape> {
 
 /// Extracts the decimated ifmap plane for `phase`: element `(i, j)` is
 /// padded-image pixel `(a + s·i, b + s·j)`.
-pub fn decimate_ifmap(
-    shape: &LayerShape,
-    phase: &Phase,
-    ifmap: &Tensor<Fix16>,
-) -> Tensor<Fix16> {
+pub fn decimate_ifmap(shape: &LayerShape, phase: &Phase, ifmap: &Tensor<Fix16>) -> Tensor<Fix16> {
     let ps = phase_shape(shape, phase);
     let batch = ifmap.shape().n();
     let mut out = Tensor::<Fix16>::zeros([batch, ps.c, ps.h, ps.w]);
@@ -240,11 +236,7 @@ mod tests {
         for (k, s) in [(11usize, 4usize), (5, 2), (7, 3), (3, 2), (4, 4), (3, 5)] {
             let shape = LayerShape::square(1, 4 * k, 1, k, s, 0);
             let ph = phases(&shape);
-            let row_taps: usize = ph
-                .iter()
-                .filter(|p| p.col_offset == 0)
-                .map(|p| p.kh)
-                .sum();
+            let row_taps: usize = ph.iter().filter(|p| p.col_offset == 0).map(|p| p.kh).sum();
             assert_eq!(row_taps, k, "K={k} s={s} row taps");
             let total: usize = ph.iter().map(|p| p.kh * p.kw).sum();
             assert_eq!(total, k * k, "K={k} s={s} total taps");
@@ -256,7 +248,11 @@ mod tests {
         let shape = LayerShape::square(3, 227, 96, 11, 4, 0);
         let ph = phases(&shape);
         assert_eq!(ph.len(), 16);
-        let khs: Vec<usize> = ph.iter().filter(|p| p.col_offset == 0).map(|p| p.kh).collect();
+        let khs: Vec<usize> = ph
+            .iter()
+            .filter(|p| p.col_offset == 0)
+            .map(|p| p.kh)
+            .collect();
         assert_eq!(khs, vec![3, 3, 3, 2]);
     }
 

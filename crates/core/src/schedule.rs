@@ -156,9 +156,7 @@ impl DualChannelSchedule {
     /// Returns [`CoreError::Shape`] for zero extents or `width < kw`.
     pub fn new(kh: usize, kw: usize, width: usize) -> Result<Self, CoreError> {
         if kh == 0 || kw == 0 || width == 0 {
-            return Err(CoreError::Shape(
-                "schedule extents must be non-zero".into(),
-            ));
+            return Err(CoreError::Shape("schedule extents must be non-zero".into()));
         }
         if width < kw {
             return Err(CoreError::Shape(format!(
@@ -279,9 +277,7 @@ impl SingleChannelSchedule {
     /// Returns [`CoreError::Shape`] for zero extents or `width < kw`.
     pub fn new(kh: usize, kw: usize, width: usize) -> Result<Self, CoreError> {
         if kh == 0 || kw == 0 || width == 0 {
-            return Err(CoreError::Shape(
-                "schedule extents must be non-zero".into(),
-            ));
+            return Err(CoreError::Shape("schedule extents must be non-zero".into()));
         }
         if width < kw {
             return Err(CoreError::Shape(format!(
@@ -451,11 +447,7 @@ mod tests {
                         };
                         let lane = s.select(e, tau);
                         let fed = s.feed(tau as usize)[lane.index()];
-                        assert_eq!(
-                            fed,
-                            Some(want),
-                            "kh={kh} kw={kw} window ({d},{c}) elem {e}"
-                        );
+                        assert_eq!(fed, Some(want), "kh={kh} kw={kw} window ({d},{c}) elem {e}");
                     }
                 }
             }

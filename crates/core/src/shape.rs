@@ -86,9 +86,7 @@ impl LayerShape {
     /// not fit the padded input.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.c == 0 || self.h == 0 || self.w == 0 || self.m == 0 {
-            return Err(CoreError::Shape(format!(
-                "zero extent in {self}"
-            )));
+            return Err(CoreError::Shape(format!("zero extent in {self}")));
         }
         if self.kh == 0 || self.kw == 0 || self.stride == 0 {
             return Err(CoreError::Shape(format!("zero kernel/stride in {self}")));

@@ -253,22 +253,14 @@ impl ChainSim {
                         for t in 1..=t_end {
                             let mut feed = [Fix16::ZERO; 2];
                             if t <= duration {
-                                for (lane, px) in
-                                    schedule.feed(t as usize).iter().enumerate()
-                                {
+                                for (lane, px) in schedule.feed(t as usize).iter().enumerate() {
                                     if let Some(px) = px {
                                         // Pattern rows live in padded
                                         // coordinates.
-                                        let prow =
-                                            (band_base + px.row) as isize - pad;
+                                        let prow = (band_base + px.row) as isize - pad;
                                         let pcol = px.col as isize - pad;
-                                        feed[lane] = ifmap.get_padded(
-                                            n,
-                                            c,
-                                            prow,
-                                            pcol,
-                                            Fix16::ZERO,
-                                        );
+                                        feed[lane] =
+                                            ifmap.get_padded(n, c, prow, pcol, Fix16::ZERO);
                                         stats.imem_reads += 1;
                                     }
                                 }
@@ -281,8 +273,7 @@ impl ChainSim {
                                     if row < out_h {
                                         let m = m_tile * prims + g;
                                         let cur = ofmaps.get(n, m, row, slot.col);
-                                        let sum =
-                                            cur.wrapping_add(chain.tail(g).raw());
+                                        let sum = cur.wrapping_add(chain.tail(g).raw());
                                         ofmaps.set(n, m, row, slot.col, sum);
                                         stats.omem_accesses += 2;
                                         stats.valid_outputs += 1;
@@ -323,11 +314,7 @@ mod tests {
         Tensor::from_vec(dims, (0..vol).map(|i| Fix16::from_raw(f(i))).collect()).unwrap()
     }
 
-    fn golden(
-        shape: &LayerShape,
-        ifmap: &Tensor<Fix16>,
-        weights: &Tensor<Fix16>,
-    ) -> Tensor<i32> {
+    fn golden(shape: &LayerShape, ifmap: &Tensor<Fix16>, weights: &Tensor<Fix16>) -> Tensor<i32> {
         conv2d_fix(
             ifmap,
             weights,
@@ -427,7 +414,11 @@ mod tests {
     #[test]
     fn single_channel_mode_matches_golden_too() {
         assert_matches_golden(9, LayerShape::square(2, 6, 1, 3, 1, 0), ChannelMode::Single);
-        assert_matches_golden(18, LayerShape::square(1, 7, 3, 3, 1, 1), ChannelMode::Single);
+        assert_matches_golden(
+            18,
+            LayerShape::square(1, 7, 3, 3, 1, 1),
+            ChannelMode::Single,
+        );
     }
 
     #[test]
@@ -443,8 +434,7 @@ mod tests {
             .run_layer_with(&shape, &ifmap, &weights, ChannelMode::Single)
             .unwrap();
         assert_eq!(dual.ofmaps, single.ofmaps);
-        let ratio =
-            single.stats.stream_cycles as f64 / dual.stats.stream_cycles as f64;
+        let ratio = single.stats.stream_cycles as f64 / dual.stats.stream_cycles as f64;
         // 14 rows: dual runs ceil(14/3)=5 patterns, single runs 14.
         assert!(
             (2.3..=3.0).contains(&ratio),
@@ -485,7 +475,10 @@ mod tests {
         assert_eq!(s.kmem_reads, 27 * 6);
         // Stream cycles: 6 patterns x (3·9 + 2) = 174.
         assert_eq!(s.stream_cycles, 6 * 29);
-        assert_eq!(s.total_cycles(), s.stream_cycles + s.drain_cycles + s.load_cycles);
+        assert_eq!(
+            s.total_cycles(),
+            s.stream_cycles + s.drain_cycles + s.load_cycles
+        );
         assert!(s.utilization(27) > 0.3);
     }
 

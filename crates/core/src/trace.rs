@@ -168,7 +168,11 @@ pub fn trace_pattern(
     let mut chain = Chain::new(prims, p, 1)?;
     for g in 0..prims {
         for pe in 0..p {
-            chain.write_weight(g * p + pe, 0, weights.get(g, 0, pe % shape.kh, pe / shape.kh))?;
+            chain.write_weight(
+                g * p + pe,
+                0,
+                weights.get(g, 0, pe % shape.kh, pe / shape.kh),
+            )?;
         }
     }
     chain.latch_all(0)?;

@@ -1,0 +1,135 @@
+//! Content-hashed memoization of point evaluations.
+//!
+//! The cache keys on [`DesignPoint::content_hash`] (a stable FNV-1a of
+//! the point's canonical byte encoding) and verifies the full point on
+//! lookup, so a 64-bit collision can never return the wrong result.
+//! Overlapping or repeated sweeps against the same [`crate::Explorer`]
+//! are therefore incremental: only never-seen points are evaluated.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::eval::PointOutcome;
+use crate::spec::DesignPoint;
+
+/// Hit/miss counters of one cache (monotonic over the cache lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that required a fresh evaluation.
+    pub misses: u64,
+}
+
+/// Thread-safe memo table from design points to evaluation outcomes.
+#[derive(Debug, Default)]
+pub struct PointCache {
+    // Buckets per content hash; each bucket stores the full point so
+    // collisions degrade to a linear probe, never a wrong answer.
+    map: Mutex<HashMap<u64, Vec<(DesignPoint, PointOutcome)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PointCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PointCache::default()
+    }
+
+    /// Looks up `point`, counting a hit or a miss.
+    pub fn get(&self, point: &DesignPoint) -> Option<PointOutcome> {
+        let key = point.content_hash();
+        let map = self.map.lock().expect("cache lock poisoned");
+        let found = map
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(p, _)| p == point))
+            .map(|(_, outcome)| outcome.clone());
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an outcome (idempotent; a racing duplicate insert keeps
+    /// the first entry).
+    pub fn insert(&self, point: &DesignPoint, outcome: PointOutcome) {
+        let key = point.content_hash();
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        let bucket = map.entry(key).or_default();
+        if !bucket.iter().any(|(p, _)| p == point) {
+            bucket.push((point.clone(), outcome));
+        }
+    }
+
+    /// Number of distinct points cached.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("cache lock poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PointOutcome;
+
+    fn outcome(tag: &str) -> PointOutcome {
+        PointOutcome::Infeasible(tag.to_owned())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PointCache::new();
+        let p = DesignPoint::paper_alexnet();
+        assert!(cache.get(&p).is_none());
+        cache.insert(&p, outcome("a"));
+        assert_eq!(cache.get(&p), Some(outcome("a")));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_points_do_not_alias() {
+        let cache = PointCache::new();
+        let a = DesignPoint::paper_alexnet();
+        let b = DesignPoint {
+            pes: 288,
+            ..a.clone()
+        };
+        cache.insert(&a, outcome("a"));
+        cache.insert(&b, outcome("b"));
+        assert_eq!(cache.get(&a), Some(outcome("a")));
+        assert_eq!(cache.get(&b), Some(outcome("b")));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let cache = PointCache::new();
+        let p = DesignPoint::paper_alexnet();
+        cache.insert(&p, outcome("first"));
+        cache.insert(&p, outcome("second"));
+        assert_eq!(cache.get(&p), Some(outcome("first")));
+        assert_eq!(cache.len(), 1);
+    }
+}

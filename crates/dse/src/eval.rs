@@ -1,0 +1,202 @@
+//! Evaluation of one design point through the full model stack:
+//! performance (fps), power (on-chip + DRAM interface), and area.
+
+use chain_nn_core::perf::{CycleModel, PerfModel};
+use chain_nn_core::ChainConfig;
+use chain_nn_energy::area::AreaModel;
+use chain_nn_energy::power::PowerModel;
+use chain_nn_mem::MemoryConfig;
+
+use crate::spec::DesignPoint;
+use crate::{network_by_name, DseError};
+
+/// Model outputs for one feasible design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointResult {
+    /// Frames per second (paper-calibrated cycle model).
+    pub fps: f64,
+    /// Achieved throughput on the workload, GOPS.
+    pub achieved_gops: f64,
+    /// Peak throughput of the configuration, GOPS.
+    pub peak_gops: f64,
+    /// On-chip power, mW (chain + kMemory + iMemory + oMemory).
+    pub chip_mw: f64,
+    /// DRAM interface power, mW (the paper reports it separately; the
+    /// DSE includes it in the system-power objective so that kMemory /
+    /// SRAM sizing is a real traffic-vs-capacity tradeoff).
+    pub dram_mw: f64,
+    /// Chain logic area in NAND2-equivalent kilo-gates.
+    pub gates_k: f64,
+    /// Total on-chip SRAM (iMemory + oMemory + kMemory), KB.
+    pub sram_kb: f64,
+}
+
+impl PointResult {
+    /// System power: on-chip plus DRAM interface, mW. One of the three
+    /// Pareto objectives (minimize).
+    pub fn system_mw(&self) -> f64 {
+        self.chip_mw + self.dram_mw
+    }
+
+    /// Whole-chip energy efficiency, peak GOPS per on-chip watt (the
+    /// paper's headline metric).
+    pub fn gops_per_watt(&self) -> f64 {
+        self.peak_gops / (self.chip_mw / 1e3)
+    }
+
+    /// Fraction of peak throughput sustained on the workload.
+    pub fn utilization(&self) -> f64 {
+        self.achieved_gops / self.peak_gops
+    }
+}
+
+/// Outcome of evaluating one point: the grid may legitimately contain
+/// configurations the architecture cannot run (e.g. a chain shorter
+/// than K² for some layer), which are recorded rather than aborting the
+/// sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point maps and the models produced a result.
+    Feasible(PointResult),
+    /// The point cannot run this workload; the reason is kept for the
+    /// report.
+    Infeasible(String),
+}
+
+impl PointOutcome {
+    /// The result, if feasible.
+    pub fn result(&self) -> Option<&PointResult> {
+        match self {
+            PointOutcome::Feasible(r) => Some(r),
+            PointOutcome::Infeasible(_) => None,
+        }
+    }
+}
+
+/// Runs the full model stack on one design point.
+///
+/// Mapping failures (kernel too large for the chain, undersized SRAM
+/// tiles) are reported as [`PointOutcome::Infeasible`]; spec-level
+/// problems (unknown network, invalid chain parameters) are hard
+/// errors.
+///
+/// # Errors
+///
+/// Returns [`DseError::Spec`] when the point itself is malformed —
+/// unknown network name, unsupported word width, or parameters
+/// `ChainConfig` rejects.
+pub fn evaluate(point: &DesignPoint) -> Result<PointOutcome, DseError> {
+    let net = network_by_name(&point.net)
+        .ok_or_else(|| DseError::Spec(format!("unknown network '{}'", point.net)))?;
+    if !matches!(point.word_bits, 8 | 16) {
+        // Sub-byte packing is not modeled (MemoryConfig counts whole
+        // bytes per word); reject rather than silently alias to 8-bit.
+        return Err(DseError::Spec(format!(
+            "word width {} unsupported (expected 8 or 16 bits)",
+            point.word_bits
+        )));
+    }
+    let cfg = ChainConfig::builder()
+        .num_pes(point.pes)
+        .freq_mhz(point.freq_mhz)
+        .kmemory_depth(point.kmem_depth)
+        .build()
+        .map_err(|e| DseError::Spec(e.to_string()))?;
+    let mem = MemoryConfig {
+        imem_bytes: point.imem_kb * 1024,
+        omem_bytes: point.omem_kb * 1024,
+        word_bytes: point.word_bits as usize / 8,
+    };
+
+    let perf = match PerfModel::new(cfg).network(&net, point.batch, CycleModel::PaperCalibrated) {
+        Ok(p) => p,
+        Err(e) => return Ok(PointOutcome::Infeasible(e.to_string())),
+    };
+    let power = match PowerModel::with_operand_bits(cfg, mem, point.word_bits)
+        .network_power(&net, point.batch)
+    {
+        Ok(p) => p,
+        Err(e) => return Ok(PointOutcome::Infeasible(e.to_string())),
+    };
+    let area = AreaModel::with_operand_bits(cfg, point.word_bits);
+
+    Ok(PointOutcome::Feasible(PointResult {
+        fps: perf.fps,
+        achieved_gops: perf.gops,
+        peak_gops: cfg.peak_gops(),
+        chip_mw: power.breakdown.total_mw(),
+        dram_mw: power.dram_mw,
+        gates_k: area.total_gates() / 1e3,
+        sram_kb: area.onchip_memory_bytes(mem.imem_bytes, mem.omem_bytes) as f64 / 1024.0,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_reproduces_headline_numbers() {
+        let out = evaluate(&DesignPoint::paper_alexnet()).unwrap();
+        let r = out.result().expect("paper point is feasible");
+        assert_eq!(r.peak_gops, 806.4);
+        // Fig. 10: 567.5 mW on-chip; fitted model lands within ~6 %.
+        assert!(
+            (r.chip_mw - 567.5).abs() / 567.5 < 0.06,
+            "chip {}",
+            r.chip_mw
+        );
+        assert!((r.gops_per_watt() - 1421.0).abs() / 1421.0 < 0.06);
+        assert!(r.fps > 200.0);
+        assert!(r.dram_mw > 0.0);
+        assert!(r.sram_kb > 300.0);
+    }
+
+    #[test]
+    fn too_short_chain_is_infeasible_not_fatal() {
+        let point = DesignPoint {
+            pes: 64, // AlexNet conv1 is 11x11 -> needs 121 PEs
+            ..DesignPoint::paper_alexnet()
+        };
+        match evaluate(&point).unwrap() {
+            PointOutcome::Infeasible(reason) => {
+                assert!(!reason.is_empty());
+            }
+            PointOutcome::Feasible(_) => panic!("64 PEs cannot run K=11"),
+        }
+    }
+
+    #[test]
+    fn unknown_network_is_a_hard_error() {
+        let point = DesignPoint {
+            net: "notanet".into(),
+            ..DesignPoint::paper_alexnet()
+        };
+        assert!(evaluate(&point).is_err());
+    }
+
+    #[test]
+    fn sub_byte_word_width_is_rejected_not_aliased() {
+        let point = DesignPoint {
+            word_bits: 4,
+            ..DesignPoint::paper_alexnet()
+        };
+        assert!(matches!(evaluate(&point), Err(DseError::Spec(m)) if m.contains('4')));
+    }
+
+    #[test]
+    fn narrower_words_cut_power_and_area_not_speed() {
+        let p16 = DesignPoint::paper_alexnet();
+        let p8 = DesignPoint {
+            word_bits: 8,
+            ..p16.clone()
+        };
+        let r16 = *evaluate(&p16).unwrap().result().unwrap();
+        let r8 = *evaluate(&p8).unwrap().result().unwrap();
+        assert_eq!(r16.fps, r8.fps);
+        assert!(r8.chip_mw < r16.chip_mw);
+        assert!(r8.dram_mw < r16.dram_mw);
+        assert!(r8.gates_k < r16.gates_k);
+        assert!(r8.sram_kb < r16.sram_kb);
+    }
+}

@@ -1,0 +1,209 @@
+//! CSV / JSON exports of sweep results, following the conventions of
+//! `chain-nn-bench`'s `csv` module: a single header line, comma rows,
+//! no quoting (field values never contain commas), fixed float
+//! precision so identical sweeps serialize byte-identically.
+
+use std::fmt::Write as _;
+
+use crate::SweepResult;
+
+/// CSV header of [`results_csv`].
+pub const RESULTS_HEADER: &str = "net,pes,freq_mhz,kmem_depth,imem_kb,omem_kb,word_bits,batch,\
+     status,fps,achieved_gops,peak_gops,chip_mw,dram_mw,system_mw,gops_per_watt,gates_k,sram_kb,\
+     frontier_2d,frontier_3d";
+
+fn push_row(s: &mut String, result: &SweepResult, i: usize) {
+    let p = &result.points[i];
+    let _ = write!(
+        s,
+        "{},{},{},{},{},{},{},{}",
+        p.net, p.pes, p.freq_mhz, p.kmem_depth, p.imem_kb, p.omem_kb, p.word_bits, p.batch
+    );
+    match result.outcomes[i].result() {
+        Some(r) => {
+            let _ = writeln!(
+                s,
+                ",ok,{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.1},{},{}",
+                r.fps,
+                r.achieved_gops,
+                r.peak_gops,
+                r.chip_mw,
+                r.dram_mw,
+                r.system_mw(),
+                r.gops_per_watt(),
+                r.gates_k,
+                r.sram_kb,
+                u8::from(result.frontier_2d.contains(&i)),
+                u8::from(result.frontier_3d.contains(&i)),
+            );
+        }
+        None => {
+            let _ = writeln!(s, ",infeasible,,,,,,,,,,0,0");
+        }
+    }
+}
+
+/// The full sweep as CSV, one row per point, in point order.
+pub fn results_csv(result: &SweepResult) -> String {
+    let mut s = String::from(RESULTS_HEADER);
+    s.push('\n');
+    for i in 0..result.points.len() {
+        push_row(&mut s, result, i);
+    }
+    s
+}
+
+/// Only the 3D Pareto frontier as CSV (same schema as [`results_csv`]).
+pub fn frontier_csv(result: &SweepResult) -> String {
+    let mut s = String::from(RESULTS_HEADER);
+    s.push('\n');
+    for &i in &result.frontier_3d {
+        push_row(&mut s, result, i);
+    }
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The full sweep as a JSON document: `{"points": [...], "frontier_2d":
+/// [...], "frontier_3d": [...], "stats": {...}}`. Hand-rolled writer —
+/// the repo carries no serde dependency.
+pub fn results_json(result: &SweepResult) -> String {
+    let mut s = String::from("{\n  \"points\": [\n");
+    for (i, p) in result.points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"net\": \"{}\", \"pes\": {}, \"freq_mhz\": {}, \"kmem_depth\": {}, \
+             \"imem_kb\": {}, \"omem_kb\": {}, \"word_bits\": {}, \"batch\": {}",
+            json_escape(&p.net),
+            p.pes,
+            p.freq_mhz,
+            p.kmem_depth,
+            p.imem_kb,
+            p.omem_kb,
+            p.word_bits,
+            p.batch
+        );
+        match result.outcomes[i].result() {
+            Some(r) => {
+                let _ = write!(
+                    s,
+                    ", \"status\": \"ok\", \"fps\": {:.3}, \"achieved_gops\": {:.3}, \
+                     \"peak_gops\": {:.3}, \"chip_mw\": {:.3}, \"dram_mw\": {:.3}, \
+                     \"system_mw\": {:.3}, \"gops_per_watt\": {:.3}, \"gates_k\": {:.1}, \
+                     \"sram_kb\": {:.1}",
+                    r.fps,
+                    r.achieved_gops,
+                    r.peak_gops,
+                    r.chip_mw,
+                    r.dram_mw,
+                    r.system_mw(),
+                    r.gops_per_watt(),
+                    r.gates_k,
+                    r.sram_kb
+                );
+            }
+            None => {
+                let _ = write!(s, ", \"status\": \"infeasible\"");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "}}{}",
+            if i + 1 < result.points.len() { "," } else { "" }
+        );
+    }
+    let list = |ix: &[usize]| {
+        ix.iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"frontier_2d\": [{}],", list(&result.frontier_2d));
+    let _ = writeln!(s, "  \"frontier_3d\": [{}],", list(&result.frontier_3d));
+    let _ = writeln!(
+        s,
+        "  \"stats\": {{\"points\": {}, \"feasible\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"threads\": {}}}",
+        result.stats.points,
+        result.stats.feasible,
+        result.stats.cache_hits,
+        result.stats.cache_misses,
+        result.stats.threads
+    );
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Explorer, SweepSpec};
+
+    fn tiny_result() -> SweepResult {
+        let spec = SweepSpec {
+            pes: vec![25, 50, 100],
+            freqs_mhz: vec![350.0, 700.0],
+            nets: vec!["lenet".into()],
+            ..SweepSpec::paper_point()
+        };
+        Explorer::new().run(&spec, 2).unwrap()
+    }
+
+    #[test]
+    fn csv_is_rectangular_and_headed() {
+        let result = tiny_result();
+        for csv in [results_csv(&result), frontier_csv(&result)] {
+            let rows: Vec<Vec<&str>> = csv.lines().map(|l| l.split(',').collect()).collect();
+            assert!(rows.len() >= 2, "no data rows");
+            let width = rows[0].len();
+            assert_eq!(rows[0][0], "net");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.len(), width, "ragged row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_row_count_matches_points() {
+        let result = tiny_result();
+        let csv = results_csv(&result);
+        assert_eq!(csv.lines().count(), result.points.len() + 1);
+        let frontier = frontier_csv(&result);
+        assert_eq!(frontier.lines().count(), result.frontier_3d.len() + 1);
+    }
+
+    #[test]
+    fn json_has_every_section_and_balanced_braces() {
+        let result = tiny_result();
+        let json = results_json(&result);
+        for key in [
+            "\"points\"",
+            "\"frontier_2d\"",
+            "\"frontier_3d\"",
+            "\"stats\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches("\"status\"").count(), result.points.len());
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,128 @@
+//! Pareto-frontier extraction over the sweep objectives.
+//!
+//! Objectives: maximize throughput (fps), minimize system power
+//! (on-chip + DRAM interface, mW) and minimize logic area (kilo-gates).
+//! A point is dominated when some other point is at least as good on
+//! every objective and strictly better on at least one. The 2D
+//! frontier drops the area axis (fps × power only).
+
+use crate::eval::PointResult;
+
+/// The objective vector of one feasible point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Throughput, maximized.
+    pub fps: f64,
+    /// System power (chip + DRAM interface) in mW, minimized.
+    pub system_mw: f64,
+    /// Logic area in kilo-gates, minimized.
+    pub gates_k: f64,
+}
+
+impl From<&PointResult> for Objectives {
+    fn from(r: &PointResult) -> Self {
+        Objectives {
+            fps: r.fps,
+            system_mw: r.system_mw(),
+            gates_k: r.gates_k,
+        }
+    }
+}
+
+/// Whether `a` dominates `b` in the 3D (fps, power, area) sense.
+pub fn dominates_3d(a: &Objectives, b: &Objectives) -> bool {
+    let no_worse = a.fps >= b.fps && a.system_mw <= b.system_mw && a.gates_k <= b.gates_k;
+    let better = a.fps > b.fps || a.system_mw < b.system_mw || a.gates_k < b.gates_k;
+    no_worse && better
+}
+
+/// Whether `a` dominates `b` ignoring area (fps × power).
+pub fn dominates_2d(a: &Objectives, b: &Objectives) -> bool {
+    let no_worse = a.fps >= b.fps && a.system_mw <= b.system_mw;
+    let better = a.fps > b.fps || a.system_mw < b.system_mw;
+    no_worse && better
+}
+
+fn frontier_by(
+    objectives: &[(usize, Objectives)],
+    dominates: impl Fn(&Objectives, &Objectives) -> bool,
+) -> Vec<usize> {
+    let mut frontier = Vec::new();
+    for (i, oi) in objectives {
+        let dominated = objectives.iter().any(|(j, oj)| j != i && dominates(oj, oi));
+        if !dominated {
+            frontier.push(*i);
+        }
+    }
+    frontier
+}
+
+/// Indices (into the caller's list) of the 3D-non-dominated points.
+/// Input is `(index, objectives)` for every *feasible* point; the
+/// returned indices are ascending because input order is preserved.
+pub fn frontier_3d(objectives: &[(usize, Objectives)]) -> Vec<usize> {
+    frontier_by(objectives, dominates_3d)
+}
+
+/// Indices of the 2D-non-dominated points (fps × power).
+pub fn frontier_2d(objectives: &[(usize, Objectives)]) -> Vec<usize> {
+    frontier_by(objectives, dominates_2d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fps: f64, mw: f64, gates: f64) -> Objectives {
+        Objectives {
+            fps,
+            system_mw: mw,
+            gates_k: gates,
+        }
+    }
+
+    /// Hand-checked 3x3 grid: fps grows with "size", power grows with
+    /// size and a "waste" knob. Exactly the non-wasteful diagonal plus
+    /// the area-payoff point survive.
+    #[test]
+    fn hand_checked_tiny_frontier() {
+        // (fps, mW, gates_k)
+        let pts = vec![
+            (0, obj(10.0, 100.0, 50.0)),  // small, efficient
+            (1, obj(10.0, 120.0, 50.0)),  // small, wasteful  -> dominated by 0
+            (2, obj(10.0, 100.0, 60.0)),  // small, larger    -> dominated by 0
+            (3, obj(20.0, 180.0, 90.0)),  // medium, efficient
+            (4, obj(20.0, 200.0, 90.0)),  // medium, wasteful -> dominated by 3
+            (5, obj(20.0, 180.0, 80.0)),  // medium, smaller  -> dominates 3
+            (6, obj(40.0, 400.0, 200.0)), // large, efficient
+            (7, obj(40.0, 400.0, 190.0)), // large, smaller   -> dominates 6
+            (8, obj(5.0, 500.0, 500.0)),  // bad at everything -> dominated
+        ];
+        assert_eq!(frontier_3d(&pts), vec![0, 5, 7]);
+        // In 2D the area axis stops mattering: points tied on (fps,
+        // power) — 0/2, 3/5 and 6/7 — no longer dominate each other.
+        assert_eq!(frontier_2d(&pts), vec![0, 2, 3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let pts = vec![(7, obj(1.0, 1.0, 1.0))];
+        assert_eq!(frontier_3d(&pts), vec![7]);
+        assert_eq!(frontier_2d(&pts), vec![7]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let pts = vec![(0, obj(1.0, 1.0, 1.0)), (1, obj(1.0, 1.0, 1.0))];
+        assert_eq!(frontier_3d(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = obj(10.0, 100.0, 50.0);
+        assert!(!dominates_3d(&a, &a));
+        assert!(dominates_3d(&obj(11.0, 100.0, 50.0), &a));
+        assert!(dominates_2d(&obj(10.0, 99.0, 999.0), &a));
+        assert!(!dominates_3d(&obj(10.0, 99.0, 999.0), &a));
+    }
+}

@@ -70,20 +70,32 @@ impl PeGateBreakdown {
 #[derive(Debug, Clone)]
 pub struct AreaModel {
     cfg: ChainConfig,
+    operand_bits: u32,
 }
 
 impl AreaModel {
-    /// Builds the model.
+    /// Builds the model for the paper's 16-bit datapath.
     pub fn new(cfg: ChainConfig) -> Self {
-        AreaModel { cfg }
+        AreaModel {
+            cfg,
+            operand_bits: 16,
+        }
+    }
+
+    /// Builds the model for a different operand width (the design-space
+    /// explorer's quantization axis). The component formulas already
+    /// scale with width: multiplier quadratically, adder/registers/muxes
+    /// linearly, control logic not at all.
+    pub fn with_operand_bits(cfg: ChainConfig, operand_bits: u32) -> Self {
+        AreaModel { cfg, operand_bits }
     }
 
     /// Per-PE gate breakdown for this configuration.
     pub fn pe_gates(&self) -> PeGateBreakdown {
-        let opb = 16u32; // operand bits
-        let accb = 32u32; // accumulator bits
-        // FFs: 2 lanes × 16, mac+pass psum regs × 32, weight 16, plus one
-        // 16+32-bit internal cut per extra pipeline stage.
+        let opb = self.operand_bits; // operand bits
+        let accb = 2 * opb; // accumulator bits
+                            // FFs: 2 lanes × 16, mac+pass psum regs × 32, weight 16, plus one
+                            // 16+32-bit internal cut per extra pipeline stage.
         let extra_stages = self.cfg.pipeline_stages().saturating_sub(1) as f64;
         let ffs = (2 * opb + 2 * accb + opb) as f64 + extra_stages * 24.0;
         // Muxes: one 16-bit 2:1 lane select, three 16-bit primitive-port
@@ -107,9 +119,10 @@ impl AreaModel {
     }
 
     /// On-chip memory in bytes: iMemory + oMemory + kMemory (the paper's
-    /// "352 KB": 32 + 25 + 288 KiB).
+    /// "352 KB": 32 + 25 + 288 KiB). kMemory capacity scales with the
+    /// operand width (`kmemory_bytes` assumes 16-bit weights).
     pub fn onchip_memory_bytes(&self, imem_bytes: usize, omem_bytes: usize) -> usize {
-        imem_bytes + omem_bytes + self.cfg.kmemory_bytes()
+        imem_bytes + omem_bytes + self.cfg.kmemory_bytes() * self.operand_bits as usize / 16
     }
 
     /// Gates per PE for an Eyeriss-style 2D spatial PE, from the same
@@ -178,6 +191,30 @@ mod tests {
         );
         let ratio = a.gates_per_pe_ratio_vs_eyeriss();
         assert!((ratio - 11.02 / 6.51).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn operand_width_scales_area_down() {
+        let cfg = ChainConfig::paper_576();
+        let full = AreaModel::new(cfg);
+        let narrow = AreaModel::with_operand_bits(cfg, 8);
+        let fp = full.pe_gates();
+        let np = narrow.pe_gates();
+        // Multiplier quadratic, adder/registers/muxes linear, control flat.
+        assert!((np.multiplier - fp.multiplier / 4.0).abs() < 1.0);
+        assert!((np.adder - fp.adder / 2.0).abs() < 1.0);
+        assert!(np.registers < fp.registers);
+        assert_eq!(np.control, fp.control);
+        assert!(narrow.total_gates() < full.total_gates());
+        // kMemory halves; iMemory/oMemory byte capacities do not.
+        let fb = full.onchip_memory_bytes(32 * 1024, 25 * 1024);
+        let nb = narrow.onchip_memory_bytes(32 * 1024, 25 * 1024);
+        assert_eq!(fb - nb, cfg.kmemory_bytes() / 2);
+        // Width 16 is the default model.
+        assert_eq!(
+            AreaModel::with_operand_bits(cfg, 16).pe_gates(),
+            full.pe_gates()
+        );
     }
 
     #[test]

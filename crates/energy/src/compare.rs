@@ -102,8 +102,7 @@ pub fn chain_nn() -> AcceleratorSpec {
         tech: TechNode::tsmc28(),
         gate_count_k: Some(area.total_gates() / 1e3),
         onchip_memory: "352KB SRAM".to_owned(),
-        onchip_memory_kb: area.onchip_memory_bytes(mem.imem_bytes, mem.omem_bytes) as f64
-            / 1024.0,
+        onchip_memory_kb: area.onchip_memory_bytes(mem.imem_bytes, mem.omem_bytes) as f64 / 1024.0,
         parallelism: cfg.num_pes().to_string(),
         freq_mhz: cfg.freq_mhz(),
         power_w: power.breakdown.total_mw() / 1e3,

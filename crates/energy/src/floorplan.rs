@@ -44,12 +44,18 @@ impl Floorplan {
     /// Returns [`CoreError::Config`] for zero dimensions.
     pub fn serpentine(num_pes: usize, width: usize) -> Result<Self, CoreError> {
         if num_pes == 0 || width == 0 {
-            return Err(CoreError::Config("floorplan dimensions must be non-zero".into()));
+            return Err(CoreError::Config(
+                "floorplan dimensions must be non-zero".into(),
+            ));
         }
         let places = (0..num_pes)
             .map(|i| {
                 let y = i / width;
-                let x = if y.is_multiple_of(2) { i % width } else { width - 1 - i % width };
+                let x = if y.is_multiple_of(2) {
+                    i % width
+                } else {
+                    width - 1 - i % width
+                };
                 Placement { x, y }
             })
             .collect();
@@ -67,7 +73,9 @@ impl Floorplan {
     /// Returns [`CoreError::Config`] for zero dimensions.
     pub fn row_major(num_pes: usize, width: usize) -> Result<Self, CoreError> {
         if num_pes == 0 || width == 0 {
-            return Err(CoreError::Config("floorplan dimensions must be non-zero".into()));
+            return Err(CoreError::Config(
+                "floorplan dimensions must be non-zero".into(),
+            ));
         }
         let places = (0..num_pes)
             .map(|i| Placement {

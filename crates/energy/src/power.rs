@@ -141,6 +141,7 @@ pub struct PowerModel {
     perf: PerfModel,
     traffic: TrafficModel,
     mem: MemoryConfig,
+    operand_bits: u32,
 }
 
 impl PowerModel {
@@ -161,7 +162,27 @@ impl PowerModel {
             cfg,
             coef,
             mem,
+            operand_bits: 16,
         }
+    }
+
+    /// Builds the model for a datapath narrower (or equal) to the
+    /// paper's 16-bit words, applying first-order width scaling to the
+    /// fitted coefficients: multiplier (MAC) energy scales with the
+    /// square of the width, register/idle and per-access SRAM/DRAM
+    /// energies scale linearly, and kMemory capacity (leakage) scales
+    /// linearly. Used by the design-space explorer's quantization axis.
+    pub fn with_operand_bits(cfg: ChainConfig, mem: MemoryConfig, operand_bits: u32) -> Self {
+        let mut model = Self::new(cfg, mem);
+        model.operand_bits = operand_bits;
+        let w = f64::from(operand_bits) / 16.0;
+        model.coef.mac_active_pj *= w * w;
+        model.coef.pe_idle_pj *= w;
+        model.coef.imem_pj *= w;
+        model.coef.omem_pj *= w;
+        model.coef.kmem_pj *= w;
+        model.coef.dram_pj_per_word *= w;
+        model
     }
 
     /// The coefficients in use.
@@ -203,7 +224,10 @@ impl PowerModel {
         let mw = |events: f64, pj: f64| events * pj * 1e-9 / time_s;
         let idle_pe_cycles = (self.cfg.num_pes() as f64 * total_cycles - macs).max(0.0);
         let chain_mw = mw(macs, self.coef.mac_active_pj) + mw(idle_pe_cycles, self.coef.pe_idle_pj);
-        let kmem_kb = self.cfg.kmemory_bytes() as f64 / 1024.0;
+        // kmemory_bytes() assumes 16-bit weights; scale capacity (and
+        // with it leakage) to the actual operand width.
+        let kmem_kb =
+            self.cfg.kmemory_bytes() as f64 * (f64::from(self.operand_bits) / 16.0) / 1024.0;
         let kmem_mw = mw(kmem_acc, self.coef.kmem_pj) + kmem_kb * self.coef.leak_mw_per_kb;
         let imem_mw = mw(imem_acc, self.coef.imem_pj)
             + self.mem.imem_bytes as f64 / 1024.0 * self.coef.leak_mw_per_kb;
@@ -244,11 +268,27 @@ mod tests {
     fn fig10_breakdown_within_ten_percent() {
         let r = report();
         let b = r.breakdown;
-        assert!((b.chain_mw - 466.71).abs() / 466.71 < 0.10, "chain {}", b.chain_mw);
-        assert!((b.kmem_mw - 40.15).abs() / 40.15 < 0.12, "kmem {}", b.kmem_mw);
+        assert!(
+            (b.chain_mw - 466.71).abs() / 466.71 < 0.10,
+            "chain {}",
+            b.chain_mw
+        );
+        assert!(
+            (b.kmem_mw - 40.15).abs() / 40.15 < 0.12,
+            "kmem {}",
+            b.kmem_mw
+        );
         assert!((b.imem_mw - 3.91).abs() / 3.91 < 0.10, "imem {}", b.imem_mw);
-        assert!((b.omem_mw - 56.70).abs() / 56.70 < 0.10, "omem {}", b.omem_mw);
-        assert!((b.total_mw() - 567.5).abs() / 567.5 < 0.06, "total {}", b.total_mw());
+        assert!(
+            (b.omem_mw - 56.70).abs() / 56.70 < 0.10,
+            "omem {}",
+            b.omem_mw
+        );
+        assert!(
+            (b.total_mw() - 567.5).abs() / 567.5 < 0.06,
+            "total {}",
+            b.total_mw()
+        );
     }
 
     /// Fig. 10 shares: ~80.8 % chain, ~10.55 % memory hierarchy.
@@ -256,7 +296,10 @@ mod tests {
     fn fig10_shares() {
         let r = report();
         let share_chain = r.breakdown.chain_mw / r.breakdown.total_mw();
-        assert!((share_chain - 0.808).abs() < 0.03, "chain share {share_chain}");
+        assert!(
+            (share_chain - 0.808).abs() < 0.03,
+            "chain share {share_chain}"
+        );
         let mh = r.breakdown.memory_hierarchy_share();
         assert!((mh - 0.1055).abs() < 0.02, "memory hierarchy share {mh}");
     }
@@ -294,15 +337,40 @@ mod tests {
         let base = report();
         let mut coef = EnergyCoefficients::fitted_28nm();
         coef.mac_active_pj *= 2.0;
-        let hot = PowerModel::with_coefficients(
-            ChainConfig::paper_576(),
-            MemoryConfig::paper(),
-            coef,
-        )
-        .network_power(&zoo::alexnet(), 4)
-        .unwrap();
+        let hot =
+            PowerModel::with_coefficients(ChainConfig::paper_576(), MemoryConfig::paper(), coef)
+                .network_power(&zoo::alexnet(), 4)
+                .unwrap();
         assert!(hot.breakdown.chain_mw > base.breakdown.chain_mw * 1.5);
         assert!(hot.gops_per_watt_total() < base.gops_per_watt_total());
+    }
+
+    /// Narrower operands must strictly cut every power component while
+    /// leaving timing untouched (no accuracy objective is modeled).
+    #[test]
+    fn operand_width_scales_power_down() {
+        let full = report();
+        let narrow =
+            PowerModel::with_operand_bits(ChainConfig::paper_576(), MemoryConfig::paper(), 8)
+                .network_power(&zoo::alexnet(), 4)
+                .unwrap();
+        assert_eq!(narrow.time_ms, full.time_ms);
+        assert!(narrow.breakdown.chain_mw < full.breakdown.chain_mw);
+        assert!(narrow.breakdown.kmem_mw < full.breakdown.kmem_mw);
+        assert!(narrow.breakdown.imem_mw < full.breakdown.imem_mw);
+        assert!(narrow.breakdown.omem_mw < full.breakdown.omem_mw);
+        assert!(narrow.dram_mw < full.dram_mw);
+        // MAC energy scales quadratically, so the chain share shrinks
+        // by more than the linear memory terms.
+        let chain_ratio = narrow.breakdown.chain_mw / full.breakdown.chain_mw;
+        let omem_ratio = narrow.breakdown.omem_mw / full.breakdown.omem_mw;
+        assert!(chain_ratio < omem_ratio);
+        // 16-bit explicit equals the default.
+        let same =
+            PowerModel::with_operand_bits(ChainConfig::paper_576(), MemoryConfig::paper(), 16)
+                .network_power(&zoo::alexnet(), 4)
+                .unwrap();
+        assert_eq!(same, full);
     }
 
     /// Achieved throughput is bounded by peak.

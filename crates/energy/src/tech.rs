@@ -82,14 +82,17 @@ impl TechNode {
     /// energy ∝ C·V², the textbook first-order model — provided for
     /// sensitivity studies alongside the paper's linear rule.
     pub fn energy_scale_factor(&self, target: &TechNode) -> f64 {
-        (target.feature_nm / self.feature_nm)
-            * (target.nominal_volts / self.nominal_volts).powi(2)
+        (target.feature_nm / self.feature_nm) * (target.nominal_volts / self.nominal_volts).powi(2)
     }
 }
 
 impl fmt::Display for TechNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} nm, {} V)", self.name, self.feature_nm, self.nominal_volts)
+        write!(
+            f,
+            "{} ({} nm, {} V)",
+            self.name, self.feature_nm, self.nominal_volts
+        )
     }
 }
 

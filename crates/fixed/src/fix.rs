@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn saturating_add_clamps() {
         assert_eq!(Fix16::MAX.saturating_add(Fix16::from_raw(1)), Fix16::MAX);
-        assert_eq!(
-            Fix16::MIN.saturating_add(Fix16::from_raw(-1)),
-            Fix16::MIN
-        );
+        assert_eq!(Fix16::MIN.saturating_add(Fix16::from_raw(-1)), Fix16::MIN);
     }
 
     #[test]

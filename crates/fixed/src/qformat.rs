@@ -120,7 +120,9 @@ impl QFormat {
 
     /// The weight of one least-significant bit: `2^-frac_bits`.
     pub fn lsb(&self) -> f32 {
-        (self.frac_bits as i32).checked_neg().map_or(1.0, |e| 2f32.powi(e))
+        (self.frac_bits as i32)
+            .checked_neg()
+            .map_or(1.0, |e| 2f32.powi(e))
     }
 
     /// Largest representable value, `(2^15 - 1) · 2^-n`.

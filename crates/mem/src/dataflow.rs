@@ -183,6 +183,9 @@ mod tests {
     fn grouped_layer_has_one_plan_per_group() {
         let (chain, mem) = paper();
         let alex = zoo::alexnet();
-        assert_eq!(plan_layer(&alex.layers()[3], &chain, &mem).unwrap().len(), 2);
+        assert_eq!(
+            plan_layer(&alex.layers()[3], &chain, &mem).unwrap().len(),
+            2
+        );
     }
 }

@@ -234,10 +234,7 @@ mod tests {
         for (i, (r, p)) in rows.iter().zip(paper).enumerate() {
             let g = mb(r.dram_bytes);
             if i == 0 {
-                assert!(
-                    (g - 3.63).abs() < 0.1,
-                    "conv1 model moved: {g} (paper {p})"
-                );
+                assert!((g - 3.63).abs() < 0.1, "conv1 model moved: {g} (paper {p})");
             } else {
                 assert!((g - p).abs() / p < 0.05, "{}: DRAM {g} vs {p}", r.name);
             }
@@ -304,10 +301,7 @@ mod tests {
     fn totals_accumulate() {
         let rows = model().network_traffic(&zoo::alexnet(), 4).unwrap();
         let t = totals(&rows);
-        assert_eq!(
-            t.dram_bytes,
-            rows.iter().map(|r| r.dram_bytes).sum::<u64>()
-        );
+        assert_eq!(t.dram_bytes, rows.iter().map(|r| r.dram_bytes).sum::<u64>());
         assert_eq!(t.name, "Total");
     }
 }

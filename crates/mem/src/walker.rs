@@ -69,9 +69,7 @@ pub fn walk_layer(
         let band_rows = shape.kh;
         for _n in 0..batch {
             for m_tile in 0..plan.m_tiles {
-                let prims = plan
-                    .para_tile
-                    .min(shape.m - m_tile * plan.para_tile);
+                let prims = plan.para_tile.min(shape.m - m_tile * plan.para_tile);
                 if !plan.ifmap_resident || m_tile == 0 {
                     // Ifmaps cross DRAM for this tile.
                     dram.read((shape.c * shape.h * shape.w) as u64);
@@ -148,14 +146,15 @@ mod tests {
     /// §IV.B's core claim, measured across kernel sizes.
     #[test]
     fn imem_bandwidth_invariant_in_k() {
-        for (k, c, m, h) in [(3usize, 8usize, 16usize, 27usize), (5, 8, 16, 27), (7, 8, 16, 29)] {
+        for (k, c, m, h) in [
+            (3usize, 8usize, 16usize, 27usize),
+            (5, 8, 16, 27),
+            (7, 8, 16, 29),
+        ] {
             let spec = ConvLayerSpec::square("t", c, h, k, 1, k / 2, m).expect("spec");
             let w = walk(&spec, 1);
             let bw = w.imem_words_per_cycle();
-            assert!(
-                bw > 1.5 && bw <= 2.0,
-                "K={k}: bandwidth {bw} words/cycle"
-            );
+            assert!(bw > 1.5 && bw <= 2.0, "K={k}: bandwidth {bw} words/cycle");
         }
     }
 
@@ -199,10 +198,7 @@ mod tests {
         let spec = ConvLayerSpec::square("t", 4, 13, 3, 1, 1, 8).expect("spec");
         let w1 = walk(&spec, 1);
         let w4 = walk(&spec, 4);
-        assert_eq!(
-            w4.imem.counters().reads,
-            4 * w1.imem.counters().reads
-        );
+        assert_eq!(w4.imem.counters().reads, 4 * w1.imem.counters().reads);
         let weight_words = spec.weights();
         assert_eq!(
             w4.dram.counters().reads - weight_words,

@@ -194,8 +194,7 @@ impl ConvLayerSpec {
 
     /// The layer's [`ConvGeometry`].
     pub fn geometry(&self) -> ConvGeometry {
-        ConvGeometry::new(self.k, self.stride, self.pad)
-            .expect("validated at construction")
+        ConvGeometry::new(self.k, self.stride, self.pad).expect("validated at construction")
     }
 
     /// Output map height E (the paper's E).

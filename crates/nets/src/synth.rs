@@ -54,12 +54,7 @@ impl SynthSource {
     pub fn weights(&mut self, layer: &ConvLayerSpec) -> Tensor<f32> {
         let fan_in = (layer.c_per_group() * layer.k() * layer.k()) as f32;
         let scale = (2.0 / fan_in).sqrt();
-        let dims = [
-            layer.m(),
-            layer.c_per_group(),
-            layer.k(),
-            layer.k(),
-        ];
+        let dims = [layer.m(), layer.c_per_group(), layer.k(), layer.k()];
         let vol: usize = dims.iter().product();
         let data = (0..vol).map(|_| self.normalish() * scale).collect();
         Tensor::from_vec(dims, data).expect("generated buffer matches shape")
@@ -86,12 +81,7 @@ impl SynthSource {
 
     /// Signed activations (pre-ReLU style), for stressing the quantizer
     /// with negative values.
-    pub fn signed_activations(
-        &mut self,
-        layer: &ConvLayerSpec,
-        n: usize,
-        max: f32,
-    ) -> Tensor<f32> {
+    pub fn signed_activations(&mut self, layer: &ConvLayerSpec, n: usize, max: f32) -> Tensor<f32> {
         let dims = [n, layer.c(), layer.h(), layer.w()];
         let vol: usize = dims.iter().product();
         let data = (0..vol)
@@ -112,8 +102,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let l = layer();
-        assert_eq!(SynthSource::new(1).weights(&l), SynthSource::new(1).weights(&l));
-        assert_ne!(SynthSource::new(1).weights(&l), SynthSource::new(2).weights(&l));
+        assert_eq!(
+            SynthSource::new(1).weights(&l),
+            SynthSource::new(1).weights(&l)
+        );
+        assert_ne!(
+            SynthSource::new(1).weights(&l),
+            SynthSource::new(2).weights(&l)
+        );
     }
 
     #[test]

@@ -161,12 +161,9 @@ pub fn mobilenet_v1() -> Network {
     ];
     for (i, (c, h, s, m)) in plan.into_iter().enumerate() {
         let h_out = if s == 2 { h / 2 } else { h };
+        layers.push(ConvLayerSpec::named(&format!("dw{}", i + 1), c, h, h, 3, s, 1, c, c).unwrap());
         layers.push(
-            ConvLayerSpec::named(&format!("dw{}", i + 1), c, h, h, 3, s, 1, c, c).unwrap(),
-        );
-        layers.push(
-            ConvLayerSpec::named(&format!("pw{}", i + 1), c, h_out, h_out, 1, 1, 0, m, 1)
-                .unwrap(),
+            ConvLayerSpec::named(&format!("pw{}", i + 1), c, h_out, h_out, 1, 1, 0, m, 1).unwrap(),
         );
     }
     Network::new("MobileNetV1", layers)
@@ -174,7 +171,14 @@ pub fn mobilenet_v1() -> Network {
 
 /// All six networks, for sweep-style experiments.
 pub fn all() -> Vec<Network> {
-    vec![lenet(), cifar10(), alexnet(), vgg16(), resnet18(), mobilenet_v1()]
+    vec![
+        lenet(),
+        cifar10(),
+        alexnet(),
+        vgg16(),
+        resnet18(),
+        mobilenet_v1(),
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,206 @@
+//! Minimal, std-only stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the real `proptest` crate cannot be fetched. This shim keeps the
+//! property tests in `tests/chain_vs_reference.rs` compiling and
+//! meaningful: the `proptest!` macro expands each property into a
+//! `#[test]` that samples its parameters from a deterministic
+//! (splitmix64, seeded by the test name) random stream for
+//! `ProptestConfig::cases` cases. There is no shrinking — a failing
+//! case panics with the sampled values via the normal assert message.
+//!
+//! Grammar note: parameter lists inside `proptest!` must end with a
+//! trailing comma (`a in 0usize..4,`), which is how the workspace
+//! tests are written.
+
+#![forbid(unsafe_code)]
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestRng};
+}
+
+/// Run-count configuration for one `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` sampled cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 stream, seeded from the property's name so
+/// every test function gets a distinct but reproducible sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary label (FNV-1a of the bytes).
+    pub fn deterministic(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Value sources usable on the left of `in` inside [`proptest!`].
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A (shim) strategy: something that can produce sampled values.
+    pub trait Strategy {
+        /// The type of the sampled values.
+        type Value;
+        /// Draws one value from the deterministic stream.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    let width = (hi - lo) as u128;
+                    let draw = (u128::from(rng.next_u64())) % width;
+                    (lo + draw as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+    impl<T: Clone> Strategy for Vec<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.is_empty(), "empty choice strategy");
+            let i = (rng.next_u64() as usize) % self.len();
+            self[i].clone()
+        }
+    }
+}
+
+/// Shim of proptest's `prop_assert!` (panics instead of returning).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Shim of proptest's `prop_assert_eq!` (panics instead of returning).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Expands properties into deterministic sampling `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($param:ident in $strategy:expr,)+ ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $param = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let u = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&u));
+            let i = Strategy::sample(&(-5i16..9), &mut rng);
+            assert!((-5..9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_the_domain() {
+        let mut rng = TestRng::deterministic("coverage");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Strategy::sample(&(0usize..4), &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: parameters bind and the body runs.
+        #[test]
+        fn macro_expands_and_samples(
+            a in 1usize..5,
+            b in 10i16..20,
+        ) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert_eq!(b, b);
+        }
+    }
+}

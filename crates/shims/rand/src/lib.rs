@@ -1,0 +1,136 @@
+//! Minimal, std-only stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the real `rand` crate cannot be fetched. This shim provides the tiny
+//! surface `chain-nn-nets`' synthetic-data generator uses: a seedable
+//! deterministic generator (`rngs::StdRng` + `SeedableRng`) and
+//! `Rng::gen_range` over float/integer ranges. The stream is a
+//! splitmix64 — statistically fine for synthetic test tensors, but NOT
+//! the real `StdRng` stream and NOT cryptographic.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (shim of `rand::Rng`).
+pub trait Rng {
+    /// Next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait UniformRange: Copy + PartialOrd {
+    /// Draws one value in `[range.start, range.end)`.
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl UniformRange for f32 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        // 24 mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl UniformRange for f64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformRange for $t {
+            fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let lo = range.start as i128;
+                let width = (range.end as i128 - lo) as u128;
+                (lo + (u128::from(rng.next_u64()) % width) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_uniform_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Generator implementations (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_half = 0;
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            if x < 0.0 {
+                lo_half += 1;
+            }
+        }
+        assert!((250..750).contains(&lo_half), "badly skewed: {lo_half}");
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-3i32..5);
+            assert!((-3..5).contains(&x));
+        }
+    }
+}

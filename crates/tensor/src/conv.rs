@@ -55,7 +55,12 @@ impl ConvGeometry {
         if kh == 0 || kw == 0 || stride == 0 {
             return Err(ConvError::BadGeometry { kh, kw, stride });
         }
-        Ok(ConvGeometry { kh, kw, stride, pad })
+        Ok(ConvGeometry {
+            kh,
+            kw,
+            stride,
+            pad,
+        })
     }
 
     /// Output extent for an input extent `in_dim` under kernel extent `k`:

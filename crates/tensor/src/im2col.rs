@@ -155,12 +155,14 @@ mod tests {
             (6, 5, 6, 1, 1, 0, 3),
         ] {
             let input = tensor_from([2, c, h, h], |i| ((i * 7) % 31) as i16 - 15);
-            let weights =
-                tensor_from([m, c / groups, k, k], |i| ((i * 5) % 17) as i16 - 8);
+            let weights = tensor_from([m, c / groups, k, k], |i| ((i * 5) % 17) as i16 - 8);
             let geom = ConvGeometry::new(k, s, p).unwrap();
             let direct = conv2d_fix(&input, &weights, geom, OverflowMode::Wrapping).unwrap();
             let gemm = conv2d_im2col(&input, &weights, geom, OverflowMode::Wrapping).unwrap();
-            assert_eq!(direct, gemm, "c={c} h={h} m={m} k={k} s={s} p={p} g={groups}");
+            assert_eq!(
+                direct, gemm,
+                "c={c} h={h} m={m} k={k} s={s} p={p} g={groups}"
+            );
         }
     }
 

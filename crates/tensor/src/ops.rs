@@ -46,7 +46,10 @@ fn pool(
 ) -> Tensor<f32> {
     assert!(k > 0 && s > 0, "pooling window and stride must be non-zero");
     let [n, c, h, w] = t.shape().dims();
-    assert!(k <= h && k <= w, "pooling window {k} larger than input {h}x{w}");
+    assert!(
+        k <= h && k <= w,
+        "pooling window {k} larger than input {h}x{w}"
+    );
     let oh = (h - k) / s + 1;
     let ow = (w - k) / s + 1;
     let mut out = Tensor::<f32>::zeros([n, c, oh, ow]);

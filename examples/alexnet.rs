@@ -40,7 +40,11 @@ fn small_alexnet() -> Network {
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let net = if full { zoo::alexnet() } else { small_alexnet() };
+    let net = if full {
+        zoo::alexnet()
+    } else {
+        small_alexnet()
+    };
     println!("{net}");
 
     // ---- functional quantized inference on synthetic data ----

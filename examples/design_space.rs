@@ -1,51 +1,45 @@
-//! Design-space exploration: sweep the chain length and clock frequency
-//! and chart throughput, power, efficiency and area — the "fewer
-//! overheads when scaled up" claim of paper §III.B, quantified.
+//! Design-space exploration: sweep chain length, clock and batch with
+//! the parallel DSE engine and chart throughput, power, efficiency,
+//! area and the Pareto frontier — the "fewer overheads when scaled up"
+//! claim of paper §III.B, quantified over hundreds of points instead of
+//! eight.
 //!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use chain_nn_repro::core::perf::{CycleModel, PerfModel};
 use chain_nn_repro::core::ChainConfig;
-use chain_nn_repro::energy::area::AreaModel;
-use chain_nn_repro::energy::power::PowerModel;
-use chain_nn_repro::mem::MemoryConfig;
-use chain_nn_repro::nets::zoo;
+use chain_nn_repro::dse::{executor, DesignPoint, Explorer, SweepSpec};
 
 fn main() {
-    let alex = zoo::alexnet();
-    println!("== Chain-NN design space on AlexNet (batch 128) ==");
+    let threads = executor::default_threads();
+    let mut explorer = Explorer::new();
+
+    // -- the classic 8-point table, now through the engine --
+    let coarse = SweepSpec {
+        pes: vec![144, 288, 576, 1152],
+        freqs_mhz: vec![350.0, 700.0],
+        ..SweepSpec::paper_point()
+    };
+    let result = explorer.run(&coarse, threads).expect("coarse sweep runs");
+    println!("== Chain-NN design space on AlexNet (batch 4) ==");
     println!(
         "{:>6} {:>6} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
-        "PEs", "MHz", "peakGOPS", "fps", "mW", "GOPS/W", "gates(k)", "util%"
+        "PEs", "MHz", "peakGOPS", "fps", "sys mW", "GOPS/W", "gates(k)", "util%"
     );
-    for pes in [144usize, 288, 576, 1152] {
-        for freq in [350.0f64, 700.0] {
-            let cfg = ChainConfig::builder()
-                .num_pes(pes)
-                .freq_mhz(freq)
-                .build()
-                .expect("valid configuration");
-            let perf = PerfModel::new(cfg)
-                .network(&alex, 128, CycleModel::PaperCalibrated)
-                .expect("alexnet maps");
-            let power = PowerModel::new(cfg, MemoryConfig::paper())
-                .network_power(&alex, 128)
-                .expect("alexnet maps");
-            let area = AreaModel::new(cfg);
-            println!(
-                "{:>6} {:>6.0} {:>9.1} {:>8.1} {:>9.1} {:>9.1} {:>9.0} {:>8.1}%",
-                pes,
-                freq,
-                cfg.peak_gops(),
-                perf.fps,
-                power.breakdown.total_mw(),
-                power.gops_per_watt_total(),
-                area.total_gates() / 1e3,
-                100.0 * perf.gops / cfg.peak_gops(),
-            );
-        }
+    for (p, r) in result.points.iter().zip(&result.outcomes) {
+        let Some(r) = r.result() else { continue };
+        println!(
+            "{:>6} {:>6.0} {:>9.1} {:>8.1} {:>9.1} {:>9.1} {:>9.0} {:>8.1}%",
+            p.pes,
+            p.freq_mhz,
+            r.peak_gops,
+            r.fps,
+            r.system_mw(),
+            r.gops_per_watt(),
+            r.gates_k,
+            100.0 * r.utilization(),
+        );
     }
     println!(
         "\nthe chain scales linearly in gates and near-linearly in fps; efficiency\n\
@@ -53,8 +47,49 @@ fn main() {
          interconnect cost, unlike 2D arrays (paper §III.B / Table V argument)."
     );
 
+    // -- the full default grid, in parallel, with its frontier --
+    let grid = SweepSpec::default_grid();
+    let full = explorer.run(&grid, threads).expect("default grid runs");
+    println!(
+        "\n== {}-point grid on {} threads: {:.0} points/s, {} cache hits ==",
+        full.stats.points,
+        full.stats.threads,
+        full.stats.points_per_sec(),
+        full.stats.cache_hits, // the coarse sweep above overlaps the grid
+    );
+    println!(
+        "Pareto frontier (fps x system mW x kilo-gates): {} of {} feasible",
+        full.frontier_3d.len(),
+        full.stats.feasible
+    );
+    println!(
+        "{:>6} {:>6} {:>6} {:>9} {:>10} {:>10}",
+        "PEs", "MHz", "batch", "fps", "sys mW", "gates(k)"
+    );
+    let paper = DesignPoint::paper_alexnet();
+    for (p, r) in full.frontier_points() {
+        println!(
+            "{:>6} {:>6.0} {:>6} {:>9.1} {:>10.1} {:>10.0}{}",
+            p.pes,
+            p.freq_mhz,
+            p.batch,
+            r.fps,
+            r.system_mw(),
+            r.gates_k,
+            if *p == paper { "   <- paper" } else { "" },
+        );
+    }
+    assert!(
+        full.contains_paper_point_on_frontier(),
+        "the paper's point should be Pareto-optimal in its own neighborhood"
+    );
+
+    // -- PE utilization vs kernel size (Table II math, swept) --
     println!("\n== PE utilization vs kernel size (Table II math, swept) ==");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "PEs", "K=3", "K=5", "K=7", "K=9", "K=11");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "PEs", "K=3", "K=5", "K=7", "K=9", "K=11"
+    );
     for pes in [144usize, 288, 576, 1152] {
         let cfg = ChainConfig::builder().num_pes(pes).build().expect("valid");
         let mut row = format!("{pes:>6}");

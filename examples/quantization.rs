@@ -57,8 +57,8 @@ fn run_network(
     for layer in net.layers() {
         let weights = src.weights(layer);
         // Float reference.
-        let fref = conv2d_f32(&float_act, &weights, None, layer.geometry())
-            .expect("geometry consistent");
+        let fref =
+            conv2d_f32(&float_act, &weights, None, layer.geometry()).expect("geometry consistent");
         let fref = ops::relu(&fref);
         // Fixed path quantizes the SAME inputs the float path consumed.
         let qa = float_act.map(|x| act_fmt.quantize(x));

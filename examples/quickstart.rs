@@ -18,18 +18,25 @@ fn main() {
         .freq_mhz(700.0)
         .build()
         .expect("valid configuration");
-    println!("chain: {} PEs, peak {} GOPS", cfg.num_pes(), cfg.peak_gops());
+    println!(
+        "chain: {} PEs, peak {} GOPS",
+        cfg.num_pes(),
+        cfg.peak_gops()
+    );
 
     // A 2-channel 8x8 image and 4 ofmap channels of 3x3 kernels,
     // quantized to Q3.12.
     let shape = LayerShape::square(2, 8, 4, 3, 1, 1);
     let fmt = QFormat::new(12).expect("valid format");
     let image_f: Vec<f32> = (0..2 * 64).map(|i| ((i as f32) * 0.37).sin()).collect();
-    let weights_f: Vec<f32> =
-        (0..4 * 2 * 9).map(|i| ((i as f32) * 0.73).cos() * 0.5).collect();
-    let ifmap =
-        Tensor::from_vec([1, 2, 8, 8], image_f.iter().map(|&x| fmt.quantize(x)).collect())
-            .expect("shape matches");
+    let weights_f: Vec<f32> = (0..4 * 2 * 9)
+        .map(|i| ((i as f32) * 0.73).cos() * 0.5)
+        .collect();
+    let ifmap = Tensor::from_vec(
+        [1, 2, 8, 8],
+        image_f.iter().map(|&x| fmt.quantize(x)).collect(),
+    )
+    .expect("shape matches");
     let weights = Tensor::from_vec(
         [4, 2, 3, 3],
         weights_f.iter().map(|&x| fmt.quantize(x)).collect(),
@@ -62,12 +69,15 @@ fn main() {
         "cycles:       {} stream + {} drain + {} load",
         s.stream_cycles, s.drain_cycles, s.load_cycles
     );
-    println!(
-        "utilization:  {:.1}%",
-        100.0 * s.utilization(cfg.num_pes())
-    );
+    println!("utilization:  {:.1}%", 100.0 * s.utilization(cfg.num_pes()));
     println!("iMemory:      {} reads", s.imem_reads);
-    println!("kMemory:      {} reads (1 latch / PE / pattern)", s.kmem_reads);
-    println!("oMemory:      {} accesses (RMW per channel pass)", s.omem_accesses);
+    println!(
+        "kMemory:      {} reads (1 latch / PE / pattern)",
+        s.kmem_reads
+    );
+    println!(
+        "oMemory:      {} accesses (RMW per channel pass)",
+        s.omem_accesses
+    );
     println!("time @700MHz: {:.2} us", run.seconds_at(700.0) * 1e6);
 }

@@ -52,7 +52,11 @@ fn main() {
             spec.macs() as f64 / 1e6,
             to_ms(cal.compute_cycles()),
             to_ms(strict.compute_cycles()),
-            if spec.stride() > 1 { phases.to_string() } else { "-".to_owned() },
+            if spec.stride() > 1 {
+                phases.to_string()
+            } else {
+                "-".to_owned()
+            },
         );
     }
     let loads_ms = net.total_weights() as f64 / (cfg.freq_mhz() * 1e3);
@@ -69,12 +73,16 @@ fn main() {
     let vi = 4 * 15 * 15;
     let ifmap = Tensor::from_vec(
         [1, 4, 15, 15],
-        (0..vi).map(|i| Fix16::from_raw((i % 37) as i16 - 18)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 37) as i16 - 18))
+            .collect(),
     )
     .expect("dims");
     let weights = Tensor::from_vec(
         [8, 4, 3, 3],
-        (0..8 * 4 * 9).map(|i| Fix16::from_raw((i % 11) as i16 - 5)).collect(),
+        (0..8 * 4 * 9)
+            .map(|i| Fix16::from_raw((i % 11) as i16 - 5))
+            .collect(),
     )
     .expect("dims");
     let sim = ChainSim::new(ChainConfig::builder().num_pes(72).build().expect("cfg"));

@@ -21,7 +21,11 @@ fn main() {
     let perf = PerfModel::new(cfg);
     let traffic = TrafficModel::new(cfg, mem);
 
-    println!("== VGG-16 on Chain-NN ({} PEs @ {} MHz) ==", cfg.num_pes(), cfg.freq_mhz());
+    println!(
+        "== VGG-16 on Chain-NN ({} PEs @ {} MHz) ==",
+        cfg.num_pes(),
+        cfg.freq_mhz()
+    );
     println!(
         "{:<10} {:>9} {:>9} {:>7} {:>7} {:>9} {:>10} {:>10}",
         "layer", "MACs(M)", "conv(ms)", "ctiles", "para", "ifmapx", "DRAM(MB)", "util%"

@@ -31,6 +31,8 @@ pub use chain_nn_baselines as baselines;
 /// The 1D chain architecture: PEs, primitives, schedules, simulator and
 /// performance model.
 pub use chain_nn_core as core;
+/// Parallel design-space exploration over the whole model stack.
+pub use chain_nn_dse as dse;
 /// Technology / power / area models.
 pub use chain_nn_energy as energy;
 /// Fixed-point arithmetic and quantization.

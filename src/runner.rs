@@ -185,13 +185,8 @@ impl NetworkRunner {
         let golden = conv2d_fix(
             ifmap,
             weights,
-            chain_nn_tensor::conv::ConvGeometry::rect(
-                shape.kh,
-                shape.kw,
-                shape.stride,
-                shape.pad,
-            )
-            .map_err(|e| CoreError::Shape(e.to_string()))?,
+            chain_nn_tensor::conv::ConvGeometry::rect(shape.kh, shape.kw, shape.stride, shape.pad)
+                .map_err(|e| CoreError::Shape(e.to_string()))?,
             OverflowMode::Wrapping,
         )
         .map_err(|e| CoreError::DataMismatch(e.to_string()))?;
@@ -214,7 +209,9 @@ mod tests {
 
     #[test]
     fn report_covers_every_layer() {
-        let r = NetworkRunner::paper().report(&zoo::alexnet(), 4).expect("maps");
+        let r = NetworkRunner::paper()
+            .report(&zoo::alexnet(), 4)
+            .expect("maps");
         assert_eq!(r.layers.len(), 5);
         for l in &r.layers {
             assert!(l.perf.stream_cycles > 0.0, "{}", l.name);

@@ -151,12 +151,16 @@ fn batch_of_three_images() {
     let vi = 3 * 2 * 36;
     let ifmap = Tensor::from_vec(
         [3, 2, 6, 6],
-        (0..vi).map(|i| Fix16::from_raw((i % 41) as i16 - 20)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 41) as i16 - 20))
+            .collect(),
     )
     .expect("dims");
     let weights = Tensor::from_vec(
         [3, 2, 3, 3],
-        (0..54).map(|i| Fix16::from_raw((i % 9) as i16 - 4)).collect(),
+        (0..54)
+            .map(|i| Fix16::from_raw((i % 9) as i16 - 4))
+            .collect(),
     )
     .expect("dims");
     let run = ChainSim::new(ChainConfig::builder().num_pes(27).build().expect("cfg"))

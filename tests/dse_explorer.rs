@@ -1,0 +1,166 @@
+//! End-to-end tests of the design-space exploration engine through the
+//! umbrella crate: determinism across thread counts (byte-identical
+//! exports), incremental cache behavior on overlapping sweeps, and a
+//! hand-checked Pareto frontier on a tiny grid.
+
+use chain_nn_repro::dse::{export, DesignPoint, Explorer, PointOutcome, SweepSpec};
+
+fn lenet_grid(pes: Vec<usize>) -> SweepSpec {
+    SweepSpec {
+        pes,
+        freqs_mhz: vec![350.0, 700.0],
+        nets: vec!["lenet".into()],
+        ..SweepSpec::paper_point()
+    }
+}
+
+/// Same spec, different thread counts: the CSV and JSON exports must be
+/// byte-identical (the executor sorts by point index, and floats are
+/// formatted at fixed precision).
+#[test]
+fn exports_are_byte_identical_across_thread_counts() {
+    let spec = lenet_grid(vec![25, 50, 100, 200]);
+    let mut csvs = Vec::new();
+    let mut jsons = Vec::new();
+    for threads in [1usize, 2, 7, 32] {
+        let result = Explorer::new().run(&spec, threads).expect("sweep runs");
+        csvs.push(export::results_csv(&result));
+        jsons.push(export::results_json(&result));
+    }
+    for other in &csvs[1..] {
+        assert_eq!(&csvs[0], other, "CSV differs across thread counts");
+    }
+    // JSON is identical up to the run-stats trailer, which reports the
+    // thread count itself.
+    let body = |j: &str| j[..j.find("\"stats\"").expect("stats section")].to_owned();
+    for other in &jsons[1..] {
+        assert_eq!(
+            body(&jsons[0]),
+            body(other),
+            "JSON differs across thread counts"
+        );
+    }
+}
+
+/// A second, overlapping sweep against the same explorer only pays for
+/// the new points.
+#[test]
+fn overlapping_sweeps_hit_the_cache() {
+    let mut explorer = Explorer::new();
+    let first = explorer.run(&lenet_grid(vec![25, 50]), 2).expect("runs");
+    assert_eq!(first.stats.cache_misses, 4);
+    assert_eq!(first.stats.cache_hits, 0);
+
+    let second = explorer
+        .run(&lenet_grid(vec![25, 50, 100]), 2)
+        .expect("runs");
+    assert_eq!(second.stats.cache_hits, 4, "old points must be memoized");
+    assert_eq!(second.stats.cache_misses, 2, "only the new PE count runs");
+
+    // And the memoized outcomes match what the fresh run saw (point
+    // indices shift when an axis grows, so match by point, not index).
+    for (point, outcome) in first.points.iter().zip(&first.outcomes) {
+        let j = second
+            .points
+            .iter()
+            .position(|p| p == point)
+            .expect("first grid is a subset of the second");
+        assert_eq!(outcome, &second.outcomes[j]);
+    }
+}
+
+/// A tiny 3x3 grid (PEs x frequency on LeNet) whose frontier is
+/// cross-checked by hand: per-axis monotonicity is asserted directly,
+/// and the engine's frontier must equal one recomputed here with an
+/// independent O(n^2) dominance check over the same objectives.
+#[test]
+fn tiny_grid_frontier_is_hand_checkable() {
+    let spec = SweepSpec {
+        pes: vec![25, 50, 100],
+        freqs_mhz: vec![300.0, 500.0, 800.0],
+        nets: vec!["lenet".into()],
+        ..SweepSpec::paper_point()
+    };
+    let result = Explorer::new().run(&spec, 2).expect("runs");
+    assert_eq!(result.stats.points, 9);
+    assert_eq!(result.stats.feasible, 9);
+
+    // Hand-checkable monotonicity. Points are laid out with PEs varying
+    // fastest: index = freq_index * 3 + pe_index.
+    let at = |fi: usize, pi: usize| result.outcomes[fi * 3 + pi].result().expect("feasible");
+    for pi in 0..3 {
+        // Within a PE count: higher clock -> more fps, more system
+        // power, identical area.
+        assert!(at(1, pi).fps > at(0, pi).fps);
+        assert!(at(2, pi).fps > at(1, pi).fps);
+        assert!(at(1, pi).system_mw() > at(0, pi).system_mw());
+        assert!(at(2, pi).system_mw() > at(1, pi).system_mw());
+        assert_eq!(at(0, pi).gates_k, at(2, pi).gates_k);
+    }
+    for fi in 0..3 {
+        // Within a clock: more PEs -> more fps (LeNet's 5x5 kernels tile
+        // 25/50/100 PEs exactly) and strictly more area.
+        assert!(at(fi, 1).fps > at(fi, 0).fps);
+        assert!(at(fi, 2).fps > at(fi, 1).fps);
+        assert!(at(fi, 1).gates_k > at(fi, 0).gates_k);
+    }
+
+    // Independent frontier recomputation (reference O(n^2) dominance).
+    let objectives: Vec<(f64, f64, f64)> = result
+        .outcomes
+        .iter()
+        .map(|o| {
+            let r = o.result().expect("feasible");
+            (r.fps, r.system_mw(), r.gates_k)
+        })
+        .collect();
+    let dominates = |a: &(f64, f64, f64), b: &(f64, f64, f64)| {
+        a.0 >= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 > b.0 || a.1 < b.1 || a.2 < b.2)
+    };
+    let expected: Vec<usize> = (0..9)
+        .filter(|&i| !(0..9).any(|j| j != i && dominates(&objectives[j], &objectives[i])))
+        .collect();
+    assert_eq!(result.frontier_3d, expected);
+    assert!(!expected.is_empty());
+    // The fastest point (100 PEs at 800 MHz, index 8) is always
+    // non-dominated: nothing has more fps.
+    assert!(result.frontier_3d.contains(&8));
+    // So is the cheapest (25 PEs at 300 MHz, index 0): nothing has less
+    // area and less power at once.
+    assert!(result.frontier_3d.contains(&0));
+}
+
+/// The acceptance-criteria sweep shape: a >=200-point default grid that
+/// keeps the paper's configuration on its Pareto frontier.
+#[test]
+fn default_grid_acceptance() {
+    let spec = SweepSpec::default_grid();
+    assert!(spec.len() >= 200);
+    let result = Explorer::new().run(&spec, 4).expect("runs");
+    assert!(result.contains_paper_point_on_frontier());
+    // Infeasible points exist (PE counts below AlexNet's 11x11 conv1)
+    // and are recorded, not fatal.
+    let infeasible = result
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, PointOutcome::Infeasible(_)))
+        .count();
+    assert!(infeasible > 0);
+    assert_eq!(infeasible + result.stats.feasible, result.stats.points);
+}
+
+/// The frontier CSV is a projection of the results CSV: every frontier
+/// row appears verbatim in the full export.
+#[test]
+fn frontier_rows_are_a_subset_of_results_rows() {
+    let spec = lenet_grid(vec![25, 75, 150]);
+    let result = Explorer::new().run(&spec, 2).expect("runs");
+    let full_csv = export::results_csv(&result);
+    let full: Vec<&str> = full_csv.lines().skip(1).collect();
+    for row in export::frontier_csv(&result).lines().skip(1) {
+        assert!(full.contains(&row), "frontier row not in results: {row}");
+    }
+    // And the paper point helper answers false for a LeNet-only sweep.
+    assert!(!result.contains_paper_point_on_frontier());
+    assert!(!result.points.contains(&DesignPoint::paper_alexnet()));
+}

@@ -12,13 +12,17 @@ fn tensors(shape: &LayerShape) -> (Tensor<Fix16>, Tensor<Fix16>) {
     let vi = shape.c * shape.h * shape.w;
     let ifmap = Tensor::from_vec(
         [1, shape.c, shape.h, shape.w],
-        (0..vi).map(|i| Fix16::from_raw((i % 19) as i16 + 1)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 19) as i16 + 1))
+            .collect(),
     )
     .expect("dims");
     let vw = shape.m * shape.c * shape.kh * shape.kw;
     let weights = Tensor::from_vec(
         [shape.m, shape.c, shape.kh, shape.kw],
-        (0..vw).map(|i| Fix16::from_raw((i % 7) as i16 + 1)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 7) as i16 + 1))
+            .collect(),
     )
     .expect("dims");
     (ifmap, weights)
@@ -68,7 +72,11 @@ fn corner_tap_fault_tracks_window_geometry() {
     // pixel, so ALL outputs change (pixels are non-zero by
     // construction).
     for (n, m, h, w, v) in faulty.ofmaps.iter_indexed() {
-        assert_ne!(v, clean.ofmaps.get(n, m, h, w), "output ({h},{w}) unchanged");
+        assert_ne!(
+            v,
+            clean.ofmaps.get(n, m, h, w),
+            "output ({h},{w}) unchanged"
+        );
     }
 }
 

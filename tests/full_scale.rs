@@ -26,18 +26,24 @@ fn alexnet_conv5_group_full_geometry() {
     let vi = shape.c * shape.h * shape.w;
     let ifmap = Tensor::from_vec(
         [1, shape.c, shape.h, shape.w],
-        (0..vi).map(|i| Fix16::from_raw((i % 251) as i16 - 125)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 251) as i16 - 125))
+            .collect(),
     )
     .expect("dims");
     let vw = shape.m * shape.c * shape.kh * shape.kw;
     let weights = Tensor::from_vec(
         [shape.m, shape.c, shape.kh, shape.kw],
-        (0..vw).map(|i| Fix16::from_raw((i % 127) as i16 - 63)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 127) as i16 - 63))
+            .collect(),
     )
     .expect("dims");
 
     let cfg = ChainConfig::paper_576();
-    let run = ChainSim::new(cfg).run_layer(&shape, &ifmap, &weights).expect("runs");
+    let run = ChainSim::new(cfg)
+        .run_layer(&shape, &ifmap, &weights)
+        .expect("runs");
 
     // Bit-exact.
     let golden = conv2d_fix(
@@ -82,7 +88,9 @@ fn alexnet_conv1_full_geometry_polyphase() {
     let vi = shape.c * shape.h * shape.w;
     let ifmap = Tensor::from_vec(
         [1, shape.c, shape.h, shape.w],
-        (0..vi).map(|i| Fix16::from_raw((i % 97) as i16 - 48)).collect(),
+        (0..vi)
+            .map(|i| Fix16::from_raw((i % 97) as i16 - 48))
+            .collect(),
     )
     .expect("dims");
     // Full M=96 is slow; 8 ofmap channels exercise the full phase
@@ -91,15 +99,16 @@ fn alexnet_conv1_full_geometry_polyphase() {
     let vw = m * shape.c * shape.kh * shape.kw;
     let weights = Tensor::from_vec(
         [m, shape.c, shape.kh, shape.kw],
-        (0..vw).map(|i| Fix16::from_raw((i % 61) as i16 - 30)).collect(),
+        (0..vw)
+            .map(|i| Fix16::from_raw((i % 61) as i16 - 30))
+            .collect(),
     )
     .expect("dims");
     let mut shape = shape;
     shape.m = m;
 
     let sim = ChainSim::new(ChainConfig::paper_576());
-    let rep = chain_nn_repro::core::polyphase::run(&sim, &shape, &ifmap, &weights)
-        .expect("runs");
+    let rep = chain_nn_repro::core::polyphase::run(&sim, &shape, &ifmap, &weights).expect("runs");
     let golden = conv2d_fix(
         &ifmap,
         &weights,

@@ -36,7 +36,10 @@ fn fig9_reproduced() {
 fn table4_reproduced() {
     let s = repro::repro_table4();
     for needle in ["13.94", "143.33", "265.81", "199.36", "132.91"] {
-        assert!(s.contains(needle), "Table IV oMemory missing: {needle}\n{s}");
+        assert!(
+            s.contains(needle),
+            "Table IV oMemory missing: {needle}\n{s}"
+        );
     }
     assert!(s.contains("755.3"));
 }

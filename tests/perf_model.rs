@@ -25,10 +25,8 @@ fn run_and_compare(spec: &ConvLayerSpec, pes: usize, depth: usize) {
     for g in 0..spec.groups() {
         let shape = LayerShape::from_spec_group(spec, g);
         let ifmap = Tensor::<Fix16>::filled([1, shape.c, shape.h, shape.w], Fix16::from_raw(1));
-        let weights = Tensor::<Fix16>::filled(
-            [shape.m, shape.c, shape.kh, shape.kw],
-            Fix16::from_raw(1),
-        );
+        let weights =
+            Tensor::<Fix16>::filled([shape.m, shape.c, shape.kh, shape.kw], Fix16::from_raw(1));
         let run = ChainSim::new(cfg)
             .run_layer(&shape, &ifmap, &weights)
             .expect("runs");
@@ -37,12 +35,14 @@ fn run_and_compare(spec: &ConvLayerSpec, pes: usize, depth: usize) {
         load += run.stats.load_cycles;
     }
     assert_eq!(
-        predicted.stream_cycles, stream as f64,
+        predicted.stream_cycles,
+        stream as f64,
         "{}: stream cycles",
         spec.name()
     );
     assert_eq!(
-        predicted.drain_cycles, drain as f64,
+        predicted.drain_cycles,
+        drain as f64,
         "{}: drain cycles",
         spec.name()
     );
@@ -83,7 +83,9 @@ fn paper_calibrated_never_below_macs_bound() {
     // No model may beat the arithmetic lower bound MACs / active PEs.
     let model = PerfModel::new(ChainConfig::paper_576());
     for spec in chain_nn_repro::nets::zoo::alexnet().layers() {
-        let p = model.layer(spec, CycleModel::PaperCalibrated).expect("maps");
+        let p = model
+            .layer(spec, CycleModel::PaperCalibrated)
+            .expect("maps");
         let mapping = ChainConfig::paper_576().map_kernel(spec.k()).expect("maps");
         let bound = spec.macs() as f64 / mapping.active_pes() as f64;
         assert!(
@@ -104,7 +106,9 @@ fn polyphase_strict_cost_beats_paper_on_strided_layer() {
     let model = PerfModel::new(ChainConfig::paper_576());
     let alex = chain_nn_repro::nets::zoo::alexnet();
     let conv1 = alex.layer("conv1").expect("conv1 exists");
-    let paper = model.layer(conv1, CycleModel::PaperCalibrated).expect("maps");
+    let paper = model
+        .layer(conv1, CycleModel::PaperCalibrated)
+        .expect("maps");
     let strict = model.layer(conv1, CycleModel::Strict).expect("maps");
     let speedup = paper.compute_cycles() / strict.compute_cycles();
     assert!(

@@ -85,7 +85,10 @@ fn ifmap_reuse_matches_paper_claim() {
     );
     // And each fetched pixel feeds K² MACs on average across the chain.
     let macs_per_fetch = stats.mac_ops as f64 / stats.imem_reads as f64;
-    assert!(macs_per_fetch > (k * k) as f64 * 0.8, "reuse {macs_per_fetch}");
+    assert!(
+        macs_per_fetch > (k * k) as f64 * 0.8,
+        "reuse {macs_per_fetch}"
+    );
 }
 
 /// The analytic model's per-level bytes scale linearly with batch except
