@@ -1,0 +1,94 @@
+//! Benches of the explorer serving daemon over real loopback TCP:
+//! requests/second for the protocol fast path (`stats`), warm-cache
+//! single-point evaluation, and a warm repeated sweep. Each measures
+//! one blocking client round trip including encode/decode on both
+//! sides, so the numbers are what a real client experiences.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use chain_nn_dse::{DesignPoint, SweepSpec};
+use chain_nn_serve::protocol::Response;
+use chain_nn_serve::{Client, Server, ServerConfig};
+
+struct Daemon {
+    addr: std::net::SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start() -> Daemon {
+        let server = Server::bind(ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            server.run().expect("daemon runs");
+        });
+        Daemon {
+            addr,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Ok(mut c) = Client::connect(self.addr) {
+            let _ = c.shutdown();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn sweep_spec() -> SweepSpec {
+    SweepSpec {
+        pes: (128..=1024).step_by(64).collect(),
+        freqs_mhz: vec![350.0, 700.0],
+        ..SweepSpec::paper_point()
+    }
+}
+
+fn bench_requests_per_sec(c: &mut Criterion) {
+    let daemon = Daemon::start();
+    let mut g = c.benchmark_group("serve/requests_per_sec");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+
+    // Protocol floor: no evaluation at all, just round trip + counters.
+    let mut stats_client = Client::connect(daemon.addr).expect("connect");
+    g.bench_function("stats", |b| {
+        b.iter(|| black_box(stats_client.stats().expect("stats")))
+    });
+
+    // Warm-cache eval: one point, answered from the shared cache.
+    let mut eval_client = Client::connect(daemon.addr).expect("connect");
+    let point = DesignPoint::paper_alexnet();
+    eval_client.eval(point.clone()).expect("prime the cache");
+    g.bench_function("eval_warm", |b| {
+        b.iter(|| black_box(eval_client.eval(point.clone()).expect("eval")))
+    });
+    g.finish();
+    drop(daemon);
+}
+
+fn bench_sweep_round_trips(c: &mut Criterion) {
+    let daemon = Daemon::start();
+    let mut g = c.benchmark_group("serve/sweep_warm");
+    g.sample_size(10);
+    let spec = sweep_spec();
+    g.throughput(Throughput::Elements(spec.len() as u64));
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    match client.sweep(spec.clone()).expect("prime the cache") {
+        Response::Sweep(s) => assert_eq!(s.cache_misses as usize, spec.len()),
+        other => panic!("expected sweep, got {other:?}"),
+    }
+    g.bench_function("points_per_sec", |b| {
+        b.iter(|| black_box(client.sweep(spec.clone()).expect("sweep")))
+    });
+    g.finish();
+    drop(daemon);
+}
+
+criterion_group!(benches, bench_requests_per_sec, bench_sweep_round_trips);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use chain_nn_core::perf::{CycleModel, PerfModel};
 use chain_nn_core::sim::ChainSim;
 use chain_nn_core::{polyphase, trace, ChainConfig, LayerShape};
-use chain_nn_dse::{executor, export, Explorer, RangeSpec, SweepSpec};
+use chain_nn_dse::{executor, export, CacheStats, Explorer, RangeSpec, SweepSpec};
 use chain_nn_energy::power::PowerModel;
 use chain_nn_fixed::{Fix16, OverflowMode};
 use chain_nn_mem::traffic::{totals, TrafficModel};
@@ -45,6 +45,8 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "ablations" => Ok(chain_nn_bench::repro_ablations()),
         "nets" => Ok(nets_cmd()),
         "dse" => dse_cmd(&Flags::parse(rest)?),
+        "serve" => serve_cmd(&Flags::parse(rest)?),
+        "query" => query_cmd(rest),
         "perf" => perf_cmd(&Flags::parse(rest)?),
         "traffic" => traffic_cmd(&Flags::parse(rest)?),
         "power" => power_cmd(&Flags::parse(rest)?),
@@ -87,6 +89,19 @@ design-space exploration:
            defaults to 1) or comma lists; prints the Pareto frontier
            (fps x system power x area) and the 1-vs-N-thread evaluation
            speedup (--probe off skips that measurement); writes CSV/JSON
+
+explorer daemon:
+  serve    [--port 7878] [--host 127.0.0.1] [--threads N] [--queue 16]
+           [--cache-file FILE]
+           long-lived explorer sharing one memo cache across clients
+           over a line-delimited JSON protocol; --cache-file persists
+           evaluations across restarts (loaded at startup, appended on
+           completed requests and shutdown)
+  query    [--port 7878] [--host 127.0.0.1] REQUEST
+           send one request to a running daemon and print the reply;
+           REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
+           bare word shorthand: stats | frontier | frontier2 | shutdown
+           | eval (the paper point)
 "
     .to_owned()
 }
@@ -170,13 +185,18 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
         "== design-space sweep: {} points ({} feasible), {} threads ==",
         result.stats.points, result.stats.feasible, result.stats.threads
     );
+    let run_cache = CacheStats {
+        hits: result.stats.cache_hits,
+        misses: result.stats.cache_misses,
+    };
     let _ = writeln!(
         s,
-        "wall {:.1} ms | {:.0} points/s | cache {} hits / {} misses",
+        "wall {:.1} ms | {:.0} points/s | cache {} hits / {} misses ({:.1}% hit rate)",
         result.stats.wall_ms,
         result.stats.points_per_sec(),
         result.stats.cache_hits,
-        result.stats.cache_misses
+        result.stats.cache_misses,
+        100.0 * run_cache.hit_rate()
     );
 
     // Speedup vs --threads 1, measured as sustained evaluation
@@ -251,6 +271,74 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
         let _ = writeln!(s, "wrote JSON to {path}");
     }
     Ok(s)
+}
+
+fn serve_cmd(flags: &Flags) -> CmdResult {
+    let config = chain_nn_serve::ServerConfig {
+        host: flags.get_str("host").unwrap_or("127.0.0.1").to_owned(),
+        port: flags.get_or("port", 7878u16)?,
+        threads: flags.get_or("threads", executor::default_threads())?,
+        queue_capacity: flags.get_or("queue", 16usize)?,
+        batch_size: chain_nn_serve::scheduler::BATCH_SIZE,
+        cache_file: flags.get_str("cache-file").map(std::path::PathBuf::from),
+    };
+    let persistent = config.cache_file.is_some();
+    let threads = config.threads;
+    let server = chain_nn_serve::Server::bind(config)?;
+    // Announce readiness eagerly (run() blocks until shutdown): scripts
+    // and the CI smoke job wait for this line before connecting.
+    println!(
+        "chain-nn explorer daemon listening on {} ({} threads, {} cached points loaded{})",
+        server.local_addr()?,
+        threads,
+        server.loaded_from_disk(),
+        if persistent { "" } else { ", no cache file" },
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let report = server.run()?;
+    Ok(format!(
+        "daemon stopped: {} requests served, {} points cached ({} loaded at start, {} newly persisted)\n",
+        report.requests, report.cached_points, report.loaded_from_disk, report.persisted
+    ))
+}
+
+/// `query` takes one positional REQUEST plus `--host`/`--port` flags,
+/// so the tokens are partitioned by hand before [`Flags::parse`] (which
+/// rejects positionals).
+fn query_cmd(tokens: &[String]) -> CmdResult {
+    let mut flag_tokens = Vec::new();
+    let mut positionals = Vec::new();
+    let mut it = tokens.iter();
+    while let Some(tok) = it.next() {
+        if tok.starts_with("--") {
+            flag_tokens.push(tok.clone());
+            if let Some(value) = it.next() {
+                flag_tokens.push(value.clone());
+            }
+        } else {
+            positionals.push(tok.clone());
+        }
+    }
+    let flags = Flags::parse(&flag_tokens)?;
+    let host = flags.get_str("host").unwrap_or("127.0.0.1");
+    let port = flags.get_or("port", 7878u16)?;
+    let request = positionals.join(" ");
+    if request.is_empty() {
+        return Err("query needs a REQUEST (a JSON object or: stats | frontier | frontier2 | shutdown | eval)".into());
+    }
+    // Bare-word shorthands for the no-payload requests.
+    let line = match request.as_str() {
+        "stats" => r#"{"type":"stats"}"#.to_owned(),
+        "frontier" => r#"{"type":"frontier","dims":3}"#.to_owned(),
+        "frontier2" => r#"{"type":"frontier","dims":2}"#.to_owned(),
+        "shutdown" => r#"{"type":"shutdown"}"#.to_owned(),
+        "eval" => r#"{"type":"eval"}"#.to_owned(),
+        other => other.to_owned(),
+    };
+    let mut client = chain_nn_serve::Client::connect((host, port))?;
+    let reply = client.request_raw(&line)?;
+    Ok(format!("{reply}\n"))
 }
 
 fn perf_cmd(flags: &Flags) -> CmdResult {
@@ -477,7 +565,9 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = run(&["help"]);
-        for cmd in ["perf", "traffic", "power", "simulate", "trace", "tables"] {
+        for cmd in [
+            "perf", "traffic", "power", "simulate", "trace", "tables", "serve", "query",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
         assert_eq!(run(&[]), h); // empty argv -> help
@@ -606,6 +696,62 @@ mod tests {
             let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
             assert!(dispatch(&argv).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn query_drives_a_live_daemon() {
+        // Bind on an ephemeral port via the library, then drive it
+        // through the CLI client path.
+        let server = chain_nn_serve::Server::bind(chain_nn_serve::ServerConfig {
+            threads: 2,
+            ..chain_nn_serve::ServerConfig::default()
+        })
+        .expect("bind");
+        let port = server.local_addr().expect("addr").port().to_string();
+        let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+
+        let stats = run(&["query", "--port", &port, "stats"]);
+        assert!(stats.contains("\"ok\":true"), "{stats}");
+        assert!(stats.contains("\"cached_points\":0"), "{stats}");
+
+        let sweep = run(&[
+            "query",
+            "--port",
+            &port,
+            r#"{"type":"sweep","spec":{"pes":[288,576],"nets":"alexnet"}}"#,
+        ]);
+        assert!(sweep.contains("\"points\":2"), "{sweep}");
+        assert!(sweep.contains("\"cache_misses\":2"), "{sweep}");
+
+        let frontier = run(&["query", "--port", &port, "frontier"]);
+        assert!(frontier.contains("\"entries\":["), "{frontier}");
+
+        let bye = run(&["query", "--port", &port, "shutdown"]);
+        assert!(bye.contains("\"type\":\"shutdown\""), "{bye}");
+        let report = daemon.join().expect("daemon thread");
+        assert_eq!(report.cached_points, 2);
+        assert!(report.requests >= 4);
+    }
+
+    #[test]
+    fn query_requires_a_request() {
+        assert!(dispatch(&["query".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn dse_reports_hit_rate() {
+        let out = run(&[
+            "dse",
+            "--pes",
+            "288,576",
+            "--freq",
+            "700",
+            "--batch",
+            "4",
+            "--threads",
+            "1",
+        ]);
+        assert!(out.contains("% hit rate)"), "{out}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! chain-nn trace   --h 6 --k 3 [--m 2] [--out chain.vcd]
 //! chain-nn nets
 //! chain-nn dse     [--pes 64..=1024] [--threads 8] [--out dse.csv]
+//! chain-nn serve   [--port 7878] [--threads 8] [--cache-file dse.cache]
+//! chain-nn query   [--port 7878] '{"type":"sweep","spec":{"pes":[288,576]}}'
 //! ```
 
 use std::process::ExitCode;

@@ -5,6 +5,17 @@
 //! lookup, so a 64-bit collision can never return the wrong result.
 //! Overlapping or repeated sweeps against the same [`crate::Explorer`]
 //! are therefore incremental: only never-seen points are evaluated.
+//!
+//! The table is **lock-striped**: entries are spread over
+//! [`SHARD_COUNT`] independently locked shards selected by the top bits
+//! of the content hash, so concurrent clients of a long-lived explorer
+//! (the `chain-nn serve` daemon) do not serialize on one global mutex.
+//! Hit/miss counters stay lock-free atomics.
+//!
+//! Inserts are also journaled per shard (the *dirty log*) so a
+//! persistence layer ([`crate::persist`]) can flush exactly the entries
+//! added since the last flush; [`PointCache::insert_loaded`] populates
+//! the table without journaling, for entries that already live on disk.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,6 +23,11 @@ use std::sync::Mutex;
 
 use crate::eval::PointOutcome;
 use crate::spec::DesignPoint;
+
+/// Number of lock stripes. 16 is plenty for the worker counts this
+/// crate spawns (the executor caps at the host parallelism) while
+/// keeping the per-cache footprint trivial.
+pub const SHARD_COUNT: usize = 16;
 
 /// Hit/miss counters of one cache (monotonic over the cache lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,14 +38,44 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// Thread-safe memo table from design points to evaluation outcomes.
+impl CacheStats {
+    /// Fraction of lookups answered from memory, in `[0, 1]`; `0.0`
+    /// when no lookup has happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// One lock stripe: a bucketed hash map plus the journal of entries
+/// inserted (not loaded) since the last [`PointCache::take_dirty`].
 #[derive(Debug, Default)]
-pub struct PointCache {
+struct Shard {
     // Buckets per content hash; each bucket stores the full point so
     // collisions degrade to a linear probe, never a wrong answer.
-    map: Mutex<HashMap<u64, Vec<(DesignPoint, PointOutcome)>>>,
+    map: HashMap<u64, Vec<(DesignPoint, PointOutcome)>>,
+    dirty: Vec<(DesignPoint, PointOutcome)>,
+}
+
+/// Thread-safe memo table from design points to evaluation outcomes.
+#[derive(Debug)]
+pub struct PointCache {
+    shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for PointCache {
+    fn default() -> Self {
+        PointCache {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl PointCache {
@@ -38,14 +84,22 @@ impl PointCache {
         PointCache::default()
     }
 
+    /// The shard holding `key`. The FNV low bits absorb the trailing
+    /// input bytes; the top bits are better mixed, so stripe on those.
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key >> 60) as usize % SHARD_COUNT]
+    }
+
     /// Looks up `point`, counting a hit or a miss.
     pub fn get(&self, point: &DesignPoint) -> Option<PointOutcome> {
         let key = point.content_hash();
-        let map = self.map.lock().expect("cache lock poisoned");
-        let found = map
+        let shard = self.shard(key).lock().expect("cache lock poisoned");
+        let found = shard
+            .map
             .get(&key)
             .and_then(|bucket| bucket.iter().find(|(p, _)| p == point))
             .map(|(_, outcome)| outcome.clone());
+        drop(shard);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -53,24 +107,88 @@ impl PointCache {
         found
     }
 
-    /// Stores an outcome (idempotent; a racing duplicate insert keeps
-    /// the first entry).
-    pub fn insert(&self, point: &DesignPoint, outcome: PointOutcome) {
+    fn insert_impl(&self, point: &DesignPoint, outcome: PointOutcome, journal: bool) {
         let key = point.content_hash();
-        let mut map = self.map.lock().expect("cache lock poisoned");
-        let bucket = map.entry(key).or_default();
+        let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+        let bucket = shard.map.entry(key).or_default();
         if !bucket.iter().any(|(p, _)| p == point) {
-            bucket.push((point.clone(), outcome));
+            bucket.push((point.clone(), outcome.clone()));
+            if journal {
+                shard.dirty.push((point.clone(), outcome));
+            }
         }
+    }
+
+    /// Stores an outcome (idempotent; a racing duplicate insert keeps
+    /// the first entry). The entry is journaled for the next
+    /// [`PointCache::take_dirty`].
+    pub fn insert(&self, point: &DesignPoint, outcome: PointOutcome) {
+        self.insert_impl(point, outcome, true);
+    }
+
+    /// Stores an outcome that already exists on disk: same semantics as
+    /// [`PointCache::insert`] but exempt from the dirty journal, so a
+    /// persistence layer does not rewrite what it just loaded.
+    pub fn insert_loaded(&self, point: &DesignPoint, outcome: PointOutcome) {
+        self.insert_impl(point, outcome, false);
+    }
+
+    /// Drains the journal of entries inserted since the previous call
+    /// (or cache creation): exactly the state a persistence layer has
+    /// not yet flushed. Order follows shard order, deterministic for a
+    /// serial caller but not meaningful across racing inserters.
+    pub fn take_dirty(&self) -> Vec<(DesignPoint, PointOutcome)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.lock().expect("cache lock poisoned").dirty);
+        }
+        out
+    }
+
+    /// Puts previously-drained journal entries back, so a persistence
+    /// layer whose flush failed can retry later without losing them.
+    /// This bypasses [`PointCache::insert`] deliberately: the entries
+    /// are already in the map, and `insert`'s duplicate check would
+    /// silently skip re-journaling them.
+    pub fn restore_dirty(&self, entries: Vec<(DesignPoint, PointOutcome)>) {
+        for (point, outcome) in entries {
+            let key = point.content_hash();
+            self.shard(key)
+                .lock()
+                .expect("cache lock poisoned")
+                .dirty
+                .push((point, outcome));
+        }
+    }
+
+    /// Every cached `(point, outcome)` pair, sorted by the point's
+    /// canonical byte encoding so the listing is deterministic
+    /// regardless of insertion order or shard layout. This is what the
+    /// daemon's `frontier` request ranges over.
+    pub fn entries(&self) -> Vec<(DesignPoint, PointOutcome)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache lock poisoned");
+            for bucket in shard.map.values() {
+                out.extend(bucket.iter().cloned());
+            }
+        }
+        out.sort_by_cached_key(|(point, _)| point.canonical_bytes());
+        out
     }
 
     /// Number of distinct points cached.
     pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .expect("cache lock poisoned")
-            .values()
-            .map(Vec::len)
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache lock poisoned")
+                    .map
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -131,5 +249,67 @@ mod tests {
         cache.insert(&p, outcome("second"));
         assert_eq!(cache.get(&p), Some(outcome("first")));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn entries_span_shards_and_sort_canonically() {
+        let cache = PointCache::new();
+        let base = DesignPoint::paper_alexnet();
+        // Enough distinct points that multiple stripes are populated.
+        for pes in (64..=1024).step_by(64) {
+            let p = DesignPoint {
+                pes,
+                ..base.clone()
+            };
+            cache.insert(&p, outcome(&format!("{pes}")));
+        }
+        let entries = cache.entries();
+        assert_eq!(entries.len(), cache.len());
+        assert_eq!(entries.len(), 16);
+        let keys: Vec<Vec<u8>> = entries.iter().map(|(p, _)| p.canonical_bytes()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "entries() must be canonically ordered");
+        // Distinct stripes really are in use (not everything on one lock).
+        let stripes: std::collections::HashSet<usize> = entries
+            .iter()
+            .map(|(p, _)| (p.content_hash() >> 60) as usize % SHARD_COUNT)
+            .collect();
+        assert!(stripes.len() > 1, "all points landed on one shard");
+    }
+
+    #[test]
+    fn dirty_log_tracks_only_new_unflushed_inserts() {
+        let cache = PointCache::new();
+        let a = DesignPoint::paper_alexnet();
+        let b = DesignPoint {
+            pes: 288,
+            ..a.clone()
+        };
+        let c = DesignPoint {
+            pes: 144,
+            ..a.clone()
+        };
+        cache.insert_loaded(&a, outcome("loaded"));
+        cache.insert(&b, outcome("fresh"));
+        cache.insert(&b, outcome("dup")); // duplicate: not re-journaled
+        let dirty = cache.take_dirty();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, b);
+        // Drained: the journal starts empty again.
+        assert!(cache.take_dirty().is_empty());
+        cache.insert(&c, outcome("later"));
+        assert_eq!(cache.take_dirty().len(), 1);
+        // Loaded + inserted entries are all retrievable regardless.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&a), Some(outcome("loaded")));
+    }
+
+    #[test]
+    fn hit_rate_is_hits_over_lookups() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

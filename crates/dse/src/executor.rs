@@ -24,6 +24,41 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Evaluates one point through `cache`: answer from memory when
+/// present, otherwise evaluate and memoize. This is the single
+/// evaluation step both the sweep executor below and the serving
+/// daemon's batch scheduler (`chain-nn-serve`) are built from.
+///
+/// # Errors
+///
+/// Propagates spec-level evaluation errors (unknown network, invalid
+/// chain parameters); infeasibility is data, not an error.
+pub fn evaluate_cached(point: &DesignPoint, cache: &PointCache) -> Result<PointOutcome, DseError> {
+    Ok(evaluate_cached_tracked(point, cache)?.0)
+}
+
+/// [`evaluate_cached`], also reporting whether the answer came from the
+/// cache (`true` = hit). Callers that serve several clients off one
+/// cache (the daemon) need the per-call answer: deltas of the global
+/// counters cross-contaminate between concurrent requests.
+///
+/// # Errors
+///
+/// Same contract as [`evaluate_cached`].
+pub fn evaluate_cached_tracked(
+    point: &DesignPoint,
+    cache: &PointCache,
+) -> Result<(PointOutcome, bool), DseError> {
+    match cache.get(point) {
+        Some(hit) => Ok((hit, true)),
+        None => {
+            let fresh = evaluate(point)?;
+            cache.insert(point, fresh.clone());
+            Ok((fresh, false))
+        }
+    }
+}
+
 /// Evaluates every point, `threads` at a time, memoizing through
 /// `cache`. Returns outcomes in point order.
 ///
@@ -47,15 +82,7 @@ pub fn run(
             let Some(point) = points.get(i) else {
                 return Ok(local);
             };
-            let outcome = match cache.get(point) {
-                Some(hit) => hit,
-                None => {
-                    let fresh = evaluate(point)?;
-                    cache.insert(point, fresh.clone());
-                    fresh
-                }
-            };
-            local.push((i, outcome));
+            local.push((i, evaluate_cached(point, cache)?));
         }
     };
 

@@ -47,6 +47,7 @@ pub mod eval;
 pub mod executor;
 pub mod export;
 pub mod pareto;
+pub mod persist;
 pub mod spec;
 
 use std::error::Error;
@@ -57,6 +58,7 @@ use chain_nn_nets::{zoo, Network};
 
 pub use cache::{CacheStats, PointCache};
 pub use eval::{evaluate, PointOutcome, PointResult};
+pub use persist::{CacheFile, LoadReport};
 pub use spec::{DesignPoint, RangeSpec, SweepSpec};
 
 /// Errors produced by the DSE engine.

@@ -118,6 +118,42 @@ mod tests {
     }
 
     #[test]
+    fn ties_on_every_objective_keep_both_points() {
+        // Dominance requires strictly-better somewhere: exact ties are
+        // mutually non-dominating, so equal-objective points must all
+        // stay on the frontier, in both dimensionalities — and a third
+        // genuinely better point must not be dragged down by them.
+        let a = obj(10.0, 100.0, 50.0);
+        assert!(!dominates_3d(&a, &a) && !dominates_2d(&a, &a));
+        let pts = vec![
+            (0, a),
+            (1, a),
+            (2, a),
+            (3, obj(20.0, 100.0, 50.0)), // dominates the tied trio
+        ];
+        assert_eq!(frontier_3d(&pts), vec![3]);
+        assert_eq!(frontier_2d(&pts), vec![3]);
+        // Without the dominator the tied trio survives intact.
+        assert_eq!(frontier_3d(&pts[..3]), vec![0, 1, 2]);
+        assert_eq!(frontier_2d(&pts[..3]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partial_ties_resolve_on_the_remaining_axis() {
+        // Tied on (fps, power): the area axis decides 3D dominance but
+        // is invisible to the 2D projection, where the pair ties.
+        let small = obj(10.0, 100.0, 40.0);
+        let large = obj(10.0, 100.0, 60.0);
+        assert!(dominates_3d(&small, &large));
+        assert!(!dominates_3d(&large, &small));
+        assert!(!dominates_2d(&small, &large));
+        assert!(!dominates_2d(&large, &small));
+        let pts = vec![(0, large), (1, small)];
+        assert_eq!(frontier_3d(&pts), vec![1]);
+        assert_eq!(frontier_2d(&pts), vec![0, 1]);
+    }
+
+    #[test]
     fn dominance_is_strict_somewhere() {
         let a = obj(10.0, 100.0, 50.0);
         assert!(!dominates_3d(&a, &a));

@@ -1,0 +1,522 @@
+//! Append-only on-disk snapshot of a [`PointCache`].
+//!
+//! The `chain-nn serve` daemon (and anything else that wants sweeps to
+//! be incremental *across* processes) persists every fresh evaluation
+//! as one self-checking record in a cache file and replays the file at
+//! startup. Design constraints, in order:
+//!
+//! * **Append-only.** A flush never rewrites history — it appends the
+//!   cache's dirty journal ([`PointCache::take_dirty`]) and syncs. A
+//!   crash can only lose the unflushed tail, never corrupt old records.
+//! * **Self-checking.** Each record carries its payload length and an
+//!   FNV-1a checksum; the payload carries the point's content hash,
+//!   which the loader recomputes from the decoded point. A flipped bit
+//!   fails the checksum; a decoder mismatch fails the hash cross-check.
+//! * **Corruption-tolerant load.** The loader keeps every record up to
+//!   the first framing/checksum failure and truncates the rest away
+//!   (the framing has no resync marker, so bytes after a bad record
+//!   cannot be trusted, and leaving them would strand later appends
+//!   behind an unreadable tail). A truncated tail — the expected
+//!   result of a crash mid-append — therefore costs only the torn
+//!   record.
+//!
+//! The format is deliberately dependency-free binary, little-endian
+//! throughout, versioned by the magic line:
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := b"chain-nn dse cache v1\n"
+//! record := len:u32 checksum:u64 payload[len]   (checksum = FNV-1a of payload)
+//! payload:= hash:u64 point outcome
+//! point  := pes:u64 freq_bits:u64 kmem:u64 imem:u64 omem:u64
+//!           word_bits:u32 batch:u64 net_len:u32 net[net_len]
+//! outcome:= 0:u8 reason_len:u32 reason[reason_len]          (infeasible)
+//!         | 1:u8 fps achieved peak chip dram gates sram     (feasible, f64 bits each)
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::eval::{PointOutcome, PointResult};
+use crate::spec::DesignPoint;
+use crate::PointCache;
+
+/// Version-bearing first bytes of every cache file.
+pub const MAGIC: &[u8] = b"chain-nn dse cache v1\n";
+
+/// Hard upper bound on one record's payload (a point plus an error
+/// string); anything larger is framing corruption, not data.
+const MAX_PAYLOAD: u32 = 1 << 16;
+
+/// What a [`CacheFile::load_into`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Records decoded, verified and inserted.
+    pub loaded: usize,
+    /// Records whose checksum passed but whose content hash did not
+    /// match the decoded point (skipped individually).
+    pub rejected: usize,
+    /// Bytes abandoned after the first framing/checksum failure (0 for
+    /// a clean file).
+    pub corrupt_tail_bytes: u64,
+}
+
+/// Handle to one on-disk cache snapshot (the file may not exist yet).
+#[derive(Debug, Clone)]
+pub struct CacheFile {
+    path: PathBuf,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode_payload(point: &DesignPoint, outcome: &PointOutcome) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(&point.content_hash().to_le_bytes());
+    out.extend_from_slice(&(point.pes as u64).to_le_bytes());
+    out.extend_from_slice(&point.freq_mhz.to_bits().to_le_bytes());
+    out.extend_from_slice(&(point.kmem_depth as u64).to_le_bytes());
+    out.extend_from_slice(&(point.imem_kb as u64).to_le_bytes());
+    out.extend_from_slice(&(point.omem_kb as u64).to_le_bytes());
+    out.extend_from_slice(&point.word_bits.to_le_bytes());
+    out.extend_from_slice(&(point.batch as u64).to_le_bytes());
+    out.extend_from_slice(&(point.net.len() as u32).to_le_bytes());
+    out.extend_from_slice(point.net.as_bytes());
+    match outcome {
+        PointOutcome::Infeasible(reason) => {
+            out.push(0);
+            out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+            out.extend_from_slice(reason.as_bytes());
+        }
+        PointOutcome::Feasible(r) => {
+            out.push(1);
+            for v in [
+                r.fps,
+                r.achieved_gops,
+                r.peak_gops,
+                r.chip_mw,
+                r.dram_mw,
+                r.gates_k,
+                r.sram_kb,
+            ] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Cursor-style reader over one payload; every method fails `None` on
+/// underrun, which the loader treats as a rejected record.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(DesignPoint, PointOutcome)> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let stored_hash = c.u64()?;
+    let point = DesignPoint {
+        pes: c.u64()? as usize,
+        freq_mhz: f64::from_bits(c.u64()?),
+        kmem_depth: c.u64()? as usize,
+        imem_kb: c.u64()? as usize,
+        omem_kb: c.u64()? as usize,
+        word_bits: c.u32()?,
+        batch: c.u64()? as usize,
+        net: c.string()?,
+    };
+    let outcome = match c.take(1)?[0] {
+        0 => PointOutcome::Infeasible(c.string()?),
+        1 => PointOutcome::Feasible(PointResult {
+            fps: c.f64()?,
+            achieved_gops: c.f64()?,
+            peak_gops: c.f64()?,
+            chip_mw: c.f64()?,
+            dram_mw: c.f64()?,
+            gates_k: c.f64()?,
+            sram_kb: c.f64()?,
+        }),
+        _ => return None,
+    };
+    if !c.done() || point.content_hash() != stored_hash {
+        return None;
+    }
+    Some((point, outcome))
+}
+
+impl CacheFile {
+    /// A handle to `path`. Nothing is touched until the first
+    /// [`CacheFile::load_into`] / [`CacheFile::append`].
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        CacheFile {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The file this handle points at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replays the snapshot into `cache` via
+    /// [`PointCache::insert_loaded`] (loaded entries are not
+    /// re-journaled, so a later flush appends only genuinely new work).
+    ///
+    /// A missing file is an empty snapshot, not an error. Damage is
+    /// tolerated per the module contract and reported in the
+    /// [`LoadReport`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than "not found", and a present file whose
+    /// magic line does not match [`MAGIC`] (that is *someone else's
+    /// file*; refusing protects it from our appends).
+    pub fn load_into(&self, cache: &PointCache) -> std::io::Result<LoadReport> {
+        let file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(LoadReport::default()),
+            Err(e) => return Err(e),
+        };
+        let mut reader = BufReader::new(file);
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            return Ok(LoadReport::default());
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("{} is not a chain-nn dse cache file", self.path.display()),
+            ));
+        }
+        let mut report = LoadReport::default();
+        let mut at = MAGIC.len();
+        while at < bytes.len() {
+            let Some(frame) = read_frame(&bytes, at) else {
+                report.corrupt_tail_bytes = (bytes.len() - at) as u64;
+                break;
+            };
+            let (payload, next) = frame;
+            match decode_payload(payload) {
+                Some((point, outcome)) => {
+                    cache.insert_loaded(&point, outcome);
+                    report.loaded += 1;
+                }
+                None => report.rejected += 1,
+            }
+            at = next;
+        }
+        if report.corrupt_tail_bytes > 0 {
+            // WAL-style recovery: drop the unreadable tail so the next
+            // append extends the valid prefix instead of writing records
+            // beyond bytes no loader will ever cross.
+            OpenOptions::new()
+                .write(true)
+                .open(&self.path)?
+                .set_len(at as u64)?;
+        }
+        Ok(report)
+    }
+
+    /// Appends `entries` as one batch of records, creating the file
+    /// (with its magic line) on first use, then syncs file data to
+    /// disk. Appending nothing is a no-op that touches nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (open, write, sync).
+    pub fn append(&self, entries: &[(DesignPoint, PointOutcome)]) -> std::io::Result<usize> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let need_magic = file.metadata()?.len() == 0;
+        let mut w = BufWriter::new(&mut file);
+        if need_magic {
+            w.write_all(MAGIC)?;
+        }
+        for (point, outcome) in entries {
+            let payload = encode_payload(point, outcome);
+            w.write_all(&(payload.len() as u32).to_le_bytes())?;
+            w.write_all(&fnv1a(&payload).to_le_bytes())?;
+            w.write_all(&payload)?;
+        }
+        w.flush()?;
+        drop(w);
+        file.sync_data()?;
+        Ok(entries.len())
+    }
+
+    /// Drains `cache`'s dirty journal into the file: the daemon's
+    /// write-batch/shutdown flush. Returns how many records were
+    /// appended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheFile::append`] failures. The drained entries
+    /// are re-inserted into the journal on failure, so a retried flush
+    /// loses nothing.
+    pub fn flush_dirty(&self, cache: &PointCache) -> std::io::Result<usize> {
+        let dirty = cache.take_dirty();
+        match self.append(&dirty) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                // Put the journal back so a retried flush still sees
+                // these entries. (Not via `insert`: the points are
+                // already in the map, and its duplicate check would
+                // skip re-journaling them.)
+                cache.restore_dirty(dirty);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// One frame at `at`: returns `(payload, next_offset)` when the length,
+/// bounds and checksum all validate.
+fn read_frame(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    let len_end = at.checked_add(4)?;
+    let len = u32::from_le_bytes(bytes.get(at..len_end)?.try_into().ok()?);
+    if len == 0 || len > MAX_PAYLOAD {
+        return None;
+    }
+    let sum_end = len_end.checked_add(8)?;
+    let sum = u64::from_le_bytes(bytes.get(len_end..sum_end)?.try_into().ok()?);
+    let payload_end = sum_end.checked_add(len as usize)?;
+    let payload = bytes.get(sum_end..payload_end)?;
+    if fnv1a(payload) != sum {
+        return None;
+    }
+    Some((payload, payload_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("chain_nn_persist_{tag}_{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn feasible(fps: f64) -> PointOutcome {
+        PointOutcome::Feasible(PointResult {
+            fps,
+            achieved_gops: 2.0 * fps,
+            peak_gops: 3.0 * fps,
+            chip_mw: 500.0,
+            dram_mw: 50.0,
+            gates_k: 1000.0,
+            sram_kb: 300.5,
+        })
+    }
+
+    fn points(n: usize) -> Vec<DesignPoint> {
+        (0..n)
+            .map(|i| DesignPoint {
+                pes: 121 + i,
+                ..DesignPoint::paper_alexnet()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_feasible_and_infeasible() {
+        let path = temp_path("roundtrip");
+        let file = CacheFile::new(&path);
+        let pts = points(3);
+        let entries = vec![
+            (pts[0].clone(), feasible(123.456)),
+            (pts[1].clone(), PointOutcome::Infeasible("too small".into())),
+            (pts[2].clone(), feasible(0.25)),
+        ];
+        assert_eq!(file.append(&entries).unwrap(), 3);
+
+        let cache = PointCache::new();
+        let report = file.load_into(&cache).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 3,
+                rejected: 0,
+                corrupt_tail_bytes: 0
+            }
+        );
+        for (p, o) in &entries {
+            assert_eq!(cache.get(p), Some(o.clone()));
+        }
+        // Loaded entries are not dirty: nothing to flush back out.
+        assert_eq!(file.flush_dirty(&cache).unwrap(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_snapshot() {
+        let file = CacheFile::new(temp_path("missing"));
+        let cache = PointCache::new();
+        assert_eq!(file.load_into(&cache).unwrap(), LoadReport::default());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely,not,a,cache\n1,2,3\n").unwrap();
+        let err = CacheFile::new(&path).load_into(&PointCache::new());
+        assert!(err.is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_keeps_whole_records() {
+        let path = temp_path("truncated");
+        let file = CacheFile::new(&path);
+        let pts = points(2);
+        file.append(&[
+            (pts[0].clone(), feasible(10.0)),
+            (pts[1].clone(), feasible(20.0)),
+        ])
+        .unwrap();
+        // Tear the file mid-way through the second record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
+
+        let cache = PointCache::new();
+        let report = file.load_into(&cache).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert!(report.corrupt_tail_bytes > 0);
+        assert_eq!(cache.get(&pts[0]), Some(feasible(10.0)));
+        assert!(cache.get(&pts[1]).is_none());
+
+        // The tear was truncated away, so an append after recovery is
+        // visible to the next load.
+        file.append(&[(pts[1].clone(), feasible(20.0))]).unwrap();
+        let reloaded = PointCache::new();
+        let report = file.load_into(&reloaded).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.corrupt_tail_bytes, 0);
+        assert_eq!(reloaded.get(&pts[1]), Some(feasible(20.0)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum_and_stops() {
+        let path = temp_path("bitflip");
+        let file = CacheFile::new(&path);
+        let pts = points(3);
+        file.append(&[
+            (pts[0].clone(), feasible(1.0)),
+            (pts[1].clone(), feasible(2.0)),
+            (pts[2].clone(), feasible(3.0)),
+        ])
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit inside the second record (skip magic +
+        // record 1 exactly).
+        let rec1_payload =
+            u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap()) as usize;
+        let rec2_start = MAGIC.len() + 4 + 8 + rec1_payload;
+        bytes[rec2_start + 4 + 8 + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cache = PointCache::new();
+        let report = file.load_into(&cache).unwrap();
+        assert_eq!(report.loaded, 1, "only the record before the flip");
+        assert!(report.corrupt_tail_bytes > 0, "rest of file abandoned");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_journal_for_retry() {
+        // A path inside a directory that does not exist: append fails.
+        let mut bad_path = std::env::temp_dir();
+        bad_path.push(format!("chain_nn_no_such_dir_{}", std::process::id()));
+        bad_path.push("cache.bin");
+        let bad = CacheFile::new(&bad_path);
+
+        let cache = PointCache::new();
+        let pts = points(2);
+        cache.insert(&pts[0], feasible(1.0));
+        cache.insert(&pts[1], PointOutcome::Infeasible("x".into()));
+        assert!(bad.flush_dirty(&cache).is_err());
+
+        // The drained entries were restored: a retry against a good
+        // path flushes all of them, losing nothing.
+        let good_path = temp_path("retry");
+        let good = CacheFile::new(&good_path);
+        assert_eq!(good.flush_dirty(&cache).unwrap(), 2);
+        let reloaded = PointCache::new();
+        assert_eq!(good.load_into(&reloaded).unwrap().loaded, 2);
+        assert_eq!(reloaded.get(&pts[0]), Some(feasible(1.0)));
+        std::fs::remove_file(&good_path).unwrap();
+    }
+
+    #[test]
+    fn incremental_appends_accumulate() {
+        let path = temp_path("incremental");
+        let file = CacheFile::new(&path);
+        let pts = points(4);
+
+        let cache = PointCache::new();
+        cache.insert(&pts[0], feasible(1.0));
+        cache.insert(&pts[1], feasible(2.0));
+        assert_eq!(file.flush_dirty(&cache).unwrap(), 2);
+        cache.insert(&pts[2], PointOutcome::Infeasible("nope".into()));
+        assert_eq!(file.flush_dirty(&cache).unwrap(), 1);
+        assert_eq!(file.flush_dirty(&cache).unwrap(), 0, "journal drained");
+
+        let reloaded = PointCache::new();
+        let report = file.load_into(&reloaded).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(reloaded.len(), 3);
+        assert!(reloaded.get(&pts[3]).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -376,6 +376,46 @@ mod tests {
     }
 
     #[test]
+    fn range_spec_empty_ranges_are_rejected() {
+        // Exclusive ranges whose bounds touch or cross contain nothing.
+        assert!("5..5".parse::<RangeSpec>().is_err());
+        assert!("0..0".parse::<RangeSpec>().is_err());
+        assert!("7..5".parse::<RangeSpec>().is_err());
+        // Inclusive single-value range is NOT empty.
+        let r: RangeSpec = "5..=5".parse().unwrap();
+        assert_eq!(r.values(), &[5]);
+        // And the programmatic constructor agrees.
+        assert!(RangeSpec::stepped(10, 5, 1).is_err());
+        assert_eq!(RangeSpec::stepped(5, 5, 1).unwrap().values(), &[5]);
+    }
+
+    #[test]
+    fn range_spec_step_larger_than_span_keeps_the_start() {
+        let r: RangeSpec = "10..=20:50".parse().unwrap();
+        assert_eq!(r.values(), &[10]);
+        let r: RangeSpec = "10..12:50".parse().unwrap();
+        assert_eq!(r.values(), &[10]);
+        assert_eq!(RangeSpec::stepped(64, 65, 1000).unwrap().values(), &[64]);
+    }
+
+    #[test]
+    fn range_spec_zero_step_is_rejected_everywhere() {
+        // All syntactic forms of a ':0' step, plus the API.
+        assert!(matches!(
+            "10..=20:0".parse::<RangeSpec>(),
+            Err(DseError::Spec(m)) if m.contains("step")
+        ));
+        assert!("10..20:0".parse::<RangeSpec>().is_err());
+        assert!("10..=20: 0".parse::<RangeSpec>().is_err());
+        assert!(matches!(
+            RangeSpec::stepped(10, 20, 0),
+            Err(DseError::Spec(m)) if m.contains("non-zero")
+        ));
+        // A zero *value* is fine; only a zero step is not.
+        assert_eq!("0".parse::<RangeSpec>().unwrap().values(), &[0]);
+    }
+
+    #[test]
     fn default_grid_contains_paper_point() {
         let spec = SweepSpec::default_grid();
         spec.validate().unwrap();

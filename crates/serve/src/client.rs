@@ -1,0 +1,173 @@
+//! Blocking client for the explorer daemon.
+//!
+//! One [`Client`] is one TCP session; requests are answered in order on
+//! the same connection, so a client is also the natural unit of
+//! "sweeps that share a session". Used by `chain-nn query` and by the
+//! integration tests; anything that speaks newline-delimited JSON (a
+//! shell with `nc`, for instance) interoperates.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use chain_nn_dse::{DesignPoint, PointOutcome, SweepSpec};
+
+use crate::protocol::{ProtocolError, Request, Response};
+
+/// Client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-reply).
+    Io(std::io::Error),
+    /// The daemon answered something unparseable.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (anything `ToSocketAddrs`, e.g.
+    /// `"127.0.0.1:7878"`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // request/reply, not bulk
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a reply that does not parse. A `busy` or
+    /// `error` reply is a successful round trip — inspect the
+    /// [`Response`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut wire = request.encode();
+        wire.push('\n');
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            )));
+        }
+        Ok(Response::decode(line.trim())?)
+    }
+
+    /// Sends a raw request line (already-encoded JSON) and returns the
+    /// raw reply line — the `chain-nn query` passthrough.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; the reply is not interpreted.
+    pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.trim().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            )));
+        }
+        Ok(reply.trim_end().to_owned())
+    }
+
+    /// Evaluates one point.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn eval(&mut self, point: DesignPoint) -> Result<Response, ClientError> {
+        self.request(&Request::Eval(point))
+    }
+
+    /// Runs one sweep.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn sweep(&mut self, spec: SweepSpec) -> Result<Response, ClientError> {
+        self.request(&Request::Sweep(spec))
+    }
+
+    /// Queries the frontier of everything the daemon has cached.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn frontier(&mut self, dims: u8) -> Result<Response, ClientError> {
+        self.request(&Request::Frontier { dims })
+    }
+
+    /// Fetches server counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the daemon to drain, flush and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Shutdown)
+    }
+}
+
+/// Convenience used by tests and the eval outcome display path: renders
+/// an outcome the way `chain-nn query` prints it.
+pub fn outcome_summary(outcome: &PointOutcome) -> String {
+    match outcome {
+        PointOutcome::Feasible(r) => format!(
+            "ok: {:.1} fps, {:.1} mW system, {:.0}k gates, {:.1} GOPS/W",
+            r.fps,
+            r.system_mw(),
+            r.gates_k,
+            r.gops_per_watt()
+        ),
+        PointOutcome::Infeasible(reason) => format!("infeasible: {reason}"),
+    }
+}

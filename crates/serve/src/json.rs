@@ -1,0 +1,499 @@
+//! Minimal JSON tree: parser and writer.
+//!
+//! The workspace carries no serde, and the serve protocol needs both
+//! directions (the daemon decodes requests and encodes responses; the
+//! client does the reverse), so this module implements just enough
+//! JSON: the full value grammar on parse, compact single-line output on
+//! write, shortest-round-trip float formatting (Rust's `{}` for `f64`),
+//! and `\uXXXX` escapes including surrogate pairs. No comments, no
+//! trailing commas, no NaN/Infinity — by design, since none of those
+//! survive a round trip through other tooling.
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, duplicate keys keep the last.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: a message plus the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage not).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] locating the first offending byte.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { text, at: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes().len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The value of `key`, when this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            // rev(): duplicate keys keep the last occurrence.
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer (rejects
+    /// fractions, negatives and anything above 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+            return None;
+        }
+        Some(n as u64)
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Writes `s` JSON-escaped, with surrounding quotes.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    // Not representable in JSON; null is the least-bad
+                    // lossy choice and never occurs for protocol data
+                    // (specs validate finiteness).
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    write_escaped(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn bytes(&self) -> &'a [u8] {
+        self.text.as_bytes()
+    }
+
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            at: self.at,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes()[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.at + 4;
+        let slice = self
+            .bytes()
+            .get(self.at..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let code = u16::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.at = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.at += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.at += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.at += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{0008}');
+                            self.at += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{000c}');
+                            self.at += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.at += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.at += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.at += 1;
+                        }
+                        Some(b'u') => {
+                            self.at += 1;
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.at += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000
+                                        + ((u32::from(hi) - 0xd800) << 10)
+                                        + (u32::from(lo) - 0xdc00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                u32::from(hi)
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar; `at` only ever advances
+                    // past ASCII or whole chars, so it is a boundary.
+                    let c = self.text[self.at..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.at += 1;
+            }
+        }
+        self.text[start..self.at]
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = r#"{"a": [1, 2, {"b": "x"}], "c": null, "d": {"e": true}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("d").unwrap().get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = Json::Str("a\"b\\c\nd\te\u{0001}f/🦀".into());
+        let encoded = original.to_string();
+        assert_eq!(Json::parse(&encoded).unwrap(), original);
+        // Explicit escape forms parse too.
+        let v = Json::parse(r#""\u0041\u00e9\ud83e\udd80\/""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé🦀/"));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            700.0,
+            1e-300,
+            f64::MAX,
+            -0.0,
+            123.456_789_012_345_67,
+        ] {
+            let encoded = Json::Num(x).to_string();
+            let back = Json::parse(&encoded).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} re-parsed as {back}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{'a':1}",
+            "tru",
+            "1.2.3",
+            "\"\\q\"",
+            "\"\u{0009}\"",
+            "[1] []",
+            "nan",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn as_u64_is_strict() {
+        assert_eq!(Json::parse("576").unwrap().as_u64(), Some(576));
+        assert_eq!(Json::parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1e300").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last() {
+        let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(2.0));
+    }
+}

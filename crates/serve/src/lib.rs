@@ -1,0 +1,69 @@
+//! Long-lived explorer serving daemon for the Chain-NN design-space
+//! engine.
+//!
+//! `chain-nn dse` rebuilt its memo cache from nothing on every
+//! invocation. This crate turns the explorer into a **service**: a
+//! daemon holding one shared, persistent
+//! [`PointCache`](chain_nn_dse::PointCache) behind a
+//! line-delimited JSON protocol over TCP, so concurrent clients (and
+//! successive processes) pay for each design point once, ever.
+//!
+//! * [`protocol`] — typed requests/responses and their wire encoding
+//!   (`eval`, `sweep`, `frontier`, `stats`, `shutdown`), shared by
+//!   daemon and client so the two cannot drift.
+//! * [`scheduler`] — the multi-client generalization of the DSE
+//!   executor: per-request point lists claimed in fixed-size batches,
+//!   round-robin across active requests, bounded admission with an
+//!   explicit `busy` reply as backpressure.
+//! * [`server`] — `std::net::TcpListener` accept loop, session threads,
+//!   the worker pool, cache-file replay at startup and append-flush on
+//!   completed requests and shutdown (std-only: the build environment
+//!   has no async runtime, and a worker pool over blocking sockets
+//!   serves this protocol fine).
+//! * [`client`] — blocking client used by `chain-nn query` and tests.
+//! * [`json`] — the dependency-free JSON tree both sides parse with.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_serve::client::Client;
+//! use chain_nn_serve::protocol::Response;
+//! use chain_nn_serve::server::{Server, ServerConfig};
+//! use chain_nn_dse::SweepSpec;
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let daemon = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let spec = SweepSpec {
+//!     pes: vec![288, 576],
+//!     ..SweepSpec::paper_point()
+//! };
+//! let Response::Sweep(summary) = client.sweep(spec.clone()).unwrap() else {
+//!     panic!("expected a sweep summary")
+//! };
+//! assert_eq!(summary.points, 2);
+//! assert_eq!(summary.cache_misses, 2);
+//! // The daemon remembers: the same sweep again is all hits.
+//! let Response::Sweep(again) = client.sweep(spec).unwrap() else {
+//!     panic!("expected a sweep summary")
+//! };
+//! assert_eq!(again.cache_misses, 0);
+//!
+//! client.shutdown().unwrap();
+//! daemon.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Request, Response};
+pub use server::{Server, ServerConfig, ServerReport};

@@ -1,0 +1,762 @@
+//! The explorer serving protocol: typed requests/responses and their
+//! line-delimited JSON wire form.
+//!
+//! One connection carries any number of requests; each request is one
+//! `\n`-terminated JSON object and produces exactly one
+//! `\n`-terminated JSON object in reply, in order. Both the daemon
+//! ([`crate::server`]) and the client ([`crate::client`]) use this
+//! module, so encode/decode cannot drift apart.
+//!
+//! Requests (`"type"` selects the operation):
+//!
+//! ```text
+//! {"type":"eval","point":{...}}          evaluate one design point
+//! {"type":"sweep","spec":{...}}          evaluate a SweepSpec grid
+//! {"type":"frontier","dims":2|3}         Pareto frontier of the whole cache
+//! {"type":"stats"}                       cache/server counters
+//! {"type":"shutdown"}                    drain, flush, exit
+//! ```
+//!
+//! A `point` object may omit any field, which then defaults to the
+//! paper's AlexNet configuration; a `spec` object's axes default to the
+//! single paper point per axis, and each axis accepts either a scalar
+//! or an array. Responses always carry `"ok"` (`true`/`false`); `ok:
+//! false` responses are either `"busy"` (backpressure — retry later) or
+//! `"error"` (the request is at fault).
+
+use std::fmt;
+
+use chain_nn_dse::{DesignPoint, PointOutcome, PointResult, SweepSpec};
+
+use crate::json::Json;
+
+/// Malformed wire data (unparseable JSON, missing/mistyped fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate one design point.
+    Eval(DesignPoint),
+    /// Evaluate a whole sweep grid.
+    Sweep(SweepSpec),
+    /// The Pareto frontier over everything the daemon has cached.
+    Frontier {
+        /// 2 (fps × power) or 3 (fps × power × area).
+        dims: u8,
+    },
+    /// Cache and server counters.
+    Stats,
+    /// Drain in-flight work, flush the cache file, stop the daemon.
+    Shutdown,
+}
+
+/// What one sweep did, without shipping every outcome back: sizes,
+/// cache traffic and the Pareto-optimal indices into the grid's
+/// deterministic point order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Points in the grid.
+    pub points: usize,
+    /// Feasible points.
+    pub feasible: usize,
+    /// Cache hits this sweep.
+    pub cache_hits: u64,
+    /// Fresh evaluations this sweep.
+    pub cache_misses: u64,
+    /// Server-side wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Indices of 3D-Pareto-optimal points (grid order, ascending).
+    pub frontier_3d: Vec<usize>,
+}
+
+/// One frontier entry: the point and its model results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierEntry {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Its evaluation.
+    pub result: PointResult,
+}
+
+/// Daemon-side counters reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Distinct points in the shared cache.
+    pub cached_points: usize,
+    /// Cache hits since daemon start (including loaded-file hits).
+    pub hits: u64,
+    /// Cache misses since daemon start.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 before any lookup.
+    pub hit_rate: f64,
+    /// Requests served (all types, including rejected ones).
+    pub requests: u64,
+    /// Jobs admitted and not yet finished.
+    pub active_jobs: usize,
+    /// Admission bound ([`Response::Busy`] beyond it).
+    pub queue_capacity: usize,
+    /// Worker threads evaluating points.
+    pub threads: usize,
+    /// Entries replayed from the cache file at startup.
+    pub loaded_from_disk: usize,
+    /// Whether a cache file is attached.
+    pub persistent: bool,
+}
+
+/// One daemon reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Echo of the evaluated point plus its outcome.
+    Eval {
+        /// The point as the daemon understood it (defaults filled in).
+        point: DesignPoint,
+        /// Feasible result or infeasibility reason.
+        outcome: PointOutcome,
+    },
+    /// Sweep summary.
+    Sweep(SweepSummary),
+    /// Frontier of the whole cache, canonically ordered.
+    Frontier {
+        /// Objective dimensionality the frontier was taken in.
+        dims: u8,
+        /// Non-dominated `(point, result)` pairs.
+        entries: Vec<FrontierEntry>,
+    },
+    /// Counter snapshot.
+    Stats(ServerStats),
+    /// Shutdown acknowledged; the daemon exits after this reply.
+    Shutdown,
+    /// Backpressure: the admission queue is full, retry later.
+    Busy {
+        /// Jobs currently admitted.
+        active: usize,
+        /// The admission bound.
+        capacity: usize,
+    },
+    /// The request was understood to be at fault.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------- encode
+
+fn num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn unum(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn point_to_json(p: &DesignPoint) -> Json {
+    Json::Obj(vec![
+        ("net".into(), Json::Str(p.net.clone())),
+        ("pes".into(), unum(p.pes as u64)),
+        ("freq_mhz".into(), num(p.freq_mhz)),
+        ("kmem_depth".into(), unum(p.kmem_depth as u64)),
+        ("imem_kb".into(), unum(p.imem_kb as u64)),
+        ("omem_kb".into(), unum(p.omem_kb as u64)),
+        ("word_bits".into(), unum(u64::from(p.word_bits))),
+        ("batch".into(), unum(p.batch as u64)),
+    ])
+}
+
+fn spec_to_json(s: &SweepSpec) -> Json {
+    let us = |axis: &[usize]| Json::Arr(axis.iter().map(|&v| unum(v as u64)).collect());
+    Json::Obj(vec![
+        (
+            "nets".into(),
+            Json::Arr(s.nets.iter().map(|n| Json::Str(n.clone())).collect()),
+        ),
+        ("pes".into(), us(&s.pes)),
+        (
+            "freqs_mhz".into(),
+            Json::Arr(s.freqs_mhz.iter().map(|&f| num(f)).collect()),
+        ),
+        ("kmem_depths".into(), us(&s.kmem_depths)),
+        ("imem_kb".into(), us(&s.imem_kb)),
+        ("omem_kb".into(), us(&s.omem_kb)),
+        (
+            "word_bits".into(),
+            Json::Arr(s.word_bits.iter().map(|&b| unum(u64::from(b))).collect()),
+        ),
+        ("batches".into(), us(&s.batches)),
+    ])
+}
+
+fn result_fields(r: &PointResult) -> Vec<(String, Json)> {
+    vec![
+        ("status".into(), Json::Str("ok".into())),
+        ("fps".into(), num(r.fps)),
+        ("achieved_gops".into(), num(r.achieved_gops)),
+        ("peak_gops".into(), num(r.peak_gops)),
+        ("chip_mw".into(), num(r.chip_mw)),
+        ("dram_mw".into(), num(r.dram_mw)),
+        ("system_mw".into(), num(r.system_mw())),
+        ("gops_per_watt".into(), num(r.gops_per_watt())),
+        ("gates_k".into(), num(r.gates_k)),
+        ("sram_kb".into(), num(r.sram_kb)),
+    ]
+}
+
+fn outcome_fields(outcome: &PointOutcome) -> Vec<(String, Json)> {
+    match outcome {
+        PointOutcome::Feasible(r) => result_fields(r),
+        PointOutcome::Infeasible(reason) => vec![
+            ("status".into(), Json::Str("infeasible".into())),
+            ("reason".into(), Json::Str(reason.clone())),
+        ],
+    }
+}
+
+impl Request {
+    /// The single-line wire form (no trailing newline; the transport
+    /// adds it).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::Eval(point) => Json::Obj(vec![
+                ("type".into(), Json::Str("eval".into())),
+                ("point".into(), point_to_json(point)),
+            ]),
+            Request::Sweep(spec) => Json::Obj(vec![
+                ("type".into(), Json::Str("sweep".into())),
+                ("spec".into(), spec_to_json(spec)),
+            ]),
+            Request::Frontier { dims } => Json::Obj(vec![
+                ("type".into(), Json::Str("frontier".into())),
+                ("dims".into(), unum(u64::from(*dims))),
+            ]),
+            Request::Stats => Json::Obj(vec![("type".into(), Json::Str("stats".into()))]),
+            Request::Shutdown => Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]),
+        };
+        json.to_string()
+    }
+}
+
+impl Response {
+    /// The single-line wire form (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Response::Eval { point, outcome } => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("eval".into())),
+                    ("point".into(), point_to_json(point)),
+                ];
+                fields.extend(outcome_fields(outcome));
+                Json::Obj(fields)
+            }
+            Response::Sweep(s) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("sweep".into())),
+                ("points".into(), unum(s.points as u64)),
+                ("feasible".into(), unum(s.feasible as u64)),
+                ("cache_hits".into(), unum(s.cache_hits)),
+                ("cache_misses".into(), unum(s.cache_misses)),
+                ("wall_ms".into(), num(s.wall_ms)),
+                (
+                    "frontier_3d".into(),
+                    Json::Arr(s.frontier_3d.iter().map(|&i| unum(i as u64)).collect()),
+                ),
+            ]),
+            Response::Frontier { dims, entries } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("frontier".into())),
+                ("dims".into(), unum(u64::from(*dims))),
+                (
+                    "entries".into(),
+                    Json::Arr(
+                        entries
+                            .iter()
+                            .map(|e| {
+                                let mut fields = vec![("point".into(), point_to_json(&e.point))];
+                                fields.extend(result_fields(&e.result));
+                                Json::Obj(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Stats(st) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("stats".into())),
+                ("cached_points".into(), unum(st.cached_points as u64)),
+                ("hits".into(), unum(st.hits)),
+                ("misses".into(), unum(st.misses)),
+                ("hit_rate".into(), num(st.hit_rate)),
+                ("requests".into(), unum(st.requests)),
+                ("active_jobs".into(), unum(st.active_jobs as u64)),
+                ("queue_capacity".into(), unum(st.queue_capacity as u64)),
+                ("threads".into(), unum(st.threads as u64)),
+                ("loaded_from_disk".into(), unum(st.loaded_from_disk as u64)),
+                ("persistent".into(), Json::Bool(st.persistent)),
+            ]),
+            Response::Shutdown => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("shutdown".into())),
+            ]),
+            Response::Busy { active, capacity } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::Str("busy".into())),
+                ("active".into(), unum(*active as u64)),
+                ("capacity".into(), unum(*capacity as u64)),
+            ]),
+            Response::Error { message } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::Str(message.clone())),
+            ]),
+        };
+        json.to_string()
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+fn get_usize(obj: &Json, key: &str, default: usize) -> Result<usize, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| bad(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn get_f64(obj: &Json, key: &str, default: f64) -> Result<f64, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad(format!("'{key}' must be a number"))),
+    }
+}
+
+fn point_from_json(v: &Json) -> Result<DesignPoint, ProtocolError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("'point' must be an object"));
+    }
+    let d = DesignPoint::paper_alexnet();
+    Ok(DesignPoint {
+        pes: get_usize(v, "pes", d.pes)?,
+        freq_mhz: get_f64(v, "freq_mhz", d.freq_mhz)?,
+        kmem_depth: get_usize(v, "kmem_depth", d.kmem_depth)?,
+        imem_kb: get_usize(v, "imem_kb", d.imem_kb)?,
+        omem_kb: get_usize(v, "omem_kb", d.omem_kb)?,
+        word_bits: u32::try_from(get_usize(v, "word_bits", d.word_bits as usize)?)
+            .map_err(|_| bad("'word_bits' out of range"))?,
+        batch: get_usize(v, "batch", d.batch)?,
+        net: match v.get("net") {
+            None => d.net,
+            Some(n) => n
+                .as_str()
+                .ok_or_else(|| bad("'net' must be a string"))?
+                .to_owned(),
+        },
+    })
+}
+
+/// An axis is a scalar or an array of scalars.
+fn axis_f64(v: &Json, key: &str) -> Result<Vec<f64>, ProtocolError> {
+    let items: Vec<&Json> = match v {
+        Json::Arr(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    items
+        .into_iter()
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| bad(format!("axis '{key}' must contain numbers")))
+        })
+        .collect()
+}
+
+fn axis_usize(v: &Json, key: &str) -> Result<Vec<usize>, ProtocolError> {
+    let items: Vec<&Json> = match v {
+        Json::Arr(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    items
+        .into_iter()
+        .map(|item| {
+            item.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| bad(format!("axis '{key}' must contain non-negative integers")))
+        })
+        .collect()
+}
+
+fn spec_from_json(v: &Json) -> Result<SweepSpec, ProtocolError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("'spec' must be an object"));
+    }
+    let mut spec = SweepSpec::paper_point();
+    if let Some(axis) = v.get("pes") {
+        spec.pes = axis_usize(axis, "pes")?;
+    }
+    if let Some(axis) = v.get("freqs_mhz") {
+        spec.freqs_mhz = axis_f64(axis, "freqs_mhz")?;
+    }
+    if let Some(axis) = v.get("kmem_depths") {
+        spec.kmem_depths = axis_usize(axis, "kmem_depths")?;
+    }
+    if let Some(axis) = v.get("imem_kb") {
+        spec.imem_kb = axis_usize(axis, "imem_kb")?;
+    }
+    if let Some(axis) = v.get("omem_kb") {
+        spec.omem_kb = axis_usize(axis, "omem_kb")?;
+    }
+    if let Some(axis) = v.get("word_bits") {
+        spec.word_bits = axis_usize(axis, "word_bits")?
+            .into_iter()
+            .map(|b| u32::try_from(b).map_err(|_| bad("'word_bits' out of range")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(axis) = v.get("batches") {
+        spec.batches = axis_usize(axis, "batches")?;
+    }
+    if let Some(nets) = v.get("nets") {
+        let items: Vec<&Json> = match nets {
+            Json::Arr(items) => items.iter().collect(),
+            other => vec![other],
+        };
+        spec.nets = items
+            .into_iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| bad("'nets' must contain strings"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    Ok(spec)
+}
+
+fn result_from_json(v: &Json) -> Result<PointResult, ProtocolError> {
+    let f = |key: &str| -> Result<f64, ProtocolError> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("result field '{key}' missing")))
+    };
+    Ok(PointResult {
+        fps: f("fps")?,
+        achieved_gops: f("achieved_gops")?,
+        peak_gops: f("peak_gops")?,
+        chip_mw: f("chip_mw")?,
+        dram_mw: f("dram_mw")?,
+        gates_k: f("gates_k")?,
+        sram_kb: f("sram_kb")?,
+    })
+}
+
+fn outcome_from_json(v: &Json) -> Result<PointOutcome, ProtocolError> {
+    match v.get("status").and_then(Json::as_str) {
+        Some("ok") => Ok(PointOutcome::Feasible(result_from_json(v)?)),
+        Some("infeasible") => Ok(PointOutcome::Infeasible(
+            v.get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_owned(),
+        )),
+        _ => Err(bad("missing or unknown 'status'")),
+    }
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on unparseable JSON, a missing/unknown
+    /// `"type"`, or mistyped fields.
+    pub fn decode(line: &str) -> Result<Request, ProtocolError> {
+        let v = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("request needs a string 'type'"))?;
+        match kind {
+            "eval" => {
+                let point = v.get("point").unwrap_or(&Json::Obj(vec![])).clone();
+                Ok(Request::Eval(point_from_json(&point)?))
+            }
+            "sweep" => {
+                let spec = v
+                    .get("spec")
+                    .ok_or_else(|| bad("sweep request needs a 'spec' object"))?;
+                Ok(Request::Sweep(spec_from_json(spec)?))
+            }
+            "frontier" => {
+                let dims = get_usize(&v, "dims", 3)?;
+                if !(dims == 2 || dims == 3) {
+                    return Err(bad("'dims' must be 2 or 3"));
+                }
+                Ok(Request::Frontier { dims: dims as u8 })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+impl Response {
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on unparseable JSON or a malformed reply.
+    pub fn decode(line: &str) -> Result<Response, ProtocolError> {
+        let v = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+        let ok = match v.get("ok") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(bad("response needs a boolean 'ok'")),
+        };
+        if !ok {
+            let message = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_owned();
+            if message == "busy" {
+                return Ok(Response::Busy {
+                    active: get_usize(&v, "active", 0)?,
+                    capacity: get_usize(&v, "capacity", 0)?,
+                });
+            }
+            return Ok(Response::Error { message });
+        }
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("response needs a string 'type'"))?;
+        match kind {
+            "eval" => {
+                let point = v
+                    .get("point")
+                    .ok_or_else(|| bad("eval response needs 'point'"))?;
+                Ok(Response::Eval {
+                    point: point_from_json(point)?,
+                    outcome: outcome_from_json(&v)?,
+                })
+            }
+            "sweep" => {
+                let frontier_3d = v
+                    .get("frontier_3d")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("sweep response needs 'frontier_3d'"))?
+                    .iter()
+                    .map(|i| {
+                        i.as_u64()
+                            .map(|n| n as usize)
+                            .ok_or_else(|| bad("'frontier_3d' must hold indices"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(Response::Sweep(SweepSummary {
+                    points: get_usize(&v, "points", 0)?,
+                    feasible: get_usize(&v, "feasible", 0)?,
+                    cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
+                    cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
+                    wall_ms: get_f64(&v, "wall_ms", 0.0)?,
+                    frontier_3d,
+                }))
+            }
+            "frontier" => {
+                let dims = get_usize(&v, "dims", 3)? as u8;
+                let entries = v
+                    .get("entries")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("frontier response needs 'entries'"))?
+                    .iter()
+                    .map(|e| {
+                        let point = e
+                            .get("point")
+                            .ok_or_else(|| bad("frontier entry needs 'point'"))?;
+                        Ok(FrontierEntry {
+                            point: point_from_json(point)?,
+                            result: result_from_json(e)?,
+                        })
+                    })
+                    .collect::<Result<_, ProtocolError>>()?;
+                Ok(Response::Frontier { dims, entries })
+            }
+            "stats" => Ok(Response::Stats(ServerStats {
+                cached_points: get_usize(&v, "cached_points", 0)?,
+                hits: get_usize(&v, "hits", 0)? as u64,
+                misses: get_usize(&v, "misses", 0)? as u64,
+                hit_rate: get_f64(&v, "hit_rate", 0.0)?,
+                requests: get_usize(&v, "requests", 0)? as u64,
+                active_jobs: get_usize(&v, "active_jobs", 0)?,
+                queue_capacity: get_usize(&v, "queue_capacity", 0)?,
+                threads: get_usize(&v, "threads", 0)?,
+                loaded_from_disk: get_usize(&v, "loaded_from_disk", 0)?,
+                persistent: matches!(v.get("persistent"), Some(Json::Bool(true))),
+            })),
+            "shutdown" => Ok(Response::Shutdown),
+            other => Err(bad(format!("unknown response type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_result() -> PointResult {
+        match chain_nn_dse::evaluate(&DesignPoint::paper_alexnet()).unwrap() {
+            PointOutcome::Feasible(r) => r,
+            PointOutcome::Infeasible(why) => panic!("paper point infeasible: {why}"),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Eval(DesignPoint::paper_alexnet()),
+            Request::Sweep(SweepSpec {
+                pes: vec![288, 576],
+                freqs_mhz: vec![350.0, 700.0],
+                nets: vec!["alexnet".into(), "vgg16".into()],
+                ..SweepSpec::paper_point()
+            }),
+            Request::Frontier { dims: 2 },
+            Request::Frontier { dims: 3 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "wire form must be one line");
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Eval {
+                point: DesignPoint::paper_alexnet(),
+                outcome: PointOutcome::Feasible(paper_result()),
+            },
+            Response::Eval {
+                point: DesignPoint::paper_alexnet(),
+                outcome: PointOutcome::Infeasible("chain too short".into()),
+            },
+            Response::Sweep(SweepSummary {
+                points: 6,
+                feasible: 5,
+                cache_hits: 2,
+                cache_misses: 4,
+                wall_ms: 1.25,
+                frontier_3d: vec![0, 3, 5],
+            }),
+            Response::Frontier {
+                dims: 3,
+                entries: vec![FrontierEntry {
+                    point: DesignPoint::paper_alexnet(),
+                    result: paper_result(),
+                }],
+            },
+            Response::Stats(ServerStats {
+                cached_points: 10,
+                hits: 7,
+                misses: 3,
+                hit_rate: 0.7,
+                requests: 42,
+                active_jobs: 1,
+                queue_capacity: 16,
+                threads: 4,
+                loaded_from_disk: 6,
+                persistent: true,
+            }),
+            Response::Shutdown,
+            Response::Busy {
+                active: 16,
+                capacity: 16,
+            },
+            Response::Error {
+                message: "unknown network 'squeezenet'".into(),
+            },
+        ];
+        for resp in responses {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn eval_point_fields_default_to_the_paper_point() {
+        let req = Request::decode(r#"{"type":"eval","point":{"pes":288}}"#).unwrap();
+        let expected = DesignPoint {
+            pes: 288,
+            ..DesignPoint::paper_alexnet()
+        };
+        assert_eq!(req, Request::Eval(expected));
+        // A missing point object entirely is the paper point.
+        let req = Request::decode(r#"{"type":"eval"}"#).unwrap();
+        assert_eq!(req, Request::Eval(DesignPoint::paper_alexnet()));
+    }
+
+    #[test]
+    fn sweep_axes_accept_scalars_and_arrays() {
+        let req = Request::decode(
+            r#"{"type":"sweep","spec":{"pes":[144,288],"freqs_mhz":700,"nets":"lenet"}}"#,
+        )
+        .unwrap();
+        let Request::Sweep(spec) = req else {
+            panic!("not a sweep")
+        };
+        assert_eq!(spec.pes, vec![144, 288]);
+        assert_eq!(spec.freqs_mhz, vec![700.0]);
+        assert_eq!(spec.nets, vec!["lenet".to_owned()]);
+        // Unspecified axes pin to the paper point.
+        assert_eq!(spec.kmem_depths, vec![256]);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"no_type":1}"#,
+            r#"{"type":"warp"}"#,
+            r#"{"type":"sweep"}"#,
+            r#"{"type":"sweep","spec":{"pes":["many"]}}"#,
+            r#"{"type":"frontier","dims":4}"#,
+            r#"{"type":"eval","point":{"pes":-5}}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn float_fields_survive_bit_exactly() {
+        let point = DesignPoint {
+            freq_mhz: 123.456789012345,
+            ..DesignPoint::paper_alexnet()
+        };
+        let line = Request::Eval(point.clone()).encode();
+        let Request::Eval(back) = Request::decode(&line).unwrap() else {
+            panic!("not eval")
+        };
+        assert_eq!(back.freq_mhz.to_bits(), point.freq_mhz.to_bits());
+        // Content hashes therefore agree: the wire is cache-identity safe.
+        assert_eq!(back.content_hash(), point.content_hash());
+    }
+}

@@ -1,0 +1,400 @@
+//! The explorer daemon: TCP accept loop, per-connection sessions, the
+//! worker pool, and cache persistence.
+//!
+//! One [`Server`] owns one [`Scheduler`] (and through it the one shared
+//! [`PointCache`]). Each accepted connection gets a session thread that
+//! reads request lines, submits work, and writes response lines; the
+//! actual evaluations happen on the scheduler's worker pool, where
+//! batches from all sessions interleave fairly. With a cache file
+//! attached, the daemon replays it before accepting connections and
+//! appends every completed request's fresh evaluations (plus a final
+//! sweep at shutdown), so a restarted daemon re-serves prior sweeps
+//! without a single model evaluation.
+//!
+//! Shutdown is cooperative: a `shutdown` request is acknowledged on its
+//! own connection, admission closes, the workers drain what was already
+//! admitted, the cache is flushed, and [`Server::run`] returns.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use chain_nn_dse::{pareto, CacheFile, PointCache};
+
+use crate::protocol::{FrontierEntry, Request, Response, ServerStats, SweepSummary};
+use crate::scheduler::{Scheduler, SubmitError, BATCH_SIZE};
+
+/// How the daemon is set up. `Default` binds an ephemeral loopback
+/// port, one worker per host core, no persistence.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; loopback unless you mean to expose the daemon.
+    pub host: String,
+    /// TCP port; 0 asks the OS for an ephemeral one (see
+    /// [`Server::local_addr`]).
+    pub port: u16,
+    /// Worker threads evaluating points.
+    pub threads: usize,
+    /// Admission bound: concurrent jobs beyond this get `busy`.
+    pub queue_capacity: usize,
+    /// Points claimed per scheduling turn.
+    pub batch_size: usize,
+    /// Snapshot file for cross-process cache persistence.
+    pub cache_file: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".to_owned(),
+            port: 0,
+            threads: chain_nn_dse::executor::default_threads(),
+            queue_capacity: 16,
+            batch_size: BATCH_SIZE,
+            cache_file: None,
+        }
+    }
+}
+
+/// What one daemon lifetime did, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerReport {
+    /// Requests served across all connections.
+    pub requests: u64,
+    /// Cache entries replayed from disk at startup.
+    pub loaded_from_disk: usize,
+    /// Fresh evaluations appended to the cache file over the lifetime.
+    pub persisted: usize,
+    /// Distinct points in the cache at shutdown.
+    pub cached_points: usize,
+}
+
+struct Shared {
+    scheduler: Scheduler,
+    cache: Arc<PointCache>,
+    cache_file: Option<CacheFile>,
+    /// Serializes flushes so concurrent batch completions do not
+    /// interleave appends.
+    flush_lock: Mutex<()>,
+    persisted: AtomicU64,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+    threads: usize,
+    loaded_from_disk: usize,
+}
+
+impl Shared {
+    /// Appends the cache's dirty journal to the snapshot file (no-op
+    /// without one). Called after every request that may have evaluated
+    /// something, and once more at shutdown.
+    fn flush(&self) -> std::io::Result<usize> {
+        let Some(file) = &self.cache_file else {
+            return Ok(0);
+        };
+        let _guard = self.flush_lock.lock().expect("flush lock poisoned");
+        let n = file.flush_dirty(&self.cache)?;
+        self.persisted.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// A bound, loaded, ready-to-run daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and, when configured, replays the cache file.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and cache-file I/O failures (a *corrupt* cache
+    /// file is not an error — it loads to its valid prefix — but an
+    /// unreadable one, or one with a foreign magic line, is).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let cache = Arc::new(PointCache::new());
+        let cache_file = config.cache_file.as_ref().map(CacheFile::new);
+        let mut loaded_from_disk = 0;
+        if let Some(file) = &cache_file {
+            loaded_from_disk = file.load_into(&cache)?.loaded;
+        }
+        let threads = config.threads.max(1);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                scheduler: Scheduler::new(
+                    Arc::clone(&cache),
+                    config.queue_capacity,
+                    config.batch_size,
+                ),
+                cache,
+                cache_file,
+                flush_lock: Mutex::new(()),
+                persisted: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                threads,
+                loaded_from_disk,
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Entries replayed from the cache file at bind time.
+    pub fn loaded_from_disk(&self) -> usize {
+        self.shared.loaded_from_disk
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains, flushes
+    /// and returns the lifetime report.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures and the final cache flush. Per-connection
+    /// I/O errors only terminate that connection.
+    pub fn run(self) -> std::io::Result<ServerReport> {
+        // Poll-accept so the loop can observe the shutdown flag; 5 ms
+        // keeps idle CPU at noise level while staying prompt.
+        self.listener.set_nonblocking(true)?;
+        let shared = &self.shared;
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..shared.threads {
+                let s = Arc::clone(shared);
+                scope.spawn(move || s.scheduler.worker_loop());
+            }
+            let mut outcome = Ok(());
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _addr)) => {
+                        let s = Arc::clone(shared);
+                        // Detached on purpose: a session blocked on an
+                        // idle client must not block shutdown. Sessions
+                        // hold only an Arc and die with the process (or
+                        // return Busy/ShuttingDown after drain).
+                        std::thread::spawn(move || serve_connection(stream, &s));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            // Wake the pool so the scope can join the drained workers —
+            // on the clean path admission is already closed (the
+            // shutdown handler did it before setting the flag), and on
+            // the error path this is what closes it.
+            shared.scheduler.begin_shutdown();
+            outcome
+        })?;
+        shared.flush()?;
+        Ok(ServerReport {
+            requests: shared.requests.load(Ordering::Relaxed),
+            loaded_from_disk: shared.loaded_from_disk,
+            persisted: shared.persisted.load(Ordering::Relaxed) as usize,
+            cached_points: shared.cache.len(),
+        })
+    }
+}
+
+/// Longest request line the daemon will buffer. Real requests are a
+/// few hundred bytes (the largest is a sweep spec with explicit axis
+/// lists); anything bigger is a hostile or broken client, and an
+/// unbounded `read_line` would buffer it into daemon memory wholesale.
+const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// One session: line in, line out, until EOF or shutdown.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(peer_read) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer_read);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match (&mut reader).take(MAX_REQUEST_BYTES).read_line(&mut line) {
+            Ok(0) => return,  // clean EOF
+            Err(_) => return, // peer went away
+            Ok(_) if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') => {
+                // Oversized request: answer once, drop the connection
+                // (the rest of the line cannot be resynchronized).
+                let refusal = Response::Error {
+                    message: format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+                }
+                .encode();
+                let _ = writer
+                    .write_all(refusal.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                return;
+            }
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, stop_after_reply) = handle_request(trimmed, shared);
+        let mut wire = response.encode();
+        wire.push('\n');
+        if writer
+            .write_all(wire.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if stop_after_reply {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Dispatches one parsed request; the bool asks the session to close
+/// and trip the daemon shutdown flag after replying.
+fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
+    let request = match Request::decode(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error {
+                    message: e.to_string(),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Eval(point) => {
+            let response = match shared.scheduler.submit(vec![point.clone()]) {
+                Err(e) => submit_error_response(e),
+                Ok(handle) => match handle.wait() {
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                    Ok(mut job) => Response::Eval {
+                        point,
+                        outcome: job.outcomes.remove(0),
+                    },
+                },
+            };
+            let _ = shared.flush();
+            (response, false)
+        }
+        Request::Sweep(spec) => {
+            if let Err(e) = spec.validate() {
+                return (
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                );
+            }
+            let points = spec.points();
+            let total = points.len();
+            let start = Instant::now();
+            let response = match shared.scheduler.submit(points) {
+                Err(e) => submit_error_response(e),
+                Ok(handle) => match handle.wait() {
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                    Ok(job) => {
+                        let objectives: Vec<(usize, pareto::Objectives)> = job
+                            .outcomes
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, o)| Some((i, pareto::Objectives::from(o.result()?))))
+                            .collect();
+                        Response::Sweep(SweepSummary {
+                            points: total,
+                            feasible: objectives.len(),
+                            // Per-job counters from the scheduler:
+                            // global cache deltas would also count the
+                            // other clients' concurrent traffic.
+                            cache_hits: job.cache_hits,
+                            cache_misses: job.cache_misses,
+                            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                            frontier_3d: pareto::frontier_3d(&objectives),
+                        })
+                    }
+                },
+            };
+            let _ = shared.flush();
+            (response, false)
+        }
+        Request::Frontier { dims } => {
+            let feasible: Vec<FrontierEntry> = shared
+                .cache
+                .entries()
+                .into_iter()
+                .filter_map(|(point, outcome)| {
+                    let result = *outcome.result()?;
+                    Some(FrontierEntry { point, result })
+                })
+                .collect();
+            let objectives: Vec<(usize, pareto::Objectives)> = feasible
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, pareto::Objectives::from(&e.result)))
+                .collect();
+            let keep = if dims == 2 {
+                pareto::frontier_2d(&objectives)
+            } else {
+                pareto::frontier_3d(&objectives)
+            };
+            let entries = keep.into_iter().map(|i| feasible[i].clone()).collect();
+            (Response::Frontier { dims, entries }, false)
+        }
+        Request::Stats => {
+            let stats = shared.cache.stats();
+            (
+                Response::Stats(ServerStats {
+                    cached_points: shared.cache.len(),
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    hit_rate: stats.hit_rate(),
+                    requests: shared.requests.load(Ordering::Relaxed),
+                    active_jobs: shared.scheduler.active_jobs(),
+                    queue_capacity: shared.scheduler.capacity(),
+                    threads: shared.threads,
+                    loaded_from_disk: shared.loaded_from_disk,
+                    persistent: shared.cache_file.is_some(),
+                }),
+                false,
+            )
+        }
+        Request::Shutdown => {
+            // Close admission *before* acknowledging, so nothing new
+            // slips in between the reply and the accept loop noticing.
+            shared.scheduler.begin_shutdown();
+            (Response::Shutdown, true)
+        }
+    }
+}
+
+fn submit_error_response(e: SubmitError) -> Response {
+    match e {
+        SubmitError::Busy { active, capacity } => Response::Busy { active, capacity },
+        SubmitError::ShuttingDown => Response::Error {
+            message: "server is shutting down".to_owned(),
+        },
+    }
+}

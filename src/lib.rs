@@ -41,5 +41,8 @@ pub use chain_nn_fixed as fixed;
 pub use chain_nn_mem as mem;
 /// Network zoo (AlexNet, VGG-16, LeNet, CIFAR-10).
 pub use chain_nn_nets as nets;
+/// Explorer serving daemon: shared-cache TCP protocol plus the
+/// persistent on-disk DSE cache it serves from.
+pub use chain_nn_serve as serve;
 /// Tensors and golden-model convolution.
 pub use chain_nn_tensor as tensor;

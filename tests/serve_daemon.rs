@@ -1,0 +1,222 @@
+//! End-to-end tests of the explorer serving daemon over real loopback
+//! TCP: concurrent clients sharing one cache, persistence across
+//! daemon restarts, and protocol robustness. These are the acceptance
+//! criteria of the serving-subsystem PR.
+
+use std::path::PathBuf;
+
+use chain_nn_repro::dse::SweepSpec;
+use chain_nn_repro::serve::protocol::Response;
+use chain_nn_repro::serve::{Client, Server, ServerConfig, ServerReport};
+
+fn lenet_grid(pes: Vec<usize>) -> SweepSpec {
+    SweepSpec {
+        pes,
+        freqs_mhz: vec![350.0, 700.0],
+        nets: vec!["lenet".into()],
+        ..SweepSpec::paper_point()
+    }
+}
+
+/// Binds an ephemeral-port daemon and returns `(addr, join-handle)`.
+fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<ServerReport>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, handle)
+}
+
+fn sweep_summary(
+    client: &mut Client,
+    spec: &SweepSpec,
+) -> chain_nn_repro::serve::protocol::SweepSummary {
+    match client.sweep(spec.clone()).expect("sweep round trip") {
+        Response::Sweep(summary) => summary,
+        other => panic!("expected sweep summary, got {other:?}"),
+    }
+}
+
+/// Two clients sweeping overlapping grids against one daemon: every
+/// distinct point is evaluated once for the pair, so combined misses
+/// are strictly below the sum of standalone runs (which would be 12).
+#[test]
+fn concurrent_clients_sweeping_overlapping_grids_share_one_cache() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let grid_a = lenet_grid(vec![25, 50, 100]); // 6 points
+    let grid_b = lenet_grid(vec![50, 100, 200]); // 6 points, 4 shared
+    let standalone_sum = (grid_a.len() + grid_b.len()) as u64;
+    let distinct = 8u64;
+
+    let (sum_a, sum_b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| {
+            let mut c = Client::connect(addr).expect("connect a");
+            sweep_summary(&mut c, &grid_a)
+        });
+        let hb = scope.spawn(|| {
+            let mut c = Client::connect(addr).expect("connect b");
+            sweep_summary(&mut c, &grid_b)
+        });
+        (ha.join().expect("client a"), hb.join().expect("client b"))
+    });
+
+    let combined_misses = sum_a.cache_misses + sum_b.cache_misses;
+    assert!(
+        combined_misses < standalone_sum,
+        "clients did not share the cache: {combined_misses} misses"
+    );
+    // The overlap may race (both miss a shared point before either
+    // inserts), so distinct points is a lower bound, not an equality.
+    assert!(combined_misses >= distinct);
+    assert_eq!(
+        sum_a.cache_hits + sum_a.cache_misses + sum_b.cache_hits + sum_b.cache_misses,
+        standalone_sum
+    );
+
+    // The daemon's frontier now spans BOTH clients' grids.
+    let mut c = Client::connect(addr).expect("connect");
+    match c.frontier(3).expect("frontier") {
+        Response::Frontier { entries, .. } => {
+            assert!(!entries.is_empty());
+            for e in &entries {
+                assert_eq!(e.point.net, "lenet");
+            }
+        }
+        other => panic!("expected frontier, got {other:?}"),
+    }
+    c.shutdown().expect("shutdown");
+    let report = daemon.join().expect("daemon");
+    assert_eq!(report.cached_points as u64, distinct);
+}
+
+/// The headline persistence property: a daemon restarted on the same
+/// `--cache-file` re-serves a prior sweep with *zero* evaluations.
+#[test]
+fn daemon_restart_reserves_prior_sweep_from_disk() {
+    let cache_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "chain_nn_serve_restart_{}.cache",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let config = |path: &PathBuf| ServerConfig {
+        threads: 2,
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let spec = lenet_grid(vec![25, 50, 100, 200]);
+
+    // First daemon lifetime: everything is a miss, then persisted.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("connect");
+    let first = sweep_summary(&mut client, &spec);
+    assert_eq!(first.cache_misses, spec.len() as u64);
+    client.shutdown().expect("shutdown");
+    let report = daemon.join().expect("daemon");
+    assert_eq!(report.persisted, spec.len());
+
+    // Second lifetime: the same sweep costs nothing.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("reconnect");
+    let again = sweep_summary(&mut client, &spec);
+    assert_eq!(again.cache_misses, 0, "restart must re-serve from disk");
+    assert_eq!(again.cache_hits, spec.len() as u64);
+    assert_eq!(again.frontier_3d, first.frontier_3d);
+    // Stats agree: everything came off disk, nothing new persisted.
+    match client.stats().expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.loaded_from_disk, spec.len());
+            assert!(stats.persistent);
+            assert_eq!(stats.misses, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    let report = daemon.join().expect("daemon");
+    assert_eq!(report.loaded_from_disk, spec.len());
+    assert_eq!(report.persisted, 0);
+    std::fs::remove_file(&cache_path).ok();
+}
+
+/// One session survives malformed requests, serves multiple requests
+/// in order, and eval answers match the library evaluator bit-exactly.
+#[test]
+fn session_is_robust_and_consistent_with_the_library() {
+    let (addr, daemon) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Garbage first: the session answers an error and stays open.
+    let reply = client.request_raw("this is not json").expect("round trip");
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    let reply = client
+        .request_raw(r#"{"type":"warp_drive"}"#)
+        .expect("round trip");
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+
+    // Then a real eval on the same connection.
+    let paper = chain_nn_repro::dse::DesignPoint::paper_alexnet();
+    match client.eval(paper.clone()).expect("eval") {
+        Response::Eval { point, outcome } => {
+            assert_eq!(point, paper);
+            let served = *outcome.result().expect("paper point feasible");
+            let local = chain_nn_repro::dse::evaluate(&paper).expect("local eval");
+            let local = *local.result().expect("feasible");
+            assert_eq!(served.fps.to_bits(), local.fps.to_bits());
+            assert_eq!(served.chip_mw.to_bits(), local.chip_mw.to_bits());
+            assert_eq!(served.gates_k.to_bits(), local.gates_k.to_bits());
+        }
+        other => panic!("expected eval, got {other:?}"),
+    }
+
+    // An infeasible point is data, not an error.
+    let tiny = chain_nn_repro::dse::DesignPoint {
+        pes: 64,
+        ..paper.clone()
+    };
+    match client.eval(tiny).expect("eval") {
+        Response::Eval { outcome, .. } => assert!(outcome.result().is_none()),
+        other => panic!("expected eval, got {other:?}"),
+    }
+
+    // A spec-level invalid sweep is an error response, not a dead daemon.
+    let mut bad = lenet_grid(vec![25]);
+    bad.nets = vec!["squeezenet".into()];
+    match client.sweep(bad).expect("round trip") {
+        Response::Error { message } => assert!(message.contains("squeezenet"), "{message}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
+/// A hostile newline-free stream is refused with one error reply and a
+/// closed connection instead of being buffered into daemon memory.
+#[test]
+fn oversized_request_is_refused_not_buffered() {
+    use std::io::{Read, Write};
+    let (addr, daemon) = start(ServerConfig::default());
+
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+    // Exactly the daemon's line cap, no newline anywhere: the daemon
+    // consumes it all, refuses, and closes cleanly. (Anything *longer*
+    // is also refused, but the unread remainder then makes the close a
+    // reset rather than a polite FIN.)
+    let blob = vec![b'a'; 1 << 20];
+    raw.write_all(&blob).expect("write blob");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("read until close");
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    assert!(reply.contains("exceeds"), "{reply}");
+
+    // The daemon itself is unharmed.
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(matches!(client.stats().expect("stats"), Response::Stats(_)));
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
