@@ -1,0 +1,74 @@
+//! Benches of the budget-constrained auto-tuner against the exhaustive
+//! sweep it replaces: wall time per tune on a cold and warm cache, and
+//! the exhaustive sweep of the same grid for scale. The interesting
+//! number is not the microseconds — evaluations are closed-form — but
+//! the ratio holding up as grids grow past what sweeping can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use chain_nn_dse::{executor, PointCache, WorkloadMix};
+use chain_nn_tuner::{tune, Budget, CacheEvaluator, TuneRequest};
+
+fn request() -> TuneRequest {
+    TuneRequest {
+        budget: Budget {
+            max_system_mw: Some(500.0),
+            ..Budget::default()
+        },
+        ..TuneRequest::default()
+    }
+}
+
+fn bench_tune_vs_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner/default_grid_500mw");
+    g.sample_size(10);
+    let req = request();
+    let grid = req.space.points();
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("tune_cold", |b| {
+        b.iter(|| {
+            let cache = PointCache::new();
+            let report = tune(&req, &mut CacheEvaluator::new(&cache, 1)).expect("tune");
+            black_box(report.best)
+        })
+    });
+
+    let warm = PointCache::new();
+    tune(&req, &mut CacheEvaluator::new(&warm, 1)).expect("prime");
+    g.bench_function("tune_warm", |b| {
+        b.iter(|| {
+            let report = tune(&req, &mut CacheEvaluator::new(&warm, 1)).expect("tune");
+            black_box(report.evaluations)
+        })
+    });
+
+    g.bench_function("exhaustive_sweep", |b| {
+        b.iter(|| {
+            let cache = PointCache::new();
+            black_box(executor::run(&grid, 1, &cache).expect("sweep").len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_mix_tune(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner/mix_70_30");
+    g.sample_size(10);
+    let req = TuneRequest {
+        mix: WorkloadMix::parse("alexnet:0.7,vgg16:0.3").expect("mix"),
+        ..request()
+    };
+    g.bench_function("tune_cold", |b| {
+        b.iter(|| {
+            let cache = PointCache::new();
+            let report = tune(&req, &mut CacheEvaluator::new(&cache, 1)).expect("tune");
+            black_box(report.best)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tune_vs_exhaustive, bench_mix_tune);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use std::fmt::Write as _;
 use chain_nn_core::perf::{CycleModel, PerfModel};
 use chain_nn_core::sim::ChainSim;
 use chain_nn_core::{polyphase, trace, ChainConfig, LayerShape};
-use chain_nn_dse::{executor, export, CacheStats, Explorer, RangeSpec, SweepSpec};
+use chain_nn_dse::{
+    executor, export, CacheFile, CacheStats, Explorer, PointCache, RangeSpec, SweepSpec,
+    WorkloadMix,
+};
 use chain_nn_energy::power::PowerModel;
 use chain_nn_fixed::{Fix16, OverflowMode};
 use chain_nn_mem::traffic::{totals, TrafficModel};
@@ -16,10 +19,22 @@ use chain_nn_mem::MemoryConfig;
 use chain_nn_nets::{zoo, Network};
 use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
 use chain_nn_tensor::Tensor;
+use chain_nn_tuner::{Budget, CacheEvaluator, Objective, TuneRequest, Tuned};
 
-use crate::args::Flags;
+use crate::args::{ArgError, Flags};
 
 type CmdResult = Result<String, Box<dyn Error>>;
+
+/// An optional typed flag (absent is `None`, unparseable is an error).
+fn opt_flag<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, ArgError> {
+    match flags.get_str(name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| ArgError::BadValue {
+            flag: name.to_owned(),
+            value: v.to_owned(),
+        }),
+    }
+}
 
 /// Dispatches a full argument vector (without argv0).
 ///
@@ -45,6 +60,8 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "ablations" => Ok(chain_nn_bench::repro_ablations()),
         "nets" => Ok(nets_cmd()),
         "dse" => dse_cmd(&Flags::parse(rest)?),
+        "tune" => tune_cmd(&Flags::parse(rest)?),
+        "compact" => compact_cmd(&Flags::parse(rest)?),
         "serve" => serve_cmd(&Flags::parse(rest)?),
         "query" => query_cmd(rest),
         "perf" => perf_cmd(&Flags::parse(rest)?),
@@ -90,13 +107,30 @@ design-space exploration:
            (fps x system power x area) and the 1-vs-N-thread evaluation
            speedup (--probe off skips that measurement); writes CSV/JSON
 
+auto-tuner:
+  tune     [--mix alexnet:0.7,vgg16:0.3] [--max-mw 500] [--max-gates-k N]
+           [--min-fps N] [--objective fps,power,gates | fps:1,power:0.2]
+           [--strategy halving|hillclimb] [--seed 0] [--threads N]
+           [--cache-file FILE] [--port 7878 [--host H]]
+           [--pes/--freq/--kmem/--imem-kb/--omem-kb/--bits/--batch axes]
+           search the grid for the best configuration serving the
+           workload mix under the budget, instead of sweeping it; with
+           --port the search runs on a live daemon (sharing its cache),
+           otherwise locally (--cache-file makes local tunes
+           incremental across runs)
+  compact  --cache-file FILE
+           rewrite a cache snapshot dropping duplicate/rejected records
+           (load also compacts automatically past 50% dead records)
+
 explorer daemon:
   serve    [--port 7878] [--host 127.0.0.1] [--threads N] [--queue 16]
-           [--cache-file FILE]
+           [--max-connections 64] [--cache-cap POINTS] [--cache-file FILE]
            long-lived explorer sharing one memo cache across clients
            over a line-delimited JSON protocol; --cache-file persists
            evaluations across restarts (loaded at startup, appended on
-           completed requests and shutdown)
+           completed requests and shutdown); --max-connections answers
+           busy at the accept loop beyond the bound; --cache-cap bounds
+           the in-memory cache (FIFO eviction of flushed entries)
   query    [--port 7878] [--host 127.0.0.1] REQUEST
            send one request to a running daemon and print the reply;
            REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
@@ -273,6 +307,166 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
     Ok(s)
 }
 
+/// Renders one tune's outcome and accounting, shared by the local and
+/// daemon paths.
+fn tune_report_text(
+    req: &TuneRequest,
+    best: &Option<Tuned>,
+    evaluations: u64,
+    hits: u64,
+    misses: u64,
+    rounds: usize,
+    exhaustive: usize,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== tune: {} | budget: {} | objective: {} ==",
+        req.mix, req.budget, req.objective
+    );
+    let _ = writeln!(s, "strategy {} (seed {})", req.strategy, req.seed);
+    match best {
+        None => {
+            let _ = writeln!(s, "no feasible configuration in the search space");
+        }
+        Some(t) => {
+            let _ = writeln!(
+                s,
+                "chosen: {}{}",
+                t.point,
+                if t.admitted {
+                    "   [within budget]"
+                } else {
+                    "   [budget NOT met: least-violating feasible point]"
+                }
+            );
+            let _ = writeln!(
+                s,
+                "  {:.1} fps | {:.1} mW system ({:.1} chip + {:.1} DRAM) | {:.0}k gates | {:.1} GOPS/W",
+                t.result.fps,
+                t.result.system_mw(),
+                t.result.chip_mw,
+                t.result.dram_mw,
+                t.result.gates_k,
+                t.result.gops_per_watt()
+            );
+        }
+    }
+    let _ = writeln!(
+        s,
+        "evaluated {} of {} grid configurations ({:.1}%) in {} rounds",
+        evaluations,
+        exhaustive,
+        100.0 * evaluations as f64 / exhaustive.max(1) as f64,
+        rounds
+    );
+    let _ = writeln!(
+        s,
+        "point lookups: {} ({} hits, {} misses)",
+        hits + misses,
+        hits,
+        misses
+    );
+    s
+}
+
+fn tune_cmd(flags: &Flags) -> CmdResult {
+    if flags.get_str("net").is_some() {
+        return Err("tune takes --mix (weighted networks), not --net".into());
+    }
+    let request = TuneRequest {
+        space: sweep_from(flags)?,
+        mix: WorkloadMix::parse(flags.get_str("mix").unwrap_or("alexnet"))?,
+        budget: Budget {
+            max_system_mw: opt_flag(flags, "max-mw")?,
+            max_gates_k: opt_flag(flags, "max-gates-k")?,
+            min_fps: opt_flag(flags, "min-fps")?,
+        },
+        objective: match flags.get_str("objective") {
+            None => Objective::default(),
+            Some(text) => Objective::parse(text)?,
+        },
+        strategy: flags.get_str("strategy").unwrap_or("halving").parse()?,
+        seed: flags.get_or("seed", 0u64)?,
+    };
+
+    // With --port/--host the search runs on a live daemon (sharing its
+    // cache with every other client); otherwise locally.
+    if flags.get_str("port").is_some() || flags.get_str("host").is_some() {
+        // The local-only knobs would be silently dead on the daemon
+        // path; refuse them rather than let the user believe they took.
+        for local_only in ["cache-file", "threads"] {
+            if flags.get_str(local_only).is_some() {
+                return Err(format!(
+                    "--{local_only} applies to local tunes only; the daemon owns its \
+                     cache file and worker pool when tuning via --port"
+                )
+                .into());
+            }
+        }
+        let host = flags.get_str("host").unwrap_or("127.0.0.1");
+        let port = flags.get_or("port", 7878u16)?;
+        let mut client = chain_nn_serve::Client::connect((host, port))?;
+        return match client.tune(request.clone())? {
+            chain_nn_serve::Response::Tune(s) => Ok(tune_report_text(
+                &request,
+                &s.best,
+                s.evaluations,
+                s.cache_hits,
+                s.cache_misses,
+                s.rounds,
+                s.exhaustive_points,
+            )),
+            chain_nn_serve::Response::Busy { active, capacity } => {
+                Err(format!("daemon busy ({active}/{capacity} jobs); retry later").into())
+            }
+            chain_nn_serve::Response::Error { message } => Err(message.into()),
+            other => Err(format!("unexpected daemon reply: {other:?}").into()),
+        };
+    }
+
+    let cache = PointCache::new();
+    let cache_file = flags.get_str("cache-file").map(CacheFile::new);
+    let mut loaded = 0;
+    if let Some(file) = &cache_file {
+        loaded = file.load_into(&cache)?.loaded;
+    }
+    let threads = flags.get_or("threads", executor::default_threads())?;
+    let mut evaluator = CacheEvaluator::new(&cache, threads);
+    let report = chain_nn_tuner::tune(&request, &mut evaluator)?;
+    let mut s = tune_report_text(
+        &request,
+        &report.best,
+        report.evaluations,
+        report.cache_hits,
+        report.cache_misses,
+        report.rounds,
+        report.exhaustive_points,
+    );
+    if let Some(file) = &cache_file {
+        let appended = file.flush_dirty(&cache)?;
+        let _ = writeln!(
+            s,
+            "cache file {}: {} points loaded, {} appended",
+            file.path().display(),
+            loaded,
+            appended
+        );
+    }
+    Ok(s)
+}
+
+fn compact_cmd(flags: &Flags) -> CmdResult {
+    let path = flags
+        .get_str("cache-file")
+        .ok_or("compact needs --cache-file FILE")?;
+    let report = CacheFile::new(path).compact()?;
+    Ok(format!(
+        "compacted {path}: kept {} records, dropped {} duplicates, {} rejected, {} tail bytes\n",
+        report.kept, report.dropped_duplicates, report.dropped_rejected, report.dropped_tail_bytes
+    ))
+}
+
 fn serve_cmd(flags: &Flags) -> CmdResult {
     let config = chain_nn_serve::ServerConfig {
         host: flags.get_str("host").unwrap_or("127.0.0.1").to_owned(),
@@ -280,6 +474,8 @@ fn serve_cmd(flags: &Flags) -> CmdResult {
         threads: flags.get_or("threads", executor::default_threads())?,
         queue_capacity: flags.get_or("queue", 16usize)?,
         batch_size: chain_nn_serve::scheduler::BATCH_SIZE,
+        max_connections: flags.get_or("max-connections", 64usize)?,
+        cache_capacity: opt_flag(flags, "cache-cap")?,
         cache_file: flags.get_str("cache-file").map(std::path::PathBuf::from),
     };
     let persistent = config.cache_file.is_some();
@@ -696,6 +892,79 @@ mod tests {
             let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
             assert!(dispatch(&argv).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn tune_finds_a_point_under_budget() {
+        let out = run(&["tune", "--max-mw", "500", "--seed", "7", "--threads", "2"]);
+        assert!(out.contains("within budget"), "{out}");
+        assert!(out.contains("chosen:"), "{out}");
+        assert!(out.contains("grid configurations"), "{out}");
+        // The search must not have swept: the default grid has 244
+        // configurations and the report says how many were touched.
+        assert!(out.contains("of 244 grid configurations"), "{out}");
+    }
+
+    #[test]
+    fn tune_with_mix_and_cache_file_is_incremental() {
+        let path =
+            std::env::temp_dir().join(format!("chain_nn_cli_tune_{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let args = [
+            "tune",
+            "--mix",
+            "alexnet:0.7,vgg16:0.3",
+            "--max-mw",
+            "900",
+            "--pes",
+            "576..=1024:64",
+            "--threads",
+            "1",
+            "--cache-file",
+            path_str,
+        ];
+        let first = run(&args);
+        assert!(first.contains("70% alexnet + 30% vgg16"), "{first}");
+        assert!(first.contains("0 hits"), "{first}");
+        let second = run(&args);
+        assert!(second.contains(" 0 misses"), "{second}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tune_rejects_bad_flags() {
+        for bad in [
+            vec!["tune", "--net", "alexnet"],
+            vec!["tune", "--mix", "squeezenet"],
+            vec!["tune", "--max-mw", "cheap"],
+            vec!["tune", "--objective", "warp"],
+            vec!["tune", "--strategy", "warp"],
+            // Local-only knobs are refused (not silently ignored) on
+            // the daemon path; checked before any connection attempt.
+            vec!["tune", "--port", "7878", "--cache-file", "x.cache"],
+            vec!["tune", "--port", "7878", "--threads", "4"],
+        ] {
+            let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
+            assert!(dispatch(&argv).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn compact_rewrites_a_cache_file() {
+        let path =
+            std::env::temp_dir().join(format!("chain_nn_cli_compact_{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let file = chain_nn_dse::CacheFile::new(&path);
+        let point = chain_nn_dse::DesignPoint::paper_alexnet();
+        let outcome = chain_nn_dse::evaluate(&point).unwrap();
+        file.append(&[(point.clone(), outcome.clone()), (point, outcome)])
+            .unwrap();
+        let out = run(&["compact", "--cache-file", path.to_str().unwrap()]);
+        assert!(out.contains("kept 1 records"), "{out}");
+        assert!(out.contains("dropped 1 duplicates"), "{out}");
+        std::fs::remove_file(&path).ok();
+        assert!(dispatch(&["compact".to_owned()]).is_err());
     }
 
     #[test]

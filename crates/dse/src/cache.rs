@@ -16,8 +16,18 @@
 //! persistence layer ([`crate::persist`]) can flush exactly the entries
 //! added since the last flush; [`PointCache::insert_loaded`] populates
 //! the table without journaling, for entries that already live on disk.
+//!
+//! The cache is grow-only by default — correct for sweeps and fine for
+//! grids up to ~10⁷ points, but a month-long daemon lifetime wants a
+//! ceiling. [`PointCache::bounded`] adds an **optional capacity bound**
+//! with shard-local FIFO eviction: when a shard exceeds its share of
+//! the bound, the oldest *clean* entry (one not sitting in the dirty
+//! journal, i.e. already flushed to disk or loaded from it) is dropped.
+//! Dirty entries are never evicted — an unflushed evaluation must
+//! reach the snapshot file first — so with persistence attached an
+//! evicted point is only ever re-*loaded* or re-evaluated, never lost.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -58,6 +68,45 @@ struct Shard {
     // collisions degrade to a linear probe, never a wrong answer.
     map: HashMap<u64, Vec<(DesignPoint, PointOutcome)>>,
     dirty: Vec<(DesignPoint, PointOutcome)>,
+    // Content hashes of the journaled entries, mirrored from `dirty`
+    // so the eviction scan is O(1) per candidate instead of a nested
+    // point-equality walk under the shard lock. A hash collision only
+    // makes a clean entry *look* dirty — eviction skips it, which is
+    // conservative, never wrong.
+    dirty_hashes: HashSet<u64>,
+    // Insertion order (FIFO) for the optional capacity bound; one
+    // entry per stored point, removed on eviction.
+    order: VecDeque<(u64, DesignPoint)>,
+    // Points stored in this shard (map values summed), kept O(1).
+    count: usize,
+}
+
+impl Shard {
+    /// Evicts clean entries FIFO until the shard holds at most
+    /// `per_shard_cap` points (or only dirty entries remain). Returns
+    /// how many entries were dropped.
+    fn evict_to(&mut self, per_shard_cap: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.count > per_shard_cap {
+            let Some(pos) = self
+                .order
+                .iter()
+                .position(|(key, _)| !self.dirty_hashes.contains(key))
+            else {
+                break; // everything left is unflushed; never drop it
+            };
+            let (key, point) = self.order.remove(pos).expect("position is in range");
+            if let Some(bucket) = self.map.get_mut(&key) {
+                bucket.retain(|(p, _)| *p != point);
+                if bucket.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+            self.count -= 1;
+            evicted += 1;
+        }
+        evicted
+    }
 }
 
 /// Thread-safe memo table from design points to evaluation outcomes.
@@ -66,6 +115,10 @@ pub struct PointCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Per-shard point bound derived from the global capacity; `None`
+    /// means grow-only (the default).
+    per_shard_cap: Option<usize>,
 }
 
 impl Default for PointCache {
@@ -74,14 +127,33 @@ impl Default for PointCache {
             shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            per_shard_cap: None,
         }
     }
 }
 
 impl PointCache {
-    /// An empty cache.
+    /// An empty, unbounded (grow-only) cache.
     pub fn new() -> Self {
         PointCache::default()
+    }
+
+    /// An empty cache bounded to roughly `capacity` points. The bound
+    /// is enforced per shard (`capacity / 16`, rounded up), so the
+    /// global count can overshoot by at most one point per shard when
+    /// the hash spread is uneven. A zero capacity is treated as 1 per
+    /// shard — an unbounded cache is spelled [`PointCache::new`].
+    pub fn bounded(capacity: usize) -> Self {
+        PointCache {
+            per_shard_cap: Some(capacity.div_ceil(SHARD_COUNT).max(1)),
+            ..PointCache::default()
+        }
+    }
+
+    /// Entries dropped by the capacity bound so far (0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// The shard holding `key`. The FNV low bits absorb the trailing
@@ -107,16 +179,27 @@ impl PointCache {
         found
     }
 
-    fn insert_impl(&self, point: &DesignPoint, outcome: PointOutcome, journal: bool) {
+    fn insert_impl(&self, point: &DesignPoint, outcome: PointOutcome, journal: bool) -> bool {
         let key = point.content_hash();
         let mut shard = self.shard(key).lock().expect("cache lock poisoned");
         let bucket = shard.map.entry(key).or_default();
-        if !bucket.iter().any(|(p, _)| p == point) {
-            bucket.push((point.clone(), outcome.clone()));
-            if journal {
-                shard.dirty.push((point.clone(), outcome));
+        if bucket.iter().any(|(p, _)| p == point) {
+            return false;
+        }
+        bucket.push((point.clone(), outcome.clone()));
+        shard.order.push_back((key, point.clone()));
+        shard.count += 1;
+        if journal {
+            shard.dirty.push((point.clone(), outcome));
+            shard.dirty_hashes.insert(key);
+        }
+        if let Some(cap) = self.per_shard_cap {
+            let evicted = shard.evict_to(cap);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
+        true
     }
 
     /// Stores an outcome (idempotent; a racing duplicate insert keeps
@@ -128,9 +211,11 @@ impl PointCache {
 
     /// Stores an outcome that already exists on disk: same semantics as
     /// [`PointCache::insert`] but exempt from the dirty journal, so a
-    /// persistence layer does not rewrite what it just loaded.
-    pub fn insert_loaded(&self, point: &DesignPoint, outcome: PointOutcome) {
-        self.insert_impl(point, outcome, false);
+    /// persistence layer does not rewrite what it just loaded. Returns
+    /// whether the point was new — `false` flags an on-disk duplicate,
+    /// which the loader counts toward the compaction threshold.
+    pub fn insert_loaded(&self, point: &DesignPoint, outcome: PointOutcome) -> bool {
+        self.insert_impl(point, outcome, false)
     }
 
     /// Drains the journal of entries inserted since the previous call
@@ -140,7 +225,9 @@ impl PointCache {
     pub fn take_dirty(&self) -> Vec<(DesignPoint, PointOutcome)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.append(&mut shard.lock().expect("cache lock poisoned").dirty);
+            let mut shard = shard.lock().expect("cache lock poisoned");
+            out.append(&mut shard.dirty);
+            shard.dirty_hashes.clear();
         }
         out
     }
@@ -153,11 +240,9 @@ impl PointCache {
     pub fn restore_dirty(&self, entries: Vec<(DesignPoint, PointOutcome)>) {
         for (point, outcome) in entries {
             let key = point.content_hash();
-            self.shard(key)
-                .lock()
-                .expect("cache lock poisoned")
-                .dirty
-                .push((point, outcome));
+            let mut shard = self.shard(key).lock().expect("cache lock poisoned");
+            shard.dirty.push((point, outcome));
+            shard.dirty_hashes.insert(key);
         }
     }
 
@@ -181,14 +266,7 @@ impl PointCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("cache lock poisoned")
-                    .map
-                    .values()
-                    .map(Vec::len)
-                    .sum::<usize>()
-            })
+            .map(|s| s.lock().expect("cache lock poisoned").count)
             .sum()
     }
 
@@ -303,6 +381,83 @@ mod tests {
         // Loaded + inserted entries are all retrievable regardless.
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.get(&a), Some(outcome("loaded")));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_clean_entries_fifo() {
+        // Capacity 16 = 1 per shard: any shard receiving a second clean
+        // entry must drop its oldest one.
+        let cache = PointCache::bounded(SHARD_COUNT);
+        let base = DesignPoint::paper_alexnet();
+        let points: Vec<DesignPoint> = (0..64)
+            .map(|i| DesignPoint {
+                pes: 121 + i,
+                ..base.clone()
+            })
+            .collect();
+        for p in &points {
+            cache.insert_loaded(p, outcome("clean"));
+        }
+        assert!(cache.len() <= SHARD_COUNT, "len {}", cache.len());
+        assert_eq!(cache.evictions(), 64 - cache.len() as u64);
+        // Within each shard the survivor is the newest entry (FIFO):
+        // every cached point must have no same-shard successor.
+        for (i, p) in points.iter().enumerate() {
+            if cache.get(p).is_some() {
+                let shard = (p.content_hash() >> 60) as usize % SHARD_COUNT;
+                let newer_in_shard = points[i + 1..]
+                    .iter()
+                    .any(|q| (q.content_hash() >> 60) as usize % SHARD_COUNT == shard);
+                assert!(!newer_in_shard, "evicted out of FIFO order at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cache_never_evicts_dirty_entries() {
+        let cache = PointCache::bounded(SHARD_COUNT);
+        let base = DesignPoint::paper_alexnet();
+        let points: Vec<DesignPoint> = (0..48)
+            .map(|i| DesignPoint {
+                pes: 121 + i,
+                ..base.clone()
+            })
+            .collect();
+        // All journaled (unflushed): nothing may be dropped despite the
+        // bound being exceeded threefold.
+        for p in &points {
+            cache.insert(p, outcome("dirty"));
+        }
+        assert_eq!(cache.len(), points.len());
+        assert_eq!(cache.evictions(), 0);
+        // Flushing makes them clean; subsequent inserts shrink the
+        // cache back toward the bound, shard by shard.
+        let flushed = cache.take_dirty();
+        assert_eq!(flushed.len(), points.len());
+        for i in 0..16 {
+            let extra = DesignPoint {
+                pes: 2048 + i,
+                ..base.clone()
+            };
+            cache.insert_loaded(&extra, outcome("extra"));
+        }
+        assert!(cache.evictions() > 0);
+        assert!(cache.len() < points.len() + 16);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = PointCache::new();
+        let base = DesignPoint::paper_alexnet();
+        for i in 0..256 {
+            let p = DesignPoint {
+                pes: 121 + i,
+                ..base.clone()
+            };
+            cache.insert_loaded(&p, outcome("x"));
+        }
+        assert_eq!(cache.len(), 256);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod cache;
 pub mod eval;
 pub mod executor;
 pub mod export;
+pub mod mix;
 pub mod pareto;
 pub mod persist;
 pub mod spec;
@@ -58,7 +59,8 @@ use chain_nn_nets::{zoo, Network};
 
 pub use cache::{CacheStats, PointCache};
 pub use eval::{evaluate, PointOutcome, PointResult};
-pub use persist::{CacheFile, LoadReport};
+pub use mix::{evaluate_mix, MixEntry, MixOutcome, MixResult, WorkloadMix};
+pub use persist::{CacheFile, CompactReport, LoadReport};
 pub use spec::{DesignPoint, RangeSpec, SweepSpec};
 
 /// Errors produced by the DSE engine.

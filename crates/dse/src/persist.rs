@@ -19,6 +19,13 @@
 //!   behind an unreadable tail). A truncated tail — the expected
 //!   result of a crash mid-append — therefore costs only the torn
 //!   record.
+//! * **Compactable.** Append-only means superseded records accrete —
+//!   a bounded cache ([`PointCache::bounded`]) that evicts a flushed
+//!   point and later re-evaluates it appends a second record for the
+//!   same point. [`CacheFile::compact`] rewrites the snapshot keeping
+//!   only each point's first record (the one load semantics honor);
+//!   [`CacheFile::load_into`] runs it automatically when more than
+//!   half the records on disk are dead.
 //!
 //! The format is deliberately dependency-free binary, little-endian
 //! throughout, versioned by the magic line:
@@ -54,12 +61,38 @@ const MAX_PAYLOAD: u32 = 1 << 16;
 pub struct LoadReport {
     /// Records decoded, verified and inserted.
     pub loaded: usize,
+    /// Valid records that repeated an earlier point (first wins; the
+    /// repeat is dead weight on disk).
+    pub duplicates: usize,
     /// Records whose checksum passed but whose content hash did not
     /// match the decoded point (skipped individually).
     pub rejected: usize,
     /// Bytes abandoned after the first framing/checksum failure (0 for
     /// a clean file).
     pub corrupt_tail_bytes: u64,
+    /// Whether the loader compacted the file because dead records
+    /// (duplicates + rejected) exceeded half of it.
+    pub compacted: bool,
+}
+
+impl LoadReport {
+    /// Records that occupy disk without contributing cache state.
+    pub fn dead(&self) -> usize {
+        self.duplicates + self.rejected
+    }
+}
+
+/// What a [`CacheFile::compact`] rewrite dropped and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Live records written back (first occurrence of each point).
+    pub kept: usize,
+    /// Later records repeating an already-kept point.
+    pub dropped_duplicates: usize,
+    /// Records failing the decode or content-hash cross-check.
+    pub dropped_rejected: usize,
+    /// Unreadable tail bytes discarded (framing/checksum failure).
+    pub dropped_tail_bytes: u64,
 }
 
 /// Handle to one on-disk cache snapshot (the file may not exist yet).
@@ -240,8 +273,11 @@ impl CacheFile {
             let (payload, next) = frame;
             match decode_payload(payload) {
                 Some((point, outcome)) => {
-                    cache.insert_loaded(&point, outcome);
-                    report.loaded += 1;
+                    if cache.insert_loaded(&point, outcome) {
+                        report.loaded += 1;
+                    } else {
+                        report.duplicates += 1;
+                    }
                 }
                 None => report.rejected += 1,
             }
@@ -256,6 +292,93 @@ impl CacheFile {
                 .open(&self.path)?
                 .set_len(at as u64)?;
         }
+        // Append-only files accrete dead weight (duplicates from
+        // evict-then-reevaluate cycles, hash-rejected records). Once
+        // the majority of the file is dead, rewrite it in place — the
+        // loader already owns the file at this point in a daemon's
+        // life, and the cache contents are unaffected.
+        let total = report.loaded + report.dead();
+        if total > 0 && report.dead() * 2 > total {
+            self.compact()?;
+            report.compacted = true;
+        }
+        Ok(report)
+    }
+
+    /// Rewrites the snapshot keeping only the **first** record of each
+    /// distinct point (matching load semantics, where the first record
+    /// wins) and dropping rejected records and any unreadable tail.
+    /// The rewrite goes through a sibling temp file and an atomic
+    /// rename, so a crash mid-compaction leaves the original intact.
+    ///
+    /// Callers must own the file: compacting a snapshot a live daemon
+    /// is appending to would lose the daemon's writes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and a present file whose magic line is foreign.
+    /// A missing file is an empty snapshot: nothing to do.
+    pub fn compact(&self) -> std::io::Result<CompactReport> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(CompactReport::default()),
+            Err(e) => return Err(e),
+        };
+        if bytes.is_empty() {
+            return Ok(CompactReport::default());
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("{} is not a chain-nn dse cache file", self.path.display()),
+            ));
+        }
+        let mut report = CompactReport::default();
+        let mut seen: std::collections::HashMap<u64, Vec<DesignPoint>> =
+            std::collections::HashMap::new();
+        let mut live: Vec<(DesignPoint, PointOutcome)> = Vec::new();
+        let mut at = MAGIC.len();
+        while at < bytes.len() {
+            let Some((payload, next)) = read_frame(&bytes, at) else {
+                report.dropped_tail_bytes = (bytes.len() - at) as u64;
+                break;
+            };
+            match decode_payload(payload) {
+                Some((point, outcome)) => {
+                    let bucket = seen.entry(point.content_hash()).or_default();
+                    if bucket.contains(&point) {
+                        report.dropped_duplicates += 1;
+                    } else {
+                        bucket.push(point.clone());
+                        live.push((point, outcome));
+                        report.kept += 1;
+                    }
+                }
+                None => report.dropped_rejected += 1,
+            }
+            at = next;
+        }
+
+        let tmp_path = {
+            let mut p = self.path.clone().into_os_string();
+            p.push(".compact-tmp");
+            PathBuf::from(p)
+        };
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(&mut tmp);
+            w.write_all(MAGIC)?;
+            for (point, outcome) in &live {
+                let payload = encode_payload(point, outcome);
+                w.write_all(&(payload.len() as u32).to_le_bytes())?;
+                w.write_all(&fnv1a(&payload).to_le_bytes())?;
+                w.write_all(&payload)?;
+            }
+            w.flush()?;
+            drop(w);
+            tmp.sync_data()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
         Ok(report)
     }
 
@@ -385,8 +508,7 @@ mod tests {
             report,
             LoadReport {
                 loaded: 3,
-                rejected: 0,
-                corrupt_tail_bytes: 0
+                ..LoadReport::default()
             }
         );
         for (p, o) in &entries {
@@ -496,6 +618,94 @@ mod tests {
         assert_eq!(good.load_into(&reloaded).unwrap().loaded, 2);
         assert_eq!(reloaded.get(&pts[0]), Some(feasible(1.0)));
         std::fs::remove_file(&good_path).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_keeps_first_records() {
+        let path = temp_path("compact");
+        let file = CacheFile::new(&path);
+        let pts = points(3);
+        // Three live records, then the first two again (superseded
+        // repeats, as an evict-then-reevaluate daemon produces).
+        file.append(&[
+            (pts[0].clone(), feasible(1.0)),
+            (pts[1].clone(), feasible(2.0)),
+            (pts[2].clone(), PointOutcome::Infeasible("x".into())),
+        ])
+        .unwrap();
+        file.append(&[
+            (pts[0].clone(), feasible(91.0)),
+            (pts[1].clone(), feasible(92.0)),
+        ])
+        .unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        let report = file.compact().unwrap();
+        assert_eq!(
+            report,
+            CompactReport {
+                kept: 3,
+                dropped_duplicates: 2,
+                ..CompactReport::default()
+            }
+        );
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+
+        // Load semantics are unchanged: the FIRST record of each point
+        // survived, and the compacted file is clean.
+        let cache = PointCache::new();
+        let load = file.load_into(&cache).unwrap();
+        assert_eq!(load.loaded, 3);
+        assert_eq!(load.dead(), 0);
+        assert!(!load.compacted);
+        assert_eq!(cache.get(&pts[0]), Some(feasible(1.0)));
+        assert_eq!(cache.get(&pts[1]), Some(feasible(2.0)));
+        // Idempotent: compacting a compacted file drops nothing.
+        let again = file.compact().unwrap();
+        assert_eq!(again.kept, 3);
+        assert_eq!(again.dropped_duplicates, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_auto_compacts_when_most_records_are_dead() {
+        let path = temp_path("autocompact");
+        let file = CacheFile::new(&path);
+        let pts = points(2);
+        let entries = vec![
+            (pts[0].clone(), feasible(1.0)),
+            (pts[1].clone(), feasible(2.0)),
+        ];
+        // 2 live + 4 duplicate records: 66 % dead, over the 50 %
+        // threshold.
+        file.append(&entries).unwrap();
+        file.append(&entries).unwrap();
+        file.append(&entries).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        let cache = PointCache::new();
+        let report = file.load_into(&cache).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.duplicates, 4);
+        assert!(report.compacted, "4/6 dead must trigger compaction");
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+
+        // Exactly-half dead does NOT trigger (threshold is strict).
+        file.append(&entries).unwrap();
+        let report = file.load_into(&PointCache::new()).unwrap();
+        assert_eq!(report.duplicates, 2);
+        assert!(!report.compacted);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_missing_and_foreign_files() {
+        let file = CacheFile::new(temp_path("compact_missing"));
+        assert_eq!(file.compact().unwrap(), CompactReport::default());
+        let path = temp_path("compact_foreign");
+        std::fs::write(&path, b"someone else's data\n").unwrap();
+        assert!(CacheFile::new(&path).compact().is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -129,6 +129,15 @@ impl Client {
         self.request(&Request::Sweep(spec))
     }
 
+    /// Runs a budget-constrained tune on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn tune(&mut self, request: chain_nn_tuner::TuneRequest) -> Result<Response, ClientError> {
+        self.request(&Request::Tune(Box::new(request)))
+    }
+
     /// Queries the frontier of everything the daemon has cached.
     ///
     /// # Errors

@@ -9,12 +9,15 @@
 //! successive processes) pay for each design point once, ever.
 //!
 //! * [`protocol`] — typed requests/responses and their wire encoding
-//!   (`eval`, `sweep`, `frontier`, `stats`, `shutdown`), shared by
-//!   daemon and client so the two cannot drift.
+//!   (`eval`, `sweep`, `tune`, `frontier`, `stats`, `shutdown`),
+//!   shared by daemon and client so the two cannot drift.
 //! * [`scheduler`] — the multi-client generalization of the DSE
 //!   executor: per-request point lists claimed in fixed-size batches,
 //!   round-robin across active requests, bounded admission with an
-//!   explicit `busy` reply as backpressure.
+//!   explicit `busy` reply as backpressure. Iterative requests (the
+//!   auto-tuner) hold one admission slot across their rounds
+//!   ([`scheduler::AdmissionSlot`]) while each round interleaves with
+//!   everyone else's sweeps.
 //! * [`server`] — `std::net::TcpListener` accept loop, session threads,
 //!   the worker pool, cache-file replay at startup and append-flush on
 //!   completed requests and shutdown (std-only: the build environment

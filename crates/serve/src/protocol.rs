@@ -12,10 +12,20 @@
 //! ```text
 //! {"type":"eval","point":{...}}          evaluate one design point
 //! {"type":"sweep","spec":{...}}          evaluate a SweepSpec grid
+//! {"type":"tune","space":{...},"mix":{...},"budget":{...},...}
+//!                                        budget-constrained search
 //! {"type":"frontier","dims":2|3}         Pareto frontier of the whole cache
 //! {"type":"stats"}                       cache/server counters
 //! {"type":"shutdown"}                    drain, flush, exit
 //! ```
+//!
+//! A `tune` request's fields are all optional: `space` defaults to the
+//! default exploration grid, `mix` (an object of `net: weight` pairs,
+//! or a `"net:w,net:w"` string) to single-AlexNet, `budget`
+//! (`max_system_mw` / `max_gates_k` / `min_fps`) to unconstrained,
+//! `objective` (a metric name, an array of names for lexicographic
+//! order, or `{"scalarized":{name: weight}}`) to
+//! fps-then-power-then-gates, `strategy` to `"halving"`, `seed` to 0.
 //!
 //! A `point` object may omit any field, which then defaults to the
 //! paper's AlexNet configuration; a `spec` object's axes default to the
@@ -26,7 +36,10 @@
 
 use std::fmt;
 
-use chain_nn_dse::{DesignPoint, PointOutcome, PointResult, SweepSpec};
+use chain_nn_dse::{
+    DesignPoint, MixEntry, MixResult, PointOutcome, PointResult, SweepSpec, WorkloadMix,
+};
+use chain_nn_tuner::{Budget, Metric, Objective, StrategyKind, TuneRequest, Tuned};
 
 use crate::json::Json;
 
@@ -53,6 +66,9 @@ pub enum Request {
     Eval(DesignPoint),
     /// Evaluate a whole sweep grid.
     Sweep(SweepSpec),
+    /// Budget-constrained search of a grid for a workload mix (boxed:
+    /// a tune request carries a full spec plus mix/budget/objective).
+    Tune(Box<TuneRequest>),
     /// The Pareto frontier over everything the daemon has cached.
     Frontier {
         /// 2 (fps × power) or 3 (fps × power × area).
@@ -92,6 +108,27 @@ pub struct FrontierEntry {
     pub result: PointResult,
 }
 
+/// What one tune did: the winner (if any configuration was feasible)
+/// plus the evaluation-count accounting proving search ≪ sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneSummary {
+    /// The chosen configuration, its aggregated workload metrics and
+    /// whether it satisfies the budget; `None` when every visited
+    /// configuration was model-infeasible.
+    pub best: Option<Tuned>,
+    /// Distinct configurations the search evaluated.
+    pub evaluations: u64,
+    /// Underlying `(configuration, network)` lookups answered from the
+    /// shared cache.
+    pub cache_hits: u64,
+    /// Underlying lookups that ran the model stack.
+    pub cache_misses: u64,
+    /// Evaluator round trips.
+    pub rounds: usize,
+    /// Configurations an exhaustive sweep of the space would evaluate.
+    pub exhaustive_points: usize,
+}
+
 /// Daemon-side counters reported by [`Request::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerStats {
@@ -109,6 +146,10 @@ pub struct ServerStats {
     pub active_jobs: usize,
     /// Admission bound ([`Response::Busy`] beyond it).
     pub queue_capacity: usize,
+    /// Sessions currently open.
+    pub open_connections: usize,
+    /// Connection bound (`busy` at the accept loop beyond it).
+    pub max_connections: usize,
     /// Worker threads evaluating points.
     pub threads: usize,
     /// Entries replayed from the cache file at startup.
@@ -129,6 +170,8 @@ pub enum Response {
     },
     /// Sweep summary.
     Sweep(SweepSummary),
+    /// Tune summary.
+    Tune(TuneSummary),
     /// Frontier of the whole cache, canonically ordered.
     Frontier {
         /// Objective dimensionality the frontier was taken in.
@@ -200,6 +243,62 @@ fn spec_to_json(s: &SweepSpec) -> Json {
     ])
 }
 
+fn mix_to_json(mix: &WorkloadMix) -> Json {
+    Json::Obj(
+        mix.entries()
+            .iter()
+            .map(|e| (e.net.clone(), num(e.weight)))
+            .collect(),
+    )
+}
+
+fn budget_to_json(b: &Budget) -> Json {
+    let mut fields = Vec::new();
+    if let Some(v) = b.max_system_mw {
+        fields.push(("max_system_mw".to_owned(), num(v)));
+    }
+    if let Some(v) = b.max_gates_k {
+        fields.push(("max_gates_k".to_owned(), num(v)));
+    }
+    if let Some(v) = b.min_fps {
+        fields.push(("min_fps".to_owned(), num(v)));
+    }
+    Json::Obj(fields)
+}
+
+fn objective_to_json(o: &Objective) -> Json {
+    match o {
+        Objective::Lexicographic(metrics) => Json::Arr(
+            metrics
+                .iter()
+                .map(|m| Json::Str(m.name().to_owned()))
+                .collect(),
+        ),
+        Objective::Scalarized(terms) => Json::Obj(vec![(
+            "scalarized".to_owned(),
+            Json::Obj(
+                terms
+                    .iter()
+                    .map(|(m, w)| (m.name().to_owned(), num(*w)))
+                    .collect(),
+            ),
+        )]),
+    }
+}
+
+fn mix_result_fields(r: &MixResult) -> Vec<(String, Json)> {
+    vec![
+        ("fps".into(), num(r.fps)),
+        ("chip_mw".into(), num(r.chip_mw)),
+        ("dram_mw".into(), num(r.dram_mw)),
+        ("system_mw".into(), num(r.system_mw())),
+        ("peak_gops".into(), num(r.peak_gops)),
+        ("gops_per_watt".into(), num(r.gops_per_watt())),
+        ("gates_k".into(), num(r.gates_k)),
+        ("sram_kb".into(), num(r.sram_kb)),
+    ]
+}
+
 fn result_fields(r: &PointResult) -> Vec<(String, Json)> {
     vec![
         ("status".into(), Json::Str("ok".into())),
@@ -238,6 +337,18 @@ impl Request {
                 ("type".into(), Json::Str("sweep".into())),
                 ("spec".into(), spec_to_json(spec)),
             ]),
+            Request::Tune(req) => Json::Obj(vec![
+                ("type".into(), Json::Str("tune".into())),
+                ("space".into(), spec_to_json(&req.space)),
+                ("mix".into(), mix_to_json(&req.mix)),
+                ("budget".into(), budget_to_json(&req.budget)),
+                ("objective".into(), objective_to_json(&req.objective)),
+                ("strategy".into(), Json::Str(req.strategy.name().into())),
+                // Seeds ride the JSON number; above 2^53 they would
+                // lose precision, which the decoder rejects rather than
+                // silently aliasing.
+                ("seed".into(), unum(req.seed)),
+            ]),
             Request::Frontier { dims } => Json::Obj(vec![
                 ("type".into(), Json::Str("frontier".into())),
                 ("dims".into(), unum(u64::from(*dims))),
@@ -275,6 +386,26 @@ impl Response {
                     Json::Arr(s.frontier_3d.iter().map(|&i| unum(i as u64)).collect()),
                 ),
             ]),
+            Response::Tune(s) => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("tune".into())),
+                    ("found".into(), Json::Bool(s.best.is_some())),
+                ];
+                if let Some(t) = &s.best {
+                    fields.push(("admitted".into(), Json::Bool(t.admitted)));
+                    fields.push(("point".into(), point_to_json(&t.point)));
+                    fields.extend(mix_result_fields(&t.result));
+                }
+                fields.extend([
+                    ("evaluations".into(), unum(s.evaluations)),
+                    ("cache_hits".into(), unum(s.cache_hits)),
+                    ("cache_misses".into(), unum(s.cache_misses)),
+                    ("rounds".into(), unum(s.rounds as u64)),
+                    ("exhaustive_points".into(), unum(s.exhaustive_points as u64)),
+                ]);
+                Json::Obj(fields)
+            }
             Response::Frontier { dims, entries } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("type".into(), Json::Str("frontier".into())),
@@ -303,6 +434,8 @@ impl Response {
                 ("requests".into(), unum(st.requests)),
                 ("active_jobs".into(), unum(st.active_jobs as u64)),
                 ("queue_capacity".into(), unum(st.queue_capacity as u64)),
+                ("open_connections".into(), unum(st.open_connections as u64)),
+                ("max_connections".into(), unum(st.max_connections as u64)),
                 ("threads".into(), unum(st.threads as u64)),
                 ("loaded_from_disk".into(), unum(st.loaded_from_disk as u64)),
                 ("persistent".into(), Json::Bool(st.persistent)),
@@ -447,6 +580,138 @@ fn spec_from_json(v: &Json) -> Result<SweepSpec, ProtocolError> {
     Ok(spec)
 }
 
+fn mix_from_json(v: &Json) -> Result<WorkloadMix, ProtocolError> {
+    let mix = match v {
+        Json::Str(text) => WorkloadMix::parse(text),
+        Json::Obj(entries) => WorkloadMix::new(
+            entries
+                .iter()
+                .map(|(net, w)| {
+                    Ok(MixEntry {
+                        net: net.clone(),
+                        weight: w.as_f64().ok_or_else(|| {
+                            bad(format!("mix weight for '{net}' must be a number"))
+                        })?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ProtocolError>>()?,
+        ),
+        _ => {
+            return Err(bad(
+                "'mix' must be an object of net: weight pairs or a string",
+            ))
+        }
+    };
+    mix.map_err(|e| bad(e.to_string()))
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, ProtocolError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(item) => item
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("'{key}' must be a number"))),
+    }
+}
+
+fn budget_from_json(v: &Json) -> Result<Budget, ProtocolError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("'budget' must be an object"));
+    }
+    Ok(Budget {
+        max_system_mw: opt_f64(v, "max_system_mw")?,
+        max_gates_k: opt_f64(v, "max_gates_k")?,
+        min_fps: opt_f64(v, "min_fps")?,
+    })
+}
+
+fn metric_from_json(v: &Json) -> Result<Metric, ProtocolError> {
+    v.as_str()
+        .ok_or_else(|| bad("objective metrics must be strings"))?
+        .parse::<Metric>()
+        .map_err(ProtocolError)
+}
+
+fn objective_from_json(v: &Json) -> Result<Objective, ProtocolError> {
+    let objective = match v {
+        Json::Str(text) => return Objective::parse(text).map_err(ProtocolError),
+        Json::Arr(items) => Objective::Lexicographic(
+            items
+                .iter()
+                .map(metric_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Json::Obj(_) => {
+            let Some(Json::Obj(terms)) = v.get("scalarized") else {
+                return Err(bad("objective object needs a 'scalarized' object"));
+            };
+            Objective::Scalarized(
+                terms
+                    .iter()
+                    .map(|(name, w)| {
+                        Ok((
+                            name.parse::<Metric>().map_err(ProtocolError)?,
+                            w.as_f64().ok_or_else(|| {
+                                bad(format!("objective weight for '{name}' must be a number"))
+                            })?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, ProtocolError>>()?,
+            )
+        }
+        _ => return Err(bad("'objective' must be a string, array or object")),
+    };
+    objective.validate().map_err(ProtocolError)?;
+    Ok(objective)
+}
+
+fn tune_request_from_json(v: &Json) -> Result<TuneRequest, ProtocolError> {
+    let mut req = TuneRequest::default();
+    if let Some(space) = v.get("space") {
+        req.space = spec_from_json(space)?;
+    }
+    if let Some(mix) = v.get("mix") {
+        req.mix = mix_from_json(mix)?;
+    }
+    if let Some(budget) = v.get("budget") {
+        req.budget = budget_from_json(budget)?;
+    }
+    if let Some(objective) = v.get("objective") {
+        req.objective = objective_from_json(objective)?;
+    }
+    if let Some(strategy) = v.get("strategy") {
+        req.strategy = strategy
+            .as_str()
+            .ok_or_else(|| bad("'strategy' must be a string"))?
+            .parse::<StrategyKind>()
+            .map_err(ProtocolError)?;
+    }
+    req.seed = match v.get("seed") {
+        None => 0,
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| bad("'seed' must be a non-negative integer (below 2^53)"))?,
+    };
+    Ok(req)
+}
+
+fn mix_result_from_json(v: &Json) -> Result<MixResult, ProtocolError> {
+    let f = |key: &str| -> Result<f64, ProtocolError> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("tune result field '{key}' missing")))
+    };
+    Ok(MixResult {
+        fps: f("fps")?,
+        chip_mw: f("chip_mw")?,
+        dram_mw: f("dram_mw")?,
+        peak_gops: f("peak_gops")?,
+        gates_k: f("gates_k")?,
+        sram_kb: f("sram_kb")?,
+    })
+}
+
 fn result_from_json(v: &Json) -> Result<PointResult, ProtocolError> {
     let f = |key: &str| -> Result<f64, ProtocolError> {
         v.get(key)
@@ -501,6 +766,7 @@ impl Request {
                     .ok_or_else(|| bad("sweep request needs a 'spec' object"))?;
                 Ok(Request::Sweep(spec_from_json(spec)?))
             }
+            "tune" => Ok(Request::Tune(Box::new(tune_request_from_json(&v)?))),
             "frontier" => {
                 let dims = get_usize(&v, "dims", 3)?;
                 if !(dims == 2 || dims == 3) {
@@ -576,6 +842,30 @@ impl Response {
                     frontier_3d,
                 }))
             }
+            "tune" => {
+                let best = match v.get("found") {
+                    Some(Json::Bool(true)) => {
+                        let point = v
+                            .get("point")
+                            .ok_or_else(|| bad("tune response needs 'point' when found"))?;
+                        Some(Tuned {
+                            point: point_from_json(point)?,
+                            result: mix_result_from_json(&v)?,
+                            admitted: matches!(v.get("admitted"), Some(Json::Bool(true))),
+                        })
+                    }
+                    Some(Json::Bool(false)) => None,
+                    _ => return Err(bad("tune response needs a boolean 'found'")),
+                };
+                Ok(Response::Tune(TuneSummary {
+                    best,
+                    evaluations: get_usize(&v, "evaluations", 0)? as u64,
+                    cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
+                    cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
+                    rounds: get_usize(&v, "rounds", 0)?,
+                    exhaustive_points: get_usize(&v, "exhaustive_points", 0)?,
+                }))
+            }
             "frontier" => {
                 let dims = get_usize(&v, "dims", 3)? as u8;
                 let entries = v
@@ -603,6 +893,8 @@ impl Response {
                 requests: get_usize(&v, "requests", 0)? as u64,
                 active_jobs: get_usize(&v, "active_jobs", 0)?,
                 queue_capacity: get_usize(&v, "queue_capacity", 0)?,
+                open_connections: get_usize(&v, "open_connections", 0)?,
+                max_connections: get_usize(&v, "max_connections", 0)?,
                 threads: get_usize(&v, "threads", 0)?,
                 loaded_from_disk: get_usize(&v, "loaded_from_disk", 0)?,
                 persistent: matches!(v.get("persistent"), Some(Json::Bool(true))),
@@ -680,6 +972,8 @@ mod tests {
                 requests: 42,
                 active_jobs: 1,
                 queue_capacity: 16,
+                open_connections: 3,
+                max_connections: 64,
                 threads: 4,
                 loaded_from_disk: 6,
                 persistent: true,
@@ -697,6 +991,96 @@ mod tests {
             let line = resp.encode();
             assert!(!line.contains('\n'));
             assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn tune_requests_round_trip() {
+        let requests = vec![
+            Request::Tune(Box::default()),
+            Request::Tune(Box::new(TuneRequest {
+                mix: WorkloadMix::parse("alexnet:0.7,vgg16:0.3").unwrap(),
+                budget: Budget {
+                    max_system_mw: Some(500.0),
+                    min_fps: Some(30.0),
+                    ..Budget::default()
+                },
+                objective: Objective::Lexicographic(vec![Metric::Fps, Metric::SystemMw]),
+                strategy: StrategyKind::HillClimb,
+                seed: 42,
+                ..TuneRequest::default()
+            })),
+            Request::Tune(Box::new(TuneRequest {
+                objective: Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::GatesK, 0.25)]),
+                ..TuneRequest::default()
+            })),
+        ];
+        for req in requests {
+            let line = req.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn tune_request_fields_all_default() {
+        let req = Request::decode(r#"{"type":"tune"}"#).unwrap();
+        assert_eq!(req, Request::Tune(Box::default()));
+        // The mix also accepts the CLI string form.
+        let req = Request::decode(
+            r#"{"type":"tune","mix":"vgg16:2,alexnet:1","budget":{"max_system_mw":500}}"#,
+        )
+        .unwrap();
+        let Request::Tune(tune) = req else {
+            panic!("not a tune")
+        };
+        assert_eq!(tune.mix.primary(), "vgg16");
+        assert_eq!(tune.budget.max_system_mw, Some(500.0));
+        assert_eq!(tune.budget.max_gates_k, None);
+    }
+
+    #[test]
+    fn tune_responses_round_trip() {
+        let found = Response::Tune(TuneSummary {
+            best: Some(Tuned {
+                point: DesignPoint::paper_alexnet(),
+                result: MixResult::from(&paper_result()),
+                admitted: true,
+            }),
+            evaluations: 34,
+            cache_hits: 10,
+            cache_misses: 58,
+            rounds: 5,
+            exhaustive_points: 244,
+        });
+        let nothing = Response::Tune(TuneSummary {
+            best: None,
+            evaluations: 20,
+            cache_hits: 0,
+            cache_misses: 20,
+            rounds: 1,
+            exhaustive_points: 244,
+        });
+        for resp in [found, nothing] {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_tune_requests_are_rejected() {
+        for bad in [
+            r#"{"type":"tune","mix":{"alexnet":"lots"}}"#,
+            r#"{"type":"tune","mix":{"squeezenet":1}}"#,
+            r#"{"type":"tune","mix":7}"#,
+            r#"{"type":"tune","strategy":"warp"}"#,
+            r#"{"type":"tune","objective":[]}"#,
+            r#"{"type":"tune","objective":{"weights":{"fps":1}}}"#,
+            r#"{"type":"tune","budget":{"max_system_mw":"cheap"}}"#,
+            r#"{"type":"tune","seed":1.5}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
         }
     }
 

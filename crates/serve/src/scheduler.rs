@@ -12,6 +12,13 @@
 //! [`Scheduler::submit`] refuses further work with [`SubmitError::Busy`]
 //! (the protocol's `busy` response) instead of queueing unboundedly.
 //!
+//! Iterative requests (the tuner) hold **one** admission slot across
+//! many rounds: [`Scheduler::admit`] reserves the slot as an RAII
+//! [`AdmissionSlot`], and [`Scheduler::submit_in`] enqueues each
+//! round's point list against it without re-checking capacity — so a
+//! 5-round tune counts as one job at admission while its rounds still
+//! interleave batch-by-batch with everyone else's sweeps.
+//!
 //! Every evaluation goes through [`executor::evaluate_cached`] against
 //! the one shared [`PointCache`], so concurrent clients sweeping
 //! overlapping grids pay for each distinct point once, whichever
@@ -57,6 +64,7 @@ struct Job {
 struct Completion {
     state: Mutex<CompletionState>,
     cv: Condvar,
+    slot: SlotOwnership,
 }
 
 #[derive(Debug)]
@@ -72,6 +80,16 @@ struct CompletionState {
     /// Set exactly once, by the worker that observed completion first;
     /// guards the active-count decrement against racing late batches.
     closed: bool,
+}
+
+/// Whether completing this job releases an admission slot. Jobs from
+/// [`Scheduler::submit`] own their slot; jobs from
+/// [`Scheduler::submit_in`] run inside an [`AdmissionSlot`] that
+/// releases on drop instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotOwnership {
+    Owned,
+    External,
 }
 
 /// Everything one finished job produced.
@@ -173,15 +191,8 @@ impl Scheduler {
         self.state.lock().expect("scheduler lock poisoned").active
     }
 
-    /// Admits `points` as one job.
-    ///
-    /// # Errors
-    ///
-    /// [`SubmitError::Busy`] at the admission bound;
-    /// [`SubmitError::ShuttingDown`] once shutdown began.
-    pub fn submit(&self, points: Vec<DesignPoint>) -> Result<JobHandle, SubmitError> {
-        let total = points.len();
-        let done = Arc::new(Completion {
+    fn completion(total: usize, slot: SlotOwnership) -> Arc<Completion> {
+        Arc::new(Completion {
             state: Mutex::new(CompletionState {
                 results: Vec::with_capacity(total),
                 finished: 0,
@@ -192,7 +203,19 @@ impl Scheduler {
                 closed: false,
             }),
             cv: Condvar::new(),
-        });
+            slot,
+        })
+    }
+
+    /// Admits `points` as one job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] at the admission bound;
+    /// [`SubmitError::ShuttingDown`] once shutdown began.
+    pub fn submit(&self, points: Vec<DesignPoint>) -> Result<JobHandle, SubmitError> {
+        let total = points.len();
+        let done = Scheduler::completion(total, SlotOwnership::Owned);
         {
             let mut state = self.state.lock().expect("scheduler lock poisoned");
             if state.shutting_down {
@@ -215,6 +238,63 @@ impl Scheduler {
                 // An empty job completes immediately; it was still
                 // admission-checked so capacity semantics are uniform.
                 state.active -= 1;
+            }
+        }
+        self.work_ready.notify_all();
+        Ok(JobHandle { done })
+    }
+
+    /// Reserves one admission slot without submitting work yet — the
+    /// entry point for iterative requests that will run several
+    /// [`Scheduler::submit_in`] rounds under a single unit of
+    /// admission. The slot is released when the returned guard drops.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] at the admission bound;
+    /// [`SubmitError::ShuttingDown`] once shutdown began.
+    pub fn admit(&self) -> Result<AdmissionSlot<'_>, SubmitError> {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        if state.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.active >= self.capacity {
+            return Err(SubmitError::Busy {
+                active: state.active,
+                capacity: self.capacity,
+            });
+        }
+        state.active += 1;
+        Ok(AdmissionSlot { scheduler: self })
+    }
+
+    /// Enqueues `points` as one job inside an already-held admission
+    /// slot: no capacity check (the slot is the capacity), same fair
+    /// batch rotation as every other job. The borrow ties the job to
+    /// its slot, so a round cannot outlive the admission it runs under.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] once shutdown began — admitted
+    /// slots do not exempt *new* rounds from the drain.
+    pub fn submit_in(
+        &self,
+        _slot: &AdmissionSlot<'_>,
+        points: Vec<DesignPoint>,
+    ) -> Result<JobHandle, SubmitError> {
+        let total = points.len();
+        let done = Scheduler::completion(total, SlotOwnership::External);
+        {
+            let mut state = self.state.lock().expect("scheduler lock poisoned");
+            if state.shutting_down {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if total > 0 {
+                state.jobs.push_back(Job {
+                    points: Arc::new(points),
+                    next: 0,
+                    done: Arc::clone(&done),
+                });
             }
         }
         self.work_ready.notify_all();
@@ -323,7 +403,9 @@ impl Scheduler {
             };
             if job_complete {
                 self.remove_job(&done);
-                self.finish_job();
+                if done.slot == SlotOwnership::Owned {
+                    self.finish_job();
+                }
             }
         }
     }
@@ -333,6 +415,18 @@ impl Scheduler {
     fn remove_job(&self, done: &Arc<Completion>) {
         let mut state = self.state.lock().expect("scheduler lock poisoned");
         state.jobs.retain(|job| !Arc::ptr_eq(&job.done, done));
+    }
+}
+
+/// RAII reservation of one admission slot (see [`Scheduler::admit`]).
+/// Dropping it releases the slot.
+pub struct AdmissionSlot<'a> {
+    scheduler: &'a Scheduler,
+}
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        self.scheduler.finish_job();
     }
 }
 
@@ -481,6 +575,56 @@ mod tests {
                 SubmitError::ShuttingDown
             );
         });
+    }
+
+    #[test]
+    fn admission_slot_spans_rounds_and_counts_once() {
+        let sched = Arc::new(Scheduler::new(Arc::new(PointCache::new()), 2, 2));
+        with_workers(&sched, 2, || {
+            let slot = sched.admit().unwrap();
+            assert_eq!(sched.active_jobs(), 1);
+            // Several rounds under the one slot: active never grows.
+            for pes in [25, 50, 100] {
+                let out = sched
+                    .submit_in(&slot, grid(vec![pes]))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                assert_eq!(out.outcomes.len(), 2);
+                assert_eq!(sched.active_jobs(), 1);
+            }
+            // A plain submit still fits beside the slot; a second slot
+            // at capacity does not.
+            let h = sched.submit(grid(vec![200])).unwrap();
+            h.wait().unwrap();
+            let second = sched.admit().unwrap();
+            assert!(matches!(sched.admit(), Err(SubmitError::Busy { .. })));
+            drop(second);
+            drop(slot);
+        });
+        assert_eq!(sched.active_jobs(), 0);
+    }
+
+    #[test]
+    fn slot_rounds_refuse_after_shutdown() {
+        let sched = Arc::new(Scheduler::new(Arc::new(PointCache::new()), 2, 2));
+        let slot = sched.admit().unwrap();
+        sched.begin_shutdown();
+        assert_eq!(
+            sched.submit_in(&slot, grid(vec![25])).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        drop(slot);
+        assert_eq!(sched.active_jobs(), 0);
+    }
+
+    #[test]
+    fn empty_round_in_slot_completes_immediately() {
+        let sched = Scheduler::new(Arc::new(PointCache::new()), 2, 2);
+        let slot = sched.admit().unwrap();
+        let out = sched.submit_in(&slot, Vec::new()).unwrap().wait().unwrap();
+        assert!(out.outcomes.is_empty());
+        drop(slot);
     }
 
     #[test]

@@ -17,14 +17,15 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use chain_nn_dse::{pareto, CacheFile, PointCache};
+use chain_nn_dse::{pareto, CacheFile, DesignPoint, MixOutcome, PointCache, WorkloadMix};
+use chain_nn_tuner::{evaluator, tune, MixEvaluator, TuneError};
 
-use crate::protocol::{FrontierEntry, Request, Response, ServerStats, SweepSummary};
-use crate::scheduler::{Scheduler, SubmitError, BATCH_SIZE};
+use crate::protocol::{FrontierEntry, Request, Response, ServerStats, SweepSummary, TuneSummary};
+use crate::scheduler::{AdmissionSlot, Scheduler, SubmitError, BATCH_SIZE};
 
 /// How the daemon is set up. `Default` binds an ephemeral loopback
 /// port, one worker per host core, no persistence.
@@ -41,6 +42,15 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Points claimed per scheduling turn.
     pub batch_size: usize,
+    /// Connection bound: accepted sockets beyond this are answered
+    /// `busy` and closed at the accept loop, pairing with the
+    /// job-admission bound so idle clients cannot accumulate session
+    /// threads either.
+    pub max_connections: usize,
+    /// Optional cache capacity (points): bounds the in-memory cache
+    /// with FIFO eviction of flushed entries for month-long daemon
+    /// lifetimes. `None` (the default) keeps the cache grow-only.
+    pub cache_capacity: Option<usize>,
     /// Snapshot file for cross-process cache persistence.
     pub cache_file: Option<std::path::PathBuf>,
 }
@@ -53,6 +63,8 @@ impl Default for ServerConfig {
             threads: chain_nn_dse::executor::default_threads(),
             queue_capacity: 16,
             batch_size: BATCH_SIZE,
+            max_connections: 64,
+            cache_capacity: None,
             cache_file: None,
         }
     }
@@ -83,6 +95,12 @@ struct Shared {
     shutdown: AtomicBool,
     threads: usize,
     loaded_from_disk: usize,
+    /// Whether the cache has a capacity bound (`--cache-cap`).
+    cache_bounded: bool,
+    /// Sessions currently open (incremented at accept, decremented when
+    /// the session thread exits).
+    connections: AtomicUsize,
+    max_connections: usize,
 }
 
 impl Shared {
@@ -91,6 +109,14 @@ impl Shared {
     /// something, and once more at shutdown.
     fn flush(&self) -> std::io::Result<usize> {
         let Some(file) = &self.cache_file else {
+            if self.cache_bounded {
+                // No persistence to protect: discard the journal so the
+                // capacity bound can actually evict (eviction never
+                // touches dirty entries) and the journal does not hold
+                // a second copy of every evaluation forever.
+                let _guard = self.flush_lock.lock().expect("flush lock poisoned");
+                drop(self.cache.take_dirty());
+            }
             return Ok(0);
         };
         let _guard = self.flush_lock.lock().expect("flush lock poisoned");
@@ -116,7 +142,10 @@ impl Server {
     /// unreadable one, or one with a foreign magic line, is).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
-        let cache = Arc::new(PointCache::new());
+        let cache = Arc::new(match config.cache_capacity {
+            Some(capacity) => PointCache::bounded(capacity),
+            None => PointCache::new(),
+        });
         let cache_file = config.cache_file.as_ref().map(CacheFile::new);
         let mut loaded_from_disk = 0;
         if let Some(file) = &cache_file {
@@ -139,6 +168,9 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 threads,
                 loaded_from_disk,
+                cache_bounded: config.cache_capacity.is_some(),
+                connections: AtomicUsize::new(0),
+                max_connections: config.max_connections.max(1),
             }),
         })
     }
@@ -178,12 +210,25 @@ impl Server {
             while !shared.shutdown.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _addr)) => {
+                        // The connection bound is enforced here, at the
+                        // accept loop: beyond it the daemon answers one
+                        // `busy` line and closes instead of accumulating
+                        // session threads for idle sockets.
+                        let open = shared.connections.load(Ordering::SeqCst);
+                        if open >= shared.max_connections {
+                            refuse_connection(stream, open, shared.max_connections);
+                            continue;
+                        }
+                        shared.connections.fetch_add(1, Ordering::SeqCst);
                         let s = Arc::clone(shared);
                         // Detached on purpose: a session blocked on an
                         // idle client must not block shutdown. Sessions
                         // hold only an Arc and die with the process (or
                         // return Busy/ShuttingDown after drain).
-                        std::thread::spawn(move || serve_connection(stream, &s));
+                        std::thread::spawn(move || {
+                            serve_connection(stream, &s);
+                            s.connections.fetch_sub(1, Ordering::SeqCst);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -216,6 +261,17 @@ impl Server {
 /// lists); anything bigger is a hostile or broken client, and an
 /// unbounded `read_line` would buffer it into daemon memory wholesale.
 const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// Answers one `busy` line on a just-accepted socket and drops it —
+/// the connection-bound refusal path.
+fn refuse_connection(stream: TcpStream, active: usize, capacity: usize) {
+    let mut wire = Response::Busy { active, capacity }.encode();
+    wire.push('\n');
+    let mut writer = BufWriter::new(stream);
+    let _ = writer
+        .write_all(wire.as_bytes())
+        .and_then(|()| writer.flush());
+}
 
 /// One session: line in, line out, until EOF or shutdown.
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
@@ -340,6 +396,37 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
             let _ = shared.flush();
             (response, false)
         }
+        Request::Tune(request) => {
+            // A tune is one unit of admission however many rounds it
+            // runs; its rounds are ordinary jobs in the fair rotation,
+            // so concurrent sweeps interleave with every round.
+            let response = match shared.scheduler.admit() {
+                Err(e) => submit_error_response(e),
+                Ok(slot) => {
+                    let mut evaluator = SchedulerEvaluator {
+                        scheduler: &shared.scheduler,
+                        slot: &slot,
+                        hits: 0,
+                        misses: 0,
+                    };
+                    match tune(&request, &mut evaluator) {
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        },
+                        Ok(report) => Response::Tune(TuneSummary {
+                            best: report.best,
+                            evaluations: report.evaluations,
+                            cache_hits: report.cache_hits,
+                            cache_misses: report.cache_misses,
+                            rounds: report.rounds,
+                            exhaustive_points: report.exhaustive_points,
+                        }),
+                    }
+                }
+            };
+            let _ = shared.flush();
+            (response, false)
+        }
         Request::Frontier { dims } => {
             let feasible: Vec<FrontierEntry> = shared
                 .cache
@@ -374,6 +461,8 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
                     requests: shared.requests.load(Ordering::Relaxed),
                     active_jobs: shared.scheduler.active_jobs(),
                     queue_capacity: shared.scheduler.capacity(),
+                    open_connections: shared.connections.load(Ordering::SeqCst),
+                    max_connections: shared.max_connections,
                     threads: shared.threads,
                     loaded_from_disk: shared.loaded_from_disk,
                     persistent: shared.cache_file.is_some(),
@@ -396,5 +485,46 @@ fn submit_error_response(e: SubmitError) -> Response {
         SubmitError::ShuttingDown => Response::Error {
             message: "server is shutting down".to_owned(),
         },
+    }
+}
+
+/// The daemon-side tuner evaluator: each round becomes one scheduler
+/// job inside the tune's admission slot, so candidate evaluations share
+/// the cache with (and interleave fairly against) every concurrent
+/// sweep. Hit/miss accounting uses the per-job counters — global cache
+/// deltas would count other clients' traffic.
+struct SchedulerEvaluator<'a> {
+    scheduler: &'a Scheduler,
+    slot: &'a AdmissionSlot<'a>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MixEvaluator for SchedulerEvaluator<'_> {
+    fn evaluate(
+        &mut self,
+        mix: &WorkloadMix,
+        bases: &[DesignPoint],
+    ) -> Result<Vec<MixOutcome>, TuneError> {
+        let points = evaluator::expand(mix, bases);
+        let handle = self
+            .scheduler
+            .submit_in(self.slot, points)
+            .map_err(|e| match e {
+                SubmitError::Busy { .. } => {
+                    TuneError::Backend("scheduler refused an admitted round".to_owned())
+                }
+                SubmitError::ShuttingDown => {
+                    TuneError::Backend("server is shutting down".to_owned())
+                }
+            })?;
+        let job = handle.wait().map_err(TuneError::Eval)?;
+        self.hits += job.cache_hits;
+        self.misses += job.cache_misses;
+        Ok(evaluator::collapse(mix, bases, &job.outcomes))
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }

@@ -1,0 +1,176 @@
+//! Hard deployment constraints a tuned accelerator must satisfy.
+
+use std::fmt;
+
+use chain_nn_dse::MixResult;
+
+/// The hard constraints of one tune: any combination of a system-power
+/// ceiling, a logic-area ceiling and a throughput floor. `None` axes
+/// are unconstrained; the default budget admits everything.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Budget {
+    /// Maximum worst-case system power (on-chip + DRAM interface), mW.
+    pub max_system_mw: Option<f64>,
+    /// Maximum chain logic area, NAND2-equivalent kilo-gates.
+    pub max_gates_k: Option<f64>,
+    /// Minimum mix throughput, frames per second.
+    pub min_fps: Option<f64>,
+}
+
+impl Budget {
+    /// The unconstrained budget (admits every feasible point).
+    pub fn unconstrained() -> Self {
+        Budget::default()
+    }
+
+    /// Whether any constraint is set.
+    pub fn is_constrained(&self) -> bool {
+        self.max_system_mw.is_some() || self.max_gates_k.is_some() || self.min_fps.is_some()
+    }
+
+    /// Validates the constraint values themselves.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a non-finite or non-positive bound.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("max_system_mw", self.max_system_mw),
+            ("max_gates_k", self.max_gates_k),
+            ("min_fps", self.min_fps),
+        ] {
+            if let Some(v) = v {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("budget {name} = {v} is not a positive number"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `r` satisfies every set constraint (all bounds are
+    /// inclusive).
+    pub fn admits(&self, r: &MixResult) -> bool {
+        self.violation(r) == 0.0
+    }
+
+    /// How far `r` is outside the budget, as the sum of the relative
+    /// excesses over each violated bound — `0.0` iff admitted. The
+    /// search ranks not-yet-admitted candidates by this, so a
+    /// hill-climb started outside the feasible region walks toward it.
+    pub fn violation(&self, r: &MixResult) -> f64 {
+        let mut v = 0.0;
+        if let Some(max) = self.max_system_mw {
+            v += (r.system_mw() / max - 1.0).max(0.0);
+        }
+        if let Some(max) = self.max_gates_k {
+            v += (r.gates_k / max - 1.0).max(0.0);
+        }
+        if let Some(min) = self.min_fps {
+            if r.fps <= 0.0 {
+                v += 1.0;
+            } else {
+                v += (min / r.fps - 1.0).max(0.0);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if wrote {
+                write!(f, ", ")?;
+            }
+            wrote = true;
+            Ok(())
+        };
+        if let Some(mw) = self.max_system_mw {
+            sep(f)?;
+            write!(f, "system <= {mw} mW")?;
+        }
+        if let Some(g) = self.max_gates_k {
+            sep(f)?;
+            write!(f, "logic <= {g}k gates")?;
+        }
+        if let Some(fps) = self.min_fps {
+            sep(f)?;
+            write!(f, "fps >= {fps}")?;
+        }
+        if !wrote {
+            write!(f, "unconstrained")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(fps: f64, system: f64, gates: f64) -> MixResult {
+        MixResult {
+            fps,
+            chip_mw: system,
+            dram_mw: 0.0,
+            peak_gops: 100.0,
+            gates_k: gates,
+            sram_kb: 57.0,
+        }
+    }
+
+    #[test]
+    fn admits_inclusive_bounds() {
+        let budget = Budget {
+            max_system_mw: Some(500.0),
+            max_gates_k: Some(1000.0),
+            min_fps: Some(30.0),
+        };
+        assert!(budget.admits(&result(30.0, 500.0, 1000.0)));
+        assert!(!budget.admits(&result(29.9, 500.0, 1000.0)));
+        assert!(!budget.admits(&result(30.0, 500.1, 1000.0)));
+        assert!(!budget.admits(&result(30.0, 500.0, 1000.1)));
+        assert!(Budget::unconstrained().admits(&result(0.001, 1e9, 1e9)));
+    }
+
+    #[test]
+    fn violation_grows_with_distance_and_sums_axes() {
+        let budget = Budget {
+            max_system_mw: Some(500.0),
+            min_fps: Some(100.0),
+            ..Budget::default()
+        };
+        assert_eq!(budget.violation(&result(100.0, 400.0, 1.0)), 0.0);
+        let near = budget.violation(&result(100.0, 550.0, 1.0));
+        let far = budget.violation(&result(100.0, 900.0, 1.0));
+        assert!(0.0 < near && near < far);
+        let both = budget.violation(&result(50.0, 900.0, 1.0));
+        assert!(both > far, "violations must accumulate across axes");
+    }
+
+    #[test]
+    fn validate_rejects_nonsense_bounds() {
+        assert!(Budget::unconstrained().validate().is_ok());
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let b = Budget {
+                max_system_mw: Some(bad),
+                ..Budget::default()
+            };
+            assert!(b.validate().is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn display_names_the_set_constraints() {
+        let b = Budget {
+            max_system_mw: Some(500.0),
+            min_fps: Some(30.0),
+            ..Budget::default()
+        };
+        let s = b.to_string();
+        assert!(s.contains("500 mW") && s.contains("fps >= 30"), "{s}");
+        assert_eq!(Budget::unconstrained().to_string(), "unconstrained");
+    }
+}

@@ -1,0 +1,421 @@
+//! Budget-constrained auto-tuning of the Chain-NN design space.
+//!
+//! PR 1/2 answer "what does every point look like" (exhaustive sweeps,
+//! Pareto frontiers, a caching daemon). This crate answers the question
+//! a deployment actually asks: **"what is the best accelerator for
+//! this workload under this budget?"** — e.g. *70 % AlexNet / 30 %
+//! VGG-16 traffic, at most 500 mW system power* — by searching the
+//! grid instead of sweeping it.
+//!
+//! * [`budget`] — hard constraints: max system mW, max kilo-gates,
+//!   min fps ([`Budget`]).
+//! * [`objective`] — what "best" means among admitted candidates:
+//!   metrics composed lexicographically or scalarized ([`Objective`]).
+//! * [`strategy`] — two deterministic search strategies behind one
+//!   [`SearchStrategy`] trait: coarse-to-fine successive halving
+//!   ([`SuccessiveHalving`]) and first-improvement local search
+//!   ([`HillClimb`]), both cache-first (every candidate goes through
+//!   the shared [`chain_nn_dse::PointCache`], so repeated tunes are
+//!   incremental) with seeded neighbour order and content-hash
+//!   tie-breaks.
+//! * [`evaluator`] — where candidates are evaluated: in-process over a
+//!   local cache ([`CacheEvaluator`]) or, via the same trait, on the
+//!   serving daemon's fair scheduler (`chain-nn-serve`).
+//!
+//! Multi-network workloads use [`chain_nn_dse::WorkloadMix`]: per-point
+//! objectives aggregate across the mix (weighted harmonic-mean fps,
+//! worst-case power) and each `(configuration, network)` pair is
+//! evaluated once, ever.
+//!
+//! The [`TuneReport`] carries evaluation-count accounting — candidates
+//! visited vs. the exhaustive grid size — because the whole point of a
+//! tuner is `tune ≪ exhaustive`; the acceptance tests pin that ratio.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_dse::{PointCache, WorkloadMix};
+//! use chain_nn_tuner::{tune, Budget, CacheEvaluator, TuneRequest};
+//!
+//! let request = TuneRequest {
+//!     mix: WorkloadMix::parse("alexnet:0.7,vgg16:0.3").unwrap(),
+//!     budget: Budget {
+//!         max_system_mw: Some(900.0),
+//!         ..Budget::default()
+//!     },
+//!     ..TuneRequest::default()
+//! };
+//! let cache = PointCache::new();
+//! let report = tune(&request, &mut CacheEvaluator::new(&cache, 2)).unwrap();
+//! let best = report.best.expect("something admitted");
+//! assert!(best.admitted);
+//! assert!(best.result.system_mw() <= 900.0);
+//! // The tuner searched, it did not sweep:
+//! assert!(report.evaluations < report.exhaustive_points as u64 / 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod evaluator;
+pub mod objective;
+pub mod strategy;
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use chain_nn_dse::{DesignPoint, DseError, MixResult, SweepSpec, WorkloadMix};
+
+pub use budget::Budget;
+pub use evaluator::{CacheEvaluator, MixEvaluator};
+pub use objective::{Metric, Objective};
+pub use strategy::{HillClimb, SearchStrategy, SuccessiveHalving};
+
+use strategy::{Session, Space};
+
+/// Errors produced while tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// The tune request itself is invalid (space, budget, objective).
+    Spec(String),
+    /// A candidate evaluation failed at the spec level.
+    Eval(DseError),
+    /// The evaluation backend (scheduler, transport) failed.
+    Backend(String),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Spec(msg) => write!(f, "invalid tune request: {msg}"),
+            TuneError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            TuneError::Backend(msg) => write!(f, "tune backend failed: {msg}"),
+        }
+    }
+}
+
+impl Error for TuneError {}
+
+impl From<DseError> for TuneError {
+    fn from(e: DseError) -> Self {
+        TuneError::Eval(e)
+    }
+}
+
+/// Which search strategy a tune runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Coarse-to-fine successive halving ([`SuccessiveHalving`]) — the
+    /// default: global, bracket-and-bisect, a few dozen evaluations on
+    /// the default grid.
+    #[default]
+    Halving,
+    /// Local hill-climb ([`HillClimb`]) — polish around the incumbent;
+    /// best when a cache-file already holds a good neighbourhood.
+    HillClimb,
+}
+
+impl StrategyKind {
+    /// The wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Halving => "halving",
+            StrategyKind::HillClimb => "hillclimb",
+        }
+    }
+}
+
+impl FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "halving" | "successive-halving" => Ok(StrategyKind::Halving),
+            "hillclimb" | "hill-climb" | "climb" => Ok(StrategyKind::HillClimb),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected halving | hillclimb)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything one tune needs: the space to search, the workload, the
+/// constraints, the objective, and the strategy + seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneRequest {
+    /// The grid to search. The `nets` axis is ignored — networks come
+    /// from `mix`.
+    pub space: SweepSpec,
+    /// The workload the accelerator must serve.
+    pub mix: WorkloadMix,
+    /// Hard constraints.
+    pub budget: Budget,
+    /// Ranking among admitted candidates.
+    pub objective: Objective,
+    /// Search strategy.
+    pub strategy: StrategyKind,
+    /// Seed for the strategies' candidate-order randomness. The chosen
+    /// point for a given `(space, mix, budget, objective, strategy,
+    /// seed)` is identical across runs and thread counts.
+    pub seed: u64,
+}
+
+impl Default for TuneRequest {
+    /// The default grid, single-AlexNet workload, no constraints,
+    /// fastest-then-coolest-then-smallest, successive halving, seed 0.
+    fn default() -> Self {
+        TuneRequest {
+            space: SweepSpec::default_grid(),
+            mix: WorkloadMix::single("alexnet").expect("alexnet is a zoo network"),
+            budget: Budget::default(),
+            objective: Objective::default(),
+            strategy: StrategyKind::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl TuneRequest {
+    /// Validates space, budget and objective together.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::Spec`] naming the problem.
+    pub fn validate(&self) -> Result<(), TuneError> {
+        let mut spec = self.space.clone();
+        spec.nets = vec![self.mix.primary().to_owned()];
+        spec.validate()
+            .map_err(|e| TuneError::Spec(e.to_string()))?;
+        self.budget.validate().map_err(TuneError::Spec)?;
+        self.objective.validate().map_err(TuneError::Spec)?;
+        Ok(())
+    }
+}
+
+/// The chosen accelerator of one tune.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuned {
+    /// The configuration (its `net` field names the mix's primary
+    /// network; the result aggregates the whole mix).
+    pub point: DesignPoint,
+    /// Aggregated workload metrics of the configuration.
+    pub result: MixResult,
+    /// Whether the point satisfies the budget. `false` means the
+    /// search found no admitted point and this is the least-violating
+    /// feasible one.
+    pub admitted: bool,
+}
+
+/// What one tune did: the winner plus the evaluation-count accounting
+/// that proves searching beat sweeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// The best candidate found, or `None` when every visited
+    /// configuration was model-infeasible.
+    pub best: Option<Tuned>,
+    /// Distinct configurations evaluated (each costing one model
+    /// evaluation per mix network, minus cache hits).
+    pub evaluations: u64,
+    /// Underlying `(configuration, network)` lookups answered from the
+    /// cache.
+    pub cache_hits: u64,
+    /// Underlying lookups that ran the model stack.
+    pub cache_misses: u64,
+    /// Evaluator round trips (batches).
+    pub rounds: usize,
+    /// Configurations in the full grid — what an exhaustive sweep
+    /// would evaluate per network.
+    pub exhaustive_points: usize,
+    /// The strategy that ran.
+    pub strategy: StrategyKind,
+    /// The seed it ran with.
+    pub seed: u64,
+}
+
+impl TuneReport {
+    /// Fraction of the exhaustive grid the tune actually visited.
+    pub fn evaluation_fraction(&self) -> f64 {
+        if self.exhaustive_points == 0 {
+            return 0.0;
+        }
+        self.evaluations as f64 / self.exhaustive_points as f64
+    }
+}
+
+/// Runs one tune against `evaluator`.
+///
+/// # Errors
+///
+/// [`TuneError::Spec`] for an invalid request; evaluator failures are
+/// passed through.
+pub fn tune<E: MixEvaluator>(
+    request: &TuneRequest,
+    evaluator: &mut E,
+) -> Result<TuneReport, TuneError> {
+    request.validate()?;
+    let space = Space::new(request.space.clone(), request.mix.primary());
+    let exhaustive_points = space.total();
+    let mut session = Session::new(
+        space,
+        &request.mix,
+        &request.budget,
+        &request.objective,
+        evaluator,
+        request.seed,
+    );
+    match request.strategy {
+        StrategyKind::Halving => SuccessiveHalving::default().search(&mut session)?,
+        StrategyKind::HillClimb => HillClimb::default().search(&mut session)?,
+    }
+
+    let best = session.incumbent().and_then(|idx| {
+        let result = *session.outcome(&idx)?.result()?;
+        Some(Tuned {
+            point: session.space.point(&idx),
+            admitted: request.budget.admits(&result),
+            result,
+        })
+    });
+    let evaluations = session.evaluations();
+    let rounds = session.rounds();
+    let (cache_hits, cache_misses) = evaluator.counters();
+    Ok(TuneReport {
+        best,
+        evaluations,
+        cache_hits,
+        cache_misses,
+        rounds,
+        exhaustive_points,
+        strategy: request.strategy,
+        seed: request.seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chain_nn_dse::PointCache;
+
+    fn request(budget: Budget, strategy: StrategyKind) -> TuneRequest {
+        TuneRequest {
+            budget,
+            strategy,
+            ..TuneRequest::default()
+        }
+    }
+
+    #[test]
+    fn unconstrained_tune_gets_close_to_the_fastest_grid_point() {
+        let cache = PointCache::new();
+        let report = tune(
+            &request(Budget::default(), StrategyKind::Halving),
+            &mut CacheEvaluator::new(&cache, 2),
+        )
+        .unwrap();
+        let best = report.best.expect("grid has feasible points");
+        assert!(best.admitted);
+        // The fps landscape is not monotone in PEs (kernel-mapping
+        // granularity), so compare against the true exhaustive optimum
+        // rather than assuming the corner wins.
+        let exhaustive_cache = PointCache::new();
+        let points = TuneRequest::default().space.points();
+        let best_fps = chain_nn_dse::executor::run(&points, 2, &exhaustive_cache)
+            .unwrap()
+            .iter()
+            .filter_map(|o| o.result().map(|r| r.fps))
+            .fold(0.0f64, f64::max);
+        assert!(
+            best.result.fps >= 0.98 * best_fps,
+            "tuned {} vs exhaustive {best_fps}",
+            best.result.fps
+        );
+        // Fastest configurations live at full clock and batch.
+        assert_eq!(best.point.freq_mhz, 700.0);
+        assert_eq!(best.point.batch, 4);
+        assert!(report.evaluations < report.exhaustive_points as u64 / 4);
+        assert!(report.rounds > 1);
+    }
+
+    #[test]
+    fn infeasible_budget_reports_the_least_violating_point() {
+        // 1 mW admits nothing; the tuner still reports its best effort,
+        // flagged as not admitted.
+        let cache = PointCache::new();
+        let budget = Budget {
+            max_system_mw: Some(1.0),
+            ..Budget::default()
+        };
+        let report = tune(
+            &request(budget, StrategyKind::Halving),
+            &mut CacheEvaluator::new(&cache, 1),
+        )
+        .unwrap();
+        let best = report.best.expect("feasible points exist");
+        assert!(!best.admitted);
+        // Least system power in the grid is the best a 1 mW budget can
+        // do: the smallest, slowest configuration survives.
+        assert_eq!(best.point.freq_mhz, 350.0);
+    }
+
+    #[test]
+    fn repeated_tune_is_fully_cached() {
+        let cache = PointCache::new();
+        let req = request(
+            Budget {
+                max_system_mw: Some(500.0),
+                ..Budget::default()
+            },
+            StrategyKind::Halving,
+        );
+        let first = tune(&req, &mut CacheEvaluator::new(&cache, 2)).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert!(first.cache_misses > 0);
+        let mut again_eval = CacheEvaluator::new(&cache, 2);
+        let again = tune(&req, &mut again_eval).unwrap();
+        assert_eq!(again.cache_misses, 0, "second tune must be incremental");
+        assert_eq!(again.cache_hits, first.cache_misses);
+        assert_eq!(again.best, first.best);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let cache = PointCache::new();
+        let mut bad_space = TuneRequest::default();
+        bad_space.space.pes.clear();
+        assert!(matches!(
+            tune(&bad_space, &mut CacheEvaluator::new(&cache, 1)),
+            Err(TuneError::Spec(_))
+        ));
+        let bad_budget = TuneRequest {
+            budget: Budget {
+                min_fps: Some(-3.0),
+                ..Budget::default()
+            },
+            ..TuneRequest::default()
+        };
+        assert!(tune(&bad_budget, &mut CacheEvaluator::new(&cache, 1)).is_err());
+        let bad_objective = TuneRequest {
+            objective: Objective::Lexicographic(vec![]),
+            ..TuneRequest::default()
+        };
+        assert!(tune(&bad_objective, &mut CacheEvaluator::new(&cache, 1)).is_err());
+    }
+
+    #[test]
+    fn strategy_kind_parses() {
+        assert_eq!("halving".parse::<StrategyKind>(), Ok(StrategyKind::Halving));
+        assert_eq!(
+            "hill-climb".parse::<StrategyKind>(),
+            Ok(StrategyKind::HillClimb)
+        );
+        assert!("warp".parse::<StrategyKind>().is_err());
+    }
+}

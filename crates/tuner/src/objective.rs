@@ -1,0 +1,295 @@
+//! What "best" means: single metrics composed lexicographically or
+//! scalarized into one weighted score.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use chain_nn_dse::MixResult;
+
+/// One optimizable metric of a [`MixResult`], with its built-in
+/// direction (throughput up, power/area down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Mix throughput, maximized.
+    Fps,
+    /// Worst-case system power, minimized.
+    SystemMw,
+    /// Chain logic area, minimized.
+    GatesK,
+    /// Peak GOPS per on-chip watt, maximized.
+    GopsPerWatt,
+}
+
+impl Metric {
+    /// The metric's raw value on `r`.
+    pub fn value(&self, r: &MixResult) -> f64 {
+        match self {
+            Metric::Fps => r.fps,
+            Metric::SystemMw => r.system_mw(),
+            Metric::GatesK => r.gates_k,
+            Metric::GopsPerWatt => r.gops_per_watt(),
+        }
+    }
+
+    /// Whether bigger is better for this metric.
+    pub fn maximize(&self) -> bool {
+        matches!(self, Metric::Fps | Metric::GopsPerWatt)
+    }
+
+    /// The metric's value with maximization sign applied: bigger is
+    /// always better for the signed value.
+    fn signed(&self, r: &MixResult) -> f64 {
+        let v = self.value(r);
+        if self.maximize() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Fps => "fps",
+            Metric::SystemMw => "system_mw",
+            Metric::GatesK => "gates_k",
+            Metric::GopsPerWatt => "gops_per_watt",
+        }
+    }
+}
+
+impl FromStr for Metric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fps" | "throughput" => Ok(Metric::Fps),
+            "system_mw" | "power" | "mw" => Ok(Metric::SystemMw),
+            "gates_k" | "gates" | "area" => Ok(Metric::GatesK),
+            "gops_per_watt" | "gops-w" | "efficiency" => Ok(Metric::GopsPerWatt),
+            other => Err(format!(
+                "unknown objective metric '{other}' \
+                 (expected fps | system_mw | gates_k | gops_per_watt)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The tune objective over budget-admitted candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// Compare metric by metric in order; the first strict difference
+    /// decides. `[Fps, SystemMw, GatesK]` reads "fastest; among the
+    /// fastest, coolest; among those, smallest".
+    Lexicographic(Vec<Metric>),
+    /// Maximize the weighted sum of signed metric values (each metric
+    /// contributes `weight × value`, negated for minimized metrics).
+    /// Weights must be positive — direction lives in the metric.
+    Scalarized(Vec<(Metric, f64)>),
+}
+
+impl Default for Objective {
+    /// Fastest under budget, then coolest, then smallest.
+    fn default() -> Self {
+        Objective::Lexicographic(vec![Metric::Fps, Metric::SystemMw, Metric::GatesK])
+    }
+}
+
+impl Objective {
+    /// Validates metric lists and weights.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an empty objective or a
+    /// non-positive/non-finite weight.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Objective::Lexicographic(metrics) => {
+                if metrics.is_empty() {
+                    return Err("lexicographic objective has no metrics".into());
+                }
+            }
+            Objective::Scalarized(terms) => {
+                if terms.is_empty() {
+                    return Err("scalarized objective has no terms".into());
+                }
+                for (m, w) in terms {
+                    if !(w.is_finite() && *w > 0.0) {
+                        return Err(format!("weight {w} for {m} is not positive"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compares two admitted results: `Ordering::Greater` means `a` is
+    /// the better accelerator under this objective.
+    pub fn compare(&self, a: &MixResult, b: &MixResult) -> Ordering {
+        match self {
+            Objective::Lexicographic(metrics) => {
+                for m in metrics {
+                    let ord = m.signed(a).total_cmp(&m.signed(b));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            }
+            Objective::Scalarized(terms) => {
+                let score =
+                    |r: &MixResult| -> f64 { terms.iter().map(|(m, w)| w * m.signed(r)).sum() };
+                score(a).total_cmp(&score(b))
+            }
+        }
+    }
+
+    /// Parses the CLI form: a comma list of metric names is
+    /// lexicographic (`"fps,power,gates"`); `name:weight` pairs make it
+    /// scalarized (`"fps:1,power:0.2"`). Mixing the two forms is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending token.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = text.split(',').map(str::trim).collect();
+        if parts.iter().any(|p| p.is_empty()) {
+            return Err(format!("empty entry in objective '{text}'"));
+        }
+        let weighted = parts.iter().any(|p| p.contains(':'));
+        if weighted {
+            let mut terms = Vec::with_capacity(parts.len());
+            for p in &parts {
+                let Some((name, w)) = p.split_once(':') else {
+                    return Err(format!(
+                        "objective '{text}' mixes weighted and unweighted metrics"
+                    ));
+                };
+                let weight: f64 = w
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("cannot parse objective weight '{w}'"))?;
+                terms.push((name.parse::<Metric>()?, weight));
+            }
+            let obj = Objective::Scalarized(terms);
+            obj.validate()?;
+            Ok(obj)
+        } else {
+            let metrics = parts
+                .iter()
+                .map(|p| p.parse::<Metric>())
+                .collect::<Result<Vec<_>, _>>()?;
+            let obj = Objective::Lexicographic(metrics);
+            obj.validate()?;
+            Ok(obj)
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::Lexicographic(metrics) => {
+                for (i, m) in metrics.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " then ")?;
+                    }
+                    write!(f, "{}{}", if m.maximize() { "max " } else { "min " }, m)?;
+                }
+                Ok(())
+            }
+            Objective::Scalarized(terms) => {
+                write!(f, "max ")?;
+                for (i, (m, w)) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{w}*{}{m}", if m.maximize() { "" } else { "-" })?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(fps: f64, system: f64, gates: f64) -> MixResult {
+        MixResult {
+            fps,
+            chip_mw: system,
+            dram_mw: 0.0,
+            peak_gops: 100.0,
+            gates_k: gates,
+            sram_kb: 57.0,
+        }
+    }
+
+    #[test]
+    fn lexicographic_first_difference_decides() {
+        let obj = Objective::default();
+        let fast_hot = result(100.0, 600.0, 900.0);
+        let slow_cool = result(50.0, 100.0, 100.0);
+        assert_eq!(obj.compare(&fast_hot, &slow_cool), Ordering::Greater);
+        // Tied fps: power decides, area never consulted.
+        let a = result(100.0, 500.0, 999.0);
+        let b = result(100.0, 600.0, 1.0);
+        assert_eq!(obj.compare(&a, &b), Ordering::Greater);
+        // Full tie.
+        assert_eq!(obj.compare(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn scalarized_trades_axes_by_weight() {
+        // 1 fps is worth 1 mW: +20 fps beats +10 mW.
+        let obj = Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::SystemMw, 1.0)]);
+        let a = result(120.0, 510.0, 1.0);
+        let b = result(100.0, 500.0, 1.0);
+        assert_eq!(obj.compare(&a, &b), Ordering::Greater);
+        // At power weight 2 the +20 fps exactly cancels the +10 mW.
+        let obj = Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::SystemMw, 2.0)]);
+        assert_eq!(obj.compare(&a, &b), Ordering::Equal);
+        let obj = Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::SystemMw, 3.0)]);
+        assert_eq!(obj.compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn parse_both_forms() {
+        assert_eq!(
+            Objective::parse("fps,power,gates").unwrap(),
+            Objective::default()
+        );
+        assert_eq!(
+            Objective::parse("efficiency").unwrap(),
+            Objective::Lexicographic(vec![Metric::GopsPerWatt])
+        );
+        assert_eq!(
+            Objective::parse("fps:1,power:0.25").unwrap(),
+            Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::SystemMw, 0.25)])
+        );
+        assert!(Objective::parse("").is_err());
+        assert!(Objective::parse("fps,warp").is_err());
+        assert!(Objective::parse("fps:1,power").is_err());
+        assert!(Objective::parse("fps:-1").is_err());
+        assert!(Objective::parse("fps:zero").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert!(Objective::Lexicographic(vec![]).validate().is_err());
+        assert!(Objective::Scalarized(vec![]).validate().is_err());
+        assert!(Objective::Scalarized(vec![(Metric::Fps, 0.0)])
+            .validate()
+            .is_err());
+    }
+}

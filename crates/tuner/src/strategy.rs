@@ -1,0 +1,543 @@
+//! The search strategies and the session state they share.
+//!
+//! A candidate is an **index vector** into the seven swept axes of a
+//! [`SweepSpec`] (PEs, clock, kMemory depth, iMemory, oMemory, word
+//! width, batch — networks come from the workload mix, not an axis).
+//! Strategies propose candidate index vectors; the [`Session`]
+//! deduplicates them against everything already visited, evaluates the
+//! fresh ones through the [`MixEvaluator`] one batch (= one round) at a
+//! time, and maintains the incumbent under a total candidate order:
+//!
+//! 1. budget-admitted feasible candidates, ranked by the objective;
+//! 2. feasible but budget-violating candidates, ranked by smaller
+//!    [`Budget::violation`] (so searches walk toward the feasible
+//!    region);
+//! 3. model-infeasible candidates;
+//!
+//! with exact ties broken by the candidate's content hash (then by its
+//! canonical bytes), so the winner is unique and identical at any
+//! thread count.
+//!
+//! Both strategies are deterministic given `(spec, mix, budget,
+//! objective, seed)`: candidate proposal order is a pure function of
+//! those inputs, and the model stack itself is pure.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use chain_nn_dse::{DesignPoint, MixOutcome, SweepSpec, WorkloadMix};
+
+use crate::budget::Budget;
+use crate::evaluator::MixEvaluator;
+use crate::objective::Objective;
+use crate::TuneError;
+
+/// Number of swept axes a candidate indexes.
+pub const AXES: usize = 7;
+
+/// One candidate: per-axis indices into the space (PEs, clock, kMemory
+/// depth, iMemory, oMemory, word width, batch).
+pub type Idx = [usize; AXES];
+
+/// The search space: the spec's axes plus the mix's primary network
+/// (the canonical `net` of a candidate's base point).
+pub(crate) struct Space {
+    spec: SweepSpec,
+    primary_net: String,
+}
+
+impl Space {
+    pub(crate) fn new(spec: SweepSpec, primary_net: &str) -> Self {
+        Space {
+            spec,
+            primary_net: primary_net.to_owned(),
+        }
+    }
+
+    /// Per-axis lengths, in candidate index order.
+    pub fn lens(&self) -> [usize; AXES] {
+        [
+            self.spec.pes.len(),
+            self.spec.freqs_mhz.len(),
+            self.spec.kmem_depths.len(),
+            self.spec.imem_kb.len(),
+            self.spec.omem_kb.len(),
+            self.spec.word_bits.len(),
+            self.spec.batches.len(),
+        ]
+    }
+
+    /// Configurations in the full grid (the exhaustive-sweep count per
+    /// network).
+    pub(crate) fn total(&self) -> usize {
+        self.lens().iter().product()
+    }
+
+    /// The base design point of a candidate (net = the mix's primary).
+    pub(crate) fn point(&self, idx: &Idx) -> DesignPoint {
+        DesignPoint {
+            pes: self.spec.pes[idx[0]],
+            freq_mhz: self.spec.freqs_mhz[idx[1]],
+            kmem_depth: self.spec.kmem_depths[idx[2]],
+            imem_kb: self.spec.imem_kb[idx[3]],
+            omem_kb: self.spec.omem_kb[idx[4]],
+            word_bits: self.spec.word_bits[idx[5]],
+            batch: self.spec.batches[idx[6]],
+            net: self.primary_net.clone(),
+        }
+    }
+}
+
+/// Shared search state: the space, the ranking inputs, the evaluator,
+/// and everything visited so far. Strategies drive it through
+/// [`Session::eval_batch`] and read back outcomes and rankings; they
+/// cannot construct one — the [`crate::tune`] driver does.
+pub struct Session<'a, E: MixEvaluator> {
+    pub(crate) space: Space,
+    mix: &'a WorkloadMix,
+    budget: &'a Budget,
+    objective: &'a Objective,
+    evaluator: &'a mut E,
+    pub(crate) seed: u64,
+    visited: HashMap<Idx, MixOutcome>,
+    incumbent: Option<Idx>,
+    rounds: usize,
+}
+
+impl<'a, E: MixEvaluator> Session<'a, E> {
+    pub(crate) fn new(
+        space: Space,
+        mix: &'a WorkloadMix,
+        budget: &'a Budget,
+        objective: &'a Objective,
+        evaluator: &'a mut E,
+        seed: u64,
+    ) -> Self {
+        Session {
+            space,
+            mix,
+            budget,
+            objective,
+            evaluator,
+            seed,
+            visited: HashMap::new(),
+            incumbent: None,
+            rounds: 0,
+        }
+    }
+
+    /// Per-axis lengths of the space, in candidate index order.
+    pub fn lens(&self) -> [usize; AXES] {
+        self.space.lens()
+    }
+
+    /// The best candidate visited so far (under the total order).
+    pub fn incumbent(&self) -> Option<Idx> {
+        self.incumbent
+    }
+
+    /// Evaluator round trips so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Distinct candidates evaluated so far.
+    pub fn evaluations(&self) -> u64 {
+        self.visited.len() as u64
+    }
+
+    /// The outcome of a visited candidate.
+    pub fn outcome(&self, idx: &Idx) -> Option<&MixOutcome> {
+        self.visited.get(idx)
+    }
+
+    /// Whether a candidate has already been evaluated.
+    pub fn is_visited(&self, idx: &Idx) -> bool {
+        self.visited.contains_key(idx)
+    }
+
+    /// Evaluates the not-yet-visited candidates of `candidates` as one
+    /// round, then folds them into the incumbent. Duplicate and
+    /// already-visited candidates cost nothing; a batch with no fresh
+    /// candidate costs no round either.
+    pub fn eval_batch(&mut self, candidates: &[Idx]) -> Result<(), TuneError> {
+        let mut fresh: Vec<Idx> = Vec::with_capacity(candidates.len());
+        for &idx in candidates {
+            if !self.visited.contains_key(&idx) && !fresh.contains(&idx) {
+                fresh.push(idx);
+            }
+        }
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        let bases: Vec<DesignPoint> = fresh.iter().map(|i| self.space.point(i)).collect();
+        let outcomes = self.evaluator.evaluate(self.mix, &bases)?;
+        if outcomes.len() != bases.len() {
+            return Err(TuneError::Backend(format!(
+                "evaluator returned {} outcomes for {} candidates",
+                outcomes.len(),
+                bases.len()
+            )));
+        }
+        self.rounds += 1;
+        for (idx, outcome) in fresh.into_iter().zip(outcomes) {
+            self.visited.insert(idx, outcome);
+            let better = match self.incumbent {
+                None => true,
+                Some(inc) => self.compare(&idx, &inc) == Ordering::Greater,
+            };
+            if better {
+                self.incumbent = Some(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total candidate order (see the module docs); `Greater` means `a`
+    /// is the better candidate. Both must have been visited.
+    pub fn compare(&self, a: &Idx, b: &Idx) -> Ordering {
+        let class = |o: &MixOutcome| match o {
+            MixOutcome::Feasible(r) if self.budget.admits(r) => 2u8,
+            MixOutcome::Feasible(_) => 1,
+            MixOutcome::Infeasible(_) => 0,
+        };
+        let oa = self.outcome(a).expect("candidate a visited");
+        let ob = self.outcome(b).expect("candidate b visited");
+        let by_class = class(oa).cmp(&class(ob));
+        if by_class != Ordering::Equal {
+            return by_class;
+        }
+        let by_value = match (oa, ob) {
+            (MixOutcome::Feasible(ra), MixOutcome::Feasible(rb)) => {
+                if self.budget.admits(ra) {
+                    self.objective.compare(ra, rb)
+                } else {
+                    // Both violate: closer to the budget is better.
+                    self.budget
+                        .violation(rb)
+                        .total_cmp(&self.budget.violation(ra))
+                }
+            }
+            _ => Ordering::Equal,
+        };
+        if by_value != Ordering::Equal {
+            return by_value;
+        }
+        // Deterministic tie-break: the smaller content hash wins, with
+        // the canonical encoding as the collision-proof final word.
+        let pa = self.space.point(a);
+        let pb = self.space.point(b);
+        match pb.content_hash().cmp(&pa.content_hash()) {
+            Ordering::Equal => pb.canonical_bytes().cmp(&pa.canonical_bytes()),
+            other => other,
+        }
+    }
+
+    /// The `k` best visited candidates, best first.
+    pub fn top_k(&self, k: usize) -> Vec<Idx> {
+        let mut all: Vec<Idx> = self.visited.keys().copied().collect();
+        all.sort_by(|a, b| self.compare(b, a));
+        all.truncate(k);
+        all
+    }
+
+    /// The budget-violating candidate worth bisecting toward: among
+    /// feasible candidates outside the budget **whose objective value
+    /// beats the incumbent's** (they would win if only they fit), the
+    /// one closest to the budget. The constrained optimum sits on the
+    /// feasibility boundary of some branch of the space; this candidate
+    /// brackets that boundary from the infeasible side, where the
+    /// plain least-violating point may sit on a branch (say, a
+    /// low-batch one) that could never beat the incumbent even if
+    /// admitted. With no admitted incumbent yet, every violating
+    /// candidate qualifies.
+    pub fn best_violating(&self) -> Option<Idx> {
+        let incumbent_result = self.incumbent.and_then(|idx| match self.outcome(&idx) {
+            Some(MixOutcome::Feasible(r)) if self.budget.admits(r) => Some(*r),
+            _ => None,
+        });
+        self.visited
+            .iter()
+            .filter_map(|(idx, outcome)| match outcome {
+                MixOutcome::Feasible(r) if !self.budget.admits(r) => Some((*idx, *r)),
+                _ => None,
+            })
+            .filter(|(_, r)| match &incumbent_result {
+                Some(inc) => self.objective.compare(r, inc) == Ordering::Greater,
+                None => true,
+            })
+            .min_by(|(ia, ra), (ib, rb)| {
+                self.budget
+                    .violation(ra)
+                    .total_cmp(&self.budget.violation(rb))
+                    .then_with(|| {
+                        // Smaller content hash wins exact ties.
+                        self.space
+                            .point(ia)
+                            .content_hash()
+                            .cmp(&self.space.point(ib).content_hash())
+                    })
+            })
+            .map(|(idx, _)| idx)
+    }
+}
+
+/// One search strategy over a [`Session`]. Strategies only propose
+/// candidates and read outcomes; ranking, deduplication and accounting
+/// live in the session, so every strategy inherits cache-first
+/// incremental behaviour and determinism.
+pub trait SearchStrategy {
+    /// Runs the search to completion on `session`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures ([`TuneError`]).
+    fn search<E: MixEvaluator>(&self, session: &mut Session<'_, E>) -> Result<(), TuneError>;
+}
+
+/// Coarse-to-fine grid refinement (successive halving).
+///
+/// Round 0 evaluates a coarse sub-grid: each axis keeps every
+/// `stride`-th value plus its endpoint, with the stride picked so an
+/// axis contributes at most ~5 values. Every following round halves
+/// the strides and evaluates, for each refinement seed, the
+/// one-axis-at-a-time neighbours one new stride away — so the search
+/// brackets the constrained optimum and bisects toward it, touching a
+/// small multiple of `log₂(axis length)` points instead of the whole
+/// grid.
+///
+/// The seeds are the `survivors` best candidates overall **plus** the
+/// best budget-violating one ([`Session::best_violating`]): a budget's
+/// optimum sits on the feasibility boundary, and without the violating
+/// seed the refinement can converge onto an interior branch (e.g. the
+/// low-clock half of the grid) while the true optimum hides one stride
+/// past the best admitted coarse point.
+#[derive(Debug, Clone, Copy)]
+pub struct SuccessiveHalving {
+    /// How many of the best candidates seed each refinement round.
+    pub survivors: usize,
+}
+
+impl Default for SuccessiveHalving {
+    fn default() -> Self {
+        // One elite plus the boundary seed: two brackets per round,
+        // which keeps the default-grid evaluation count under 15 % of
+        // exhaustive (the acceptance bound) while still bisecting both
+        // sides of the budget boundary.
+        SuccessiveHalving { survivors: 1 }
+    }
+}
+
+/// The round-0 stride for an axis of `len` values: the smallest power
+/// of two giving at most four strides across the axis (≤ 5 coarse
+/// values), 1 for short axes.
+fn initial_stride(len: usize) -> usize {
+    if len <= 2 {
+        return 1;
+    }
+    let mut stride = 1usize;
+    while (len - 1).div_ceil(stride) > 4 {
+        stride *= 2;
+    }
+    stride
+}
+
+/// Every `stride`-th index of `0..len`, endpoint included.
+fn coarse_indices(len: usize, stride: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..len).step_by(stride).collect();
+    if *out.last().expect("len > 0") != len - 1 {
+        out.push(len - 1);
+    }
+    out
+}
+
+impl SearchStrategy for SuccessiveHalving {
+    fn search<E: MixEvaluator>(&self, session: &mut Session<'_, E>) -> Result<(), TuneError> {
+        let lens = session.lens();
+        let mut stride: [usize; AXES] = [0; AXES];
+        for (a, &len) in lens.iter().enumerate() {
+            stride[a] = initial_stride(len);
+        }
+
+        // Round 0: the cartesian product of the coarse axis values.
+        let per_axis: Vec<Vec<usize>> = lens
+            .iter()
+            .zip(&stride)
+            .map(|(&len, &s)| coarse_indices(len, s))
+            .collect();
+        let mut coarse: Vec<Idx> = vec![[0; AXES]];
+        for (a, values) in per_axis.iter().enumerate() {
+            coarse = coarse
+                .into_iter()
+                .flat_map(|idx| {
+                    values.iter().map(move |&v| {
+                        let mut next = idx;
+                        next[a] = v;
+                        next
+                    })
+                })
+                .collect();
+        }
+        session.eval_batch(&coarse)?;
+
+        // Halve and refine around the survivors until every axis is at
+        // stride 1.
+        while stride.iter().any(|&s| s > 1) {
+            let mut next = stride;
+            for s in &mut next {
+                *s = (*s / 2).max(1);
+            }
+            let mut seeds = session.top_k(self.survivors.max(1));
+            if let Some(violating) = session.best_violating() {
+                if !seeds.contains(&violating) {
+                    seeds.push(violating);
+                }
+            }
+            let mut candidates = Vec::new();
+            for survivor in seeds {
+                for a in 0..AXES {
+                    if stride[a] <= 1 {
+                        continue; // the coarse round already covered it
+                    }
+                    for dir in [-1isize, 1] {
+                        let moved = survivor[a] as isize + dir * next[a] as isize;
+                        let moved = moved.clamp(0, lens[a] as isize - 1) as usize;
+                        if moved != survivor[a] {
+                            let mut idx = survivor;
+                            idx[a] = moved;
+                            candidates.push(idx);
+                        }
+                    }
+                }
+            }
+            stride = next;
+            session.eval_batch(&candidates)?;
+        }
+        Ok(())
+    }
+}
+
+/// Local hill-climb from the incumbent.
+///
+/// Starts from the session's incumbent (the grid centre when nothing
+/// has been evaluated yet), then repeatedly evaluates the ±1-index
+/// neighbours of the current incumbent in seeded order, moving to the
+/// first neighbour that improves it (first-improvement ascent). Stops
+/// at a local optimum or after `max_steps` moves.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimb {
+    /// Upper bound on accepted moves.
+    pub max_steps: usize,
+}
+
+impl Default for HillClimb {
+    fn default() -> Self {
+        HillClimb { max_steps: 256 }
+    }
+}
+
+/// `splitmix64` step — the classic 64-bit mixer; plenty for shuffling
+/// neighbour order deterministically.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher-Yates.
+fn shuffle<T>(items: &mut [T], rng: &mut u64) {
+    for i in (1..items.len()).rev() {
+        let j = (splitmix64(rng) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+impl SearchStrategy for HillClimb {
+    fn search<E: MixEvaluator>(&self, session: &mut Session<'_, E>) -> Result<(), TuneError> {
+        let lens = session.lens();
+        if session.incumbent().is_none() {
+            let mut centre: Idx = [0; AXES];
+            for (a, &len) in lens.iter().enumerate() {
+                centre[a] = len / 2;
+            }
+            session.eval_batch(&[centre])?;
+        }
+        let mut rng = session.seed ^ 0x5eed_c11b_0000_0000;
+        for _step in 0..self.max_steps {
+            let Some(current) = session.incumbent() else {
+                return Ok(());
+            };
+            let mut neighbours: Vec<Idx> = Vec::with_capacity(2 * AXES);
+            for a in 0..AXES {
+                for dir in [-1isize, 1] {
+                    let moved = current[a] as isize + dir;
+                    if moved < 0 || moved >= lens[a] as isize {
+                        continue;
+                    }
+                    let mut idx = current;
+                    idx[a] = moved as usize;
+                    neighbours.push(idx);
+                }
+            }
+            shuffle(&mut neighbours, &mut rng);
+            let mut moved = false;
+            for n in neighbours {
+                if session.is_visited(&n) {
+                    continue; // already folded into the incumbent
+                }
+                session.eval_batch(&[n])?;
+                if session.incumbent() != Some(current) {
+                    moved = true;
+                    break; // first improvement: climb from there
+                }
+            }
+            if !moved {
+                return Ok(()); // local optimum
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_stride_gives_at_most_five_coarse_values() {
+        for len in 1..=200 {
+            let s = initial_stride(len);
+            let coarse = coarse_indices(len, s);
+            assert!(coarse.len() <= 5, "len {len}: {coarse:?}");
+            assert_eq!(*coarse.first().unwrap(), 0);
+            assert_eq!(*coarse.last().unwrap(), len - 1);
+            // Strictly increasing (endpoint not duplicated).
+            assert!(coarse.windows(2).all(|w| w[0] < w[1]), "{coarse:?}");
+        }
+        assert_eq!(initial_stride(61), 16);
+        assert_eq!(coarse_indices(61, 16), vec![0, 16, 32, 48, 60]);
+        assert_eq!(initial_stride(2), 1);
+        assert_eq!(initial_stride(1), 1);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let base: Vec<u32> = (0..10).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let mut rng_a = 42u64;
+        let mut rng_b = 42u64;
+        shuffle(&mut a, &mut rng_a);
+        shuffle(&mut b, &mut rng_b);
+        assert_eq!(a, b);
+        let mut c = base.clone();
+        let mut rng_c = 43u64;
+        shuffle(&mut c, &mut rng_c);
+        assert_ne!(a, c, "different seeds should differ on 10 items");
+        let mut sorted = a;
+        sorted.sort_unstable();
+        assert_eq!(sorted, base);
+    }
+}

@@ -46,3 +46,6 @@ pub use chain_nn_nets as nets;
 pub use chain_nn_serve as serve;
 /// Tensors and golden-model convolution.
 pub use chain_nn_tensor as tensor;
+/// Budget-constrained auto-tuner searching the design space instead of
+/// sweeping it.
+pub use chain_nn_tuner as tuner;

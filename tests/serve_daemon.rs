@@ -195,6 +195,162 @@ fn session_is_robust_and_consistent_with_the_library() {
     daemon.join().expect("daemon");
 }
 
+/// A tune served by the daemon chooses the same point as the local
+/// tuner (backend-independence of the search), interleaves with the
+/// scheduler, and a repeat tune after a restart on the same cache file
+/// is answered without a single fresh evaluation.
+#[test]
+fn daemon_tune_matches_local_and_is_cached_across_restarts() {
+    use chain_nn_repro::tuner::{tune, Budget, CacheEvaluator, TuneRequest};
+
+    let cache_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("chain_nn_serve_tune_{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let config = |path: &PathBuf| ServerConfig {
+        threads: 2,
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let request = TuneRequest {
+        budget: Budget {
+            max_system_mw: Some(500.0),
+            ..Budget::default()
+        },
+        ..TuneRequest::default()
+    };
+
+    // Local reference.
+    let local_cache = chain_nn_repro::dse::PointCache::new();
+    let local = tune(&request, &mut CacheEvaluator::new(&local_cache, 2)).expect("local tune");
+    let local_best = local.best.expect("admitted point exists");
+
+    // First daemon lifetime: fresh evaluations, then persisted.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("connect");
+    let first = match client.tune(request.clone()).expect("tune round trip") {
+        Response::Tune(summary) => summary,
+        other => panic!("expected tune summary, got {other:?}"),
+    };
+    let first_best = first.best.clone().expect("daemon found a point");
+    assert_eq!(
+        first_best.point, local_best.point,
+        "daemon diverged from local"
+    );
+    assert!(first_best.admitted);
+    assert_eq!(first.evaluations, local.evaluations);
+    assert_eq!(first.cache_misses, local.cache_misses);
+    client.shutdown().expect("shutdown");
+    let report = daemon.join().expect("daemon");
+    assert_eq!(report.persisted as u64, first.cache_misses);
+
+    // Second lifetime: the identical tune replays entirely from disk.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("reconnect");
+    let again = match client.tune(request).expect("tune round trip") {
+        Response::Tune(summary) => summary,
+        other => panic!("expected tune summary, got {other:?}"),
+    };
+    assert_eq!(again.best, first.best);
+    assert_eq!(again.cache_misses, 0, "restarted tune must be free");
+    assert_eq!(again.cache_hits, first.cache_misses);
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+    std::fs::remove_file(&cache_path).ok();
+}
+
+/// Beyond `--max-connections` the daemon answers one `busy` line at the
+/// accept loop and closes, instead of accumulating session threads; a
+/// freed slot is reusable.
+#[test]
+fn connection_bound_refuses_with_busy_then_recovers() {
+    use std::io::{BufRead, BufReader};
+
+    let (addr, daemon) = start(ServerConfig {
+        threads: 1,
+        max_connections: 2,
+        ..ServerConfig::default()
+    });
+
+    // Two live sessions (a served request proves each is registered).
+    let mut a = Client::connect(addr).expect("connect a");
+    assert!(matches!(a.stats().expect("stats"), Response::Stats(_)));
+    let mut b = Client::connect(addr).expect("connect b");
+    match b.stats().expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.open_connections, 2);
+            assert_eq!(stats.max_connections, 2);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // The third connection is refused with a busy line, then EOF.
+    let refused = std::net::TcpStream::connect(addr).expect("tcp connect");
+    let mut lines = BufReader::new(refused);
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("busy line");
+    assert!(line.contains("\"ok\":false"), "{line}");
+    assert!(line.contains("\"error\":\"busy\""), "{line}");
+    line.clear();
+    assert_eq!(lines.read_line(&mut line).expect("eof"), 0, "{line}");
+
+    // Dropping a session frees its slot (the daemon notices the EOF
+    // asynchronously, so poll briefly).
+    drop(a);
+    let mut c = None;
+    for _ in 0..200 {
+        let mut candidate = Client::connect(addr).expect("tcp connect");
+        if let Ok(Response::Stats(_)) = candidate.stats() {
+            c = Some(candidate);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let mut c = c.expect("slot freed after disconnect");
+    assert!(matches!(c.stats().expect("stats"), Response::Stats(_)));
+
+    c.shutdown().expect("shutdown");
+    drop(b);
+    daemon.join().expect("daemon");
+}
+
+/// `--cache-cap` bounds the in-memory cache even without a cache file:
+/// the daemon discards the dirty journal after each request (there is
+/// nothing to persist), so flushed-out entries become evictable and
+/// the cache cannot grow without limit.
+#[test]
+fn cache_cap_bounds_memory_without_a_cache_file() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        cache_capacity: Some(16), // one point per shard
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    // Two disjoint sweeps of 40 points each. The first sweep's entries
+    // are journal-clean by the time the second runs, so the second's
+    // inserts must evict: far fewer than 80 points can remain.
+    let first = lenet_grid((1..=20).map(|i| i * 25).collect());
+    let second = lenet_grid((21..=40).map(|i| i * 25).collect());
+    sweep_summary(&mut client, &first);
+    sweep_summary(&mut client, &second);
+    match client.stats().expect("stats") {
+        Response::Stats(stats) => {
+            assert!(
+                stats.cached_points < first.len() + second.len(),
+                "capacity bound never evicted: {} points",
+                stats.cached_points
+            );
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    // The daemon still answers correctly after evictions.
+    sweep_summary(&mut client, &first);
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
 /// A hostile newline-free stream is refused with one error reply and a
 /// closed connection instead of being buffered into daemon memory.
 #[test]

@@ -1,0 +1,244 @@
+//! Acceptance tests of the budget-constrained auto-tuner: quality
+//! bounds against the constrained-exhaustive optimum, the evaluation
+//! budget (tune ≪ exhaustive), determinism across seeds and thread
+//! counts, and workload-mix aggregation edge cases.
+
+use chain_nn_repro::dse::{executor, DesignPoint, MixResult, PointCache, WorkloadMix};
+use chain_nn_repro::tuner::{
+    tune, Budget, CacheEvaluator, Objective, StrategyKind, TuneRequest, Tuned,
+};
+
+/// The constrained-exhaustive optimum: sweep the whole grid, keep the
+/// admitted points, take the best under the default objective (fps,
+/// then power, then gates; exact ties — which the grid has, since many
+/// PE counts map the same kernel multiple — broken by content hash the
+/// way the tuner breaks them).
+fn exhaustive_best(budget: &Budget) -> (DesignPoint, MixResult) {
+    let spec = TuneRequest::default().space;
+    let points = spec.points();
+    let cache = PointCache::new();
+    let outcomes = executor::run(&points, 4, &cache).expect("exhaustive sweep");
+    let objective = Objective::default();
+    points
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(p, o)| {
+            let r = MixResult::from(o.result()?);
+            budget.admits(&r).then(|| (p.clone(), r))
+        })
+        .max_by(|(pa, a), (pb, b)| {
+            objective
+                .compare(a, b)
+                // Smaller content hash wins a full tie.
+                .then_with(|| pb.content_hash().cmp(&pa.content_hash()))
+        })
+        .expect("budget admits something")
+}
+
+fn run_tune(budget: Budget, strategy: StrategyKind, seed: u64, threads: usize) -> (Tuned, u64) {
+    let request = TuneRequest {
+        budget,
+        strategy,
+        seed,
+        ..TuneRequest::default()
+    };
+    let cache = PointCache::new();
+    let report = tune(&request, &mut CacheEvaluator::new(&cache, threads)).expect("tune runs");
+    (
+        report.best.expect("feasible points exist"),
+        report.evaluations,
+    )
+}
+
+/// The headline acceptance criterion: under a 500 mW system budget the
+/// tuner lands within 2 % of the constrained-exhaustive optimum while
+/// visiting < 15 % of the grid.
+#[test]
+fn tune_500mw_matches_exhaustive_within_2_percent_under_15_percent_evals() {
+    let budget = Budget {
+        max_system_mw: Some(500.0),
+        ..Budget::default()
+    };
+    let (best_point, best_result) = exhaustive_best(&budget);
+    let (tuned, evaluations) = run_tune(budget, StrategyKind::Halving, 0, 2);
+
+    assert!(tuned.admitted);
+    assert!(tuned.result.system_mw() <= 500.0);
+    assert!(
+        tuned.result.fps >= 0.98 * best_result.fps,
+        "tuned {} fps vs exhaustive {} fps at {}",
+        tuned.result.fps,
+        best_result.fps,
+        best_point
+    );
+    let grid = TuneRequest::default().space.len();
+    assert_eq!(grid, 244, "default grid changed; re-derive the budget");
+    assert!(
+        (evaluations as f64) < 0.15 * grid as f64,
+        "{evaluations} evaluations is not < 15% of {grid}"
+    );
+    // On this grid the tuner in fact finds the exact optimum.
+    assert_eq!(tuned.point, best_point);
+}
+
+/// When the budget admits the paper's hand-picked 576-PE point as the
+/// optimum (budget = that point's own system power), the tuner returns
+/// exactly it.
+#[test]
+fn paper_point_is_returned_when_the_budget_admits_it() {
+    let paper = DesignPoint::paper_alexnet();
+    let paper_result = chain_nn_repro::dse::evaluate(&paper).expect("paper point evaluates");
+    let paper_result = paper_result.result().expect("feasible");
+    let budget = Budget {
+        max_system_mw: Some(paper_result.system_mw()),
+        ..Budget::default()
+    };
+    // Exhaustively: nothing under this budget beats the paper point.
+    let (best_point, _) = exhaustive_best(&budget);
+    assert_eq!(best_point, paper, "grid optimum is the paper point");
+    // And the tuner finds it without sweeping.
+    let (tuned, evaluations) = run_tune(budget, StrategyKind::Halving, 0, 2);
+    assert_eq!(tuned.point, paper);
+    assert!(tuned.admitted);
+    assert!((evaluations as f64) < 0.15 * 244.0);
+}
+
+/// Same budget + seed ⇒ byte-identical chosen point at any thread
+/// count, for both strategies.
+#[test]
+fn tuner_is_deterministic_across_thread_counts() {
+    let budget = Budget {
+        max_system_mw: Some(650.0),
+        ..Budget::default()
+    };
+    for strategy in [StrategyKind::Halving, StrategyKind::HillClimb] {
+        let (reference, _) = run_tune(budget, strategy, 42, 1);
+        for threads in [2, 4, 16] {
+            let (tuned, _) = run_tune(budget, strategy, 42, threads);
+            assert_eq!(
+                tuned.point, reference.point,
+                "{strategy} diverged at {threads} threads"
+            );
+            assert_eq!(
+                tuned.result.fps.to_bits(),
+                reference.result.fps.to_bits(),
+                "{strategy} result drifted at {threads} threads"
+            );
+        }
+        // Re-running the same seed is also stable run to run.
+        let (again, _) = run_tune(budget, strategy, 42, 1);
+        assert_eq!(again, reference);
+    }
+}
+
+/// Hill-climb honours its seed deterministically even when different
+/// seeds explore in different orders.
+#[test]
+fn hill_climb_seeds_are_individually_deterministic() {
+    let budget = Budget {
+        max_system_mw: Some(500.0),
+        ..Budget::default()
+    };
+    for seed in [0, 1, 7, 123456789] {
+        let (a, evals_a) = run_tune(budget, StrategyKind::HillClimb, seed, 1);
+        let (b, evals_b) = run_tune(budget, StrategyKind::HillClimb, seed, 4);
+        assert_eq!(a, b, "seed {seed} not deterministic");
+        assert_eq!(evals_a, evals_b, "seed {seed} visited different sets");
+    }
+}
+
+/// A zero-weight network neither constrains nor changes a tune: the
+/// mix drops it at construction.
+#[test]
+fn zero_weight_nets_do_not_affect_the_tune() {
+    let budget = Budget {
+        max_system_mw: Some(700.0),
+        ..Budget::default()
+    };
+    let with_zero = TuneRequest {
+        mix: WorkloadMix::parse("alexnet:1,vgg16:0").expect("valid mix"),
+        budget,
+        ..TuneRequest::default()
+    };
+    let without = TuneRequest {
+        mix: WorkloadMix::parse("alexnet").expect("valid mix"),
+        budget,
+        ..TuneRequest::default()
+    };
+    let cache = PointCache::new();
+    let a = tune(&with_zero, &mut CacheEvaluator::new(&cache, 2)).expect("tune");
+    let b = tune(&without, &mut CacheEvaluator::new(&cache, 2)).expect("tune");
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.evaluations, b.evaluations);
+}
+
+/// A single-net mix tunes to the same point as the plain per-net
+/// objectives — the aggregation is the identity there — while a real
+/// mix must respect the worst-case power of BOTH networks.
+#[test]
+fn mix_tune_respects_the_hungriest_network() {
+    let budget = Budget {
+        max_system_mw: Some(900.0),
+        ..Budget::default()
+    };
+    let request = TuneRequest {
+        mix: WorkloadMix::parse("alexnet:0.7,vgg16:0.3").expect("valid mix"),
+        budget,
+        ..TuneRequest::default()
+    };
+    let cache = PointCache::new();
+    let report = tune(&request, &mut CacheEvaluator::new(&cache, 2)).expect("tune");
+    let best = report.best.expect("admitted points exist");
+    assert!(best.admitted);
+    // The constraint binds on the worst network, so the chosen
+    // configuration's VGG-16 evaluation must itself fit the budget.
+    let vgg_point = DesignPoint {
+        net: "vgg16".into(),
+        ..best.point.clone()
+    };
+    let vgg = chain_nn_repro::dse::evaluate(&vgg_point).expect("evaluates");
+    let vgg = vgg.result().expect("feasible");
+    assert!(vgg.system_mw() <= 900.0 + 1e-9);
+    // And the mix fps is the weighted harmonic mean: between the two
+    // per-net rates, nearer the slower one than an arithmetic mean.
+    let alex_point = DesignPoint {
+        net: "alexnet".into(),
+        ..best.point.clone()
+    };
+    let alex = chain_nn_repro::dse::evaluate(&alex_point).expect("evaluates");
+    let alex = alex.result().expect("feasible");
+    let (hi, lo) = (alex.fps.max(vgg.fps), alex.fps.min(vgg.fps));
+    assert!(lo <= best.result.fps && best.result.fps <= hi);
+    let harmonic = 1.0 / (0.7 / alex.fps + 0.3 / vgg.fps);
+    assert!((best.result.fps - harmonic).abs() / harmonic < 1e-12);
+}
+
+/// The default objective can be swapped: minimizing power under an fps
+/// floor picks a different corner of the space than maximizing fps
+/// under a power ceiling.
+#[test]
+fn objective_direction_changes_the_chosen_point() {
+    let fast = TuneRequest {
+        budget: Budget {
+            max_system_mw: Some(650.0),
+            ..Budget::default()
+        },
+        ..TuneRequest::default()
+    };
+    let frugal = TuneRequest {
+        budget: Budget {
+            min_fps: Some(50.0),
+            ..Budget::default()
+        },
+        objective: Objective::parse("power,fps").expect("valid objective"),
+        ..TuneRequest::default()
+    };
+    let cache = PointCache::new();
+    let fast = tune(&fast, &mut CacheEvaluator::new(&cache, 2)).expect("tune");
+    let frugal = tune(&frugal, &mut CacheEvaluator::new(&cache, 2)).expect("tune");
+    let fast = fast.best.expect("found");
+    let frugal = frugal.best.expect("found");
+    assert!(frugal.result.system_mw() < fast.result.system_mw());
+    assert!(fast.result.fps > frugal.result.fps);
+    assert!(frugal.result.fps >= 50.0);
+}
