@@ -100,24 +100,31 @@ simulator:
 design-space exploration:
   dse      [--pes 64..=1024:16] [--freq 350,700] [--kmem 256] [--imem-kb 32]
            [--omem-kb 25] [--bits 16] [--batch 1,4] [--net alexnet[,vgg16...]]
-           [--threads N] [--probe off] [--out FILE.csv] [--json FILE.json]
-           [--frontier FILE.csv]
+           [--threads N] [--probe off] [--cache-file FILE] [--out FILE.csv]
+           [--json FILE.json] [--frontier FILE.csv]
            parallel sweep over the model stack; axes are ranges (step
-           defaults to 1) or comma lists; prints the Pareto frontier
-           (fps x system power x area) and the 1-vs-N-thread evaluation
-           speedup (--probe off skips that measurement); writes CSV/JSON
+           defaults to 1) or comma lists; every point carries the
+           measured SQNR of its (net, word width) pair, so --bits 8,16
+           sweeps are comparable on the fps x power x SQNR frontier;
+           prints both Pareto frontiers and the 1-vs-N-thread evaluation
+           speedup (--probe off skips that measurement); writes CSV/JSON;
+           --cache-file makes repeated sweeps incremental across runs
+           (a fully-cached sweep reports 0 accuracy recomputations)
 
 auto-tuner:
   tune     [--mix alexnet:0.7,vgg16:0.3] [--max-mw 500] [--max-gates-k N]
-           [--min-fps N] [--objective fps,power,gates | fps:1,power:0.2]
+           [--min-fps N] [--min-sqnr-db N]
+           [--objective fps,power,gates | fps:1,power:0.2]
            [--strategy halving|hillclimb] [--seed 0] [--threads N]
            [--cache-file FILE] [--port 7878 [--host H]]
            [--pes/--freq/--kmem/--imem-kb/--omem-kb/--bits/--batch axes]
            search the grid for the best configuration serving the
-           workload mix under the budget, instead of sweeping it; with
-           --port the search runs on a live daemon (sharing its cache),
-           otherwise locally (--cache-file makes local tunes
-           incremental across runs)
+           workload mix under the budget, instead of sweeping it;
+           --min-sqnr-db adds a measured-accuracy floor (with --bits
+           8,16 it is what stops free 8-bit wins); with --port the
+           search runs on a live daemon (sharing its cache), otherwise
+           locally (--cache-file makes local tunes incremental across
+           runs)
   compact  --cache-file FILE
            rewrite a cache snapshot dropping duplicate/rejected records
            (load also compacts automatically past 50% dead records)
@@ -134,8 +141,9 @@ explorer daemon:
   query    [--port 7878] [--host 127.0.0.1] REQUEST
            send one request to a running daemon and print the reply;
            REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
-           bare word shorthand: stats | frontier | frontier2 | shutdown
-           | eval (the paper point)
+           bare word shorthand: stats | frontier | frontier2 |
+           frontier-sqnr | shutdown | eval (the paper point); the full
+           wire reference is docs/PROTOCOL.md
 "
     .to_owned()
 }
@@ -211,6 +219,14 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
     let spec = sweep_from(flags)?;
     let threads = flags.get_or("threads", executor::default_threads())?;
     let mut explorer = Explorer::new();
+    // --cache-file makes standalone sweeps incremental across runs, the
+    // same way the daemon's snapshot does: load before, flush after.
+    let cache_file = flags.get_str("cache-file").map(CacheFile::new);
+    let mut loaded = 0;
+    if let Some(file) = &cache_file {
+        loaded = file.load_into(explorer.cache())?.loaded;
+    }
+    let accuracy_before = chain_nn_dse::accuracy::recomputations();
     let result = explorer.run(&spec, threads)?;
 
     let mut s = String::new();
@@ -231,6 +247,13 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
         result.stats.cache_hits,
         result.stats.cache_misses,
         100.0 * run_cache.hit_rate()
+    );
+    // One measurement per fresh (net, word width) pair; cached points
+    // and memoized pairs cost nothing — a fully-cached sweep reports 0.
+    let _ = writeln!(
+        s,
+        "accuracy recomputations: {}",
+        chain_nn_dse::accuracy::recomputations() - accuracy_before
     );
 
     // Speedup vs --threads 1, measured as sustained evaluation
@@ -264,14 +287,24 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
     );
     let _ = writeln!(
         s,
-        "{:<10} {:>6} {:>6} {:>6} {:>5} {:>3} {:>9} {:>10} {:>10} {:>9}",
-        "net", "pes", "MHz", "kmem", "batch", "w", "fps", "system mW", "gates(k)", "GOPS/W"
+        "{:<10} {:>6} {:>6} {:>6} {:>5} {:>3} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "net",
+        "pes",
+        "MHz",
+        "kmem",
+        "batch",
+        "w",
+        "fps",
+        "system mW",
+        "gates(k)",
+        "GOPS/W",
+        "SQNR dB"
     );
     for (p, r) in result.frontier_points() {
         let paper = *p == chain_nn_dse::DesignPoint::paper_alexnet();
         let _ = writeln!(
             s,
-            "{:<10} {:>6} {:>6.0} {:>6} {:>5} {:>3} {:>9.1} {:>10.1} {:>10.0} {:>9.1}{}",
+            "{:<10} {:>6} {:>6.0} {:>6} {:>5} {:>3} {:>9.1} {:>10.1} {:>10.0} {:>9.1} {:>9.1}{}",
             p.net,
             p.pes,
             p.freq_mhz,
@@ -282,9 +315,16 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
             r.system_mw(),
             r.gates_k,
             r.gops_per_watt(),
+            r.sqnr_db,
             if paper { "   <- paper" } else { "" },
         );
     }
+    let _ = writeln!(
+        s,
+        "accuracy frontier (fps x system mW x SQNR): {} points (sqnr_db / frontier_sqnr \
+         columns in the CSV/JSON exports)",
+        result.frontier_sqnr.len()
+    );
     if result.contains_paper_point_on_frontier() {
         let _ = writeln!(
             s,
@@ -303,6 +343,16 @@ fn dse_cmd(flags: &Flags) -> CmdResult {
     if let Some(path) = flags.get_str("json") {
         std::fs::write(path, export::results_json(&result))?;
         let _ = writeln!(s, "wrote JSON to {path}");
+    }
+    if let Some(file) = &cache_file {
+        let appended = file.flush_dirty(explorer.cache())?;
+        let _ = writeln!(
+            s,
+            "cache file {}: {} points loaded, {} appended",
+            file.path().display(),
+            loaded,
+            appended
+        );
     }
     Ok(s)
 }
@@ -342,13 +392,15 @@ fn tune_report_text(
             );
             let _ = writeln!(
                 s,
-                "  {:.1} fps | {:.1} mW system ({:.1} chip + {:.1} DRAM) | {:.0}k gates | {:.1} GOPS/W",
+                "  {:.1} fps | {:.1} mW system ({:.1} chip + {:.1} DRAM) | {:.0}k gates | \
+                 {:.1} GOPS/W | {:.1} dB SQNR",
                 t.result.fps,
                 t.result.system_mw(),
                 t.result.chip_mw,
                 t.result.dram_mw,
                 t.result.gates_k,
-                t.result.gops_per_watt()
+                t.result.gops_per_watt(),
+                t.result.sqnr_db
             );
         }
     }
@@ -381,6 +433,7 @@ fn tune_cmd(flags: &Flags) -> CmdResult {
             max_system_mw: opt_flag(flags, "max-mw")?,
             max_gates_k: opt_flag(flags, "max-gates-k")?,
             min_fps: opt_flag(flags, "min-fps")?,
+            min_sqnr_db: opt_flag(flags, "min-sqnr-db")?,
         },
         objective: match flags.get_str("objective") {
             None => Objective::default(),
@@ -521,13 +574,14 @@ fn query_cmd(tokens: &[String]) -> CmdResult {
     let port = flags.get_or("port", 7878u16)?;
     let request = positionals.join(" ");
     if request.is_empty() {
-        return Err("query needs a REQUEST (a JSON object or: stats | frontier | frontier2 | shutdown | eval)".into());
+        return Err("query needs a REQUEST (a JSON object or: stats | frontier | frontier2 | frontier-sqnr | shutdown | eval)".into());
     }
     // Bare-word shorthands for the no-payload requests.
     let line = match request.as_str() {
         "stats" => r#"{"type":"stats"}"#.to_owned(),
         "frontier" => r#"{"type":"frontier","dims":3}"#.to_owned(),
         "frontier2" => r#"{"type":"frontier","dims":2}"#.to_owned(),
+        "frontier-sqnr" => r#"{"type":"frontier","dims":3,"axes":"sqnr"}"#.to_owned(),
         "shutdown" => r#"{"type":"shutdown"}"#.to_owned(),
         "eval" => r#"{"type":"eval"}"#.to_owned(),
         other => other.to_owned(),
@@ -933,11 +987,80 @@ mod tests {
     }
 
     #[test]
+    fn dse_cache_file_makes_sweeps_incremental_with_zero_accuracy_recomputes() {
+        let path =
+            std::env::temp_dir().join(format!("chain_nn_cli_dse_{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let args = [
+            "dse",
+            "--pes",
+            "25,50",
+            "--freq",
+            "700",
+            "--net",
+            "lenet",
+            "--batch",
+            "1",
+            "--threads",
+            "1",
+            "--cache-file",
+            path.to_str().expect("utf-8 temp path"),
+        ];
+        let first = run(&args);
+        assert!(first.contains("2 misses"), "{first}");
+        assert!(first.contains("points loaded, 2 appended"), "{first}");
+        // Settle every (net, width) pair concurrent tests in this
+        // binary can measure: the recomputation counter is
+        // process-global, and a measurement completing between the
+        // second run's before/after reads would break its "0" report.
+        for net in ["lenet", "cifar10", "alexnet", "vgg16"] {
+            for bits in [8u32, 16] {
+                chain_nn_dse::accuracy::sqnr_for(net, bits).expect("zoo pair measures");
+            }
+        }
+        // Second run: every point (and with it its SQNR) comes off the
+        // snapshot — zero evaluations, zero accuracy recomputations.
+        let second = run(&args);
+        assert!(second.contains("2 hits / 0 misses"), "{second}");
+        assert!(second.contains("accuracy recomputations: 0"), "{second}");
+        assert!(second.contains("2 points loaded, 0 appended"), "{second}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tune_min_sqnr_db_floor_forces_the_wide_word() {
+        // 8- and 16-bit words at one configuration: without the floor
+        // the cooler 8-bit point wins; the accuracy floor flips it.
+        let base = [
+            "tune",
+            "--pes",
+            "576",
+            "--freq",
+            "700",
+            "--batch",
+            "4",
+            "--bits",
+            "8,16",
+            "--threads",
+            "1",
+        ];
+        let free = run(&base);
+        assert!(free.contains(" w8 "), "{free}");
+        let mut strict = base.to_vec();
+        strict.extend(["--min-sqnr-db", "50"]);
+        let strict = run(&strict);
+        assert!(strict.contains(" w16 "), "{strict}");
+        assert!(strict.contains("SQNR >= 50 dB"), "{strict}");
+        assert!(strict.contains("within budget"), "{strict}");
+    }
+
+    #[test]
     fn tune_rejects_bad_flags() {
         for bad in [
             vec!["tune", "--net", "alexnet"],
             vec!["tune", "--mix", "squeezenet"],
             vec!["tune", "--max-mw", "cheap"],
+            vec!["tune", "--min-sqnr-db", "lots"],
             vec!["tune", "--objective", "warp"],
             vec!["tune", "--strategy", "warp"],
             // Local-only knobs are refused (not silently ignored) on

@@ -1,0 +1,386 @@
+//! Measured quantization accuracy: the DSE's SQNR axis.
+//!
+//! The paper validates its 16-bit fixed-point datapath by comparing a
+//! float reference against the fixed-point simulator (§V.A) and
+//! reporting the quantization error. Until this module existed, the
+//! DSE's operand-width axis charged narrow words *nothing* for the
+//! precision they give up, so 8-bit points dominated 16-bit points on
+//! every modeled objective (the old DESIGN.md §4 caveat). This module
+//! closes that gap with a **measured** accuracy model:
+//!
+//! * For one `(network, word width)` pair, [`measure`] runs every conv
+//!   layer of the network in float and in fixed point — the
+//!   `examples/quantization.rs` pipeline (`fixed` quantizers,
+//!   `nets::synth` seeded data, `tensor::conv` golden convolutions) —
+//!   layer by layer, and pools the per-layer error statistics into one
+//!   SQNR figure (the paper's §V.A error tables are per layer too).
+//! * Layers are shrunk to statistical proxies (channel and spatial
+//!   extents capped, kernel/stride/grouping preserved) so a measurement
+//!   costs milliseconds, not the minutes a full VGG-16 inference would:
+//!   SQNR is a ratio of per-element second moments, which subsampling
+//!   preserves, unlike total runtime.
+//! * Q-formats are chosen per layer by the paper's own range-analysis
+//!   flow: [`QFormat::fit`] on the actual tensors, narrowed by
+//!   `16 − word_bits` to emulate the narrower datapath, then trimmed
+//!   until the 32-bit accumulator has headroom for the layer's output
+//!   range (saturating accumulation models the write-back converter).
+//!
+//! The result depends only on `(net, word_bits)` — not on PEs, clock or
+//! memory sizing — so it is memoized process-wide ([`sqnr_for`]) and
+//! rides every persisted [`crate::eval::PointResult`] record
+//! (`dse::persist` schema v2), which is what makes a restarted daemon
+//! re-serve SQNR without recomputing anything. [`recomputations`]
+//! counts actual measurements, so callers can prove cache behaviour
+//! ("second identical sweep: 0 accuracy recomputations").
+//!
+//! **Why SQNR and not top-1 accuracy:** the repository has no trained
+//! weights and no dataset (DESIGN.md §5 — the paper's MatConvNet models
+//! are unavailable), so task accuracy is unmeasurable here. SQNR against
+//! the float reference on range-realistic synthetic tensors is exactly
+//! the metric the paper's own §V.A verification flow uses, and it is the
+//! quantity the datapath width actually controls.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_dse::accuracy;
+//!
+//! let wide = accuracy::sqnr_for("lenet", 16).unwrap();
+//! let narrow = accuracy::sqnr_for("lenet", 8).unwrap();
+//! assert!(wide > narrow + 20.0, "16-bit must buy real precision");
+//! // Memoized: asking again measures nothing new.
+//! assert_eq!(accuracy::sqnr_for("lenet", 16).unwrap(), wide);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use chain_nn_fixed::error::{compare, ErrorStats};
+use chain_nn_fixed::{OverflowMode, QFormat};
+use chain_nn_nets::synth::SynthSource;
+use chain_nn_nets::{ConvLayerSpec, Network};
+use chain_nn_tensor::conv::{conv2d_f32, conv2d_fix};
+use chain_nn_tensor::ops;
+
+use crate::{network_by_name, DseError};
+
+/// Pooled float-vs-fixed error statistics of one `(net, word)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyStats {
+    /// Signal-to-quantization-noise ratio in dB, pooled over every
+    /// layer's output activations (per-element mean of squared signal
+    /// over per-element mean of squared error).
+    pub sqnr_db: f64,
+    /// Pooled mean squared error.
+    pub mse: f64,
+    /// Largest absolute error seen on any layer output.
+    pub max_abs: f64,
+    /// Output elements compared across all layers.
+    pub count: usize,
+}
+
+/// Seed of the synthetic data source; fixed so the measurement is a
+/// pure function of `(net, word_bits)`.
+const SYNTH_SEED: u64 = 42;
+
+/// Per-group channel cap of the layer proxies.
+const PROXY_CHANNELS: usize = 16;
+
+/// Output positions per spatial dimension of the layer proxies.
+const PROXY_OUT: usize = 4;
+
+/// Shrinks `layer` to its statistical proxy: kernel, stride, padding
+/// and grouping structure preserved; per-group channel counts capped at
+/// [`PROXY_CHANNELS`], group count capped at 4, spatial extent capped
+/// so at most [`PROXY_OUT`] output positions remain per dimension.
+fn proxy_layer(layer: &ConvLayerSpec) -> ConvLayerSpec {
+    let groups = layer.groups().min(4);
+    let c = groups * layer.c_per_group().min(PROXY_CHANNELS);
+    let m = groups * layer.m_per_group().min(PROXY_CHANNELS);
+    let h = layer
+        .h()
+        .min(layer.k() + (PROXY_OUT - 1) * layer.stride())
+        .max(layer.k().saturating_sub(2 * layer.pad()).max(1));
+    ConvLayerSpec::named(
+        layer.name(),
+        c,
+        h,
+        h,
+        layer.k(),
+        layer.stride(),
+        layer.pad(),
+        m,
+        groups,
+    )
+    .expect("proxy of a valid layer is valid")
+}
+
+/// The activation/weight Q-formats of one layer at `word_bits`:
+/// range-fit at 16 bits, narrowed to the emulated width, then trimmed
+/// until the layer's float output range fits the 32-bit accumulator
+/// with one guard bit.
+fn layer_formats(
+    word_bits: u32,
+    acts: &[f32],
+    weights: &[f32],
+    float_out_max: f32,
+) -> (QFormat, QFormat) {
+    let shrink = 16 - word_bits; // word widths are validated 8 | 16
+    let mut fa = QFormat::fit(acts).frac_bits().saturating_sub(shrink);
+    let mut fw = QFormat::fit(weights).frac_bits().saturating_sub(shrink);
+    // Raw accumulated outputs are ≈ out · 2^(fa+fw); keep them below
+    // 2^30 so saturation only models genuine overflow, not headroom.
+    let out_bits = float_out_max.max(1.0).log2().ceil().max(0.0) as u32 + 1;
+    while fa + fw > 30u32.saturating_sub(out_bits) {
+        if fa >= fw && fa > 0 {
+            fa -= 1;
+        } else if fw > 0 {
+            fw -= 1;
+        } else {
+            break;
+        }
+    }
+    (
+        QFormat::new(fa).expect("trimmed format valid"),
+        QFormat::new(fw).expect("trimmed format valid"),
+    )
+}
+
+/// Measures the float-vs-fixed quantization error of `net` at
+/// `word_bits` on the layer proxies. Deterministic: same inputs, same
+/// answer, bit for bit.
+///
+/// # Errors
+///
+/// Returns [`DseError::Spec`] for a word width the datapath models do
+/// not support (anything but 8 or 16 bits).
+pub fn measure(net: &Network, word_bits: u32) -> Result<AccuracyStats, DseError> {
+    if !matches!(word_bits, 8 | 16) {
+        return Err(DseError::Spec(format!(
+            "word width {word_bits} unsupported (expected 8 or 16 bits)"
+        )));
+    }
+    let mut src = SynthSource::new(SYNTH_SEED);
+    let proxies: Vec<ConvLayerSpec> = net.layers().iter().map(proxy_layer).collect();
+
+    let (mut sq_err, mut sig, mut max_abs, mut count) = (0f64, 0f64, 0f64, 0usize);
+    for layer in &proxies {
+        // Per-layer comparison on fresh range-realistic tensors (the
+        // paper's §V.A tables are also per layer): the proxies' spatial
+        // extents do not compose, so activations are drawn at each
+        // layer's own input shape rather than chained through.
+        let float_act = src.activations(layer, 1, 2.0);
+        let weights = src.weights(layer);
+        // Float reference (then ReLU, as between real conv layers).
+        let fref = conv2d_f32(&float_act, &weights, None, layer.geometry())
+            .map_err(|e| DseError::Spec(format!("accuracy proxy for '{}': {e}", layer.name())))?;
+        let fref = ops::relu(&fref);
+        let out_max = fref.as_slice().iter().fold(0f32, |m, &x| m.max(x.abs()));
+
+        // The fixed path quantizes the SAME inputs the float path
+        // consumed, so the measured error is pure quantization noise —
+        // like hardware with a requantizing write-back between layers.
+        let (act_fmt, w_fmt) =
+            layer_formats(word_bits, float_act.as_slice(), weights.as_slice(), out_max);
+        let qa = float_act.map(|x| act_fmt.quantize(x));
+        let qw = weights.map(|x| w_fmt.quantize(x));
+        let raw = conv2d_fix(&qa, &qw, layer.geometry(), OverflowMode::Saturating)
+            .map_err(|e| DseError::Spec(format!("accuracy proxy for '{}': {e}", layer.name())))?;
+        let scale = 2f64.powi(-((act_fmt.frac_bits() + w_fmt.frac_bits()) as i32)) as f32;
+        let ffix = raw.map(|v| (v as f32 * scale).max(0.0));
+
+        let stats = compare(fref.as_slice(), ffix.as_slice());
+        sq_err += stats.mse * stats.count as f64;
+        sig += stats.signal_power * stats.count as f64;
+        max_abs = max_abs.max(stats.max_abs);
+        count += stats.count;
+    }
+    let pooled = ErrorStats {
+        mse: sq_err / count as f64,
+        max_abs,
+        signal_power: sig / count as f64,
+        count,
+    };
+    Ok(AccuracyStats {
+        sqnr_db: pooled.sqnr_db(),
+        mse: pooled.mse,
+        max_abs: pooled.max_abs,
+        count: pooled.count,
+    })
+}
+
+type Memo = Mutex<HashMap<(String, u32), f64>>;
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(Memo::default)
+}
+
+fn recompute_counter() -> &'static AtomicU64 {
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+    &COUNT
+}
+
+/// How many actual [`measure`] runs this process has performed — the
+/// number that proves memoization ("second identical sweep: 0 accuracy
+/// recomputations"). Monotonic over the process lifetime; take deltas.
+pub fn recomputations() -> u64 {
+    recompute_counter().load(Ordering::Relaxed)
+}
+
+/// The memoized SQNR of `(net, word_bits)` in dB: measured once per
+/// process per pair (under a lock, so racing callers never measure the
+/// same pair twice), answered from the memo afterwards. The persistence
+/// layer pre-seeds the memo from loaded records ([`seed`]), so a daemon
+/// restarted on a cache file does not re-measure what its snapshot
+/// already knows.
+///
+/// # Errors
+///
+/// [`DseError::Spec`] for an unknown network or unsupported word width.
+pub fn sqnr_for(net: &str, word_bits: u32) -> Result<f64, DseError> {
+    let key = (net.to_ascii_lowercase(), word_bits);
+    let mut memo = memo().lock().expect("accuracy memo poisoned");
+    if let Some(&sqnr) = memo.get(&key) {
+        return Ok(sqnr);
+    }
+    let network =
+        network_by_name(net).ok_or_else(|| DseError::Spec(format!("unknown network '{net}'")))?;
+    let stats = measure(&network, word_bits)?;
+    recompute_counter().fetch_add(1, Ordering::Relaxed);
+    memo.insert(key, stats.sqnr_db);
+    Ok(stats.sqnr_db)
+}
+
+/// Pre-seeds the process-wide memo with a known measurement (a value
+/// loaded from a persisted record). A no-op when the pair is already
+/// memoized; never overwrites, so a measured value always wins over a
+/// loaded one on ties (they are bit-identical anyway — the measurement
+/// is deterministic).
+pub fn seed(net: &str, word_bits: u32, sqnr_db: f64) {
+    if !sqnr_db.is_finite() {
+        return;
+    }
+    let key = (net.to_ascii_lowercase(), word_bits);
+    memo()
+        .lock()
+        .expect("accuracy memo poisoned")
+        .entry(key)
+        .or_insert(sqnr_db);
+}
+
+/// Test-only: forces every `(net, width)` pair that tests in this
+/// crate's binary can reach through [`sqnr_for`] into the memo, so a
+/// test can then read [`recomputations`] without racing concurrent
+/// tests mid-measurement (measurements complete — and count — under
+/// the memo lock before this returns).
+#[cfg(test)]
+pub(crate) fn warm_counter_visible_pairs() {
+    for net in ["lenet", "cifar10", "alexnet", "vgg16"] {
+        for bits in [8u32, 16] {
+            sqnr_for(net, bits).expect("zoo pair measures");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_words_measure_higher_sqnr_on_every_zoo_net() {
+        for net in ["lenet", "cifar10", "alexnet"] {
+            let network = network_by_name(net).unwrap();
+            let narrow = measure(&network, 8).unwrap();
+            let wide = measure(&network, 16).unwrap();
+            assert!(
+                wide.sqnr_db > narrow.sqnr_db + 20.0,
+                "{net}: 16-bit {:.1} dB vs 8-bit {:.1} dB",
+                wide.sqnr_db,
+                narrow.sqnr_db
+            );
+            assert!(narrow.sqnr_db > 10.0, "{net}: 8-bit unusable");
+            assert!(wide.sqnr_db.is_finite());
+            assert!(narrow.max_abs > wide.max_abs);
+            assert!(narrow.count == wide.count && narrow.count > 0);
+        }
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let net = network_by_name("cifar10").unwrap();
+        let a = measure(&net, 8).unwrap();
+        let b = measure(&net, 8).unwrap();
+        assert_eq!(a.sqnr_db.to_bits(), b.sqnr_db.to_bits());
+        assert_eq!(a.mse.to_bits(), b.mse.to_bits());
+    }
+
+    #[test]
+    fn memo_measures_once_and_seed_preempts() {
+        // The probe pairs (resnet18/mobilenet) are touched by no other
+        // test; every pair that IS reachable elsewhere gets settled
+        // first, so the global counter cannot move under our feet.
+        warm_counter_visible_pairs();
+        let before = recomputations();
+        let first = sqnr_for("resnet18", 8).unwrap();
+        let mid = recomputations();
+        assert_eq!(mid, before + 1);
+        let again = sqnr_for("resnet18", 8).unwrap();
+        assert_eq!(again.to_bits(), first.to_bits());
+        assert_eq!(recomputations(), mid, "memo hit must not re-measure");
+
+        // A seeded pair is served without measuring.
+        seed("mobilenet", 8, 33.25);
+        let served = sqnr_for("mobilenet", 8).unwrap();
+        assert_eq!(served, 33.25);
+        assert_eq!(recomputations(), mid);
+        // Seeding never overwrites.
+        seed("mobilenet", 8, 1.0);
+        assert_eq!(sqnr_for("mobilenet", 8).unwrap(), 33.25);
+    }
+
+    #[test]
+    fn unknown_net_and_bad_width_are_errors() {
+        assert!(sqnr_for("squeezenet", 16).is_err());
+        let net = network_by_name("lenet").unwrap();
+        assert!(measure(&net, 12).is_err());
+    }
+
+    #[test]
+    fn proxies_preserve_structure_and_shrink_extent() {
+        let conv1 = ConvLayerSpec::named("conv1", 3, 227, 227, 11, 4, 0, 96, 1).unwrap();
+        let p = proxy_layer(&conv1);
+        assert_eq!(p.k(), 11);
+        assert_eq!(p.stride(), 4);
+        assert_eq!(p.c(), 3, "small channel counts pass through");
+        assert_eq!(p.m(), PROXY_CHANNELS);
+        assert!(p.h() < conv1.h());
+        assert!(p.out_h() >= 1 && p.out_h() <= PROXY_OUT + 1);
+        // Grouped layers keep their grouping structure.
+        let conv2 = ConvLayerSpec::named("conv2", 96, 27, 27, 5, 1, 2, 256, 2).unwrap();
+        let p = proxy_layer(&conv2);
+        assert_eq!(p.groups(), 2);
+        assert_eq!(p.c_per_group(), PROXY_CHANNELS);
+        // Depthwise layers stay depthwise (1 channel per group).
+        let dw = ConvLayerSpec::named("dw", 256, 14, 14, 3, 1, 1, 256, 256).unwrap();
+        let p = proxy_layer(&dw);
+        assert_eq!(p.c_per_group(), 1);
+        assert_eq!(p.groups(), 4);
+    }
+
+    #[test]
+    fn formats_leave_accumulator_headroom() {
+        let acts = [1.9f32, 0.5, 0.25];
+        let weights = [0.3f32, -0.2];
+        for word in [8u32, 16] {
+            let (fa, fw) = layer_formats(word, &acts, &weights, 40.0);
+            let out_bits = 40f32.log2().ceil() as u32 + 1;
+            assert!(fa.frac_bits() + fw.frac_bits() <= 30 - out_bits);
+            // Every act/weight value still quantizes without saturating.
+            for &a in &acts {
+                assert!(fa.max_value() >= a);
+            }
+        }
+    }
+}

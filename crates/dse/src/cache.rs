@@ -110,6 +110,22 @@ impl Shard {
 }
 
 /// Thread-safe memo table from design points to evaluation outcomes.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::{DesignPoint, PointCache, PointOutcome};
+///
+/// let cache = PointCache::new();
+/// let point = DesignPoint::paper_alexnet();
+/// assert!(cache.get(&point).is_none()); // one counted miss
+/// cache.insert(&point, PointOutcome::Infeasible("demo".into()));
+/// assert!(cache.get(&point).is_some()); // one counted hit
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// // Everything inserted since the last flush is journaled:
+/// assert_eq!(cache.take_dirty().len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct PointCache {
     shards: Vec<Mutex<Shard>>,

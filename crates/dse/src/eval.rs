@@ -29,6 +29,11 @@ pub struct PointResult {
     pub gates_k: f64,
     /// Total on-chip SRAM (iMemory + oMemory + kMemory), KB.
     pub sram_kb: f64,
+    /// Measured float-vs-fixed SQNR of this point's network at this
+    /// point's operand width, dB (the [`crate::accuracy`] model; a pure
+    /// function of `(net, word_bits)`, so every point of one network at
+    /// one width carries the same value).
+    pub sqnr_db: f64,
 }
 
 impl PointResult {
@@ -85,6 +90,23 @@ impl PointOutcome {
 /// Returns [`DseError::Spec`] when the point itself is malformed —
 /// unknown network name, unsupported word width, or parameters
 /// `ChainConfig` rejects.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::{evaluate, DesignPoint};
+///
+/// let point = DesignPoint {
+///     net: "lenet".into(),
+///     pes: 25, // LeNet's 5x5 kernels tile 25 PEs exactly
+///     ..DesignPoint::paper_alexnet()
+/// };
+/// let result = *evaluate(&point).unwrap().result().unwrap();
+/// assert!(result.fps > 0.0);
+/// assert!(result.system_mw() > result.chip_mw);
+/// // Every feasible point carries its measured accuracy:
+/// assert!(result.sqnr_db > 40.0);
+/// ```
 pub fn evaluate(point: &DesignPoint) -> Result<PointOutcome, DseError> {
     let net = network_by_name(&point.net)
         .ok_or_else(|| DseError::Spec(format!("unknown network '{}'", point.net)))?;
@@ -119,6 +141,9 @@ pub fn evaluate(point: &DesignPoint) -> Result<PointOutcome, DseError> {
         Err(e) => return Ok(PointOutcome::Infeasible(e.to_string())),
     };
     let area = AreaModel::with_operand_bits(cfg, point.word_bits);
+    // Memoized per (net, word_bits): the measurement runs once per
+    // process per pair, however many grid points share it.
+    let sqnr_db = crate::accuracy::sqnr_for(&point.net, point.word_bits)?;
 
     Ok(PointOutcome::Feasible(PointResult {
         fps: perf.fps,
@@ -128,6 +153,7 @@ pub fn evaluate(point: &DesignPoint) -> Result<PointOutcome, DseError> {
         dram_mw: power.dram_mw,
         gates_k: area.total_gates() / 1e3,
         sram_kb: area.onchip_memory_bytes(mem.imem_bytes, mem.omem_bytes) as f64 / 1024.0,
+        sqnr_db,
     }))
 }
 
@@ -198,5 +224,27 @@ mod tests {
         assert!(r8.dram_mw < r16.dram_mw);
         assert!(r8.gates_k < r16.gates_k);
         assert!(r8.sram_kb < r16.sram_kb);
+        // ...but narrow words now pay a measured accuracy cost, so they
+        // no longer dominate for free.
+        assert!(r8.sqnr_db + 20.0 < r16.sqnr_db);
+    }
+
+    #[test]
+    fn sqnr_depends_only_on_net_and_width() {
+        let a = *evaluate(&DesignPoint::paper_alexnet())
+            .unwrap()
+            .result()
+            .unwrap();
+        let b = *evaluate(&DesignPoint {
+            pes: 800,
+            freq_mhz: 350.0,
+            batch: 1,
+            ..DesignPoint::paper_alexnet()
+        })
+        .unwrap()
+        .result()
+        .unwrap();
+        assert_eq!(a.sqnr_db.to_bits(), b.sqnr_db.to_bits());
+        assert!(a.sqnr_db.is_finite() && a.sqnr_db > 0.0);
     }
 }

@@ -67,6 +67,28 @@ pub fn evaluate_cached_tracked(
 /// Returns the first spec-level error encountered (unknown network,
 /// invalid chain parameters); model-level infeasibility is data, not an
 /// error.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::{executor, DesignPoint, PointCache};
+///
+/// let points: Vec<DesignPoint> = [25usize, 50]
+///     .iter()
+///     .map(|&pes| DesignPoint {
+///         net: "lenet".into(),
+///         pes,
+///         ..DesignPoint::paper_alexnet()
+///     })
+///     .collect();
+/// let cache = PointCache::new();
+/// let outcomes = executor::run(&points, 2, &cache).unwrap();
+/// assert_eq!(outcomes.len(), 2); // grid order, any thread count
+/// assert_eq!(cache.stats().misses, 2);
+/// // The same batch again is answered entirely from the cache.
+/// assert_eq!(executor::run(&points, 2, &cache).unwrap(), outcomes);
+/// assert_eq!(cache.stats().hits, 2);
+/// ```
 pub fn run(
     points: &[DesignPoint],
     threads: usize,

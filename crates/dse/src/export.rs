@@ -10,7 +10,7 @@ use crate::SweepResult;
 /// CSV header of [`results_csv`].
 pub const RESULTS_HEADER: &str = "net,pes,freq_mhz,kmem_depth,imem_kb,omem_kb,word_bits,batch,\
      status,fps,achieved_gops,peak_gops,chip_mw,dram_mw,system_mw,gops_per_watt,gates_k,sram_kb,\
-     frontier_2d,frontier_3d";
+     sqnr_db,frontier_2d,frontier_3d,frontier_sqnr";
 
 fn push_row(s: &mut String, result: &SweepResult, i: usize) {
     let p = &result.points[i];
@@ -23,7 +23,7 @@ fn push_row(s: &mut String, result: &SweepResult, i: usize) {
         Some(r) => {
             let _ = writeln!(
                 s,
-                ",ok,{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.1},{},{}",
+                ",ok,{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.1},{:.2},{},{},{}",
                 r.fps,
                 r.achieved_gops,
                 r.peak_gops,
@@ -33,17 +33,36 @@ fn push_row(s: &mut String, result: &SweepResult, i: usize) {
                 r.gops_per_watt(),
                 r.gates_k,
                 r.sram_kb,
+                r.sqnr_db,
                 u8::from(result.frontier_2d.contains(&i)),
                 u8::from(result.frontier_3d.contains(&i)),
+                u8::from(result.frontier_sqnr.contains(&i)),
             );
         }
         None => {
-            let _ = writeln!(s, ",infeasible,,,,,,,,,,0,0");
+            let _ = writeln!(s, ",infeasible,,,,,,,,,,,0,0,0");
         }
     }
 }
 
 /// The full sweep as CSV, one row per point, in point order.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::{export, Explorer, SweepSpec};
+///
+/// let spec = SweepSpec {
+///     pes: vec![25, 50],
+///     nets: vec!["lenet".into()],
+///     ..SweepSpec::paper_point()
+/// };
+/// let result = Explorer::new().run(&spec, 1).unwrap();
+/// let csv = export::results_csv(&result);
+/// assert!(csv.starts_with(export::RESULTS_HEADER));
+/// assert_eq!(csv.lines().count(), 3); // header + 2 points
+/// assert!(csv.contains(",ok,"));
+/// ```
 pub fn results_csv(result: &SweepResult) -> String {
     let mut s = String::from(RESULTS_HEADER);
     s.push('\n');
@@ -100,7 +119,7 @@ pub fn results_json(result: &SweepResult) -> String {
                     ", \"status\": \"ok\", \"fps\": {:.3}, \"achieved_gops\": {:.3}, \
                      \"peak_gops\": {:.3}, \"chip_mw\": {:.3}, \"dram_mw\": {:.3}, \
                      \"system_mw\": {:.3}, \"gops_per_watt\": {:.3}, \"gates_k\": {:.1}, \
-                     \"sram_kb\": {:.1}",
+                     \"sram_kb\": {:.1}, \"sqnr_db\": {:.2}",
                     r.fps,
                     r.achieved_gops,
                     r.peak_gops,
@@ -109,7 +128,8 @@ pub fn results_json(result: &SweepResult) -> String {
                     r.system_mw(),
                     r.gops_per_watt(),
                     r.gates_k,
-                    r.sram_kb
+                    r.sram_kb,
+                    r.sqnr_db
                 );
             }
             None => {
@@ -131,6 +151,7 @@ pub fn results_json(result: &SweepResult) -> String {
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"frontier_2d\": [{}],", list(&result.frontier_2d));
     let _ = writeln!(s, "  \"frontier_3d\": [{}],", list(&result.frontier_3d));
+    let _ = writeln!(s, "  \"frontier_sqnr\": [{}],", list(&result.frontier_sqnr));
     let _ = writeln!(
         s,
         "  \"stats\": {{\"points\": {}, \"feasible\": {}, \"cache_hits\": {}, \
@@ -192,6 +213,8 @@ mod tests {
             "\"points\"",
             "\"frontier_2d\"",
             "\"frontier_3d\"",
+            "\"frontier_sqnr\"",
+            "\"sqnr_db\"",
             "\"stats\"",
         ] {
             assert!(json.contains(key), "missing {key}");

@@ -11,6 +11,10 @@
 //!
 //! * [`spec`] — [`SweepSpec`] grids, [`DesignPoint`]s, CLI range parsing.
 //! * [`eval`] — one point through the full model stack.
+//! * [`accuracy`] — the measured float-vs-fixed SQNR model behind the
+//!   quantization axis: every evaluated point carries the `sqnr_db` of
+//!   its `(network, word width)` pair, so narrow words pay a measured
+//!   accuracy cost instead of dominating for free.
 //! * [`executor`] — `std::thread` work queue with an atomic cursor;
 //!   results are index-sorted, so output is byte-identical at any
 //!   thread count.
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod cache;
 pub mod eval;
 pub mod executor;
@@ -57,6 +62,7 @@ use std::time::Instant;
 
 use chain_nn_nets::{zoo, Network};
 
+pub use accuracy::AccuracyStats;
 pub use cache::{CacheStats, PointCache};
 pub use eval::{evaluate, PointOutcome, PointResult};
 pub use mix::{evaluate_mix, MixEntry, MixOutcome, MixResult, WorkloadMix};
@@ -134,6 +140,10 @@ pub struct SweepResult {
     pub frontier_2d: Vec<usize>,
     /// Indices of fps × power × area non-dominated points (ascending).
     pub frontier_3d: Vec<usize>,
+    /// Indices of fps × power × SQNR non-dominated points (ascending) —
+    /// the accuracy variant of the 3D frontier, where measured
+    /// precision replaces logic area as the third axis.
+    pub frontier_sqnr: Vec<usize>,
     /// Run statistics.
     pub stats: SweepStats,
 }
@@ -198,6 +208,7 @@ impl Explorer {
             .collect();
         let frontier_2d = pareto::frontier_2d(&objectives);
         let frontier_3d = pareto::frontier_3d(&objectives);
+        let frontier_sqnr = pareto::frontier_accuracy(&objectives);
 
         let stats = SweepStats {
             points: points.len(),
@@ -212,6 +223,7 @@ impl Explorer {
             outcomes,
             frontier_2d,
             frontier_3d,
+            frontier_sqnr,
             stats,
         })
     }
@@ -241,6 +253,34 @@ mod tests {
         // Frontiers are non-trivial: some points survive, some don't.
         assert!(!result.frontier_3d.is_empty());
         assert!(result.frontier_3d.len() < result.stats.feasible);
+        // The default grid is one network at one word width, so the
+        // SQNR axis is constant and the accuracy frontier degenerates
+        // to the fps × power projection.
+        assert_eq!(result.frontier_sqnr, result.frontier_2d);
+    }
+
+    #[test]
+    fn mixed_width_accuracy_frontier_keeps_both_words() {
+        let spec = SweepSpec {
+            word_bits: vec![8, 16],
+            nets: vec!["lenet".into()],
+            pes: vec![25, 50],
+            ..SweepSpec::paper_point()
+        };
+        let result = Explorer::new().run(&spec, 2).unwrap();
+        let widths_on = |frontier: &[usize]| {
+            let mut w: Vec<u32> = frontier
+                .iter()
+                .map(|&i| result.points[i].word_bits)
+                .collect();
+            w.sort_unstable();
+            w.dedup();
+            w
+        };
+        // fps × power × area: 8-bit dominates (same fps, less of all).
+        assert_eq!(widths_on(&result.frontier_3d), vec![8]);
+        // fps × power × SQNR: 16-bit survives on measured precision.
+        assert_eq!(widths_on(&result.frontier_sqnr), vec![8, 16]);
     }
 
     #[test]

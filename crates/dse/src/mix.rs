@@ -52,6 +52,20 @@ pub struct MixEntry {
 /// **primary** network, used as the canonical identity of a mix
 /// candidate (tuner tie-breaks hash the base point under the primary
 /// net).
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::WorkloadMix;
+///
+/// let mix = WorkloadMix::parse("alexnet:0.7,vgg16:0.3").unwrap();
+/// assert_eq!(mix.primary(), "alexnet");
+/// assert_eq!(mix.entries().len(), 2);
+/// assert_eq!(mix.to_string(), "70% alexnet + 30% vgg16");
+/// // Zero-weight entries contribute no traffic and are dropped:
+/// let trimmed = WorkloadMix::parse("alexnet:1,vgg16:0").unwrap();
+/// assert_eq!(trimmed, WorkloadMix::single("alexnet").unwrap());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadMix {
     entries: Vec<MixEntry>,
@@ -207,6 +221,12 @@ impl WorkloadMix {
             .map(|(i, _)| i)
             .expect("at least one entry");
         let worst = results[hungriest];
+        // Accuracy, like power, is provisioned for the worst case: the
+        // mix is only as precise as its least-precise network.
+        let sqnr_db = results
+            .iter()
+            .map(|r| r.sqnr_db)
+            .fold(f64::INFINITY, f64::min);
         MixOutcome::Feasible(MixResult {
             fps: total_weight / inverse_rate,
             chip_mw: worst.chip_mw,
@@ -214,6 +234,7 @@ impl WorkloadMix {
             peak_gops: worst.peak_gops,
             gates_k: worst.gates_k,
             sram_kb: worst.sram_kb,
+            sqnr_db,
         })
     }
 }
@@ -248,6 +269,9 @@ pub struct MixResult {
     pub gates_k: f64,
     /// Total on-chip SRAM, KB (net-independent).
     pub sram_kb: f64,
+    /// Worst (minimum) measured SQNR across the mix, dB — the mix is
+    /// only as precise as its least-precise network at this word width.
+    pub sqnr_db: f64,
 }
 
 impl MixResult {
@@ -273,6 +297,7 @@ impl From<&PointResult> for MixResult {
             peak_gops: r.peak_gops,
             gates_k: r.gates_k,
             sram_kb: r.sram_kb,
+            sqnr_db: r.sqnr_db,
         }
     }
 }
@@ -331,6 +356,10 @@ mod tests {
     use crate::evaluate;
 
     fn feasible(fps: f64, chip: f64, dram: f64) -> PointOutcome {
+        feasible_sqnr(fps, chip, dram, 60.0)
+    }
+
+    fn feasible_sqnr(fps: f64, chip: f64, dram: f64, sqnr: f64) -> PointOutcome {
         PointOutcome::Feasible(PointResult {
             fps,
             achieved_gops: fps,
@@ -339,6 +368,7 @@ mod tests {
             dram_mw: dram,
             gates_k: 500.0,
             sram_kb: 57.0,
+            sqnr_db: sqnr,
         })
     }
 
@@ -404,6 +434,16 @@ mod tests {
         assert_eq!(r.chip_mw, 600.0);
         assert_eq!(r.dram_mw, 100.0);
         assert_eq!(r.system_mw(), 700.0);
+    }
+
+    #[test]
+    fn aggregate_takes_the_worst_sqnr() {
+        let mix = WorkloadMix::parse("alexnet:1,vgg16:1").unwrap();
+        let outcome = mix.aggregate(&[
+            feasible_sqnr(100.0, 400.0, 50.0, 72.5),
+            feasible_sqnr(20.0, 600.0, 100.0, 31.0),
+        ]);
+        assert_eq!(outcome.result().unwrap().sqnr_db, 31.0);
     }
 
     #[test]

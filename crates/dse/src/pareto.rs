@@ -1,10 +1,27 @@
 //! Pareto-frontier extraction over the sweep objectives.
 //!
 //! Objectives: maximize throughput (fps), minimize system power
-//! (on-chip + DRAM interface, mW) and minimize logic area (kilo-gates).
-//! A point is dominated when some other point is at least as good on
-//! every objective and strictly better on at least one. The 2D
-//! frontier drops the area axis (fps × power only).
+//! (on-chip + DRAM interface, mW), minimize logic area (kilo-gates),
+//! and maximize measured accuracy (SQNR, dB). A point is dominated when
+//! some other point is at least as good on every objective and strictly
+//! better on at least one. Three frontiers are extracted: the classic
+//! 3D fps × power × area, its 2D fps × power projection, and the
+//! accuracy variant fps × power × SQNR (which is what keeps 16-bit
+//! points alive against cooler 8-bit ones).
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_dse::pareto::{frontier_3d, Objectives};
+//!
+//! let obj = |fps, mw, gates| Objectives { fps, system_mw: mw, gates_k: gates, sqnr_db: 60.0 };
+//! let points = vec![
+//!     (0, obj(10.0, 100.0, 50.0)),
+//!     (1, obj(10.0, 120.0, 50.0)), // dominated by 0
+//!     (2, obj(20.0, 180.0, 90.0)),
+//! ];
+//! assert_eq!(frontier_3d(&points), vec![0, 2]);
+//! ```
 
 use crate::eval::PointResult;
 
@@ -17,6 +34,8 @@ pub struct Objectives {
     pub system_mw: f64,
     /// Logic area in kilo-gates, minimized.
     pub gates_k: f64,
+    /// Measured quantization SQNR in dB, maximized.
+    pub sqnr_db: f64,
 }
 
 impl From<&PointResult> for Objectives {
@@ -25,6 +44,7 @@ impl From<&PointResult> for Objectives {
             fps: r.fps,
             system_mw: r.system_mw(),
             gates_k: r.gates_k,
+            sqnr_db: r.sqnr_db,
         }
     }
 }
@@ -40,6 +60,14 @@ pub fn dominates_3d(a: &Objectives, b: &Objectives) -> bool {
 pub fn dominates_2d(a: &Objectives, b: &Objectives) -> bool {
     let no_worse = a.fps >= b.fps && a.system_mw <= b.system_mw;
     let better = a.fps > b.fps || a.system_mw < b.system_mw;
+    no_worse && better
+}
+
+/// Whether `a` dominates `b` in the accuracy sense: fps × power ×
+/// SQNR, with the area axis swapped out for measured precision.
+pub fn dominates_accuracy(a: &Objectives, b: &Objectives) -> bool {
+    let no_worse = a.fps >= b.fps && a.system_mw <= b.system_mw && a.sqnr_db >= b.sqnr_db;
+    let better = a.fps > b.fps || a.system_mw < b.system_mw || a.sqnr_db > b.sqnr_db;
     no_worse && better
 }
 
@@ -69,6 +97,11 @@ pub fn frontier_2d(objectives: &[(usize, Objectives)]) -> Vec<usize> {
     frontier_by(objectives, dominates_2d)
 }
 
+/// Indices of the accuracy-non-dominated points (fps × power × SQNR).
+pub fn frontier_accuracy(objectives: &[(usize, Objectives)]) -> Vec<usize> {
+    frontier_by(objectives, dominates_accuracy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +111,7 @@ mod tests {
             fps,
             system_mw: mw,
             gates_k: gates,
+            sqnr_db: 60.0,
         }
     }
 
@@ -151,6 +185,38 @@ mod tests {
         let pts = vec![(0, large), (1, small)];
         assert_eq!(frontier_3d(&pts), vec![1]);
         assert_eq!(frontier_2d(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn accuracy_frontier_keeps_precise_points_the_area_frontier_drops() {
+        // An 8-bit-style point (cool, small, imprecise) and a
+        // 16-bit-style point (hotter, larger, precise) at equal fps.
+        let narrow = Objectives {
+            fps: 100.0,
+            system_mw: 400.0,
+            gates_k: 300.0,
+            sqnr_db: 30.0,
+        };
+        let wide = Objectives {
+            fps: 100.0,
+            system_mw: 600.0,
+            gates_k: 500.0,
+            sqnr_db: 75.0,
+        };
+        // Under fps × power × area the wide point is dominated...
+        assert!(dominates_3d(&narrow, &wide));
+        let pts = vec![(0, narrow), (1, wide)];
+        assert_eq!(frontier_3d(&pts), vec![0]);
+        // ...but the accuracy frontier keeps both: precision is an axis.
+        assert!(!dominates_accuracy(&narrow, &wide));
+        assert!(!dominates_accuracy(&wide, &narrow));
+        assert_eq!(frontier_accuracy(&pts), vec![0, 1]);
+        // Equal SQNR reduces the accuracy frontier to fps × power.
+        let same = Objectives {
+            sqnr_db: 30.0,
+            ..wide
+        };
+        assert!(dominates_accuracy(&narrow, &same));
     }
 
     #[test]

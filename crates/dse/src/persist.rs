@@ -32,14 +32,23 @@
 //!
 //! ```text
 //! file   := magic record*
-//! magic  := b"chain-nn dse cache v1\n"
+//! magic  := b"chain-nn dse cache v2\n"
 //! record := len:u32 checksum:u64 payload[len]   (checksum = FNV-1a of payload)
 //! payload:= hash:u64 point outcome
 //! point  := pes:u64 freq_bits:u64 kmem:u64 imem:u64 omem:u64
 //!           word_bits:u32 batch:u64 net_len:u32 net[net_len]
-//! outcome:= 0:u8 reason_len:u32 reason[reason_len]          (infeasible)
-//!         | 1:u8 fps achieved peak chip dram gates sram     (feasible, f64 bits each)
+//! outcome:= 0:u8 reason_len:u32 reason[reason_len]              (infeasible)
+//!         | 1:u8 fps achieved peak chip dram gates sram sqnr    (feasible, f64 bits each)
 //! ```
+//!
+//! **Version history.** v1 files (magic `chain-nn dse cache v1`) are
+//! identical except that feasible outcomes carry seven f64 fields — no
+//! `sqnr`. The loader still reads them: v1 feasible records are
+//! upgraded in place by recomputing the (deterministic) accuracy
+//! measurement for the record's `(net, word_bits)` pair, and a v1 file
+//! is rewritten as v2 on first load (via [`CacheFile::compact`], which
+//! always writes the current version), so appends never mix versions.
+//! The same corruption tolerance applies to both versions.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
@@ -49,8 +58,31 @@ use crate::eval::{PointOutcome, PointResult};
 use crate::spec::DesignPoint;
 use crate::PointCache;
 
-/// Version-bearing first bytes of every cache file.
-pub const MAGIC: &[u8] = b"chain-nn dse cache v1\n";
+/// Version-bearing first bytes of every cache file (current version).
+pub const MAGIC: &[u8] = b"chain-nn dse cache v2\n";
+
+/// The previous format's magic line: feasible records carry no SQNR
+/// field. Still readable; rewritten as v2 on first load.
+pub const MAGIC_V1: &[u8] = b"chain-nn dse cache v1\n";
+
+/// On-disk format versions this loader understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    V1,
+    V2,
+}
+
+/// Identifies the snapshot version from the file's first bytes.
+fn detect_version(bytes: &[u8]) -> Option<Version> {
+    if bytes.len() < MAGIC.len() {
+        return None;
+    }
+    match &bytes[..MAGIC.len()] {
+        m if m == MAGIC => Some(Version::V2),
+        m if m == MAGIC_V1 => Some(Version::V1),
+        _ => None,
+    }
+}
 
 /// Hard upper bound on one record's payload (a point plus an error
 /// string); anything larger is framing corruption, not data.
@@ -96,6 +128,27 @@ pub struct CompactReport {
 }
 
 /// Handle to one on-disk cache snapshot (the file may not exist yet).
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::{CacheFile, DesignPoint, PointCache, PointOutcome};
+///
+/// let path = std::env::temp_dir().join(format!("dse_doc_{}.cache", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+/// let file = CacheFile::new(&path);
+/// let cache = PointCache::new();
+/// cache.insert(
+///     &DesignPoint::paper_alexnet(),
+///     PointOutcome::Infeasible("demo".into()),
+/// );
+/// assert_eq!(file.flush_dirty(&cache).unwrap(), 1);
+/// // A fresh process (here: a fresh cache) replays the snapshot.
+/// let reloaded = PointCache::new();
+/// assert_eq!(file.load_into(&reloaded).unwrap().loaded, 1);
+/// assert!(reloaded.get(&DesignPoint::paper_alexnet()).is_some());
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
 #[derive(Debug, Clone)]
 pub struct CacheFile {
     path: PathBuf,
@@ -138,6 +191,7 @@ fn encode_payload(point: &DesignPoint, outcome: &PointOutcome) -> Vec<u8> {
                 r.dram_mw,
                 r.gates_k,
                 r.sram_kb,
+                r.sqnr_db,
             ] {
                 out.extend_from_slice(&v.to_bits().to_le_bytes());
             }
@@ -183,7 +237,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_payload(payload: &[u8]) -> Option<(DesignPoint, PointOutcome)> {
+fn decode_payload(payload: &[u8], version: Version) -> Option<(DesignPoint, PointOutcome)> {
     let mut c = Cursor {
         bytes: payload,
         at: 0,
@@ -201,15 +255,30 @@ fn decode_payload(payload: &[u8]) -> Option<(DesignPoint, PointOutcome)> {
     };
     let outcome = match c.take(1)?[0] {
         0 => PointOutcome::Infeasible(c.string()?),
-        1 => PointOutcome::Feasible(PointResult {
-            fps: c.f64()?,
-            achieved_gops: c.f64()?,
-            peak_gops: c.f64()?,
-            chip_mw: c.f64()?,
-            dram_mw: c.f64()?,
-            gates_k: c.f64()?,
-            sram_kb: c.f64()?,
-        }),
+        1 => {
+            let mut result = PointResult {
+                fps: c.f64()?,
+                achieved_gops: c.f64()?,
+                peak_gops: c.f64()?,
+                chip_mw: c.f64()?,
+                dram_mw: c.f64()?,
+                gates_k: c.f64()?,
+                sram_kb: c.f64()?,
+                sqnr_db: f64::NAN,
+            };
+            match version {
+                // v1 records predate the accuracy model; the
+                // measurement is deterministic, so recomputing it
+                // upgrades the record losslessly. An unmeasurable
+                // record (a net this build no longer knows) is
+                // rejected like any other undecodable payload.
+                Version::V1 => {
+                    result.sqnr_db = crate::accuracy::sqnr_for(&point.net, point.word_bits).ok()?;
+                }
+                Version::V2 => result.sqnr_db = c.f64()?,
+            }
+            PointOutcome::Feasible(result)
+        }
         _ => return None,
     };
     if !c.done() || point.content_hash() != stored_hash {
@@ -257,12 +326,12 @@ impl CacheFile {
         if bytes.is_empty() {
             return Ok(LoadReport::default());
         }
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        let Some(version) = detect_version(&bytes) else {
             return Err(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("{} is not a chain-nn dse cache file", self.path.display()),
             ));
-        }
+        };
         let mut report = LoadReport::default();
         let mut at = MAGIC.len();
         while at < bytes.len() {
@@ -271,8 +340,14 @@ impl CacheFile {
                 break;
             };
             let (payload, next) = frame;
-            match decode_payload(payload) {
+            match decode_payload(payload, version) {
                 Some((point, outcome)) => {
+                    // Pre-seed the process-wide accuracy memo: a daemon
+                    // restarted on this file must not re-measure pairs
+                    // its snapshot already knows.
+                    if let PointOutcome::Feasible(r) = &outcome {
+                        crate::accuracy::seed(&point.net, point.word_bits, r.sqnr_db);
+                    }
                     if cache.insert_loaded(&point, outcome) {
                         report.loaded += 1;
                     } else {
@@ -296,9 +371,11 @@ impl CacheFile {
         // evict-then-reevaluate cycles, hash-rejected records). Once
         // the majority of the file is dead, rewrite it in place — the
         // loader already owns the file at this point in a daemon's
-        // life, and the cache contents are unaffected.
+        // life, and the cache contents are unaffected. A v1 file is
+        // always rewritten (compact emits the current version), so a
+        // later append never mixes record schemas in one file.
         let total = report.loaded + report.dead();
-        if total > 0 && report.dead() * 2 > total {
+        if (total > 0 && report.dead() * 2 > total) || version == Version::V1 {
             self.compact()?;
             report.compacted = true;
         }
@@ -327,12 +404,12 @@ impl CacheFile {
         if bytes.is_empty() {
             return Ok(CompactReport::default());
         }
-        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        let Some(version) = detect_version(&bytes) else {
             return Err(std::io::Error::new(
                 ErrorKind::InvalidData,
                 format!("{} is not a chain-nn dse cache file", self.path.display()),
             ));
-        }
+        };
         let mut report = CompactReport::default();
         let mut seen: std::collections::HashMap<u64, Vec<DesignPoint>> =
             std::collections::HashMap::new();
@@ -343,7 +420,7 @@ impl CacheFile {
                 report.dropped_tail_bytes = (bytes.len() - at) as u64;
                 break;
             };
-            match decode_payload(payload) {
+            match decode_payload(payload, version) {
                 Some((point, outcome)) => {
                     let bucket = seen.entry(point.content_hash()).or_default();
                     if bucket.contains(&point) {
@@ -384,14 +461,48 @@ impl CacheFile {
 
     /// Appends `entries` as one batch of records, creating the file
     /// (with its magic line) on first use, then syncs file data to
-    /// disk. Appending nothing is a no-op that touches nothing.
+    /// disk. Appending nothing is a no-op that touches nothing. A
+    /// present v1 snapshot is upgraded (via [`CacheFile::compact`])
+    /// before the first append, so one file never mixes versions; a
+    /// file with a foreign magic line is refused.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures (open, write, sync).
+    /// Propagates I/O failures (open, write, sync) and refuses foreign
+    /// files.
     pub fn append(&self, entries: &[(DesignPoint, PointOutcome)]) -> std::io::Result<usize> {
         if entries.is_empty() {
             return Ok(0);
+        }
+        match std::fs::File::open(&self.path) {
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+            Ok(mut existing) => {
+                let mut head = [0u8; 32];
+                let mut got = 0usize;
+                while got < head.len() {
+                    match existing.read(&mut head[got..])? {
+                        0 => break,
+                        n => got += n,
+                    }
+                }
+                if got > 0 {
+                    match detect_version(&head[..got]) {
+                        Some(Version::V2) => {}
+                        Some(Version::V1) => {
+                            // Upgrade in place; compact always writes
+                            // the current version.
+                            self.compact()?;
+                        }
+                        None => {
+                            return Err(std::io::Error::new(
+                                ErrorKind::InvalidData,
+                                format!("{} is not a chain-nn dse cache file", self.path.display()),
+                            ));
+                        }
+                    }
+                }
+            }
         }
         let mut file = OpenOptions::new()
             .create(true)
@@ -478,6 +589,7 @@ mod tests {
             dram_mw: 50.0,
             gates_k: 1000.0,
             sram_kb: 300.5,
+            sqnr_db: 74.25,
         })
     }
 
@@ -695,6 +807,131 @@ mod tests {
         let report = file.load_into(&PointCache::new()).unwrap();
         assert_eq!(report.duplicates, 2);
         assert!(!report.compacted);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Hand-writes a v1-format snapshot (seven f64 fields, v1 magic):
+    /// what a pre-accuracy-model daemon left on disk.
+    fn write_v1_file(path: &std::path::Path, entries: &[(DesignPoint, PointOutcome)]) {
+        let mut bytes = MAGIC_V1.to_vec();
+        for (point, outcome) in entries {
+            // The v1 payload is the v2 payload minus the trailing sqnr
+            // field on feasible outcomes.
+            let mut payload = encode_payload(point, outcome);
+            if matches!(outcome, PointOutcome::Feasible(_)) {
+                payload.truncate(payload.len() - 8);
+            }
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn v1_files_load_upgraded_with_measured_sqnr() {
+        let path = temp_path("v1_upgrade");
+        let pts = points(2);
+        write_v1_file(
+            &path,
+            &[
+                (pts[0].clone(), feasible(10.0)),
+                (pts[1].clone(), PointOutcome::Infeasible("too small".into())),
+            ],
+        );
+
+        let cache = PointCache::new();
+        let file = CacheFile::new(&path);
+        let report = file.load_into(&cache).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.rejected, 0);
+        assert!(report.compacted, "v1 files are rewritten as v2 on load");
+
+        // The feasible record was upgraded with the measured SQNR of
+        // its (net, word) pair — not the NaN placeholder.
+        let Some(PointOutcome::Feasible(r)) = cache.get(&pts[0]) else {
+            panic!("feasible record lost in upgrade");
+        };
+        let expected = crate::accuracy::sqnr_for(&pts[0].net, pts[0].word_bits).unwrap();
+        assert_eq!(r.sqnr_db.to_bits(), expected.to_bits());
+        // Everything else round-tripped bit-exactly.
+        assert_eq!(r.fps, 10.0);
+        assert_eq!(r.sram_kb, 300.5);
+
+        // The file on disk is now v2: a fresh load sees current magic,
+        // keeps the upgraded SQNR, and needs no further rewrite.
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..MAGIC.len()], MAGIC);
+        let cache2 = PointCache::new();
+        let report2 = file.load_into(&cache2).unwrap();
+        assert_eq!(report2.loaded, 2);
+        assert!(!report2.compacted);
+        assert_eq!(cache2.get(&pts[0]), cache.get(&pts[0]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_upgrades_v1_files_instead_of_mixing_versions() {
+        let path = temp_path("v1_append");
+        let pts = points(3);
+        write_v1_file(&path, &[(pts[0].clone(), feasible(1.0))]);
+
+        let file = CacheFile::new(&path);
+        assert_eq!(file.append(&[(pts[1].clone(), feasible(2.0))]).unwrap(), 1);
+        // One readable v2 file holding both the upgraded v1 record and
+        // the appended one.
+        let cache = PointCache::new();
+        let report = file.load_into(&cache).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.corrupt_tail_bytes, 0);
+        assert!(cache.get(&pts[0]).is_some());
+        assert_eq!(cache.get(&pts[1]), Some(feasible(2.0)));
+        std::fs::remove_file(&path).unwrap();
+
+        // Appending to a foreign file is refused, protecting it.
+        let foreign = temp_path("foreign_append");
+        std::fs::write(&foreign, b"someone else's data that is long enough\n").unwrap();
+        assert!(CacheFile::new(&foreign)
+            .append(&[(pts[2].clone(), feasible(3.0))])
+            .is_err());
+        assert_eq!(
+            std::fs::read(&foreign).unwrap(),
+            b"someone else's data that is long enough\n"
+        );
+        std::fs::remove_file(&foreign).unwrap();
+    }
+
+    #[test]
+    fn loading_seeds_the_accuracy_memo() {
+        // A record whose (net, word) pair no measurement would produce:
+        // loading must seed the memo so the daemon serves it as-is.
+        let path = temp_path("seed_memo");
+        let file = CacheFile::new(&path);
+        let point = DesignPoint {
+            net: "mobilenet".into(),
+            word_bits: 16,
+            pes: 121,
+            ..DesignPoint::paper_alexnet()
+        };
+        let outcome = PointOutcome::Feasible(PointResult {
+            sqnr_db: 61.5,
+            ..match feasible(5.0) {
+                PointOutcome::Feasible(r) => r,
+                PointOutcome::Infeasible(_) => unreachable!(),
+            }
+        });
+        file.append(&[(point.clone(), outcome)]).unwrap();
+        // Settle every pair other tests can measure before reading the
+        // process-global counter (see accuracy::warm_counter_visible_pairs).
+        crate::accuracy::warm_counter_visible_pairs();
+        let before = crate::accuracy::recomputations();
+        file.load_into(&PointCache::new()).unwrap();
+        assert_eq!(
+            crate::accuracy::sqnr_for("mobilenet", 16).unwrap(),
+            61.5,
+            "loaded SQNR must pre-seed the memo"
+        );
+        assert_eq!(crate::accuracy::recomputations(), before);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -99,6 +99,18 @@ impl fmt::Display for DesignPoint {
 /// optional step (`64..=1024`, `64..=1024:32`, also `..` for exclusive)
 /// or an explicit comma list (`144,288,576`). A bare number is a
 /// one-element axis.
+///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::RangeSpec;
+///
+/// let axis: RangeSpec = "64..=128:32".parse().unwrap();
+/// assert_eq!(axis.values(), &[64, 96, 128]);
+/// let list: RangeSpec = "144,288,576".parse().unwrap();
+/// assert_eq!(list.as_usizes(), vec![144, 288, 576]);
+/// assert!("10..=5".parse::<RangeSpec>().is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeSpec {
     values: Vec<u64>,
@@ -199,9 +211,11 @@ pub struct SweepSpec {
     /// oMemory capacities (KB) to sweep.
     pub omem_kb: Vec<usize>,
     /// Operand word widths (bits) to sweep. 16 is the paper datapath;
-    /// narrower words shrink traffic and memory power but the models do
-    /// not charge an accuracy penalty, so mixed-width sweeps should be
-    /// read per-width rather than cross-width.
+    /// narrower words shrink traffic and memory power **and pay a
+    /// measured accuracy cost**: every evaluated point carries the
+    /// SQNR of its `(network, width)` pair ([`crate::accuracy`],
+    /// DESIGN.md §11), so mixed-width sweeps are directly comparable
+    /// on the fps × power × SQNR frontier.
     pub word_bits: Vec<u32>,
     /// Batch sizes to sweep.
     pub batches: Vec<usize>,

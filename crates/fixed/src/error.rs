@@ -91,6 +91,63 @@ mod tests {
     fn zero_signal_is_zero_sqnr() {
         let s = compare(&[0.0, 0.0], &[0.1, -0.1]);
         assert_eq!(s.sqnr_db(), 0.0);
+        // The zero-signal rule wins even when the error is also zero:
+        // an all-zero comparison is 0 dB, not +inf.
+        let z = compare(&[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(z.mse, 0.0);
+        assert_eq!(z.signal_power, 0.0);
+        assert_eq!(z.sqnr_db(), 0.0);
+        // And an empty comparison (signal power 0 by default) too.
+        assert_eq!(ErrorStats::default().sqnr_db(), 0.0);
+    }
+
+    #[test]
+    fn full_saturation_overflow_degrades_sqnr_gracefully() {
+        // Every sample is far outside the format's range, so the whole
+        // reconstruction pins at the saturation rails — the worst case
+        // the range-analysis flow exists to avoid.
+        let fmt = QFormat::new(8).unwrap(); // Q7.8: max ≈ 127.996
+        let xs: Vec<f32> = (1..=64).map(|i| 1000.0 + i as f32).collect();
+        let back = dequantize_slice(&quantize_slice(&xs, fmt), fmt);
+        assert!(back.iter().all(|&b| b == fmt.max_value()), "all saturated");
+        let stats = compare(&xs, &back);
+        // The error is the full headroom shortfall, not a rounding step.
+        assert!((stats.max_abs - (1064.0 - f64::from(fmt.max_value()))).abs() < 1e-3);
+        assert!(stats.max_abs > 900.0);
+        // SQNR collapses but stays finite and well-defined (the signal
+        // is nonzero, the error is nonzero).
+        let sqnr = stats.sqnr_db();
+        assert!(sqnr.is_finite());
+        assert!(sqnr < 3.0, "saturated SQNR should be near 0 dB: {sqnr}");
+        // Negative saturation behaves symmetrically.
+        let neg: Vec<f32> = xs.iter().map(|x| -x).collect();
+        let back = dequantize_slice(&quantize_slice(&neg, fmt), fmt);
+        assert!(back.iter().all(|&b| b == fmt.min_value()));
+        let neg_stats = compare(&neg, &back);
+        assert!((neg_stats.sqnr_db() - sqnr).abs() < 0.1);
+    }
+
+    #[test]
+    fn compare_error_metrics_are_symmetric_in_their_arguments() {
+        let a = [1.0f32, -2.5, 0.25, 7.0];
+        let b = [0.75f32, -2.0, 0.5, 6.0];
+        let ab = compare(&a, &b);
+        let ba = compare(&b, &a);
+        // The error metrics measure |a - b|, which argument order
+        // cannot change.
+        assert_eq!(ab.mse, ba.mse);
+        assert_eq!(ab.max_abs, ba.max_abs);
+        assert_eq!(ab.count, ba.count);
+        // The *signal* power deliberately follows the first argument —
+        // the reference IS the signal — so SQNR is the one quantity
+        // that legitimately differs when the roles are swapped.
+        assert_ne!(ab.signal_power, ba.signal_power);
+        assert_ne!(ab.sqnr_db(), ba.sqnr_db());
+        // Equal-power references are the special case where even SQNR
+        // is order-free.
+        let c = [2.0f32, 1.0];
+        let d = [1.0f32, 2.0];
+        assert_eq!(compare(&c, &d).sqnr_db(), compare(&d, &c).sqnr_db());
     }
 
     #[test]

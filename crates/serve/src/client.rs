@@ -138,13 +138,27 @@ impl Client {
         self.request(&Request::Tune(Box::new(request)))
     }
 
-    /// Queries the frontier of everything the daemon has cached.
+    /// Queries the frontier of everything the daemon has cached
+    /// (fps × power for `dims == 2`, fps × power × area for 3).
     ///
     /// # Errors
     ///
     /// Transport/protocol failures ([`ClientError`]).
     pub fn frontier(&mut self, dims: u8) -> Result<Response, ClientError> {
-        self.request(&Request::Frontier { dims })
+        self.request(&Request::Frontier { dims, sqnr: false })
+    }
+
+    /// Queries the accuracy frontier (fps × power × SQNR) of everything
+    /// the daemon has cached.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn frontier_accuracy(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Frontier {
+            dims: 3,
+            sqnr: true,
+        })
     }
 
     /// Fetches server counters.
@@ -171,11 +185,12 @@ impl Client {
 pub fn outcome_summary(outcome: &PointOutcome) -> String {
     match outcome {
         PointOutcome::Feasible(r) => format!(
-            "ok: {:.1} fps, {:.1} mW system, {:.0}k gates, {:.1} GOPS/W",
+            "ok: {:.1} fps, {:.1} mW system, {:.0}k gates, {:.1} GOPS/W, {:.1} dB SQNR",
             r.fps,
             r.system_mw(),
             r.gates_k,
-            r.gops_per_watt()
+            r.gops_per_watt(),
+            r.sqnr_db
         ),
         PointOutcome::Infeasible(reason) => format!("infeasible: {reason}"),
     }

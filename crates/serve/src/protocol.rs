@@ -15,16 +15,22 @@
 //! {"type":"tune","space":{...},"mix":{...},"budget":{...},...}
 //!                                        budget-constrained search
 //! {"type":"frontier","dims":2|3}         Pareto frontier of the whole cache
+//! {"type":"frontier","dims":3,"axes":"sqnr"}
+//!                                        accuracy variant: fps × mW × SQNR
 //! {"type":"stats"}                       cache/server counters
 //! {"type":"shutdown"}                    drain, flush, exit
 //! ```
 //!
+//! The complete wire reference — every request/response shape, the
+//! `sqnr` fields, `busy` backpressure and the `tune` admission-slot
+//! semantics — lives in `docs/PROTOCOL.md`.
+//!
 //! A `tune` request's fields are all optional: `space` defaults to the
 //! default exploration grid, `mix` (an object of `net: weight` pairs,
 //! or a `"net:w,net:w"` string) to single-AlexNet, `budget`
-//! (`max_system_mw` / `max_gates_k` / `min_fps`) to unconstrained,
-//! `objective` (a metric name, an array of names for lexicographic
-//! order, or `{"scalarized":{name: weight}}`) to
+//! (`max_system_mw` / `max_gates_k` / `min_fps` / `min_sqnr_db`) to
+//! unconstrained, `objective` (a metric name, an array of names for
+//! lexicographic order, or `{"scalarized":{name: weight}}`) to
 //! fps-then-power-then-gates, `strategy` to `"halving"`, `seed` to 0.
 //!
 //! A `point` object may omit any field, which then defaults to the
@@ -73,6 +79,9 @@ pub enum Request {
     Frontier {
         /// 2 (fps × power) or 3 (fps × power × area).
         dims: u8,
+        /// With `dims == 3`: swap the area axis for measured SQNR
+        /// (fps × power × accuracy). Wire form: `"axes":"sqnr"`.
+        sqnr: bool,
     },
     /// Cache and server counters.
     Stats,
@@ -97,6 +106,9 @@ pub struct SweepSummary {
     pub wall_ms: f64,
     /// Indices of 3D-Pareto-optimal points (grid order, ascending).
     pub frontier_3d: Vec<usize>,
+    /// Indices of fps × power × SQNR non-dominated points (grid order,
+    /// ascending) — the accuracy variant of the frontier.
+    pub frontier_sqnr: Vec<usize>,
 }
 
 /// One frontier entry: the point and its model results.
@@ -263,6 +275,9 @@ fn budget_to_json(b: &Budget) -> Json {
     if let Some(v) = b.min_fps {
         fields.push(("min_fps".to_owned(), num(v)));
     }
+    if let Some(v) = b.min_sqnr_db {
+        fields.push(("min_sqnr_db".to_owned(), num(v)));
+    }
     Json::Obj(fields)
 }
 
@@ -296,6 +311,7 @@ fn mix_result_fields(r: &MixResult) -> Vec<(String, Json)> {
         ("gops_per_watt".into(), num(r.gops_per_watt())),
         ("gates_k".into(), num(r.gates_k)),
         ("sram_kb".into(), num(r.sram_kb)),
+        ("sqnr_db".into(), num(r.sqnr_db)),
     ]
 }
 
@@ -311,6 +327,7 @@ fn result_fields(r: &PointResult) -> Vec<(String, Json)> {
         ("gops_per_watt".into(), num(r.gops_per_watt())),
         ("gates_k".into(), num(r.gates_k)),
         ("sram_kb".into(), num(r.sram_kb)),
+        ("sqnr_db".into(), num(r.sqnr_db)),
     ]
 }
 
@@ -349,10 +366,16 @@ impl Request {
                 // silently aliasing.
                 ("seed".into(), unum(req.seed)),
             ]),
-            Request::Frontier { dims } => Json::Obj(vec![
-                ("type".into(), Json::Str("frontier".into())),
-                ("dims".into(), unum(u64::from(*dims))),
-            ]),
+            Request::Frontier { dims, sqnr } => {
+                let mut fields = vec![
+                    ("type".into(), Json::Str("frontier".into())),
+                    ("dims".into(), unum(u64::from(*dims))),
+                ];
+                if *sqnr {
+                    fields.push(("axes".into(), Json::Str("sqnr".into())));
+                }
+                Json::Obj(fields)
+            }
             Request::Stats => Json::Obj(vec![("type".into(), Json::Str("stats".into()))]),
             Request::Shutdown => Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]),
         };
@@ -384,6 +407,10 @@ impl Response {
                 (
                     "frontier_3d".into(),
                     Json::Arr(s.frontier_3d.iter().map(|&i| unum(i as u64)).collect()),
+                ),
+                (
+                    "frontier_sqnr".into(),
+                    Json::Arr(s.frontier_sqnr.iter().map(|&i| unum(i as u64)).collect()),
                 ),
             ]),
             Response::Tune(s) => {
@@ -623,6 +650,7 @@ fn budget_from_json(v: &Json) -> Result<Budget, ProtocolError> {
         max_system_mw: opt_f64(v, "max_system_mw")?,
         max_gates_k: opt_f64(v, "max_gates_k")?,
         min_fps: opt_f64(v, "min_fps")?,
+        min_sqnr_db: opt_f64(v, "min_sqnr_db")?,
     })
 }
 
@@ -709,6 +737,7 @@ fn mix_result_from_json(v: &Json) -> Result<MixResult, ProtocolError> {
         peak_gops: f("peak_gops")?,
         gates_k: f("gates_k")?,
         sram_kb: f("sram_kb")?,
+        sqnr_db: f("sqnr_db")?,
     })
 }
 
@@ -726,6 +755,7 @@ fn result_from_json(v: &Json) -> Result<PointResult, ProtocolError> {
         dram_mw: f("dram_mw")?,
         gates_k: f("gates_k")?,
         sram_kb: f("sram_kb")?,
+        sqnr_db: f("sqnr_db")?,
     })
 }
 
@@ -772,7 +802,19 @@ impl Request {
                 if !(dims == 2 || dims == 3) {
                     return Err(bad("'dims' must be 2 or 3"));
                 }
-                Ok(Request::Frontier { dims: dims as u8 })
+                let sqnr = match v.get("axes").map(|a| a.as_str()) {
+                    None => false,
+                    Some(Some("gates")) => false,
+                    Some(Some("sqnr")) => true,
+                    _ => return Err(bad("'axes' must be \"gates\" or \"sqnr\"")),
+                };
+                if sqnr && dims != 3 {
+                    return Err(bad("the sqnr frontier is 3-dimensional; use dims 3"));
+                }
+                Ok(Request::Frontier {
+                    dims: dims as u8,
+                    sqnr,
+                })
             }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -822,24 +864,26 @@ impl Response {
                 })
             }
             "sweep" => {
-                let frontier_3d = v
-                    .get("frontier_3d")
-                    .and_then(Json::as_array)
-                    .ok_or_else(|| bad("sweep response needs 'frontier_3d'"))?
-                    .iter()
-                    .map(|i| {
-                        i.as_u64()
-                            .map(|n| n as usize)
-                            .ok_or_else(|| bad("'frontier_3d' must hold indices"))
-                    })
-                    .collect::<Result<_, _>>()?;
+                let indices = |key: &'static str| -> Result<Vec<usize>, ProtocolError> {
+                    v.get(key)
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| bad(format!("sweep response needs '{key}'")))?
+                        .iter()
+                        .map(|i| {
+                            i.as_u64()
+                                .map(|n| n as usize)
+                                .ok_or_else(|| bad(format!("'{key}' must hold indices")))
+                        })
+                        .collect()
+                };
                 Ok(Response::Sweep(SweepSummary {
                     points: get_usize(&v, "points", 0)?,
                     feasible: get_usize(&v, "feasible", 0)?,
                     cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
                     cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
                     wall_ms: get_f64(&v, "wall_ms", 0.0)?,
-                    frontier_3d,
+                    frontier_3d: indices("frontier_3d")?,
+                    frontier_sqnr: indices("frontier_sqnr")?,
                 }))
             }
             "tune" => {
@@ -926,8 +970,18 @@ mod tests {
                 nets: vec!["alexnet".into(), "vgg16".into()],
                 ..SweepSpec::paper_point()
             }),
-            Request::Frontier { dims: 2 },
-            Request::Frontier { dims: 3 },
+            Request::Frontier {
+                dims: 2,
+                sqnr: false,
+            },
+            Request::Frontier {
+                dims: 3,
+                sqnr: false,
+            },
+            Request::Frontier {
+                dims: 3,
+                sqnr: true,
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -956,6 +1010,7 @@ mod tests {
                 cache_misses: 4,
                 wall_ms: 1.25,
                 frontier_3d: vec![0, 3, 5],
+                frontier_sqnr: vec![0, 5],
             }),
             Response::Frontier {
                 dims: 3,
@@ -1003,6 +1058,7 @@ mod tests {
                 budget: Budget {
                     max_system_mw: Some(500.0),
                     min_fps: Some(30.0),
+                    min_sqnr_db: Some(45.0),
                     ..Budget::default()
                 },
                 objective: Objective::Lexicographic(vec![Metric::Fps, Metric::SystemMw]),
@@ -1037,6 +1093,13 @@ mod tests {
         assert_eq!(tune.mix.primary(), "vgg16");
         assert_eq!(tune.budget.max_system_mw, Some(500.0));
         assert_eq!(tune.budget.max_gates_k, None);
+        assert_eq!(tune.budget.min_sqnr_db, None);
+        // And the accuracy floor decodes when present.
+        let req = Request::decode(r#"{"type":"tune","budget":{"min_sqnr_db":42.5}}"#).unwrap();
+        let Request::Tune(tune) = req else {
+            panic!("not a tune")
+        };
+        assert_eq!(tune.budget.min_sqnr_db, Some(42.5));
     }
 
     #[test]
@@ -1123,6 +1186,8 @@ mod tests {
             r#"{"type":"sweep"}"#,
             r#"{"type":"sweep","spec":{"pes":["many"]}}"#,
             r#"{"type":"frontier","dims":4}"#,
+            r#"{"type":"frontier","dims":2,"axes":"sqnr"}"#,
+            r#"{"type":"frontier","dims":3,"axes":"warp"}"#,
             r#"{"type":"eval","point":{"pes":-5}}"#,
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} should fail");

@@ -2,7 +2,7 @@
 //!
 //! The CLI executor (`chain_nn_dse::executor`) drains one point list
 //! with an atomic cursor. The daemon generalizes that shape to many
-//! concurrent lists: every admitted request is a [`Job`] with its own
+//! concurrent lists: every admitted request is a job with its own
 //! cursor, and the worker pool claims fixed-size **batches** round-robin
 //! across the active jobs. A 10⁶-point sweep therefore cannot starve a
 //! one-point `eval` that arrives behind it — the eval's job joins the

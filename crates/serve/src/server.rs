@@ -389,6 +389,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
                             cache_misses: job.cache_misses,
                             wall_ms: start.elapsed().as_secs_f64() * 1e3,
                             frontier_3d: pareto::frontier_3d(&objectives),
+                            frontier_sqnr: pareto::frontier_accuracy(&objectives),
                         })
                     }
                 },
@@ -427,7 +428,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
             let _ = shared.flush();
             (response, false)
         }
-        Request::Frontier { dims } => {
+        Request::Frontier { dims, sqnr } => {
             let feasible: Vec<FrontierEntry> = shared
                 .cache
                 .entries()
@@ -444,6 +445,8 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
                 .collect();
             let keep = if dims == 2 {
                 pareto::frontier_2d(&objectives)
+            } else if sqnr {
+                pareto::frontier_accuracy(&objectives)
             } else {
                 pareto::frontier_3d(&objectives)
             };

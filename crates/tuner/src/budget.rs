@@ -1,12 +1,37 @@
 //! Hard deployment constraints a tuned accelerator must satisfy.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_dse::MixResult;
+//! use chain_nn_tuner::Budget;
+//!
+//! let budget = Budget {
+//!     max_system_mw: Some(500.0),
+//!     min_sqnr_db: Some(40.0),
+//!     ..Budget::default()
+//! };
+//! let candidate = MixResult {
+//!     fps: 120.0,
+//!     chip_mw: 420.0,
+//!     dram_mw: 60.0,
+//!     peak_gops: 800.0,
+//!     gates_k: 3000.0,
+//!     sram_kb: 320.0,
+//!     sqnr_db: 31.0, // an 8-bit point: cool enough, not precise enough
+//! };
+//! assert!(!budget.admits(&candidate));
+//! assert!(budget.violation(&candidate) > 0.0);
+//! ```
 
 use std::fmt;
 
 use chain_nn_dse::MixResult;
 
 /// The hard constraints of one tune: any combination of a system-power
-/// ceiling, a logic-area ceiling and a throughput floor. `None` axes
-/// are unconstrained; the default budget admits everything.
+/// ceiling, a logic-area ceiling, a throughput floor and a measured
+/// accuracy (SQNR) floor. `None` axes are unconstrained; the default
+/// budget admits everything.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Budget {
     /// Maximum worst-case system power (on-chip + DRAM interface), mW.
@@ -15,6 +40,10 @@ pub struct Budget {
     pub max_gates_k: Option<f64>,
     /// Minimum mix throughput, frames per second.
     pub min_fps: Option<f64>,
+    /// Minimum measured quantization SQNR across the mix, dB — the
+    /// accuracy axis: narrow operand words are only admitted when they
+    /// still clear this floor ([`chain_nn_dse::accuracy`]).
+    pub min_sqnr_db: Option<f64>,
 }
 
 impl Budget {
@@ -25,14 +54,19 @@ impl Budget {
 
     /// Whether any constraint is set.
     pub fn is_constrained(&self) -> bool {
-        self.max_system_mw.is_some() || self.max_gates_k.is_some() || self.min_fps.is_some()
+        self.max_system_mw.is_some()
+            || self.max_gates_k.is_some()
+            || self.min_fps.is_some()
+            || self.min_sqnr_db.is_some()
     }
 
     /// Validates the constraint values themselves.
     ///
     /// # Errors
     ///
-    /// A human-readable message for a non-finite or non-positive bound.
+    /// A human-readable message for a non-finite or non-positive bound
+    /// (the SQNR floor only needs to be finite — 0 dB and below are
+    /// legitimate, if undemanding, accuracy floors).
     pub fn validate(&self) -> Result<(), String> {
         for (name, v) in [
             ("max_system_mw", self.max_system_mw),
@@ -43,6 +77,11 @@ impl Budget {
                 if !(v.is_finite() && v > 0.0) {
                     return Err(format!("budget {name} = {v} is not a positive number"));
                 }
+            }
+        }
+        if let Some(v) = self.min_sqnr_db {
+            if !v.is_finite() {
+                return Err(format!("budget min_sqnr_db = {v} is not a finite number"));
             }
         }
         Ok(())
@@ -73,6 +112,17 @@ impl Budget {
                 v += (min / r.fps - 1.0).max(0.0);
             }
         }
+        if let Some(min) = self.min_sqnr_db {
+            // dB is already logarithmic, so the distance itself (not a
+            // ratio) is the natural relative measure; normalize by the
+            // floor's magnitude to stay commensurate with the other
+            // axes. An unmeasured (NaN) SQNR counts as a full violation.
+            if r.sqnr_db.is_nan() {
+                v += 1.0;
+            } else {
+                v += ((min - r.sqnr_db) / min.abs().max(1.0)).max(0.0);
+            }
+        }
         v
     }
 }
@@ -99,6 +149,10 @@ impl fmt::Display for Budget {
             sep(f)?;
             write!(f, "fps >= {fps}")?;
         }
+        if let Some(db) = self.min_sqnr_db {
+            sep(f)?;
+            write!(f, "SQNR >= {db} dB")?;
+        }
         if !wrote {
             write!(f, "unconstrained")?;
         }
@@ -118,6 +172,7 @@ mod tests {
             peak_gops: 100.0,
             gates_k: gates,
             sram_kb: 57.0,
+            sqnr_db: 60.0,
         }
     }
 
@@ -127,6 +182,7 @@ mod tests {
             max_system_mw: Some(500.0),
             max_gates_k: Some(1000.0),
             min_fps: Some(30.0),
+            ..Budget::default()
         };
         assert!(budget.admits(&result(30.0, 500.0, 1000.0)));
         assert!(!budget.admits(&result(29.9, 500.0, 1000.0)));
@@ -160,6 +216,57 @@ mod tests {
             };
             assert!(b.validate().is_err(), "{bad} must be rejected");
         }
+        // The SQNR floor only needs to be finite: 0 dB is a legal floor.
+        assert!(Budget {
+            min_sqnr_db: Some(0.0),
+            ..Budget::default()
+        }
+        .validate()
+        .is_ok());
+        for bad in [f64::NAN, f64::INFINITY] {
+            let b = Budget {
+                min_sqnr_db: Some(bad),
+                ..Budget::default()
+            };
+            assert!(b.validate().is_err(), "sqnr {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn sqnr_floor_admits_inclusively_and_violation_scales() {
+        let budget = Budget {
+            min_sqnr_db: Some(60.0),
+            ..Budget::default()
+        };
+        assert!(budget.is_constrained());
+        assert!(budget.admits(&result(10.0, 1e6, 1e6)), "60 dB meets 60 dB");
+        let shy = MixResult {
+            sqnr_db: 45.0,
+            ..result(10.0, 1.0, 1.0)
+        };
+        let far = MixResult {
+            sqnr_db: 20.0,
+            ..result(10.0, 1.0, 1.0)
+        };
+        assert!(!budget.admits(&shy));
+        let near_v = budget.violation(&shy);
+        let far_v = budget.violation(&far);
+        assert!(0.0 < near_v && near_v < far_v);
+        // NaN (unmeasured) is a full violation, not a free pass.
+        let unknown = MixResult {
+            sqnr_db: f64::NAN,
+            ..result(10.0, 1.0, 1.0)
+        };
+        assert!(!budget.admits(&unknown));
+        assert!(budget.violation(&unknown) >= 1.0);
+        // And the axis sums with the others (far's 1.0 mW system power
+        // violates a 0.5 mW ceiling on top of its SQNR shortfall).
+        let both = Budget {
+            max_system_mw: Some(0.5),
+            min_sqnr_db: Some(60.0),
+            ..Budget::default()
+        };
+        assert!(both.violation(&far) > budget.violation(&far));
     }
 
     #[test]
@@ -167,10 +274,12 @@ mod tests {
         let b = Budget {
             max_system_mw: Some(500.0),
             min_fps: Some(30.0),
+            min_sqnr_db: Some(40.0),
             ..Budget::default()
         };
         let s = b.to_string();
         assert!(s.contains("500 mW") && s.contains("fps >= 30"), "{s}");
+        assert!(s.contains("SQNR >= 40 dB"), "{s}");
         assert_eq!(Budget::unconstrained().to_string(), "unconstrained");
     }
 }

@@ -66,6 +66,26 @@ pub fn collapse(
 /// executor, so batches parallelize across `threads` without changing
 /// results.
 ///
+/// # Example
+///
+/// ```
+/// use chain_nn_dse::{DesignPoint, PointCache, WorkloadMix};
+/// use chain_nn_tuner::{CacheEvaluator, MixEvaluator};
+///
+/// let cache = PointCache::new();
+/// let mix = WorkloadMix::single("lenet").unwrap();
+/// let mut eval = CacheEvaluator::new(&cache, 2);
+/// let base = DesignPoint {
+///     pes: 25,
+///     ..DesignPoint::paper_alexnet()
+/// };
+/// let outcomes = eval.evaluate(&mix, &[base.clone()]).unwrap();
+/// assert!(outcomes[0].result().is_some());
+/// assert_eq!(eval.counters(), (0, 1)); // one fresh (config, net) lookup
+/// eval.evaluate(&mix, &[base]).unwrap();
+/// assert_eq!(eval.counters(), (1, 1)); // the repeat is a cache hit
+/// ```
+///
 /// Hit/miss accounting reads the cache's global counters before and
 /// after each round, which is only correct because the cache is not
 /// shared with concurrent users — the daemon-side evaluator uses

@@ -1,5 +1,25 @@
 //! What "best" means: single metrics composed lexicographically or
 //! scalarized into one weighted score.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_tuner::{Metric, Objective};
+//!
+//! // "fastest; among the fastest, coolest; among those, smallest":
+//! assert_eq!(
+//!     Objective::parse("fps,power,gates").unwrap(),
+//!     Objective::Lexicographic(vec![Metric::Fps, Metric::SystemMw, Metric::GatesK])
+//! );
+//! // name:weight pairs scalarize instead:
+//! assert_eq!(
+//!     Objective::parse("fps:1,power:0.25").unwrap(),
+//!     Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::SystemMw, 0.25)])
+//! );
+//! // Measured accuracy is a rankable metric too:
+//! assert_eq!(Objective::parse("sqnr").unwrap(),
+//!            Objective::Lexicographic(vec![Metric::SqnrDb]));
+//! ```
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -19,6 +39,8 @@ pub enum Metric {
     GatesK,
     /// Peak GOPS per on-chip watt, maximized.
     GopsPerWatt,
+    /// Measured quantization SQNR (worst across the mix), maximized.
+    SqnrDb,
 }
 
 impl Metric {
@@ -29,12 +51,13 @@ impl Metric {
             Metric::SystemMw => r.system_mw(),
             Metric::GatesK => r.gates_k,
             Metric::GopsPerWatt => r.gops_per_watt(),
+            Metric::SqnrDb => r.sqnr_db,
         }
     }
 
     /// Whether bigger is better for this metric.
     pub fn maximize(&self) -> bool {
-        matches!(self, Metric::Fps | Metric::GopsPerWatt)
+        matches!(self, Metric::Fps | Metric::GopsPerWatt | Metric::SqnrDb)
     }
 
     /// The metric's value with maximization sign applied: bigger is
@@ -55,6 +78,7 @@ impl Metric {
             Metric::SystemMw => "system_mw",
             Metric::GatesK => "gates_k",
             Metric::GopsPerWatt => "gops_per_watt",
+            Metric::SqnrDb => "sqnr_db",
         }
     }
 }
@@ -68,9 +92,10 @@ impl FromStr for Metric {
             "system_mw" | "power" | "mw" => Ok(Metric::SystemMw),
             "gates_k" | "gates" | "area" => Ok(Metric::GatesK),
             "gops_per_watt" | "gops-w" | "efficiency" => Ok(Metric::GopsPerWatt),
+            "sqnr_db" | "sqnr" | "accuracy" => Ok(Metric::SqnrDb),
             other => Err(format!(
                 "unknown objective metric '{other}' \
-                 (expected fps | system_mw | gates_k | gops_per_watt)"
+                 (expected fps | system_mw | gates_k | gops_per_watt | sqnr_db)"
             )),
         }
     }
@@ -232,6 +257,7 @@ mod tests {
             peak_gops: 100.0,
             gates_k: gates,
             sram_kb: 57.0,
+            sqnr_db: 60.0,
         }
     }
 
@@ -261,6 +287,30 @@ mod tests {
         assert_eq!(obj.compare(&a, &b), Ordering::Equal);
         let obj = Objective::Scalarized(vec![(Metric::Fps, 1.0), (Metric::SystemMw, 3.0)]);
         assert_eq!(obj.compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn sqnr_metric_ranks_precision() {
+        let obj = Objective::Lexicographic(vec![Metric::SqnrDb, Metric::SystemMw]);
+        let precise = MixResult {
+            sqnr_db: 75.0,
+            ..result(10.0, 600.0, 1.0)
+        };
+        let coarse = MixResult {
+            sqnr_db: 30.0,
+            ..result(10.0, 300.0, 1.0)
+        };
+        assert_eq!(obj.compare(&precise, &coarse), Ordering::Greater);
+        assert_eq!(
+            Objective::parse("sqnr").unwrap(),
+            Objective::parse("accuracy").unwrap()
+        );
+        assert_eq!(
+            Objective::parse("sqnr_db").unwrap(),
+            Objective::Lexicographic(vec![Metric::SqnrDb])
+        );
+        assert!(Metric::SqnrDb.maximize());
+        assert_eq!(Metric::SqnrDb.name(), "sqnr_db");
     }
 
     #[test]

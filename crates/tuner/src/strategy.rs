@@ -21,6 +21,30 @@
 //! Both strategies are deterministic given `(spec, mix, budget,
 //! objective, seed)`: candidate proposal order is a pure function of
 //! those inputs, and the model stack itself is pure.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_dse::{PointCache, SweepSpec, WorkloadMix};
+//! use chain_nn_tuner::{tune, CacheEvaluator, StrategyKind, TuneRequest};
+//!
+//! let request = TuneRequest {
+//!     space: SweepSpec {
+//!         pes: vec![25, 50, 100, 200],
+//!         freqs_mhz: vec![350.0, 700.0],
+//!         ..SweepSpec::paper_point()
+//!     },
+//!     mix: WorkloadMix::single("lenet").unwrap(),
+//!     strategy: StrategyKind::HillClimb,
+//!     ..TuneRequest::default()
+//! };
+//! let cache = PointCache::new();
+//! let report = tune(&request, &mut CacheEvaluator::new(&cache, 2)).unwrap();
+//! let best = report.best.unwrap();
+//! // Unconstrained: the climb reaches the fastest corner of the grid.
+//! assert_eq!((best.point.pes, best.point.freq_mhz), (200, 700.0));
+//! assert_eq!(report.exhaustive_points, 8);
+//! ```
 
 use std::cmp::Ordering;
 use std::collections::HashMap;

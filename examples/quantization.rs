@@ -37,6 +37,31 @@ fn main() {
         "rule of thumb: ~6 dB per fractional bit until the integer range\n\
          saturates; the paper's 16-bit datapath corresponds to the upper rows."
     );
+
+    // The same pipeline as the DSE sees it: one measured SQNR per
+    // (network, operand width) pair, attached to every evaluated point
+    // (dse::accuracy, DESIGN.md §11). This is what `--bits 8,16` sweeps
+    // and `tune --min-sqnr-db` budget against.
+    println!("\n== DSE accuracy model: measured SQNR per (network, word width) ==");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12}",
+        "network", "bits", "SQNR (dB)", "max |err|"
+    );
+    for net in ["lenet", "cifar10", "alexnet", "vgg16"] {
+        for bits in [8u32, 16] {
+            let network = chain_nn_repro::dse::network_by_name(net).expect("zoo network");
+            let stats = chain_nn_repro::dse::accuracy::measure(&network, bits).expect("measures");
+            println!(
+                "{net:>10} {bits:>8} {:>12.1} {:>12.5}",
+                stats.sqnr_db, stats.max_abs
+            );
+        }
+    }
+    println!(
+        "\nnarrow words stop dominating for free: the tuner's --min-sqnr-db\n\
+         floor and the dse fps x mW x SQNR frontier both rank against these\n\
+         measured values."
+    );
 }
 
 /// Runs every conv layer of `net` in float and fixed point and compares

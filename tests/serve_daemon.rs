@@ -143,6 +143,73 @@ fn daemon_restart_reserves_prior_sweep_from_disk() {
     std::fs::remove_file(&cache_path).ok();
 }
 
+/// The accuracy axis survives the snapshot: a daemon restarted on the
+/// same cache file re-serves a point's measured SQNR bit-exactly from
+/// the extended (v2) persist format, without re-evaluating anything.
+#[test]
+fn daemon_restart_reserves_sqnr_from_the_persist_format() {
+    let cache_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("chain_nn_serve_sqnr_{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let config = |path: &PathBuf| ServerConfig {
+        threads: 2,
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let point = chain_nn_repro::dse::DesignPoint {
+        net: "lenet".into(),
+        pes: 50,
+        ..chain_nn_repro::dse::DesignPoint::paper_alexnet()
+    };
+
+    // First lifetime: evaluate once, note the served SQNR.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("connect");
+    let first_sqnr = match client.eval(point.clone()).expect("eval") {
+        Response::Eval { outcome, .. } => {
+            let r = *outcome.result().expect("feasible");
+            assert!(r.sqnr_db.is_finite() && r.sqnr_db > 0.0, "{}", r.sqnr_db);
+            r.sqnr_db
+        }
+        other => panic!("expected eval, got {other:?}"),
+    };
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+
+    // Second lifetime: the identical eval is a pure cache hit — the
+    // SQNR comes off disk, bit for bit.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("reconnect");
+    match client.eval(point).expect("eval") {
+        Response::Eval { outcome, .. } => {
+            let r = *outcome.result().expect("feasible");
+            assert_eq!(r.sqnr_db.to_bits(), first_sqnr.to_bits());
+        }
+        other => panic!("expected eval, got {other:?}"),
+    }
+    match client.stats().expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.misses, 0, "restart must re-serve from disk");
+            assert_eq!(stats.loaded_from_disk, 1);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    // The accuracy frontier over the cache also carries the value.
+    match client.frontier_accuracy().expect("frontier") {
+        Response::Frontier { entries, .. } => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].result.sqnr_db.to_bits(), first_sqnr.to_bits());
+        }
+        other => panic!("expected frontier, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+    std::fs::remove_file(&cache_path).ok();
+}
+
 /// One session survives malformed requests, serves multiple requests
 /// in order, and eval answers match the library evaluator bit-exactly.
 #[test]

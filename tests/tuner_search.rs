@@ -213,6 +213,79 @@ fn mix_tune_respects_the_hungriest_network() {
     assert!((best.result.fps - harmonic).abs() / harmonic < 1e-12);
 }
 
+/// The accuracy axis closes the "narrow words win for free" hole: on a
+/// probed power budget over a mixed-width grid, the plain tune picks
+/// the 8-bit point (same fps, less power), while the same tune with a
+/// `--min-sqnr-db` floor must cross to the wider word — and the floor
+/// is *measured*, so the admitted point really clears it.
+#[test]
+fn min_sqnr_budget_flips_the_tune_to_wider_words() {
+    let space = {
+        let mut space = TuneRequest::default().space;
+        space.word_bits = vec![8, 16];
+        space
+    };
+    // A probed budget both widths can satisfy on this grid: the flip
+    // must come from the accuracy floor, not from power feasibility.
+    let budget = Budget {
+        max_system_mw: Some(900.0),
+        ..Budget::default()
+    };
+    let cache = PointCache::new();
+
+    let free = TuneRequest {
+        space: space.clone(),
+        budget,
+        ..TuneRequest::default()
+    };
+    let free_report =
+        tune(&free, &mut CacheEvaluator::new(&cache, 2)).expect("unconstrained-accuracy tune");
+    let free_best = free_report.best.expect("admitted points exist");
+    assert!(free_best.admitted);
+    assert_eq!(
+        free_best.point.word_bits, 8,
+        "without an accuracy floor the narrow word must win on power"
+    );
+
+    let floor = 50.0; // between the measured 8-bit and 16-bit SQNR
+    assert!(free_best.result.sqnr_db < floor, "floor must bind");
+    let strict = TuneRequest {
+        space,
+        budget: Budget {
+            min_sqnr_db: Some(floor),
+            ..budget
+        },
+        ..TuneRequest::default()
+    };
+    // Pre-warm every (net, width) pair any test in this binary can
+    // measure: the recomputation counter is process-global, and a
+    // concurrently running test mid-measurement would otherwise bump
+    // it between our before/after reads. sqnr_for measures under the
+    // memo lock, so once these return, those pairs are settled.
+    for (net, w) in [("alexnet", 8), ("alexnet", 16), ("vgg16", 16)] {
+        chain_nn_repro::dse::accuracy::sqnr_for(net, w).expect("zoo pair measures");
+    }
+    let accuracy_before = chain_nn_repro::dse::accuracy::recomputations();
+    let strict_report =
+        tune(&strict, &mut CacheEvaluator::new(&cache, 2)).expect("accuracy-floored tune");
+    let strict_best = strict_report.best.expect("admitted points exist");
+    assert!(strict_best.admitted);
+    assert!(
+        strict_best.point.word_bits > free_best.point.word_bits,
+        "the accuracy floor must force a wider word: {} vs {}",
+        strict_best.point.word_bits,
+        free_best.point.word_bits
+    );
+    assert!(strict_best.result.sqnr_db >= floor);
+    // Accuracy evaluations are memoized per (net, width): the second
+    // tune re-ranks the same two pairs without a single re-measurement.
+    assert_eq!(
+        chain_nn_repro::dse::accuracy::recomputations(),
+        accuracy_before,
+        "re-tuning over already-measured (net, width) pairs must not re-measure"
+    );
+}
+
 /// The default objective can be swapped: minimizing power under an fps
 /// floor picks a different corner of the space than maximizing fps
 /// under a power ceiling.
