@@ -70,5 +70,54 @@ fn bench_mix_tune(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tune_vs_exhaustive, bench_mix_tune);
+/// The frontier sweep against its naïve alternative: 13 standalone
+/// tunes on fresh caches. The sweep's pooled evaluations + warm start
+/// should land it within a small multiple of ONE tune, not thirteen.
+fn bench_frontier_sweep(c: &mut Criterion) {
+    use chain_nn_tuner::{tune_frontier, BudgetSweep, FrontierTuneRequest, TuneRequest};
+
+    let mut g = c.benchmark_group("tuner/frontier_300_900_mw");
+    g.sample_size(10);
+    let req = FrontierTuneRequest {
+        base: TuneRequest::default(),
+        sweep: BudgetSweep::parse("max-mw=300..=900:50").expect("sweep"),
+    };
+    g.throughput(Throughput::Elements(req.sweep.values.len() as u64));
+
+    g.bench_function("frontier_sweep_cold", |b| {
+        b.iter(|| {
+            let cache = PointCache::new();
+            let report = tune_frontier(&req, &mut CacheEvaluator::new(&cache, 1), |_, _| Ok(()))
+                .expect("frontier tune");
+            black_box(report.frontier.len())
+        })
+    });
+
+    g.bench_function("standalone_tunes_cold", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &mw in &req.sweep.values {
+                let cache = PointCache::new();
+                let single = TuneRequest {
+                    budget: Budget {
+                        max_system_mw: Some(mw),
+                        ..Budget::default()
+                    },
+                    ..TuneRequest::default()
+                };
+                let report = tune(&single, &mut CacheEvaluator::new(&cache, 1)).expect("tune");
+                found += usize::from(report.best.is_some());
+            }
+            black_box(found)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tune_vs_exhaustive,
+    bench_mix_tune,
+    bench_frontier_sweep
+);
 criterion_main!(benches);

@@ -19,6 +19,7 @@ use chain_nn_mem::MemoryConfig;
 use chain_nn_nets::{zoo, Network};
 use chain_nn_tensor::conv::{conv2d_fix, ConvGeometry};
 use chain_nn_tensor::Tensor;
+use chain_nn_tuner::frontier::{BudgetSweep, FrontierStep, FrontierTuneRequest};
 use chain_nn_tuner::{Budget, CacheEvaluator, Objective, TuneRequest, Tuned};
 
 use crate::args::{ArgError, Flags};
@@ -124,7 +125,15 @@ auto-tuner:
            8,16 it is what stops free 8-bit wins); with --port the
            search runs on a live daemon (sharing its cache), otherwise
            locally (--cache-file makes local tunes incremental across
-           runs)
+           runs); user guide: docs/TUNING.md
+  tune --sweep-budget max-mw=300..=900:50 [--out F.csv] [--json F.json]
+           frontier tune: sweep one budget axis (max-mw | max-gates-k |
+           min-fps | min-sqnr-db; lo..=hi:step or a comma list) and
+           report the whole budget-constrained Pareto frontier — one
+           constrained optimum per step, deduplicated/Pareto-filtered,
+           warm-started so the sweep costs far less than standalone
+           tunes; via --port the daemon streams one line per step as
+           it completes; --out/--json export the tuned frontier
   compact  --cache-file FILE
            rewrite a cache snapshot dropping duplicate/rejected records
            (load also compacts automatically past 50% dead records)
@@ -142,8 +151,10 @@ explorer daemon:
            send one request to a running daemon and print the reply;
            REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
            bare word shorthand: stats | frontier | frontier2 |
-           frontier-sqnr | shutdown | eval (the paper point); the full
-           wire reference is docs/PROTOCOL.md
+           frontier-sqnr | frontier-stream | shutdown | eval (the
+           paper point); streaming replies (tune_frontier, frontier
+           with stream:true) are drained line by line; the full wire
+           reference is docs/PROTOCOL.md
 "
     .to_owned()
 }
@@ -445,7 +456,8 @@ fn tune_cmd(flags: &Flags) -> CmdResult {
 
     // With --port/--host the search runs on a live daemon (sharing its
     // cache with every other client); otherwise locally.
-    if flags.get_str("port").is_some() || flags.get_str("host").is_some() {
+    let on_daemon = flags.get_str("port").is_some() || flags.get_str("host").is_some();
+    if on_daemon {
         // The local-only knobs would be silently dead on the daemon
         // path; refuse them rather than let the user believe they took.
         for local_only in ["cache-file", "threads"] {
@@ -457,6 +469,23 @@ fn tune_cmd(flags: &Flags) -> CmdResult {
                 .into());
             }
         }
+    }
+
+    // --sweep-budget turns the tune into a frontier tune: one
+    // constrained optimum per budget step, streamed as each completes.
+    if let Some(sweep_text) = flags.get_str("sweep-budget") {
+        return frontier_tune_cmd(flags, request, sweep_text, on_daemon);
+    }
+    for frontier_only in ["out", "json"] {
+        if flags.get_str(frontier_only).is_some() {
+            return Err(format!(
+                "--{frontier_only} exports the tuned frontier; it needs --sweep-budget"
+            )
+            .into());
+        }
+    }
+
+    if on_daemon {
         let host = flags.get_str("host").unwrap_or("127.0.0.1");
         let port = flags.get_or("port", 7878u16)?;
         let mut client = chain_nn_serve::Client::connect((host, port))?;
@@ -505,6 +534,213 @@ fn tune_cmd(flags: &Flags) -> CmdResult {
             loaded,
             appended
         );
+    }
+    Ok(s)
+}
+
+/// One rendered row of the frontier-tune step table. The frontier
+/// marker is only known once every step finished, so rows render
+/// admitted/violating state here and the frontier block follows.
+fn frontier_step_row(s: &mut String, axis_width: usize, step: &FrontierStep) {
+    match &step.best {
+        None => {
+            let _ = writeln!(
+                s,
+                "{:>axis_width$}  no feasible configuration",
+                step.budget_value
+            );
+        }
+        Some(t) => {
+            let _ = writeln!(
+                s,
+                "{:>axis_width$}  {:<44} {:>9.1} {:>10.1} {:>9.0} {:>8.1}{}",
+                step.budget_value,
+                t.point.to_string(),
+                t.result.fps,
+                t.result.system_mw(),
+                t.result.gates_k,
+                t.result.sqnr_db,
+                if t.admitted {
+                    ""
+                } else {
+                    "   [budget NOT met]"
+                },
+            );
+        }
+    }
+}
+
+/// `chain-nn tune --sweep-budget AXIS=LO..=HI:STEP` — the frontier
+/// tune, locally or against a daemon (where the steps stream back one
+/// line at a time).
+fn frontier_tune_cmd(
+    flags: &Flags,
+    base: TuneRequest,
+    sweep_text: &str,
+    on_daemon: bool,
+) -> CmdResult {
+    let sweep = BudgetSweep::parse(sweep_text)?;
+    let request = FrontierTuneRequest { base, sweep };
+    let axis = request.sweep.axis;
+    let axis_width = axis.cli_name().len().max(6);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== frontier tune: {} | sweep: {} | objective: {} ==",
+        request.base.mix, request.sweep, request.base.objective
+    );
+    let _ = writeln!(
+        s,
+        "strategy {} (seed {}) | fixed budget: {}",
+        request.base.strategy, request.base.seed, request.base.budget
+    );
+    let _ = writeln!(
+        s,
+        "{:>axis_width$}  {:<44} {:>9} {:>10} {:>9} {:>8}",
+        axis.cli_name(),
+        "chosen configuration",
+        "fps",
+        "system mW",
+        "gates(k)",
+        "SQNR dB"
+    );
+
+    // Both paths produce the same step list + sweep totals.
+    let (steps, frontier, evaluations, standalone, hits, misses, exhaustive);
+    let mut cache_file_line = String::new();
+    if on_daemon {
+        let host = flags.get_str("host").unwrap_or("127.0.0.1");
+        let port = flags.get_or("port", 7878u16)?;
+        let mut client = chain_nn_serve::Client::connect((host, port))?;
+        // The daemon streams one line per budget step; render each row
+        // the moment it arrives (like serve's eager readiness line) so
+        // a long sweep shows progress instead of a silent stall. The
+        // returned text then carries only the summary that follows.
+        use std::io::Write as _;
+        print!("{s}");
+        std::io::stdout().flush()?;
+        s.clear();
+        let mut streamed: Vec<FrontierStep> = Vec::new();
+        let done = client.tune_frontier(request.clone(), |step| {
+            let mut row = String::new();
+            frontier_step_row(&mut row, axis_width, &step.result);
+            print!("{row}");
+            let _ = std::io::stdout().flush();
+            streamed.push(step.result.clone());
+        })?;
+        let done = match done {
+            chain_nn_serve::Response::TuneFrontierDone(done) => done,
+            chain_nn_serve::Response::Busy { active, capacity } => {
+                return Err(format!("daemon busy ({active}/{capacity} jobs); retry later").into())
+            }
+            chain_nn_serve::Response::Error { message } => return Err(message.into()),
+            other => return Err(format!("unexpected daemon reply: {other:?}").into()),
+        };
+        steps = streamed;
+        frontier = done.frontier;
+        evaluations = done.evaluations;
+        standalone = done.standalone_evaluations;
+        hits = done.cache_hits;
+        misses = done.cache_misses;
+        exhaustive = done.exhaustive_points;
+    } else {
+        let cache = PointCache::new();
+        let cache_file = flags.get_str("cache-file").map(CacheFile::new);
+        let mut loaded = 0;
+        if let Some(file) = &cache_file {
+            loaded = file.load_into(&cache)?.loaded;
+        }
+        let threads = flags.get_or("threads", executor::default_threads())?;
+        let mut evaluator = CacheEvaluator::new(&cache, threads);
+        let report = chain_nn_tuner::tune_frontier(&request, &mut evaluator, |_, _| Ok(()))?;
+        if let Some(file) = &cache_file {
+            let appended = file.flush_dirty(&cache)?;
+            let _ = writeln!(
+                cache_file_line,
+                "cache file {}: {} points loaded, {} appended",
+                file.path().display(),
+                loaded,
+                appended
+            );
+        }
+        steps = report.steps;
+        frontier = report.frontier;
+        evaluations = report.evaluations;
+        standalone = report.standalone_evaluations;
+        hits = report.cache_hits;
+        misses = report.cache_misses;
+        exhaustive = report.exhaustive_points;
+    }
+
+    if !on_daemon {
+        // The daemon path already rendered its rows as they streamed in.
+        for step in &steps {
+            frontier_step_row(&mut s, axis_width, step);
+        }
+    }
+
+    let _ = writeln!(
+        s,
+        "\ntuned frontier: {} distinct Pareto-optimal configurations across {} budget steps",
+        frontier.len(),
+        steps.len()
+    );
+    let bound = if axis.is_ceiling() { "<=" } else { ">=" };
+    for &i in &frontier {
+        if let Some(t) = &steps[i].best {
+            let _ = writeln!(
+                s,
+                "  {} {bound} {:>6}: {}  ({:.1} fps @ {:.1} mW)",
+                axis.cli_name(),
+                steps[i].budget_value,
+                t.point,
+                t.result.fps,
+                t.result.system_mw()
+            );
+        }
+    }
+    let reuse = 100.0 * chain_nn_tuner::frontier::reuse_fraction(evaluations, standalone);
+    let _ = writeln!(
+        s,
+        "evaluated {} distinct configurations of {} in the grid; {} standalone tunes \
+         would visit {} ({:.0}% reused via warm start)",
+        evaluations,
+        exhaustive,
+        steps.len(),
+        standalone,
+        reuse
+    );
+    let _ = writeln!(
+        s,
+        "point lookups: {} ({} hits, {} misses)",
+        hits + misses,
+        hits,
+        misses
+    );
+    s.push_str(&cache_file_line);
+
+    let rows: Vec<export::TunedFrontierRow> = steps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, step)| {
+            let t = step.best.as_ref()?;
+            Some(export::TunedFrontierRow {
+                budget_value: step.budget_value,
+                point: t.point.clone(),
+                result: t.result,
+                admitted: t.admitted,
+                on_frontier: frontier.contains(&i),
+            })
+        })
+        .collect();
+    if let Some(path) = flags.get_str("out") {
+        std::fs::write(path, export::tuned_frontier_csv(axis.name(), &rows))?;
+        let _ = writeln!(s, "wrote tuned-frontier CSV to {path}");
+    }
+    if let Some(path) = flags.get_str("json") {
+        std::fs::write(path, export::tuned_frontier_json(axis.name(), &rows))?;
+        let _ = writeln!(s, "wrote tuned-frontier JSON to {path}");
     }
     Ok(s)
 }
@@ -582,13 +818,35 @@ fn query_cmd(tokens: &[String]) -> CmdResult {
         "frontier" => r#"{"type":"frontier","dims":3}"#.to_owned(),
         "frontier2" => r#"{"type":"frontier","dims":2}"#.to_owned(),
         "frontier-sqnr" => r#"{"type":"frontier","dims":3,"axes":"sqnr"}"#.to_owned(),
+        "frontier-stream" => r#"{"type":"frontier","dims":3,"stream":true}"#.to_owned(),
         "shutdown" => r#"{"type":"shutdown"}"#.to_owned(),
         "eval" => r#"{"type":"eval"}"#.to_owned(),
         other => other.to_owned(),
     };
+    // Streaming requests answer N result lines then one terminal line;
+    // drain them all. (Decode failures fall through to single-reply
+    // handling — the daemon will answer the error itself.)
+    let streaming = chain_nn_serve::Request::decode(&line)
+        .map(|r| r.is_streaming())
+        .unwrap_or(false);
     let mut client = chain_nn_serve::Client::connect((host, port))?;
-    let reply = client.request_raw(&line)?;
-    Ok(format!("{reply}\n"))
+    let mut reply = client.request_raw(&line)?;
+    let mut out = String::new();
+    loop {
+        out.push_str(&reply);
+        out.push('\n');
+        if !streaming {
+            return Ok(out);
+        }
+        match chain_nn_serve::Response::decode(&reply) {
+            Ok(chain_nn_serve::Response::TuneFrontierStep(_))
+            | Ok(chain_nn_serve::Response::FrontierStreamEntry { .. }) => {
+                reply = client.recv_raw_line()?;
+            }
+            // done / busy / error / anything unexpected terminates.
+            _ => return Ok(out),
+        }
+    }
 }
 
 fn perf_cmd(flags: &Flags) -> CmdResult {
@@ -1055,6 +1313,80 @@ mod tests {
     }
 
     #[test]
+    fn tune_sweep_budget_reports_the_tuned_frontier() {
+        let out = run(&[
+            "tune",
+            "--sweep-budget",
+            "max-mw=450..=650:100",
+            "--threads",
+            "2",
+        ]);
+        assert!(out.contains("== frontier tune:"), "{out}");
+        assert!(out.contains("sweep: max-mw 450..650 (3 steps)"), "{out}");
+        // One row per budget step, then the frontier block.
+        assert!(out.contains("tuned frontier:"), "{out}");
+        assert!(out.contains("max-mw <="), "{out}");
+        assert!(out.contains("% reused via warm start"), "{out}");
+        // The sweep reuses evaluations: distinct < sum of standalone.
+        assert!(out.contains("standalone tunes would visit"), "{out}");
+    }
+
+    #[test]
+    fn tune_sweep_budget_exports_the_frontier() {
+        let dir = std::env::temp_dir();
+        let csv_path = dir.join(format!("chain_nn_frontier_{}.csv", std::process::id()));
+        let json_path = dir.join(format!("chain_nn_frontier_{}.json", std::process::id()));
+        let out = run(&[
+            "tune",
+            "--sweep-budget",
+            "max-mw=500..=600:100",
+            "--threads",
+            "1",
+            "--out",
+            csv_path.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ]);
+        assert!(out.contains("wrote tuned-frontier CSV"), "{out}");
+        assert!(out.contains("wrote tuned-frontier JSON"), "{out}");
+        let csv = std::fs::read_to_string(&csv_path).expect("csv written");
+        std::fs::remove_file(&csv_path).ok();
+        assert!(csv.starts_with("budget_axis,budget_value,"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "header + 2 steps: {csv}");
+        assert!(csv.contains("max_system_mw,500,1,"), "{csv}");
+        let json = std::fs::read_to_string(&json_path).expect("json written");
+        std::fs::remove_file(&json_path).ok();
+        assert!(
+            json.contains("\"budget_axis\": \"max_system_mw\""),
+            "{json}"
+        );
+        assert_eq!(json.matches("\"budget_value\"").count(), 2);
+    }
+
+    #[test]
+    fn tune_sweep_budget_rejects_bad_sweeps() {
+        for bad in [
+            vec!["tune", "--sweep-budget", "warp=1..=2"],
+            vec!["tune", "--sweep-budget", "max-mw=900..=300:50"],
+            vec!["tune", "--sweep-budget", "max-mw=300..=900:0"],
+            // The swept axis must not also be fixed.
+            vec![
+                "tune",
+                "--sweep-budget",
+                "max-mw=300..=900:50",
+                "--max-mw",
+                "500",
+            ],
+            // Frontier exports need the sweep.
+            vec!["tune", "--out", "frontier.csv"],
+            vec!["tune", "--json", "frontier.json"],
+        ] {
+            let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
+            assert!(dispatch(&argv).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
     fn tune_rejects_bad_flags() {
         for bad in [
             vec!["tune", "--net", "alexnet"],
@@ -1118,16 +1450,79 @@ mod tests {
         let frontier = run(&["query", "--port", &port, "frontier"]);
         assert!(frontier.contains("\"entries\":["), "{frontier}");
 
+        // The streaming variant drains one line per entry + done.
+        let streamed = run(&["query", "--port", &port, "frontier-stream"]);
+        let lines: Vec<&str> = streamed.lines().collect();
+        assert!(lines.len() >= 2, "{streamed}");
+        assert!(lines[0].contains("\"stream\":true"), "{streamed}");
+        assert!(
+            lines.last().unwrap().contains("\"done\":true"),
+            "{streamed}"
+        );
+
+        // A streamed frontier tune over the daemon: step lines then done.
+        let swept = run(&[
+            "query",
+            "--port",
+            &port,
+            r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw","values":[500,600]}}"#,
+        ]);
+        let lines: Vec<&str> = swept.lines().collect();
+        assert_eq!(lines.len(), 3, "{swept}");
+        assert!(lines[0].contains("\"step\":0"), "{swept}");
+        assert!(lines[1].contains("\"step\":1"), "{swept}");
+        assert!(lines[2].contains("\"done\":true"), "{swept}");
+
         let bye = run(&["query", "--port", &port, "shutdown"]);
         assert!(bye.contains("\"type\":\"shutdown\""), "{bye}");
         let report = daemon.join().expect("daemon thread");
-        assert_eq!(report.cached_points, 2);
-        assert!(report.requests >= 4);
+        // The sweep cached its 2 points; the streamed frontier tune
+        // cached its search on top.
+        assert!(report.cached_points >= 2, "{}", report.cached_points);
+        assert!(report.requests >= 6);
     }
 
     #[test]
     fn query_requires_a_request() {
         assert!(dispatch(&["query".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn tune_sweep_budget_on_a_daemon_matches_local() {
+        let server = chain_nn_serve::Server::bind(chain_nn_serve::ServerConfig {
+            threads: 2,
+            ..chain_nn_serve::ServerConfig::default()
+        })
+        .expect("bind");
+        let port = server.local_addr().expect("addr").port().to_string();
+        let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+
+        let sweep = ["--sweep-budget", "max-mw=500..=700:100"];
+        let local = run(&[&["tune", "--threads", "2"], &sweep[..]].concat());
+        let served = run(&[&["tune", "--port", &port], &sweep[..]].concat());
+        // Identical frontier + accounting, whichever side searched.
+        // (The daemon path prints its step rows eagerly as they stream
+        // in, so the returned text carries the summary only.)
+        let summary = |s: &str| -> Vec<String> {
+            s.lines()
+                .skip_while(|l| !l.starts_with("tuned frontier"))
+                .map(str::to_owned)
+                .collect()
+        };
+        let local_summary = summary(&local);
+        assert!(!local_summary.is_empty(), "{local}");
+        assert_eq!(local_summary, summary(&served), "\n{local}\nvs\n{served}");
+        // And the local path still renders one row per budget step
+        // ahead of the frontier block.
+        let step_rows = local
+            .lines()
+            .take_while(|l| !l.starts_with("tuned frontier"))
+            .filter(|l| l.contains("MHz kmem="))
+            .count();
+        assert_eq!(step_rows, 3, "{local}");
+
+        run(&["query", "--port", &port, "shutdown"]);
+        daemon.join().expect("daemon thread");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use crate::SweepResult;
+use crate::{DesignPoint, MixResult, SweepResult};
 
 /// CSV header of [`results_csv`].
 pub const RESULTS_HEADER: &str = "net,pes,freq_mhz,kmem_depth,imem_kb,omem_kb,word_bits,batch,\
@@ -167,6 +167,116 @@ pub fn results_json(result: &SweepResult) -> String {
     s
 }
 
+/// One row of a tuned-frontier export: the constrained optimum at one
+/// budget step, with its mix-aggregated metrics. Produced by the
+/// tuner's budget-axis sweep (`chain-nn tune --sweep-budget`); the
+/// schema lives here next to the sweep exports so every CSV/JSON the
+/// toolkit writes shares one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedFrontierRow {
+    /// The swept budget axis' value at this step.
+    pub budget_value: f64,
+    /// The chosen configuration.
+    pub point: DesignPoint,
+    /// Its aggregated workload metrics.
+    pub result: MixResult,
+    /// Whether the configuration satisfies the step's budget.
+    pub admitted: bool,
+    /// Whether the step is on the deduplicated, Pareto-filtered tuned
+    /// frontier.
+    pub on_frontier: bool,
+}
+
+/// CSV header of [`tuned_frontier_csv`].
+pub const TUNED_FRONTIER_HEADER: &str = "budget_axis,budget_value,admitted,on_frontier,\
+     net,pes,freq_mhz,kmem_depth,imem_kb,omem_kb,word_bits,batch,\
+     fps,chip_mw,dram_mw,system_mw,peak_gops,gops_per_watt,gates_k,sram_kb,sqnr_db";
+
+/// A tuned frontier as CSV: one row per budget step, in sweep order.
+/// `axis` is the swept axis' wire name (e.g. `max_system_mw`). Fixed
+/// float precision, no quoting — identical sweeps serialize
+/// byte-identically, like [`results_csv`].
+pub fn tuned_frontier_csv(axis: &str, rows: &[TunedFrontierRow]) -> String {
+    let mut s = String::from(TUNED_FRONTIER_HEADER);
+    s.push('\n');
+    for row in rows {
+        let p = &row.point;
+        let r = &row.result;
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.1},{:.1},{:.2}",
+            axis,
+            row.budget_value,
+            u8::from(row.admitted),
+            u8::from(row.on_frontier),
+            p.net,
+            p.pes,
+            p.freq_mhz,
+            p.kmem_depth,
+            p.imem_kb,
+            p.omem_kb,
+            p.word_bits,
+            p.batch,
+            r.fps,
+            r.chip_mw,
+            r.dram_mw,
+            r.system_mw(),
+            r.peak_gops,
+            r.gops_per_watt(),
+            r.gates_k,
+            r.sram_kb,
+            r.sqnr_db,
+        );
+    }
+    s
+}
+
+/// A tuned frontier as a JSON document: `{"budget_axis": ...,
+/// "steps": [...]}` with one object per budget step. Hand-rolled like
+/// [`results_json`] — the repo carries no serde dependency.
+pub fn tuned_frontier_json(axis: &str, rows: &[TunedFrontierRow]) -> String {
+    let mut s = format!(
+        "{{\n  \"budget_axis\": \"{}\",\n  \"steps\": [\n",
+        json_escape(axis)
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let p = &row.point;
+        let r = &row.result;
+        let _ = write!(
+            s,
+            "    {{\"budget_value\": {}, \"admitted\": {}, \"on_frontier\": {}, \
+             \"net\": \"{}\", \"pes\": {}, \"freq_mhz\": {}, \"kmem_depth\": {}, \
+             \"imem_kb\": {}, \"omem_kb\": {}, \"word_bits\": {}, \"batch\": {}, \
+             \"fps\": {:.3}, \"chip_mw\": {:.3}, \"dram_mw\": {:.3}, \"system_mw\": {:.3}, \
+             \"peak_gops\": {:.3}, \"gops_per_watt\": {:.3}, \"gates_k\": {:.1}, \
+             \"sram_kb\": {:.1}, \"sqnr_db\": {:.2}}}",
+            row.budget_value,
+            row.admitted,
+            row.on_frontier,
+            json_escape(&p.net),
+            p.pes,
+            p.freq_mhz,
+            p.kmem_depth,
+            p.imem_kb,
+            p.omem_kb,
+            p.word_bits,
+            p.batch,
+            r.fps,
+            r.chip_mw,
+            r.dram_mw,
+            r.system_mw(),
+            r.peak_gops,
+            r.gops_per_watt(),
+            r.gates_k,
+            r.sram_kb,
+            r.sqnr_db,
+        );
+        let _ = writeln!(s, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +338,63 @@ mod tests {
     #[test]
     fn json_escapes_control_and_quote() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    fn tuned_rows() -> Vec<TunedFrontierRow> {
+        let result = MixResult {
+            fps: 163.1,
+            chip_mw: 430.0,
+            dram_mw: 64.5,
+            peak_gops: 560.0,
+            gates_k: 2921.0,
+            sram_kb: 57.0,
+            sqnr_db: 72.5,
+        };
+        vec![
+            TunedFrontierRow {
+                budget_value: 500.0,
+                point: DesignPoint::paper_alexnet(),
+                result,
+                admitted: true,
+                on_frontier: true,
+            },
+            TunedFrontierRow {
+                budget_value: 550.0,
+                point: DesignPoint::paper_alexnet(),
+                result,
+                admitted: true,
+                on_frontier: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn tuned_frontier_csv_is_rectangular_and_headed() {
+        let csv = tuned_frontier_csv("max_system_mw", &tuned_rows());
+        let rows: Vec<Vec<&str>> = csv.lines().map(|l| l.split(',').collect()).collect();
+        assert_eq!(rows.len(), 3); // header + 2 steps
+        let width = rows[0].len();
+        assert_eq!(rows[0][0], "budget_axis");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), width, "ragged row {i}");
+        }
+        assert!(csv.contains("max_system_mw,500,1,1,alexnet,576,"), "{csv}");
+        assert!(csv.contains("max_system_mw,550,1,0,"), "{csv}");
+    }
+
+    #[test]
+    fn tuned_frontier_json_is_balanced_and_complete() {
+        let json = tuned_frontier_json("max_system_mw", &tuned_rows());
+        for key in [
+            "\"budget_axis\"",
+            "\"steps\"",
+            "\"budget_value\"",
+            "\"on_frontier\"",
+            "\"sqnr_db\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"budget_value\"").count(), 2);
     }
 }

@@ -77,10 +77,31 @@ impl Client {
     /// `error` reply is a successful round trip — inspect the
     /// [`Response`].
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Sends one request line without waiting for anything.
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         let mut wire = request.encode();
         wire.push('\n');
         self.writer.write_all(wire.as_bytes())?;
-        self.writer.flush()?;
+        Ok(self.writer.flush()?)
+    }
+
+    /// Blocks for the next response line and decodes it.
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        Ok(Response::decode(self.recv_raw_line()?.trim())?)
+    }
+
+    /// Blocks for the next raw reply line — the streaming counterpart
+    /// of [`Client::request_raw`], used by `chain-nn query` to drain a
+    /// streaming response line by line.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, including EOF before a line arrived.
+    pub fn recv_raw_line(&mut self) -> Result<String, ClientError> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(ClientError::Io(std::io::Error::new(
@@ -88,7 +109,7 @@ impl Client {
                 "daemon closed the connection before replying",
             )));
         }
-        Ok(Response::decode(line.trim())?)
+        Ok(line.trim_end().to_owned())
     }
 
     /// Sends a raw request line (already-encoded JSON) and returns the
@@ -101,14 +122,7 @@ impl Client {
         self.writer.write_all(line.trim().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection before replying",
-            )));
-        }
-        Ok(reply.trim_end().to_owned())
+        self.recv_raw_line()
     }
 
     /// Evaluates one point.
@@ -138,6 +152,29 @@ impl Client {
         self.request(&Request::Tune(Box::new(request)))
     }
 
+    /// Runs a frontier tune (budget-axis sweep) on the daemon,
+    /// invoking `on_step` with each streamed step line as it arrives —
+    /// before later steps have been computed. Returns the terminal
+    /// line: [`Response::TuneFrontierDone`] on success, or the `busy`/
+    /// `error` response that ended the stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn tune_frontier(
+        &mut self,
+        request: chain_nn_tuner::FrontierTuneRequest,
+        mut on_step: impl FnMut(&crate::protocol::FrontierStepSummary),
+    ) -> Result<Response, ClientError> {
+        self.send(&Request::TuneFrontier(Box::new(request)))?;
+        loop {
+            match self.recv()? {
+                Response::TuneFrontierStep(step) => on_step(&step),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
     /// Queries the frontier of everything the daemon has cached
     /// (fps × power for `dims == 2`, fps × power × area for 3).
     ///
@@ -145,7 +182,11 @@ impl Client {
     ///
     /// Transport/protocol failures ([`ClientError`]).
     pub fn frontier(&mut self, dims: u8) -> Result<Response, ClientError> {
-        self.request(&Request::Frontier { dims, sqnr: false })
+        self.request(&Request::Frontier {
+            dims,
+            sqnr: false,
+            stream: false,
+        })
     }
 
     /// Queries the accuracy frontier (fps × power × SQNR) of everything
@@ -158,7 +199,34 @@ impl Client {
         self.request(&Request::Frontier {
             dims: 3,
             sqnr: true,
+            stream: false,
         })
+    }
+
+    /// Streams the whole-cache frontier: `on_entry` fires once per
+    /// non-dominated entry line as it arrives. Returns the terminal
+    /// line ([`Response::FrontierStreamDone`] on success).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn frontier_stream(
+        &mut self,
+        dims: u8,
+        sqnr: bool,
+        mut on_entry: impl FnMut(&crate::protocol::FrontierEntry),
+    ) -> Result<Response, ClientError> {
+        self.send(&Request::Frontier {
+            dims,
+            sqnr,
+            stream: true,
+        })?;
+        loop {
+            match self.recv()? {
+                Response::FrontierStreamEntry { entry } => on_entry(&entry),
+                terminal => return Ok(terminal),
+            }
+        }
     }
 
     /// Fetches server counters.

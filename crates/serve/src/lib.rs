@@ -9,8 +9,12 @@
 //! successive processes) pay for each design point once, ever.
 //!
 //! * [`protocol`] — typed requests/responses and their wire encoding
-//!   (`eval`, `sweep`, `tune`, `frontier`, `stats`, `shutdown`),
-//!   shared by daemon and client so the two cannot drift.
+//!   (`eval`, `sweep`, `tune`, `tune_frontier`, `frontier`, `stats`,
+//!   `shutdown`), shared by daemon and client so the two cannot drift.
+//!   `tune_frontier` and `frontier` with `"stream":true` are
+//!   **streaming** requests: N result lines, flushed as each is
+//!   produced, then one `done` line (`docs/PROTOCOL.md` states the
+//!   framing rule).
 //! * [`scheduler`] — the multi-client generalization of the DSE
 //!   executor: per-request point lists claimed in fixed-size batches,
 //!   round-robin across active requests, bounded admission with an
@@ -59,7 +63,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod json;

@@ -14,11 +14,38 @@
 //! {"type":"sweep","spec":{...}}          evaluate a SweepSpec grid
 //! {"type":"tune","space":{...},"mix":{...},"budget":{...},...}
 //!                                        budget-constrained search
+//! {"type":"tune_frontier",...,"sweep":{"axis":"max_system_mw","values":[...]}}
+//!                                        budget-axis sweep, streamed
 //! {"type":"frontier","dims":2|3}         Pareto frontier of the whole cache
 //! {"type":"frontier","dims":3,"axes":"sqnr"}
 //!                                        accuracy variant: fps × mW × SQNR
+//! {"type":"frontier","dims":3,"stream":true}
+//!                                        one entry per line + a done line
 //! {"type":"stats"}                       cache/server counters
 //! {"type":"shutdown"}                    drain, flush, exit
+//! ```
+//!
+//! Most requests produce exactly one reply line. The **streaming**
+//! requests (`tune_frontier`, and `frontier` with `"stream":true`)
+//! instead produce N result lines followed by one terminal `done`
+//! line, each flushed as it is produced — see `docs/PROTOCOL.md` for
+//! the framing rule.
+//!
+//! # Example
+//!
+//! The typed codec round-trips every shape; this is the entry point
+//! both sides share:
+//!
+//! ```
+//! use chain_nn_serve::protocol::{Request, Response};
+//!
+//! let request = Request::decode(r#"{"type":"eval","point":{"pes":288}}"#).unwrap();
+//! let Request::Eval(point) = &request else { panic!("not an eval") };
+//! assert_eq!(point.pes, 288);
+//! assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+//!
+//! let reply = Response::decode(r#"{"ok":false,"error":"busy","active":16,"capacity":16}"#);
+//! assert!(matches!(reply.unwrap(), Response::Busy { active: 16, capacity: 16 }));
 //! ```
 //!
 //! The complete wire reference — every request/response shape, the
@@ -45,7 +72,10 @@ use std::fmt;
 use chain_nn_dse::{
     DesignPoint, MixEntry, MixResult, PointOutcome, PointResult, SweepSpec, WorkloadMix,
 };
-use chain_nn_tuner::{Budget, Metric, Objective, StrategyKind, TuneRequest, Tuned};
+use chain_nn_tuner::{
+    Budget, BudgetAxis, BudgetSweep, FrontierStep, FrontierTuneRequest, Metric, Objective,
+    StrategyKind, TuneRequest, Tuned,
+};
 
 use crate::json::Json;
 
@@ -75,6 +105,11 @@ pub enum Request {
     /// Budget-constrained search of a grid for a workload mix (boxed:
     /// a tune request carries a full spec plus mix/budget/objective).
     Tune(Box<TuneRequest>),
+    /// Budget-axis sweep returning the whole constrained frontier — a
+    /// **streaming** request: one [`Response::TuneFrontierStep`] line
+    /// per budget step as it completes, then one
+    /// [`Response::TuneFrontierDone`] line.
+    TuneFrontier(Box<FrontierTuneRequest>),
     /// The Pareto frontier over everything the daemon has cached.
     Frontier {
         /// 2 (fps × power) or 3 (fps × power × area).
@@ -82,6 +117,10 @@ pub enum Request {
         /// With `dims == 3`: swap the area axis for measured SQNR
         /// (fps × power × accuracy). Wire form: `"axes":"sqnr"`.
         sqnr: bool,
+        /// Stream the frontier as one [`Response::FrontierStreamEntry`]
+        /// line per entry plus a [`Response::FrontierStreamDone`] line,
+        /// instead of one aggregate reply. Wire form: `"stream":true`.
+        stream: bool,
     },
     /// Cache and server counters.
     Stats,
@@ -141,6 +180,44 @@ pub struct TuneSummary {
     pub exhaustive_points: usize,
 }
 
+/// One budget step of a streaming frontier tune
+/// ([`Response::TuneFrontierStep`]): the tuner's step result framed
+/// with its position in the sweep. Wrapping [`FrontierStep`] (rather
+/// than mirroring its fields) keeps the wire and the tuner from
+/// drifting: a field added to the step type shows up here by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierStepSummary {
+    /// Zero-based step index, in sweep order.
+    pub step: usize,
+    /// Total steps the sweep will run.
+    pub steps: usize,
+    /// The step itself: budget value, winner (never worse than a
+    /// standalone tune at this budget), evaluation accounting.
+    pub result: FrontierStep,
+}
+
+/// Terminal line of a streaming frontier tune
+/// ([`Response::TuneFrontierDone`]): the frontier across the steps and
+/// the sweep-wide accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierDoneSummary {
+    /// Steps the sweep ran (= step lines that preceded this line).
+    pub steps: usize,
+    /// Step indices on the tuned frontier (deduplicated, Pareto-kept).
+    pub frontier: Vec<usize>,
+    /// Distinct configurations evaluated across the whole sweep.
+    pub evaluations: u64,
+    /// What standalone tunes at every step would have evaluated.
+    pub standalone_evaluations: u64,
+    /// Sweep-wide cache hits.
+    pub cache_hits: u64,
+    /// Sweep-wide fresh model-stack lookups.
+    pub cache_misses: u64,
+    /// Configurations in the full grid.
+    pub exhaustive_points: usize,
+}
+
 /// Daemon-side counters reported by [`Request::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerStats {
@@ -184,6 +261,25 @@ pub enum Response {
     Sweep(SweepSummary),
     /// Tune summary.
     Tune(TuneSummary),
+    /// One budget step of a streaming frontier tune (N of these lines,
+    /// flushed as each step completes, then one
+    /// [`Response::TuneFrontierDone`]).
+    TuneFrontierStep(FrontierStepSummary),
+    /// Terminal line of a streaming frontier tune.
+    TuneFrontierDone(FrontierDoneSummary),
+    /// One entry line of a streaming whole-cache frontier (N of these,
+    /// then one [`Response::FrontierStreamDone`]).
+    FrontierStreamEntry {
+        /// The non-dominated `(point, result)` pair.
+        entry: FrontierEntry,
+    },
+    /// Terminal line of a streaming whole-cache frontier.
+    FrontierStreamDone {
+        /// Objective dimensionality the frontier was taken in.
+        dims: u8,
+        /// Entry lines that preceded this line.
+        entries: usize,
+    },
     /// Frontier of the whole cache, canonically ordered.
     Frontier {
         /// Objective dimensionality the frontier was taken in.
@@ -341,7 +437,32 @@ fn outcome_fields(outcome: &PointOutcome) -> Vec<(String, Json)> {
     }
 }
 
+/// The shared field block of `tune` and `tune_frontier` requests.
+fn tune_fields(kind: &str, req: &TuneRequest) -> Vec<(String, Json)> {
+    vec![
+        ("type".into(), Json::Str(kind.into())),
+        ("space".into(), spec_to_json(&req.space)),
+        ("mix".into(), mix_to_json(&req.mix)),
+        ("budget".into(), budget_to_json(&req.budget)),
+        ("objective".into(), objective_to_json(&req.objective)),
+        ("strategy".into(), Json::Str(req.strategy.name().into())),
+        // Seeds ride the JSON number; above 2^53 they would lose
+        // precision, which the decoder rejects rather than silently
+        // aliasing.
+        ("seed".into(), unum(req.seed)),
+    ]
+}
+
 impl Request {
+    /// Whether this request streams its reply (N result lines followed
+    /// by one `done` line) instead of answering one line.
+    pub fn is_streaming(&self) -> bool {
+        matches!(
+            self,
+            Request::TuneFrontier(_) | Request::Frontier { stream: true, .. }
+        )
+    }
+
     /// The single-line wire form (no trailing newline; the transport
     /// adds it).
     pub fn encode(&self) -> String {
@@ -354,25 +475,31 @@ impl Request {
                 ("type".into(), Json::Str("sweep".into())),
                 ("spec".into(), spec_to_json(spec)),
             ]),
-            Request::Tune(req) => Json::Obj(vec![
-                ("type".into(), Json::Str("tune".into())),
-                ("space".into(), spec_to_json(&req.space)),
-                ("mix".into(), mix_to_json(&req.mix)),
-                ("budget".into(), budget_to_json(&req.budget)),
-                ("objective".into(), objective_to_json(&req.objective)),
-                ("strategy".into(), Json::Str(req.strategy.name().into())),
-                // Seeds ride the JSON number; above 2^53 they would
-                // lose precision, which the decoder rejects rather than
-                // silently aliasing.
-                ("seed".into(), unum(req.seed)),
-            ]),
-            Request::Frontier { dims, sqnr } => {
+            Request::Tune(req) => Json::Obj(tune_fields("tune", req)),
+            Request::TuneFrontier(req) => {
+                let mut fields = tune_fields("tune_frontier", &req.base);
+                fields.push((
+                    "sweep".into(),
+                    Json::Obj(vec![
+                        ("axis".into(), Json::Str(req.sweep.axis.name().into())),
+                        (
+                            "values".into(),
+                            Json::Arr(req.sweep.values.iter().map(|&v| num(v)).collect()),
+                        ),
+                    ]),
+                ));
+                Json::Obj(fields)
+            }
+            Request::Frontier { dims, sqnr, stream } => {
                 let mut fields = vec![
                     ("type".into(), Json::Str("frontier".into())),
                     ("dims".into(), unum(u64::from(*dims))),
                 ];
                 if *sqnr {
                     fields.push(("axes".into(), Json::Str("sqnr".into())));
+                }
+                if *stream {
+                    fields.push(("stream".into(), Json::Bool(true)));
                 }
                 Json::Obj(fields)
             }
@@ -433,6 +560,65 @@ impl Response {
                 ]);
                 Json::Obj(fields)
             }
+            Response::TuneFrontierStep(s) => {
+                let step = &s.result;
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("tune_frontier".into())),
+                    ("step".into(), unum(s.step as u64)),
+                    ("steps".into(), unum(s.steps as u64)),
+                    ("budget_value".into(), num(step.budget_value)),
+                    ("found".into(), Json::Bool(step.best.is_some())),
+                ];
+                if let Some(t) = &step.best {
+                    fields.push(("admitted".into(), Json::Bool(t.admitted)));
+                    fields.push(("point".into(), point_to_json(&t.point)));
+                    fields.extend(mix_result_fields(&t.result));
+                }
+                fields.extend([
+                    ("evaluations".into(), unum(step.evaluations)),
+                    ("fresh_evaluations".into(), unum(step.fresh_evaluations)),
+                    ("cache_hits".into(), unum(step.cache_hits)),
+                    ("cache_misses".into(), unum(step.cache_misses)),
+                    ("rounds".into(), unum(step.rounds as u64)),
+                ]);
+                Json::Obj(fields)
+            }
+            Response::TuneFrontierDone(s) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("tune_frontier".into())),
+                ("done".into(), Json::Bool(true)),
+                ("steps".into(), unum(s.steps as u64)),
+                (
+                    "frontier".into(),
+                    Json::Arr(s.frontier.iter().map(|&i| unum(i as u64)).collect()),
+                ),
+                ("evaluations".into(), unum(s.evaluations)),
+                (
+                    "standalone_evaluations".into(),
+                    unum(s.standalone_evaluations),
+                ),
+                ("cache_hits".into(), unum(s.cache_hits)),
+                ("cache_misses".into(), unum(s.cache_misses)),
+                ("exhaustive_points".into(), unum(s.exhaustive_points as u64)),
+            ]),
+            Response::FrontierStreamEntry { entry } => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("frontier".into())),
+                    ("stream".into(), Json::Bool(true)),
+                    ("point".into(), point_to_json(&entry.point)),
+                ];
+                fields.extend(result_fields(&entry.result));
+                Json::Obj(fields)
+            }
+            Response::FrontierStreamDone { dims, entries } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("frontier".into())),
+                ("done".into(), Json::Bool(true)),
+                ("dims".into(), unum(u64::from(*dims))),
+                ("entries".into(), unum(*entries as u64)),
+            ]),
             Response::Frontier { dims, entries } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("type".into(), Json::Str("frontier".into())),
@@ -724,6 +910,37 @@ fn tune_request_from_json(v: &Json) -> Result<TuneRequest, ProtocolError> {
     Ok(req)
 }
 
+/// A budget sweep is an `{"axis": ..., "values": [...]}` object or the
+/// CLI string form (`"max-mw=300..=900:50"`). Either way the sweep is
+/// validated (non-empty, strictly increasing, legal bounds).
+fn budget_sweep_from_json(v: &Json) -> Result<BudgetSweep, ProtocolError> {
+    match v {
+        Json::Str(text) => BudgetSweep::parse(text).map_err(ProtocolError),
+        Json::Obj(_) => {
+            let axis = v
+                .get("axis")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("'sweep' needs a string 'axis'"))?
+                .parse::<BudgetAxis>()
+                .map_err(ProtocolError)?;
+            let values = v
+                .get("values")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("'sweep' needs a 'values' array"))?
+                .iter()
+                .map(|item| {
+                    item.as_f64()
+                        .ok_or_else(|| bad("'sweep' values must be numbers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let sweep = BudgetSweep { axis, values };
+            sweep.validate().map_err(ProtocolError)?;
+            Ok(sweep)
+        }
+        _ => Err(bad("'sweep' must be an object or a string")),
+    }
+}
+
 fn mix_result_from_json(v: &Json) -> Result<MixResult, ProtocolError> {
     let f = |key: &str| -> Result<f64, ProtocolError> {
         v.get(key)
@@ -757,6 +974,25 @@ fn result_from_json(v: &Json) -> Result<PointResult, ProtocolError> {
         sram_kb: f("sram_kb")?,
         sqnr_db: f("sqnr_db")?,
     })
+}
+
+/// The `found`/`admitted`/`point` + mix-metric block shared by `tune`
+/// replies and `tune_frontier` step lines.
+fn tuned_from_json(v: &Json) -> Result<Option<Tuned>, ProtocolError> {
+    match v.get("found") {
+        Some(Json::Bool(true)) => {
+            let point = v
+                .get("point")
+                .ok_or_else(|| bad("tune response needs 'point' when found"))?;
+            Ok(Some(Tuned {
+                point: point_from_json(point)?,
+                result: mix_result_from_json(v)?,
+                admitted: matches!(v.get("admitted"), Some(Json::Bool(true))),
+            }))
+        }
+        Some(Json::Bool(false)) => Ok(None),
+        _ => Err(bad("tune response needs a boolean 'found'")),
+    }
 }
 
 fn outcome_from_json(v: &Json) -> Result<PointOutcome, ProtocolError> {
@@ -797,6 +1033,17 @@ impl Request {
                 Ok(Request::Sweep(spec_from_json(spec)?))
             }
             "tune" => Ok(Request::Tune(Box::new(tune_request_from_json(&v)?))),
+            "tune_frontier" => {
+                let base = tune_request_from_json(&v)?;
+                let sweep = v
+                    .get("sweep")
+                    .ok_or_else(|| bad("tune_frontier request needs a 'sweep'"))?;
+                let sweep = budget_sweep_from_json(sweep)?;
+                Ok(Request::TuneFrontier(Box::new(FrontierTuneRequest {
+                    base,
+                    sweep,
+                })))
+            }
             "frontier" => {
                 let dims = get_usize(&v, "dims", 3)?;
                 if !(dims == 2 || dims == 3) {
@@ -811,9 +1058,15 @@ impl Request {
                 if sqnr && dims != 3 {
                     return Err(bad("the sqnr frontier is 3-dimensional; use dims 3"));
                 }
+                let stream = match v.get("stream") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err(bad("'stream' must be a boolean")),
+                };
                 Ok(Request::Frontier {
                     dims: dims as u8,
                     sqnr,
+                    stream,
                 })
             }
             "stats" => Ok(Request::Stats),
@@ -886,31 +1139,73 @@ impl Response {
                     frontier_sqnr: indices("frontier_sqnr")?,
                 }))
             }
-            "tune" => {
-                let best = match v.get("found") {
-                    Some(Json::Bool(true)) => {
-                        let point = v
-                            .get("point")
-                            .ok_or_else(|| bad("tune response needs 'point' when found"))?;
-                        Some(Tuned {
-                            point: point_from_json(point)?,
-                            result: mix_result_from_json(&v)?,
-                            admitted: matches!(v.get("admitted"), Some(Json::Bool(true))),
+            "tune" => Ok(Response::Tune(TuneSummary {
+                best: tuned_from_json(&v)?,
+                evaluations: get_usize(&v, "evaluations", 0)? as u64,
+                cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
+                cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
+                rounds: get_usize(&v, "rounds", 0)?,
+                exhaustive_points: get_usize(&v, "exhaustive_points", 0)?,
+            })),
+            "tune_frontier" => {
+                if matches!(v.get("done"), Some(Json::Bool(true))) {
+                    let frontier = v
+                        .get("frontier")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| bad("tune_frontier done line needs 'frontier'"))?
+                        .iter()
+                        .map(|i| {
+                            i.as_u64()
+                                .map(|n| n as usize)
+                                .ok_or_else(|| bad("'frontier' must hold step indices"))
                         })
-                    }
-                    Some(Json::Bool(false)) => None,
-                    _ => return Err(bad("tune response needs a boolean 'found'")),
-                };
-                Ok(Response::Tune(TuneSummary {
-                    best,
-                    evaluations: get_usize(&v, "evaluations", 0)? as u64,
-                    cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
-                    cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
-                    rounds: get_usize(&v, "rounds", 0)?,
-                    exhaustive_points: get_usize(&v, "exhaustive_points", 0)?,
+                        .collect::<Result<_, _>>()?;
+                    return Ok(Response::TuneFrontierDone(FrontierDoneSummary {
+                        steps: get_usize(&v, "steps", 0)?,
+                        frontier,
+                        evaluations: get_usize(&v, "evaluations", 0)? as u64,
+                        standalone_evaluations: get_usize(&v, "standalone_evaluations", 0)? as u64,
+                        cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
+                        cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
+                        exhaustive_points: get_usize(&v, "exhaustive_points", 0)?,
+                    }));
+                }
+                Ok(Response::TuneFrontierStep(FrontierStepSummary {
+                    step: get_usize(&v, "step", 0)?,
+                    steps: get_usize(&v, "steps", 0)?,
+                    result: FrontierStep {
+                        // Required, not defaulted: a NaN budget would
+                        // poison every PartialEq on the step downstream.
+                        budget_value: v.get("budget_value").and_then(Json::as_f64).ok_or_else(
+                            || bad("tune_frontier step line needs a numeric 'budget_value'"),
+                        )?,
+                        best: tuned_from_json(&v)?,
+                        evaluations: get_usize(&v, "evaluations", 0)? as u64,
+                        fresh_evaluations: get_usize(&v, "fresh_evaluations", 0)? as u64,
+                        cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
+                        cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
+                        rounds: get_usize(&v, "rounds", 0)?,
+                    },
                 }))
             }
             "frontier" => {
+                if matches!(v.get("done"), Some(Json::Bool(true))) {
+                    return Ok(Response::FrontierStreamDone {
+                        dims: get_usize(&v, "dims", 3)? as u8,
+                        entries: get_usize(&v, "entries", 0)?,
+                    });
+                }
+                if matches!(v.get("stream"), Some(Json::Bool(true))) {
+                    let point = v
+                        .get("point")
+                        .ok_or_else(|| bad("frontier stream entry needs 'point'"))?;
+                    return Ok(Response::FrontierStreamEntry {
+                        entry: FrontierEntry {
+                            point: point_from_json(point)?,
+                            result: result_from_json(&v)?,
+                        },
+                    });
+                }
                 let dims = get_usize(&v, "dims", 3)? as u8;
                 let entries = v
                     .get("entries")
@@ -973,14 +1268,27 @@ mod tests {
             Request::Frontier {
                 dims: 2,
                 sqnr: false,
+                stream: false,
             },
             Request::Frontier {
                 dims: 3,
                 sqnr: false,
+                stream: false,
             },
             Request::Frontier {
                 dims: 3,
                 sqnr: true,
+                stream: false,
+            },
+            Request::Frontier {
+                dims: 3,
+                sqnr: false,
+                stream: true,
+            },
+            Request::Frontier {
+                dims: 3,
+                sqnr: true,
+                stream: true,
             },
             Request::Stats,
             Request::Shutdown,
@@ -1132,6 +1440,123 @@ mod tests {
     }
 
     #[test]
+    fn tune_frontier_requests_round_trip() {
+        use chain_nn_tuner::{BudgetAxis, BudgetSweep, FrontierTuneRequest};
+        let requests = vec![
+            Request::TuneFrontier(Box::default()),
+            Request::TuneFrontier(Box::new(FrontierTuneRequest {
+                base: TuneRequest {
+                    mix: WorkloadMix::parse("alexnet:0.7,vgg16:0.3").unwrap(),
+                    strategy: StrategyKind::HillClimb,
+                    seed: 9,
+                    ..TuneRequest::default()
+                },
+                sweep: BudgetSweep {
+                    axis: BudgetAxis::MinFps,
+                    values: vec![30.0, 60.5, 120.0],
+                },
+            })),
+        ];
+        for req in requests {
+            let line = req.encode();
+            assert!(!line.contains('\n'));
+            assert!(req.is_streaming());
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+        // The sweep also decodes from its CLI string form.
+        let req = Request::decode(
+            r#"{"type":"tune_frontier","sweep":"max-mw=300..=400:50","budget":{"min_fps":30}}"#,
+        )
+        .unwrap();
+        let Request::TuneFrontier(ft) = req else {
+            panic!("not a tune_frontier")
+        };
+        assert_eq!(ft.sweep.axis, BudgetAxis::MaxSystemMw);
+        assert_eq!(ft.sweep.values, vec![300.0, 350.0, 400.0]);
+        assert_eq!(ft.base.budget.min_fps, Some(30.0));
+        // Non-streaming requests say so.
+        assert!(!Request::Stats.is_streaming());
+        assert!(!Request::Tune(Box::default()).is_streaming());
+    }
+
+    #[test]
+    fn malformed_tune_frontier_requests_are_rejected() {
+        for bad in [
+            r#"{"type":"tune_frontier"}"#,
+            r#"{"type":"tune_frontier","sweep":7}"#,
+            r#"{"type":"tune_frontier","sweep":{"axis":"warp","values":[1,2]}}"#,
+            r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw"}}"#,
+            r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw","values":[]}}"#,
+            r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw","values":[500,400]}}"#,
+            r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw","values":["lots"]}}"#,
+            r#"{"type":"tune_frontier","sweep":"max-mw=900..=300"}"#,
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn streaming_response_lines_round_trip() {
+        let step_found = Response::TuneFrontierStep(FrontierStepSummary {
+            step: 0,
+            steps: 13,
+            result: FrontierStep {
+                budget_value: 300.0,
+                best: Some(Tuned {
+                    point: DesignPoint::paper_alexnet(),
+                    result: MixResult::from(&paper_result()),
+                    admitted: true,
+                }),
+                evaluations: 33,
+                fresh_evaluations: 33,
+                cache_hits: 0,
+                cache_misses: 33,
+                rounds: 5,
+            },
+        });
+        let step_nothing = Response::TuneFrontierStep(FrontierStepSummary {
+            step: 3,
+            steps: 13,
+            result: FrontierStep {
+                budget_value: 450.0,
+                best: None,
+                evaluations: 20,
+                fresh_evaluations: 0,
+                cache_hits: 20,
+                cache_misses: 0,
+                rounds: 1,
+            },
+        });
+        let done = Response::TuneFrontierDone(FrontierDoneSummary {
+            steps: 13,
+            frontier: vec![0, 4, 7],
+            evaluations: 61,
+            standalone_evaluations: 429,
+            cache_hits: 400,
+            cache_misses: 61,
+            exhaustive_points: 244,
+        });
+        let entry = Response::FrontierStreamEntry {
+            entry: FrontierEntry {
+                point: DesignPoint::paper_alexnet(),
+                result: paper_result(),
+            },
+        };
+        let stream_done = Response::FrontierStreamDone {
+            dims: 3,
+            entries: 7,
+        };
+        for resp in [step_found, step_nothing, done, entry, stream_done] {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::decode(&line).unwrap(), resp, "{line}");
+        }
+        // A step line without its budget value is malformed, not NaN.
+        let headless = r#"{"ok":true,"type":"tune_frontier","step":0,"steps":2,"found":false}"#;
+        assert!(Response::decode(headless).is_err());
+    }
+
+    #[test]
     fn malformed_tune_requests_are_rejected() {
         for bad in [
             r#"{"type":"tune","mix":{"alexnet":"lots"}}"#,
@@ -1188,6 +1613,7 @@ mod tests {
             r#"{"type":"frontier","dims":4}"#,
             r#"{"type":"frontier","dims":2,"axes":"sqnr"}"#,
             r#"{"type":"frontier","dims":3,"axes":"warp"}"#,
+            r#"{"type":"frontier","dims":3,"stream":"yes"}"#,
             r#"{"type":"eval","point":{"pes":-5}}"#,
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} should fail");

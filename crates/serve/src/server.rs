@@ -22,9 +22,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chain_nn_dse::{pareto, CacheFile, DesignPoint, MixOutcome, PointCache, WorkloadMix};
-use chain_nn_tuner::{evaluator, tune, MixEvaluator, TuneError};
+use chain_nn_tuner::{evaluator, frontier, tune, MixEvaluator, TuneError};
 
-use crate::protocol::{FrontierEntry, Request, Response, ServerStats, SweepSummary, TuneSummary};
+use crate::protocol::{
+    FrontierDoneSummary, FrontierEntry, FrontierStepSummary, Request, Response, ServerStats,
+    SweepSummary, TuneSummary,
+};
 use crate::scheduler::{AdmissionSlot, Scheduler, SubmitError, BATCH_SIZE};
 
 /// How the daemon is set up. `Default` binds an ephemeral loopback
@@ -262,6 +265,54 @@ impl Server {
 /// unbounded `read_line` would buffer it into daemon memory wholesale.
 const MAX_REQUEST_BYTES: u64 = 1 << 20;
 
+/// The line-streaming writer every response line goes through: one
+/// `\n`-terminated JSON object per [`LineSink::send`], **flushed
+/// immediately**. For single-reply requests the flush is merely
+/// prompt; for the streaming requests (`tune_frontier`, `frontier`
+/// with `"stream":true`) it is the contract — each result line reaches
+/// the client as it is produced, before the next step/entry is
+/// computed.
+pub struct LineSink<'a> {
+    writer: &'a mut dyn Write,
+}
+
+impl<'a> LineSink<'a> {
+    /// Wraps a transport writer (a `BufWriter<TcpStream>` in the
+    /// daemon; anything `Write` in tests).
+    pub fn new(writer: &'a mut dyn Write) -> Self {
+        LineSink { writer }
+    }
+
+    /// Writes one response line and flushes it to the peer.
+    ///
+    /// # Errors
+    ///
+    /// The underlying transport failure — the peer is gone; abandon
+    /// the session.
+    pub fn send(&mut self, response: &Response) -> std::io::Result<()> {
+        let mut wire = response.encode();
+        wire.push('\n');
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()
+    }
+}
+
+/// How one request left the session: a normal reply (plus whether the
+/// session must stop afterwards), or a streamed response that already
+/// went through the sink (plus whether the sink died mid-stream).
+enum RequestOutcome {
+    Reply(Box<Response>, bool),
+    Streamed { sink_dead: bool },
+}
+
+impl RequestOutcome {
+    /// A single-reply outcome (boxed so the streamed variant stays
+    /// pointer-sized).
+    fn reply(response: Response, stop_after_reply: bool) -> Self {
+        RequestOutcome::Reply(Box::new(response), stop_after_reply)
+    }
+}
+
 /// Answers one `busy` line on a just-accepted socket and drops it —
 /// the connection-bound refusal path.
 fn refuse_connection(stream: TcpStream, active: usize, capacity: usize) {
@@ -306,30 +357,34 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             continue;
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, stop_after_reply) = handle_request(trimmed, shared);
-        let mut wire = response.encode();
-        wire.push('\n');
-        if writer
-            .write_all(wire.as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        if stop_after_reply {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            return;
+        match handle_request(trimmed, shared, &mut writer) {
+            RequestOutcome::Reply(response, stop_after_reply) => {
+                if LineSink::new(&mut writer).send(&response).is_err() {
+                    return;
+                }
+                if stop_after_reply {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            RequestOutcome::Streamed { sink_dead } => {
+                if sink_dead {
+                    return;
+                }
+            }
         }
     }
 }
 
-/// Dispatches one parsed request; the bool asks the session to close
-/// and trip the daemon shutdown flag after replying.
-fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
+/// Dispatches one parsed request. Streaming requests write their lines
+/// through `writer` themselves; everything else returns the single
+/// reply for the session loop to send (the bool asks the session to
+/// close and trip the daemon shutdown flag after replying).
+fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> RequestOutcome {
     let request = match Request::decode(line) {
         Ok(r) => r,
         Err(e) => {
-            return (
+            return RequestOutcome::reply(
                 Response::Error {
                     message: e.to_string(),
                 },
@@ -352,11 +407,11 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
                 },
             };
             let _ = shared.flush();
-            (response, false)
+            RequestOutcome::reply(response, false)
         }
         Request::Sweep(spec) => {
             if let Err(e) = spec.validate() {
-                return (
+                return RequestOutcome::reply(
                     Response::Error {
                         message: e.to_string(),
                     },
@@ -395,7 +450,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
                 },
             };
             let _ = shared.flush();
-            (response, false)
+            RequestOutcome::reply(response, false)
         }
         Request::Tune(request) => {
             // A tune is one unit of admission however many rounds it
@@ -426,9 +481,69 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
                 }
             };
             let _ = shared.flush();
-            (response, false)
+            RequestOutcome::reply(response, false)
         }
-        Request::Frontier { dims, sqnr } => {
+        Request::TuneFrontier(request) => {
+            // One admission slot for the WHOLE budget sweep, exactly as
+            // a plain tune holds one slot across its rounds: the sweep
+            // is one unit of admission however many steps it runs, and
+            // every step's rounds interleave with concurrent jobs.
+            let outcome = match shared.scheduler.admit() {
+                Err(e) => RequestOutcome::reply(submit_error_response(e), false),
+                Ok(slot) => {
+                    let mut evaluator = SchedulerEvaluator {
+                        scheduler: &shared.scheduler,
+                        slot: &slot,
+                        hits: 0,
+                        misses: 0,
+                    };
+                    let steps = request.sweep.values.len();
+                    let mut sink = LineSink::new(writer);
+                    let mut sink_dead = false;
+                    let result = frontier::tune_frontier(&request, &mut evaluator, |i, step| {
+                        let line = Response::TuneFrontierStep(FrontierStepSummary {
+                            step: i,
+                            steps,
+                            result: step.clone(),
+                        });
+                        sink.send(&line).map_err(|_| {
+                            sink_dead = true;
+                            TuneError::Backend("client closed the stream".to_owned())
+                        })
+                    });
+                    match result {
+                        Ok(report) => {
+                            let done = Response::TuneFrontierDone(FrontierDoneSummary {
+                                steps: report.steps.len(),
+                                frontier: report.frontier,
+                                evaluations: report.evaluations,
+                                standalone_evaluations: report.standalone_evaluations,
+                                cache_hits: report.cache_hits,
+                                cache_misses: report.cache_misses,
+                                exhaustive_points: report.exhaustive_points,
+                            });
+                            sink_dead = sink_dead || sink.send(&done).is_err();
+                            RequestOutcome::Streamed { sink_dead }
+                        }
+                        // A pre-stream spec error is an ordinary error
+                        // reply; a mid-stream failure terminates the
+                        // stream with one error line (the framing rule
+                        // allows it in place of `done`).
+                        Err(e) if !sink_dead => {
+                            let error = Response::Error {
+                                message: e.to_string(),
+                            };
+                            let sink_dead = sink.send(&error).is_err();
+                            RequestOutcome::Streamed { sink_dead }
+                        }
+                        Err(_) => RequestOutcome::Streamed { sink_dead: true },
+                    }
+                }
+            };
+            let _ = shared.flush();
+            outcome
+        }
+        Request::Frontier { dims, sqnr, stream } => {
             let feasible: Vec<FrontierEntry> = shared
                 .cache
                 .entries()
@@ -450,12 +565,35 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
             } else {
                 pareto::frontier_3d(&objectives)
             };
+            if stream {
+                // The streaming variant: one entry per line through the
+                // shared sink, then the terminal line. For very large
+                // caches the client starts consuming the frontier while
+                // the daemon is still writing it.
+                let mut sink = LineSink::new(writer);
+                let total = keep.len();
+                for i in keep {
+                    let line = Response::FrontierStreamEntry {
+                        entry: feasible[i].clone(),
+                    };
+                    if sink.send(&line).is_err() {
+                        return RequestOutcome::Streamed { sink_dead: true };
+                    }
+                }
+                let done = Response::FrontierStreamDone {
+                    dims,
+                    entries: total,
+                };
+                return RequestOutcome::Streamed {
+                    sink_dead: sink.send(&done).is_err(),
+                };
+            }
             let entries = keep.into_iter().map(|i| feasible[i].clone()).collect();
-            (Response::Frontier { dims, entries }, false)
+            RequestOutcome::reply(Response::Frontier { dims, entries }, false)
         }
         Request::Stats => {
             let stats = shared.cache.stats();
-            (
+            RequestOutcome::reply(
                 Response::Stats(ServerStats {
                     cached_points: shared.cache.len(),
                     hits: stats.hits,
@@ -477,7 +615,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> (Response, bool) {
             // Close admission *before* acknowledging, so nothing new
             // slips in between the reply and the accept loop noticing.
             shared.scheduler.begin_shutdown();
-            (Response::Shutdown, true)
+            RequestOutcome::reply(Response::Shutdown, true)
         }
     }
 }
@@ -529,5 +667,168 @@ impl MixEvaluator for SchedulerEvaluator<'_> {
 
     fn counters(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transport stand-in that records, at every flush, how many
+    /// admitted jobs the scheduler still holds. A streamed line
+    /// flushing while the request's admission slot is live proves the
+    /// line reached the transport *before* the request completed —
+    /// the deterministic form of "the first step line arrives before
+    /// the last step finishes".
+    struct Probe {
+        shared: Arc<Shared>,
+        buffer: Vec<u8>,
+        lines: Vec<String>,
+        active_at_flush: Vec<usize>,
+    }
+
+    impl Probe {
+        fn new(shared: &Arc<Shared>) -> Self {
+            Probe {
+                shared: Arc::clone(shared),
+                buffer: Vec::new(),
+                lines: Vec::new(),
+                active_at_flush: Vec::new(),
+            }
+        }
+    }
+
+    impl Write for Probe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.buffer.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.active_at_flush
+                .push(self.shared.scheduler.active_jobs());
+            while let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buffer.drain(..=pos).collect();
+                self.lines.push(
+                    String::from_utf8(line)
+                        .expect("utf-8")
+                        .trim_end()
+                        .to_owned(),
+                );
+            }
+            Ok(())
+        }
+    }
+
+    fn with_workers<R>(shared: &Arc<Shared>, body: impl FnOnce() -> R) -> R {
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let s = Arc::clone(shared);
+                scope.spawn(move || s.scheduler.worker_loop());
+            }
+            let out = body();
+            shared.scheduler.begin_shutdown();
+            out
+        })
+    }
+
+    #[test]
+    fn tune_frontier_streams_each_step_before_the_sweep_finishes() {
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        let probe = with_workers(&shared, || {
+            let mut probe = Probe::new(&shared);
+            let request = r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw","values":[450,500,550,600]}}"#;
+            let outcome = handle_request(request, &shared, &mut probe);
+            assert!(matches!(
+                outcome,
+                RequestOutcome::Streamed { sink_dead: false }
+            ));
+            probe
+        });
+        // 4 step lines then the done line, each flushed individually.
+        assert_eq!(probe.lines.len(), 5, "{:?}", probe.lines);
+        assert_eq!(probe.active_at_flush.len(), 5);
+        for (i, line) in probe.lines.iter().take(4).enumerate() {
+            match Response::decode(line).expect("step line decodes") {
+                Response::TuneFrontierStep(step) => {
+                    assert_eq!(step.step, i);
+                    assert_eq!(step.steps, 4);
+                }
+                other => panic!("expected a step line, got {other:?}"),
+            }
+            // The sweep's admission slot was still held when this line
+            // was flushed: the line left before the sweep completed.
+            assert_eq!(probe.active_at_flush[i], 1, "line {i} was not streamed");
+        }
+        match Response::decode(&probe.lines[4]).expect("done line decodes") {
+            Response::TuneFrontierDone(done) => {
+                assert_eq!(done.steps, 4);
+                assert!(done.evaluations > 0);
+                assert!(done.evaluations < done.standalone_evaluations);
+            }
+            other => panic!("expected the done line, got {other:?}"),
+        }
+        assert_eq!(shared.scheduler.active_jobs(), 0, "slot released");
+    }
+
+    #[test]
+    fn streaming_frontier_shares_the_line_sink_framing() {
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        let (aggregate, probe) = with_workers(&shared, || {
+            // Prime the cache with a few points.
+            let mut warmup = Probe::new(&shared);
+            let sweep = r#"{"type":"sweep","spec":{"pes":[144,288,576],"nets":"lenet"}}"#;
+            assert!(matches!(
+                handle_request(sweep, &shared, &mut warmup),
+                RequestOutcome::Reply(r, false) if matches!(*r, Response::Sweep(_))
+            ));
+            // Aggregate and streamed variants must agree entry for entry.
+            let aggregate = match handle_request(
+                r#"{"type":"frontier","dims":3}"#,
+                &shared,
+                &mut Probe::new(&shared),
+            ) {
+                RequestOutcome::Reply(r, false) => match *r {
+                    Response::Frontier { entries, .. } => entries,
+                    other => panic!("expected a frontier reply, got {other:?}"),
+                },
+                _ => panic!("expected a frontier reply"),
+            };
+            let mut probe = Probe::new(&shared);
+            let outcome = handle_request(
+                r#"{"type":"frontier","dims":3,"stream":true}"#,
+                &shared,
+                &mut probe,
+            );
+            assert!(matches!(
+                outcome,
+                RequestOutcome::Streamed { sink_dead: false }
+            ));
+            (aggregate, probe)
+        });
+        assert_eq!(probe.lines.len(), aggregate.len() + 1);
+        for (line, expected) in probe.lines.iter().zip(&aggregate) {
+            match Response::decode(line).expect("entry line decodes") {
+                Response::FrontierStreamEntry { entry } => assert_eq!(&entry, expected),
+                other => panic!("expected an entry line, got {other:?}"),
+            }
+        }
+        match Response::decode(probe.lines.last().expect("done line")).expect("decodes") {
+            Response::FrontierStreamDone { dims, entries } => {
+                assert_eq!(dims, 3);
+                assert_eq!(entries, aggregate.len());
+            }
+            other => panic!("expected the done line, got {other:?}"),
+        }
     }
 }

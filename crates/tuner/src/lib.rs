@@ -21,6 +21,11 @@
 //! * [`evaluator`] — where candidates are evaluated: in-process over a
 //!   local cache ([`CacheEvaluator`]) or, via the same trait, on the
 //!   serving daemon's fair scheduler (`chain-nn-serve`).
+//! * [`frontier`] — frontier tuning: sweep one budget axis
+//!   ([`BudgetSweep`], e.g. `max-mw=300..=900:50`) and get the whole
+//!   budget-constrained Pareto frontier ([`tune_frontier`]) for little
+//!   more than the hardest single step, streaming one result per
+//!   budget as it completes.
 //!
 //! Multi-network workloads use [`chain_nn_dse::WorkloadMix`]: per-point
 //! objectives aggregate across the mix (weighted harmonic-mean fps,
@@ -59,6 +64,7 @@
 
 pub mod budget;
 pub mod evaluator;
+pub mod frontier;
 pub mod objective;
 pub mod strategy;
 
@@ -70,6 +76,9 @@ use chain_nn_dse::{DesignPoint, DseError, MixResult, SweepSpec, WorkloadMix};
 
 pub use budget::Budget;
 pub use evaluator::{CacheEvaluator, MixEvaluator};
+pub use frontier::{
+    tune_frontier, BudgetAxis, BudgetSweep, FrontierStep, FrontierTuneReport, FrontierTuneRequest,
+};
 pub use objective::{Metric, Objective};
 pub use strategy::{HillClimb, SearchStrategy, SuccessiveHalving};
 

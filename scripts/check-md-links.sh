@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the user-facing docs
+# resolves to a file or directory in the repository, so the guides
+# cannot rot silently as files move. External (http/https/mailto)
+# links and pure #anchors are skipped. Run from the repository root.
+set -euo pipefail
+
+fail=0
+for f in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Extract the (target) of every [text](target) link.
+  while IFS= read -r target; do
+    target=${target%%#*}            # drop the anchor part
+    [ -z "$target" ] && continue    # pure #anchor
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "broken link in $f: $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "all markdown links resolve"
+fi
+exit "$fail"

@@ -1,0 +1,241 @@
+//! Acceptance tests of frontier tuning (the budget-axis sweep): every
+//! step at least matches its standalone tune (and hence the exact
+//! constrained optimum wherever the standalone tune finds it), the
+//! sweep reuses evaluations (< 60 % of the standalone sum), results
+//! are deterministic at any thread count, and loosening a power
+//! ceiling never worsens the best fps.
+
+use chain_nn_repro::dse::{executor, DesignPoint, MixResult, PointCache};
+use chain_nn_repro::tuner::{
+    tune, tune_frontier, Budget, BudgetSweep, CacheEvaluator, FrontierTuneReport,
+    FrontierTuneRequest, Objective, TuneRequest,
+};
+
+/// The 13-step acceptance sweep from the issue: 300..=900 mW in 50 mW
+/// steps over the default grid.
+fn acceptance_request() -> FrontierTuneRequest {
+    FrontierTuneRequest {
+        base: TuneRequest::default(),
+        sweep: BudgetSweep::parse("max-mw=300..=900:50").expect("valid sweep"),
+    }
+}
+
+fn run_frontier(request: &FrontierTuneRequest, threads: usize) -> FrontierTuneReport {
+    let cache = PointCache::new();
+    tune_frontier(
+        request,
+        &mut CacheEvaluator::new(&cache, threads),
+        |_, _| Ok(()),
+    )
+    .expect("frontier tune runs")
+}
+
+/// The constrained-exhaustive optimum at one budget (same total order
+/// as the tuner: objective, content-hash tie-break).
+fn exhaustive_best(budget: &Budget) -> (DesignPoint, MixResult) {
+    let spec = TuneRequest::default().space;
+    let points = spec.points();
+    let cache = PointCache::new();
+    let outcomes = executor::run(&points, 4, &cache).expect("exhaustive sweep");
+    let objective = Objective::default();
+    points
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(p, o)| {
+            let r = MixResult::from(o.result()?);
+            budget.admits(&r).then(|| (p.clone(), r))
+        })
+        .max_by(|(pa, a), (pb, b)| {
+            objective
+                .compare(a, b)
+                .then_with(|| pb.content_hash().cmp(&pa.content_hash()))
+        })
+        .expect("budget admits something")
+}
+
+/// The headline acceptance criterion: at every step where the
+/// standalone tune finds the exact constrained optimum, the frontier
+/// sweep returns exactly that point — and its total evaluations stay
+/// under 60 % of the sum of the standalone tunes.
+#[test]
+fn frontier_steps_match_standalone_tunes_under_the_evaluation_budget() {
+    let request = acceptance_request();
+    let report = run_frontier(&request, 2);
+    assert_eq!(report.steps.len(), 13);
+
+    let mut standalone_sum = 0u64;
+    for step in &report.steps {
+        let budget = Budget {
+            max_system_mw: Some(step.budget_value),
+            ..Budget::default()
+        };
+        // Standalone reference at this budget.
+        let cache = PointCache::new();
+        let standalone = tune(
+            &TuneRequest {
+                budget,
+                ..TuneRequest::default()
+            },
+            &mut CacheEvaluator::new(&cache, 2),
+        )
+        .expect("standalone tune");
+        let standalone_best = standalone.best.expect("grid has feasible points");
+        standalone_sum += standalone.evaluations;
+        assert_eq!(
+            step.evaluations, standalone.evaluations,
+            "step at {} mW visited a different trajectory than standalone",
+            step.budget_value
+        );
+
+        let step_best = step.best.as_ref().expect("step found a point");
+        assert!(
+            step_best.admitted,
+            "{} mW step not admitted",
+            step.budget_value
+        );
+        assert!(step_best.result.system_mw() <= step.budget_value + 1e-9);
+        // Warm start can only improve on standalone, never regress.
+        assert!(
+            step_best.result.fps >= standalone_best.result.fps - 1e-12,
+            "{} mW: frontier {} fps < standalone {} fps",
+            step.budget_value,
+            step_best.result.fps,
+            standalone_best.result.fps
+        );
+        // Wherever standalone is exact, the frontier step must be the
+        // exact constrained optimum too.
+        let (exhaustive_point, exhaustive_result) = exhaustive_best(&budget);
+        if standalone_best.point == exhaustive_point {
+            assert_eq!(
+                step_best.point, exhaustive_point,
+                "{} mW: frontier diverged from the exact optimum",
+                step.budget_value
+            );
+            assert_eq!(
+                step_best.result.fps.to_bits(),
+                exhaustive_result.fps.to_bits()
+            );
+        }
+    }
+
+    // The sweep-wide accounting: distinct configurations across all
+    // steps, well under the standalone total.
+    assert_eq!(report.standalone_evaluations, standalone_sum);
+    assert!(
+        (report.evaluations as f64) < 0.6 * standalone_sum as f64,
+        "{} evaluations is not < 60% of {standalone_sum}",
+        report.evaluations
+    );
+    assert!(report.reuse_fraction() > 0.4);
+    // Cache-level accounting agrees (single-net mix: one lookup per
+    // distinct configuration).
+    assert_eq!(report.cache_misses, report.evaluations);
+}
+
+/// Same sweep + seed ⇒ byte-identical steps and frontier at any
+/// thread count.
+#[test]
+fn frontier_tune_is_deterministic_across_thread_counts() {
+    let request = acceptance_request();
+    let reference = run_frontier(&request, 1);
+    for threads in [2, 4, 16] {
+        let report = run_frontier(&request, threads);
+        assert_eq!(report.frontier, reference.frontier, "at {threads} threads");
+        assert_eq!(report.evaluations, reference.evaluations);
+        for (step, ref_step) in report.steps.iter().zip(&reference.steps) {
+            let (a, b) = (
+                step.best.as_ref().expect("found"),
+                ref_step.best.as_ref().expect("found"),
+            );
+            assert_eq!(a.point, b.point, "diverged at {threads} threads");
+            assert_eq!(a.result.fps.to_bits(), b.result.fps.to_bits());
+            assert_eq!(a.result.chip_mw.to_bits(), b.result.chip_mw.to_bits());
+        }
+    }
+    // And re-running the same request is stable run to run.
+    let again = run_frontier(&request, 1);
+    assert_eq!(again, reference);
+}
+
+/// Monotonicity sanity: loosening the power ceiling never worsens the
+/// best fps (the carried-incumbent warm start makes this structural,
+/// not just likely).
+#[test]
+fn loosening_the_power_ceiling_never_worsens_fps() {
+    let report = run_frontier(&acceptance_request(), 4);
+    let mut best_so_far = 0.0f64;
+    for step in &report.steps {
+        let best = step.best.as_ref().expect("found");
+        assert!(best.admitted);
+        assert!(
+            best.result.fps >= best_so_far,
+            "{} mW worsened fps: {} after {}",
+            step.budget_value,
+            best.result.fps,
+            best_so_far
+        );
+        best_so_far = best.result.fps;
+    }
+    // The frontier itself is strictly improving in fps along the sweep
+    // (dedup + Pareto filter remove every flat or dominated step).
+    let frontier_fps: Vec<f64> = report
+        .frontier
+        .iter()
+        .map(|&i| report.steps[i].best.as_ref().unwrap().result.fps)
+        .collect();
+    assert!(
+        frontier_fps.windows(2).all(|w| w[0] < w[1]),
+        "frontier fps not strictly increasing: {frontier_fps:?}"
+    );
+}
+
+/// A repeated frontier sweep against the same cache is fully
+/// incremental: zero fresh model evaluations, identical frontier.
+#[test]
+fn repeated_frontier_sweep_is_fully_cached() {
+    let request = FrontierTuneRequest {
+        base: TuneRequest::default(),
+        sweep: BudgetSweep::parse("max-mw=450..=650:100").expect("valid sweep"),
+    };
+    let cache = PointCache::new();
+    let first = tune_frontier(&request, &mut CacheEvaluator::new(&cache, 2), |_, _| Ok(()))
+        .expect("first sweep");
+    assert!(first.cache_misses > 0);
+    assert_eq!(first.cache_hits, 0);
+    let again = tune_frontier(&request, &mut CacheEvaluator::new(&cache, 2), |_, _| Ok(()))
+        .expect("second sweep");
+    assert_eq!(again.cache_misses, 0, "second sweep must be incremental");
+    assert_eq!(again.cache_hits, first.cache_misses);
+    assert_eq!(again.frontier, first.frontier);
+    // Step for step identical search — only the hit/miss split moved
+    // (everything the first sweep paid for, the second gets for free).
+    assert_eq!(again.steps.len(), first.steps.len());
+    for (a, b) in again.steps.iter().zip(&first.steps) {
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.fresh_evaluations, b.fresh_evaluations);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.cache_hits, b.cache_misses);
+        assert_eq!(a.cache_misses, 0);
+    }
+}
+
+/// The tuned frontier exposes the 500-vs-650 mW clock-branch
+/// crossover the fixed-budget tuner documented: the 350 MHz branch
+/// rules up to 600 mW, the 700 MHz branch from 650 mW on.
+#[test]
+fn frontier_contains_the_clock_branch_crossover() {
+    let report = run_frontier(&acceptance_request(), 2);
+    let at = |mw: f64| {
+        report
+            .steps
+            .iter()
+            .find(|s| s.budget_value == mw)
+            .and_then(|s| s.best.as_ref())
+            .expect("step found a point")
+    };
+    assert_eq!(at(500.0).point.freq_mhz, 350.0);
+    assert_eq!(at(500.0).point.pes, 800);
+    assert_eq!(at(650.0).point.freq_mhz, 700.0);
+    assert_eq!(at(650.0).point.pes, 400);
+}

@@ -328,6 +328,132 @@ fn daemon_tune_matches_local_and_is_cached_across_restarts() {
     std::fs::remove_file(&cache_path).ok();
 }
 
+/// A frontier tune served by the daemon streams one step line per
+/// budget step (each arriving before the terminal line), chooses the
+/// same steps as the local frontier tuner, and a re-sweep after a
+/// restart on the same cache file costs zero fresh evaluations.
+#[test]
+fn daemon_tune_frontier_streams_steps_and_survives_restart() {
+    use chain_nn_repro::serve::protocol::FrontierStepSummary;
+    use chain_nn_repro::tuner::{
+        tune_frontier, BudgetSweep, CacheEvaluator, FrontierTuneRequest, TuneRequest,
+    };
+
+    let cache_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "chain_nn_serve_frontier_{}.cache",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let config = |path: &PathBuf| ServerConfig {
+        threads: 2,
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let request = FrontierTuneRequest {
+        base: TuneRequest::default(),
+        sweep: BudgetSweep::parse("max-mw=450..=650:50").expect("valid sweep"),
+    };
+
+    // Local reference.
+    let local_cache = chain_nn_repro::dse::PointCache::new();
+    let local = tune_frontier(
+        &request,
+        &mut CacheEvaluator::new(&local_cache, 2),
+        |_, _| Ok(()),
+    )
+    .expect("local frontier tune");
+
+    // First daemon lifetime: the steps stream back one line at a time.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("connect");
+    let mut steps: Vec<FrontierStepSummary> = Vec::new();
+    let done = match client
+        .tune_frontier(request.clone(), |step| steps.push(step.clone()))
+        .expect("frontier tune round trip")
+    {
+        Response::TuneFrontierDone(done) => done,
+        other => panic!("expected the done line, got {other:?}"),
+    };
+    assert_eq!(steps.len(), request.sweep.values.len());
+    assert_eq!(done.steps, steps.len());
+    for (i, (step, local_step)) in steps.iter().zip(&local.steps).enumerate() {
+        assert_eq!(step.step, i, "steps must arrive in sweep order");
+        assert_eq!(step.steps, steps.len());
+        assert_eq!(step.result.budget_value, local_step.budget_value);
+        // Backend-independence: the daemon's scheduler evaluator picks
+        // exactly what the local cache evaluator picks.
+        assert_eq!(
+            step.result.best, local_step.best,
+            "step {i} diverged from local"
+        );
+        assert_eq!(step.result.evaluations, local_step.evaluations);
+    }
+    assert_eq!(done.frontier, local.frontier);
+    assert_eq!(done.evaluations, local.evaluations);
+    assert_eq!(done.standalone_evaluations, local.standalone_evaluations);
+    assert!(done.evaluations < done.standalone_evaluations);
+    client.shutdown().expect("shutdown");
+    let report = daemon.join().expect("daemon");
+    assert_eq!(report.persisted as u64, done.cache_misses);
+
+    // Second lifetime: the identical sweep replays entirely from disk.
+    let (addr, daemon) = start(config(&cache_path));
+    let mut client = Client::connect(addr).expect("reconnect");
+    let mut again_steps: Vec<FrontierStepSummary> = Vec::new();
+    let again = match client
+        .tune_frontier(request, |step| again_steps.push(step.clone()))
+        .expect("frontier tune round trip")
+    {
+        Response::TuneFrontierDone(done) => done,
+        other => panic!("expected the done line, got {other:?}"),
+    };
+    assert_eq!(again.cache_misses, 0, "restarted sweep must be free");
+    assert_eq!(again.cache_hits, done.cache_misses);
+    assert_eq!(again.frontier, done.frontier);
+    for (step, first_step) in again_steps.iter().zip(&steps) {
+        assert_eq!(step.result.best, first_step.result.best);
+    }
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+    std::fs::remove_file(&cache_path).ok();
+}
+
+/// The streaming whole-cache frontier delivers the same entries as the
+/// aggregate reply, one line at a time, terminated by a done line.
+#[test]
+fn streaming_frontier_matches_the_aggregate_reply() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    sweep_summary(&mut client, &lenet_grid(vec![25, 50, 100, 200]));
+
+    let aggregate = match client.frontier(3).expect("frontier") {
+        Response::Frontier { entries, .. } => entries,
+        other => panic!("expected frontier, got {other:?}"),
+    };
+    let mut streamed = Vec::new();
+    let done = client
+        .frontier_stream(3, false, |entry| streamed.push(entry.clone()))
+        .expect("streamed frontier");
+    match done {
+        Response::FrontierStreamDone { dims, entries } => {
+            assert_eq!(dims, 3);
+            assert_eq!(entries, aggregate.len());
+        }
+        other => panic!("expected the done line, got {other:?}"),
+    }
+    assert_eq!(streamed, aggregate);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
 /// Beyond `--max-connections` the daemon answers one `busy` line at the
 /// accept loop and closes, instead of accumulating session threads; a
 /// freed slot is reusable.
