@@ -50,6 +50,60 @@ fn bench_sweep_wall_clock(c: &mut Criterion) {
     g.finish();
 }
 
+/// The observability overhead guard: the same cold sweep with the
+/// process-global registry recording vs disabled must stay within a
+/// few percent. Instrumentation on the executor hot path is one
+/// timestamp pair + one histogram record per claimed chunk, so the
+/// delta should be noise; the assert catches it ever growing into a
+/// real cost. Runs as part of `cargo bench` (criterion's shim executes
+/// `main`, so the assert is exercised on every bench run).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse/obs_overhead");
+    g.sample_size(10);
+    let points = sweep_spec().points();
+    let threads = executor::default_threads();
+    g.throughput(Throughput::Elements(points.len() as u64));
+    let sweep_secs = |samples: usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let cache = PointCache::new();
+            let started = std::time::Instant::now();
+            black_box(executor::run(&points, threads, &cache).unwrap());
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+    // Warm up spawn paths, then take best-of-N for each mode: the
+    // minimum is the right statistic for a regression bound (noise
+    // only ever adds time).
+    let obs = chain_nn_obs::global();
+    obs.set_enabled(true);
+    let _ = sweep_secs(2);
+    let enabled = sweep_secs(10);
+    obs.set_enabled(false);
+    let disabled = sweep_secs(10);
+    obs.set_enabled(true);
+    let overhead = enabled / disabled - 1.0;
+    println!(
+        "dse/obs_overhead: enabled {:.3} ms, disabled {:.3} ms, overhead {:+.2}%",
+        enabled * 1e3,
+        disabled * 1e3,
+        overhead * 1e2
+    );
+    assert!(
+        overhead < 0.03,
+        "observability overhead {:.2}% exceeds the 3% guard",
+        overhead * 1e2
+    );
+    g.bench_function("enabled_cold_cache", |b| {
+        b.iter(|| {
+            let cache = PointCache::new();
+            black_box(executor::run(&points, threads, &cache).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn bench_cache_hit_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("dse/cache_hits");
     let spec = sweep_spec();
@@ -66,6 +120,7 @@ criterion_group!(
     benches,
     bench_points_per_sec,
     bench_sweep_wall_clock,
+    bench_obs_overhead,
     bench_cache_hit_path
 );
 criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Tail-latency probe for the explorer daemon under mixed traffic:
+//! a client hammers warm one-point evals while a background client
+//! runs large cold sweeps, then the daemon's own `metrics` snapshot
+//! reports how the small requests fared (p50/p99 request latency, and
+//! the queue-wait vs execute split that explains it). This is the
+//! observable form of the scheduler's fairness claim: small requests
+//! interleave with big ones instead of waiting behind them.
+//!
+//! Not a criterion bench on purpose — tail latency is a distribution,
+//! not a mean — so `main` drives the traffic once and prints the
+//! histogram summaries (daemon-side and client-side, which should
+//! roughly agree).
+
+use std::time::{Duration, Instant};
+
+use chain_nn_dse::{DesignPoint, SweepSpec};
+use chain_nn_obs::HistogramSummary;
+use chain_nn_serve::protocol::Response;
+use chain_nn_serve::{Client, Server, ServerConfig};
+
+struct Daemon {
+    addr: std::net::SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start() -> Daemon {
+        let server = Server::bind(ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            server.run().expect("daemon runs");
+        });
+        Daemon {
+            addr,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Ok(mut c) = Client::connect(self.addr) {
+            let _ = c.shutdown();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One big sweep per call, each with a distinct frequency so every
+/// sweep stays a cold (evaluating) load instead of a cache replay.
+fn cold_sweep(i: usize) -> SweepSpec {
+    SweepSpec {
+        pes: (64..=1024).step_by(16).collect(),
+        freqs_mhz: vec![350.0 + i as f64],
+        ..SweepSpec::paper_point()
+    }
+}
+
+const SWEEPS: usize = 4;
+const EVALS: usize = 400;
+
+fn client_quantile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn print_summary(label: &str, h: &HistogramSummary) {
+    println!(
+        "{label:<28} count {:>5}  p50 {:>9.1}us  p95 {:>9.1}us  p99 {:>9.1}us  max {:>9.1}us",
+        h.count,
+        h.p50 / 1e3,
+        h.p95 / 1e3,
+        h.p99 / 1e3,
+        h.max / 1e3,
+    );
+}
+
+fn main() {
+    let daemon = Daemon::start();
+
+    // Prime the eval point so the foreground traffic is pure protocol +
+    // scheduling (its latency tail is queueing, not model evaluation).
+    let point = DesignPoint::paper_alexnet();
+    let mut eval_client = Client::connect(daemon.addr).expect("connect");
+    eval_client.eval(point.clone()).expect("prime");
+
+    let sweeper = std::thread::spawn({
+        let addr = daemon.addr;
+        move || {
+            let mut client = Client::connect(addr).expect("connect sweeper");
+            for i in 0..SWEEPS {
+                match client.sweep(cold_sweep(i)).expect("sweep") {
+                    Response::Sweep(s) => assert!(s.points > 0),
+                    other => panic!("expected a sweep reply, got {other:?}"),
+                }
+            }
+        }
+    });
+
+    // Foreground: small warm evals racing the sweeps.
+    let mut latencies = Vec::with_capacity(EVALS);
+    for _ in 0..EVALS {
+        let started = Instant::now();
+        eval_client.eval(point.clone()).expect("eval");
+        latencies.push(started.elapsed());
+    }
+    sweeper.join().expect("sweeper thread");
+
+    let snapshot = match eval_client.metrics().expect("metrics") {
+        Response::Metrics { snapshot } => snapshot,
+        other => panic!("expected a metrics reply, got {other:?}"),
+    };
+    let eval_labels: &[(&str, &str)] = &[("type", "eval")];
+    let request = snapshot
+        .histogram("serve_request_ns", eval_labels)
+        .expect("eval latency histogram");
+    let queue_wait = snapshot
+        .histogram("serve_queue_wait_ns", eval_labels)
+        .expect("eval queue-wait histogram");
+    let execute = snapshot
+        .histogram("serve_execute_ns", eval_labels)
+        .expect("eval execute histogram");
+    let sweep = snapshot
+        .histogram("serve_request_ns", &[("type", "sweep")])
+        .expect("sweep latency histogram");
+
+    // The daemon's tally must reconcile with the traffic we generated.
+    assert_eq!(request.count, (EVALS + 1) as u64, "eval request count");
+    assert_eq!(sweep.count, SWEEPS as u64, "sweep request count");
+    assert_eq!(
+        snapshot.counter("serve_requests_total", eval_labels),
+        Some((EVALS + 1) as u64)
+    );
+
+    println!(
+        "serve/tail_latency: {EVALS} warm evals vs {SWEEPS} concurrent cold sweeps ({} points each)",
+        cold_sweep(0).len(),
+    );
+    print_summary("eval request (daemon)", &request);
+    print_summary("eval queue_wait (daemon)", &queue_wait);
+    print_summary("eval execute (daemon)", &execute);
+    print_summary("sweep request (daemon)", &sweep);
+    latencies.sort_unstable();
+    println!(
+        "{:<28} count {:>5}  p50 {:>9.1}us  p99 {:>9.1}us  max {:>9.1}us",
+        "eval round trip (client)",
+        latencies.len(),
+        client_quantile(&latencies, 0.50).as_secs_f64() * 1e6,
+        client_quantile(&latencies, 0.99).as_secs_f64() * 1e6,
+        latencies.last().expect("nonempty").as_secs_f64() * 1e6,
+    );
+    drop(daemon);
+}

@@ -141,20 +141,24 @@ auto-tuner:
 explorer daemon:
   serve    [--port 7878] [--host 127.0.0.1] [--threads N] [--queue 16]
            [--max-connections 64] [--cache-cap POINTS] [--cache-file FILE]
+           [--trace-log FILE]
            long-lived explorer sharing one memo cache across clients
            over a line-delimited JSON protocol; --cache-file persists
            evaluations across restarts (loaded at startup, appended on
            completed requests and shutdown); --max-connections answers
            busy at the accept loop beyond the bound; --cache-cap bounds
-           the in-memory cache (FIFO eviction of flushed entries)
-  query    [--port 7878] [--host 127.0.0.1] REQUEST
+           the in-memory cache (FIFO eviction of flushed entries);
+           --trace-log appends one JSON line per completed request
+           (id, type, status, per-phase timings: docs/OBSERVABILITY.md)
+  query    [--port 7878] [--host 127.0.0.1] REQUEST [--text]
            send one request to a running daemon and print the reply;
            REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
-           bare word shorthand: stats | frontier | frontier2 |
+           bare word shorthand: stats | metrics | frontier | frontier2 |
            frontier-sqnr | frontier-stream | shutdown | eval (the
            paper point); streaming replies (tune_frontier, frontier
-           with stream:true) are drained line by line; the full wire
-           reference is docs/PROTOCOL.md
+           with stream:true) are drained line by line; `query metrics
+           --text` renders the snapshot as Prometheus-style text; the
+           full wire reference is docs/PROTOCOL.md
 "
     .to_owned()
 }
@@ -766,6 +770,7 @@ fn serve_cmd(flags: &Flags) -> CmdResult {
         max_connections: flags.get_or("max-connections", 64usize)?,
         cache_capacity: opt_flag(flags, "cache-cap")?,
         cache_file: flags.get_str("cache-file").map(std::path::PathBuf::from),
+        trace_log: flags.get_str("trace-log").map(std::path::PathBuf::from),
     };
     let persistent = config.cache_file.is_some();
     let threads = config.threads;
@@ -794,9 +799,14 @@ fn serve_cmd(flags: &Flags) -> CmdResult {
 fn query_cmd(tokens: &[String]) -> CmdResult {
     let mut flag_tokens = Vec::new();
     let mut positionals = Vec::new();
+    let mut render_text = false;
     let mut it = tokens.iter();
     while let Some(tok) = it.next() {
-        if tok.starts_with("--") {
+        if tok == "--text" {
+            // The one valueless flag: renders a metrics reply as
+            // Prometheus-style text instead of the wire JSON.
+            render_text = true;
+        } else if tok.starts_with("--") {
             flag_tokens.push(tok.clone());
             if let Some(value) = it.next() {
                 flag_tokens.push(value.clone());
@@ -810,11 +820,12 @@ fn query_cmd(tokens: &[String]) -> CmdResult {
     let port = flags.get_or("port", 7878u16)?;
     let request = positionals.join(" ");
     if request.is_empty() {
-        return Err("query needs a REQUEST (a JSON object or: stats | frontier | frontier2 | frontier-sqnr | shutdown | eval)".into());
+        return Err("query needs a REQUEST (a JSON object or: stats | metrics | frontier | frontier2 | frontier-sqnr | shutdown | eval)".into());
     }
     // Bare-word shorthands for the no-payload requests.
     let line = match request.as_str() {
         "stats" => r#"{"type":"stats"}"#.to_owned(),
+        "metrics" => r#"{"type":"metrics"}"#.to_owned(),
         "frontier" => r#"{"type":"frontier","dims":3}"#.to_owned(),
         "frontier2" => r#"{"type":"frontier","dims":2}"#.to_owned(),
         "frontier-sqnr" => r#"{"type":"frontier","dims":3,"axes":"sqnr"}"#.to_owned(),
@@ -831,6 +842,14 @@ fn query_cmd(tokens: &[String]) -> CmdResult {
         .unwrap_or(false);
     let mut client = chain_nn_serve::Client::connect((host, port))?;
     let mut reply = client.request_raw(&line)?;
+    if render_text {
+        return match chain_nn_serve::Response::decode(&reply) {
+            Ok(chain_nn_serve::Response::Metrics { snapshot }) => {
+                Ok(chain_nn_obs::render_text(&snapshot))
+            }
+            _ => Err(format!("--text expects a metrics reply, got: {reply}").into()),
+        };
+    }
     let mut out = String::new();
     loop {
         out.push_str(&reply);

@@ -535,9 +535,17 @@ impl CacheFile {
     /// are re-inserted into the journal on failure, so a retried flush
     /// loses nothing.
     pub fn flush_dirty(&self, cache: &PointCache) -> std::io::Result<usize> {
+        let started = std::time::Instant::now();
         let dirty = cache.take_dirty();
         match self.append(&dirty) {
-            Ok(n) => Ok(n),
+            Ok(n) => {
+                let obs = chain_nn_obs::global();
+                obs.histogram("dse_persist_flush_ns")
+                    .record_duration(started.elapsed());
+                obs.counter("dse_persist_flushed_points_total")
+                    .add(n as u64);
+                Ok(n)
+            }
             Err(e) => {
                 // Put the journal back so a retried flush still sees
                 // these entries. (Not via `insert`: the points are

@@ -1,0 +1,913 @@
+//! Std-only observability primitives for the Chain-NN stack.
+//!
+//! Three metric kinds, all lock-free on the record path (the same
+//! relaxed-`AtomicU64` idiom as the DSE executor cursors and the
+//! point-cache counters):
+//!
+//! * [`Counter`] — monotone event count (`requests_total`).
+//! * [`Gauge`] — last-written `f64` (`points_per_sec`, in-flight jobs).
+//! * [`Histogram`] — log-bucketed latency distribution: 64 power-of-two
+//!   buckets, each tracking a count *and* a sum, so quantile extraction
+//!   returns the exact bucket mean (exact to the nanosecond whenever a
+//!   bucket holds one distinct value) and snapshots merge losslessly.
+//!
+//! A [`Registry`] names metric families (optionally labelled, e.g.
+//! `serve_request_ns{type="eval"}`), hands out shared [`Arc`] handles,
+//! and produces a wire-friendly [`Snapshot`] on demand. The whole
+//! registry can be switched off with [`Registry::set_enabled`] — every
+//! record degrades to one relaxed load, which is what the
+//! `dse_throughput` overhead bench compares against.
+//!
+//! [`global()`] is the process-wide registry used by the `dse` and
+//! `tuner` crates; the serving daemon owns a private registry per
+//! server instance and merges both into its `metrics` reply.
+//! [`render_text`] renders any snapshot in the Prometheus exposition
+//! style for `chain-nn query metrics --text`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two histogram buckets. Bucket 0 holds the value
+/// zero; bucket `b >= 1` holds values in `[2^(b-1), 2^b - 1]`; the last
+/// bucket also absorbs everything above `2^62`. In nanoseconds that
+/// spans 1 ns to ~146 years, which is every latency this stack can see.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value (`0` for `0`, else
+/// `64 - leading_zeros`, clamped to the top bucket).
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket (0 for bucket 0, else `2^(b-1)`).
+#[must_use]
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Monotonically increasing event counter.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A standalone, always-enabled counter (tests / ad-hoc use).
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::with_flag(Arc::new(AtomicBool::new(true)))
+    }
+
+    fn with_flag(enabled: Arc<AtomicBool>) -> Counter {
+        Counter {
+            enabled,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. One relaxed load + one relaxed RMW; a no-op (the load
+    /// alone) when the owning registry is disabled.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::new()
+    }
+}
+
+/// Last-written floating-point value (stored as `f64` bits in an
+/// `AtomicU64`).
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A standalone, always-enabled gauge starting at `0.0`.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge::with_flag(Arc::new(AtomicBool::new(true)))
+    }
+
+    fn with_flag(enabled: Arc<AtomicBool>) -> Gauge {
+        Gauge {
+            enabled,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (compare-and-swap loop; used for in-flight counts).
+    pub fn add(&self, delta: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge::new()
+    }
+}
+
+/// Log-bucketed histogram: [`BUCKETS`] power-of-two buckets, each with
+/// an atomic count and an atomic sum. Recording is two relaxed RMWs;
+/// there are no locks anywhere.
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    counts: [AtomicU64; BUCKETS],
+    sums: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// A standalone, always-enabled histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::with_flag(Arc::new(AtomicBool::new(true)))
+    }
+
+    fn with_flag(enabled: Arc<AtomicBool>) -> Histogram {
+        Histogram {
+            enabled,
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sums: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let b = bucket_of(value);
+        self.counts[b].fetch_add(1, Ordering::Relaxed);
+        self.sums[b].fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Consistent-enough point-in-time copy (bucket counts and sums are
+    /// read bucket by bucket; concurrent recording can skew a bucket by
+    /// at most the records in flight, never lose one).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|b| self.counts[b].load(Ordering::Relaxed)),
+            sums: std::array::from_fn(|b| self.sums[b].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Plain-value copy of a [`Histogram`]; mergeable (bucket-wise
+/// addition, so merging is associative and commutative) and the thing
+/// quantiles are extracted from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket record counts.
+    pub counts: [u64; BUCKETS],
+    /// Per-bucket value sums.
+    pub sums: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            sums: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sums.iter().sum()
+    }
+
+    /// Bucket-wise sum of two snapshots.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|b| self.counts[b] + other.counts[b]),
+            sums: std::array::from_fn(|b| self.sums[b] + other.sums[b]),
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the mean of the bucket
+    /// containing the record of rank `ceil(q * count)`. Exact whenever
+    /// that bucket holds a single distinct value (always true for the
+    /// known-distribution tests); otherwise within the bucket's
+    /// power-of-two bounds. Returns `0.0` on an empty snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for b in 0..BUCKETS {
+            if self.counts[b] == 0 {
+                continue;
+            }
+            seen += self.counts[b];
+            if seen >= rank {
+                return self.sums[b] as f64 / self.counts[b] as f64;
+            }
+        }
+        0.0
+    }
+
+    /// Mean of all recorded values (`0.0` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / total as f64
+        }
+    }
+
+    /// Mean of the highest non-empty bucket — an upper-tail estimate
+    /// within one power of two of the true maximum.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        for b in (0..BUCKETS).rev() {
+            if self.counts[b] > 0 {
+                return self.sums[b] as f64 / self.counts[b] as f64;
+            }
+        }
+        0.0
+    }
+
+    /// The p50/p95/p99 digest shipped over the wire.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Wire-friendly digest of a histogram: total count/sum plus extracted
+/// quantiles. This is what the `metrics` protocol reply carries.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Upper-tail estimate (mean of the highest non-empty bucket).
+    pub max: f64,
+}
+
+/// One `name{labels}` metric instance inside a [`Snapshot`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct MetricEntry {
+    /// Family name, e.g. `serve_request_ns`.
+    pub name: String,
+    /// Label pairs, e.g. `[("type", "eval")]`; empty for unlabelled.
+    pub labels: Vec<(String, String)>,
+    /// The value, by metric kind.
+    pub value: MetricValue,
+}
+
+/// A snapshot value of one metric kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram digest.
+    Histogram(HistogramSummary),
+}
+
+/// Point-in-time copy of a whole registry, sorted by
+/// `(name, labels)` so renderings and wire encodings are deterministic.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Snapshot {
+    /// All metric instances.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name and exact label set.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.find(name, labels).and_then(|e| match e.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a gauge by name and exact label set.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels).and_then(|e| match e.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram digest by name and exact label set.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSummary> {
+        self.find(name, labels).and_then(|e| match e.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricEntry> {
+        self.entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Concatenates two snapshots (e.g. a server-private registry plus
+    /// the process-global one) and restores the sort order.
+    #[must_use]
+    pub fn merge(mut self, other: Snapshot) -> Snapshot {
+        self.entries.extend(other.entries);
+        self.entries
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self
+    }
+}
+
+type Key = (String, Vec<(String, String)>);
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, Arc<Counter>>,
+    gauges: BTreeMap<Key, Arc<Gauge>>,
+    histograms: BTreeMap<Key, Arc<Histogram>>,
+}
+
+/// Named metric families with get-or-create registration. Registration
+/// takes a mutex; recording through the returned handles never does —
+/// callers are expected to register once and hold the `Arc`s.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    start: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            start: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// An empty registry that starts disabled — the "no-op registry"
+    /// baseline for overhead measurements.
+    #[must_use]
+    pub fn disabled() -> Registry {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Turns every handle of this registry on or off. Disabled handles
+    /// cost one relaxed load per record.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether records currently land.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Time since the registry was created (the daemon reports this as
+    /// its uptime).
+    #[must_use]
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create a labelled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = key_of(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        Arc::clone(
+            inner
+                .counters
+                .entry(key)
+                .or_insert_with(|| Arc::new(Counter::with_flag(Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = key_of(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        Arc::clone(
+            inner
+                .gauges
+                .entry(key)
+                .or_insert_with(|| Arc::new(Gauge::with_flag(Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// Get-or-create an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-create a labelled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = key_of(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        Arc::clone(
+            inner
+                .histograms
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::with_flag(Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// Snapshots every registered metric, sorted by `(name, labels)`.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut entries =
+            Vec::with_capacity(inner.counters.len() + inner.gauges.len() + inner.histograms.len());
+        for ((name, labels), c) in &inner.counters {
+            entries.push(MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: MetricValue::Counter(c.get()),
+            });
+        }
+        for ((name, labels), g) in &inner.gauges {
+            entries.push(MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: MetricValue::Gauge(g.get()),
+            });
+        }
+        for ((name, labels), h) in &inner.histograms {
+            entries.push(MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: MetricValue::Histogram(h.snapshot().summary()),
+            });
+        }
+        entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { entries }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> Key {
+    (
+        name.to_owned(),
+        labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect(),
+    )
+}
+
+/// The process-wide registry. The `dse` executor/persist layer and the
+/// tuner record here; the serving daemon merges this into its private
+/// per-server registry when answering `metrics`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Renders a snapshot in the Prometheus text exposition style:
+/// counters and gauges as single samples, histograms as summaries with
+/// `quantile` labels plus `_sum`/`_count` samples.
+#[must_use]
+pub fn render_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<(&str, &str)> = None;
+    for entry in &snapshot.entries {
+        let kind = match entry.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "summary",
+        };
+        if last_family != Some((&entry.name, kind)) {
+            out.push_str(&format!("# TYPE {} {}\n", entry.name, kind));
+            last_family = Some((&entry.name, kind));
+        }
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    v
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    v
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        entry.name,
+                        label_block(&entry.labels, Some(q)),
+                        v
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        // Every bucket b >= 1 spans [2^(b-1), 2^b - 1]: both edges land
+        // in the same bucket and the next value starts the next one.
+        for b in 1..BUCKETS - 1 {
+            let lo = bucket_lower_bound(b);
+            let hi = 2 * lo - 1;
+            assert_eq!(bucket_of(lo), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_of(hi), b, "upper edge of bucket {b}");
+            assert_eq!(bucket_of(hi + 1), b + 1, "first value past bucket {b}");
+        }
+        // The top bucket absorbs everything, including u64::MAX.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 63), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_known_distributions() {
+        // 50 values of 1000 and 50 values of 1_000_000: each lands in
+        // its own bucket holding a single distinct value, so quantile
+        // extraction is exact, not approximate.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1_000);
+        }
+        for _ in 0..50 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 50 * 1_000 + 50 * 1_000_000);
+        assert_eq!(s.quantile(0.25), 1_000.0);
+        assert_eq!(s.quantile(0.50), 1_000.0); // rank 50 is the last small value
+        assert_eq!(s.quantile(0.51), 1_000_000.0);
+        assert_eq!(s.quantile(0.95), 1_000_000.0);
+        assert_eq!(s.quantile(0.99), 1_000_000.0);
+        assert_eq!(s.max(), 1_000_000.0);
+        assert_eq!(s.quantile(0.0), 1_000.0); // rank clamps to 1
+        assert_eq!(s.quantile(1.0), 1_000_000.0);
+
+        // Single-valued distribution: every quantile is that value.
+        let h = Histogram::new();
+        for _ in 0..7 {
+            h.record(42);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 42.0);
+        }
+        assert_eq!(s.mean(), 42.0);
+
+        // Empty histogram: quantiles are 0.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = [
+            vec![1u64, 1, 2, 900, 900],
+            vec![0, 7, 7, 7, 1 << 40],
+            vec![1u64 << 62, 3, 65_536],
+        ]
+        .iter()
+        .map(|values| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        })
+        .collect();
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).merge(c), a.merge(&b.merge(c)));
+        let merged = a.merge(b).merge(c);
+        assert_eq!(merged.count(), 13);
+        assert_eq!(
+            merged.sum(),
+            parts.iter().map(HistogramSnapshot::sum).sum::<u64>()
+        );
+        // Identity: merging with an empty snapshot changes nothing.
+        assert_eq!(a.merge(&HistogramSnapshot::default()), *a);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let h = Arc::new(Histogram::new());
+        let c = Arc::new(Counter::new());
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Deterministic value mix spanning many buckets.
+                        h.record(((t * PER_THREAD + i) % 1_000) as u64);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        // The final counts and sums are exactly deterministic no matter
+        // how the threads interleaved.
+        assert_eq!(s.count(), (THREADS * PER_THREAD) as u64);
+        let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|i| (i % 1_000) as u64).sum();
+        assert_eq!(s.sum(), expected_sum);
+        assert_eq!(c.get(), (THREADS * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn disabled_registry_drops_records() {
+        let r = Registry::new();
+        let c = r.counter("events_total");
+        let h = r.histogram_with("lat_ns", &[("type", "eval")]);
+        let g = r.gauge("inflight");
+        c.inc();
+        h.record(5);
+        g.set(2.0);
+        r.set_enabled(false);
+        c.inc();
+        h.record(5);
+        g.set(9.0);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.snapshot().count(), 1);
+        assert_eq!(g.get(), 2.0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 2);
+        assert!(!Registry::disabled().is_enabled());
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles_and_snapshots() {
+        let r = Registry::new();
+        let a = r.counter_with("req_total", &[("type", "eval")]);
+        let b = r.counter_with("req_total", &[("type", "eval")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same (name, labels) must share storage");
+        r.counter_with("req_total", &[("type", "sweep")]).add(5);
+        r.gauge("inflight").set(3.0);
+        let h = r.histogram("lat_ns");
+        h.record(100);
+        h.record(100);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("req_total", &[("type", "eval")]), Some(2));
+        assert_eq!(snap.counter("req_total", &[("type", "sweep")]), Some(5));
+        assert_eq!(snap.counter("req_total", &[("type", "nope")]), None);
+        assert_eq!(snap.gauge("inflight", &[]), Some(3.0));
+        let digest = snap.histogram("lat_ns", &[]).expect("histogram present");
+        assert_eq!(digest.count, 2);
+        assert_eq!(digest.sum, 200);
+        assert_eq!(digest.p50, 100.0);
+        // Sorted deterministically by (name, labels).
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_registries() {
+        let a = Registry::new();
+        a.counter("serve_requests_total").inc();
+        let b = Registry::new();
+        b.counter("dse_points_total").add(9);
+        let merged = a.snapshot().merge(b.snapshot());
+        assert_eq!(merged.counter("serve_requests_total", &[]), Some(1));
+        assert_eq!(merged.counter("dse_points_total", &[]), Some(9));
+        assert_eq!(merged.entries.len(), 2);
+        assert_eq!(merged.entries[0].name, "dse_points_total");
+    }
+
+    #[test]
+    fn text_rendering_is_prometheus_shaped() {
+        let r = Registry::new();
+        r.counter_with("serve_requests_total", &[("type", "eval")])
+            .add(3);
+        r.gauge("serve_inflight_requests").set(1.0);
+        let h = r.histogram_with("serve_request_ns", &[("type", "eval")]);
+        for _ in 0..10 {
+            h.record(4096);
+        }
+        let text = render_text(&r.snapshot());
+        assert!(text.contains("# TYPE serve_requests_total counter\n"));
+        assert!(text.contains("serve_requests_total{type=\"eval\"} 3\n"));
+        assert!(text.contains("# TYPE serve_inflight_requests gauge\n"));
+        assert!(text.contains("serve_inflight_requests 1\n"));
+        assert!(text.contains("# TYPE serve_request_ns summary\n"));
+        assert!(text.contains("serve_request_ns{type=\"eval\",quantile=\"0.5\"} 4096\n"));
+        assert!(text.contains("serve_request_ns_sum{type=\"eval\"} 40960\n"));
+        assert!(text.contains("serve_request_ns_count{type=\"eval\"} 10\n"));
+        // Every non-comment line is "name_or_name{labels} value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            value.parse::<f64>().expect("value parses as a number");
+        }
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = global().counter("obs_selftest_total");
+        c.inc();
+        assert!(
+            global()
+                .snapshot()
+                .counter("obs_selftest_total", &[])
+                .unwrap()
+                >= 1
+        );
+        assert!(global().uptime() >= Duration::ZERO);
+    }
+}

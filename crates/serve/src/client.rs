@@ -238,6 +238,17 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Fetches the daemon's full metric snapshot (serve-layer request
+    /// latencies and counters merged with the process-global dse/tuner
+    /// metrics).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Metrics)
+    }
+
     /// Asks the daemon to drain, flush and exit.
     ///
     /// # Errors

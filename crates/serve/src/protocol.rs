@@ -22,6 +22,7 @@
 //! {"type":"frontier","dims":3,"stream":true}
 //!                                        one entry per line + a done line
 //! {"type":"stats"}                       cache/server counters
+//! {"type":"metrics"}                     full observability snapshot
 //! {"type":"shutdown"}                    drain, flush, exit
 //! ```
 //!
@@ -72,6 +73,7 @@ use std::fmt;
 use chain_nn_dse::{
     DesignPoint, MixEntry, MixResult, PointOutcome, PointResult, SweepSpec, WorkloadMix,
 };
+use chain_nn_obs::{HistogramSummary, MetricEntry, MetricValue, Snapshot};
 use chain_nn_tuner::{
     Budget, BudgetAxis, BudgetSweep, FrontierStep, FrontierTuneRequest, Metric, Objective,
     StrategyKind, TuneRequest, Tuned,
@@ -124,6 +126,10 @@ pub enum Request {
     },
     /// Cache and server counters.
     Stats,
+    /// Full observability snapshot: every counter/gauge/histogram of
+    /// the daemon's registry (request latencies, scheduler batches,
+    /// DSE executor, tuner rounds), with p50/p95/p99 per histogram.
+    Metrics,
     /// Drain in-flight work, flush the cache file, stop the daemon.
     Shutdown,
 }
@@ -245,6 +251,12 @@ pub struct ServerStats {
     pub loaded_from_disk: usize,
     /// Whether a cache file is attached.
     pub persistent: bool,
+    /// Seconds since the daemon started (0 from daemons predating the
+    /// observability layer).
+    pub uptime_s: f64,
+    /// Requests currently being handled (parsing, queued or
+    /// executing) across all connections.
+    pub inflight_requests: usize,
 }
 
 /// One daemon reply.
@@ -289,6 +301,11 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats(ServerStats),
+    /// Observability snapshot: the daemon's whole metric registry.
+    Metrics {
+        /// Every metric instance, sorted by `(name, labels)`.
+        snapshot: Snapshot,
+    },
     /// Shutdown acknowledged; the daemon exits after this reply.
     Shutdown,
     /// Backpressure: the admission queue is full, retry later.
@@ -504,6 +521,7 @@ impl Request {
                 Json::Obj(fields)
             }
             Request::Stats => Json::Obj(vec![("type".into(), Json::Str("stats".into()))]),
+            Request::Metrics => Json::Obj(vec![("type".into(), Json::Str("metrics".into()))]),
             Request::Shutdown => Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]),
         };
         json.to_string()
@@ -652,6 +670,19 @@ impl Response {
                 ("threads".into(), unum(st.threads as u64)),
                 ("loaded_from_disk".into(), unum(st.loaded_from_disk as u64)),
                 ("persistent".into(), Json::Bool(st.persistent)),
+                ("uptime_s".into(), num(st.uptime_s)),
+                (
+                    "inflight_requests".into(),
+                    unum(st.inflight_requests as u64),
+                ),
+            ]),
+            Response::Metrics { snapshot } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("metrics".into())),
+                (
+                    "metrics".into(),
+                    Json::Arr(snapshot.entries.iter().map(metric_entry_to_json).collect()),
+                ),
             ]),
             Response::Shutdown => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
@@ -672,7 +703,89 @@ impl Response {
     }
 }
 
+fn metric_entry_to_json(entry: &MetricEntry) -> Json {
+    let mut fields = vec![("name".into(), Json::Str(entry.name.clone()))];
+    if !entry.labels.is_empty() {
+        fields.push((
+            "labels".into(),
+            Json::Obj(
+                entry
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    match &entry.value {
+        MetricValue::Counter(v) => {
+            fields.push(("kind".into(), Json::Str("counter".into())));
+            fields.push(("value".into(), unum(*v)));
+        }
+        MetricValue::Gauge(v) => {
+            fields.push(("kind".into(), Json::Str("gauge".into())));
+            fields.push(("value".into(), num(*v)));
+        }
+        MetricValue::Histogram(h) => {
+            fields.push(("kind".into(), Json::Str("histogram".into())));
+            fields.push(("count".into(), unum(h.count)));
+            fields.push(("sum".into(), unum(h.sum)));
+            fields.push(("p50".into(), num(h.p50)));
+            fields.push(("p95".into(), num(h.p95)));
+            fields.push(("p99".into(), num(h.p99)));
+            fields.push(("max".into(), num(h.max)));
+        }
+    }
+    Json::Obj(fields)
+}
+
 // ---------------------------------------------------------------- decode
+
+fn metric_entry_from_json(v: &Json) -> Result<MetricEntry, ProtocolError> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("metric entry needs a string 'name'"))?
+        .to_owned();
+    let labels = match v.get("labels") {
+        None => Vec::new(),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, lv)| {
+                lv.as_str()
+                    .map(|s| (k.clone(), s.to_owned()))
+                    .ok_or_else(|| bad("metric labels must be strings"))
+            })
+            .collect::<Result<_, ProtocolError>>()?,
+        Some(_) => return Err(bad("'labels' must be an object")),
+    };
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("metric entry needs a string 'kind'"))?;
+    let value = match kind {
+        "counter" => MetricValue::Counter(
+            v.get("value")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("counter metric needs an integer 'value'"))?,
+        ),
+        "gauge" => MetricValue::Gauge(get_f64(v, "value", 0.0)?),
+        "histogram" => MetricValue::Histogram(HistogramSummary {
+            count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
+            sum: v.get("sum").and_then(Json::as_u64).unwrap_or(0),
+            p50: get_f64(v, "p50", 0.0)?,
+            p95: get_f64(v, "p95", 0.0)?,
+            p99: get_f64(v, "p99", 0.0)?,
+            max: get_f64(v, "max", 0.0)?,
+        }),
+        other => return Err(bad(format!("unknown metric kind '{other}'"))),
+    };
+    Ok(MetricEntry {
+        name,
+        labels,
+        value,
+    })
+}
 
 fn get_usize(obj: &Json, key: &str, default: usize) -> Result<usize, ProtocolError> {
     match obj.get(key) {
@@ -1070,6 +1183,7 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!("unknown request type '{other}'"))),
         }
@@ -1237,7 +1351,21 @@ impl Response {
                 threads: get_usize(&v, "threads", 0)?,
                 loaded_from_disk: get_usize(&v, "loaded_from_disk", 0)?,
                 persistent: matches!(v.get("persistent"), Some(Json::Bool(true))),
+                uptime_s: get_f64(&v, "uptime_s", 0.0)?,
+                inflight_requests: get_usize(&v, "inflight_requests", 0)?,
             })),
+            "metrics" => {
+                let entries = v
+                    .get("metrics")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("metrics response needs 'metrics'"))?
+                    .iter()
+                    .map(metric_entry_from_json)
+                    .collect::<Result<_, ProtocolError>>()?;
+                Ok(Response::Metrics {
+                    snapshot: Snapshot { entries },
+                })
+            }
             "shutdown" => Ok(Response::Shutdown),
             other => Err(bad(format!("unknown response type '{other}'"))),
         }
@@ -1291,12 +1419,29 @@ mod tests {
                 stream: true,
             },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in requests {
             let line = req.encode();
             assert!(!line.contains('\n'), "wire form must be one line");
             assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn stats_reply_without_observability_fields_still_decodes() {
+        // A daemon predating the observability layer omits `uptime_s`
+        // and `inflight_requests`; the decoder must default them.
+        let legacy = r#"{"ok":true,"type":"stats","cached_points":10,"hits":7,"misses":3,"hit_rate":0.7,"requests":42,"active_jobs":1,"queue_capacity":16,"open_connections":3,"max_connections":64,"threads":4,"loaded_from_disk":6,"persistent":true}"#;
+        match Response::decode(legacy).unwrap() {
+            Response::Stats(st) => {
+                assert_eq!(st.cached_points, 10);
+                assert_eq!(st.requests, 42);
+                assert_eq!(st.uptime_s, 0.0);
+                assert_eq!(st.inflight_requests, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 
@@ -1340,7 +1485,40 @@ mod tests {
                 threads: 4,
                 loaded_from_disk: 6,
                 persistent: true,
+                uptime_s: 12.5,
+                inflight_requests: 2,
             }),
+            Response::Metrics {
+                snapshot: Snapshot {
+                    entries: vec![
+                        MetricEntry {
+                            name: "serve_request_ns".into(),
+                            labels: vec![("type".into(), "eval".into())],
+                            value: MetricValue::Histogram(HistogramSummary {
+                                count: 12,
+                                sum: 49152,
+                                p50: 4096.0,
+                                p95: 4096.0,
+                                p99: 4096.0,
+                                max: 4096.0,
+                            }),
+                        },
+                        MetricEntry {
+                            name: "serve_inflight_requests".into(),
+                            labels: vec![],
+                            value: MetricValue::Gauge(1.0),
+                        },
+                        MetricEntry {
+                            name: "serve_requests_total".into(),
+                            labels: vec![("type".into(), "eval".into())],
+                            value: MetricValue::Counter(12),
+                        },
+                    ],
+                },
+            },
+            Response::Metrics {
+                snapshot: Snapshot::default(),
+            },
             Response::Shutdown,
             Response::Busy {
                 active: 16,

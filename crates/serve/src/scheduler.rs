@@ -25,10 +25,12 @@
 //! connection got there first.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use chain_nn_dse::executor;
 use chain_nn_dse::{DesignPoint, DseError, PointCache, PointOutcome};
+use chain_nn_obs::{Counter, Histogram, Registry};
 
 /// Points claimed per scheduling turn. Small enough that a single-point
 /// eval behind a huge sweep waits at most ~one batch of model
@@ -65,6 +67,16 @@ struct Completion {
     state: Mutex<CompletionState>,
     cv: Condvar,
     slot: SlotOwnership,
+    /// When the job entered the queue.
+    submitted: Instant,
+    /// When a worker first claimed a batch of it. A `OnceLock` rather
+    /// than a field under either lock: `claim()` holds the scheduler
+    /// lock and the waiter reads under the completion lock, and this
+    /// way neither has to take the other.
+    first_claimed: OnceLock<Instant>,
+    /// When the last batch was delivered (set under the completion
+    /// lock, before the waiter is notified).
+    finished_at: OnceLock<Instant>,
 }
 
 #[derive(Debug)]
@@ -101,6 +113,12 @@ pub struct JobResult {
     pub cache_hits: u64,
     /// Fresh evaluations this job paid for.
     pub cache_misses: u64,
+    /// Submission → first batch claimed: time spent queued behind
+    /// other jobs (zero for empty jobs, which are never claimed).
+    pub queue_wait: Duration,
+    /// First batch claimed → last batch delivered: time spent actually
+    /// evaluating (including rotation gaps between this job's batches).
+    pub execute: Duration,
 }
 
 /// Handle the submitter blocks on.
@@ -127,10 +145,26 @@ impl JobHandle {
         }
         let mut results = std::mem::take(&mut state.results);
         results.sort_by_key(|(i, _)| *i);
+        let end = self
+            .done
+            .finished_at
+            .get()
+            .copied()
+            .unwrap_or_else(Instant::now);
+        let (queue_wait, execute) = match self.done.first_claimed.get() {
+            Some(&first) => (
+                first.saturating_duration_since(self.done.submitted),
+                end.saturating_duration_since(first),
+            ),
+            // Never claimed: the empty-job fast path.
+            None => (Duration::ZERO, Duration::ZERO),
+        };
         Ok(JobResult {
             outcomes: results.into_iter().map(|(_, o)| o).collect(),
             cache_hits: state.cache_hits,
             cache_misses: state.cache_misses,
+            queue_wait,
+            execute,
         })
     }
 }
@@ -149,6 +183,27 @@ struct SchedState {
     active: usize,
 }
 
+/// The scheduler's registered metric handles (registration happens at
+/// construction; recording is lock-free).
+struct SchedMetrics {
+    /// Wall time per claimed batch evaluation.
+    batch_eval_ns: Arc<Histogram>,
+    /// Batches claimed.
+    batches: Arc<Counter>,
+    /// Points evaluated through the scheduler.
+    points: Arc<Counter>,
+}
+
+impl SchedMetrics {
+    fn register(registry: &Registry) -> SchedMetrics {
+        SchedMetrics {
+            batch_eval_ns: registry.histogram("sched_batch_eval_ns"),
+            batches: registry.counter("sched_batches_total"),
+            points: registry.counter("sched_points_total"),
+        }
+    }
+}
+
 /// The shared scheduler; construct once, hand clones of the `Arc` to
 /// the worker pool and every connection handler.
 pub struct Scheduler {
@@ -157,12 +212,27 @@ pub struct Scheduler {
     cache: Arc<PointCache>,
     capacity: usize,
     batch: usize,
+    metrics: SchedMetrics,
 }
 
 impl Scheduler {
     /// A scheduler over `cache` admitting at most `capacity` concurrent
-    /// jobs and claiming `batch` points per turn.
+    /// jobs and claiming `batch` points per turn. Batch metrics land in
+    /// a private throwaway registry; the daemon uses
+    /// [`Scheduler::with_registry`] to surface them.
     pub fn new(cache: Arc<PointCache>, capacity: usize, batch: usize) -> Self {
+        Scheduler::with_registry(cache, capacity, batch, &Registry::new())
+    }
+
+    /// [`Scheduler::new`], registering the batch metrics
+    /// (`sched_batch_eval_ns`, `sched_batches_total`,
+    /// `sched_points_total`) in `registry`.
+    pub fn with_registry(
+        cache: Arc<PointCache>,
+        capacity: usize,
+        batch: usize,
+        registry: &Registry,
+    ) -> Self {
         Scheduler {
             state: Mutex::new(SchedState {
                 jobs: VecDeque::new(),
@@ -173,6 +243,7 @@ impl Scheduler {
             cache,
             capacity: capacity.max(1),
             batch: batch.max(1),
+            metrics: SchedMetrics::register(registry),
         }
     }
 
@@ -204,6 +275,9 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             slot,
+            submitted: Instant::now(),
+            first_claimed: OnceLock::new(),
+            finished_at: OnceLock::new(),
         })
     }
 
@@ -317,6 +391,8 @@ impl Scheduler {
                     end,
                     done: Arc::clone(&job.done),
                 };
+                // First claim of this job ends its queue wait.
+                let _ = claim.done.first_claimed.set(Instant::now());
                 if job.next < job.points.len() {
                     // Unfinished: rotate to the queue tail. Pop-front +
                     // push-back is exactly round-robin across jobs.
@@ -359,6 +435,7 @@ impl Scheduler {
             done,
         }) = self.claim()
         {
+            let batch_started = Instant::now();
             let mut results = Vec::with_capacity(end - start);
             let mut error = None;
             let (mut hits, mut misses) = (0u64, 0u64);
@@ -378,6 +455,11 @@ impl Scheduler {
                     }
                 }
             }
+            self.metrics
+                .batch_eval_ns
+                .record_duration(batch_started.elapsed());
+            self.metrics.batches.inc();
+            self.metrics.points.add((end - start) as u64);
             // On error the whole remaining range counts as finished so
             // the waiter's completion arithmetic still closes.
             let finished_now = end - start;
@@ -393,6 +475,11 @@ impl Scheduler {
                     }
                     // Poison the job: nothing further should be claimed.
                     cs.finished = cs.finished.max(cs.total);
+                }
+                if cs.error.is_some() || cs.finished >= cs.total {
+                    // Stamp the end of execution before the waiter can
+                    // observe completion.
+                    let _ = done.finished_at.set(Instant::now());
                 }
                 done.cv.notify_all();
                 let complete = cs.finished >= cs.total && !cs.closed;
@@ -625,6 +712,49 @@ mod tests {
         let out = sched.submit_in(&slot, Vec::new()).unwrap().wait().unwrap();
         assert!(out.outcomes.is_empty());
         drop(slot);
+    }
+
+    #[test]
+    fn job_timing_separates_queue_wait_from_execute() {
+        let sched = Arc::new(Scheduler::new(Arc::new(PointCache::new()), 4, 2));
+        let points = grid(vec![25, 50, 100]);
+        let (job, empty) = with_workers(&sched, 1, || {
+            let job = sched.submit(points.clone()).unwrap().wait().unwrap();
+            // An empty job is never claimed: both stages are zero.
+            let empty = sched.submit(Vec::new()).unwrap().wait().unwrap();
+            (job, empty)
+        });
+        // The job was actually claimed and evaluated, so execution took
+        // measurable time; both stages are reported independently.
+        assert!(job.execute > Duration::ZERO);
+        assert!(job.queue_wait + job.execute > Duration::ZERO);
+        assert_eq!(empty.queue_wait, Duration::ZERO);
+        assert_eq!(empty.execute, Duration::ZERO);
+    }
+
+    #[test]
+    fn scheduler_registers_batch_metrics() {
+        let registry = Registry::new();
+        let sched = Arc::new(Scheduler::with_registry(
+            Arc::new(PointCache::new()),
+            4,
+            2,
+            &registry,
+        ));
+        let points = grid(vec![25, 50, 100]);
+        with_workers(&sched, 2, || {
+            sched.submit(points.clone()).unwrap().wait().unwrap()
+        });
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("sched_points_total", &[]),
+            Some(points.len() as u64)
+        );
+        // 6 points at batch size 2 is 3 batches (any worker split).
+        assert_eq!(snap.counter("sched_batches_total", &[]), Some(3));
+        let h = snap.histogram("sched_batch_eval_ns", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert!(h.sum > 0);
     }
 
     #[test]

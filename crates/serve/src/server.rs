@@ -15,6 +15,7 @@
 //! own connection, admission closes, the workers drain what was already
 //! admitted, the cache is flushed, and [`Server::run`] returns.
 
+use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -22,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chain_nn_dse::{pareto, CacheFile, DesignPoint, MixOutcome, PointCache, WorkloadMix};
+use chain_nn_obs::{Counter, Gauge, Histogram, Registry};
 use chain_nn_tuner::{evaluator, frontier, tune, MixEvaluator, TuneError};
 
 use crate::protocol::{
@@ -56,6 +58,11 @@ pub struct ServerConfig {
     pub cache_capacity: Option<usize>,
     /// Snapshot file for cross-process cache persistence.
     pub cache_file: Option<std::path::PathBuf>,
+    /// Optional structured trace log: one JSON line per completed
+    /// request (id, type, status, and the per-phase timings), written
+    /// as requests finish. The file is truncated at bind time — each
+    /// daemon lifetime gets a fresh trace.
+    pub trace_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +76,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             cache_capacity: None,
             cache_file: None,
+            trace_log: None,
         }
     }
 }
@@ -104,6 +112,110 @@ struct Shared {
     /// the session thread exits).
     connections: AtomicUsize,
     max_connections: usize,
+    /// This daemon's private metric registry. Per-daemon (not the
+    /// process-global one) so two servers in one test process do not
+    /// see each other's request counters; the `metrics` reply merges
+    /// in [`chain_nn_obs::global`] for the dse/tuner-layer metrics.
+    registry: Registry,
+    /// Hot-path metric handles, resolved once at bind time.
+    metrics: ServeMetrics,
+    /// Structured trace sink (`--trace-log`): one JSON line per
+    /// completed request, flushed per line so a tailing reader sees
+    /// requests as they finish.
+    trace: Option<Mutex<BufWriter<File>>>,
+    /// Monotonic request ids for the trace log.
+    next_request_id: AtomicU64,
+}
+
+/// The serve-layer metric handles that sit on every request's path,
+/// registered once so session threads never take the registry lock for
+/// them. Per-request-type families (`serve_requests_total{type=…}` and
+/// the latency histograms) are resolved through the registry instead —
+/// once per request, off the evaluation hot path.
+struct ServeMetrics {
+    /// Requests currently between accept-of-line and reply.
+    inflight: Arc<Gauge>,
+    /// Admission refusals (`busy` replies from the job queue bound).
+    busy: Arc<Counter>,
+    /// Connections refused at the accept loop (connection bound).
+    refused: Arc<Counter>,
+    /// Cache hits summed over completed jobs (per-job counters, so
+    /// one client's traffic is not counted against another's).
+    cache_hits: Arc<Counter>,
+    /// Cache misses summed over completed jobs.
+    cache_misses: Arc<Counter>,
+    /// Post-request cache-file flush durations.
+    flush_ns: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn register(registry: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            inflight: registry.gauge("serve_inflight_requests"),
+            busy: registry.counter("serve_busy_total"),
+            refused: registry.counter("serve_connections_refused_total"),
+            cache_hits: registry.counter("serve_cache_hits_total"),
+            cache_misses: registry.counter("serve_cache_misses_total"),
+            flush_ns: registry.histogram("serve_flush_ns"),
+        }
+    }
+}
+
+/// Per-request measurement record: filled in by [`handle_request`] as
+/// the request moves through parse → queue → execute → flush, then
+/// folded into the registry and (optionally) the trace log by the
+/// session loop.
+struct RequestSpan {
+    /// Monotonic id, unique within one daemon lifetime.
+    id: u64,
+    /// Request type label (`eval`, `sweep`, …; `parse_error` when the
+    /// line never decoded).
+    kind: &'static str,
+    /// Time spent decoding the request line.
+    parse: Duration,
+    /// Submission → first claim, summed over the request's jobs.
+    queue_wait: Duration,
+    /// First claim → completion, summed over the request's jobs.
+    execute: Duration,
+    /// Post-request cache-file flush time.
+    flush: Duration,
+    /// Scheduler jobs this request ran (0 for stats/metrics/frontier —
+    /// their spans carry no queue/execute time).
+    jobs: u64,
+    /// Points evaluated (or tuner evaluations) on behalf of this
+    /// request.
+    points: u64,
+    /// Per-job cache hits attributed to this request.
+    cache_hits: u64,
+    /// Per-job cache misses attributed to this request.
+    cache_misses: u64,
+}
+
+impl RequestSpan {
+    fn new(id: u64) -> RequestSpan {
+        RequestSpan {
+            id,
+            kind: "unknown",
+            parse: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            execute: Duration::ZERO,
+            flush: Duration::ZERO,
+            jobs: 0,
+            points: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Folds one completed scheduler job's timings and cache counters
+    /// into the span.
+    fn absorb_job(&mut self, queue_wait: Duration, execute: Duration, hits: u64, misses: u64) {
+        self.queue_wait += queue_wait;
+        self.execute += execute;
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+        self.jobs += 1;
+    }
 }
 
 impl Shared {
@@ -155,13 +267,20 @@ impl Server {
             loaded_from_disk = file.load_into(&cache)?.loaded;
         }
         let threads = config.threads.max(1);
+        let registry = Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let trace = match &config.trace_log {
+            Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+            None => None,
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                scheduler: Scheduler::new(
+                scheduler: Scheduler::with_registry(
                     Arc::clone(&cache),
                     config.queue_capacity,
                     config.batch_size,
+                    &registry,
                 ),
                 cache,
                 cache_file,
@@ -174,6 +293,10 @@ impl Server {
                 cache_bounded: config.cache_capacity.is_some(),
                 connections: AtomicUsize::new(0),
                 max_connections: config.max_connections.max(1),
+                registry,
+                metrics,
+                trace,
+                next_request_id: AtomicU64::new(1),
             }),
         })
     }
@@ -219,6 +342,7 @@ impl Server {
                         // session threads for idle sockets.
                         let open = shared.connections.load(Ordering::SeqCst);
                         if open >= shared.max_connections {
+                            shared.metrics.refused.inc();
                             refuse_connection(stream, open, shared.max_connections);
                             continue;
                         }
@@ -357,7 +481,22 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             continue;
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        match handle_request(trimmed, shared, &mut writer) {
+        let received = Instant::now();
+        shared.metrics.inflight.inc();
+        let mut span = RequestSpan::new(shared.next_request_id.fetch_add(1, Ordering::Relaxed));
+        let outcome = handle_request(trimmed, shared, &mut writer, &mut span);
+        shared.metrics.inflight.dec();
+        let status = match &outcome {
+            RequestOutcome::Reply(response, _) => match **response {
+                Response::Error { .. } => "error",
+                Response::Busy { .. } => "busy",
+                _ => "ok",
+            },
+            RequestOutcome::Streamed { sink_dead: false } => "ok",
+            RequestOutcome::Streamed { sink_dead: true } => "disconnect",
+        };
+        record_span(shared, &span, status, received.elapsed());
+        match outcome {
             RequestOutcome::Reply(response, stop_after_reply) => {
                 if LineSink::new(&mut writer).send(&response).is_err() {
                     return;
@@ -376,21 +515,102 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Folds one finished request's span into the registry (per-type
+/// counter and latency families, busy counter, per-job cache traffic)
+/// and appends its trace line when `--trace-log` is on.
+fn record_span(shared: &Shared, span: &RequestSpan, status: &str, total: Duration) {
+    let labels: &[(&str, &str)] = &[("type", span.kind)];
+    let registry = &shared.registry;
+    registry.counter_with("serve_requests_total", labels).inc();
+    registry
+        .histogram_with("serve_request_ns", labels)
+        .record_duration(total);
+    if span.jobs > 0 {
+        // Only requests that ran scheduler jobs carry queue/execute
+        // time; recording zeros for stats/metrics/frontier would
+        // poison the wait-time quantiles.
+        registry
+            .histogram_with("serve_queue_wait_ns", labels)
+            .record_duration(span.queue_wait);
+        registry
+            .histogram_with("serve_execute_ns", labels)
+            .record_duration(span.execute);
+    }
+    if status == "busy" {
+        shared.metrics.busy.inc();
+    }
+    shared.metrics.cache_hits.add(span.cache_hits);
+    shared.metrics.cache_misses.add(span.cache_misses);
+    let Some(trace) = &shared.trace else { return };
+    // Hand-rolled JSON: every field is a number or a static label, so
+    // no escaping is needed.
+    let line = format!(
+        concat!(
+            "{{\"id\":{},\"type\":\"{}\",\"status\":\"{}\",\"parse_us\":{},",
+            "\"queue_wait_us\":{},\"execute_us\":{},\"flush_us\":{},\"total_us\":{},",
+            "\"jobs\":{},\"points\":{},\"cache_hits\":{},\"cache_misses\":{}}}\n"
+        ),
+        span.id,
+        span.kind,
+        status,
+        span.parse.as_micros(),
+        span.queue_wait.as_micros(),
+        span.execute.as_micros(),
+        span.flush.as_micros(),
+        total.as_micros(),
+        span.jobs,
+        span.points,
+        span.cache_hits,
+        span.cache_misses,
+    );
+    if let Ok(mut sink) = trace.lock() {
+        let _ = sink.write_all(line.as_bytes()).and_then(|()| sink.flush());
+    }
+}
+
+/// Runs the post-request cache flush and times it into the span and
+/// the `serve_flush_ns` histogram.
+fn timed_flush(shared: &Shared, span: &mut RequestSpan) {
+    let started = Instant::now();
+    let _ = shared.flush();
+    span.flush = started.elapsed();
+    shared.metrics.flush_ns.record_duration(span.flush);
+}
+
 /// Dispatches one parsed request. Streaming requests write their lines
 /// through `writer` themselves; everything else returns the single
 /// reply for the session loop to send (the bool asks the session to
 /// close and trip the daemon shutdown flag after replying).
-fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> RequestOutcome {
+fn handle_request(
+    line: &str,
+    shared: &Arc<Shared>,
+    writer: &mut dyn Write,
+    span: &mut RequestSpan,
+) -> RequestOutcome {
+    let parse_started = Instant::now();
     let request = match Request::decode(line) {
         Ok(r) => r,
         Err(e) => {
+            span.parse = parse_started.elapsed();
+            span.kind = "parse_error";
             return RequestOutcome::reply(
                 Response::Error {
                     message: e.to_string(),
                 },
                 false,
-            )
+            );
         }
+    };
+    span.parse = parse_started.elapsed();
+    span.kind = match &request {
+        Request::Eval(_) => "eval",
+        Request::Sweep(_) => "sweep",
+        Request::Tune(_) => "tune",
+        Request::TuneFrontier(_) => "tune_frontier",
+        Request::Frontier { .. } => "frontier",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
     };
     match request {
         Request::Eval(point) => {
@@ -400,13 +620,22 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
                     Err(e) => Response::Error {
                         message: e.to_string(),
                     },
-                    Ok(mut job) => Response::Eval {
-                        point,
-                        outcome: job.outcomes.remove(0),
-                    },
+                    Ok(mut job) => {
+                        span.absorb_job(
+                            job.queue_wait,
+                            job.execute,
+                            job.cache_hits,
+                            job.cache_misses,
+                        );
+                        span.points = 1;
+                        Response::Eval {
+                            point,
+                            outcome: job.outcomes.remove(0),
+                        }
+                    }
                 },
             };
-            let _ = shared.flush();
+            timed_flush(shared, span);
             RequestOutcome::reply(response, false)
         }
         Request::Sweep(spec) => {
@@ -428,6 +657,13 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
                         message: e.to_string(),
                     },
                     Ok(job) => {
+                        span.absorb_job(
+                            job.queue_wait,
+                            job.execute,
+                            job.cache_hits,
+                            job.cache_misses,
+                        );
+                        span.points = total as u64;
                         let objectives: Vec<(usize, pareto::Objectives)> = job
                             .outcomes
                             .iter()
@@ -449,7 +685,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
                     }
                 },
             };
-            let _ = shared.flush();
+            timed_flush(shared, span);
             RequestOutcome::reply(response, false)
         }
         Request::Tune(request) => {
@@ -459,28 +695,28 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
             let response = match shared.scheduler.admit() {
                 Err(e) => submit_error_response(e),
                 Ok(slot) => {
-                    let mut evaluator = SchedulerEvaluator {
-                        scheduler: &shared.scheduler,
-                        slot: &slot,
-                        hits: 0,
-                        misses: 0,
-                    };
-                    match tune(&request, &mut evaluator) {
+                    let mut evaluator = SchedulerEvaluator::new(&shared.scheduler, &slot);
+                    let result = tune(&request, &mut evaluator);
+                    evaluator.fold_into(span);
+                    match result {
                         Err(e) => Response::Error {
                             message: e.to_string(),
                         },
-                        Ok(report) => Response::Tune(TuneSummary {
-                            best: report.best,
-                            evaluations: report.evaluations,
-                            cache_hits: report.cache_hits,
-                            cache_misses: report.cache_misses,
-                            rounds: report.rounds,
-                            exhaustive_points: report.exhaustive_points,
-                        }),
+                        Ok(report) => {
+                            span.points = report.evaluations;
+                            Response::Tune(TuneSummary {
+                                best: report.best,
+                                evaluations: report.evaluations,
+                                cache_hits: report.cache_hits,
+                                cache_misses: report.cache_misses,
+                                rounds: report.rounds,
+                                exhaustive_points: report.exhaustive_points,
+                            })
+                        }
                     }
                 }
             };
-            let _ = shared.flush();
+            timed_flush(shared, span);
             RequestOutcome::reply(response, false)
         }
         Request::TuneFrontier(request) => {
@@ -491,12 +727,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
             let outcome = match shared.scheduler.admit() {
                 Err(e) => RequestOutcome::reply(submit_error_response(e), false),
                 Ok(slot) => {
-                    let mut evaluator = SchedulerEvaluator {
-                        scheduler: &shared.scheduler,
-                        slot: &slot,
-                        hits: 0,
-                        misses: 0,
-                    };
+                    let mut evaluator = SchedulerEvaluator::new(&shared.scheduler, &slot);
                     let steps = request.sweep.values.len();
                     let mut sink = LineSink::new(writer);
                     let mut sink_dead = false;
@@ -511,8 +742,10 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
                             TuneError::Backend("client closed the stream".to_owned())
                         })
                     });
+                    evaluator.fold_into(span);
                     match result {
                         Ok(report) => {
+                            span.points = report.evaluations;
                             let done = Response::TuneFrontierDone(FrontierDoneSummary {
                                 steps: report.steps.len(),
                                 frontier: report.frontier,
@@ -540,7 +773,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
                     }
                 }
             };
-            let _ = shared.flush();
+            timed_flush(shared, span);
             outcome
         }
         Request::Frontier { dims, sqnr, stream } => {
@@ -607,9 +840,39 @@ fn handle_request(line: &str, shared: &Arc<Shared>, writer: &mut dyn Write) -> R
                     threads: shared.threads,
                     loaded_from_disk: shared.loaded_from_disk,
                     persistent: shared.cache_file.is_some(),
+                    uptime_s: shared.registry.uptime().as_secs_f64(),
+                    // Includes this stats request itself — the session
+                    // loop holds the in-flight gauge across the handler.
+                    inflight_requests: shared.metrics.inflight.get().max(0.0) as usize,
                 }),
                 false,
             )
+        }
+        Request::Metrics => {
+            // Scrape-time gauges: state that lives in counters and
+            // structs elsewhere, sampled into the registry so one
+            // snapshot carries everything.
+            let stats = shared.cache.stats();
+            let registry = &shared.registry;
+            registry
+                .gauge("serve_uptime_seconds")
+                .set(registry.uptime().as_secs_f64());
+            registry
+                .gauge("serve_open_connections")
+                .set(shared.connections.load(Ordering::SeqCst) as f64);
+            registry
+                .gauge("serve_active_jobs")
+                .set(shared.scheduler.active_jobs() as f64);
+            registry
+                .gauge("cache_points")
+                .set(shared.cache.len() as f64);
+            registry.gauge("cache_hit_rate").set(stats.hit_rate());
+            // The daemon's own registry plus the process-global one:
+            // dse/tuner-layer metrics (`dse_*`, `tuner_*`) record to
+            // the global registry, and the name prefixes are disjoint
+            // from the serve/sched families, so the merge is clean.
+            let snapshot = registry.snapshot().merge(chain_nn_obs::global().snapshot());
+            RequestOutcome::reply(Response::Metrics { snapshot }, false)
         }
         Request::Shutdown => {
             // Close admission *before* acknowledging, so nothing new
@@ -639,6 +902,38 @@ struct SchedulerEvaluator<'a> {
     slot: &'a AdmissionSlot<'a>,
     hits: u64,
     misses: u64,
+    /// Queue wait summed over this request's rounds (each round is one
+    /// scheduler job, so a tune's span reports how long its rounds
+    /// collectively sat behind other traffic).
+    queue_wait: Duration,
+    /// Execute time summed over this request's rounds.
+    execute: Duration,
+    /// Rounds run (scheduler jobs submitted and waited on).
+    jobs: u64,
+}
+
+impl<'a> SchedulerEvaluator<'a> {
+    fn new(scheduler: &'a Scheduler, slot: &'a AdmissionSlot<'a>) -> Self {
+        SchedulerEvaluator {
+            scheduler,
+            slot,
+            hits: 0,
+            misses: 0,
+            queue_wait: Duration::ZERO,
+            execute: Duration::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Copies the accumulated per-round timings and cache counters
+    /// into the request's span once the tune/sweep is over.
+    fn fold_into(&self, span: &mut RequestSpan) {
+        span.queue_wait += self.queue_wait;
+        span.execute += self.execute;
+        span.cache_hits += self.hits;
+        span.cache_misses += self.misses;
+        span.jobs += self.jobs;
+    }
 }
 
 impl MixEvaluator for SchedulerEvaluator<'_> {
@@ -662,6 +957,9 @@ impl MixEvaluator for SchedulerEvaluator<'_> {
         let job = handle.wait().map_err(TuneError::Eval)?;
         self.hits += job.cache_hits;
         self.misses += job.cache_misses;
+        self.queue_wait += job.queue_wait;
+        self.execute += job.execute;
+        self.jobs += 1;
         Ok(evaluator::collapse(mix, bases, &job.outcomes))
     }
 
@@ -732,6 +1030,133 @@ mod tests {
         })
     }
 
+    /// Drives one request line through the same span + record path the
+    /// session loop uses, returning the outcome.
+    fn handle_instrumented(line: &str, shared: &Arc<Shared>) -> RequestOutcome {
+        let received = Instant::now();
+        let mut span = RequestSpan::new(shared.next_request_id.fetch_add(1, Ordering::Relaxed));
+        let outcome = handle_request(line, shared, &mut Probe::new(shared), &mut span);
+        let status = match &outcome {
+            RequestOutcome::Reply(response, _) => match **response {
+                Response::Error { .. } => "error",
+                Response::Busy { .. } => "busy",
+                _ => "ok",
+            },
+            RequestOutcome::Streamed { sink_dead } => {
+                if *sink_dead {
+                    "disconnect"
+                } else {
+                    "ok"
+                }
+            }
+        };
+        record_span(shared, &span, status, received.elapsed());
+        outcome
+    }
+
+    #[test]
+    fn metrics_reply_reconciles_with_the_requests_made() {
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        let snapshot = with_workers(&shared, || {
+            let eval = r#"{"type":"eval","point":{"pes":288}}"#;
+            for _ in 0..3 {
+                assert!(matches!(
+                    handle_instrumented(eval, &shared),
+                    RequestOutcome::Reply(r, false) if matches!(*r, Response::Eval { .. })
+                ));
+            }
+            let sweep = r#"{"type":"sweep","spec":{"pes":[144,288],"nets":"lenet"}}"#;
+            assert!(matches!(
+                handle_instrumented(sweep, &shared),
+                RequestOutcome::Reply(r, false) if matches!(*r, Response::Sweep(_))
+            ));
+            match handle_instrumented(r#"{"type":"metrics"}"#, &shared) {
+                RequestOutcome::Reply(r, false) => match *r {
+                    Response::Metrics { snapshot } => snapshot,
+                    other => panic!("expected a metrics reply, got {other:?}"),
+                },
+                _ => panic!("expected a metrics reply"),
+            }
+        });
+        let eval_labels: &[(&str, &str)] = &[("type", "eval")];
+        assert_eq!(
+            snapshot.counter("serve_requests_total", eval_labels),
+            Some(3)
+        );
+        assert_eq!(
+            snapshot.counter("serve_requests_total", &[("type", "sweep")]),
+            Some(1)
+        );
+        let latency = snapshot
+            .histogram("serve_request_ns", eval_labels)
+            .expect("eval latency histogram");
+        assert_eq!(latency.count, 3);
+        assert!(latency.p50 > 0.0 && latency.p99 >= latency.p50);
+        let execute = snapshot
+            .histogram("serve_execute_ns", eval_labels)
+            .expect("eval execute histogram");
+        assert_eq!(execute.count, 3);
+        // The scheduler-side metrics live in the same (private)
+        // registry: 3 evals + the 2-point sweep → 5 points total.
+        assert_eq!(snapshot.counter("sched_points_total", &[]), Some(5));
+        // Scrape-time gauges were sampled into the snapshot.
+        assert!(snapshot.gauge("serve_uptime_seconds", &[]).expect("uptime") > 0.0);
+        assert_eq!(
+            snapshot.gauge("cache_points", &[]),
+            Some(shared.cache.len() as f64)
+        );
+        // Two daemons must not share request counters: a fresh one
+        // starts at zero even in this same process.
+        let other = Server::bind(ServerConfig::default()).expect("bind");
+        assert!(other
+            .shared
+            .registry
+            .snapshot()
+            .counter("serve_requests_total", eval_labels)
+            .is_none());
+    }
+
+    #[test]
+    fn trace_log_records_one_line_per_request_with_phase_timings() {
+        let dir = std::env::temp_dir().join(format!("chain-nn-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            trace_log: Some(path.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        with_workers(&shared, || {
+            let eval = r#"{"type":"eval","point":{"pes":288}}"#;
+            assert!(matches!(
+                handle_instrumented(eval, &shared),
+                RequestOutcome::Reply(r, false) if matches!(*r, Response::Eval { .. })
+            ));
+            assert!(matches!(
+                handle_instrumented("not json", &shared),
+                RequestOutcome::Reply(r, false) if matches!(*r, Response::Error { .. })
+            ));
+        });
+        let trace = std::fs::read_to_string(&path).expect("trace file");
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 2, "{trace}");
+        assert!(lines[0].contains("\"type\":\"eval\"") && lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[0].contains("\"queue_wait_us\":") && lines[0].contains("\"execute_us\":"));
+        assert!(lines[0].contains("\"jobs\":1") && lines[0].contains("\"points\":1"));
+        assert!(
+            lines[1].contains("\"type\":\"parse_error\"")
+                && lines[1].contains("\"status\":\"error\"")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn tune_frontier_streams_each_step_before_the_sweep_finishes() {
         let server = Server::bind(ServerConfig {
@@ -743,7 +1168,7 @@ mod tests {
         let probe = with_workers(&shared, || {
             let mut probe = Probe::new(&shared);
             let request = r#"{"type":"tune_frontier","sweep":{"axis":"max_system_mw","values":[450,500,550,600]}}"#;
-            let outcome = handle_request(request, &shared, &mut probe);
+            let outcome = handle_request(request, &shared, &mut probe, &mut RequestSpan::new(0));
             assert!(matches!(
                 outcome,
                 RequestOutcome::Streamed { sink_dead: false }
@@ -789,7 +1214,7 @@ mod tests {
             let mut warmup = Probe::new(&shared);
             let sweep = r#"{"type":"sweep","spec":{"pes":[144,288,576],"nets":"lenet"}}"#;
             assert!(matches!(
-                handle_request(sweep, &shared, &mut warmup),
+                handle_request(sweep, &shared, &mut warmup, &mut RequestSpan::new(0)),
                 RequestOutcome::Reply(r, false) if matches!(*r, Response::Sweep(_))
             ));
             // Aggregate and streamed variants must agree entry for entry.
@@ -797,6 +1222,7 @@ mod tests {
                 r#"{"type":"frontier","dims":3}"#,
                 &shared,
                 &mut Probe::new(&shared),
+                &mut RequestSpan::new(0),
             ) {
                 RequestOutcome::Reply(r, false) => match *r {
                     Response::Frontier { entries, .. } => entries,
@@ -809,6 +1235,7 @@ mod tests {
                 r#"{"type":"frontier","dims":3,"stream":true}"#,
                 &shared,
                 &mut probe,
+                &mut RequestSpan::new(0),
             );
             assert!(matches!(
                 outcome,

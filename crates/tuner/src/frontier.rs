@@ -560,7 +560,12 @@ pub fn tune_frontier<E: MixEvaluator>(
             inner: evaluator,
             pool: &mut pool,
         };
+        let step_started = std::time::Instant::now();
         let report = tune(&step_request, &mut pooled)?;
+        let obs = chain_nn_obs::global();
+        obs.histogram("tuner_frontier_step_ns")
+            .record_duration(step_started.elapsed());
+        obs.counter("tuner_frontier_steps_total").inc();
         let (hits_after, misses_after) = evaluator.counters();
         exhaustive_points = report.exhaustive_points;
 

@@ -195,7 +195,14 @@ impl<'a, E: MixEvaluator> Session<'a, E> {
             return Ok(());
         }
         let bases: Vec<DesignPoint> = fresh.iter().map(|i| self.space.point(i)).collect();
+        let round_started = std::time::Instant::now();
         let outcomes = self.evaluator.evaluate(self.mix, &bases)?;
+        let obs = chain_nn_obs::global();
+        obs.histogram("tuner_round_ns")
+            .record_duration(round_started.elapsed());
+        obs.counter("tuner_rounds_total").inc();
+        obs.counter("tuner_evaluations_total")
+            .add(bases.len() as u64);
         if outcomes.len() != bases.len() {
             return Err(TuneError::Backend(format!(
                 "evaluator returned {} outcomes for {} candidates",

@@ -41,6 +41,9 @@ pub use chain_nn_fixed as fixed;
 pub use chain_nn_mem as mem;
 /// Network zoo (AlexNet, VGG-16, LeNet, CIFAR-10).
 pub use chain_nn_nets as nets;
+/// Observability: lock-free counters/gauges/histograms, metric
+/// registry, Prometheus-style text rendering.
+pub use chain_nn_obs as obs;
 /// Explorer serving daemon: shared-cache TCP protocol plus the
 /// persistent on-disk DSE cache it serves from.
 pub use chain_nn_serve as serve;

@@ -1,0 +1,231 @@
+//! End-to-end tests of the observability layer against a live daemon
+//! over loopback TCP: the `metrics` snapshot must reconcile with the
+//! client's own tally of the requests it made, and the structured
+//! trace log must report queue-wait separated from execute time for
+//! requests that raced a big sweep. These are the acceptance criteria
+//! of the observability PR.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use chain_nn_repro::dse::{DesignPoint, SweepSpec};
+use chain_nn_repro::serve::protocol::Response;
+use chain_nn_repro::serve::{Client, Server, ServerConfig, ServerReport};
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<ServerReport>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, handle)
+}
+
+fn lenet_grid(pes: Vec<usize>) -> SweepSpec {
+    SweepSpec {
+        pes,
+        freqs_mhz: vec![350.0, 700.0],
+        nets: vec!["lenet".into()],
+        ..SweepSpec::paper_point()
+    }
+}
+
+fn metrics_snapshot(client: &mut Client) -> chain_nn_repro::obs::Snapshot {
+    match client.metrics().expect("metrics round trip") {
+        Response::Metrics { snapshot } => snapshot,
+        other => panic!("expected a metrics reply, got {other:?}"),
+    }
+}
+
+/// The daemon's `metrics` reply must agree with what this client did:
+/// per-type request counters and latency histogram counts match the
+/// tally of requests actually sent, and the latency quantiles are
+/// populated (nonzero, ordered).
+#[test]
+fn metrics_reconcile_with_the_clients_own_request_tally() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    const EVALS: u64 = 5;
+    let point = DesignPoint::paper_alexnet();
+    for _ in 0..EVALS {
+        match client.eval(point.clone()).expect("eval round trip") {
+            Response::Eval { .. } => {}
+            other => panic!("expected an eval reply, got {other:?}"),
+        }
+    }
+    let grid = lenet_grid(vec![25, 50, 100]);
+    for _ in 0..2 {
+        match client.sweep(grid.clone()).expect("sweep round trip") {
+            Response::Sweep(_) => {}
+            other => panic!("expected a sweep reply, got {other:?}"),
+        }
+    }
+    let stats = match client.stats().expect("stats round trip") {
+        Response::Stats(stats) => stats,
+        other => panic!("expected a stats reply, got {other:?}"),
+    };
+    // Satellite: stats now reports uptime and in-flight jobs from the
+    // registry (the stats request itself is in flight as it is served).
+    assert!(stats.uptime_s > 0.0, "uptime_s = {}", stats.uptime_s);
+    assert!(stats.inflight_requests >= 1, "{}", stats.inflight_requests);
+    assert_eq!(stats.requests, EVALS + 2 + 1);
+
+    let snapshot = metrics_snapshot(&mut client);
+    let eval_labels: &[(&str, &str)] = &[("type", "eval")];
+    assert_eq!(
+        snapshot.counter("serve_requests_total", eval_labels),
+        Some(EVALS)
+    );
+    assert_eq!(
+        snapshot.counter("serve_requests_total", &[("type", "sweep")]),
+        Some(2)
+    );
+    assert_eq!(
+        snapshot.counter("serve_requests_total", &[("type", "stats")]),
+        Some(1)
+    );
+    let latency = snapshot
+        .histogram("serve_request_ns", eval_labels)
+        .expect("eval latency histogram");
+    assert_eq!(latency.count, EVALS);
+    assert!(latency.p50 > 0.0, "p50 = {}", latency.p50);
+    assert!(latency.p99 >= latency.p50, "{latency:?}");
+    let sweep_latency = snapshot
+        .histogram("serve_request_ns", &[("type", "sweep")])
+        .expect("sweep latency histogram");
+    assert_eq!(sweep_latency.count, 2);
+    // Scheduler-side reconciliation: every submitted point was counted
+    // (5 one-point evals + two sweeps of the same 6-point grid; warm
+    // points still pass through the scheduler).
+    assert_eq!(
+        snapshot.counter("sched_points_total", &[]),
+        Some(EVALS + 2 * grid.len() as u64)
+    );
+    // Per-job cache traffic folded into the registry: the second sweep
+    // and the repeated evals were answered from the cache.
+    let hits = snapshot
+        .counter("serve_cache_hits_total", &[])
+        .expect("hits");
+    assert!(hits >= EVALS - 1 + grid.len() as u64, "hits = {hits}");
+
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+}
+
+/// Pulls the integer value of `"key":N` out of a hand-rolled trace
+/// line (every traced field is a bare integer).
+fn trace_field(line: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag).unwrap_or_else(|| panic!("{key} in {line}"));
+    line[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+/// Evals racing a big sweep on a single worker thread: the trace log
+/// reports, for every request, queue-wait and execute as separate
+/// fields — and the evals demonstrably waited (their summed queue-wait
+/// is nonzero) while the sweep demonstrably executed.
+#[test]
+fn trace_log_separates_queue_wait_from_execute_for_evals_racing_a_sweep() {
+    let dir = std::env::temp_dir().join(format!("chain-nn-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path: PathBuf = dir.join("trace.jsonl");
+    let (addr, daemon) = start(ServerConfig {
+        threads: 1,
+        trace_log: Some(trace_path.clone()),
+        ..ServerConfig::default()
+    });
+
+    let sweep_done = AtomicBool::new(false);
+    let evals_sent = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut sweeper = Client::connect(addr).expect("connect sweeper");
+            // One big cold sweep: enough points to keep the single
+            // worker busy while the evals arrive.
+            let grid = SweepSpec {
+                pes: (16..=1024).collect(),
+                freqs_mhz: vec![350.0, 700.0],
+                nets: vec!["lenet".into()],
+                ..SweepSpec::paper_point()
+            };
+            match sweeper.sweep(grid).expect("sweep round trip") {
+                Response::Sweep(_) => {}
+                other => panic!("expected a sweep reply, got {other:?}"),
+            }
+            sweep_done.store(true, Ordering::SeqCst);
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let mut sent = 0u64;
+        // Distinct cold points so each eval is a real job in the
+        // rotation, not a cache hit; keep going until the sweep is
+        // over so some evals certainly overlapped it.
+        while !sweep_done.load(Ordering::SeqCst) || sent < 5 {
+            let point = DesignPoint {
+                pes: 20 + sent as usize,
+                ..DesignPoint::paper_alexnet()
+            };
+            match client.eval(point).expect("eval round trip") {
+                Response::Eval { .. } => sent += 1,
+                other => panic!("expected an eval reply, got {other:?}"),
+            }
+        }
+        sent
+    });
+
+    // Cross-check against the daemon's histograms before shutdown: the
+    // per-type queue-wait and execute families counted every job, and
+    // the evals' collective queue wait is real (nonzero nanoseconds).
+    let mut client = Client::connect(addr).expect("connect");
+    let snapshot = metrics_snapshot(&mut client);
+    let eval_labels: &[(&str, &str)] = &[("type", "eval")];
+    let queue_wait = snapshot
+        .histogram("serve_queue_wait_ns", eval_labels)
+        .expect("eval queue-wait histogram");
+    let execute = snapshot
+        .histogram("serve_execute_ns", eval_labels)
+        .expect("eval execute histogram");
+    assert_eq!(queue_wait.count, evals_sent);
+    assert_eq!(execute.count, evals_sent);
+    assert!(queue_wait.sum > 0, "evals never waited: {queue_wait:?}");
+    assert!(execute.sum > 0, "evals never executed: {execute:?}");
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+
+    // The trace log carries the same separation per request.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file");
+    let eval_lines: Vec<&str> = trace
+        .lines()
+        .filter(|l| l.contains("\"type\":\"eval\""))
+        .collect();
+    let sweep_lines: Vec<&str> = trace
+        .lines()
+        .filter(|l| l.contains("\"type\":\"sweep\""))
+        .collect();
+    assert_eq!(eval_lines.len() as u64, evals_sent, "{trace}");
+    assert_eq!(sweep_lines.len(), 1, "{trace}");
+    for line in trace.lines() {
+        let queue_wait_us = trace_field(line, "queue_wait_us");
+        let execute_us = trace_field(line, "execute_us");
+        let total_us = trace_field(line, "total_us");
+        assert!(
+            queue_wait_us + execute_us <= total_us + 1,
+            "phases exceed the request total: {line}"
+        );
+    }
+    // The big sweep spent real time executing, and each trace line
+    // identifies its request and job count.
+    assert!(
+        trace_field(sweep_lines[0], "execute_us") > 0,
+        "{}",
+        sweep_lines[0]
+    );
+    assert_eq!(trace_field(sweep_lines[0], "jobs"), 1);
+    assert_eq!(trace_field(eval_lines[0], "points"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
