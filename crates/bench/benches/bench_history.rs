@@ -1,0 +1,160 @@
+//! The bench-history runner: quick, machine-readable measurements of
+//! the DSE engine and the serving daemon, appended to `BENCH_dse.json`
+//! / `BENCH_serve.json` at the repo root and gated against the
+//! checked-in baselines under `crates/bench/baselines/`.
+//!
+//! Run via `scripts/bench-history.sh` (or `cargo bench -p
+//! chain-nn-bench --bench bench_history`). The process exits nonzero
+//! when the regression gate trips. `CHAIN_NN_BENCH_TOLERANCE`
+//! overrides the relative tolerance (default 3.0 — CI runners vary
+//! wildly, so the CI gate only catches order-of-magnitude cliffs; the
+//! tight-gate behavior is asserted in `history`'s unit tests).
+
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use chain_nn_bench::history::{self, BenchRecord};
+use chain_nn_dse::{executor, PointCache, SweepSpec};
+use chain_nn_serve::server::{Server, ServerConfig};
+use chain_nn_serve::{Client, Response};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn now_s() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn record(bench: &str, metric: &str, value: f64, unit: &str) -> BenchRecord {
+    BenchRecord {
+        bench: bench.to_owned(),
+        metric: metric.to_owned(),
+        value,
+        unit: unit.to_owned(),
+        timestamp_s: now_s(),
+    }
+}
+
+/// DSE-engine measurements: sustained evaluation throughput and the
+/// cold-cache sweep wall clock (best-of-N — noise only adds time).
+fn measure_dse() -> Vec<BenchRecord> {
+    let spec = SweepSpec {
+        pes: (128..=512).step_by(128).collect(),
+        freqs_mhz: vec![700.0],
+        ..SweepSpec::paper_point()
+    };
+    let points = spec.points();
+    let threads = executor::default_threads();
+    let rate = executor::throughput(&points, threads, 5_000).expect("throughput probe");
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let cache = PointCache::new();
+        let started = Instant::now();
+        executor::run(&points, threads, &cache).expect("sweep runs");
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    vec![
+        record("dse/points_per_sec", "points_per_sec", rate, "points/s"),
+        record("dse/sweep_wall", "best_secs", best, "secs"),
+    ]
+}
+
+/// Daemon measurements over a real TCP session: cache-hit eval round
+/// trips (mean µs) and a small cold sweep's wall clock.
+fn measure_serve() -> Vec<BenchRecord> {
+    let server = Server::bind(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+    let mut client = Client::connect(addr).expect("connect");
+
+    let sweep = SweepSpec {
+        pes: (64..=320).step_by(64).collect(),
+        nets: vec!["lenet".to_owned()],
+        ..SweepSpec::paper_point()
+    };
+    let started = Instant::now();
+    let Response::Sweep(summary) = client.sweep(sweep).expect("sweep") else {
+        panic!("expected a sweep summary");
+    };
+    let sweep_secs = started.elapsed().as_secs_f64();
+    assert!(summary.points > 0);
+
+    // Warm the eval path, then measure cache-hit round trips.
+    let point = chain_nn_dse::DesignPoint::paper_alexnet();
+    client.eval(point.clone()).expect("warmup eval");
+    let rounds = 50;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let Response::Eval { .. } = client.eval(point.clone()).expect("eval") else {
+            panic!("expected an eval reply");
+        };
+    }
+    let eval_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(rounds);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    vec![
+        record("serve/eval_round_trip", "mean_us", eval_us, "us"),
+        record("serve/sweep_wall", "best_secs", sweep_secs, "secs"),
+    ]
+}
+
+/// Appends one suite's records to its history file and gates them
+/// against the checked-in baseline. Returns the failures.
+fn run_suite(name: &str, records: Vec<BenchRecord>, root: &Path, tolerance: f64) -> Vec<String> {
+    let history_path = root.join(format!("BENCH_{name}.json"));
+    history::append(&history_path, &records).expect("append history");
+    for r in &records {
+        println!("{}/{}: {:.3} {}", r.bench, r.metric, r.value, r.unit);
+    }
+    let baseline_path = root.join(format!("crates/bench/baselines/BASELINE_{name}.json"));
+    let baseline = history::load(&baseline_path);
+    if baseline.is_empty() {
+        println!("bench-history[{name}]: no baseline at {baseline_path:?}; gate skipped");
+        return Vec::new();
+    }
+    let verdict = history::gate(&records, &baseline, tolerance);
+    println!(
+        "bench-history[{name}]: {} of {} baseline metrics checked, {} regressions",
+        verdict.checked,
+        baseline.len(),
+        verdict.failures.len()
+    );
+    verdict.failures
+}
+
+fn main() {
+    let tolerance = std::env::var("CHAIN_NN_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(3.0);
+    let root = repo_root();
+    let mut failures = Vec::new();
+    failures.extend(run_suite("dse", measure_dse(), &root, tolerance));
+    failures.extend(run_suite("serve", measure_serve(), &root, tolerance));
+    // Paranoia: the freshly-appended lines must parse back — the whole
+    // point of the history is machine readability.
+    for name in ["dse", "serve"] {
+        let loaded = history::load(&root.join(format!("BENCH_{name}.json")));
+        assert!(!loaded.is_empty(), "BENCH_{name}.json must parse");
+    }
+    if !failures.is_empty() {
+        eprintln!("bench-history: regression gate FAILED");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench-history: regression gate passed (tolerance {tolerance})");
+}

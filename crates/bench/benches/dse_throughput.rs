@@ -104,6 +104,65 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sampler overhead guard: the cold sweep with a background thread
+/// snapshotting the process-global registry every 10 ms (the daemon's
+/// time-series sampler, sped up 25×) vs no sampler must stay within
+/// 3%. A snapshot clones the registry's maps under its lock, so this
+/// guards the only way the sampler could tax the evaluation hot path —
+/// lock contention with the executor's metric records.
+fn bench_sampler_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse/sampler_overhead");
+    g.sample_size(10);
+    let points = sweep_spec().points();
+    let threads = executor::default_threads();
+    g.throughput(Throughput::Elements(points.len() as u64));
+    let sweep_secs = |samples: usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let cache = PointCache::new();
+            let started = std::time::Instant::now();
+            black_box(executor::run(&points, threads, &cache).unwrap());
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let _ = sweep_secs(2); // warm spawn paths
+    let without = sweep_secs(10);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let with = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut series =
+                chain_nn_obs::timeseries::TimeSeries::new(std::time::Duration::from_millis(10), 64);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                series.sample(chain_nn_obs::global());
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+        let with = sweep_secs(10);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        with
+    });
+    let overhead = with / without - 1.0;
+    println!(
+        "dse/sampler_overhead: sampling {:.3} ms, idle {:.3} ms, overhead {:+.2}%",
+        with * 1e3,
+        without * 1e3,
+        overhead * 1e2
+    );
+    assert!(
+        overhead < 0.03,
+        "sampler overhead {:.2}% exceeds the 3% guard",
+        overhead * 1e2
+    );
+    g.bench_function("sampled_cold_cache", |b| {
+        b.iter(|| {
+            let cache = PointCache::new();
+            black_box(executor::run(&points, threads, &cache).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn bench_cache_hit_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("dse/cache_hits");
     let spec = sweep_spec();
@@ -121,6 +180,7 @@ criterion_group!(
     bench_points_per_sec,
     bench_sweep_wall_clock,
     bench_obs_overhead,
+    bench_sampler_overhead,
     bench_cache_hit_path
 );
 criterion_main!(benches);

@@ -1,0 +1,301 @@
+//! Machine-readable bench history and the regression gate.
+//!
+//! `scripts/bench-history.sh` (driving the `bench_history` bench
+//! target) appends one JSON line per measurement to `BENCH_dse.json` /
+//! `BENCH_serve.json` at the repo root, then compares the fresh run
+//! against the checked-in baselines under `crates/bench/baselines/`
+//! with a relative tolerance. The history files accumulate across
+//! runs — each line is self-contained — so a slowdown shows up both as
+//! a gate failure *now* and as a visible step in the series *later*.
+//!
+//! The gate direction comes from the metric name: `*_per_sec` means
+//! higher is better, time-suffixed metrics (`*_secs`, `*_ms`, `*_us`,
+//! `*_ns`) mean lower is better.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One bench measurement, one JSON line in a history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Bench identifier, e.g. `dse/sweep_wall`.
+    pub bench: String,
+    /// Metric name; its suffix decides the gate direction.
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label, e.g. `secs` or `points/s` (informational).
+    pub unit: String,
+    /// Unix seconds when the measurement was taken.
+    pub timestamp_s: u64,
+}
+
+impl BenchRecord {
+    /// Encodes one history line (no trailing newline). Names are
+    /// straight identifiers, so no JSON escaping is needed — enforced
+    /// by debug assertion.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        debug_assert!(
+            !self.bench.contains('"') && !self.metric.contains('"') && !self.unit.contains('"'),
+            "bench record fields must not need escaping"
+        );
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"metric\":\"{}\",\"value\":{},\"unit\":\"{}\",\"timestamp_s\":{}}}",
+            self.bench, self.metric, self.value, self.unit, self.timestamp_s
+        );
+        s
+    }
+
+    /// Parses one history line; `None` for anything malformed (a
+    /// corrupt line invalidates itself, not the file).
+    #[must_use]
+    pub fn parse(line: &str) -> Option<BenchRecord> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        Some(BenchRecord {
+            bench: field_str(line, "bench")?,
+            metric: field_str(line, "metric")?,
+            value: field_num(line, "value")?,
+            unit: field_str(line, "unit")?,
+            timestamp_s: field_num(line, "timestamp_s")? as u64,
+        })
+    }
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Appends records to a history file, one JSON line each, creating the
+/// file if needed.
+///
+/// # Errors
+///
+/// File I/O failures.
+pub fn append(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.encode());
+        out.push('\n');
+    }
+    file.write_all(out.as_bytes())
+}
+
+/// Loads every parseable record from a history file; a missing file is
+/// an empty history.
+#[must_use]
+pub fn load(path: &Path) -> Vec<BenchRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(BenchRecord::parse).collect()
+}
+
+/// Which way a metric improves, derived from its name suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style metrics (`*_per_sec`): bigger is better.
+    HigherIsBetter,
+    /// Time-style metrics (`*_secs`, `*_ms`, `*_us`, `*_ns`): smaller
+    /// is better.
+    LowerIsBetter,
+}
+
+/// Maps a metric name to its gate direction. Unknown suffixes default
+/// to lower-is-better — the conservative choice for a latency-shaped
+/// unknown.
+#[must_use]
+pub fn direction_for(metric: &str) -> Direction {
+    if metric.ends_with("_per_sec") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// The gate's verdict: which (bench, metric) pairs regressed past the
+/// tolerance, and how many were checked at all.
+#[derive(Debug, Default)]
+pub struct GateResult {
+    /// Human-readable description of each regression.
+    pub failures: Vec<String>,
+    /// Baseline entries that had a matching current measurement.
+    pub checked: usize,
+}
+
+impl GateResult {
+    /// Whether the gate passed (no regression beyond tolerance).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares the newest current measurement of every baseline
+/// (bench, metric) pair against the baseline value. `tolerance` is the
+/// allowed relative slack: with 0.5, a lower-is-better metric may be
+/// up to 1.5× the baseline (and a higher-is-better one as low as
+/// baseline / 1.5) before it counts as a regression. Pairs missing
+/// from `current` are not failures — a partial run gates what it ran.
+#[must_use]
+pub fn gate(current: &[BenchRecord], baseline: &[BenchRecord], tolerance: f64) -> GateResult {
+    let mut result = GateResult::default();
+    let allowed = 1.0 + tolerance.max(0.0);
+    for base in baseline {
+        // Newest current record wins: the history file accumulates.
+        let Some(now) = current
+            .iter()
+            .rev()
+            .find(|r| r.bench == base.bench && r.metric == base.metric)
+        else {
+            continue;
+        };
+        result.checked += 1;
+        let regressed = match direction_for(&base.metric) {
+            Direction::LowerIsBetter => now.value > base.value * allowed,
+            Direction::HigherIsBetter => now.value < base.value / allowed,
+        };
+        if regressed {
+            result.failures.push(format!(
+                "{}/{}: {} {} vs baseline {} (tolerance {:.0}%)",
+                base.bench,
+                base.metric,
+                now.value,
+                now.unit,
+                base.value,
+                tolerance * 100.0
+            ));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bench: &str, metric: &str, value: f64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_owned(),
+            metric: metric.to_owned(),
+            value,
+            unit: "secs".to_owned(),
+            timestamp_s: 1_700_000_000,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_line_format() {
+        let r = BenchRecord {
+            bench: "dse/sweep_wall".to_owned(),
+            metric: "best_secs".to_owned(),
+            value: 0.0625,
+            unit: "secs".to_owned(),
+            timestamp_s: 1_754_000_000,
+        };
+        let line = r.encode();
+        assert!(line.starts_with("{\"bench\":\"dse/sweep_wall\""), "{line}");
+        assert_eq!(BenchRecord::parse(&line), Some(r));
+        // Corrupt lines invalidate themselves, not the file.
+        assert_eq!(BenchRecord::parse("not json"), None);
+        assert_eq!(BenchRecord::parse("{\"bench\":\"x\"}"), None);
+    }
+
+    #[test]
+    fn append_and_load_accumulate_history() {
+        let path = std::env::temp_dir().join(format!(
+            "chain-nn-bench-history-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        append(&path, &[record("a", "x_secs", 1.0)]).unwrap();
+        append(&path, &[record("a", "x_secs", 2.0)]).unwrap();
+        let loaded = load(&path);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[1].value, 2.0);
+        std::fs::remove_file(&path).ok();
+        assert!(load(&path).is_empty(), "missing file is empty history");
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_on_a_2x_slowdown() {
+        let baseline = [
+            record("dse/sweep_wall", "best_secs", 1.0),
+            record("dse/points_per_sec", "points_per_sec", 1000.0),
+        ];
+        // Within 50% tolerance on both axes: pass.
+        let ok = gate(
+            &[
+                record("dse/sweep_wall", "best_secs", 1.4),
+                record("dse/points_per_sec", "points_per_sec", 800.0),
+            ],
+            &baseline,
+            0.5,
+        );
+        assert!(ok.passed(), "{:?}", ok.failures);
+        assert_eq!(ok.checked, 2);
+
+        // An injected 2× slowdown trips the gate in both directions.
+        let slow = gate(
+            &[
+                record("dse/sweep_wall", "best_secs", 2.0),
+                record("dse/points_per_sec", "points_per_sec", 500.0),
+            ],
+            &baseline,
+            0.5,
+        );
+        assert!(!slow.passed());
+        assert_eq!(slow.failures.len(), 2, "{:?}", slow.failures);
+        assert!(slow.failures[0].contains("dse/sweep_wall"));
+
+        // The newest measurement of a pair is what gates: an old slow
+        // record followed by a fast one passes.
+        let recovered = gate(
+            &[
+                record("dse/sweep_wall", "best_secs", 9.0),
+                record("dse/sweep_wall", "best_secs", 1.0),
+            ],
+            &baseline,
+            0.5,
+        );
+        assert!(recovered.passed(), "{:?}", recovered.failures);
+
+        // Baselines with no current measurement are skipped, not failed.
+        let partial = gate(&[], &baseline, 0.5);
+        assert!(partial.passed());
+        assert_eq!(partial.checked, 0);
+    }
+
+    #[test]
+    fn direction_comes_from_the_metric_suffix() {
+        assert_eq!(direction_for("points_per_sec"), Direction::HigherIsBetter);
+        for lower in ["best_secs", "eval_us", "flush_ns", "wall_ms", "mystery"] {
+            assert_eq!(direction_for(lower), Direction::LowerIsBetter, "{lower}");
+        }
+    }
+}

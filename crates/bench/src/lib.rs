@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod history;
 
 use std::fmt::Write as _;
 

@@ -65,6 +65,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "compact" => compact_cmd(&Flags::parse(rest)?),
         "serve" => serve_cmd(&Flags::parse(rest)?),
         "query" => query_cmd(rest),
+        "top" => top_cmd(&Flags::parse(rest)?),
         "perf" => perf_cmd(&Flags::parse(rest)?),
         "traffic" => traffic_cmd(&Flags::parse(rest)?),
         "power" => power_cmd(&Flags::parse(rest)?),
@@ -141,7 +142,8 @@ auto-tuner:
 explorer daemon:
   serve    [--port 7878] [--host 127.0.0.1] [--threads N] [--queue 16]
            [--max-connections 64] [--cache-cap POINTS] [--cache-file FILE]
-           [--trace-log FILE]
+           [--trace-log FILE] [--trace-cap-mb 64] [--slow-log-us N]
+           [--sample-interval-ms 250] [--slo eval:p99_us=500,...]
            long-lived explorer sharing one memo cache across clients
            over a line-delimited JSON protocol; --cache-file persists
            evaluations across restarts (loaded at startup, appended on
@@ -149,16 +151,27 @@ explorer daemon:
            busy at the accept loop beyond the bound; --cache-cap bounds
            the in-memory cache (FIFO eviction of flushed entries);
            --trace-log appends one JSON line per completed request
-           (id, type, status, per-phase timings: docs/OBSERVABILITY.md)
+           (id, type, status, per-phase timings), rotating to FILE.1
+           at --trace-cap-mb; --slow-log-us flags requests at or over
+           the threshold with \"slow\":true; a sampler thread snapshots
+           the metrics every --sample-interval-ms into a history ring
+           (metrics_history / watch / top), and --slo adds latency
+           objectives evaluated each tick (docs/OBSERVABILITY.md)
   query    [--port 7878] [--host 127.0.0.1] REQUEST [--text]
            send one request to a running daemon and print the reply;
            REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
-           bare word shorthand: stats | metrics | frontier | frontier2 |
-           frontier-sqnr | frontier-stream | shutdown | eval (the
-           paper point); streaming replies (tune_frontier, frontier
-           with stream:true) are drained line by line; `query metrics
-           --text` renders the snapshot as Prometheus-style text; the
-           full wire reference is docs/PROTOCOL.md
+           bare word shorthand: stats | metrics | metrics-history |
+           frontier | frontier2 | frontier-sqnr | frontier-stream |
+           watch | shutdown | eval (the paper point); streaming replies
+           (tune_frontier, frontier with stream:true, watch) are
+           drained line by line; `query metrics --text` renders the
+           snapshot as Prometheus-style text; the full wire reference
+           is docs/PROTOCOL.md
+  top      [--port 7878] [--host 127.0.0.1] [--frames N]
+           live terminal dashboard over the daemon's watch stream: one
+           frame per sampler tick (req/s, per-type p50/p99, queue-wait
+           vs execute split, in-flight, queue depth, cache hit rate);
+           --frames N stops after N frames (0 = until daemon shutdown)
 "
     .to_owned()
 }
@@ -771,6 +784,16 @@ fn serve_cmd(flags: &Flags) -> CmdResult {
         cache_capacity: opt_flag(flags, "cache-cap")?,
         cache_file: flags.get_str("cache-file").map(std::path::PathBuf::from),
         trace_log: flags.get_str("trace-log").map(std::path::PathBuf::from),
+        trace_max_bytes: flags.get_or("trace-cap-mb", 64u64)?.max(1) * 1024 * 1024,
+        sample_interval: std::time::Duration::from_millis(
+            flags.get_or("sample-interval-ms", 250u64)?.max(1),
+        ),
+        history_capacity: 256,
+        slos: match flags.get_str("slo") {
+            None => Vec::new(),
+            Some(text) => chain_nn_serve::slo::SloSpec::parse_list(text)?,
+        },
+        slow_log_us: opt_flag(flags, "slow-log-us")?,
     };
     let persistent = config.cache_file.is_some();
     let threads = config.threads;
@@ -820,16 +843,20 @@ fn query_cmd(tokens: &[String]) -> CmdResult {
     let port = flags.get_or("port", 7878u16)?;
     let request = positionals.join(" ");
     if request.is_empty() {
-        return Err("query needs a REQUEST (a JSON object or: stats | metrics | frontier | frontier2 | frontier-sqnr | shutdown | eval)".into());
+        return Err("query needs a REQUEST (a JSON object or: stats | metrics | metrics-history | frontier | frontier2 | frontier-sqnr | frontier-stream | watch | shutdown | eval)".into());
     }
     // Bare-word shorthands for the no-payload requests.
     let line = match request.as_str() {
         "stats" => r#"{"type":"stats"}"#.to_owned(),
         "metrics" => r#"{"type":"metrics"}"#.to_owned(),
+        "metrics-history" => r#"{"type":"metrics_history"}"#.to_owned(),
         "frontier" => r#"{"type":"frontier","dims":3}"#.to_owned(),
         "frontier2" => r#"{"type":"frontier","dims":2}"#.to_owned(),
         "frontier-sqnr" => r#"{"type":"frontier","dims":3,"axes":"sqnr"}"#.to_owned(),
         "frontier-stream" => r#"{"type":"frontier","dims":3,"stream":true}"#.to_owned(),
+        // Bounded so the shorthand terminates; raw JSON with
+        // "samples":0 watches until daemon shutdown.
+        "watch" => r#"{"type":"watch","samples":5}"#.to_owned(),
         "shutdown" => r#"{"type":"shutdown"}"#.to_owned(),
         "eval" => r#"{"type":"eval"}"#.to_owned(),
         other => other.to_owned(),
@@ -859,12 +886,78 @@ fn query_cmd(tokens: &[String]) -> CmdResult {
         }
         match chain_nn_serve::Response::decode(&reply) {
             Ok(chain_nn_serve::Response::TuneFrontierStep(_))
-            | Ok(chain_nn_serve::Response::FrontierStreamEntry { .. }) => {
+            | Ok(chain_nn_serve::Response::FrontierStreamEntry { .. })
+            | Ok(chain_nn_serve::Response::WatchSample(_)) => {
                 reply = client.recv_raw_line()?;
             }
             // done / busy / error / anything unexpected terminates.
             _ => return Ok(out),
         }
+    }
+}
+
+/// One `chain-nn top` dashboard frame rendered from a watch sample.
+fn render_top_frame(sample: &chain_nn_serve::protocol::WatchSample) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "chain-nn top — sample #{} (tick {:.2} s, window {:.2} s)",
+        sample.seq, sample.interval_s, sample.window_s
+    );
+    let _ = writeln!(
+        s,
+        "{:.1} req/s | {:.0} points/s | {} in-flight | {} active jobs | {} queued | \
+         cache hit rate {:.1}% | {} requests total",
+        sample.req_per_sec,
+        sample.points_per_sec,
+        sample.inflight,
+        sample.active_jobs,
+        sample.queue_depth,
+        100.0 * sample.cache_hit_rate,
+        sample.requests_total
+    );
+    let _ = writeln!(
+        s,
+        "queue-wait p99 {:.0} us | execute p99 {:.0} us",
+        sample.queue_wait_p99_us, sample.execute_p99_us
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>12} {:>12}",
+        "type", "requests", "p50(us)", "p99(us)"
+    );
+    for t in &sample.types {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10} {:>12.0} {:>12.0}",
+            t.kind, t.requests, t.p50_us, t.p99_us
+        );
+    }
+    if sample.types.is_empty() {
+        let _ = writeln!(s, "(no traffic in the window)");
+    }
+    s
+}
+
+/// `chain-nn top` — the live dashboard: subscribes to the daemon's
+/// watch stream and redraws one frame per sampler tick.
+fn top_cmd(flags: &Flags) -> CmdResult {
+    let host = flags.get_str("host").unwrap_or("127.0.0.1");
+    let port = flags.get_or("port", 7878u16)?;
+    let frames = flags.get_or("frames", 0u64)?;
+    let mut client = chain_nn_serve::Client::connect((host, port))?;
+    use std::io::Write as _;
+    let done = client.watch(frames, |sample| {
+        // ANSI clear + home between frames: redraw in place, like top.
+        print!("\x1b[2J\x1b[H{}", render_top_frame(sample));
+        let _ = std::io::stdout().flush();
+    })?;
+    match done {
+        chain_nn_serve::Response::WatchDone { samples } => {
+            Ok(format!("watch stream ended after {samples} frames\n"))
+        }
+        chain_nn_serve::Response::Error { message } => Err(message.into()),
+        other => Err(format!("unexpected daemon reply: {other:?}").into()),
     }
 }
 
@@ -1469,6 +1562,12 @@ mod tests {
         let frontier = run(&["query", "--port", &port, "frontier"]);
         assert!(frontier.contains("\"entries\":["), "{frontier}");
 
+        // The windowed-history reply answers even before the first
+        // sampler tick (empty windows, zero rates).
+        let history = run(&["query", "--port", &port, "metrics-history"]);
+        assert!(history.contains("\"windows\":["), "{history}");
+        assert!(history.contains("\"interval_s\":"), "{history}");
+
         // The streaming variant drains one line per entry + done.
         let streamed = run(&["query", "--port", &port, "frontier-stream"]);
         let lines: Vec<&str> = streamed.lines().collect();
@@ -1504,6 +1603,75 @@ mod tests {
     #[test]
     fn query_requires_a_request() {
         assert!(dispatch(&["query".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_malformed_slos() {
+        let err = dispatch(&[
+            "serve".to_owned(),
+            "--slo".to_owned(),
+            "eval:p99=500".to_owned(),
+        ])
+        .expect_err("bad slo spec");
+        assert!(err.to_string().contains("p99_us"), "{err}");
+    }
+
+    #[test]
+    fn top_frame_renders_the_dashboard_fields() {
+        let frame = render_top_frame(&chain_nn_serve::protocol::WatchSample {
+            seq: 12,
+            interval_s: 0.25,
+            window_s: 1.0,
+            req_per_sec: 42.5,
+            points_per_sec: 1360.0,
+            inflight: 2,
+            active_jobs: 3,
+            queue_depth: 1,
+            cache_hit_rate: 0.875,
+            requests_total: 512,
+            queue_wait_p99_us: 180.0,
+            execute_p99_us: 950.0,
+            types: vec![chain_nn_serve::protocol::HistoryTypeWindow {
+                kind: "eval".to_owned(),
+                requests: 40,
+                p50_us: 120.0,
+                p99_us: 800.0,
+            }],
+        });
+        assert!(frame.contains("sample #12"), "{frame}");
+        assert!(frame.contains("42.5 req/s"), "{frame}");
+        assert!(frame.contains("cache hit rate 87.5%"), "{frame}");
+        assert!(frame.contains("queue-wait p99 180 us"), "{frame}");
+        assert!(frame.contains("eval"), "{frame}");
+    }
+
+    #[test]
+    fn top_and_watch_drive_a_live_daemon() {
+        let server = chain_nn_serve::Server::bind(chain_nn_serve::ServerConfig {
+            threads: 2,
+            sample_interval: std::time::Duration::from_millis(20),
+            ..chain_nn_serve::ServerConfig::default()
+        })
+        .expect("bind");
+        let port = server.local_addr().expect("addr").port().to_string();
+        let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+
+        // Some traffic for the dashboard, then two frames off the
+        // stream (the frames themselves print eagerly; the returned
+        // text is the end-of-stream summary).
+        run(&["query", "--port", &port, "eval"]);
+        let out = run(&["top", "--port", &port, "--frames", "2"]);
+        assert!(out.contains("watch stream ended after 2 frames"), "{out}");
+
+        // The bounded query shorthand drains sample lines then done.
+        let watched = run(&["query", "--port", &port, r#"{"type":"watch","samples":2}"#]);
+        let lines: Vec<&str> = watched.lines().collect();
+        assert_eq!(lines.len(), 3, "{watched}");
+        assert!(lines[0].contains("\"seq\":"), "{watched}");
+        assert!(lines[2].contains("\"done\":true"), "{watched}");
+
+        run(&["query", "--port", &port, "shutdown"]);
+        daemon.join().expect("daemon thread");
     }
 
     #[test]

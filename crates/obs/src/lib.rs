@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod timeseries;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -278,6 +280,20 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Bucket-wise saturating difference `self − earlier`: the records
+    /// that arrived *between* two snapshots of the same histogram.
+    /// Because per-bucket counts and sums only grow, the difference of
+    /// two chronological snapshots is itself a valid snapshot of the
+    /// interval — the inverse of [`HistogramSnapshot::merge`], which is
+    /// what the [`timeseries`] sampler builds its windows from.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|b| self.counts[b].saturating_sub(earlier.counts[b])),
+            sums: std::array::from_fn(|b| self.sums[b].saturating_sub(earlier.sums[b])),
+        }
+    }
+
     /// Value at quantile `q` in `[0, 1]`: the mean of the bucket
     /// containing the record of rank `ceil(q * count)`. Exact whenever
     /// that bucket holds a single distinct value (always true for the
@@ -386,6 +402,10 @@ pub enum MetricValue {
 pub struct Snapshot {
     /// All metric instances.
     pub entries: Vec<MetricEntry>,
+    /// Age of the snapshotted registry in seconds (`0.0` for hand-built
+    /// snapshots). [`render_text`] exposes it as `obs_uptime_seconds`;
+    /// merging keeps the older registry's value.
+    pub uptime_s: f64,
 }
 
 impl Snapshot {
@@ -428,17 +448,24 @@ impl Snapshot {
     }
 
     /// Concatenates two snapshots (e.g. a server-private registry plus
-    /// the process-global one) and restores the sort order.
+    /// the process-global one) and restores the sort order. The merged
+    /// uptime is the larger of the two — the older registry.
     #[must_use]
     pub fn merge(mut self, other: Snapshot) -> Snapshot {
         self.entries.extend(other.entries);
         self.entries
             .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.uptime_s = self.uptime_s.max(other.uptime_s);
         self
     }
 }
 
-type Key = (String, Vec<(String, String)>);
+/// Identity of one metric instance: family name plus its label pairs.
+/// Sorted maps keyed on this order instances by `(name, labels)` — the
+/// same order [`Snapshot`] uses.
+pub type MetricKey = (String, Vec<(String, String)>);
+
+type Key = MetricKey;
 
 #[derive(Default)]
 struct Inner {
@@ -574,7 +601,39 @@ impl Registry {
             });
         }
         entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
-        Snapshot { entries }
+        Snapshot {
+            entries,
+            uptime_s: self.uptime().as_secs_f64(),
+        }
+    }
+
+    /// Full-resolution copy of every registered metric — counters and
+    /// gauges by value, histograms with their complete bucket arrays
+    /// (where [`Registry::snapshot`] ships only the
+    /// [`HistogramSummary`] digest). This is what interval differencing
+    /// needs: the [`timeseries`] sampler subtracts two chronological
+    /// raw snapshots bucket-wise to recover the records of the
+    /// interval.
+    #[must_use]
+    pub fn raw_snapshot(&self) -> timeseries::RawSnapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        timeseries::RawSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
     }
 }
 
@@ -584,7 +643,7 @@ impl Default for Registry {
     }
 }
 
-fn key_of(name: &str, labels: &[(&str, &str)]) -> Key {
+pub(crate) fn key_of(name: &str, labels: &[(&str, &str)]) -> Key {
     (
         name.to_owned(),
         labels
@@ -605,11 +664,23 @@ pub fn global() -> &'static Registry {
 /// Renders a snapshot in the Prometheus text exposition style:
 /// counters and gauges as single samples, histograms as summaries with
 /// `quantile` labels plus `_sum`/`_count` samples.
+///
+/// The rendering is order-stable regardless of how the snapshot was
+/// assembled: entries are sorted by `(name, labels)` before rendering
+/// (so gauge families registered lazily, in any order, always print in
+/// the same place), and a nonzero [`Snapshot::uptime_s`] is exposed as
+/// a leading `obs_uptime_seconds` gauge.
 #[must_use]
 pub fn render_text(snapshot: &Snapshot) -> String {
+    let mut entries: Vec<&MetricEntry> = snapshot.entries.iter().collect();
+    entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
     let mut out = String::new();
+    if snapshot.uptime_s > 0.0 {
+        out.push_str("# TYPE obs_uptime_seconds gauge\n");
+        out.push_str(&format!("obs_uptime_seconds {}\n", snapshot.uptime_s));
+    }
     let mut last_family: Option<(&str, &str)> = None;
-    for entry in &snapshot.entries {
+    for entry in entries {
         let kind = match entry.value {
             MetricValue::Counter(_) => "counter",
             MetricValue::Gauge(_) => "gauge",
@@ -869,6 +940,98 @@ mod tests {
         assert_eq!(merged.counter("dse_points_total", &[]), Some(9));
         assert_eq!(merged.entries.len(), 2);
         assert_eq!(merged.entries[0].name, "dse_points_total");
+    }
+
+    #[test]
+    fn snapshot_merge_handles_disjoint_label_sets() {
+        // The same family name carrying different label sets on each
+        // side — the shape of merging a daemon registry (typed serve
+        // families) with the global one. Nothing may collide, vanish,
+        // or land out of order.
+        let a = Registry::new();
+        a.counter_with("req_total", &[("type", "eval")]).add(3);
+        a.counter_with("req_total", &[("type", "sweep")]).add(1);
+        a.histogram_with("lat_ns", &[("type", "eval")]).record(64);
+        let b = Registry::new();
+        b.counter_with("req_total", &[("net", "alexnet")]).add(7);
+        b.counter("req_total").add(11); // unlabelled variant
+        b.histogram_with("lat_ns", &[("type", "tune")]).record(128);
+        let merged = a.snapshot().merge(b.snapshot());
+        assert_eq!(merged.counter("req_total", &[("type", "eval")]), Some(3));
+        assert_eq!(merged.counter("req_total", &[("type", "sweep")]), Some(1));
+        assert_eq!(merged.counter("req_total", &[("net", "alexnet")]), Some(7));
+        assert_eq!(merged.counter("req_total", &[]), Some(11));
+        // A label set present on neither side stays absent (no partial
+        // matching on label subsets).
+        assert_eq!(merged.counter("req_total", &[("type", "tune")]), None);
+        assert_eq!(
+            merged
+                .histogram("lat_ns", &[("type", "eval")])
+                .map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            merged
+                .histogram("lat_ns", &[("type", "tune")])
+                .map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(merged.entries.len(), 6);
+        // Order restored: (name, labels) ascending, unlabelled first
+        // within a family.
+        let keys: Vec<_> = merged
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.labels.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn histogram_delta_since_inverts_merge() {
+        let h = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [1_000u64, 1 << 30] {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 1_000 + (1 << 30));
+        // delta_since is the inverse of merge on chronological pairs...
+        assert_eq!(earlier.merge(&delta), later);
+        // ...saturates rather than wrapping on misuse...
+        assert_eq!(earlier.delta_since(&later).count(), 0);
+        // ...and a no-traffic interval is the empty snapshot.
+        assert_eq!(later.delta_since(&later), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn text_rendering_includes_uptime_and_is_order_stable() {
+        let r = Registry::new();
+        r.gauge("z_last").set(1.0);
+        r.gauge("a_first").set(2.0);
+        let snap = r.snapshot();
+        assert!(snap.uptime_s > 0.0);
+        let text = render_text(&snap);
+        assert!(text.starts_with("# TYPE obs_uptime_seconds gauge\n"));
+        assert!(text.contains("obs_uptime_seconds "));
+        // Gauge families render sorted by name even if the entry order
+        // was scrambled by hand.
+        let mut scrambled = snap.clone();
+        scrambled.entries.reverse();
+        assert_eq!(render_text(&scrambled), text);
+        let a = text.find("a_first 2").expect("a_first rendered");
+        let z = text.find("z_last 1").expect("z_last rendered");
+        assert!(a < z, "gauges out of order:\n{text}");
+        // A hand-built snapshot has no uptime and renders none.
+        let bare = Snapshot::default();
+        assert!(!render_text(&bare).contains("obs_uptime_seconds"));
     }
 
     #[test]

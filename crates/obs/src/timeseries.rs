@@ -1,0 +1,448 @@
+//! Temporal metrics: fixed-interval sampling of a [`Registry`] into
+//! fixed-capacity ring buffers, and windowed rates/quantiles derived
+//! from the deltas.
+//!
+//! A [`Registry`] only ever accumulates: counters and histogram
+//! buckets grow monotonically, so *everything temporal is a
+//! difference of two snapshots*. [`TimeSeries::sample`] takes a
+//! [`RawSnapshot`] (full bucket arrays, not digests) at each tick and
+//! stores the per-interval delta as a [`Sample`]: counter increments,
+//! current gauge values, and bucket-wise histogram differences
+//! ([`HistogramSnapshot::delta_since`]). Because histogram deltas are
+//! themselves valid snapshots, a *window* over the last N intervals is
+//! just their [`HistogramSnapshot::merge`] — the same algebra the
+//! `metrics` reply uses across registries — and windowed p50/p99 fall
+//! out of the ordinary quantile extraction.
+//!
+//! The ring holds a bounded number of samples (default sizing: one
+//! minute of history), so a long-lived daemon's memory is constant.
+//! The sampler itself owns no thread; the serving daemon drives one
+//! from its worker scope and tests drive
+//! [`TimeSeries::sample_after`] deterministically.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::{HistogramSnapshot, MetricKey, Registry};
+
+/// Full-resolution copy of a registry: counters and gauges by value,
+/// histograms with complete bucket arrays. Produced by
+/// [`Registry::raw_snapshot`]; two chronological raw snapshots
+/// subtract into one [`Sample`].
+#[derive(Clone, Debug, Default)]
+pub struct RawSnapshot {
+    /// Counter values by `(name, labels)`.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Gauge values by `(name, labels)`.
+    pub gauges: BTreeMap<MetricKey, f64>,
+    /// Full histogram buckets by `(name, labels)`.
+    pub histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+/// One interval of activity: what happened between two consecutive
+/// sampler ticks.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// 1-based sample number since the sampler started (the baseline
+    /// snapshot is not a sample).
+    pub seq: u64,
+    /// Wall time this interval actually covered (the nominal interval
+    /// plus scheduling jitter).
+    pub elapsed: Duration,
+    /// Counter increments over the interval.
+    pub counter_deltas: BTreeMap<MetricKey, u64>,
+    /// Gauge values at the end of the interval (gauges are sampled,
+    /// not differenced).
+    pub gauges: BTreeMap<MetricKey, f64>,
+    /// Histogram records that arrived during the interval, bucket-wise.
+    pub histogram_deltas: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl Sample {
+    fn delta(seq: u64, elapsed: Duration, prev: &RawSnapshot, next: &RawSnapshot) -> Sample {
+        Sample {
+            seq,
+            elapsed,
+            counter_deltas: next
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(prev.counters.get(k).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            gauges: next.gauges.clone(),
+            histogram_deltas: next
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let earlier = prev.histograms.get(k).cloned().unwrap_or_default();
+                    (k.clone(), h.delta_since(&earlier))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Interval sampler over one registry: a fixed-capacity ring of
+/// [`Sample`]s plus the previous raw snapshot to difference against.
+#[derive(Debug)]
+pub struct TimeSeries {
+    interval: Duration,
+    capacity: usize,
+    prev: Option<(Instant, RawSnapshot)>,
+    ring: VecDeque<Sample>,
+    taken: u64,
+}
+
+impl TimeSeries {
+    /// A sampler with the given nominal tick `interval` and ring
+    /// `capacity` (samples retained; at least 1).
+    #[must_use]
+    pub fn new(interval: Duration, capacity: usize) -> TimeSeries {
+        TimeSeries {
+            interval,
+            capacity: capacity.max(1),
+            prev: None,
+            ring: VecDeque::new(),
+            taken: 0,
+        }
+    }
+
+    /// The nominal tick interval (actual per-sample coverage is in
+    /// [`Sample::elapsed`]).
+    #[must_use]
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Ring capacity in samples.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently retained (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no sample has been retained yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total samples recorded since construction (monotone; unaffected
+    /// by ring eviction). The first [`TimeSeries::sample`] call only
+    /// establishes the baseline, so this stays 0 until the second.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.taken
+    }
+
+    /// The newest sample, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&Sample> {
+        self.ring.back()
+    }
+
+    /// Takes one tick: raw-snapshots `registry`, differences it against
+    /// the previous raw snapshot, and pushes the delta into the ring
+    /// (evicting the oldest sample at capacity). The first call records
+    /// the baseline and emits nothing. Returns [`TimeSeries::seq`].
+    pub fn sample(&mut self, registry: &Registry) -> u64 {
+        let elapsed = self
+            .prev
+            .as_ref()
+            .map_or(Duration::ZERO, |(at, _)| at.elapsed());
+        self.tick(registry, elapsed)
+    }
+
+    /// [`TimeSeries::sample`] with the interval coverage supplied by
+    /// the caller instead of measured from the wall clock — the
+    /// deterministic entry point for tests and replay.
+    pub fn sample_after(&mut self, registry: &Registry, elapsed: Duration) -> u64 {
+        self.tick(registry, elapsed)
+    }
+
+    fn tick(&mut self, registry: &Registry, elapsed: Duration) -> u64 {
+        let raw = registry.raw_snapshot();
+        if let Some((_, prev)) = self.prev.take() {
+            self.taken += 1;
+            let sample = Sample::delta(self.taken, elapsed, &prev, &raw);
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(sample);
+        }
+        self.prev = Some((Instant::now(), raw));
+        self.taken
+    }
+
+    /// Merges the newest samples until at least `duration` of coverage
+    /// is accumulated (or the ring is exhausted). A zero `duration`
+    /// yields the newest sample alone.
+    #[must_use]
+    pub fn window(&self, duration: Duration) -> Window {
+        let mut n = 0;
+        let mut covered = Duration::ZERO;
+        for sample in self.ring.iter().rev() {
+            n += 1;
+            covered += sample.elapsed;
+            if covered >= duration {
+                break;
+            }
+        }
+        self.window_samples(n.max(1))
+    }
+
+    /// Merges the newest `n` samples (clamped to what the ring holds)
+    /// into one [`Window`]: counter deltas add, histogram deltas merge
+    /// bucket-wise, gauges come from the newest sample.
+    #[must_use]
+    pub fn window_samples(&self, n: usize) -> Window {
+        let mut window = Window {
+            duration: Duration::ZERO,
+            samples: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        for sample in self.ring.iter().rev().take(n.max(1)) {
+            if window.samples == 0 {
+                window.gauges = sample.gauges.clone();
+            }
+            window.samples += 1;
+            window.duration += sample.elapsed;
+            for (k, &v) in &sample.counter_deltas {
+                *window.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, h) in &sample.histogram_deltas {
+                let entry = window.histograms.entry(k.clone()).or_default();
+                *entry = entry.merge(h);
+            }
+        }
+        window
+    }
+}
+
+/// The last N intervals merged: totals over the window plus the
+/// latest gauge values. Rates divide by the window's actual coverage.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Wall time the window covers (sum of its samples' `elapsed`).
+    pub duration: Duration,
+    /// Samples merged into this window.
+    pub samples: usize,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl Window {
+    /// Counter increment over the window for one exact label set.
+    #[must_use]
+    pub fn counter_delta(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&crate::key_of(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Counter increment summed across every label set of a family —
+    /// e.g. `serve_requests_total` over all request types.
+    #[must_use]
+    pub fn counter_family_delta(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Per-second rate of one counter over the window (0.0 for an
+    /// empty window).
+    #[must_use]
+    pub fn rate(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.per_second(self.counter_delta(name, labels))
+    }
+
+    /// Per-second rate of a whole counter family over the window.
+    #[must_use]
+    pub fn family_rate(&self, name: &str) -> f64 {
+        self.per_second(self.counter_family_delta(name))
+    }
+
+    fn per_second(&self, delta: u64) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 {
+            delta as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The window's merged histogram delta for one exact label set —
+    /// quantiles over it are *windowed* quantiles, not since-boot ones.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.histograms.get(&crate::key_of(name, labels))
+    }
+
+    /// Every label set of a histogram family merged into one windowed
+    /// snapshot (e.g. request latency across all request types).
+    #[must_use]
+    pub fn histogram_family(&self, name: &str) -> HistogramSnapshot {
+        self.histograms
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .fold(HistogramSnapshot::default(), |acc, (_, h)| acc.merge(h))
+    }
+
+    /// Label sets of one histogram family present in the window, in
+    /// `(name, labels)` order.
+    #[must_use]
+    pub fn histogram_labels(&self, name: &str) -> Vec<&MetricKey> {
+        self.histograms.keys().filter(|(n, _)| n == name).collect()
+    }
+
+    /// Gauge value at the window's newest sample.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&crate::key_of(name, labels)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(250);
+
+    #[test]
+    fn samples_carry_interval_deltas_not_totals() {
+        let r = Registry::new();
+        let c = r.counter_with("req_total", &[("type", "eval")]);
+        let h = r.histogram("lat_ns");
+        let g = r.gauge("inflight");
+        let mut ts = TimeSeries::new(TICK, 8);
+
+        c.add(5);
+        h.record(1_000);
+        g.set(2.0);
+        assert_eq!(ts.sample_after(&r, TICK), 0, "first tick is the baseline");
+        assert!(ts.is_empty());
+
+        c.add(3);
+        h.record(1_000_000);
+        h.record(1_000_000);
+        g.set(7.0);
+        assert_eq!(ts.sample_after(&r, TICK), 1);
+        let s = ts.latest().expect("one sample");
+        assert_eq!(s.seq, 1);
+        assert_eq!(s.elapsed, TICK);
+        let key = (
+            "req_total".to_owned(),
+            vec![("type".to_owned(), "eval".to_owned())],
+        );
+        assert_eq!(s.counter_deltas[&key], 3, "delta, not the total 8");
+        let hd = &s.histogram_deltas[&("lat_ns".to_owned(), vec![])];
+        assert_eq!(hd.count(), 2, "only the interval's records");
+        assert_eq!(hd.sum(), 2_000_000);
+        assert_eq!(s.gauges[&("inflight".to_owned(), vec![])], 7.0);
+
+        // A quiet interval is all zeros.
+        assert_eq!(ts.sample_after(&r, TICK), 2);
+        assert_eq!(ts.latest().unwrap().counter_deltas[&key], 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_is_monotone() {
+        let r = Registry::new();
+        let c = r.counter("ticks_total");
+        let mut ts = TimeSeries::new(TICK, 3);
+        ts.sample_after(&r, TICK); // baseline
+        for _ in 0..10 {
+            c.inc();
+            ts.sample_after(&r, TICK);
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.capacity(), 3);
+        assert_eq!(ts.seq(), 10);
+        assert_eq!(ts.latest().unwrap().seq, 10);
+        // The ring evicted the oldest samples but kept the newest 3.
+        let seqs: Vec<u64> = ts.ring.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn windows_merge_deltas_and_derive_rates_and_quantiles() {
+        let r = Registry::new();
+        let c = r.counter_with("serve_requests_total", &[("type", "eval")]);
+        let h = r.histogram_with("serve_request_ns", &[("type", "eval")]);
+        let mut ts = TimeSeries::new(TICK, 16);
+        ts.sample_after(&r, TICK); // baseline
+
+        // Interval 1: 10 fast requests; interval 2: 10 slow ones.
+        for _ in 0..10 {
+            c.inc();
+            h.record(1_000);
+        }
+        ts.sample_after(&r, TICK);
+        for _ in 0..10 {
+            c.inc();
+            h.record(1_000_000);
+        }
+        ts.sample_after(&r, TICK);
+
+        // One-sample window: only the slow interval.
+        let w1 = ts.window_samples(1);
+        assert_eq!(w1.samples, 1);
+        assert_eq!(
+            w1.counter_delta("serve_requests_total", &[("type", "eval")]),
+            10
+        );
+        assert_eq!(w1.rate("serve_requests_total", &[("type", "eval")]), 40.0);
+        let h1 = w1
+            .histogram("serve_request_ns", &[("type", "eval")])
+            .expect("windowed histogram");
+        assert_eq!(h1.quantile(0.50), 1_000_000.0);
+
+        // Two-sample window: the merged distribution straddles both.
+        let w2 = ts.window(Duration::from_millis(500));
+        assert_eq!(w2.samples, 2);
+        assert_eq!(w2.duration, 2 * TICK);
+        assert_eq!(w2.counter_family_delta("serve_requests_total"), 20);
+        assert_eq!(w2.family_rate("serve_requests_total"), 40.0);
+        let h2 = w2
+            .histogram("serve_request_ns", &[("type", "eval")])
+            .expect("windowed histogram");
+        assert_eq!(h2.count(), 20);
+        assert_eq!(h2.quantile(0.50), 1_000.0);
+        assert_eq!(h2.quantile(0.99), 1_000_000.0);
+        // The family view merges label sets (only one here).
+        assert_eq!(w2.histogram_family("serve_request_ns").count(), 20);
+        assert_eq!(w2.histogram_labels("serve_request_ns").len(), 1);
+
+        // A window larger than history clamps to what the ring holds.
+        assert_eq!(ts.window(Duration::from_secs(60)).samples, 2);
+    }
+
+    #[test]
+    fn families_registered_mid_flight_difference_against_zero() {
+        let r = Registry::new();
+        let mut ts = TimeSeries::new(TICK, 4);
+        ts.sample_after(&r, TICK); // baseline: registry is empty
+        let c = r.counter_with("late_total", &[("type", "sweep")]);
+        c.add(4);
+        r.histogram("late_ns").record(512);
+        ts.sample_after(&r, TICK);
+        let w = ts.window_samples(1);
+        assert_eq!(w.counter_delta("late_total", &[("type", "sweep")]), 4);
+        assert_eq!(w.histogram_family("late_ns").count(), 1);
+    }
+}

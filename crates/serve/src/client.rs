@@ -249,6 +249,39 @@ impl Client {
         self.request(&Request::Metrics)
     }
 
+    /// Fetches the daemon's windowed metrics history (1 s / 10 s / 60 s
+    /// rates and latency quantiles from the sampler ring).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn metrics_history(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::MetricsHistory)
+    }
+
+    /// Subscribes to the daemon's sampler stream: `on_sample` fires
+    /// once per sampler tick as each [`crate::protocol::WatchSample`]
+    /// line arrives. `samples == 0` watches until the daemon shuts
+    /// down. Returns the terminal line ([`Response::WatchDone`] on
+    /// success).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn watch(
+        &mut self,
+        samples: u64,
+        mut on_sample: impl FnMut(&crate::protocol::WatchSample),
+    ) -> Result<Response, ClientError> {
+        self.send(&Request::Watch { samples })?;
+        loop {
+            match self.recv()? {
+                Response::WatchSample(sample) => on_sample(&sample),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+
     /// Asks the daemon to drain, flush and exit.
     ///
     /// # Errors

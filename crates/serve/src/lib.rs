@@ -10,11 +10,14 @@
 //!
 //! * [`protocol`] — typed requests/responses and their wire encoding
 //!   (`eval`, `sweep`, `tune`, `tune_frontier`, `frontier`, `stats`,
-//!   `shutdown`), shared by daemon and client so the two cannot drift.
-//!   `tune_frontier` and `frontier` with `"stream":true` are
-//!   **streaming** requests: N result lines, flushed as each is
-//!   produced, then one `done` line (`docs/PROTOCOL.md` states the
-//!   framing rule).
+//!   `metrics`, `metrics_history`, `watch`, `shutdown`), shared by
+//!   daemon and client so the two cannot drift. `tune_frontier`,
+//!   `frontier` with `"stream":true` and `watch` are **streaming**
+//!   requests: N result lines, flushed as each is produced, then one
+//!   `done` line (`docs/PROTOCOL.md` states the framing rule).
+//! * [`slo`] — latency service-level objectives (`eval:p99_us=500`)
+//!   evaluated every sampler tick over the trailing 10 s window, with
+//!   per-SLO compliance and error-budget gauges in the registry.
 //! * [`scheduler`] — the multi-client generalization of the DSE
 //!   executor: per-request point lists claimed in fixed-size batches,
 //!   round-robin across active requests, bounded admission with an
@@ -70,6 +73,7 @@ pub mod json;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod slo;
 
 pub use client::{Client, ClientError};
 pub use protocol::{Request, Response};

@@ -23,14 +23,16 @@
 //!                                        one entry per line + a done line
 //! {"type":"stats"}                       cache/server counters
 //! {"type":"metrics"}                     full observability snapshot
+//! {"type":"metrics_history"}             windowed rates/quantiles (1s/10s/60s)
+//! {"type":"watch","samples":5}           one sample line per interval, streamed
 //! {"type":"shutdown"}                    drain, flush, exit
 //! ```
 //!
 //! Most requests produce exactly one reply line. The **streaming**
-//! requests (`tune_frontier`, and `frontier` with `"stream":true`)
-//! instead produce N result lines followed by one terminal `done`
-//! line, each flushed as it is produced — see `docs/PROTOCOL.md` for
-//! the framing rule.
+//! requests (`tune_frontier`, `frontier` with `"stream":true`, and
+//! `watch`) instead produce N result lines followed by one terminal
+//! `done` line, each flushed as it is produced — see
+//! `docs/PROTOCOL.md` for the framing rule.
 //!
 //! # Example
 //!
@@ -130,6 +132,19 @@ pub enum Request {
     /// the daemon's registry (request latencies, scheduler batches,
     /// DSE executor, tuner rounds), with p50/p95/p99 per histogram.
     Metrics,
+    /// Windowed view of the daemon's sampled metric history: per-type
+    /// request rates and latency quantiles over the last 1s/10s/60s,
+    /// derived from counter and histogram deltas.
+    MetricsHistory,
+    /// Subscribe to the sampler: a **streaming** request producing one
+    /// [`Response::WatchSample`] line per sampler tick, then one
+    /// [`Response::WatchDone`] line after `samples` ticks (or on
+    /// daemon shutdown).
+    Watch {
+        /// Sample lines to stream before the done line; `0` streams
+        /// until the client disconnects or the daemon shuts down.
+        samples: u64,
+    },
     /// Drain in-flight work, flush the cache file, stop the daemon.
     Shutdown,
 }
@@ -257,6 +272,97 @@ pub struct ServerStats {
     /// Requests currently being handled (parsing, queued or
     /// executing) across all connections.
     pub inflight_requests: usize,
+    /// Jobs queued in the scheduler's batch rotation right now (0 from
+    /// daemons predating the temporal-observability layer).
+    pub queue_depth: usize,
+    /// Latency SLOs the daemon was configured with (0 when none, and
+    /// from pre-SLO daemons).
+    pub slos: usize,
+    /// Sampler ticks on which at least one SLO was out of compliance,
+    /// since daemon start (0 from pre-SLO daemons).
+    pub slo_breach_ticks: u64,
+}
+
+/// Windowed per-request-type statistics, shared by
+/// [`Response::MetricsHistory`] windows and [`Response::WatchSample`]
+/// lines: the request count and latency quantiles observed for one
+/// `type` label over one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryTypeWindow {
+    /// The request type label (`eval`, `sweep`, ...).
+    pub kind: String,
+    /// Requests of this type completed inside the window.
+    pub requests: u64,
+    /// Median request latency over the window, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency over the window, microseconds.
+    pub p99_us: f64,
+}
+
+/// One aggregation window of a [`Response::MetricsHistory`] reply:
+/// deltas over the trailing `window_s` seconds of sampler history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryWindow {
+    /// Nominal window length, seconds (1, 10 or 60).
+    pub window_s: f64,
+    /// Seconds of history actually covered (less than `window_s` on a
+    /// young daemon).
+    pub duration_s: f64,
+    /// Sampler ticks merged into this window.
+    pub samples: usize,
+    /// Requests per second across all types over the window.
+    pub req_per_sec: f64,
+    /// Design points evaluated per second over the window.
+    pub points_per_sec: f64,
+    /// Per-request-type counts and latency quantiles.
+    pub types: Vec<HistoryTypeWindow>,
+}
+
+/// The [`Request::MetricsHistory`] reply: the sampler's windowed view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsHistory {
+    /// Sampler tick interval, seconds.
+    pub interval_s: f64,
+    /// Samples taken since daemon start (monotone; the ring only
+    /// retains the most recent `capacity`).
+    pub samples: u64,
+    /// Ring-buffer capacity in samples.
+    pub capacity: usize,
+    /// Trailing windows, shortest first (1s/10s/60s).
+    pub windows: Vec<HistoryWindow>,
+}
+
+/// One sample line of a streaming [`Request::Watch`]: the live
+/// dashboard row the `chain-nn top` command renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchSample {
+    /// Sampler sequence number (monotone since daemon start).
+    pub seq: u64,
+    /// Seconds the sampled interval actually covered.
+    pub interval_s: f64,
+    /// Seconds the trailing rate/quantile window covered (~1s).
+    pub window_s: f64,
+    /// Requests per second over the window.
+    pub req_per_sec: f64,
+    /// Design points evaluated per second over the window.
+    pub points_per_sec: f64,
+    /// Requests in flight at sample time.
+    pub inflight: u64,
+    /// Jobs admitted and not yet finished at sample time.
+    pub active_jobs: u64,
+    /// Jobs queued in the batch rotation at sample time.
+    pub queue_depth: u64,
+    /// Since-boot cache hit rate at sample time.
+    pub cache_hit_rate: f64,
+    /// Requests served since daemon start (cumulative, so a watcher
+    /// can reconcile the stream against its own tally).
+    pub requests_total: u64,
+    /// 99th-percentile scheduler queue wait over the window, µs.
+    pub queue_wait_p99_us: f64,
+    /// 99th-percentile batch execute time over the window, µs.
+    pub execute_p99_us: f64,
+    /// Per-request-type counts and latency quantiles over the window.
+    pub types: Vec<HistoryTypeWindow>,
 }
 
 /// One daemon reply.
@@ -305,6 +411,16 @@ pub enum Response {
     Metrics {
         /// Every metric instance, sorted by `(name, labels)`.
         snapshot: Snapshot,
+    },
+    /// Windowed sampler history ([`Request::MetricsHistory`] reply).
+    MetricsHistory(Box<MetricsHistory>),
+    /// One sample line of a streaming watch (N of these, flushed as
+    /// the sampler ticks, then one [`Response::WatchDone`]).
+    WatchSample(Box<WatchSample>),
+    /// Terminal line of a streaming watch.
+    WatchDone {
+        /// Sample lines that preceded this line.
+        samples: u64,
     },
     /// Shutdown acknowledged; the daemon exits after this reply.
     Shutdown,
@@ -476,7 +592,9 @@ impl Request {
     pub fn is_streaming(&self) -> bool {
         matches!(
             self,
-            Request::TuneFrontier(_) | Request::Frontier { stream: true, .. }
+            Request::TuneFrontier(_)
+                | Request::Frontier { stream: true, .. }
+                | Request::Watch { .. }
         )
     }
 
@@ -522,6 +640,13 @@ impl Request {
             }
             Request::Stats => Json::Obj(vec![("type".into(), Json::Str("stats".into()))]),
             Request::Metrics => Json::Obj(vec![("type".into(), Json::Str("metrics".into()))]),
+            Request::MetricsHistory => {
+                Json::Obj(vec![("type".into(), Json::Str("metrics_history".into()))])
+            }
+            Request::Watch { samples } => Json::Obj(vec![
+                ("type".into(), Json::Str("watch".into())),
+                ("samples".into(), unum(*samples)),
+            ]),
             Request::Shutdown => Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]),
         };
         json.to_string()
@@ -675,14 +800,66 @@ impl Response {
                     "inflight_requests".into(),
                     unum(st.inflight_requests as u64),
                 ),
+                ("queue_depth".into(), unum(st.queue_depth as u64)),
+                ("slos".into(), unum(st.slos as u64)),
+                ("slo_breach_ticks".into(), unum(st.slo_breach_ticks)),
             ]),
             Response::Metrics { snapshot } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("type".into(), Json::Str("metrics".into())),
+                ("uptime_s".into(), num(snapshot.uptime_s)),
                 (
                     "metrics".into(),
                     Json::Arr(snapshot.entries.iter().map(metric_entry_to_json).collect()),
                 ),
+            ]),
+            Response::MetricsHistory(h) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("metrics_history".into())),
+                ("interval_s".into(), num(h.interval_s)),
+                ("samples".into(), unum(h.samples)),
+                ("capacity".into(), unum(h.capacity as u64)),
+                (
+                    "windows".into(),
+                    Json::Arr(
+                        h.windows
+                            .iter()
+                            .map(|w| {
+                                Json::Obj(vec![
+                                    ("window_s".into(), num(w.window_s)),
+                                    ("duration_s".into(), num(w.duration_s)),
+                                    ("samples".into(), unum(w.samples as u64)),
+                                    ("req_per_sec".into(), num(w.req_per_sec)),
+                                    ("points_per_sec".into(), num(w.points_per_sec)),
+                                    ("types".into(), type_windows_to_json(&w.types)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::WatchSample(s) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("watch".into())),
+                ("seq".into(), unum(s.seq)),
+                ("interval_s".into(), num(s.interval_s)),
+                ("window_s".into(), num(s.window_s)),
+                ("req_per_sec".into(), num(s.req_per_sec)),
+                ("points_per_sec".into(), num(s.points_per_sec)),
+                ("inflight".into(), unum(s.inflight)),
+                ("active_jobs".into(), unum(s.active_jobs)),
+                ("queue_depth".into(), unum(s.queue_depth)),
+                ("cache_hit_rate".into(), num(s.cache_hit_rate)),
+                ("requests_total".into(), unum(s.requests_total)),
+                ("queue_wait_p99_us".into(), num(s.queue_wait_p99_us)),
+                ("execute_p99_us".into(), num(s.execute_p99_us)),
+                ("types".into(), type_windows_to_json(&s.types)),
+            ]),
+            Response::WatchDone { samples } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("watch".into())),
+                ("done".into(), Json::Bool(true)),
+                ("samples".into(), unum(*samples)),
             ]),
             Response::Shutdown => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
@@ -701,6 +878,22 @@ impl Response {
         };
         json.to_string()
     }
+}
+
+fn type_windows_to_json(types: &[HistoryTypeWindow]) -> Json {
+    Json::Arr(
+        types
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str(t.kind.clone())),
+                    ("requests".into(), unum(t.requests)),
+                    ("p50_us".into(), num(t.p50_us)),
+                    ("p99_us".into(), num(t.p99_us)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn metric_entry_to_json(entry: &MetricEntry) -> Json {
@@ -785,6 +978,26 @@ fn metric_entry_from_json(v: &Json) -> Result<MetricEntry, ProtocolError> {
         labels,
         value,
     })
+}
+
+fn type_windows_from_json(v: &Json) -> Result<Vec<HistoryTypeWindow>, ProtocolError> {
+    v.get("types")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("windowed reply needs a 'types' array"))?
+        .iter()
+        .map(|t| {
+            Ok(HistoryTypeWindow {
+                kind: t
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("type window needs a string 'kind'"))?
+                    .to_owned(),
+                requests: get_usize(t, "requests", 0)? as u64,
+                p50_us: get_f64(t, "p50_us", 0.0)?,
+                p99_us: get_f64(t, "p99_us", 0.0)?,
+            })
+        })
+        .collect()
 }
 
 fn get_usize(obj: &Json, key: &str, default: usize) -> Result<usize, ProtocolError> {
@@ -1184,6 +1397,10 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "metrics_history" => Ok(Request::MetricsHistory),
+            "watch" => Ok(Request::Watch {
+                samples: get_usize(&v, "samples", 0)? as u64,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!("unknown request type '{other}'"))),
         }
@@ -1353,6 +1570,9 @@ impl Response {
                 persistent: matches!(v.get("persistent"), Some(Json::Bool(true))),
                 uptime_s: get_f64(&v, "uptime_s", 0.0)?,
                 inflight_requests: get_usize(&v, "inflight_requests", 0)?,
+                queue_depth: get_usize(&v, "queue_depth", 0)?,
+                slos: get_usize(&v, "slos", 0)?,
+                slo_breach_ticks: get_usize(&v, "slo_breach_ticks", 0)? as u64,
             })),
             "metrics" => {
                 let entries = v
@@ -1363,8 +1583,60 @@ impl Response {
                     .map(metric_entry_from_json)
                     .collect::<Result<_, ProtocolError>>()?;
                 Ok(Response::Metrics {
-                    snapshot: Snapshot { entries },
+                    snapshot: Snapshot {
+                        entries,
+                        uptime_s: get_f64(&v, "uptime_s", 0.0)?,
+                    },
                 })
+            }
+            "metrics_history" => {
+                let windows = v
+                    .get("windows")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("metrics_history response needs 'windows'"))?
+                    .iter()
+                    .map(|w| {
+                        Ok(HistoryWindow {
+                            window_s: get_f64(w, "window_s", 0.0)?,
+                            duration_s: get_f64(w, "duration_s", 0.0)?,
+                            samples: get_usize(w, "samples", 0)?,
+                            req_per_sec: get_f64(w, "req_per_sec", 0.0)?,
+                            points_per_sec: get_f64(w, "points_per_sec", 0.0)?,
+                            types: type_windows_from_json(w)?,
+                        })
+                    })
+                    .collect::<Result<_, ProtocolError>>()?;
+                Ok(Response::MetricsHistory(Box::new(MetricsHistory {
+                    interval_s: get_f64(&v, "interval_s", 0.0)?,
+                    samples: get_usize(&v, "samples", 0)? as u64,
+                    capacity: get_usize(&v, "capacity", 0)?,
+                    windows,
+                })))
+            }
+            "watch" => {
+                if matches!(v.get("done"), Some(Json::Bool(true))) {
+                    return Ok(Response::WatchDone {
+                        samples: get_usize(&v, "samples", 0)? as u64,
+                    });
+                }
+                Ok(Response::WatchSample(Box::new(WatchSample {
+                    seq: v
+                        .get("seq")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("watch sample line needs an integer 'seq'"))?,
+                    interval_s: get_f64(&v, "interval_s", 0.0)?,
+                    window_s: get_f64(&v, "window_s", 0.0)?,
+                    req_per_sec: get_f64(&v, "req_per_sec", 0.0)?,
+                    points_per_sec: get_f64(&v, "points_per_sec", 0.0)?,
+                    inflight: get_usize(&v, "inflight", 0)? as u64,
+                    active_jobs: get_usize(&v, "active_jobs", 0)? as u64,
+                    queue_depth: get_usize(&v, "queue_depth", 0)? as u64,
+                    cache_hit_rate: get_f64(&v, "cache_hit_rate", 0.0)?,
+                    requests_total: get_usize(&v, "requests_total", 0)? as u64,
+                    queue_wait_p99_us: get_f64(&v, "queue_wait_p99_us", 0.0)?,
+                    execute_p99_us: get_f64(&v, "execute_p99_us", 0.0)?,
+                    types: type_windows_from_json(&v)?,
+                })))
             }
             "shutdown" => Ok(Response::Shutdown),
             other => Err(bad(format!("unknown response type '{other}'"))),
@@ -1420,6 +1692,9 @@ mod tests {
             },
             Request::Stats,
             Request::Metrics,
+            Request::MetricsHistory,
+            Request::Watch { samples: 0 },
+            Request::Watch { samples: 5 },
             Request::Shutdown,
         ];
         for req in requests {
@@ -1432,7 +1707,9 @@ mod tests {
     #[test]
     fn stats_reply_without_observability_fields_still_decodes() {
         // A daemon predating the observability layer omits `uptime_s`
-        // and `inflight_requests`; the decoder must default them.
+        // and `inflight_requests`; one predating the temporal layer
+        // additionally omits `queue_depth` and the SLO counters. The
+        // decoder must default every one of them.
         let legacy = r#"{"ok":true,"type":"stats","cached_points":10,"hits":7,"misses":3,"hit_rate":0.7,"requests":42,"active_jobs":1,"queue_capacity":16,"open_connections":3,"max_connections":64,"threads":4,"loaded_from_disk":6,"persistent":true}"#;
         match Response::decode(legacy).unwrap() {
             Response::Stats(st) => {
@@ -1440,8 +1717,24 @@ mod tests {
                 assert_eq!(st.requests, 42);
                 assert_eq!(st.uptime_s, 0.0);
                 assert_eq!(st.inflight_requests, 0);
+                assert_eq!(st.queue_depth, 0);
+                assert_eq!(st.slos, 0);
+                assert_eq!(st.slo_breach_ticks, 0);
             }
             other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_reply_without_uptime_still_decodes() {
+        // Pre-temporal daemons omit the snapshot-level `uptime_s`.
+        let legacy = r#"{"ok":true,"type":"metrics","metrics":[]}"#;
+        match Response::decode(legacy).unwrap() {
+            Response::Metrics { snapshot } => {
+                assert_eq!(snapshot.uptime_s, 0.0);
+                assert!(snapshot.entries.is_empty());
+            }
+            other => panic!("expected metrics, got {other:?}"),
         }
     }
 
@@ -1487,6 +1780,9 @@ mod tests {
                 persistent: true,
                 uptime_s: 12.5,
                 inflight_requests: 2,
+                queue_depth: 1,
+                slos: 2,
+                slo_breach_ticks: 3,
             }),
             Response::Metrics {
                 snapshot: Snapshot {
@@ -1514,11 +1810,61 @@ mod tests {
                             value: MetricValue::Counter(12),
                         },
                     ],
+                    uptime_s: 42.5,
                 },
             },
             Response::Metrics {
                 snapshot: Snapshot::default(),
             },
+            Response::MetricsHistory(Box::new(MetricsHistory {
+                interval_s: 0.25,
+                samples: 120,
+                capacity: 256,
+                windows: vec![
+                    HistoryWindow {
+                        window_s: 1.0,
+                        duration_s: 1.0,
+                        samples: 4,
+                        req_per_sec: 12.0,
+                        points_per_sec: 512.0,
+                        types: vec![HistoryTypeWindow {
+                            kind: "eval".into(),
+                            requests: 10,
+                            p50_us: 250.0,
+                            p99_us: 750.5,
+                        }],
+                    },
+                    HistoryWindow {
+                        window_s: 10.0,
+                        duration_s: 8.5,
+                        samples: 34,
+                        req_per_sec: 2.5,
+                        points_per_sec: 64.0,
+                        types: vec![],
+                    },
+                ],
+            })),
+            Response::WatchSample(Box::new(WatchSample {
+                seq: 7,
+                interval_s: 0.25,
+                window_s: 1.0,
+                req_per_sec: 48.0,
+                points_per_sec: 2048.0,
+                inflight: 3,
+                active_jobs: 2,
+                queue_depth: 1,
+                cache_hit_rate: 0.75,
+                requests_total: 420,
+                queue_wait_p99_us: 125.5,
+                execute_p99_us: 850.0,
+                types: vec![HistoryTypeWindow {
+                    kind: "sweep".into(),
+                    requests: 2,
+                    p50_us: 1500.0,
+                    p99_us: 9000.0,
+                }],
+            })),
+            Response::WatchDone { samples: 7 },
             Response::Shutdown,
             Response::Busy {
                 active: 16,
@@ -1652,9 +1998,26 @@ mod tests {
         assert_eq!(ft.sweep.axis, BudgetAxis::MaxSystemMw);
         assert_eq!(ft.sweep.values, vec![300.0, 350.0, 400.0]);
         assert_eq!(ft.base.budget.min_fps, Some(30.0));
-        // Non-streaming requests say so.
+        // Non-streaming requests say so; watch streams.
         assert!(!Request::Stats.is_streaming());
+        assert!(!Request::MetricsHistory.is_streaming());
         assert!(!Request::Tune(Box::default()).is_streaming());
+        assert!(Request::Watch { samples: 0 }.is_streaming());
+    }
+
+    #[test]
+    fn watch_lines_distinguish_samples_from_the_done_line() {
+        // A sample line carries `seq`; the terminal line carries
+        // `done` — a line with neither is malformed, not a default.
+        let headless = r#"{"ok":true,"type":"watch","req_per_sec":5}"#;
+        assert!(Response::decode(headless).is_err());
+        let done = r#"{"ok":true,"type":"watch","done":true,"samples":4}"#;
+        assert_eq!(
+            Response::decode(done).unwrap(),
+            Response::WatchDone { samples: 4 }
+        );
+        // A negative sample budget is rejected at decode time.
+        assert!(Request::decode(r#"{"type":"watch","samples":-1}"#).is_err());
     }
 
     #[test]

@@ -262,6 +262,18 @@ impl Scheduler {
         self.state.lock().expect("scheduler lock poisoned").active
     }
 
+    /// Jobs currently queued in the batch rotation (admitted work with
+    /// unclaimed points; an active job whose last batch is being
+    /// evaluated no longer counts). `queue_depth() <= active_jobs()`
+    /// modulo the race between the two lock acquisitions.
+    pub fn queue_depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("scheduler lock poisoned")
+            .jobs
+            .len()
+    }
+
     fn completion(total: usize, slot: SlotOwnership) -> Arc<Completion> {
         Arc::new(Completion {
             state: Mutex::new(CompletionState {
@@ -605,6 +617,8 @@ mod tests {
             other => panic!("expected busy, got {other:?}"),
         }
         assert_eq!(sched.active_jobs(), 2);
+        // With no workers both jobs still sit in the rotation.
+        assert_eq!(sched.queue_depth(), 2);
     }
 
     #[test]

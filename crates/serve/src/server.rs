@@ -18,19 +18,22 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chain_nn_dse::{pareto, CacheFile, DesignPoint, MixOutcome, PointCache, WorkloadMix};
+use chain_nn_obs::timeseries::{TimeSeries, Window};
 use chain_nn_obs::{Counter, Gauge, Histogram, Registry};
 use chain_nn_tuner::{evaluator, frontier, tune, MixEvaluator, TuneError};
 
 use crate::protocol::{
-    FrontierDoneSummary, FrontierEntry, FrontierStepSummary, Request, Response, ServerStats,
-    SweepSummary, TuneSummary,
+    FrontierDoneSummary, FrontierEntry, FrontierStepSummary, HistoryTypeWindow, HistoryWindow,
+    MetricsHistory, Request, Response, ServerStats, SweepSummary, TuneSummary, WatchSample,
 };
 use crate::scheduler::{AdmissionSlot, Scheduler, SubmitError, BATCH_SIZE};
+use crate::slo::{SloSpec, SloTracker};
 
 /// How the daemon is set up. `Default` binds an ephemeral loopback
 /// port, one worker per host core, no persistence.
@@ -63,6 +66,26 @@ pub struct ServerConfig {
     /// as requests finish. The file is truncated at bind time — each
     /// daemon lifetime gets a fresh trace.
     pub trace_log: Option<std::path::PathBuf>,
+    /// Size cap for the trace log: when appending a line would push the
+    /// file past this, the file is renamed to `<path>.1` (replacing the
+    /// previous rotation) and a fresh one is started. The daemon keeps
+    /// at most two files — the live trace and one predecessor.
+    pub trace_max_bytes: u64,
+    /// How often the sampler thread snapshots the registry into the
+    /// metrics history ring (drives `metrics_history`, `watch`, and
+    /// SLO evaluation).
+    pub sample_interval: Duration,
+    /// Ring capacity in samples. With the default 250 ms interval, 256
+    /// samples hold just over a minute of history — enough for the 1
+    /// s/10 s/60 s windows `metrics_history` reports.
+    pub history_capacity: usize,
+    /// Latency SLOs (`eval:p99_us=500`) evaluated every sampler tick
+    /// over the trailing [`crate::slo::SLO_WINDOW`].
+    pub slos: Vec<SloSpec>,
+    /// Slow-request threshold in microseconds: requests whose total
+    /// latency meets or exceeds it get `"slow":true` in their trace
+    /// line and count into `serve_slow_requests_total{type=…}`.
+    pub slow_log_us: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +100,11 @@ impl Default for ServerConfig {
             cache_capacity: None,
             cache_file: None,
             trace_log: None,
+            trace_max_bytes: 64 * 1024 * 1024,
+            sample_interval: Duration::from_millis(250),
+            history_capacity: 256,
+            slos: Vec::new(),
+            slow_log_us: None,
         }
     }
 }
@@ -121,10 +149,69 @@ struct Shared {
     metrics: ServeMetrics,
     /// Structured trace sink (`--trace-log`): one JSON line per
     /// completed request, flushed per line so a tailing reader sees
-    /// requests as they finish.
-    trace: Option<Mutex<BufWriter<File>>>,
+    /// requests as they finish. Rotates at its size cap.
+    trace: Option<Mutex<TraceLog>>,
     /// Monotonic request ids for the trace log.
     next_request_id: AtomicU64,
+    /// Fixed-capacity ring of registry samples, advanced once per
+    /// [`ServerConfig::sample_interval`] by the sampler thread. Every
+    /// windowed read (`metrics_history`, `watch`, SLO evaluation)
+    /// derives from this one history.
+    history: Mutex<TimeSeries>,
+    sample_interval: Duration,
+    /// SLO evaluation state, driven by the sampler thread.
+    slo: Mutex<SloTracker>,
+    /// Sampler ticks on which at least one SLO was out of compliance.
+    slo_breach_ticks: AtomicU64,
+    /// Slow-request trace threshold (µs), when configured.
+    slow_log_us: Option<u64>,
+}
+
+/// The rotating trace sink: an open writer plus the byte count that
+/// decides when to rename the file to `<path>.1` and start fresh. One
+/// predecessor is kept — enough to never lose the tail of a long run
+/// while bounding disk to roughly twice the cap.
+struct TraceLog {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    written: u64,
+    max_bytes: u64,
+}
+
+impl TraceLog {
+    fn create(path: PathBuf, max_bytes: u64) -> std::io::Result<TraceLog> {
+        let writer = BufWriter::new(File::create(&path)?);
+        Ok(TraceLog {
+            path,
+            writer,
+            written: 0,
+            max_bytes: max_bytes.max(1),
+        })
+    }
+
+    /// Appends one complete trace line, rotating first when the line
+    /// would push the file past the cap. A line larger than the cap
+    /// itself still lands whole — rotation only ever splits *between*
+    /// lines, so both files always hold complete JSON records.
+    fn append(&mut self, line: &str) -> std::io::Result<()> {
+        if self.written > 0 && self.written + line.len() as u64 > self.max_bytes {
+            self.rotate()?;
+        }
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.written += line.len() as u64;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        let mut rotated = self.path.clone().into_os_string();
+        rotated.push(".1");
+        std::fs::rename(&self.path, &rotated)?;
+        self.writer = BufWriter::new(File::create(&self.path)?);
+        self.written = 0;
+        Ok(())
+    }
 }
 
 /// The serve-layer metric handles that sit on every request's path,
@@ -239,6 +326,54 @@ impl Shared {
         self.persisted.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
+
+    /// One sampler tick: refresh the scrape-time gauges (so the ring
+    /// carries them too, not just `metrics` replies), append a sample
+    /// to the history, and evaluate the SLOs against the new window.
+    fn take_sample(&self) {
+        let stats = self.cache.stats();
+        let registry = &self.registry;
+        registry
+            .gauge("serve_uptime_seconds")
+            .set(registry.uptime().as_secs_f64());
+        registry
+            .gauge("serve_open_connections")
+            .set(self.connections.load(Ordering::SeqCst) as f64);
+        registry
+            .gauge("serve_active_jobs")
+            .set(self.scheduler.active_jobs() as f64);
+        registry
+            .gauge("serve_queue_depth")
+            .set(self.scheduler.queue_depth() as f64);
+        registry.gauge("cache_points").set(self.cache.len() as f64);
+        registry.gauge("cache_hit_rate").set(stats.hit_rate());
+        let breach = {
+            let mut history = self.history.lock().expect("history lock poisoned");
+            history.sample(registry);
+            let mut slo = self.slo.lock().expect("slo lock poisoned");
+            slo.evaluate(&history, registry)
+        };
+        if breach {
+            self.slo_breach_ticks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The sampler thread body: one [`Shared::take_sample`] per
+    /// interval, sleeping in short naps so shutdown stays prompt.
+    fn sampler_loop(&self) {
+        loop {
+            let mut slept = Duration::ZERO;
+            while slept < self.sample_interval {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let nap = (self.sample_interval - slept).min(Duration::from_millis(5));
+                std::thread::sleep(nap);
+                slept += nap;
+            }
+            self.take_sample();
+        }
+    }
 }
 
 /// A bound, loaded, ready-to-run daemon.
@@ -270,9 +405,13 @@ impl Server {
         let registry = Registry::new();
         let metrics = ServeMetrics::register(&registry);
         let trace = match &config.trace_log {
-            Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+            Some(path) => Some(Mutex::new(TraceLog::create(
+                path.clone(),
+                config.trace_max_bytes,
+            )?)),
             None => None,
         };
+        let sample_interval = config.sample_interval.max(Duration::from_millis(1));
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -297,6 +436,14 @@ impl Server {
                 metrics,
                 trace,
                 next_request_id: AtomicU64::new(1),
+                history: Mutex::new(TimeSeries::new(
+                    sample_interval,
+                    config.history_capacity.max(2),
+                )),
+                sample_interval,
+                slo: Mutex::new(SloTracker::new(config.slos)),
+                slo_breach_ticks: AtomicU64::new(0),
+                slow_log_us: config.slow_log_us,
             }),
         })
     }
@@ -331,6 +478,12 @@ impl Server {
             for _ in 0..shared.threads {
                 let s = Arc::clone(shared);
                 scope.spawn(move || s.scheduler.worker_loop());
+            }
+            {
+                // The sampler: one registry snapshot per interval into
+                // the metrics history ring, plus SLO evaluation.
+                let s = Arc::clone(shared);
+                scope.spawn(move || s.sampler_loop());
             }
             let mut outcome = Ok(());
             while !shared.shutdown.load(Ordering::SeqCst) {
@@ -369,7 +522,10 @@ impl Server {
             // Wake the pool so the scope can join the drained workers —
             // on the clean path admission is already closed (the
             // shutdown handler did it before setting the flag), and on
-            // the error path this is what closes it.
+            // the error path this is what closes it. The flag is also
+            // (re)set here so the sampler thread exits on the error
+            // path, where no shutdown request ever stored it.
+            shared.shutdown.store(true, Ordering::SeqCst);
             shared.scheduler.begin_shutdown();
             outcome
         })?;
@@ -393,9 +549,9 @@ const MAX_REQUEST_BYTES: u64 = 1 << 20;
 /// `\n`-terminated JSON object per [`LineSink::send`], **flushed
 /// immediately**. For single-reply requests the flush is merely
 /// prompt; for the streaming requests (`tune_frontier`, `frontier`
-/// with `"stream":true`) it is the contract — each result line reaches
-/// the client as it is produced, before the next step/entry is
-/// computed.
+/// with `"stream":true`, `watch`) it is the contract — each result
+/// line reaches the client as it is produced, before the next
+/// step/entry/sample is computed.
 pub struct LineSink<'a> {
     writer: &'a mut dyn Write,
 }
@@ -541,14 +697,22 @@ fn record_span(shared: &Shared, span: &RequestSpan, status: &str, total: Duratio
     }
     shared.metrics.cache_hits.add(span.cache_hits);
     shared.metrics.cache_misses.add(span.cache_misses);
+    let slow = shared
+        .slow_log_us
+        .is_some_and(|threshold| total.as_micros() as u64 >= threshold);
+    if slow {
+        registry
+            .counter_with("serve_slow_requests_total", labels)
+            .inc();
+    }
     let Some(trace) = &shared.trace else { return };
     // Hand-rolled JSON: every field is a number or a static label, so
     // no escaping is needed.
-    let line = format!(
+    let mut line = format!(
         concat!(
             "{{\"id\":{},\"type\":\"{}\",\"status\":\"{}\",\"parse_us\":{},",
             "\"queue_wait_us\":{},\"execute_us\":{},\"flush_us\":{},\"total_us\":{},",
-            "\"jobs\":{},\"points\":{},\"cache_hits\":{},\"cache_misses\":{}}}\n"
+            "\"jobs\":{},\"points\":{},\"cache_hits\":{},\"cache_misses\":{}"
         ),
         span.id,
         span.kind,
@@ -563,8 +727,12 @@ fn record_span(shared: &Shared, span: &RequestSpan, status: &str, total: Duratio
         span.cache_hits,
         span.cache_misses,
     );
+    if slow {
+        line.push_str(",\"slow\":true");
+    }
+    line.push_str("}\n");
     if let Ok(mut sink) = trace.lock() {
-        let _ = sink.write_all(line.as_bytes()).and_then(|()| sink.flush());
+        let _ = sink.append(&line);
     }
 }
 
@@ -610,6 +778,8 @@ fn handle_request(
         Request::Frontier { .. } => "frontier",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
+        Request::MetricsHistory => "metrics_history",
+        Request::Watch { .. } => "watch",
         Request::Shutdown => "shutdown",
     };
     match request {
@@ -844,6 +1014,9 @@ fn handle_request(
                     // Includes this stats request itself — the session
                     // loop holds the in-flight gauge across the handler.
                     inflight_requests: shared.metrics.inflight.get().max(0.0) as usize,
+                    queue_depth: shared.scheduler.queue_depth(),
+                    slos: shared.slo.lock().expect("slo lock poisoned").len(),
+                    slo_breach_ticks: shared.slo_breach_ticks.load(Ordering::Relaxed),
                 }),
                 false,
             )
@@ -864,6 +1037,9 @@ fn handle_request(
                 .gauge("serve_active_jobs")
                 .set(shared.scheduler.active_jobs() as f64);
             registry
+                .gauge("serve_queue_depth")
+                .set(shared.scheduler.queue_depth() as f64);
+            registry
                 .gauge("cache_points")
                 .set(shared.cache.len() as f64);
             registry.gauge("cache_hit_rate").set(stats.hit_rate());
@@ -874,12 +1050,128 @@ fn handle_request(
             let snapshot = registry.snapshot().merge(chain_nn_obs::global().snapshot());
             RequestOutcome::reply(Response::Metrics { snapshot }, false)
         }
+        Request::MetricsHistory => {
+            let history = shared.history.lock().expect("history lock poisoned");
+            RequestOutcome::reply(
+                Response::MetricsHistory(Box::new(build_history(&history))),
+                false,
+            )
+        }
+        Request::Watch { samples } => {
+            // The second streaming request category: instead of N
+            // precomputed result lines, one line per *sampler tick*,
+            // pushed as the tick lands. No admission slot — a watcher
+            // only reads the history ring, and a dashboard must not
+            // occupy capacity a sweep could use.
+            let mut sink = LineSink::new(writer);
+            let mut last_seq = shared.history.lock().expect("history lock poisoned").seq();
+            let mut sent: u64 = 0;
+            while (samples == 0 || sent < samples) && !shared.shutdown.load(Ordering::SeqCst) {
+                let next = {
+                    let history = shared.history.lock().expect("history lock poisoned");
+                    if history.seq() > last_seq {
+                        last_seq = history.seq();
+                        Some(build_watch_sample(&history, shared))
+                    } else {
+                        None
+                    }
+                };
+                match next {
+                    Some(sample) => {
+                        if sink.send(&Response::WatchSample(Box::new(sample))).is_err() {
+                            return RequestOutcome::Streamed { sink_dead: true };
+                        }
+                        sent += 1;
+                        span.points = sent;
+                    }
+                    None => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            let done = Response::WatchDone { samples: sent };
+            RequestOutcome::Streamed {
+                sink_dead: sink.send(&done).is_err(),
+            }
+        }
         Request::Shutdown => {
             // Close admission *before* acknowledging, so nothing new
             // slips in between the reply and the accept loop noticing.
             shared.scheduler.begin_shutdown();
             RequestOutcome::reply(Response::Shutdown, true)
         }
+    }
+}
+
+/// Per-request-type rows for one window: how many requests of each
+/// type landed in it and their windowed latency quantiles. Types with
+/// no traffic in the window are omitted — a dashboard shows what is
+/// happening now, not every label ever seen.
+fn type_windows(window: &Window) -> Vec<HistoryTypeWindow> {
+    window
+        .histogram_labels("serve_request_ns")
+        .into_iter()
+        .filter_map(|(_, labels)| {
+            let kind = &labels.iter().find(|(k, _)| k == "type")?.1;
+            let hist = window.histogram("serve_request_ns", &[("type", kind)])?;
+            if hist.count() == 0 {
+                return None;
+            }
+            Some(HistoryTypeWindow {
+                kind: kind.clone(),
+                requests: window.counter_delta("serve_requests_total", &[("type", kind)]),
+                p50_us: hist.quantile(0.5) / 1e3,
+                p99_us: hist.quantile(0.99) / 1e3,
+            })
+        })
+        .collect()
+}
+
+/// The `metrics_history` reply: the ring's shape plus 1 s / 10 s / 60 s
+/// windows, each with overall rates and per-type latency quantiles.
+fn build_history(history: &TimeSeries) -> MetricsHistory {
+    let windows = [1_u64, 10, 60]
+        .into_iter()
+        .map(|secs| {
+            let window = history.window(Duration::from_secs(secs));
+            HistoryWindow {
+                window_s: secs as f64,
+                duration_s: window.duration.as_secs_f64(),
+                samples: window.samples,
+                req_per_sec: window.family_rate("serve_requests_total"),
+                points_per_sec: window.rate("sched_points_total", &[]),
+                types: type_windows(&window),
+            }
+        })
+        .collect();
+    MetricsHistory {
+        interval_s: history.interval().as_secs_f64(),
+        samples: history.seq(),
+        capacity: history.capacity(),
+        windows,
+    }
+}
+
+/// One `watch` stream line: the trailing-second window's rates and
+/// quantiles plus instantaneous daemon state (in-flight, queue depth,
+/// cache hit rate) read live at sample-build time.
+fn build_watch_sample(history: &TimeSeries, shared: &Shared) -> WatchSample {
+    let window = history.window(Duration::from_secs(1));
+    WatchSample {
+        seq: history.seq(),
+        interval_s: history.interval().as_secs_f64(),
+        window_s: window.duration.as_secs_f64(),
+        req_per_sec: window.family_rate("serve_requests_total"),
+        points_per_sec: window.rate("sched_points_total", &[]),
+        inflight: shared.metrics.inflight.get().max(0.0) as u64,
+        active_jobs: shared.scheduler.active_jobs() as u64,
+        queue_depth: shared.scheduler.queue_depth() as u64,
+        cache_hit_rate: shared.cache.stats().hit_rate(),
+        requests_total: shared.requests.load(Ordering::Relaxed),
+        queue_wait_p99_us: window
+            .histogram_family("serve_queue_wait_ns")
+            .quantile(0.99)
+            / 1e3,
+        execute_p99_us: window.histogram_family("serve_execute_ns").quantile(0.99) / 1e3,
+        types: type_windows(&window),
     }
 }
 
@@ -1257,5 +1549,210 @@ mod tests {
             }
             other => panic!("expected the done line, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watch_streams_samples_then_done_while_a_slot_is_held() {
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        let probe = with_workers(&shared, || {
+            shared.take_sample(); // baseline: the next tick carries deltas
+            let eval = r#"{"type":"eval","point":{"pes":288}}"#;
+            for _ in 0..3 {
+                assert!(matches!(
+                    handle_instrumented(eval, &shared),
+                    RequestOutcome::Reply(r, false) if matches!(*r, Response::Eval { .. })
+                ));
+            }
+            // A held admission slot stands in for a sweep mid-flight:
+            // the watcher's lines must flush while it is live, proving
+            // watch reports on work still in progress.
+            let slot = shared.scheduler.admit().expect("admission slot");
+            let probe = std::thread::scope(|s| {
+                let watcher = s.spawn(|| {
+                    let mut probe = Probe::new(&shared);
+                    let outcome = handle_request(
+                        r#"{"type":"watch","samples":2}"#,
+                        &shared,
+                        &mut probe,
+                        &mut RequestSpan::new(0),
+                    );
+                    assert!(matches!(
+                        outcome,
+                        RequestOutcome::Streamed { sink_dead: false }
+                    ));
+                    probe
+                });
+                // Drive the sampler by hand — deterministic ticks
+                // instead of a real 250 ms cadence.
+                while !watcher.is_finished() {
+                    shared.take_sample();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                watcher.join().expect("watcher thread")
+            });
+            drop(slot);
+            probe
+        });
+        // 2 sample lines then the done line, each flushed individually
+        // while the admission slot was still held.
+        assert_eq!(probe.lines.len(), 3, "{:?}", probe.lines);
+        let mut prev_seq = 0;
+        for (i, line) in probe.lines.iter().take(2).enumerate() {
+            match Response::decode(line).expect("sample line decodes") {
+                Response::WatchSample(sample) => {
+                    assert!(sample.seq > prev_seq, "seq must be monotonic");
+                    prev_seq = sample.seq;
+                    assert!(sample.active_jobs >= 1, "slot live during sample {i}");
+                }
+                other => panic!("expected a watch sample, got {other:?}"),
+            }
+            assert!(
+                probe.active_at_flush[i] >= 1,
+                "line {i} was not flushed while the slot was live"
+            );
+        }
+        match Response::decode(&probe.lines[2]).expect("done line decodes") {
+            Response::WatchDone { samples } => assert_eq!(samples, 2),
+            other => panic!("expected the done line, got {other:?}"),
+        }
+        // The first sample's window saw the eval burst: nonzero rate,
+        // an eval row with the right count and a real latency quantile.
+        let Response::WatchSample(first) = Response::decode(&probe.lines[0]).expect("decodes")
+        else {
+            unreachable!()
+        };
+        assert!(first.req_per_sec > 0.0);
+        let eval_row = first
+            .types
+            .iter()
+            .find(|t| t.kind == "eval")
+            .expect("eval row in the first sample");
+        assert_eq!(eval_row.requests, 3);
+        assert!(eval_row.p99_us > 0.0 && eval_row.p99_us >= eval_row.p50_us);
+    }
+
+    #[test]
+    fn metrics_history_reports_windowed_rates() {
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        with_workers(&shared, || {
+            shared.take_sample();
+            let eval = r#"{"type":"eval","point":{"pes":288}}"#;
+            for _ in 0..2 {
+                handle_instrumented(eval, &shared);
+            }
+            shared.take_sample();
+        });
+        let history = match handle_instrumented(r#"{"type":"metrics_history"}"#, &shared) {
+            RequestOutcome::Reply(r, false) => match *r {
+                Response::MetricsHistory(h) => h,
+                other => panic!("expected a history reply, got {other:?}"),
+            },
+            _ => panic!("expected a history reply"),
+        };
+        assert_eq!(history.samples, 1);
+        assert_eq!(history.capacity, 256);
+        assert_eq!(history.windows.len(), 3);
+        let one_second = &history.windows[0];
+        assert_eq!(one_second.window_s, 1.0);
+        assert!(one_second.req_per_sec > 0.0);
+        assert!(one_second.points_per_sec > 0.0);
+        let eval_row = one_second
+            .types
+            .iter()
+            .find(|t| t.kind == "eval")
+            .expect("eval row");
+        assert_eq!(eval_row.requests, 2);
+    }
+
+    #[test]
+    fn trace_log_rotates_at_the_size_cap_keeping_one_predecessor() {
+        let dir =
+            std::env::temp_dir().join(format!("chain-nn-trace-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            trace_log: Some(path.clone()),
+            // Roughly one stats trace line per file: every append
+            // rotates, exercising the boundary repeatedly.
+            trace_max_bytes: 256,
+            slow_log_us: Some(0),
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        with_workers(&shared, || {
+            for _ in 0..8 {
+                assert!(matches!(
+                    handle_instrumented(r#"{"type":"stats"}"#, &shared),
+                    RequestOutcome::Reply(r, false) if matches!(*r, Response::Stats(_))
+                ));
+            }
+        });
+        let rotated_path = {
+            let mut p = path.clone().into_os_string();
+            p.push(".1");
+            PathBuf::from(p)
+        };
+        let current = std::fs::read_to_string(&path).expect("live trace file");
+        let rotated = std::fs::read_to_string(&rotated_path).expect("rotated trace file");
+        let id_of = |line: &str| -> u64 {
+            let rest = line.strip_prefix("{\"id\":").expect("complete record");
+            rest[..rest.find(',').expect("comma after id")]
+                .parse()
+                .expect("numeric id")
+        };
+        // Both files hold only complete records, with a 0-µs slow
+        // threshold every request is flagged, and ids are contiguous
+        // across the rotation boundary up to the newest request.
+        for line in current.lines().chain(rotated.lines()) {
+            assert!(line.ends_with('}'), "torn record: {line}");
+            assert!(line.contains("\"slow\":true"), "unflagged: {line}");
+        }
+        let newest = current.lines().last().expect("live file has lines");
+        assert_eq!(id_of(newest), 8, "newest id is the request count");
+        let first_current = id_of(current.lines().next().expect("first line"));
+        let last_rotated = id_of(rotated.lines().last().expect("rotated has lines"));
+        assert_eq!(last_rotated + 1, first_current, "rotation split the ids");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_log_flags_only_requests_over_the_threshold() {
+        let dir = std::env::temp_dir().join(format!("chain-nn-slow-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            trace_log: Some(path.clone()),
+            // An hour: nothing in this test can cross it.
+            slow_log_us: Some(3_600_000_000),
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        with_workers(&shared, || {
+            handle_instrumented(r#"{"type":"eval","point":{"pes":288}}"#, &shared);
+            handle_instrumented(r#"{"type":"stats"}"#, &shared);
+        });
+        let trace = std::fs::read_to_string(&path).expect("trace file");
+        assert_eq!(trace.lines().count(), 2);
+        assert!(!trace.contains("\"slow\""), "nothing crossed an hour");
+        assert!(shared
+            .registry
+            .snapshot()
+            .counter("serve_slow_requests_total", &[("type", "eval")])
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

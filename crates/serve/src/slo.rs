@@ -1,0 +1,318 @@
+//! Latency service-level objectives for the serving daemon.
+//!
+//! An SLO names a request type, a latency quantile and a target in
+//! microseconds — `eval:p99_us=500` reads "the windowed p99 of `eval`
+//! requests stays at or under 500 µs". The daemon's sampler thread
+//! evaluates every configured SLO once per tick against the trailing
+//! [`SLO_WINDOW`] of its metrics history (windowed quantiles, not
+//! since-boot ones: a spike shows up within seconds and ages out the
+//! same way), and publishes four gauges plus a breach counter per SLO
+//! into the daemon registry, so both `metrics` and the Prometheus
+//! text exposition carry them:
+//!
+//! ```text
+//! slo_target_us{slo="eval:p99_us=500"}                the target
+//! slo_current_us{slo="eval:p99_us=500"}               windowed quantile now
+//! slo_compliant{slo="eval:p99_us=500"}                1 in / 0 out of compliance
+//! slo_error_budget_remaining{slo="eval:p99_us=500"}   1 full .. 0 exhausted
+//! slo_breach_ticks_total{slo="eval:p99_us=500"}       ticks out of compliance
+//! ```
+//!
+//! The error budget follows the classic SRE definition over sampler
+//! ticks: with an allowed violation fraction of
+//! [`ALLOWED_VIOLATION_FRACTION`] (1 %, i.e. a 99 % compliance
+//! objective), `remaining = 1 − (violated_ticks / total_ticks) / 0.01`,
+//! clamped at 0 once overspent. A window with no traffic of the SLO's
+//! type is vacuously compliant — an idle daemon does not burn budget.
+
+use std::fmt;
+use std::time::Duration;
+
+use chain_nn_obs::timeseries::TimeSeries;
+use chain_nn_obs::Registry;
+
+/// Trailing window SLOs are evaluated over.
+pub const SLO_WINDOW: Duration = Duration::from_secs(10);
+
+/// Fraction of sampler ticks an SLO may spend out of compliance
+/// before its error budget is exhausted (a 99 % compliance objective).
+pub const ALLOWED_VIOLATION_FRACTION: f64 = 0.01;
+
+/// One parsed SLO target: `<type>:p<QQ>_us=<target>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Request type the SLO constrains (`eval`, `sweep`, ...).
+    pub kind: String,
+    /// Quantile in `(0, 1)` (wire form `p50`/`p95`/`p99`/...).
+    pub quantile: f64,
+    /// Latency target in microseconds.
+    pub target_us: f64,
+}
+
+impl SloSpec {
+    /// Parses one `eval:p99_us=500` spec.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed part.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let text = text.trim();
+        let (kind, rest) = text
+            .split_once(':')
+            .ok_or_else(|| format!("SLO '{text}' needs the form type:pQQ_us=target"))?;
+        if kind.is_empty() {
+            return Err(format!("SLO '{text}' has an empty request type"));
+        }
+        let (metric, target) = rest
+            .split_once('=')
+            .ok_or_else(|| format!("SLO '{text}' needs '=target_us' after the quantile"))?;
+        let digits = metric
+            .strip_prefix('p')
+            .and_then(|m| m.strip_suffix("_us"))
+            .ok_or_else(|| format!("SLO '{text}': quantile must look like p99_us"))?;
+        let percent: u32 = digits
+            .parse()
+            .map_err(|_| format!("SLO '{text}': quantile 'p{digits}' is not a number"))?;
+        if !(1..=99).contains(&percent) {
+            return Err(format!("SLO '{text}': quantile must be p1..=p99"));
+        }
+        let target_us: f64 = target
+            .parse()
+            .map_err(|_| format!("SLO '{text}': target '{target}' is not a number"))?;
+        if !target_us.is_finite() || target_us <= 0.0 {
+            return Err(format!("SLO '{text}': target must be a positive number"));
+        }
+        Ok(SloSpec {
+            kind: kind.to_owned(),
+            quantile: f64::from(percent) / 100.0,
+            target_us,
+        })
+    }
+
+    /// Parses a comma-separated SLO list (the `--slo` flag value).
+    ///
+    /// # Errors
+    ///
+    /// The first malformed entry's message.
+    pub fn parse_list(text: &str) -> Result<Vec<SloSpec>, String> {
+        text.split(',')
+            .filter(|part| !part.trim().is_empty())
+            .map(SloSpec::parse)
+            .collect()
+    }
+}
+
+impl fmt::Display for SloSpec {
+    /// The canonical spec string, also used as the `slo` label value.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:p{}_us={}",
+            self.kind,
+            (self.quantile * 100.0).round() as u32,
+            self.target_us
+        )
+    }
+}
+
+struct SloStatus {
+    spec: SloSpec,
+    label: String,
+    ticks: u64,
+    violations: u64,
+}
+
+/// Per-daemon SLO evaluation state: the parsed specs plus each one's
+/// tick/violation tally. Driven once per sampler tick by the daemon;
+/// publishes its verdicts as registry gauges.
+pub struct SloTracker {
+    slos: Vec<SloStatus>,
+}
+
+impl SloTracker {
+    /// A tracker over the given specs (empty is fine: evaluation is a
+    /// no-op).
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>) -> SloTracker {
+        SloTracker {
+            slos: specs
+                .into_iter()
+                .map(|spec| SloStatus {
+                    label: spec.to_string(),
+                    spec,
+                    ticks: 0,
+                    violations: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of SLOs tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slos.len()
+    }
+
+    /// Whether no SLO is configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slos.is_empty()
+    }
+
+    /// Evaluates every SLO against the trailing [`SLO_WINDOW`] of
+    /// `history`, updates the `slo_*` gauges in `registry`, and
+    /// returns whether at least one SLO is out of compliance this
+    /// tick. A window holding no requests of an SLO's type counts as
+    /// compliant.
+    pub fn evaluate(&mut self, history: &TimeSeries, registry: &Registry) -> bool {
+        if self.slos.is_empty() {
+            return false;
+        }
+        let window = history.window(SLO_WINDOW);
+        let mut any_breach = false;
+        for slo in &mut self.slos {
+            let current_us = window
+                .histogram("serve_request_ns", &[("type", &slo.spec.kind)])
+                .filter(|h| h.count() > 0)
+                .map(|h| h.quantile(slo.spec.quantile) / 1_000.0);
+            let violated = current_us.is_some_and(|us| us > slo.spec.target_us);
+            slo.ticks += 1;
+            if violated {
+                slo.violations += 1;
+                any_breach = true;
+            }
+            let burn = (slo.violations as f64 / slo.ticks as f64) / ALLOWED_VIOLATION_FRACTION;
+            let labels = &[("slo", slo.label.as_str())];
+            registry
+                .gauge_with("slo_target_us", labels)
+                .set(slo.spec.target_us);
+            registry
+                .gauge_with("slo_current_us", labels)
+                .set(current_us.unwrap_or(0.0));
+            registry
+                .gauge_with("slo_compliant", labels)
+                .set(if violated { 0.0 } else { 1.0 });
+            registry
+                .gauge_with("slo_error_budget_remaining", labels)
+                .set((1.0 - burn).max(0.0));
+            if violated {
+                registry
+                    .counter_with("slo_breach_ticks_total", labels)
+                    .inc();
+            }
+        }
+        any_breach
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const TICK: Duration = Duration::from_millis(250);
+
+    #[test]
+    fn specs_parse_and_round_trip_through_display() {
+        let slo = SloSpec::parse("eval:p99_us=500").unwrap();
+        assert_eq!(slo.kind, "eval");
+        assert_eq!(slo.quantile, 0.99);
+        assert_eq!(slo.target_us, 500.0);
+        assert_eq!(slo.to_string(), "eval:p99_us=500");
+        assert_eq!(SloSpec::parse(&slo.to_string()).unwrap(), slo);
+
+        let list = SloSpec::parse_list("eval:p50_us=200, sweep:p95_us=30000").unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[1].kind, "sweep");
+        assert_eq!(list[1].quantile, 0.95);
+        assert!(SloSpec::parse_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_reasons() {
+        for bad in [
+            "eval",
+            "eval:p99_us",
+            ":p99_us=500",
+            "eval:q99_us=500",
+            "eval:p99=500",
+            "eval:pfast_us=500",
+            "eval:p0_us=500",
+            "eval:p100_us=500",
+            "eval:p99_us=warp",
+            "eval:p99_us=-5",
+            "eval:p99_us=0",
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn evaluation_tracks_compliance_and_burns_error_budget() {
+        let registry = Registry::new();
+        let latency = registry.histogram_with("serve_request_ns", &[("type", "eval")]);
+        let mut history = TimeSeries::new(TICK, 64);
+        history.sample_after(&registry, TICK); // baseline
+        let mut tracker = SloTracker::new(vec![SloSpec::parse("eval:p99_us=500").unwrap()]);
+        assert_eq!(tracker.len(), 1);
+        let labels: &[(&str, &str)] = &[("slo", "eval:p99_us=500")];
+
+        // Tick 1: all requests well under target (100 µs = 100_000 ns).
+        for _ in 0..10 {
+            latency.record(100_000);
+        }
+        history.sample_after(&registry, TICK);
+        assert!(!tracker.evaluate(&history, &registry));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("slo_compliant", labels), Some(1.0));
+        assert_eq!(snap.gauge("slo_target_us", labels), Some(500.0));
+        assert_eq!(snap.gauge("slo_current_us", labels), Some(100.0));
+        assert_eq!(snap.gauge("slo_error_budget_remaining", labels), Some(1.0));
+        assert_eq!(snap.counter("slo_breach_ticks_total", labels), None);
+
+        // Tick 2: a latency spike (4 ms) blows straight through p99.
+        for _ in 0..10 {
+            latency.record(4_000_000);
+        }
+        history.sample_after(&registry, TICK);
+        assert!(tracker.evaluate(&history, &registry));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("slo_compliant", labels), Some(0.0));
+        assert_eq!(snap.gauge("slo_current_us", labels), Some(4_000.0));
+        // 1 of 2 ticks violated with a 1% allowance: budget is gone.
+        assert_eq!(snap.gauge("slo_error_budget_remaining", labels), Some(0.0));
+        assert_eq!(snap.counter("slo_breach_ticks_total", labels), Some(1));
+
+        // The spike stays in the 10 s window on the very next tick —
+        // windowed SLOs react to recent history, not just the last
+        // interval.
+        history.sample_after(&registry, TICK);
+        assert!(tracker.evaluate(&history, &registry));
+
+        // Once the spike ages out of the window entirely (40 quiet
+        // ticks × 250 ms > 10 s), an idle daemon is vacuously
+        // compliant — current reads 0 (nothing to measure) — but
+        // spent budget stays spent.
+        for _ in 0..41 {
+            history.sample_after(&registry, TICK);
+        }
+        assert!(!tracker.evaluate(&history, &registry));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("slo_compliant", labels), Some(1.0));
+        assert_eq!(snap.gauge("slo_current_us", labels), Some(0.0));
+        assert_eq!(snap.counter("slo_breach_ticks_total", labels), Some(2));
+        assert_eq!(snap.gauge("slo_error_budget_remaining", labels), Some(0.0));
+    }
+
+    #[test]
+    fn an_empty_tracker_is_a_no_op() {
+        let registry = Registry::new();
+        let mut history = TimeSeries::new(TICK, 4);
+        history.sample_after(&registry, TICK);
+        history.sample_after(&registry, TICK);
+        let mut tracker = SloTracker::new(vec![]);
+        assert!(tracker.is_empty());
+        assert!(!tracker.evaluate(&history, &registry));
+        assert!(registry.snapshot().entries.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the bench-history suite: appends machine-readable measurements
+# to BENCH_dse.json / BENCH_serve.json at the repo root and gates them
+# against the checked-in baselines in crates/bench/baselines/.
+# Exits nonzero when the regression gate trips.
+#
+#   scripts/bench-history.sh                  # default tolerance (3.0)
+#   CHAIN_NN_BENCH_TOLERANCE=0.5 scripts/bench-history.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo bench -p chain-nn-bench --bench bench_history "$@"

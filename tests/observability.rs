@@ -229,3 +229,126 @@ fn trace_log_separates_queue_wait_from_execute_for_evals_racing_a_sweep() {
     assert_eq!(trace_field(eval_lines[0], "points"), 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A client watching the daemon while a ~2000-point sweep runs
+/// receives interval samples whose windowed rates and per-type latency
+/// quantiles describe the live traffic: the eval pump shows up with a
+/// nonzero windowed p99, the request rate is nonzero, and every
+/// sample's cumulative request count reconciles with what the clients
+/// actually sent.
+#[test]
+fn watch_stream_reports_live_windowed_rates_during_a_sweep() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 1,
+        sample_interval: std::time::Duration::from_millis(25),
+        ..ServerConfig::default()
+    });
+
+    let sweep_done = AtomicBool::new(false);
+    let first_eval_done = AtomicBool::new(false);
+    let (samples, done, evals_sent) = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut sweeper = Client::connect(addr).expect("connect sweeper");
+            // ~2000 cold points: (16..=1024) PEs × two clock rates on
+            // lenet keeps the single worker busy throughout the watch.
+            let grid = SweepSpec {
+                pes: (16..=1024).collect(),
+                freqs_mhz: vec![350.0, 700.0],
+                nets: vec!["lenet".into()],
+                ..SweepSpec::paper_point()
+            };
+            match sweeper.sweep(grid).expect("sweep round trip") {
+                Response::Sweep(_) => {}
+                other => panic!("expected a sweep reply, got {other:?}"),
+            }
+            sweep_done.store(true, Ordering::SeqCst);
+        });
+        // Eval pump: distinct cold points so every sampler window has
+        // fresh eval completions to derive rates and quantiles from.
+        let pump = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect pump");
+            let mut sent = 0u64;
+            while !sweep_done.load(Ordering::SeqCst) || sent < 5 {
+                let point = DesignPoint {
+                    pes: 20 + (sent as usize % 400),
+                    ..DesignPoint::paper_alexnet()
+                };
+                match client.eval(point).expect("eval round trip") {
+                    Response::Eval { .. } => sent += 1,
+                    other => panic!("expected an eval reply, got {other:?}"),
+                }
+                first_eval_done.store(true, Ordering::SeqCst);
+            }
+            sent
+        });
+        // Only subscribe once an eval has demonstrably completed, so
+        // the watch windows (which reach back up to a second) are
+        // guaranteed to catch eval traffic.
+        while !first_eval_done.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut watcher = Client::connect(addr).expect("connect watcher");
+        let mut samples = Vec::new();
+        let done = watcher
+            .watch(4, |sample| samples.push(sample.clone()))
+            .expect("watch stream");
+        let evals_sent = pump.join().expect("pump thread");
+        (samples, done, evals_sent)
+    });
+
+    // The stream delivered the asked-for sample count then terminated.
+    assert_eq!(samples.len(), 4, "{samples:?}");
+    match done {
+        Response::WatchDone { samples: n } => assert_eq!(n, 4),
+        other => panic!("expected a watch-done line, got {other:?}"),
+    }
+    // Samples are consecutive sampler ticks; the cumulative request
+    // count never goes backwards and every windowed per-type count is
+    // bounded by it (a window can only see completed requests).
+    for pair in samples.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "{pair:?}");
+        assert!(pair[1].requests_total >= pair[0].requests_total, "{pair:?}");
+    }
+    for sample in &samples {
+        assert!((sample.interval_s - 0.025).abs() < 1e-9, "{sample:?}");
+        let windowed: u64 = sample.types.iter().map(|t| t.requests).sum();
+        assert!(
+            windowed <= sample.requests_total,
+            "window saw more requests than ever completed: {sample:?}"
+        );
+    }
+    // Reconciliation with the clients' own tally: by the last sample
+    // the daemon had received at most every request the three clients
+    // sent (evals + one sweep + the watch itself) and at least the
+    // watch request that produced the samples.
+    let last = samples.last().expect("samples");
+    assert!(last.requests_total >= 1, "{last:?}");
+    assert!(
+        last.requests_total <= evals_sent + 2,
+        "daemon counted {} requests, clients sent at most {}",
+        last.requests_total,
+        evals_sent + 2
+    );
+    // The live traffic is visible: some sample caught the eval pump
+    // with a nonzero windowed rate and a populated eval latency row.
+    let busy = samples
+        .iter()
+        .find(|s| {
+            s.req_per_sec > 0.0
+                && s.types
+                    .iter()
+                    .any(|t| t.kind == "eval" && t.requests > 0 && t.p99_us > 0.0)
+        })
+        .unwrap_or_else(|| panic!("no sample caught the eval traffic: {samples:?}"));
+    let eval_row = busy
+        .types
+        .iter()
+        .find(|t| t.kind == "eval")
+        .expect("eval row");
+    assert!(eval_row.p99_us >= eval_row.p50_us, "{eval_row:?}");
+    assert!(busy.points_per_sec > 0.0, "{busy:?}");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+}
