@@ -104,9 +104,20 @@ pub fn run(
     let cursor = AtomicUsize::new(0);
     let obs = chain_nn_obs::global();
     let batch_eval_ns = obs.histogram("dse_batch_eval_ns");
+    // A standalone run owns its own trace: one root span for the whole
+    // sweep, one `chunk` child per cursor claim tagged with the worker
+    // that executed it, so the run renders as a per-worker timeline.
+    // Disabled rings skip even the id allocation.
+    let spans = chain_nn_obs::trace::spans();
+    let trace = spans.is_enabled().then(|| {
+        (
+            chain_nn_obs::trace::next_trace_id(),
+            chain_nn_obs::trace::next_span_id(),
+        )
+    });
     let started = Instant::now();
 
-    let worker = || -> Result<Vec<(usize, PointOutcome)>, DseError> {
+    let worker = |wid: u32| -> Result<Vec<(usize, PointOutcome)>, DseError> {
         let mut local = Vec::new();
         loop {
             // Claim a whole chunk per cursor bump: one timestamp pair
@@ -123,14 +134,28 @@ pub fn run(
                 local.push((i, evaluate_cached(point, cache)?));
             }
             batch_eval_ns.record_duration(claimed.elapsed());
+            if let Some((trace_id, root)) = trace {
+                spans.record(&chain_nn_obs::trace::Span {
+                    trace_id,
+                    span_id: chain_nn_obs::trace::next_span_id(),
+                    parent_id: root,
+                    name: "chunk",
+                    start: claimed,
+                    dur: claimed.elapsed(),
+                    worker: Some(wid),
+                    points: (end - base) as u32,
+                });
+            }
         }
     };
 
     let mut merged: Vec<(usize, PointOutcome)> = if threads == 1 {
-        worker()?
+        worker(0)?
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            let handles: Vec<_> = (0..threads)
+                .map(|w| scope.spawn(move || worker(w as u32)))
+                .collect();
             let mut all = Vec::with_capacity(points.len());
             let mut first_err = None;
             for handle in handles {
@@ -148,6 +173,18 @@ pub fn run(
 
     merged.sort_by_key(|(i, _)| *i);
     let elapsed = started.elapsed();
+    if let Some((trace_id, root)) = trace {
+        spans.record(&chain_nn_obs::trace::Span {
+            trace_id,
+            span_id: root,
+            parent_id: 0,
+            name: "dse_run",
+            start: started,
+            dur: elapsed,
+            worker: None,
+            points: points.len().min(u32::MAX as usize) as u32,
+        });
+    }
     obs.histogram("dse_run_ns").record_duration(elapsed);
     obs.counter("dse_points_total").add(points.len() as u64);
     obs.gauge("dse_points_per_sec")

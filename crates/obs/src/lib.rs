@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod timeseries;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -1,0 +1,564 @@
+//! Causal tracing: hierarchical spans in a lock-free bounded ring.
+//!
+//! A **span** is one timed phase of one request — `parse`,
+//! `queue_wait`, a scheduler `batch` on a particular worker thread, a
+//! tuner round — tied to its request by a **trace id** and to its
+//! enclosing span by a **parent span id**. Clients may propagate their
+//! own trace context over the wire (`"trace":{"id":...,"parent":...}`
+//! on any protocol request); the daemon assigns one otherwise, so every
+//! request always has a complete span tree.
+//!
+//! Spans land in a [`SpanBuf`]: a fixed-capacity ring of seqlocked
+//! slots. Writers never block (one atomic claim plus plain atomic
+//! stores), readers never block writers (a torn slot is simply skipped
+//! on that pass), and when the ring wraps the oldest spans are
+//! overwritten — [`SpanBuf::dropped`] counts how many. The process-wide
+//! ring is [`spans()`]; like the metric [`Registry`](crate::Registry)
+//! it can be disabled wholesale, degrading every record to one relaxed
+//! load (the `dse_throughput` trace-overhead bench compares exactly
+//! that).
+//!
+//! [`chrome_trace_json`] renders any span slice as Chrome trace-event
+//! JSON (`chrome://tracing` / Perfetto): one complete (`"ph":"X"`)
+//! event per span, with the worker index as the `tid` so a parallel
+//! sweep renders as a per-thread timeline.
+//!
+//! # Example
+//!
+//! ```
+//! use chain_nn_obs::trace::{spans, next_trace_id, next_span_id, Span};
+//! use std::time::{Duration, Instant};
+//!
+//! let trace = next_trace_id();
+//! let root = next_span_id();
+//! spans().record(&Span {
+//!     trace_id: trace,
+//!     span_id: root,
+//!     parent_id: 0,
+//!     name: "request",
+//!     start: Instant::now(),
+//!     dur: Duration::from_micros(250),
+//!     worker: None,
+//!     points: 0,
+//! });
+//! let mine = spans().for_trace(trace);
+//! assert_eq!(mine.len(), 1);
+//! assert_eq!(mine[0].name, "request");
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Longest span name the ring stores (longer names are truncated).
+pub const MAX_NAME: usize = 16;
+
+/// Default capacity (in spans) of the process-wide ring.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Trace ids the daemon assigns start here, so they cannot collide
+/// with the small explicit ids clients typically choose.
+pub const ASSIGNED_TRACE_BASE: u64 = 1 << 32;
+
+/// A client-propagated (or daemon-assigned) trace context: which trace
+/// a request belongs to and which remote span caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every span of this request is tagged with. Never 0.
+    pub id: u64,
+    /// The caller's span that caused this request (0 = none: the
+    /// request's root span is a tree root).
+    pub parent: u64,
+}
+
+/// One span, as handed to [`SpanBuf::record`].
+#[derive(Debug, Clone, Copy)]
+pub struct Span<'a> {
+    /// Owning trace.
+    pub trace_id: u64,
+    /// This span's id (unique within the process; see [`next_span_id`]).
+    pub span_id: u64,
+    /// Enclosing span, 0 for a root.
+    pub parent_id: u64,
+    /// Phase name; truncated to [`MAX_NAME`] bytes, non-printable
+    /// bytes replaced with `_`.
+    pub name: &'a str,
+    /// When the phase began.
+    pub start: Instant,
+    /// How long it ran.
+    pub dur: Duration,
+    /// Worker thread index, for phases that ran on a pool worker.
+    pub worker: Option<u32>,
+    /// Design points this phase covered (0 when not applicable).
+    pub points: u32,
+}
+
+/// One span, as read back out of a [`SpanBuf`] (or off the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Owning trace.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Enclosing span, 0 for a root.
+    pub parent_id: u64,
+    /// Phase name.
+    pub name: String,
+    /// Microseconds since the ring's epoch (process start, in
+    /// practice) at which the phase began.
+    pub start_us: u64,
+    /// Phase duration, microseconds.
+    pub dur_us: u64,
+    /// Worker thread index, for phases that ran on a pool worker.
+    pub worker: Option<u32>,
+    /// Design points this phase covered.
+    pub points: u32,
+}
+
+/// One seqlocked ring slot. The sequence word makes torn reads
+/// detectable: it is odd while a writer is mid-flight and changes on
+/// every publish, so a reader that sees the same even value before and
+/// after its field loads saw one consistent span.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    span_id: AtomicU64,
+    parent_id: AtomicU64,
+    name_lo: AtomicU64,
+    name_hi: AtomicU64,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+    /// High 32 bits: worker index + 1 (0 = no worker); low 32: points.
+    meta: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+            parent_id: AtomicU64::new(0),
+            name_lo: AtomicU64::new(0),
+            name_hi: AtomicU64::new(0),
+            start_us: AtomicU64::new(0),
+            dur_us: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+        }
+    }
+}
+
+fn pack_name(name: &str) -> (u64, u64) {
+    let mut bytes = [0u8; MAX_NAME];
+    for (i, &b) in name.as_bytes().iter().take(MAX_NAME).enumerate() {
+        bytes[i] = if (0x20..0x7f).contains(&b) { b } else { b'_' };
+    }
+    (
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+    )
+}
+
+fn unpack_name(lo: u64, hi: u64) -> String {
+    let mut bytes = [0u8; MAX_NAME];
+    bytes[..8].copy_from_slice(&lo.to_le_bytes());
+    bytes[8..].copy_from_slice(&hi.to_le_bytes());
+    let len = bytes.iter().position(|&b| b == 0).unwrap_or(MAX_NAME);
+    String::from_utf8_lossy(&bytes[..len]).into_owned()
+}
+
+/// Lock-free bounded span ring: fixed-size seqlocked slots, drop-oldest
+/// on wrap, a dropped-span counter, and a kill switch mirroring
+/// [`Registry::set_enabled`](crate::Registry::set_enabled) (separate
+/// flag, so metrics and spans toggle independently).
+#[derive(Debug)]
+pub struct SpanBuf {
+    slots: Box<[Slot]>,
+    /// Total spans ever recorded; `head % capacity` is the next slot.
+    head: AtomicU64,
+    enabled: AtomicBool,
+    epoch: Instant,
+}
+
+impl SpanBuf {
+    /// A ring holding the most recent `capacity` spans (min 1),
+    /// enabled, with its epoch at construction time.
+    #[must_use]
+    pub fn new(capacity: usize) -> SpanBuf {
+        SpanBuf {
+            slots: (0..capacity.max(1)).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Slot count.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Switches span recording on or off. Off, [`SpanBuf::record`] is
+    /// one relaxed load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the ring is recording.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Spans recorded since construction (monotone; the ring only
+    /// retains the most recent [`SpanBuf::capacity`]).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Spans overwritten by newer ones (drop-oldest accounting).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records one span. One relaxed RMW to claim a slot, one seqlock
+    /// publish; never blocks, never allocates. When two writers race
+    /// onto the same slot (only possible after the ring laps itself
+    /// mid-write) the slot holds one of the two and readers still never
+    /// observe a torn mix.
+    pub fn record(&self, span: &Span<'_>) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len() as u64) as usize;
+        let slot = &self.slots[idx];
+        let (name_lo, name_hi) = pack_name(span.name);
+        let start_us = span
+            .start
+            .checked_duration_since(self.epoch)
+            .unwrap_or_default()
+            .as_micros() as u64;
+        let worker = span.worker.map_or(0, |w| u64::from(w) + 1);
+        slot.seq.fetch_add(1, Ordering::AcqRel); // odd: write in flight
+        slot.trace_id.store(span.trace_id, Ordering::Relaxed);
+        slot.span_id.store(span.span_id, Ordering::Relaxed);
+        slot.parent_id.store(span.parent_id, Ordering::Relaxed);
+        slot.name_lo.store(name_lo, Ordering::Relaxed);
+        slot.name_hi.store(name_hi, Ordering::Relaxed);
+        slot.start_us.store(start_us, Ordering::Relaxed);
+        slot.dur_us
+            .store(span.dur.as_micros() as u64, Ordering::Relaxed);
+        slot.meta
+            .store(worker << 32 | u64::from(span.points), Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::AcqRel); // even: published
+    }
+
+    /// The ring's current contents, oldest first. Slots a writer is
+    /// racing on are skipped (they will be consistent on the next
+    /// pass); empty slots of a young ring are skipped too.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let len = head.min(cap);
+        let mut out = Vec::with_capacity(len as usize);
+        for i in (head - len)..head {
+            let slot = &self.slots[(i % cap) as usize];
+            let before = slot.seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                continue; // writer mid-flight
+            }
+            let record = SpanRecord {
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                span_id: slot.span_id.load(Ordering::Relaxed),
+                parent_id: slot.parent_id.load(Ordering::Relaxed),
+                name: unpack_name(
+                    slot.name_lo.load(Ordering::Relaxed),
+                    slot.name_hi.load(Ordering::Relaxed),
+                ),
+                start_us: slot.start_us.load(Ordering::Relaxed),
+                dur_us: slot.dur_us.load(Ordering::Relaxed),
+                worker: match slot.meta.load(Ordering::Relaxed) >> 32 {
+                    0 => None,
+                    w => Some((w - 1) as u32),
+                },
+                points: (slot.meta.load(Ordering::Relaxed) & 0xffff_ffff) as u32,
+            };
+            if slot.seq.load(Ordering::Acquire) != before || record.span_id == 0 {
+                continue; // torn (overwritten mid-read) or never written
+            }
+            out.push(record);
+        }
+        out
+    }
+
+    /// The spans of one trace, ordered by start time then span id —
+    /// the shape a `trace_query` reply ships.
+    #[must_use]
+    pub fn for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect();
+        spans.sort_by_key(|s| (s.start_us, s.span_id));
+        spans
+    }
+}
+
+static SPANS: OnceLock<SpanBuf> = OnceLock::new();
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(ASSIGNED_TRACE_BASE);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// The process-wide span ring ([`DEFAULT_CAPACITY`] slots): the
+/// scheduler, the DSE executor, the tuner and the serving daemon all
+/// record here, so one `trace_query` sees every layer.
+pub fn spans() -> &'static SpanBuf {
+    SPANS.get_or_init(|| SpanBuf::new(DEFAULT_CAPACITY))
+}
+
+/// A fresh daemon-assigned trace id (distinct from every other id this
+/// process ever assigned, and ≥ [`ASSIGNED_TRACE_BASE`] so it cannot
+/// collide with small client-chosen ids).
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A fresh process-unique span id (never 0).
+#[must_use]
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as Chrome trace-event JSON (load in `chrome://tracing`
+/// or <https://ui.perfetto.dev>). Each span becomes one complete
+/// (`"ph":"X"`) event; the `tid` is the worker index + 1 (0 for
+/// session-thread phases), so batches executed by different workers
+/// land on different timeline rows.
+#[must_use]
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"trace_id\":{},\"span_id\":{},\"parent\":{},\"points\":{}}}}}",
+            escape_json(&s.name),
+            s.start_us,
+            s.dur_us,
+            s.worker.map_or(0, |w| u64::from(w) + 1),
+            s.trace_id,
+            s.span_id,
+            s.parent_id,
+            s.points,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn span(trace: u64, id: u64, name: &str) -> Span<'_> {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent_id: 0,
+            name,
+            start: Instant::now(),
+            dur: Duration::from_micros(5),
+            worker: None,
+            points: 0,
+        }
+    }
+
+    #[test]
+    fn names_pack_and_unpack() {
+        for name in ["", "parse", "queue_wait", "metrics_history!"] {
+            let (lo, hi) = pack_name(name);
+            assert_eq!(unpack_name(lo, hi), name);
+        }
+        // Truncation and sanitisation.
+        let (lo, hi) = pack_name("a_very_long_span_name_indeed");
+        assert_eq!(unpack_name(lo, hi), "a_very_long_span");
+        let (lo, hi) = pack_name("bad\nname");
+        assert_eq!(unpack_name(lo, hi), "bad_name");
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let buf = SpanBuf::new(4);
+        for i in 1..=6u64 {
+            buf.record(&span(7, i, "s"));
+        }
+        assert_eq!(buf.recorded(), 6);
+        assert_eq!(buf.dropped(), 2);
+        let kept: Vec<u64> = buf.snapshot().iter().map(|s| s.span_id).collect();
+        assert_eq!(kept, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let buf = SpanBuf::new(4);
+        buf.set_enabled(false);
+        buf.record(&span(1, 1, "s"));
+        assert_eq!(buf.recorded(), 0);
+        assert!(buf.snapshot().is_empty());
+        buf.set_enabled(true);
+        buf.record(&span(1, 2, "s"));
+        assert_eq!(buf.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn spans_round_trip_fields() {
+        let buf = SpanBuf::new(8);
+        let start = Instant::now();
+        buf.record(&Span {
+            trace_id: 42,
+            span_id: 9,
+            parent_id: 3,
+            name: "batch",
+            start,
+            dur: Duration::from_micros(1234),
+            worker: Some(5),
+            points: 32,
+        });
+        let got = &buf.for_trace(42)[0];
+        assert_eq!(got.span_id, 9);
+        assert_eq!(got.parent_id, 3);
+        assert_eq!(got.name, "batch");
+        assert_eq!(got.dur_us, 1234);
+        assert_eq!(got.worker, Some(5));
+        assert_eq!(got.points, 32);
+    }
+
+    #[test]
+    fn for_trace_filters_and_orders() {
+        let buf = SpanBuf::new(16);
+        let t0 = Instant::now();
+        for (id, off) in [(3u64, 20u64), (1, 0), (2, 10)] {
+            buf.record(&Span {
+                trace_id: 1,
+                span_id: id,
+                parent_id: 0,
+                name: "s",
+                start: t0 + Duration::from_micros(off),
+                dur: Duration::from_micros(1),
+                worker: None,
+                points: 0,
+            });
+        }
+        buf.record(&span(2, 50, "other"));
+        let ids: Vec<u64> = buf.for_trace(1).iter().map(|s| s.span_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let buf = SpanBuf::new(8); // small, so writers lap constantly
+        let done = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let buf = &buf;
+                let done = &done;
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        // Every field derives from the span id, so a
+                        // torn read is detectable below.
+                        let id = w * 1_000_000 + i + 1;
+                        buf.record(&Span {
+                            trace_id: id * 3,
+                            span_id: id,
+                            parent_id: id * 7,
+                            name: "race",
+                            start: Instant::now(),
+                            dur: Duration::from_micros(id % 97),
+                            worker: Some((id % 13) as u32),
+                            points: (id % 31) as u32,
+                        });
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            while done.load(Ordering::SeqCst) < 4 {
+                for s in buf.snapshot() {
+                    assert_eq!(s.trace_id, s.span_id * 3, "torn slot: {s:?}");
+                    assert_eq!(s.parent_id, s.span_id * 7, "torn slot: {s:?}");
+                    assert_eq!(s.dur_us, s.span_id % 97, "torn slot: {s:?}");
+                }
+            }
+        });
+        assert_eq!(buf.recorded(), 8000);
+        assert_eq!(buf.dropped(), 8000 - 8);
+    }
+
+    #[test]
+    fn id_allocators_are_unique_and_offset() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(b > a);
+        assert!(a >= ASSIGNED_TRACE_BASE);
+        assert_ne!(next_span_id(), next_span_id());
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let spans = vec![
+            SpanRecord {
+                trace_id: 4242,
+                span_id: 1,
+                parent_id: 0,
+                name: "sweep".into(),
+                start_us: 100,
+                dur_us: 900,
+                worker: None,
+                points: 500,
+            },
+            SpanRecord {
+                trace_id: 4242,
+                span_id: 2,
+                parent_id: 1,
+                name: "batch".into(),
+                start_us: 150,
+                dur_us: 40,
+                worker: Some(1),
+                points: 32,
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":0")); // session thread
+        assert!(json.contains("\"tid\":2")); // worker 1
+        assert!(json.contains("\"points\":500"));
+        // Name escaping stays valid JSON.
+        let hostile = vec![SpanRecord {
+            name: "a\"b\\c".into(),
+            ..spans[0].clone()
+        }];
+        assert!(chrome_trace_json(&hostile).contains("a\\\"b\\\\c"));
+    }
+}

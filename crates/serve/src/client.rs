@@ -11,6 +11,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use chain_nn_dse::{DesignPoint, PointOutcome, SweepSpec};
+use chain_nn_obs::trace::TraceContext;
 
 use crate::protocol::{ProtocolError, Request, Response};
 
@@ -50,6 +51,10 @@ impl From<ProtocolError> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// When set, every request this client sends carries this trace
+    /// context, so the daemon files the request's spans under the
+    /// caller's trace id instead of assigning its own.
+    trace: Option<TraceContext>,
 }
 
 impl Client {
@@ -66,7 +71,16 @@ impl Client {
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
+            trace: None,
         })
+    }
+
+    /// Sets (or clears) the trace context attached to every subsequent
+    /// request on this session. Propagating one context across several
+    /// requests stitches them into a single causal trace the daemon can
+    /// answer `trace_query` for.
+    pub fn set_trace(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx;
     }
 
     /// Sends one request and blocks for its reply.
@@ -83,7 +97,10 @@ impl Client {
 
     /// Sends one request line without waiting for anything.
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        let mut wire = request.encode();
+        let mut wire = match self.trace {
+            Some(ctx) => request.encode_with_trace(ctx),
+            None => request.encode(),
+        };
         wire.push('\n');
         self.writer.write_all(wire.as_bytes())?;
         Ok(self.writer.flush()?)
@@ -280,6 +297,28 @@ impl Client {
                 terminal => return Ok(terminal),
             }
         }
+    }
+
+    /// Fetches the span tree recorded for one trace id
+    /// ([`Response::Trace`]: the spans sorted by start time, plus the
+    /// ring's dropped-span count).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn trace_query(&mut self, id: u64) -> Result<Response, ClientError> {
+        self.request(&Request::TraceQuery { id })
+    }
+
+    /// Asks the daemon to write its flight file (recent spans + current
+    /// metrics) right now — the on-demand counterpart of the panic
+    /// hook. Requires the daemon to run with `--trace-log`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn dump(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Dump)
     }
 
     /// Asks the daemon to drain, flush and exit.

@@ -75,6 +75,7 @@ use std::fmt;
 use chain_nn_dse::{
     DesignPoint, MixEntry, MixResult, PointOutcome, PointResult, SweepSpec, WorkloadMix,
 };
+use chain_nn_obs::trace::{SpanRecord, TraceContext};
 use chain_nn_obs::{HistogramSummary, MetricEntry, MetricValue, Snapshot};
 use chain_nn_tuner::{
     Budget, BudgetAxis, BudgetSweep, FrontierStep, FrontierTuneRequest, Metric, Objective,
@@ -145,6 +146,16 @@ pub enum Request {
         /// until the client disconnects or the daemon shuts down.
         samples: u64,
     },
+    /// The span tree of one trace: every span the daemon's ring still
+    /// holds for the given trace id (see the `"trace"` request field).
+    TraceQuery {
+        /// The trace id to look up.
+        id: u64,
+    },
+    /// Flight-recorder dump: write the span ring's recent spans plus a
+    /// current metrics snapshot to `<trace-log>.flight.json` for
+    /// post-mortem forensics (errors when the daemon has no trace log).
+    Dump,
     /// Drain in-flight work, flush the cache file, stop the daemon.
     Shutdown,
 }
@@ -422,6 +433,26 @@ pub enum Response {
         /// Sample lines that preceded this line.
         samples: u64,
     },
+    /// The span tree for one trace id ([`Request::TraceQuery`] reply).
+    Trace {
+        /// The queried trace id.
+        id: u64,
+        /// Spans the ring has dropped (overwritten) since daemon
+        /// start — non-zero means the tree below may be incomplete.
+        dropped: u64,
+        /// The trace's spans, ordered by start time; parent ids encode
+        /// the tree.
+        spans: Vec<SpanRecord>,
+    },
+    /// Flight-recorder dump written ([`Request::Dump`] reply).
+    Dump {
+        /// Where the flight file landed.
+        path: String,
+        /// Spans written into it.
+        spans: usize,
+        /// Ring drop counter at dump time.
+        dropped: u64,
+    },
     /// Shutdown acknowledged; the daemon exits after this reply.
     Shutdown,
     /// Backpressure: the admission queue is full, retry later.
@@ -601,7 +632,31 @@ impl Request {
     /// The single-line wire form (no trailing newline; the transport
     /// adds it).
     pub fn encode(&self) -> String {
-        let json = match self {
+        self.to_json().to_string()
+    }
+
+    /// The wire form carrying a propagated trace context: the same
+    /// line [`Request::encode`] produces plus a
+    /// `"trace":{"id":...,"parent":...}` field (`parent` omitted when
+    /// 0). Daemons that predate tracing ignore the extra field.
+    pub fn encode_with_trace(&self, ctx: TraceContext) -> String {
+        let mut trace_fields = vec![("id".to_owned(), unum(ctx.id))];
+        if ctx.parent != 0 {
+            trace_fields.push(("parent".to_owned(), unum(ctx.parent)));
+        }
+        let Json::Obj(mut fields) = self.to_json() else {
+            unreachable!("requests encode as objects");
+        };
+        // Right after "type", so the wire reads naturally.
+        fields.insert(
+            1.min(fields.len()),
+            ("trace".to_owned(), Json::Obj(trace_fields)),
+        );
+        Json::Obj(fields).to_string()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
             Request::Eval(point) => Json::Obj(vec![
                 ("type".into(), Json::Str("eval".into())),
                 ("point".into(), point_to_json(point)),
@@ -647,9 +702,13 @@ impl Request {
                 ("type".into(), Json::Str("watch".into())),
                 ("samples".into(), unum(*samples)),
             ]),
+            Request::TraceQuery { id } => Json::Obj(vec![
+                ("type".into(), Json::Str("trace_query".into())),
+                ("id".into(), unum(*id)),
+            ]),
+            Request::Dump => Json::Obj(vec![("type".into(), Json::Str("dump".into()))]),
             Request::Shutdown => Json::Obj(vec![("type".into(), Json::Str("shutdown".into()))]),
-        };
-        json.to_string()
+        }
     }
 }
 
@@ -861,6 +920,27 @@ impl Response {
                 ("done".into(), Json::Bool(true)),
                 ("samples".into(), unum(*samples)),
             ]),
+            Response::Trace { id, dropped, spans } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("trace".into())),
+                ("id".into(), unum(*id)),
+                ("dropped".into(), unum(*dropped)),
+                (
+                    "spans".into(),
+                    Json::Arr(spans.iter().map(span_to_json).collect()),
+                ),
+            ]),
+            Response::Dump {
+                path,
+                spans,
+                dropped,
+            } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("type".into(), Json::Str("dump".into())),
+                ("path".into(), Json::Str(path.clone())),
+                ("spans".into(), unum(*spans as u64)),
+                ("dropped".into(), unum(*dropped)),
+            ]),
             Response::Shutdown => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("type".into(), Json::Str("shutdown".into())),
@@ -896,7 +976,26 @@ fn type_windows_to_json(types: &[HistoryTypeWindow]) -> Json {
     )
 }
 
-fn metric_entry_to_json(entry: &MetricEntry) -> Json {
+/// One span of a `trace` reply. The span's trace id is implied by the
+/// reply-level `id` and not repeated per span.
+pub(crate) fn span_to_json(s: &SpanRecord) -> Json {
+    let mut fields = vec![
+        ("span".into(), unum(s.span_id)),
+        ("parent".into(), unum(s.parent_id)),
+        ("name".into(), Json::Str(s.name.clone())),
+        ("start_us".into(), unum(s.start_us)),
+        ("dur_us".into(), unum(s.dur_us)),
+    ];
+    if let Some(w) = s.worker {
+        fields.push(("worker".into(), unum(u64::from(w))));
+    }
+    if s.points != 0 {
+        fields.push(("points".into(), unum(u64::from(s.points))));
+    }
+    Json::Obj(fields)
+}
+
+pub(crate) fn metric_entry_to_json(entry: &MetricEntry) -> Json {
     let mut fields = vec![("name".into(), Json::Str(entry.name.clone()))];
     if !entry.labels.is_empty() {
         fields.push((
@@ -933,6 +1032,34 @@ fn metric_entry_to_json(entry: &MetricEntry) -> Json {
 }
 
 // ---------------------------------------------------------------- decode
+
+fn span_from_json(trace_id: u64, v: &Json) -> Result<SpanRecord, ProtocolError> {
+    Ok(SpanRecord {
+        trace_id,
+        span_id: v
+            .get("span")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("span entry needs an integer 'span'"))?,
+        parent_id: get_usize(v, "parent", 0)? as u64,
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("span entry needs a string 'name'"))?
+            .to_owned(),
+        start_us: get_usize(v, "start_us", 0)? as u64,
+        dur_us: get_usize(v, "dur_us", 0)? as u64,
+        worker: match v.get("worker") {
+            None => None,
+            Some(w) => Some(
+                w.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| bad("span 'worker' must be a small integer"))?,
+            ),
+        },
+        points: u32::try_from(get_usize(v, "points", 0)?)
+            .map_err(|_| bad("span 'points' out of range"))?,
+    })
+}
 
 fn metric_entry_from_json(v: &Json) -> Result<MetricEntry, ProtocolError> {
     let name = v
@@ -1343,6 +1470,41 @@ impl Request {
     /// `"type"`, or mistyped fields.
     pub fn decode(line: &str) -> Result<Request, ProtocolError> {
         let v = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+        Request::decode_value(&v)
+    }
+
+    /// Parses one request line together with its optional propagated
+    /// `"trace"` context. [`Request::decode`] ignores the field (so
+    /// legacy call sites are unchanged); the daemon's session loop uses
+    /// this entry point to tag every span of the request.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Request::decode`] rejects, plus a malformed
+    /// `"trace"` object (missing/zero `id`, mistyped fields).
+    pub fn decode_with_trace(line: &str) -> Result<(Request, Option<TraceContext>), ProtocolError> {
+        let v = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+        let ctx = match v.get("trace") {
+            None => None,
+            Some(t @ Json::Obj(_)) => {
+                let id = t
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("'trace' needs an integer 'id'"))?;
+                if id == 0 {
+                    return Err(bad("'trace' id must be non-zero"));
+                }
+                Some(TraceContext {
+                    id,
+                    parent: get_usize(t, "parent", 0)? as u64,
+                })
+            }
+            Some(_) => return Err(bad("'trace' must be an object")),
+        };
+        Ok((Request::decode_value(&v)?, ctx))
+    }
+
+    fn decode_value(v: &Json) -> Result<Request, ProtocolError> {
         let kind = v
             .get("type")
             .and_then(Json::as_str)
@@ -1358,9 +1520,9 @@ impl Request {
                     .ok_or_else(|| bad("sweep request needs a 'spec' object"))?;
                 Ok(Request::Sweep(spec_from_json(spec)?))
             }
-            "tune" => Ok(Request::Tune(Box::new(tune_request_from_json(&v)?))),
+            "tune" => Ok(Request::Tune(Box::new(tune_request_from_json(v)?))),
             "tune_frontier" => {
-                let base = tune_request_from_json(&v)?;
+                let base = tune_request_from_json(v)?;
                 let sweep = v
                     .get("sweep")
                     .ok_or_else(|| bad("tune_frontier request needs a 'sweep'"))?;
@@ -1371,7 +1533,7 @@ impl Request {
                 })))
             }
             "frontier" => {
-                let dims = get_usize(&v, "dims", 3)?;
+                let dims = get_usize(v, "dims", 3)?;
                 if !(dims == 2 || dims == 3) {
                     return Err(bad("'dims' must be 2 or 3"));
                 }
@@ -1399,8 +1561,16 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "metrics_history" => Ok(Request::MetricsHistory),
             "watch" => Ok(Request::Watch {
-                samples: get_usize(&v, "samples", 0)? as u64,
+                samples: get_usize(v, "samples", 0)? as u64,
             }),
+            "trace_query" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("trace_query needs an integer 'id'"))?;
+                Ok(Request::TraceQuery { id })
+            }
+            "dump" => Ok(Request::Dump),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!("unknown request type '{other}'"))),
         }
@@ -1638,6 +1808,33 @@ impl Response {
                     types: type_windows_from_json(&v)?,
                 })))
             }
+            "trace" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("trace response needs an integer 'id'"))?;
+                let spans = v
+                    .get("spans")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("trace response needs 'spans'"))?
+                    .iter()
+                    .map(|s| span_from_json(id, s))
+                    .collect::<Result<_, ProtocolError>>()?;
+                Ok(Response::Trace {
+                    id,
+                    dropped: get_usize(&v, "dropped", 0)? as u64,
+                    spans,
+                })
+            }
+            "dump" => Ok(Response::Dump {
+                path: v
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("dump response needs a string 'path'"))?
+                    .to_owned(),
+                spans: get_usize(&v, "spans", 0)?,
+                dropped: get_usize(&v, "dropped", 0)? as u64,
+            }),
             "shutdown" => Ok(Response::Shutdown),
             other => Err(bad(format!("unknown response type '{other}'"))),
         }
@@ -1695,6 +1892,8 @@ mod tests {
             Request::MetricsHistory,
             Request::Watch { samples: 0 },
             Request::Watch { samples: 5 },
+            Request::TraceQuery { id: 4242 },
+            Request::Dump,
             Request::Shutdown,
         ];
         for req in requests {
@@ -1865,6 +2064,42 @@ mod tests {
                 }],
             })),
             Response::WatchDone { samples: 7 },
+            Response::Trace {
+                id: 4242,
+                dropped: 3,
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 4242,
+                        span_id: 10,
+                        parent_id: 0,
+                        name: "sweep".into(),
+                        start_us: 100,
+                        dur_us: 950,
+                        worker: None,
+                        points: 500,
+                    },
+                    SpanRecord {
+                        trace_id: 4242,
+                        span_id: 11,
+                        parent_id: 10,
+                        name: "batch".into(),
+                        start_us: 200,
+                        dur_us: 40,
+                        worker: Some(1),
+                        points: 32,
+                    },
+                ],
+            },
+            Response::Trace {
+                id: 7,
+                dropped: 0,
+                spans: vec![],
+            },
+            Response::Dump {
+                path: "/tmp/trace.jsonl.flight.json".into(),
+                spans: 128,
+                dropped: 0,
+            },
             Response::Shutdown,
             Response::Busy {
                 active: 16,
@@ -2159,6 +2394,49 @@ mod tests {
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn trace_contexts_propagate_and_legacy_lines_decode_unchanged() {
+        // Every request shape can carry a context, which decodes back.
+        let ctx = TraceContext {
+            id: 4242,
+            parent: 17,
+        };
+        for req in [
+            Request::Eval(DesignPoint::paper_alexnet()),
+            Request::Sweep(SweepSpec::paper_point()),
+            Request::Tune(Box::default()),
+            Request::Stats,
+            Request::TraceQuery { id: 9 },
+        ] {
+            let line = req.encode_with_trace(ctx);
+            let (back, got) = Request::decode_with_trace(&line).unwrap();
+            assert_eq!(back, req, "{line}");
+            assert_eq!(got, Some(ctx), "{line}");
+            // Plain decode (a pre-tracing daemon) ignores the field.
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+        // A root context omits `parent` on the wire and decodes to 0.
+        let line = Request::Stats.encode_with_trace(TraceContext { id: 5, parent: 0 });
+        assert!(!line.contains("parent"));
+        let (_, got) = Request::decode_with_trace(&line).unwrap();
+        assert_eq!(got, Some(TraceContext { id: 5, parent: 0 }));
+        // Lines without the field decode to no context.
+        let (_, got) = Request::decode_with_trace(r#"{"type":"stats"}"#).unwrap();
+        assert_eq!(got, None);
+        // Malformed contexts are rejected, not ignored.
+        for bad in [
+            r#"{"type":"stats","trace":7}"#,
+            r#"{"type":"stats","trace":{}}"#,
+            r#"{"type":"stats","trace":{"id":0}}"#,
+            r#"{"type":"stats","trace":{"id":"yes"}}"#,
+            r#"{"type":"stats","trace":{"id":3,"parent":-1}}"#,
+        ] {
+            assert!(Request::decode_with_trace(bad).is_err(), "{bad:?}");
+        }
+        // trace_query requires its id.
+        assert!(Request::decode(r#"{"type":"trace_query"}"#).is_err());
     }
 
     #[test]

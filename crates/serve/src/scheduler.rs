@@ -52,12 +52,25 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// Which trace a job's batch spans belong to: the owning trace id and
+/// the request's root span the batches hang under. Carried through the
+/// queue so the worker that executes a batch — not the session thread —
+/// records the span, with its own worker index as the timeline row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRef {
+    /// Owning trace (see [`chain_nn_obs::trace`]).
+    pub trace_id: u64,
+    /// The request's root span id; batch spans parent onto it.
+    pub parent_span: u64,
+}
+
 /// One admitted request: a point list, a claim cursor, and the
 /// completion state its submitter waits on.
 struct Job {
     points: Arc<Vec<DesignPoint>>,
     next: usize,
     done: Arc<Completion>,
+    trace: Option<TraceRef>,
 }
 
 /// Completion state shared between the workers and the waiting
@@ -175,6 +188,7 @@ struct Claim {
     start: usize,
     end: usize,
     done: Arc<Completion>,
+    trace: Option<TraceRef>,
 }
 
 struct SchedState {
@@ -300,6 +314,20 @@ impl Scheduler {
     /// [`SubmitError::Busy`] at the admission bound;
     /// [`SubmitError::ShuttingDown`] once shutdown began.
     pub fn submit(&self, points: Vec<DesignPoint>) -> Result<JobHandle, SubmitError> {
+        self.submit_traced(points, None)
+    }
+
+    /// [`Scheduler::submit`], tagging the job so every batch a worker
+    /// claims from it records a `batch` span under `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Scheduler::submit`]'s.
+    pub fn submit_traced(
+        &self,
+        points: Vec<DesignPoint>,
+        trace: Option<TraceRef>,
+    ) -> Result<JobHandle, SubmitError> {
         let total = points.len();
         let done = Scheduler::completion(total, SlotOwnership::Owned);
         {
@@ -319,6 +347,7 @@ impl Scheduler {
                     points: Arc::new(points),
                     next: 0,
                     done: Arc::clone(&done),
+                    trace,
                 });
             } else {
                 // An empty job completes immediately; it was still
@@ -365,8 +394,23 @@ impl Scheduler {
     /// slots do not exempt *new* rounds from the drain.
     pub fn submit_in(
         &self,
+        slot: &AdmissionSlot<'_>,
+        points: Vec<DesignPoint>,
+    ) -> Result<JobHandle, SubmitError> {
+        self.submit_in_traced(slot, points, None)
+    }
+
+    /// [`Scheduler::submit_in`], tagging the round's job so its batch
+    /// spans land under `trace` (the tune request's root span).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Scheduler::submit_in`]'s.
+    pub fn submit_in_traced(
+        &self,
         _slot: &AdmissionSlot<'_>,
         points: Vec<DesignPoint>,
+        trace: Option<TraceRef>,
     ) -> Result<JobHandle, SubmitError> {
         let total = points.len();
         let done = Scheduler::completion(total, SlotOwnership::External);
@@ -380,6 +424,7 @@ impl Scheduler {
                     points: Arc::new(points),
                     next: 0,
                     done: Arc::clone(&done),
+                    trace,
                 });
             }
         }
@@ -402,6 +447,7 @@ impl Scheduler {
                     start,
                     end,
                     done: Arc::clone(&job.done),
+                    trace: job.trace,
                 };
                 // First claim of this job ends its queue wait.
                 let _ = claim.done.first_claimed.set(Instant::now());
@@ -439,12 +485,23 @@ impl Scheduler {
 
     /// One worker: claim → evaluate → deliver, until shutdown drains
     /// the queue. Run this on `threads` std threads.
+    /// ([`Scheduler::worker_loop_indexed`] additionally tags batch
+    /// spans with the worker's pool index; this entry point is worker
+    /// 0, for tests and single-threaded embedding.)
     pub fn worker_loop(&self) {
+        self.worker_loop_indexed(0);
+    }
+
+    /// [`Scheduler::worker_loop`] with an explicit pool index: batches
+    /// of traced jobs record a `batch` span tagged with `worker`, so a
+    /// sweep's trace renders as a per-thread timeline.
+    pub fn worker_loop_indexed(&self, worker: u32) {
         while let Some(Claim {
             points,
             start,
             end,
             done,
+            trace,
         }) = self.claim()
         {
             let batch_started = Instant::now();
@@ -472,6 +529,18 @@ impl Scheduler {
                 .record_duration(batch_started.elapsed());
             self.metrics.batches.inc();
             self.metrics.points.add((end - start) as u64);
+            if let Some(t) = trace {
+                chain_nn_obs::trace::spans().record(&chain_nn_obs::trace::Span {
+                    trace_id: t.trace_id,
+                    span_id: chain_nn_obs::trace::next_span_id(),
+                    parent_id: t.parent_span,
+                    name: "batch",
+                    start: batch_started,
+                    dur: batch_started.elapsed(),
+                    worker: Some(worker),
+                    points: (end - start) as u32,
+                });
+            }
             // On error the whole remaining range counts as finished so
             // the waiter's completion arithmetic still closes.
             let finished_now = end - start;

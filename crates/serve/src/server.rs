@@ -18,21 +18,23 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use chain_nn_dse::{pareto, CacheFile, DesignPoint, MixOutcome, PointCache, WorkloadMix};
 use chain_nn_obs::timeseries::{TimeSeries, Window};
+use chain_nn_obs::trace::{self as obs_trace, TraceContext};
 use chain_nn_obs::{Counter, Gauge, Histogram, Registry};
 use chain_nn_tuner::{evaluator, frontier, tune, MixEvaluator, TuneError};
 
+use crate::json::Json;
 use crate::protocol::{
     FrontierDoneSummary, FrontierEntry, FrontierStepSummary, HistoryTypeWindow, HistoryWindow,
     MetricsHistory, Request, Response, ServerStats, SweepSummary, TuneSummary, WatchSample,
 };
-use crate::scheduler::{AdmissionSlot, Scheduler, SubmitError, BATCH_SIZE};
+use crate::scheduler::{AdmissionSlot, Scheduler, SubmitError, TraceRef, BATCH_SIZE};
 use crate::slo::{SloSpec, SloTracker};
 
 /// How the daemon is set up. `Default` binds an ephemeral loopback
@@ -69,7 +71,8 @@ pub struct ServerConfig {
     /// Size cap for the trace log: when appending a line would push the
     /// file past this, the file is renamed to `<path>.1` (replacing the
     /// previous rotation) and a fresh one is started. The daemon keeps
-    /// at most two files — the live trace and one predecessor.
+    /// at most two files — the live trace and one predecessor. `0`
+    /// disables rotation entirely: the file grows without bound.
     pub trace_max_bytes: u64,
     /// How often the sampler thread snapshots the registry into the
     /// metrics history ring (drives `metrics_history`, `watch`, and
@@ -153,6 +156,10 @@ struct Shared {
     trace: Option<Mutex<TraceLog>>,
     /// Monotonic request ids for the trace log.
     next_request_id: AtomicU64,
+    /// Where flight-recorder dumps land (`<trace-log>.flight.json`);
+    /// `None` without `--trace-log`, which also disables the `dump`
+    /// request and the panic hook.
+    flight_path: Option<PathBuf>,
     /// Fixed-capacity ring of registry samples, advanced once per
     /// [`ServerConfig::sample_interval`] by the sampler thread. Every
     /// windowed read (`metrics_history`, `watch`, SLO evaluation)
@@ -185,16 +192,20 @@ impl TraceLog {
             path,
             writer,
             written: 0,
-            max_bytes: max_bytes.max(1),
+            max_bytes,
         })
     }
 
     /// Appends one complete trace line, rotating first when the line
     /// would push the file past the cap. A line larger than the cap
     /// itself still lands whole — rotation only ever splits *between*
-    /// lines, so both files always hold complete JSON records.
+    /// lines, so both files always hold complete JSON records. A cap of
+    /// 0 means "no rotation": the file grows without bound.
     fn append(&mut self, line: &str) -> std::io::Result<()> {
-        if self.written > 0 && self.written + line.len() as u64 > self.max_bytes {
+        if self.max_bytes > 0
+            && self.written > 0
+            && self.written + line.len() as u64 > self.max_bytes
+        {
             self.rotate()?;
         }
         self.writer.write_all(line.as_bytes())?;
@@ -255,6 +266,15 @@ impl ServeMetrics {
 struct RequestSpan {
     /// Monotonic id, unique within one daemon lifetime.
     id: u64,
+    /// Owning trace: the client-propagated id, or a daemon-assigned
+    /// one. 0 until the line parses (parse errors record no spans).
+    trace_id: u64,
+    /// The client's remote parent span (0 = this request roots the
+    /// tree).
+    remote_parent: u64,
+    /// The request's root span id in the process span ring; batch and
+    /// tune-round spans hang under it.
+    root_span: u64,
     /// Request type label (`eval`, `sweep`, …; `parse_error` when the
     /// line never decoded).
     kind: &'static str,
@@ -282,6 +302,9 @@ impl RequestSpan {
     fn new(id: u64) -> RequestSpan {
         RequestSpan {
             id,
+            trace_id: 0,
+            remote_parent: 0,
+            root_span: 0,
             kind: "unknown",
             parse: Duration::ZERO,
             queue_wait: Duration::ZERO,
@@ -292,6 +315,16 @@ impl RequestSpan {
             cache_hits: 0,
             cache_misses: 0,
         }
+    }
+
+    /// The scheduler-facing trace reference: who batch spans should
+    /// parent onto. `None` before the line parsed (and for parse
+    /// errors), which records no spans at all.
+    fn trace_ref(&self) -> Option<TraceRef> {
+        (self.trace_id != 0).then_some(TraceRef {
+            trace_id: self.trace_id,
+            parent_span: self.root_span,
+        })
     }
 
     /// Folds one completed scheduler job's timings and cache counters
@@ -327,10 +360,13 @@ impl Shared {
         Ok(n)
     }
 
-    /// One sampler tick: refresh the scrape-time gauges (so the ring
-    /// carries them too, not just `metrics` replies), append a sample
-    /// to the history, and evaluate the SLOs against the new window.
-    fn take_sample(&self) {
+    /// Refreshes the scrape-time gauges: state that lives in counters
+    /// and structs elsewhere, sampled into the registry so one snapshot
+    /// carries everything. Called on every sampler tick *and* on the
+    /// `metrics`/`stats` request paths — a daemon with a long
+    /// `--sample-interval-ms` must not serve stale queue depth to a
+    /// scrape that asked right now.
+    fn refresh_gauges(&self) {
         let stats = self.cache.stats();
         let registry = &self.registry;
         registry
@@ -347,11 +383,18 @@ impl Shared {
             .set(self.scheduler.queue_depth() as f64);
         registry.gauge("cache_points").set(self.cache.len() as f64);
         registry.gauge("cache_hit_rate").set(stats.hit_rate());
+    }
+
+    /// One sampler tick: refresh the scrape-time gauges (so the ring
+    /// carries them too, not just `metrics` replies), append a sample
+    /// to the history, and evaluate the SLOs against the new window.
+    fn take_sample(&self) {
+        self.refresh_gauges();
         let breach = {
             let mut history = self.history.lock().expect("history lock poisoned");
-            history.sample(registry);
+            history.sample(&self.registry);
             let mut slo = self.slo.lock().expect("slo lock poisoned");
-            slo.evaluate(&history, registry)
+            slo.evaluate(&history, &self.registry)
         };
         if breach {
             self.slo_breach_ticks.fetch_add(1, Ordering::Relaxed);
@@ -412,40 +455,47 @@ impl Server {
             None => None,
         };
         let sample_interval = config.sample_interval.max(Duration::from_millis(1));
-        Ok(Server {
-            listener,
-            shared: Arc::new(Shared {
-                scheduler: Scheduler::with_registry(
-                    Arc::clone(&cache),
-                    config.queue_capacity,
-                    config.batch_size,
-                    &registry,
-                ),
-                cache,
-                cache_file,
-                flush_lock: Mutex::new(()),
-                persisted: AtomicU64::new(0),
-                requests: AtomicU64::new(0),
-                shutdown: AtomicBool::new(false),
-                threads,
-                loaded_from_disk,
-                cache_bounded: config.cache_capacity.is_some(),
-                connections: AtomicUsize::new(0),
-                max_connections: config.max_connections.max(1),
-                registry,
-                metrics,
-                trace,
-                next_request_id: AtomicU64::new(1),
-                history: Mutex::new(TimeSeries::new(
-                    sample_interval,
-                    config.history_capacity.max(2),
-                )),
+        let flight_path = config.trace_log.as_ref().map(|p| {
+            let mut flight = p.clone().into_os_string();
+            flight.push(".flight.json");
+            PathBuf::from(flight)
+        });
+        let shared = Arc::new(Shared {
+            scheduler: Scheduler::with_registry(
+                Arc::clone(&cache),
+                config.queue_capacity,
+                config.batch_size,
+                &registry,
+            ),
+            cache,
+            cache_file,
+            flush_lock: Mutex::new(()),
+            persisted: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            threads,
+            loaded_from_disk,
+            cache_bounded: config.cache_capacity.is_some(),
+            connections: AtomicUsize::new(0),
+            max_connections: config.max_connections.max(1),
+            registry,
+            metrics,
+            trace,
+            next_request_id: AtomicU64::new(1),
+            flight_path: flight_path.clone(),
+            history: Mutex::new(TimeSeries::new(
                 sample_interval,
-                slo: Mutex::new(SloTracker::new(config.slos)),
-                slo_breach_ticks: AtomicU64::new(0),
-                slow_log_us: config.slow_log_us,
-            }),
-        })
+                config.history_capacity.max(2),
+            )),
+            sample_interval,
+            slo: Mutex::new(SloTracker::new(config.slos)),
+            slo_breach_ticks: AtomicU64::new(0),
+            slow_log_us: config.slow_log_us,
+        });
+        if let Some(path) = flight_path {
+            register_flight_recorder(path, &shared);
+        }
+        Ok(Server { listener, shared })
     }
 
     /// The actually-bound address (resolves port 0).
@@ -475,9 +525,9 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let shared = &self.shared;
         std::thread::scope(|scope| -> std::io::Result<()> {
-            for _ in 0..shared.threads {
+            for idx in 0..shared.threads {
                 let s = Arc::clone(shared);
-                scope.spawn(move || s.scheduler.worker_loop());
+                scope.spawn(move || s.scheduler.worker_loop_indexed(idx as u32));
             }
             {
                 // The sampler: one registry snapshot per interval into
@@ -651,7 +701,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             RequestOutcome::Streamed { sink_dead: false } => "ok",
             RequestOutcome::Streamed { sink_dead: true } => "disconnect",
         };
-        record_span(shared, &span, status, received.elapsed());
+        record_span(shared, &span, status, received, received.elapsed());
         match outcome {
             RequestOutcome::Reply(response, stop_after_reply) => {
                 if LineSink::new(&mut writer).send(&response).is_err() {
@@ -672,9 +722,17 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Folds one finished request's span into the registry (per-type
-/// counter and latency families, busy counter, per-job cache traffic)
+/// counter and latency families, busy counter, per-job cache traffic),
+/// records the request's root + phase spans into the causal-trace ring,
 /// and appends its trace line when `--trace-log` is on.
-fn record_span(shared: &Shared, span: &RequestSpan, status: &str, total: Duration) {
+fn record_span(
+    shared: &Shared,
+    span: &RequestSpan,
+    status: &str,
+    received: Instant,
+    total: Duration,
+) {
+    record_trace_spans(span, received, total);
     let labels: &[(&str, &str)] = &[("type", span.kind)];
     let registry = &shared.registry;
     registry.counter_with("serve_requests_total", labels).inc();
@@ -727,12 +785,64 @@ fn record_span(shared: &Shared, span: &RequestSpan, status: &str, total: Duratio
         span.cache_hits,
         span.cache_misses,
     );
+    if span.trace_id != 0 {
+        line.push_str(&format!(",\"trace\":{}", span.trace_id));
+    }
     if slow {
         line.push_str(",\"slow\":true");
     }
     line.push_str("}\n");
     if let Ok(mut sink) = trace.lock() {
         let _ = sink.append(&line);
+    }
+}
+
+/// Records the finished request into the span ring: one root span for
+/// the whole request plus phase children (parse, then queue-wait and
+/// execute when scheduler jobs ran, then flush). The phases were timed
+/// independently on the session thread, so children are laid out
+/// sequentially from the root start with each duration clamped to the
+/// root's remainder — the invariants "children nest inside the root"
+/// and "queue_wait + execute ≤ total" hold by construction.
+fn record_trace_spans(span: &RequestSpan, received: Instant, total: Duration) {
+    if span.trace_id == 0 {
+        // Parse failures never resolve a trace context; nothing to file.
+        return;
+    }
+    let spans = obs_trace::spans();
+    if !spans.is_enabled() {
+        return;
+    }
+    spans.record(&obs_trace::Span {
+        trace_id: span.trace_id,
+        span_id: span.root_span,
+        parent_id: span.remote_parent,
+        name: span.kind,
+        start: received,
+        dur: total,
+        worker: None,
+        points: span.points.min(u64::from(u32::MAX)) as u32,
+    });
+    let mut phases: Vec<(&str, Duration)> = vec![("parse", span.parse)];
+    if span.jobs > 0 {
+        phases.push(("queue_wait", span.queue_wait));
+        phases.push(("execute", span.execute));
+    }
+    phases.push(("flush", span.flush));
+    let mut cursor = Duration::ZERO;
+    for (name, dur) in phases {
+        let dur = dur.min(total.saturating_sub(cursor));
+        spans.record(&obs_trace::Span {
+            trace_id: span.trace_id,
+            span_id: obs_trace::next_span_id(),
+            parent_id: span.root_span,
+            name,
+            start: received + cursor,
+            dur,
+            worker: None,
+            points: 0,
+        });
+        cursor += dur;
     }
 }
 
@@ -756,8 +866,8 @@ fn handle_request(
     span: &mut RequestSpan,
 ) -> RequestOutcome {
     let parse_started = Instant::now();
-    let request = match Request::decode(line) {
-        Ok(r) => r,
+    let (request, ctx) = match Request::decode_with_trace(line) {
+        Ok(pair) => pair,
         Err(e) => {
             span.parse = parse_started.elapsed();
             span.kind = "parse_error";
@@ -770,6 +880,16 @@ fn handle_request(
         }
     };
     span.parse = parse_started.elapsed();
+    // Every well-formed request gets a trace: the client's propagated
+    // context when present, a daemon-assigned id otherwise (offset so
+    // it can never collide with small client-chosen ids).
+    let ctx = ctx.unwrap_or_else(|| TraceContext {
+        id: obs_trace::next_trace_id(),
+        parent: 0,
+    });
+    span.trace_id = ctx.id;
+    span.remote_parent = ctx.parent;
+    span.root_span = obs_trace::next_span_id();
     span.kind = match &request {
         Request::Eval(_) => "eval",
         Request::Sweep(_) => "sweep",
@@ -780,11 +900,16 @@ fn handle_request(
         Request::Metrics => "metrics",
         Request::MetricsHistory => "metrics_history",
         Request::Watch { .. } => "watch",
+        Request::TraceQuery { .. } => "trace_query",
+        Request::Dump => "dump",
         Request::Shutdown => "shutdown",
     };
     match request {
         Request::Eval(point) => {
-            let response = match shared.scheduler.submit(vec![point.clone()]) {
+            let response = match shared
+                .scheduler
+                .submit_traced(vec![point.clone()], span.trace_ref())
+            {
                 Err(e) => submit_error_response(e),
                 Ok(handle) => match handle.wait() {
                     Err(e) => Response::Error {
@@ -820,7 +945,7 @@ fn handle_request(
             let points = spec.points();
             let total = points.len();
             let start = Instant::now();
-            let response = match shared.scheduler.submit(points) {
+            let response = match shared.scheduler.submit_traced(points, span.trace_ref()) {
                 Err(e) => submit_error_response(e),
                 Ok(handle) => match handle.wait() {
                     Err(e) => Response::Error {
@@ -865,7 +990,8 @@ fn handle_request(
             let response = match shared.scheduler.admit() {
                 Err(e) => submit_error_response(e),
                 Ok(slot) => {
-                    let mut evaluator = SchedulerEvaluator::new(&shared.scheduler, &slot);
+                    let mut evaluator =
+                        SchedulerEvaluator::new(&shared.scheduler, &slot, span.trace_ref());
                     let result = tune(&request, &mut evaluator);
                     evaluator.fold_into(span);
                     match result {
@@ -897,7 +1023,8 @@ fn handle_request(
             let outcome = match shared.scheduler.admit() {
                 Err(e) => RequestOutcome::reply(submit_error_response(e), false),
                 Ok(slot) => {
-                    let mut evaluator = SchedulerEvaluator::new(&shared.scheduler, &slot);
+                    let mut evaluator =
+                        SchedulerEvaluator::new(&shared.scheduler, &slot, span.trace_ref());
                     let steps = request.sweep.values.len();
                     let mut sink = LineSink::new(writer);
                     let mut sink_dead = false;
@@ -995,6 +1122,10 @@ fn handle_request(
             RequestOutcome::reply(Response::Frontier { dims, entries }, false)
         }
         Request::Stats => {
+            // A scrape-adjacent path: refresh the gauges here too, so a
+            // registry snapshot taken right after a `stats` reply agrees
+            // with it even under a long sampler interval.
+            shared.refresh_gauges();
             let stats = shared.cache.stats();
             RequestOutcome::reply(
                 Response::Stats(ServerStats {
@@ -1022,32 +1153,18 @@ fn handle_request(
             )
         }
         Request::Metrics => {
-            // Scrape-time gauges: state that lives in counters and
-            // structs elsewhere, sampled into the registry so one
-            // snapshot carries everything.
-            let stats = shared.cache.stats();
-            let registry = &shared.registry;
-            registry
-                .gauge("serve_uptime_seconds")
-                .set(registry.uptime().as_secs_f64());
-            registry
-                .gauge("serve_open_connections")
-                .set(shared.connections.load(Ordering::SeqCst) as f64);
-            registry
-                .gauge("serve_active_jobs")
-                .set(shared.scheduler.active_jobs() as f64);
-            registry
-                .gauge("serve_queue_depth")
-                .set(shared.scheduler.queue_depth() as f64);
-            registry
-                .gauge("cache_points")
-                .set(shared.cache.len() as f64);
-            registry.gauge("cache_hit_rate").set(stats.hit_rate());
+            // Scrape-time gauges: refreshed here as well as on sampler
+            // ticks, so a scrape never reads values as stale as the
+            // sampler interval.
+            shared.refresh_gauges();
             // The daemon's own registry plus the process-global one:
             // dse/tuner-layer metrics (`dse_*`, `tuner_*`) record to
             // the global registry, and the name prefixes are disjoint
             // from the serve/sched families, so the merge is clean.
-            let snapshot = registry.snapshot().merge(chain_nn_obs::global().snapshot());
+            let snapshot = shared
+                .registry
+                .snapshot()
+                .merge(chain_nn_obs::global().snapshot());
             RequestOutcome::reply(Response::Metrics { snapshot }, false)
         }
         Request::MetricsHistory => {
@@ -1091,6 +1208,36 @@ fn handle_request(
             RequestOutcome::Streamed {
                 sink_dead: sink.send(&done).is_err(),
             }
+        }
+        Request::TraceQuery { id } => {
+            let spans = obs_trace::spans();
+            RequestOutcome::reply(
+                Response::Trace {
+                    id,
+                    dropped: spans.dropped(),
+                    spans: spans.for_trace(id),
+                },
+                false,
+            )
+        }
+        Request::Dump => {
+            let response = match &shared.flight_path {
+                None => Response::Error {
+                    message: "flight recorder disabled: start the daemon with --trace-log"
+                        .to_owned(),
+                },
+                Some(path) => match write_flight_file(path, shared) {
+                    Err(e) => Response::Error {
+                        message: format!("flight dump failed: {e}"),
+                    },
+                    Ok(spans) => Response::Dump {
+                        path: path.display().to_string(),
+                        spans,
+                        dropped: obs_trace::spans().dropped(),
+                    },
+                },
+            };
+            RequestOutcome::reply(response, false)
         }
         Request::Shutdown => {
             // Close admission *before* acknowledging, so nothing new
@@ -1184,6 +1331,92 @@ fn submit_error_response(e: SubmitError) -> Response {
     }
 }
 
+/// One flight-recorder registration: where the daemon's dump goes.
+/// `Weak` so a finished server doesn't stay alive just because the
+/// process-global hook once knew about it.
+type FlightEntry = (PathBuf, Weak<Shared>);
+
+/// Daemons registered for flight dumps. The panic hook walks this list
+/// and writes each live daemon's flight file before the default hook
+/// prints the backtrace.
+static FLIGHT: OnceLock<Mutex<Vec<FlightEntry>>> = OnceLock::new();
+/// Installs the panic hook at most once per process, chaining whatever
+/// hook was already installed.
+static FLIGHT_HOOK: Once = Once::new();
+
+/// Arms the flight recorder for one daemon: remembers where its dump
+/// goes and (first call only) installs a panic hook that writes every
+/// registered daemon's flight file on the way down. Called from
+/// [`Server::bind`] when `--trace-log` is configured.
+fn register_flight_recorder(path: PathBuf, shared: &Arc<Shared>) {
+    let daemons = FLIGHT.get_or_init(|| Mutex::new(Vec::new()));
+    if let Ok(mut list) = daemons.lock() {
+        list.retain(|(_, weak)| weak.strong_count() > 0);
+        list.push((path, Arc::downgrade(shared)));
+    }
+    FLIGHT_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(daemons) = FLIGHT.get() {
+                if let Ok(list) = daemons.lock() {
+                    for (path, weak) in list.iter() {
+                        if let Some(shared) = weak.upgrade() {
+                            let _ = write_flight_file(path, &shared);
+                        }
+                    }
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// One span of the flight file. Unlike a `trace` reply (scoped to one
+/// trace id), the flight dump spans every recent trace, so the trace id
+/// is spelled out per span.
+fn flight_span_json(s: &chain_nn_obs::trace::SpanRecord) -> Json {
+    let mut json = crate::protocol::span_to_json(s);
+    if let Json::Obj(fields) = &mut json {
+        fields.insert(0, ("trace".into(), Json::Num(s.trace_id as f64)));
+    }
+    json
+}
+
+/// Writes the flight file: `{"dropped":N,"spans":[...],"metrics":[...]}`
+/// — the span ring's recent contents (oldest first) plus a current
+/// metrics snapshot, so a postmortem sees both what the daemon was
+/// doing and what its counters said. Returns the span count written.
+fn write_flight_file(path: &Path, shared: &Arc<Shared>) -> std::io::Result<usize> {
+    let spans = obs_trace::spans();
+    let mut records = spans.snapshot();
+    records.sort_by_key(|s| (s.start_us, s.span_id));
+    let snapshot = shared
+        .registry
+        .snapshot()
+        .merge(chain_nn_obs::global().snapshot());
+    let json = Json::Obj(vec![
+        ("dropped".into(), Json::Num(spans.dropped() as f64)),
+        (
+            "spans".into(),
+            Json::Arr(records.iter().map(flight_span_json).collect()),
+        ),
+        (
+            "metrics".into(),
+            Json::Arr(
+                snapshot
+                    .entries
+                    .iter()
+                    .map(crate::protocol::metric_entry_to_json)
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut file = File::create(path)?;
+    file.write_all(json.to_string().as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(records.len())
+}
+
 /// The daemon-side tuner evaluator: each round becomes one scheduler
 /// job inside the tune's admission slot, so candidate evaluations share
 /// the cache with (and interleave fairly against) every concurrent
@@ -1192,6 +1425,10 @@ fn submit_error_response(e: SubmitError) -> Response {
 struct SchedulerEvaluator<'a> {
     scheduler: &'a Scheduler,
     slot: &'a AdmissionSlot<'a>,
+    /// The owning request's trace: each round records a `tune_round`
+    /// span under the request's root, and the ref rides on the round's
+    /// scheduler job so worker batch spans attach to the same trace.
+    trace: Option<TraceRef>,
     hits: u64,
     misses: u64,
     /// Queue wait summed over this request's rounds (each round is one
@@ -1205,10 +1442,11 @@ struct SchedulerEvaluator<'a> {
 }
 
 impl<'a> SchedulerEvaluator<'a> {
-    fn new(scheduler: &'a Scheduler, slot: &'a AdmissionSlot<'a>) -> Self {
+    fn new(scheduler: &'a Scheduler, slot: &'a AdmissionSlot<'a>, trace: Option<TraceRef>) -> Self {
         SchedulerEvaluator {
             scheduler,
             slot,
+            trace,
             hits: 0,
             misses: 0,
             queue_wait: Duration::ZERO,
@@ -1234,10 +1472,12 @@ impl MixEvaluator for SchedulerEvaluator<'_> {
         mix: &WorkloadMix,
         bases: &[DesignPoint],
     ) -> Result<Vec<MixOutcome>, TuneError> {
+        let round_started = Instant::now();
         let points = evaluator::expand(mix, bases);
+        let round_points = points.len();
         let handle = self
             .scheduler
-            .submit_in(self.slot, points)
+            .submit_in_traced(self.slot, points, self.trace)
             .map_err(|e| match e {
                 SubmitError::Busy { .. } => {
                     TuneError::Backend("scheduler refused an admitted round".to_owned())
@@ -1252,6 +1492,18 @@ impl MixEvaluator for SchedulerEvaluator<'_> {
         self.queue_wait += job.queue_wait;
         self.execute += job.execute;
         self.jobs += 1;
+        if let Some(t) = self.trace {
+            obs_trace::spans().record(&obs_trace::Span {
+                trace_id: t.trace_id,
+                span_id: obs_trace::next_span_id(),
+                parent_id: t.parent_span,
+                name: "tune_round",
+                start: round_started,
+                dur: round_started.elapsed(),
+                worker: None,
+                points: round_points.min(u32::MAX as usize) as u32,
+            });
+        }
         Ok(evaluator::collapse(mix, bases, &job.outcomes))
     }
 
@@ -1342,7 +1594,7 @@ mod tests {
                 }
             }
         };
-        record_span(shared, &span, status, received.elapsed());
+        record_span(shared, &span, status, received, received.elapsed());
         outcome
     }
 
@@ -1724,6 +1976,44 @@ mod tests {
         let first_current = id_of(current.lines().next().expect("first line"));
         let last_rotated = id_of(rotated.lines().last().expect("rotated has lines"));
         assert_eq!(last_rotated + 1, first_current, "rotation split the ids");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_log_cap_zero_never_rotates() {
+        let dir =
+            std::env::temp_dir().join(format!("chain-nn-trace-norotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            trace_log: Some(path.clone()),
+            // 0 = no rotation: the file must grow without bound even
+            // though every line exceeds the "cap".
+            trace_max_bytes: 0,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        with_workers(&shared, || {
+            for _ in 0..8 {
+                assert!(matches!(
+                    handle_instrumented(r#"{"type":"stats"}"#, &shared),
+                    RequestOutcome::Reply(r, false) if matches!(*r, Response::Stats(_))
+                ));
+            }
+        });
+        let rotated_path = {
+            let mut p = path.clone().into_os_string();
+            p.push(".1");
+            PathBuf::from(p)
+        };
+        let current = std::fs::read_to_string(&path).expect("live trace file");
+        assert_eq!(current.lines().count(), 8, "every request in one file");
+        assert!(
+            !rotated_path.exists(),
+            "cap 0 must never create a rotated predecessor"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

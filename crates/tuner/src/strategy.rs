@@ -126,6 +126,12 @@ pub struct Session<'a, E: MixEvaluator> {
     visited: HashMap<Idx, MixOutcome>,
     incumbent: Option<Idx>,
     rounds: usize,
+    /// This search's own causal trace: `(trace_id, root_span)` when the
+    /// span ring is enabled. Each evaluator round records a
+    /// `search_round` span under the root, so a standalone tune renders
+    /// as a timeline of rounds. (Served tunes additionally appear as
+    /// `tune_round` spans in the *request's* trace on the daemon side.)
+    trace: Option<(u64, u64)>,
 }
 
 impl<'a, E: MixEvaluator> Session<'a, E> {
@@ -147,6 +153,12 @@ impl<'a, E: MixEvaluator> Session<'a, E> {
             visited: HashMap::new(),
             incumbent: None,
             rounds: 0,
+            trace: chain_nn_obs::trace::spans().is_enabled().then(|| {
+                (
+                    chain_nn_obs::trace::next_trace_id(),
+                    chain_nn_obs::trace::next_span_id(),
+                )
+            }),
         }
     }
 
@@ -203,6 +215,18 @@ impl<'a, E: MixEvaluator> Session<'a, E> {
         obs.counter("tuner_rounds_total").inc();
         obs.counter("tuner_evaluations_total")
             .add(bases.len() as u64);
+        if let Some((trace_id, root)) = self.trace {
+            chain_nn_obs::trace::spans().record(&chain_nn_obs::trace::Span {
+                trace_id,
+                span_id: chain_nn_obs::trace::next_span_id(),
+                parent_id: root,
+                name: "search_round",
+                start: round_started,
+                dur: round_started.elapsed(),
+                worker: None,
+                points: bases.len().min(u32::MAX as usize) as u32,
+            });
+        }
         if outcomes.len() != bases.len() {
             return Err(TuneError::Backend(format!(
                 "evaluator returned {} outcomes for {} candidates",

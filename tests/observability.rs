@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use chain_nn_repro::dse::{DesignPoint, SweepSpec};
+use chain_nn_repro::obs::trace::{SpanRecord, TraceContext};
 use chain_nn_repro::serve::protocol::Response;
 use chain_nn_repro::serve::{Client, Server, ServerConfig, ServerReport};
 
@@ -351,4 +352,336 @@ fn watch_stream_reports_live_windowed_rates_during_a_sweep() {
     let mut client = Client::connect(addr).expect("connect");
     let _ = client.shutdown();
     daemon.join().expect("daemon thread");
+}
+
+/// Queries one trace's spans off a daemon.
+fn query_trace(client: &mut Client, id: u64) -> (u64, Vec<SpanRecord>) {
+    match client.trace_query(id).expect("trace_query round trip") {
+        Response::Trace { dropped, spans, .. } => (dropped, spans),
+        other => panic!("expected a trace reply, got {other:?}"),
+    }
+}
+
+/// The causal-tracing acceptance test: an eval and a 500-point sweep
+/// sent under one client-chosen trace id produce a span tree whose
+/// durations nest (children inside their root, queue-wait + execute
+/// within the total), whose batch spans cover at least two distinct
+/// worker threads, and whose Chrome export round-trips through the
+/// JSON parser.
+#[test]
+fn propagated_trace_yields_a_nested_span_tree_across_workers() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // The span ring is process-global and bounded; concurrent tests in
+    // this binary record spans too, so under extreme scheduling our
+    // spans could be evicted between recording and the query. Retry
+    // with a fresh id (and fresh cold points) instead of flaking.
+    let mut spans = Vec::new();
+    let mut trace_id = 0;
+    for attempt in 0..5u64 {
+        trace_id = 777_001 + attempt;
+        client.set_trace(Some(TraceContext {
+            id: trace_id,
+            parent: 0,
+        }));
+        let point = DesignPoint {
+            pes: 300 + attempt as usize,
+            ..DesignPoint::paper_alexnet()
+        };
+        match client.eval(point).expect("eval round trip") {
+            Response::Eval { .. } => {}
+            other => panic!("expected an eval reply, got {other:?}"),
+        }
+        // 250 PE counts x 2 clock rates = 500 points, shifted per
+        // attempt so every sweep is cold (cold batches keep both
+        // workers claiming).
+        let base = 2000 + 300 * attempt as usize;
+        let grid = SweepSpec {
+            pes: (base..base + 250).collect(),
+            freqs_mhz: vec![350.0, 700.0],
+            nets: vec!["lenet".into()],
+            ..SweepSpec::paper_point()
+        };
+        match client.sweep(grid).expect("sweep round trip") {
+            Response::Sweep(s) => assert_eq!(s.points, 500),
+            other => panic!("expected a sweep reply, got {other:?}"),
+        }
+        let (_, got) = query_trace(&mut client, trace_id);
+        let workers: std::collections::HashSet<u32> = got
+            .iter()
+            .filter(|s| s.name == "batch")
+            .filter_map(|s| s.worker)
+            .collect();
+        let complete = got.iter().any(|s| s.name == "eval")
+            && got.iter().any(|s| s.name == "sweep")
+            && workers.len() >= 2;
+        if complete {
+            spans = got;
+            break;
+        }
+    }
+
+    // Both requests' root spans are present, tagged with this trace.
+    let eval_root = spans
+        .iter()
+        .find(|s| s.name == "eval")
+        .expect("eval root span");
+    let sweep_root = spans
+        .iter()
+        .find(|s| s.name == "sweep")
+        .expect("sweep root span");
+    assert!(spans.iter().all(|s| s.trace_id == trace_id), "{spans:?}");
+    assert_eq!(eval_root.parent_id, 0, "client sent no parent");
+    assert_eq!(sweep_root.points, 500, "{sweep_root:?}");
+
+    // Durations nest: every child lies inside its root (1 µs slack for
+    // integer-microsecond truncation), and the sweep's queue-wait plus
+    // execute phases fit within its total.
+    for root in [eval_root, sweep_root] {
+        let children: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.parent_id == root.span_id)
+            .collect();
+        assert!(!children.is_empty(), "root {} has no children", root.name);
+        for child in &children {
+            assert!(child.start_us >= root.start_us, "{child:?} vs {root:?}");
+            assert!(
+                child.start_us + child.dur_us <= root.start_us + root.dur_us + 1,
+                "child escapes its root: {child:?} vs {root:?}"
+            );
+        }
+        for phase in ["parse", "queue_wait", "execute", "flush"] {
+            assert!(
+                children.iter().any(|c| c.name == phase),
+                "root {} is missing phase {phase}: {children:?}",
+                root.name
+            );
+        }
+        let dur_of = |name: &str| -> u64 {
+            children
+                .iter()
+                .filter(|c| c.name == name)
+                .map(|c| c.dur_us)
+                .sum()
+        };
+        assert!(
+            dur_of("queue_wait") + dur_of("execute") <= root.dur_us,
+            "phases exceed the root total: {children:?} vs {root:?}"
+        );
+    }
+
+    // The sweep's batches landed on at least two distinct scheduler
+    // worker threads, each batch nested in the sweep and point-tagged.
+    let batches: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "batch").collect();
+    let workers: std::collections::HashSet<u32> = batches.iter().filter_map(|s| s.worker).collect();
+    assert!(
+        workers.len() >= 2,
+        "batch spans cover {} worker(s): {batches:?}",
+        workers.len()
+    );
+    assert!(batches.iter().all(|b| b.points > 0), "{batches:?}");
+    let batch_points: u64 = batches
+        .iter()
+        .filter(|b| b.parent_id == sweep_root.span_id)
+        .map(|b| u64::from(b.points))
+        .sum();
+    assert_eq!(batch_points, 500, "every sweep point in some batch");
+
+    // The Chrome export round-trips through the JSON parser and keeps
+    // one complete event per span, with worker-thread rows as tids.
+    let chrome = chain_nn_repro::obs::trace::chrome_trace_json(&spans);
+    let parsed = chain_nn_repro::serve::json::Json::parse(&chrome).expect("valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), spans.len());
+    for event in events {
+        assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(event.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(event.get("ts").and_then(|v| v.as_u64()).is_some());
+        assert!(event.get("dur").and_then(|v| v.as_u64()).is_some());
+        assert!(event.get("tid").and_then(|v| v.as_u64()).is_some());
+    }
+    let tids: std::collections::HashSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(|v| v.as_u64()))
+        .collect();
+    assert!(tids.len() >= 3, "session row + 2 worker rows: {tids:?}");
+
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+}
+
+/// Satellite: scrape gauges must be fresh on the `metrics` request path
+/// even when the sampler will not tick for an hour.
+#[test]
+fn metrics_request_refreshes_gauges_without_a_sampler_tick() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        // The sampler sleeps for an hour before its first tick: any
+        // fresh gauge value must come from the request path.
+        sample_interval: std::time::Duration::from_secs(3600),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    match client
+        .eval(DesignPoint::paper_alexnet())
+        .expect("eval round trip")
+    {
+        Response::Eval { .. } => {}
+        other => panic!("expected an eval reply, got {other:?}"),
+    }
+    let snapshot = metrics_snapshot(&mut client);
+    assert_eq!(
+        snapshot.gauge("cache_points", &[]),
+        Some(1.0),
+        "the eval's cached point must be visible to an immediate scrape"
+    );
+    let uptime = snapshot.gauge("serve_uptime_seconds", &[]).expect("uptime");
+    assert!(uptime > 0.0 && uptime < 3600.0, "uptime = {uptime}");
+    assert_eq!(snapshot.gauge("serve_queue_depth", &[]), Some(0.0));
+    assert!(
+        snapshot
+            .gauge("serve_open_connections", &[])
+            .expect("gauge")
+            >= 1.0,
+        "this client's connection is open"
+    );
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+}
+
+/// Satellite: a watcher disconnecting mid-stream must not leak its
+/// session (the connection count settles back) and must not disturb
+/// the sampler — a second watcher still receives fresh samples.
+#[test]
+fn watch_client_disconnect_mid_stream_does_not_leak_or_stop_the_sampler() {
+    let (addr, daemon) = start(ServerConfig {
+        threads: 1,
+        sample_interval: std::time::Duration::from_millis(20),
+        ..ServerConfig::default()
+    });
+
+    // Watcher 1 subscribes to an unbounded stream, reads one sample,
+    // then drops the socket mid-stream.
+    {
+        let mut watcher = Client::connect(addr).expect("connect watcher 1");
+        let first = watcher
+            .request_raw(r#"{"type":"watch","samples":0}"#)
+            .expect("first sample line");
+        assert!(
+            first.contains("\"type\":\"watch\"") && first.contains("\"seq\""),
+            "{first}"
+        );
+    } // <- disconnect here, stream still open
+
+    // Watcher 2 still gets a full bounded stream: the sampler kept
+    // ticking and the daemon kept serving.
+    let mut watcher2 = Client::connect(addr).expect("connect watcher 2");
+    let mut seqs = Vec::new();
+    let done = watcher2
+        .watch(3, |sample| seqs.push(sample.seq))
+        .expect("watch stream after a disconnect");
+    assert!(matches!(done, Response::WatchDone { samples: 3 }));
+    assert_eq!(seqs.len(), 3);
+    assert!(seqs.windows(2).all(|w| w[1] > w[0]), "{seqs:?}");
+
+    // The dropped watcher's session went away: the daemon's connection
+    // count settles to just this client (poll briefly — the session
+    // thread notices the dead sink on its next write attempt).
+    let mut client = Client::connect(addr).expect("connect prober");
+    let mut open = usize::MAX;
+    for _ in 0..200 {
+        let stats = match client.stats().expect("stats round trip") {
+            Response::Stats(stats) => stats,
+            other => panic!("expected a stats reply, got {other:?}"),
+        };
+        open = stats.open_connections;
+        // watcher2's socket may still be in teardown; ours must count.
+        if open <= 2 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(
+        open <= 2,
+        "dropped watcher still counted among {open} open connections"
+    );
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+}
+
+/// The flight recorder: a `dump` request writes recent spans plus a
+/// metrics snapshot to `<trace-log>.flight.json`, and a panic anywhere
+/// in the process rewrites it via the installed hook.
+#[test]
+fn dump_request_and_panic_hook_write_the_flight_file() {
+    let dir = std::env::temp_dir().join(format!("chain-nn-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path: PathBuf = dir.join("trace.jsonl");
+    let (addr, daemon) = start(ServerConfig {
+        threads: 2,
+        trace_log: Some(trace_path.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    match client
+        .eval(DesignPoint::paper_alexnet())
+        .expect("eval round trip")
+    {
+        Response::Eval { .. } => {}
+        other => panic!("expected an eval reply, got {other:?}"),
+    }
+
+    let flight_path = match client.dump().expect("dump round trip") {
+        Response::Dump {
+            path,
+            spans,
+            dropped: _,
+        } => {
+            assert!(path.ends_with(".flight.json"), "{path}");
+            assert!(spans > 0, "the eval's spans are in the ring");
+            PathBuf::from(path)
+        }
+        other => panic!("expected a dump reply, got {other:?}"),
+    };
+    let validate = |label: &str| {
+        let text = std::fs::read_to_string(&flight_path)
+            .unwrap_or_else(|e| panic!("{label}: read flight file: {e}"));
+        let parsed = chain_nn_repro::serve::json::Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{label}: flight file must be valid JSON: {e:?}"));
+        let spans = parsed
+            .get("spans")
+            .and_then(|s| s.as_array())
+            .unwrap_or_else(|| panic!("{label}: spans array"));
+        assert!(!spans.is_empty(), "{label}: no spans in flight file");
+        for span in spans {
+            assert!(span.get("trace").and_then(|v| v.as_u64()).is_some());
+            assert!(span.get("name").and_then(|v| v.as_str()).is_some());
+        }
+        let metrics = parsed
+            .get("metrics")
+            .and_then(|m| m.as_array())
+            .unwrap_or_else(|| panic!("{label}: metrics array"));
+        assert!(!metrics.is_empty(), "{label}: no metrics in flight file");
+        assert!(parsed.get("dropped").and_then(|v| v.as_u64()).is_some());
+    };
+    validate("dump request");
+
+    // The panic hook: binding with --trace-log armed it for this
+    // process, so any panic — here a caught one on the test thread —
+    // rewrites the flight file on the way down.
+    std::fs::remove_file(&flight_path).expect("clear the dump");
+    let unwound = std::panic::catch_unwind(|| panic!("flight recorder drill"));
+    assert!(unwound.is_err(), "the drill must actually panic");
+    validate("panic hook");
+
+    let _ = client.shutdown();
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
 }
