@@ -1,6 +1,7 @@
 //! The bench-history runner: quick, machine-readable measurements of
-//! the DSE engine and the serving daemon, appended to `BENCH_dse.json`
-//! / `BENCH_serve.json` at the repo root and gated against the
+//! the DSE engine, the serving daemon, and the mixed-traffic tail
+//! latency, appended to `BENCH_dse.json` / `BENCH_serve.json` /
+//! `BENCH_mixed.json` at the repo root and gated against the
 //! checked-in baselines under `crates/bench/baselines/`.
 //!
 //! Run via `scripts/bench-history.sh` (or `cargo bench -p
@@ -11,10 +12,12 @@
 //! tight-gate behavior is asserted in `history`'s unit tests).
 
 use std::path::{Path, PathBuf};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use chain_nn_bench::history::{self, BenchRecord};
-use chain_nn_dse::{executor, PointCache, SweepSpec};
+use chain_nn_dse::{executor, DesignPoint, PointCache, SweepSpec};
+use chain_nn_serve::scheduler::{ClaimPolicy, BATCH_SIZE};
 use chain_nn_serve::server::{Server, ServerConfig};
 use chain_nn_serve::{Client, Response};
 
@@ -110,6 +113,120 @@ fn measure_serve() -> Vec<BenchRecord> {
     ]
 }
 
+/// One mixed-traffic round: a 2-worker daemon under the given claim
+/// policy serves a ~2000-point cold sweep while a client pumps
+/// pre-warmed one-point evals at it for the sweep's whole duration.
+/// Returns the daemon's `serve_queue_wait_ns{type=eval}` p50 and p99
+/// in nanoseconds, plus the pump's eval count.
+fn eval_wait_under_sweep(claim: ClaimPolicy) -> (f64, f64, usize) {
+    let server = Server::bind(ServerConfig {
+        threads: 2,
+        claim,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+    let mut pump = Client::connect(addr).expect("connect pump");
+
+    // Warm the pump points while the daemon is idle: during the sweep
+    // each eval is then a cache hit whose latency is queue wait, the
+    // quantity the claim policy controls.
+    let pump_points: Vec<DesignPoint> = (0..32)
+        .map(|i| DesignPoint {
+            pes: 40 + i,
+            ..DesignPoint::paper_alexnet()
+        })
+        .collect();
+    for point in &pump_points {
+        let Response::Eval { .. } = pump.eval(point.clone()).expect("warmup eval") else {
+            panic!("expected an eval reply");
+        };
+    }
+
+    let sweep_done = AtomicBool::new(false);
+    let pumped = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut sweeper = Client::connect(addr).expect("connect sweeper");
+            // vgg16, the costliest zoo net: the sweep must last long
+            // enough in this optimized build for the pump to collect
+            // hundreds of racing evals.
+            let grid = SweepSpec {
+                pes: (16..=1024).collect(),
+                freqs_mhz: vec![350.0, 700.0],
+                nets: vec!["vgg16".to_owned()],
+                ..SweepSpec::paper_point()
+            };
+            let Response::Sweep(summary) = sweeper.sweep(grid).expect("sweep") else {
+                panic!("expected a sweep summary");
+            };
+            assert_eq!(summary.points, 2018);
+            sweep_done.store(true, Ordering::SeqCst);
+        });
+        // Wait until the sweep is admitted and still deep before
+        // pumping (stats is served inline, not queued).
+        loop {
+            if sweep_done.load(Ordering::SeqCst) {
+                break;
+            }
+            let Response::Stats(stats) = pump.stats().expect("stats") else {
+                panic!("expected a stats reply");
+            };
+            if stats.queue_depth >= 1000 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut pumped = 0usize;
+        while !sweep_done.load(Ordering::SeqCst) {
+            let point = pump_points[pumped % pump_points.len()].clone();
+            let Response::Eval { .. } = pump.eval(point).expect("eval") else {
+                panic!("expected an eval reply");
+            };
+            pumped += 1;
+        }
+        pumped
+    });
+    let Response::Metrics { snapshot } = pump.metrics().expect("metrics") else {
+        panic!("expected a metrics reply");
+    };
+    pump.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    let wait = snapshot
+        .histogram("serve_queue_wait_ns", &[("type", "eval")])
+        .expect("eval queue-wait histogram");
+    (wait.p50, wait.p99, pumped)
+}
+
+/// Mixed-traffic tail latency: one-point evals racing a ~2000-point
+/// sweep, measured under the adaptive claim policy (the gated rows)
+/// and under the fixed-batch baseline it must beat (recorded for the
+/// history, not baselined — its value is the comparison printed
+/// below). If adaptivity breaks, the adaptive p99 reverts to
+/// fixed-batch territory (~8x) and trips the gate on its own row.
+fn measure_mixed() -> Vec<BenchRecord> {
+    let (_, fixed_p99, fixed_n) = eval_wait_under_sweep(ClaimPolicy::Fixed(BATCH_SIZE));
+    let (p50, p99, n) = eval_wait_under_sweep(ClaimPolicy::Adaptive { max: BATCH_SIZE });
+    println!(
+        "mixed: eval queue-wait p99 {:.1} us adaptive vs {:.1} us fixed \
+         ({:.1}x better; {n} / {fixed_n} evals pumped)",
+        p99 / 1e3,
+        fixed_p99 / 1e3,
+        fixed_p99 / p99.max(1.0),
+    );
+    vec![
+        record("mixed/eval_wait_under_sweep", "p50_us", p50 / 1e3, "us"),
+        record("mixed/eval_wait_under_sweep", "p99_us", p99 / 1e3, "us"),
+        record(
+            "mixed/eval_wait_fixed_batch",
+            "p99_us",
+            fixed_p99 / 1e3,
+            "us",
+        ),
+    ]
+}
+
 /// Appends one suite's records to its history file and gates them
 /// against the checked-in baseline. Returns the failures.
 fn run_suite(name: &str, records: Vec<BenchRecord>, root: &Path, tolerance: f64) -> Vec<String> {
@@ -143,9 +260,10 @@ fn main() {
     let mut failures = Vec::new();
     failures.extend(run_suite("dse", measure_dse(), &root, tolerance));
     failures.extend(run_suite("serve", measure_serve(), &root, tolerance));
+    failures.extend(run_suite("mixed", measure_mixed(), &root, tolerance));
     // Paranoia: the freshly-appended lines must parse back — the whole
     // point of the history is machine readability.
-    for name in ["dse", "serve"] {
+    for name in ["dse", "serve", "mixed"] {
         let loaded = history::load(&root.join(format!("BENCH_{name}.json")));
         assert!(!loaded.is_empty(), "BENCH_{name}.json must parse");
     }

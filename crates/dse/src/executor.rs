@@ -1,28 +1,24 @@
-//! The multithreaded work-queue executor.
+//! The one-shot sweep entry point over the work-assisting engine.
 //!
 //! A sweep is an embarrassingly parallel bag of independent point
-//! evaluations, so the executor is deliberately simple: the flattened
-//! point list is the queue, an atomic cursor is the head, and N scoped
-//! `std::thread`s pop indices until the queue drains (the same
-//! chained-work-with-atomics shape as the multi-dimensional parallel
-//! scan this engine is modeled on). Each worker keeps `(index,
-//! outcome)` pairs locally; the merged results are sorted by index, so
-//! output order — and therefore every exported artifact — is
-//! byte-identical regardless of thread count or scheduling.
+//! evaluations. [`run`] submits the whole point list as a single job
+//! to a private [`engine::Engine`](crate::engine::Engine) in drain
+//! mode and lends it N scoped `std::thread`s: workers claim index
+//! ranges off the job's atomic cursor (large claims while plenty
+//! remains, shrinking near the tail so the pool finishes together)
+//! and keep `(index, outcome)` pairs locally; the merged results are
+//! sorted by index, so output order — and therefore every exported
+//! artifact — is byte-identical regardless of thread count or
+//! scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crate::cache::PointCache;
+use crate::engine::{ClaimPolicy, Engine, EngineMetrics, TraceRef};
 use crate::eval::{evaluate, PointOutcome};
 use crate::spec::DesignPoint;
 use crate::DseError;
-
-/// How many queue slots one cursor bump claims. Chunked claims
-/// amortize both the shared-cursor contention and the per-claim
-/// latency timestamping across several evaluations while leaving the
-/// merged-and-sorted output byte-identical at any thread count.
-const CLAIM_CHUNK: usize = 8;
 
 /// A sensible worker count for this host (`available_parallelism`,
 /// falling back to 1 when the host will not say).
@@ -101,12 +97,10 @@ pub fn run(
     cache: &PointCache,
 ) -> Result<Vec<PointOutcome>, DseError> {
     let threads = threads.max(1).min(points.len().max(1));
-    let cursor = AtomicUsize::new(0);
     let obs = chain_nn_obs::global();
-    let batch_eval_ns = obs.histogram("dse_batch_eval_ns");
     // A standalone run owns its own trace: one root span for the whole
-    // sweep, one `chunk` child per cursor claim tagged with the worker
-    // that executed it, so the run renders as a per-worker timeline.
+    // sweep, one `chunk` child per claim tagged with the worker that
+    // executed it, so the run renders as a per-worker timeline.
     // Disabled rings skip even the id allocation.
     let spans = chain_nn_obs::trace::spans();
     let trace = spans.is_enabled().then(|| {
@@ -117,61 +111,39 @@ pub fn run(
     });
     let started = Instant::now();
 
-    let worker = |wid: u32| -> Result<Vec<(usize, PointOutcome)>, DseError> {
-        let mut local = Vec::new();
-        loop {
-            // Claim a whole chunk per cursor bump: one timestamp pair
-            // per CLAIM_CHUNK evaluations keeps the instrumentation out
-            // of the per-point hot path (the overhead-guard bench
-            // compares this loop with the registry on vs off).
-            let base = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-            if base >= points.len() {
-                return Ok(local);
-            }
-            let end = (base + CLAIM_CHUNK).min(points.len());
-            let claimed = Instant::now();
-            for (i, point) in points.iter().enumerate().take(end).skip(base) {
-                local.push((i, evaluate_cached(point, cache)?));
-            }
-            batch_eval_ns.record_duration(claimed.elapsed());
-            if let Some((trace_id, root)) = trace {
-                spans.record(&chain_nn_obs::trace::Span {
-                    trace_id,
-                    span_id: chain_nn_obs::trace::next_span_id(),
-                    parent_id: root,
-                    name: "chunk",
-                    start: claimed,
-                    dur: claimed.elapsed(),
-                    worker: Some(wid),
-                    points: (end - base) as u32,
-                });
-            }
-        }
-    };
-
-    let mut merged: Vec<(usize, PointOutcome)> = if threads == 1 {
-        worker(0)?
+    // One private engine in drain mode: submit the sweep as its only
+    // job, shut admission, and lend it the calling thread(s) until the
+    // job is fully claimed. Claim metrics land in the global registry
+    // under the `dse` prefix (`dse_batch_eval_ns`, `dse_claim_points`,
+    // `dse_batches_total`, `dse_points_total`).
+    let engine = Engine::with_metrics(
+        1,
+        ClaimPolicy::adaptive(),
+        EngineMetrics::register(obs, "dse"),
+        "chunk",
+    );
+    let handle = engine
+        .submit_traced(
+            points.to_vec(),
+            trace.map(|(trace_id, root)| TraceRef {
+                trace_id,
+                parent_span: root,
+            }),
+        )
+        .expect("a fresh engine admits its first job");
+    engine.begin_shutdown();
+    if threads == 1 {
+        engine.worker_loop(cache);
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| scope.spawn(move || worker(w as u32)))
-                .collect();
-            let mut all = Vec::with_capacity(points.len());
-            let mut first_err = None;
-            for handle in handles {
-                match handle.join().expect("worker thread panicked") {
-                    Ok(part) => all.extend(part),
-                    Err(e) => first_err = first_err.or(Some(e)),
-                }
+            for w in 0..threads {
+                let engine = &engine;
+                scope.spawn(move || engine.worker_loop_indexed(w as u32, cache));
             }
-            match first_err {
-                Some(e) => Err(e),
-                None => Ok(all),
-            }
-        })?
-    };
+        });
+    }
+    let job = handle.wait()?;
 
-    merged.sort_by_key(|(i, _)| *i);
     let elapsed = started.elapsed();
     if let Some((trace_id, root)) = trace {
         spans.record(&chain_nn_obs::trace::Span {
@@ -186,12 +158,11 @@ pub fn run(
         });
     }
     obs.histogram("dse_run_ns").record_duration(elapsed);
-    obs.counter("dse_points_total").add(points.len() as u64);
     obs.gauge("dse_points_per_sec")
         .set(points.len() as f64 / elapsed.as_secs_f64().max(1e-12));
     obs.gauge("dse_cache_hit_rate")
         .set(cache.stats().hit_rate());
-    Ok(merged.into_iter().map(|(_, outcome)| outcome).collect())
+    Ok(job.outcomes)
 }
 
 /// Measures raw evaluation throughput (points evaluated per second):

@@ -15,7 +15,11 @@
 //!   quantization axis: every evaluated point carries the `sqnr_db` of
 //!   its `(network, word width)` pair, so narrow words pay a measured
 //!   accuracy cost instead of dominating for free.
-//! * [`executor`] — `std::thread` work queue with an atomic cursor;
+//! * [`engine`] — the work-assisting execution engine: per-job atomic
+//!   claim cursors, adaptive claim sizing, bounded admission. The
+//!   sweep executor, the serving daemon's scheduler and the tuner's
+//!   rounds all run on it.
+//! * [`executor`] — the one-shot sweep entry point over [`engine`];
 //!   results are index-sorted, so output is byte-identical at any
 //!   thread count.
 //! * [`cache`] — content-hashed memoization ([`PointCache`]).
@@ -48,6 +52,7 @@
 
 pub mod accuracy;
 pub mod cache;
+pub mod engine;
 pub mod eval;
 pub mod executor;
 pub mod export;

@@ -18,13 +18,14 @@
 //! * [`slo`] — latency service-level objectives (`eval:p99_us=500`)
 //!   evaluated every sampler tick over the trailing 10 s window, with
 //!   per-SLO compliance and error-budget gauges in the registry.
-//! * [`scheduler`] — the multi-client generalization of the DSE
-//!   executor: per-request point lists claimed in fixed-size batches,
-//!   round-robin across active requests, bounded admission with an
-//!   explicit `busy` reply as backpressure. Iterative requests (the
-//!   auto-tuner) hold one admission slot across their rounds
-//!   ([`scheduler::AdmissionSlot`]) while each round interleaves with
-//!   everyone else's sweeps.
+//! * [`scheduler`] — the daemon's binding of the work-assisting
+//!   engine (`chain_nn_dse::engine`): per-request point lists with
+//!   atomic claim cursors, adaptive claim sizes (big for a lone
+//!   sweep, 1–4 points while interactive evals wait), bounded
+//!   admission with an explicit `busy` reply as backpressure.
+//!   Iterative requests (the auto-tuner) hold one admission slot
+//!   across their rounds ([`scheduler::AdmissionSlot`]) while each
+//!   round interleaves with everyone else's sweeps.
 //! * [`server`] — `std::net::TcpListener` accept loop, session threads,
 //!   the worker pool, cache-file replay at startup and append-flush on
 //!   completed requests and shutdown (std-only: the build environment

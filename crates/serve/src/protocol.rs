@@ -283,8 +283,11 @@ pub struct ServerStats {
     /// Requests currently being handled (parsing, queued or
     /// executing) across all connections.
     pub inflight_requests: usize,
-    /// Jobs queued in the scheduler's batch rotation right now (0 from
-    /// daemons predating the temporal-observability layer).
+    /// Remaining **points** across admitted unfinished jobs right now
+    /// (0 from daemons predating the temporal-observability layer).
+    /// Work-assisting daemons report the actual point backlog; older
+    /// daemons reported whole queued jobs (`docs/PROTOCOL.md` records
+    /// the semantics change).
     pub queue_depth: usize,
     /// Latency SLOs the daemon was configured with (0 when none, and
     /// from pre-SLO daemons).
@@ -361,7 +364,8 @@ pub struct WatchSample {
     pub inflight: u64,
     /// Jobs admitted and not yet finished at sample time.
     pub active_jobs: u64,
-    /// Jobs queued in the batch rotation at sample time.
+    /// Remaining points across admitted unfinished jobs at sample
+    /// time (whole queued jobs from pre-engine daemons).
     pub queue_depth: u64,
     /// Since-boot cache hit rate at sample time.
     pub cache_hit_rate: f64,

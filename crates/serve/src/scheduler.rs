@@ -1,12 +1,17 @@
-//! Fair batch scheduler: many clients, one cache, bounded admission.
+//! The daemon's view of the work-assisting engine: many clients, one
+//! cache, bounded admission.
 //!
-//! The CLI executor (`chain_nn_dse::executor`) drains one point list
-//! with an atomic cursor. The daemon generalizes that shape to many
-//! concurrent lists: every admitted request is a job with its own
-//! cursor, and the worker pool claims fixed-size **batches** round-robin
-//! across the active jobs. A 10⁶-point sweep therefore cannot starve a
-//! one-point `eval` that arrives behind it — the eval's job joins the
-//! rotation and is claimed within one batch-length of work.
+//! The claim/worker machinery used to live here as a fixed-batch
+//! round-robin scheduler; it is now
+//! [`chain_nn_dse::engine`], shared with the
+//! standalone sweep executor and (through it) the tuner. This module
+//! binds that engine to the daemon's shared [`PointCache`] and keeps
+//! the serving-side API: every admitted request is a job with its own
+//! atomic claim cursor, and the worker pool self-distributes onto
+//! whichever job has unclaimed points — under the default
+//! [`ClaimPolicy::Adaptive`] a one-point `eval` behind a 10⁶-point
+//! sweep is claimed within a few points of model evaluation, while a
+//! lone sweep still gets [`BATCH_SIZE`]-sized claims.
 //!
 //! Backpressure is at admission: at most `capacity` jobs may be active;
 //! [`Scheduler::submit`] refuses further work with [`SubmitError::Busy`]
@@ -17,294 +22,117 @@
 //! [`AdmissionSlot`], and [`Scheduler::submit_in`] enqueues each
 //! round's point list against it without re-checking capacity — so a
 //! 5-round tune counts as one job at admission while its rounds still
-//! interleave batch-by-batch with everyone else's sweeps.
+//! interleave claim-by-claim with everyone else's sweeps.
 //!
-//! Every evaluation goes through [`executor::evaluate_cached`] against
-//! the one shared [`PointCache`], so concurrent clients sweeping
-//! overlapping grids pay for each distinct point once, whichever
-//! connection got there first.
+//! Every evaluation goes through `executor::evaluate_cached_tracked`
+//! against the one shared [`PointCache`], so concurrent clients
+//! sweeping overlapping grids pay for each distinct point once,
+//! whichever connection got there first.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
-use chain_nn_dse::executor;
-use chain_nn_dse::{DesignPoint, DseError, PointCache, PointOutcome};
-use chain_nn_obs::{Counter, Histogram, Registry};
+use chain_nn_dse::engine::Engine;
+use chain_nn_dse::{DesignPoint, PointCache};
+use chain_nn_obs::Registry;
 
-/// Points claimed per scheduling turn. Small enough that a single-point
-/// eval behind a huge sweep waits at most ~one batch of model
-/// evaluations (microseconds each); large enough that the scheduler
-/// lock is cold next to the evaluations themselves.
-pub const BATCH_SIZE: usize = 32;
+pub use chain_nn_dse::engine::{
+    AdmissionSlot, ClaimPolicy, JobHandle, JobResult, SubmitError, TraceRef, CONTENDED_CLAIM,
+    DEFAULT_MAX_CLAIM,
+};
 
-/// Why a submission was refused.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SubmitError {
-    /// The admission bound is reached; retry later.
-    Busy {
-        /// Jobs currently admitted.
-        active: usize,
-        /// The admission bound.
-        capacity: usize,
-    },
-    /// The scheduler is draining for shutdown and admits nothing new.
-    ShuttingDown,
-}
+/// Upper bound on points claimed per scheduling turn (the engine's
+/// [`DEFAULT_MAX_CLAIM`]). Under the default adaptive policy this is
+/// the claim size only while a single sweep owns the queue; with other
+/// jobs waiting, claims shrink to [`CONTENDED_CLAIM`] points.
+pub const BATCH_SIZE: usize = DEFAULT_MAX_CLAIM;
 
-/// Which trace a job's batch spans belong to: the owning trace id and
-/// the request's root span the batches hang under. Carried through the
-/// queue so the worker that executes a batch — not the session thread —
-/// records the span, with its own worker index as the timeline row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceRef {
-    /// Owning trace (see [`chain_nn_obs::trace`]).
-    pub trace_id: u64,
-    /// The request's root span id; batch spans parent onto it.
-    pub parent_span: u64,
-}
-
-/// One admitted request: a point list, a claim cursor, and the
-/// completion state its submitter waits on.
-struct Job {
-    points: Arc<Vec<DesignPoint>>,
-    next: usize,
-    done: Arc<Completion>,
-    trace: Option<TraceRef>,
-}
-
-/// Completion state shared between the workers and the waiting
-/// submitter.
-#[derive(Debug)]
-struct Completion {
-    state: Mutex<CompletionState>,
-    cv: Condvar,
-    slot: SlotOwnership,
-    /// When the job entered the queue.
-    submitted: Instant,
-    /// When a worker first claimed a batch of it. A `OnceLock` rather
-    /// than a field under either lock: `claim()` holds the scheduler
-    /// lock and the waiter reads under the completion lock, and this
-    /// way neither has to take the other.
-    first_claimed: OnceLock<Instant>,
-    /// When the last batch was delivered (set under the completion
-    /// lock, before the waiter is notified).
-    finished_at: OnceLock<Instant>,
-}
-
-#[derive(Debug)]
-struct CompletionState {
-    results: Vec<(usize, PointOutcome)>,
-    finished: usize,
-    total: usize,
-    /// Per-job cache traffic (global cache deltas would count the other
-    /// clients' concurrent activity too).
-    cache_hits: u64,
-    cache_misses: u64,
-    error: Option<DseError>,
-    /// Set exactly once, by the worker that observed completion first;
-    /// guards the active-count decrement against racing late batches.
-    closed: bool,
-}
-
-/// Whether completing this job releases an admission slot. Jobs from
-/// [`Scheduler::submit`] own their slot; jobs from
-/// [`Scheduler::submit_in`] run inside an [`AdmissionSlot`] that
-/// releases on drop instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotOwnership {
-    Owned,
-    External,
-}
-
-/// Everything one finished job produced.
-#[derive(Debug)]
-pub struct JobResult {
-    /// Outcomes in the submitted point order.
-    pub outcomes: Vec<PointOutcome>,
-    /// Lookups this job answered from the shared cache.
-    pub cache_hits: u64,
-    /// Fresh evaluations this job paid for.
-    pub cache_misses: u64,
-    /// Submission → first batch claimed: time spent queued behind
-    /// other jobs (zero for empty jobs, which are never claimed).
-    pub queue_wait: Duration,
-    /// First batch claimed → last batch delivered: time spent actually
-    /// evaluating (including rotation gaps between this job's batches).
-    pub execute: Duration,
-}
-
-/// Handle the submitter blocks on.
-#[derive(Debug)]
-pub struct JobHandle {
-    done: Arc<Completion>,
-}
-
-impl JobHandle {
-    /// Blocks until every point of the job is evaluated (or the job
-    /// failed), returning outcomes in the submitted point order.
-    ///
-    /// # Errors
-    ///
-    /// The first spec-level evaluation error the workers hit, or the
-    /// shutdown notice if the scheduler was torn down mid-job.
-    pub fn wait(self) -> Result<JobResult, DseError> {
-        let mut state = self.done.state.lock().expect("completion lock poisoned");
-        while state.error.is_none() && state.finished < state.total {
-            state = self.done.cv.wait(state).expect("completion lock poisoned");
-        }
-        if let Some(e) = state.error.take() {
-            return Err(e);
-        }
-        let mut results = std::mem::take(&mut state.results);
-        results.sort_by_key(|(i, _)| *i);
-        let end = self
-            .done
-            .finished_at
-            .get()
-            .copied()
-            .unwrap_or_else(Instant::now);
-        let (queue_wait, execute) = match self.done.first_claimed.get() {
-            Some(&first) => (
-                first.saturating_duration_since(self.done.submitted),
-                end.saturating_duration_since(first),
-            ),
-            // Never claimed: the empty-job fast path.
-            None => (Duration::ZERO, Duration::ZERO),
-        };
-        Ok(JobResult {
-            outcomes: results.into_iter().map(|(_, o)| o).collect(),
-            cache_hits: state.cache_hits,
-            cache_misses: state.cache_misses,
-            queue_wait,
-            execute,
-        })
-    }
-}
-
-/// One claimed batch: evaluate `points[start..end]`, report to `done`.
-struct Claim {
-    points: Arc<Vec<DesignPoint>>,
-    start: usize,
-    end: usize,
-    done: Arc<Completion>,
-    trace: Option<TraceRef>,
-}
-
-struct SchedState {
-    jobs: VecDeque<Job>,
-    shutting_down: bool,
-    active: usize,
-}
-
-/// The scheduler's registered metric handles (registration happens at
-/// construction; recording is lock-free).
-struct SchedMetrics {
-    /// Wall time per claimed batch evaluation.
-    batch_eval_ns: Arc<Histogram>,
-    /// Batches claimed.
-    batches: Arc<Counter>,
-    /// Points evaluated through the scheduler.
-    points: Arc<Counter>,
-}
-
-impl SchedMetrics {
-    fn register(registry: &Registry) -> SchedMetrics {
-        SchedMetrics {
-            batch_eval_ns: registry.histogram("sched_batch_eval_ns"),
-            batches: registry.counter("sched_batches_total"),
-            points: registry.counter("sched_points_total"),
-        }
-    }
-}
-
-/// The shared scheduler; construct once, hand clones of the `Arc` to
-/// the worker pool and every connection handler.
+/// The daemon's scheduler: the work-assisting [`Engine`] bound to the
+/// shared point cache. Construct once, hand clones of the `Arc` to the
+/// worker pool and every connection handler.
 pub struct Scheduler {
-    state: Mutex<SchedState>,
-    work_ready: Condvar,
+    engine: Engine,
     cache: Arc<PointCache>,
-    capacity: usize,
-    batch: usize,
-    metrics: SchedMetrics,
 }
 
 impl Scheduler {
     /// A scheduler over `cache` admitting at most `capacity` concurrent
-    /// jobs and claiming `batch` points per turn. Batch metrics land in
-    /// a private throwaway registry; the daemon uses
-    /// [`Scheduler::with_registry`] to surface them.
-    pub fn new(cache: Arc<PointCache>, capacity: usize, batch: usize) -> Self {
-        Scheduler::with_registry(cache, capacity, batch, &Registry::new())
+    /// jobs, claiming adaptively up to `max_claim` points per turn.
+    /// Claim metrics land in a private throwaway registry; the daemon
+    /// uses [`Scheduler::with_registry`] to surface them.
+    #[must_use]
+    pub fn new(cache: Arc<PointCache>, capacity: usize, max_claim: usize) -> Self {
+        Scheduler::with_registry(cache, capacity, max_claim, &Registry::new())
     }
 
-    /// [`Scheduler::new`], registering the batch metrics
-    /// (`sched_batch_eval_ns`, `sched_batches_total`,
-    /// `sched_points_total`) in `registry`.
+    /// [`Scheduler::new`], registering the claim metrics
+    /// (`sched_batch_eval_ns`, `sched_claim_points`,
+    /// `sched_batches_total`, `sched_points_total`) in `registry`.
+    #[must_use]
     pub fn with_registry(
         cache: Arc<PointCache>,
         capacity: usize,
-        batch: usize,
+        max_claim: usize,
+        registry: &Registry,
+    ) -> Self {
+        Scheduler::with_policy(
+            cache,
+            capacity,
+            ClaimPolicy::Adaptive {
+                max: max_claim.max(1),
+            },
+            registry,
+        )
+    }
+
+    /// [`Scheduler::with_registry`] with an explicit claim policy —
+    /// [`ClaimPolicy::Fixed`] restores the pre-engine fixed-batch
+    /// behavior (the comparison baseline of the mixed-traffic bench).
+    #[must_use]
+    pub fn with_policy(
+        cache: Arc<PointCache>,
+        capacity: usize,
+        policy: ClaimPolicy,
         registry: &Registry,
     ) -> Self {
         Scheduler {
-            state: Mutex::new(SchedState {
-                jobs: VecDeque::new(),
-                shutting_down: false,
-                active: 0,
-            }),
-            work_ready: Condvar::new(),
+            engine: Engine::with_registry(capacity, policy, registry),
             cache,
-            capacity: capacity.max(1),
-            batch: batch.max(1),
-            metrics: SchedMetrics::register(registry),
         }
     }
 
     /// The shared cache (for stats and frontier queries).
+    #[must_use]
     pub fn cache(&self) -> &PointCache {
         &self.cache
     }
 
     /// The admission bound.
+    #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.engine.capacity()
     }
 
     /// Jobs admitted and not yet finished.
+    #[must_use]
     pub fn active_jobs(&self) -> usize {
-        self.state.lock().expect("scheduler lock poisoned").active
+        self.engine.active_jobs()
     }
 
-    /// Jobs currently queued in the batch rotation (admitted work with
-    /// unclaimed points; an active job whose last batch is being
-    /// evaluated no longer counts). `queue_depth() <= active_jobs()`
-    /// modulo the race between the two lock acquisitions.
+    /// Remaining **points** across admitted unfinished jobs (claimed
+    /// or not; delivered points no longer count). This changed with
+    /// the work-assisting engine — it used to count whole queued jobs
+    /// — so a nearly-done sweep reports its actual leftover work, not
+    /// full depth (`docs/PROTOCOL.md` records the semantics change).
+    #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.state
-            .lock()
-            .expect("scheduler lock poisoned")
-            .jobs
-            .len()
+        self.engine.queue_depth()
     }
 
-    fn completion(total: usize, slot: SlotOwnership) -> Arc<Completion> {
-        Arc::new(Completion {
-            state: Mutex::new(CompletionState {
-                results: Vec::with_capacity(total),
-                finished: 0,
-                total,
-                cache_hits: 0,
-                cache_misses: 0,
-                error: None,
-                closed: false,
-            }),
-            cv: Condvar::new(),
-            slot,
-            submitted: Instant::now(),
-            first_claimed: OnceLock::new(),
-            finished_at: OnceLock::new(),
-        })
+    /// Points delivered over the scheduler's lifetime; reconciles with
+    /// `sched_points_total`.
+    #[must_use]
+    pub fn completed_points(&self) -> u64 {
+        self.engine.completed_points()
     }
 
     /// Admits `points` as one job.
@@ -314,10 +142,10 @@ impl Scheduler {
     /// [`SubmitError::Busy`] at the admission bound;
     /// [`SubmitError::ShuttingDown`] once shutdown began.
     pub fn submit(&self, points: Vec<DesignPoint>) -> Result<JobHandle, SubmitError> {
-        self.submit_traced(points, None)
+        self.engine.submit(points)
     }
 
-    /// [`Scheduler::submit`], tagging the job so every batch a worker
+    /// [`Scheduler::submit`], tagging the job so every range a worker
     /// claims from it records a `batch` span under `trace`.
     ///
     /// # Errors
@@ -328,76 +156,32 @@ impl Scheduler {
         points: Vec<DesignPoint>,
         trace: Option<TraceRef>,
     ) -> Result<JobHandle, SubmitError> {
-        let total = points.len();
-        let done = Scheduler::completion(total, SlotOwnership::Owned);
-        {
-            let mut state = self.state.lock().expect("scheduler lock poisoned");
-            if state.shutting_down {
-                return Err(SubmitError::ShuttingDown);
-            }
-            if state.active >= self.capacity {
-                return Err(SubmitError::Busy {
-                    active: state.active,
-                    capacity: self.capacity,
-                });
-            }
-            state.active += 1;
-            if total > 0 {
-                state.jobs.push_back(Job {
-                    points: Arc::new(points),
-                    next: 0,
-                    done: Arc::clone(&done),
-                    trace,
-                });
-            } else {
-                // An empty job completes immediately; it was still
-                // admission-checked so capacity semantics are uniform.
-                state.active -= 1;
-            }
-        }
-        self.work_ready.notify_all();
-        Ok(JobHandle { done })
+        self.engine.submit_traced(points, trace)
     }
 
-    /// Reserves one admission slot without submitting work yet — the
-    /// entry point for iterative requests that will run several
-    /// [`Scheduler::submit_in`] rounds under a single unit of
-    /// admission. The slot is released when the returned guard drops.
+    /// Reserves one admission slot without submitting work yet (see
+    /// [`chain_nn_dse::engine::Engine::admit`]).
     ///
     /// # Errors
     ///
     /// [`SubmitError::Busy`] at the admission bound;
     /// [`SubmitError::ShuttingDown`] once shutdown began.
     pub fn admit(&self) -> Result<AdmissionSlot<'_>, SubmitError> {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        if state.shutting_down {
-            return Err(SubmitError::ShuttingDown);
-        }
-        if state.active >= self.capacity {
-            return Err(SubmitError::Busy {
-                active: state.active,
-                capacity: self.capacity,
-            });
-        }
-        state.active += 1;
-        Ok(AdmissionSlot { scheduler: self })
+        self.engine.admit()
     }
 
     /// Enqueues `points` as one job inside an already-held admission
-    /// slot: no capacity check (the slot is the capacity), same fair
-    /// batch rotation as every other job. The borrow ties the job to
-    /// its slot, so a round cannot outlive the admission it runs under.
+    /// slot: no capacity check (the slot is the capacity).
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShuttingDown`] once shutdown began — admitted
-    /// slots do not exempt *new* rounds from the drain.
+    /// [`SubmitError::ShuttingDown`] once shutdown began.
     pub fn submit_in(
         &self,
         slot: &AdmissionSlot<'_>,
         points: Vec<DesignPoint>,
     ) -> Result<JobHandle, SubmitError> {
-        self.submit_in_traced(slot, points, None)
+        self.engine.submit_in(slot, points)
     }
 
     /// [`Scheduler::submit_in`], tagging the round's job so its batch
@@ -408,79 +192,18 @@ impl Scheduler {
     /// Exactly [`Scheduler::submit_in`]'s.
     pub fn submit_in_traced(
         &self,
-        _slot: &AdmissionSlot<'_>,
+        slot: &AdmissionSlot<'_>,
         points: Vec<DesignPoint>,
         trace: Option<TraceRef>,
     ) -> Result<JobHandle, SubmitError> {
-        let total = points.len();
-        let done = Scheduler::completion(total, SlotOwnership::External);
-        {
-            let mut state = self.state.lock().expect("scheduler lock poisoned");
-            if state.shutting_down {
-                return Err(SubmitError::ShuttingDown);
-            }
-            if total > 0 {
-                state.jobs.push_back(Job {
-                    points: Arc::new(points),
-                    next: 0,
-                    done: Arc::clone(&done),
-                    trace,
-                });
-            }
-        }
-        self.work_ready.notify_all();
-        Ok(JobHandle { done })
-    }
-
-    /// Claims the next batch. Blocks while idle; returns `None` once
-    /// shutdown began *and* all admitted work is claimed — the worker
-    /// exit condition.
-    fn claim(&self) -> Option<Claim> {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        loop {
-            if let Some(mut job) = state.jobs.pop_front() {
-                let start = job.next;
-                let end = (start + self.batch).min(job.points.len());
-                job.next = end;
-                let claim = Claim {
-                    points: Arc::clone(&job.points),
-                    start,
-                    end,
-                    done: Arc::clone(&job.done),
-                    trace: job.trace,
-                };
-                // First claim of this job ends its queue wait.
-                let _ = claim.done.first_claimed.set(Instant::now());
-                if job.next < job.points.len() {
-                    // Unfinished: rotate to the queue tail. Pop-front +
-                    // push-back is exactly round-robin across jobs.
-                    state.jobs.push_back(job);
-                }
-                return Some(claim);
-            }
-            if state.shutting_down {
-                return None;
-            }
-            state = self
-                .work_ready
-                .wait(state)
-                .expect("scheduler lock poisoned");
-        }
-    }
-
-    fn finish_job(&self) {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        state.active -= 1;
+        self.engine.submit_in_traced(slot, points, trace)
     }
 
     /// Stops admission and wakes every idle worker so the pool can
-    /// drain admitted jobs and exit.
+    /// drain admitted jobs — including the unclaimed remainder of
+    /// partially-claimed ones — and exit.
     pub fn begin_shutdown(&self) {
-        self.state
-            .lock()
-            .expect("scheduler lock poisoned")
-            .shutting_down = true;
-        self.work_ready.notify_all();
+        self.engine.begin_shutdown();
     }
 
     /// One worker: claim → evaluate → deliver, until shutdown drains
@@ -489,120 +212,30 @@ impl Scheduler {
     /// spans with the worker's pool index; this entry point is worker
     /// 0, for tests and single-threaded embedding.)
     pub fn worker_loop(&self) {
-        self.worker_loop_indexed(0);
+        self.engine.worker_loop(&self.cache);
     }
 
-    /// [`Scheduler::worker_loop`] with an explicit pool index: batches
+    /// [`Scheduler::worker_loop`] with an explicit pool index: claims
     /// of traced jobs record a `batch` span tagged with `worker`, so a
     /// sweep's trace renders as a per-thread timeline.
     pub fn worker_loop_indexed(&self, worker: u32) {
-        while let Some(Claim {
-            points,
-            start,
-            end,
-            done,
-            trace,
-        }) = self.claim()
-        {
-            let batch_started = Instant::now();
-            let mut results = Vec::with_capacity(end - start);
-            let mut error = None;
-            let (mut hits, mut misses) = (0u64, 0u64);
-            for i in start..end {
-                match executor::evaluate_cached_tracked(&points[i], self.cache()) {
-                    Ok((outcome, hit)) => {
-                        if hit {
-                            hits += 1;
-                        } else {
-                            misses += 1;
-                        }
-                        results.push((i, outcome));
-                    }
-                    Err(e) => {
-                        error = Some(e);
-                        break;
-                    }
-                }
-            }
-            self.metrics
-                .batch_eval_ns
-                .record_duration(batch_started.elapsed());
-            self.metrics.batches.inc();
-            self.metrics.points.add((end - start) as u64);
-            if let Some(t) = trace {
-                chain_nn_obs::trace::spans().record(&chain_nn_obs::trace::Span {
-                    trace_id: t.trace_id,
-                    span_id: chain_nn_obs::trace::next_span_id(),
-                    parent_id: t.parent_span,
-                    name: "batch",
-                    start: batch_started,
-                    dur: batch_started.elapsed(),
-                    worker: Some(worker),
-                    points: (end - start) as u32,
-                });
-            }
-            // On error the whole remaining range counts as finished so
-            // the waiter's completion arithmetic still closes.
-            let finished_now = end - start;
-            let job_complete = {
-                let mut cs = done.state.lock().expect("completion lock poisoned");
-                cs.finished += finished_now;
-                cs.cache_hits += hits;
-                cs.cache_misses += misses;
-                cs.results.append(&mut results);
-                if let Some(e) = error {
-                    if cs.error.is_none() {
-                        cs.error = Some(e);
-                    }
-                    // Poison the job: nothing further should be claimed.
-                    cs.finished = cs.finished.max(cs.total);
-                }
-                if cs.error.is_some() || cs.finished >= cs.total {
-                    // Stamp the end of execution before the waiter can
-                    // observe completion.
-                    let _ = done.finished_at.set(Instant::now());
-                }
-                done.cv.notify_all();
-                let complete = cs.finished >= cs.total && !cs.closed;
-                if complete {
-                    cs.closed = true;
-                }
-                complete
-            };
-            if job_complete {
-                self.remove_job(&done);
-                if done.slot == SlotOwnership::Owned {
-                    self.finish_job();
-                }
-            }
-        }
+        self.engine.worker_loop_indexed(worker, &self.cache);
     }
 
-    /// Drops a poisoned/finished job from the rotation if it is still
-    /// queued (it is not, in the common complete-by-last-batch case).
-    fn remove_job(&self, done: &Arc<Completion>) {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        state.jobs.retain(|job| !Arc::ptr_eq(&job.done, done));
-    }
-}
-
-/// RAII reservation of one admission slot (see [`Scheduler::admit`]).
-/// Dropping it releases the slot.
-pub struct AdmissionSlot<'a> {
-    scheduler: &'a Scheduler,
-}
-
-impl Drop for AdmissionSlot<'_> {
-    fn drop(&mut self) {
-        self.scheduler.finish_job();
+    /// Executes at most one pending claim on the calling thread,
+    /// returning whether there was one. Never blocks.
+    pub fn run_one_claim(&self) -> bool {
+        self.engine.run_one_claim(&self.cache)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chain_nn_dse::SweepSpec;
+    use chain_nn_dse::{executor, SweepSpec};
+    use chain_nn_obs::Registry;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn grid(pes: Vec<usize>) -> Vec<DesignPoint> {
         SweepSpec {
@@ -616,9 +249,9 @@ mod tests {
 
     fn with_workers<R>(sched: &Arc<Scheduler>, n: usize, body: impl FnOnce() -> R) -> R {
         std::thread::scope(|scope| {
-            for _ in 0..n {
+            for w in 0..n {
                 let s = Arc::clone(sched);
-                scope.spawn(move || s.worker_loop());
+                scope.spawn(move || s.worker_loop_indexed(w as u32));
             }
             let out = body();
             sched.begin_shutdown();
@@ -686,26 +319,21 @@ mod tests {
             other => panic!("expected busy, got {other:?}"),
         }
         assert_eq!(sched.active_jobs(), 2);
-        // With no workers both jobs still sit in the rotation.
-        assert_eq!(sched.queue_depth(), 2);
+        // Depth is in points now: two untouched 2-point jobs.
+        assert_eq!(sched.queue_depth(), 4);
     }
 
     #[test]
     fn big_job_does_not_starve_small_one() {
-        // One worker, batch 1: with round-robin the small job completes
-        // after at most a couple of turns even though a big job was
-        // admitted first.
+        // One worker: with work-assisting claims the small job is
+        // picked up within one rotation turn even though a big job was
+        // admitted first. (Timing-free check: both complete.)
         let sched = Arc::new(Scheduler::new(Arc::new(PointCache::new()), 4, 1));
         let big = grid((1..=40).map(|i| i * 25).collect());
         let small = grid(vec![25]);
         with_workers(&sched, 1, || {
             let hb = sched.submit(big.clone()).unwrap();
             let hs = sched.submit(small.clone()).unwrap();
-            // The small job finishing at all before shutdown proves it
-            // interleaved; measure progress too: the big job cannot have
-            // been fully drained first on one worker unless the small
-            // job waited behind all 80 points. Round-robin guarantees it
-            // did not. (Timing-free check: both complete.)
             let small_out = hs.wait().unwrap();
             assert_eq!(small_out.outcomes.len(), small.len());
             let big_out = hb.wait().unwrap();
@@ -745,6 +373,55 @@ mod tests {
                 SubmitError::ShuttingDown
             );
         });
+    }
+
+    #[test]
+    fn shutdown_drains_a_job_claimed_mid_way() {
+        // The drain-mid-claim regression: part of a job is already
+        // claimed and delivered when shutdown begins, with no worker
+        // pool running. Workers joining afterwards must finish the
+        // unclaimed remainder — no deadlock, no dropped points.
+        let sched = Arc::new(Scheduler::with_policy(
+            Arc::new(PointCache::new()),
+            4,
+            ClaimPolicy::Fixed(8),
+            &Registry::new(),
+        ));
+        let points = grid((1..=20).map(|i| i * 25).collect());
+        let handle = sched.submit(points.clone()).unwrap();
+        assert!(sched.run_one_claim()); // 8 of 40 delivered
+        assert_eq!(sched.queue_depth(), points.len() - 8);
+        sched.begin_shutdown();
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let s = Arc::clone(&sched);
+                scope.spawn(move || s.worker_loop_indexed(w));
+            }
+        });
+        let job = handle.wait().unwrap();
+        assert_eq!(job.outcomes.len(), points.len());
+        assert_eq!(sched.queue_depth(), 0);
+        assert_eq!(sched.active_jobs(), 0);
+    }
+
+    #[test]
+    fn queue_depth_reports_remaining_points_not_jobs() {
+        // The depth-semantics regression: a nearly-done job must not
+        // report full depth. No workers; claims are stepped by hand.
+        let sched = Scheduler::with_policy(
+            Arc::new(PointCache::new()),
+            4,
+            ClaimPolicy::Fixed(8),
+            &Registry::new(),
+        );
+        let points = grid((1..=16).map(|i| i * 25).collect()); // 32 points
+        let handle = sched.submit(points).unwrap();
+        assert_eq!(sched.queue_depth(), 32);
+        assert!(sched.run_one_claim());
+        assert_eq!(sched.queue_depth(), 24, "delivered points leave the depth");
+        while sched.run_one_claim() {}
+        assert_eq!(sched.queue_depth(), 0);
+        handle.wait().unwrap();
     }
 
     #[test]
@@ -818,10 +495,10 @@ mod tests {
     #[test]
     fn scheduler_registers_batch_metrics() {
         let registry = Registry::new();
-        let sched = Arc::new(Scheduler::with_registry(
+        let sched = Arc::new(Scheduler::with_policy(
             Arc::new(PointCache::new()),
             4,
-            2,
+            ClaimPolicy::Fixed(2),
             &registry,
         ));
         let points = grid(vec![25, 50, 100]);
@@ -833,11 +510,14 @@ mod tests {
             snap.counter("sched_points_total", &[]),
             Some(points.len() as u64)
         );
-        // 6 points at batch size 2 is 3 batches (any worker split).
+        // 6 points at fixed claim size 2 is 3 claims (any worker split).
         assert_eq!(snap.counter("sched_batches_total", &[]), Some(3));
         let h = snap.histogram("sched_batch_eval_ns", &[]).unwrap();
         assert_eq!(h.count, 3);
         assert!(h.sum > 0);
+        // The claim-size histogram mirrors the split: 3 claims of 2.
+        let claims = snap.histogram("sched_claim_points", &[]).unwrap();
+        assert_eq!((claims.count, claims.sum), (3, 6));
     }
 
     #[test]

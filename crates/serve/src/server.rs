@@ -34,7 +34,7 @@ use crate::protocol::{
     FrontierDoneSummary, FrontierEntry, FrontierStepSummary, HistoryTypeWindow, HistoryWindow,
     MetricsHistory, Request, Response, ServerStats, SweepSummary, TuneSummary, WatchSample,
 };
-use crate::scheduler::{AdmissionSlot, Scheduler, SubmitError, TraceRef, BATCH_SIZE};
+use crate::scheduler::{AdmissionSlot, ClaimPolicy, Scheduler, SubmitError, TraceRef, BATCH_SIZE};
 use crate::slo::{SloSpec, SloTracker};
 
 /// How the daemon is set up. `Default` binds an ephemeral loopback
@@ -50,8 +50,14 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Admission bound: concurrent jobs beyond this get `busy`.
     pub queue_capacity: usize,
-    /// Points claimed per scheduling turn.
-    pub batch_size: usize,
+    /// How many points one scheduling turn claims. The default
+    /// adapts to traffic ([`ClaimPolicy::Adaptive`] up to
+    /// [`BATCH_SIZE`]): big claims while one sweep owns the queue,
+    /// [`crate::scheduler::CONTENDED_CLAIM`]-sized ones while
+    /// interactive evals wait behind it. [`ClaimPolicy::Fixed`]
+    /// restores the pre-engine fixed-batch behavior (the mixed-traffic
+    /// bench's comparison baseline).
+    pub claim: ClaimPolicy,
     /// Connection bound: accepted sockets beyond this are answered
     /// `busy` and closed at the accept loop, pairing with the
     /// job-admission bound so idle clients cannot accumulate session
@@ -98,7 +104,7 @@ impl Default for ServerConfig {
             port: 0,
             threads: chain_nn_dse::executor::default_threads(),
             queue_capacity: 16,
-            batch_size: BATCH_SIZE,
+            claim: ClaimPolicy::Adaptive { max: BATCH_SIZE },
             max_connections: 64,
             cache_capacity: None,
             cache_file: None,
@@ -461,10 +467,10 @@ impl Server {
             PathBuf::from(flight)
         });
         let shared = Arc::new(Shared {
-            scheduler: Scheduler::with_registry(
+            scheduler: Scheduler::with_policy(
                 Arc::clone(&cache),
                 config.queue_capacity,
-                config.batch_size,
+                config.claim,
                 &registry,
             ),
             cache,
