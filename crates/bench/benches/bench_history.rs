@@ -1,8 +1,9 @@
 //! The bench-history runner: quick, machine-readable measurements of
 //! the DSE engine, the serving daemon, and the mixed-traffic tail
 //! latency, appended to `BENCH_dse.json` / `BENCH_serve.json` /
-//! `BENCH_mixed.json` at the repo root and gated against the
-//! checked-in baselines under `crates/bench/baselines/`.
+//! `BENCH_mixed.json` / `BENCH_cluster.json` at the repo root and
+//! gated against the checked-in baselines under
+//! `crates/bench/baselines/`.
 //!
 //! Run via `scripts/bench-history.sh` (or `cargo bench -p
 //! chain-nn-bench --bench bench_history`). The process exits nonzero
@@ -17,6 +18,8 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use chain_nn_bench::history::{self, BenchRecord};
 use chain_nn_dse::{executor, DesignPoint, PointCache, SweepSpec};
+use chain_nn_serve::cluster::{ClusterConfig, Coordinator};
+use chain_nn_serve::protocol::Request;
 use chain_nn_serve::scheduler::{ClaimPolicy, BATCH_SIZE};
 use chain_nn_serve::server::{Server, ServerConfig};
 use chain_nn_serve::{Client, Response};
@@ -114,8 +117,8 @@ fn measure_serve() -> Vec<BenchRecord> {
 }
 
 /// One mixed-traffic round: a 2-worker daemon under the given claim
-/// policy serves a ~2000-point cold sweep while a client pumps
-/// pre-warmed one-point evals at it for the sweep's whole duration.
+/// policy serves a ~2000-point cold sweep while a client pumps fresh
+/// one-point evals at it for the sweep's whole duration.
 /// Returns the daemon's `serve_queue_wait_ns{type=eval}` p50 and p99
 /// in nanoseconds, plus the pump's eval count.
 fn eval_wait_under_sweep(claim: ClaimPolicy) -> (f64, f64, usize) {
@@ -129,20 +132,13 @@ fn eval_wait_under_sweep(claim: ClaimPolicy) -> (f64, f64, usize) {
     let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
     let mut pump = Client::connect(addr).expect("connect pump");
 
-    // Warm the pump points while the daemon is idle: during the sweep
-    // each eval is then a cache hit whose latency is queue wait, the
-    // quantity the claim policy controls.
-    let pump_points: Vec<DesignPoint> = (0..32)
-        .map(|i| DesignPoint {
-            pes: 40 + i,
-            ..DesignPoint::paper_alexnet()
-        })
-        .collect();
-    for point in &pump_points {
-        let Response::Eval { .. } = pump.eval(point.clone()).expect("warmup eval") else {
-            panic!("expected an eval reply");
-        };
-    }
+    // Fresh (cache-cold) pump points, disjoint from the sweep grid:
+    // cache hits are answered inline and never queue, so only a cold
+    // eval exercises the queue wait the claim policy controls.
+    let pump_point = |i: usize| DesignPoint {
+        pes: 40 + i,
+        ..DesignPoint::paper_alexnet()
+    };
 
     let sweep_done = AtomicBool::new(false);
     let pumped = std::thread::scope(|scope| {
@@ -179,8 +175,7 @@ fn eval_wait_under_sweep(claim: ClaimPolicy) -> (f64, f64, usize) {
         }
         let mut pumped = 0usize;
         while !sweep_done.load(Ordering::SeqCst) {
-            let point = pump_points[pumped % pump_points.len()].clone();
-            let Response::Eval { .. } = pump.eval(point).expect("eval") else {
+            let Response::Eval { .. } = pump.eval(pump_point(pumped)).expect("eval") else {
                 panic!("expected an eval reply");
             };
             pumped += 1;
@@ -227,6 +222,144 @@ fn measure_mixed() -> Vec<BenchRecord> {
     ]
 }
 
+/// Binds an `n`-shard fleet (single-worker shards, cold caches) behind
+/// a coordinator and returns everything needed to drive and drain it.
+#[allow(clippy::type_complexity)]
+fn cluster_fleet(
+    n: usize,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<()>,
+    Vec<std::thread::JoinHandle<chain_nn_serve::server::ServerReport>>,
+) {
+    let mut addrs = Vec::new();
+    let mut shards = Vec::new();
+    for _ in 0..n {
+        let server = Server::bind(ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        })
+        .expect("bind shard");
+        addrs.push(server.local_addr().expect("addr").to_string());
+        shards.push(std::thread::spawn(move || {
+            server.run().expect("shard runs")
+        }));
+    }
+    let coordinator = Coordinator::bind(ClusterConfig {
+        shards: addrs,
+        ..ClusterConfig::default()
+    })
+    .expect("bind coordinator");
+    let addr = coordinator.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        coordinator.run().expect("coordinator runs");
+    });
+    (addr, handle, shards)
+}
+
+/// Cluster measurements: the same cold sweep through 1/2/4/8-shard
+/// fleets (hash-partitioned across single-worker shards — the scaling
+/// curve is near-linear given cores to spread over and flat on a
+/// single-core host, which the checked-in baseline reflects), plus
+/// cache-hit eval throughput sequential vs pipelined on one daemon.
+fn measure_cluster() -> Vec<BenchRecord> {
+    let spec = SweepSpec {
+        pes: (16..=256).step_by(8).collect(),
+        freqs_mhz: vec![350.0, 700.0],
+        nets: vec!["lenet".to_owned()],
+        ..SweepSpec::paper_point()
+    };
+    let mut records = Vec::new();
+    let mut one_shard_wall = f64::NAN;
+    for n in [1usize, 2, 4, 8] {
+        let (addr, coordinator, shards) = cluster_fleet(n);
+        let mut client = Client::connect(addr).expect("connect coordinator");
+        let started = Instant::now();
+        let Response::Sweep(summary) = client.sweep(spec.clone()).expect("sweep") else {
+            panic!("expected a sweep summary");
+        };
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(summary.cache_misses, spec.len() as u64);
+        assert!(!summary.degraded);
+        client.shutdown().expect("shutdown");
+        coordinator.join().expect("coordinator thread");
+        for shard in shards {
+            shard.join().expect("shard thread");
+        }
+        records.push(record(
+            &format!("cluster/sweep_wall_{n}shard"),
+            "secs",
+            wall,
+            "secs",
+        ));
+        if n == 1 {
+            one_shard_wall = wall;
+        } else {
+            println!(
+                "cluster: {n}-shard sweep {:.2}x vs 1 shard ({wall:.3}s)",
+                one_shard_wall / wall
+            );
+        }
+    }
+
+    // Pipelining vs lockstep, cache-hit evals against one shard daemon.
+    let server = Server::bind(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+    let mut client = Client::connect(addr).expect("connect");
+    let point = DesignPoint {
+        net: "lenet".to_owned(),
+        ..DesignPoint::paper_alexnet()
+    };
+    client.eval(point.clone()).expect("warmup eval");
+    let rounds = 300u32;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let Response::Eval { .. } = client.eval(point.clone()).expect("eval") else {
+            panic!("expected an eval reply");
+        };
+    }
+    let sequential = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let ids: Vec<u64> = (0..rounds)
+        .map(|_| {
+            client
+                .pipeline(&Request::Eval(point.clone()))
+                .expect("pipeline")
+        })
+        .collect();
+    for id in ids {
+        client.recv_reply(id).expect("reply");
+    }
+    let pipelined = started.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let seq_rate = f64::from(rounds) / sequential;
+    let pipe_rate = f64::from(rounds) / pipelined;
+    println!(
+        "cluster: pipelined evals {pipe_rate:.0}/s vs {seq_rate:.0}/s lockstep \
+         ({:.1}x)",
+        pipe_rate / seq_rate
+    );
+    records.push(record(
+        "cluster/eval_lockstep",
+        "requests_per_sec",
+        seq_rate,
+        "req/s",
+    ));
+    records.push(record(
+        "cluster/eval_pipelined",
+        "requests_per_sec",
+        pipe_rate,
+        "req/s",
+    ));
+    records
+}
+
 /// Appends one suite's records to its history file and gates them
 /// against the checked-in baseline. Returns the failures.
 fn run_suite(name: &str, records: Vec<BenchRecord>, root: &Path, tolerance: f64) -> Vec<String> {
@@ -261,9 +394,10 @@ fn main() {
     failures.extend(run_suite("dse", measure_dse(), &root, tolerance));
     failures.extend(run_suite("serve", measure_serve(), &root, tolerance));
     failures.extend(run_suite("mixed", measure_mixed(), &root, tolerance));
+    failures.extend(run_suite("cluster", measure_cluster(), &root, tolerance));
     // Paranoia: the freshly-appended lines must parse back — the whole
     // point of the history is machine readability.
-    for name in ["dse", "serve", "mixed"] {
+    for name in ["dse", "serve", "mixed", "cluster"] {
         let loaded = history::load(&root.join(format!("BENCH_{name}.json")));
         assert!(!loaded.is_empty(), "BENCH_{name}.json must parse");
     }

@@ -7,8 +7,6 @@ use std::str::FromStr;
 /// Error produced while parsing command-line arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgError {
-    /// A `--flag` had no value.
-    MissingValue(String),
     /// A positional token appeared where a flag was expected.
     Unexpected(String),
     /// A value failed to parse.
@@ -25,7 +23,6 @@ pub enum ArgError {
 impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::Unexpected(tok) => write!(f, "unexpected argument '{tok}'"),
             ArgError::BadValue { flag, value } => {
                 write!(f, "cannot parse '{value}' for --{flag}")
@@ -44,22 +41,27 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parses everything after the subcommand.
+    /// Parses everything after the subcommand. A `--flag` directly
+    /// followed by another `--flag` (or by nothing) is a valueless
+    /// switch and parses as the value `true`, so boolean toggles like
+    /// `--coordinator` need no explicit operand; no flag in this CLI
+    /// takes a value beginning with `--`.
     ///
     /// # Errors
     ///
     /// Returns an [`ArgError`] on malformed input.
     pub fn parse(tokens: &[String]) -> Result<Self, ArgError> {
         let mut values = HashMap::new();
-        let mut it = tokens.iter();
+        let mut it = tokens.iter().peekable();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(ArgError::Unexpected(tok.clone()));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
-            if values.insert(name.to_owned(), value.clone()).is_some() {
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_owned(),
+            };
+            if values.insert(name.to_owned(), value).is_some() {
                 return Err(ArgError::Duplicate(name.to_owned()));
             }
         }
@@ -110,13 +112,24 @@ mod tests {
             ArgError::Unexpected("576".into())
         );
         assert_eq!(
-            Flags::parse(&toks(&["--pes"])).unwrap_err(),
-            ArgError::MissingValue("pes".into())
-        );
-        assert_eq!(
             Flags::parse(&toks(&["--k", "1", "--k", "2"])).unwrap_err(),
             ArgError::Duplicate("k".into())
         );
+    }
+
+    #[test]
+    fn bare_flags_are_boolean_switches() {
+        let f = Flags::parse(&toks(&["--coordinator", "--port", "8100"])).unwrap();
+        assert!(f.get_or("coordinator", false).unwrap());
+        assert_eq!(f.get_or("port", 0u16).unwrap(), 8100);
+        let f = Flags::parse(&toks(&["--port", "8100", "--coordinator"])).unwrap();
+        assert!(f.get_or("coordinator", false).unwrap());
+        // A forgotten value still fails loudly, just at typing time.
+        let f = Flags::parse(&toks(&["--pes", "--net", "alexnet"])).unwrap();
+        assert!(matches!(
+            f.get_or("pes", 0usize).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "tune" => tune_cmd(&Flags::parse(rest)?),
         "compact" => compact_cmd(&Flags::parse(rest)?),
         "serve" => serve_cmd(&Flags::parse(rest)?),
+        "cluster" => cluster_cmd(&Flags::parse(rest)?),
         "query" => query_cmd(rest),
         "top" => top_cmd(&Flags::parse(rest)?),
         "perf" => perf_cmd(&Flags::parse(rest)?),
@@ -170,6 +171,21 @@ explorer daemon:
            the metrics every --sample-interval-ms into a history ring
            (metrics_history / watch / top), and --slo adds latency
            objectives evaluated each tick (docs/OBSERVABILITY.md)
+  serve --coordinator --shards H:P,H:P,...  [--port 7878] [--host H]
+           [--max-connections 64]
+           cluster coordinator: same wire protocol, but requests are
+           routed across the named shard daemons by content hash —
+           eval goes to the owning shard, sweep/frontier fan out as
+           hash-partitioned sub-requests whose frontiers merge back
+           byte-identical to a single daemon's, tune rounds run
+           scatter-gather; a lost shard degrades the reply
+           (\"degraded\":true) instead of failing it (docs/PROTOCOL.md)
+  cluster  [--shards N] [--port 7878] [--threads T] [--cache-file FILE]
+           one-command local fleet: N in-process shard daemons on
+           ephemeral ports plus a coordinator on --port; with
+           --cache-file each shard persists to FILE.shardI so warm
+           restarts stay incremental; shutdown via the coordinator
+           stops the whole fleet
   query    [--port 7878] [--host 127.0.0.1] REQUEST [--text]
            send one request to a running daemon and print the reply;
            REQUEST is a JSON object ('{\"type\":\"sweep\",...}') or a
@@ -788,6 +804,11 @@ fn compact_cmd(flags: &Flags) -> CmdResult {
 
 fn serve_cmd(flags: &Flags) -> CmdResult {
     use chain_nn_serve::scheduler::ClaimPolicy;
+    // A shard list turns this process into a cluster coordinator
+    // instead of an evaluating daemon.
+    if flags.get_str("shards").is_some() || flags.get_or("coordinator", false)? {
+        return coordinator_cmd(flags);
+    }
     let batch = flags
         .get_or("batch", chain_nn_serve::scheduler::BATCH_SIZE)?
         .max(1);
@@ -838,6 +859,107 @@ fn serve_cmd(flags: &Flags) -> CmdResult {
     Ok(format!(
         "daemon stopped: {} requests served, {} points cached ({} loaded at start, {} newly persisted)\n",
         report.requests, report.cached_points, report.loaded_from_disk, report.persisted
+    ))
+}
+
+/// The coordinator variant of `serve`: no evaluation, no cache — just
+/// content-hash routing across the named shard daemons.
+fn coordinator_cmd(flags: &Flags) -> CmdResult {
+    let shards: Vec<String> = flags
+        .get_str("shards")
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if shards.is_empty() {
+        return Err("a coordinator needs --shards host:port,host:port,...".into());
+    }
+    let n = shards.len();
+    let config = chain_nn_serve::cluster::ClusterConfig {
+        host: flags.get_str("host").unwrap_or("127.0.0.1").to_owned(),
+        port: flags.get_or("port", 7878u16)?,
+        shards,
+        max_connections: flags.get_or("max-connections", 64usize)?,
+    };
+    let coordinator = chain_nn_serve::cluster::Coordinator::bind(config)?;
+    // Same eager readiness announcement as `serve` — scripts and the
+    // CI cluster-smoke job wait for "listening" before connecting.
+    println!(
+        "chain-nn cluster coordinator listening on {} ({n} shards)",
+        coordinator.local_addr()?,
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let report = coordinator.run()?;
+    Ok(format!(
+        "coordinator stopped: {} requests served across {n} shards\n",
+        report.requests
+    ))
+}
+
+/// `cluster` — the one-command local fleet: N in-process shard daemons
+/// on ephemeral ports plus a coordinator routing across them. Each
+/// shard gets its own cache file (`FILE.shardI`) so warm restarts stay
+/// incremental per shard.
+fn cluster_cmd(flags: &Flags) -> CmdResult {
+    let n = flags.get_or("shards", 2usize)?;
+    if n == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let threads = flags.get_or("threads", executor::default_threads())?;
+    let cache_base = flags.get_str("cache-file").map(std::path::PathBuf::from);
+    let mut addrs = Vec::new();
+    let mut daemons = Vec::new();
+    for i in 0..n {
+        let config = chain_nn_serve::ServerConfig {
+            host: "127.0.0.1".to_owned(),
+            port: 0,
+            threads,
+            cache_file: cache_base.as_ref().map(|base| {
+                let mut file = base.clone().into_os_string();
+                file.push(format!(".shard{i}"));
+                std::path::PathBuf::from(file)
+            }),
+            ..chain_nn_serve::ServerConfig::default()
+        };
+        let server = chain_nn_serve::Server::bind(config)?;
+        let addr = server.local_addr()?;
+        println!(
+            "chain-nn shard {i} on {addr} ({} cached points loaded)",
+            server.loaded_from_disk()
+        );
+        addrs.push(addr.to_string());
+        daemons.push(std::thread::spawn(move || server.run()));
+    }
+    let config = chain_nn_serve::cluster::ClusterConfig {
+        host: flags.get_str("host").unwrap_or("127.0.0.1").to_owned(),
+        port: flags.get_or("port", 7878u16)?,
+        shards: addrs,
+        max_connections: flags.get_or("max-connections", 64usize)?,
+    };
+    let coordinator = chain_nn_serve::cluster::Coordinator::bind(config)?;
+    println!(
+        "chain-nn cluster coordinator listening on {} ({n} shards)",
+        coordinator.local_addr()?,
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let report = coordinator.run()?;
+    // The coordinator forwarded the shutdown to every shard; collect
+    // their reports so the persistence accounting is visible.
+    let mut cached = 0usize;
+    let mut persisted = 0usize;
+    for daemon in daemons {
+        if let Ok(Ok(r)) = daemon.join().map_err(|_| "shard panicked") {
+            cached += r.cached_points;
+            persisted += r.persisted;
+        }
+    }
+    Ok(format!(
+        "cluster stopped: {} requests served across {n} shards ({cached} points cached, {persisted} newly persisted)\n",
+        report.requests
     ))
 }
 

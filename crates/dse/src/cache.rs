@@ -195,6 +195,28 @@ impl PointCache {
         found
     }
 
+    /// Looks up `point`, counting a hit when present but *nothing* when
+    /// absent. This is the serving fast path's probe: on a miss the
+    /// point goes on to a scheduled evaluation whose own [`get`]
+    /// records the authoritative miss, and counting it here too would
+    /// double it.
+    ///
+    /// [`get`]: PointCache::get
+    pub fn probe(&self, point: &DesignPoint) -> Option<PointOutcome> {
+        let key = point.content_hash();
+        let shard = self.shard(key).lock().expect("cache lock poisoned");
+        let found = shard
+            .map
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(p, _)| p == point))
+            .map(|(_, outcome)| outcome.clone());
+        drop(shard);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
     fn insert_impl(&self, point: &DesignPoint, outcome: PointOutcome, journal: bool) -> bool {
         let key = point.content_hash();
         let mut shard = self.shard(key).lock().expect("cache lock poisoned");

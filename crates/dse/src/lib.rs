@@ -72,7 +72,7 @@ pub use cache::{CacheStats, PointCache};
 pub use eval::{evaluate, PointOutcome, PointResult};
 pub use mix::{evaluate_mix, MixEntry, MixOutcome, MixResult, WorkloadMix};
 pub use persist::{CacheFile, CompactReport, LoadReport};
-pub use spec::{DesignPoint, RangeSpec, SweepSpec};
+pub use spec::{DesignPoint, RangeSpec, SweepPart, SweepSpec};
 
 /// Errors produced by the DSE engine.
 #[derive(Debug, Clone, PartialEq, Eq)]

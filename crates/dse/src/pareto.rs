@@ -102,6 +102,39 @@ pub fn frontier_accuracy(objectives: &[(usize, Objectives)]) -> Vec<usize> {
     frontier_by(objectives, dominates_accuracy)
 }
 
+/// Merges per-partition frontier candidate lists into one canonically
+/// ordered candidate set: concatenate and sort ascending by index.
+/// This is the cluster coordinator's merge step — each shard reports
+/// the frontier of *its* hash-partition with global grid indices, and
+/// re-filtering the merged set reproduces the frontier of the union.
+///
+/// Why that works: dominance is a strict partial order, so in a finite
+/// set every dominated point is dominated by some non-dominated point.
+/// A point on the union's frontier is also on its own partition's
+/// frontier (a subset has fewer dominators), so the merged candidate
+/// set always contains the union's entire frontier; and every merged
+/// candidate *not* on the union's frontier is dominated by a point that
+/// is — which is also in the set — so one more filtering pass removes
+/// exactly the impostors. Hence for any dominance relation `d`:
+/// `frontier(merge(parts)) == frontier(union)`, independent of how the
+/// points were partitioned (associative and commutative in the parts).
+pub fn merge_candidates(parts: &[Vec<(usize, Objectives)>]) -> Vec<(usize, Objectives)> {
+    let mut all: Vec<(usize, Objectives)> = parts.concat();
+    all.sort_by_key(|(i, _)| *i);
+    all
+}
+
+/// The 3D frontier of merged per-partition candidates (ascending
+/// global indices — identical to running [`frontier_3d`] on the union).
+pub fn merge_frontier_3d(parts: &[Vec<(usize, Objectives)>]) -> Vec<usize> {
+    frontier_3d(&merge_candidates(parts))
+}
+
+/// The accuracy frontier of merged per-partition candidates.
+pub fn merge_frontier_accuracy(parts: &[Vec<(usize, Objectives)>]) -> Vec<usize> {
+    frontier_accuracy(&merge_candidates(parts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -193,6 +193,27 @@ impl FromStr for RangeSpec {
     }
 }
 
+/// One hash-partition of a sweep grid: shard `index` of `of` shards.
+/// A partitioned spec keeps only the grid points whose
+/// [`DesignPoint::content_hash`] lands on this shard (`hash % of ==
+/// index`), while point *indices* stay global — shard results can be
+/// merged back into the full grid's index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPart {
+    /// This shard's slot, `0..of`.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
+
+impl SweepPart {
+    /// Whether `point` belongs to this partition.
+    #[must_use]
+    pub fn owns(&self, point: &DesignPoint) -> bool {
+        self.of <= 1 || point.content_hash() % self.of as u64 == self.index as u64
+    }
+}
+
 /// The full sweep grid. Every `Vec` is one axis; [`SweepSpec::points`]
 /// takes the cartesian product in a fixed nesting order (net, batch,
 /// word bits, oMemory, iMemory, kMemory depth, frequency, PEs — PEs
@@ -221,6 +242,11 @@ pub struct SweepSpec {
     pub batches: Vec<usize>,
     /// Networks (zoo names) to sweep.
     pub nets: Vec<String>,
+    /// When set, restrict the grid to one content-hash partition: only
+    /// points with `content_hash % part.of == part.index` are emitted
+    /// by [`SweepSpec::points`], with global indices preserved by
+    /// [`SweepSpec::indexed_points`]. `None` is the whole grid.
+    pub part: Option<SweepPart>,
 }
 
 impl SweepSpec {
@@ -236,6 +262,7 @@ impl SweepSpec {
             word_bits: vec![p.word_bits],
             batches: vec![p.batch],
             nets: vec![p.net],
+            part: None,
         }
     }
 
@@ -309,10 +336,23 @@ impl SweepSpec {
                 return Err(DseError::Spec(format!("unknown network '{name}'")));
             }
         }
+        if let Some(part) = &self.part {
+            if part.of == 0 {
+                return Err(DseError::Spec("sweep partition 'of' must be >= 1".into()));
+            }
+            if part.index >= part.of {
+                return Err(DseError::Spec(format!(
+                    "sweep partition index {} out of range (of {})",
+                    part.index, part.of
+                )));
+            }
+        }
         Ok(())
     }
 
-    /// Number of points in the grid.
+    /// Number of points in the *full* grid, ignoring any partition —
+    /// the index space shard results merge back into. The partitioned
+    /// point count is `points().len()`.
     pub fn len(&self) -> usize {
         self.pes.len()
             * self.freqs_mhz.len()
@@ -329,9 +369,22 @@ impl SweepSpec {
         self.len() == 0
     }
 
-    /// Flattens the grid into its deterministic point list.
+    /// Flattens the grid into its deterministic point list. With a
+    /// partition set, only this shard's points are emitted (in the same
+    /// global order).
     pub fn points(&self) -> Vec<DesignPoint> {
-        let mut out = Vec::with_capacity(self.len());
+        self.indexed_points().into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Like [`SweepSpec::points`], but each point is paired with its
+    /// *global* grid index — the index it has in the unpartitioned
+    /// grid. For an unpartitioned spec the indices are simply
+    /// `0..len()`; for a partition they are the subsequence owned by
+    /// this shard, still ascending, so per-shard frontier indices can
+    /// be merged across shards without translation.
+    pub fn indexed_points(&self) -> Vec<(usize, DesignPoint)> {
+        let mut out = Vec::new();
+        let mut index = 0usize;
         for net in &self.nets {
             for &batch in &self.batches {
                 for &word_bits in &self.word_bits {
@@ -340,7 +393,7 @@ impl SweepSpec {
                             for &kmem_depth in &self.kmem_depths {
                                 for &freq_mhz in &self.freqs_mhz {
                                     for &pes in &self.pes {
-                                        out.push(DesignPoint {
+                                        let point = DesignPoint {
                                             pes,
                                             freq_mhz,
                                             kmem_depth,
@@ -349,7 +402,11 @@ impl SweepSpec {
                                             word_bits,
                                             batch,
                                             net: net.clone(),
-                                        });
+                                        };
+                                        if self.part.as_ref().is_none_or(|p| p.owns(&point)) {
+                                            out.push((index, point));
+                                        }
+                                        index += 1;
                                     }
                                 }
                             }

@@ -48,6 +48,17 @@ impl From<ProtocolError> for ClientError {
 }
 
 /// One connection to a running daemon.
+///
+/// Every typed request carries a monotonically increasing pipelining
+/// id (`"req"`), which the daemon echoes on every reply line it
+/// produces for that request. Replies still arrive in request order
+/// (the daemon serves a session sequentially), but the ids let the
+/// client *verify* the attribution — and discard stale lines of an
+/// abandoned stream — instead of assuming strict request/reply
+/// alternation. [`Client::pipeline`] sends without flushing or
+/// waiting, so N requests can be in flight before the first
+/// [`Client::recv_reply`]; on loopback that amortizes the write/read
+/// syscall round trip across the whole batch.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -55,6 +66,9 @@ pub struct Client {
     /// context, so the daemon files the request's spans under the
     /// caller's trace id instead of assigning its own.
     trace: Option<TraceContext>,
+    /// The next pipelining id. Starts at 1 so 0 never appears on the
+    /// wire (and a daemon that echoes nothing stays distinguishable).
+    next_req: u64,
 }
 
 impl Client {
@@ -72,6 +86,7 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
             trace: None,
+            next_req: 1,
         })
     }
 
@@ -91,24 +106,53 @@ impl Client {
     /// `error` reply is a successful round trip — inspect the
     /// [`Response`].
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.send(request)?;
-        self.recv()
+        let id = self.pipeline(request)?;
+        self.recv_reply(id)
     }
 
-    /// Sends one request line without waiting for anything.
-    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        let mut wire = match self.trace {
-            Some(ctx) => request.encode_with_trace(ctx),
-            None => request.encode(),
-        };
+    /// Queues one request without flushing or waiting, returning its
+    /// pipelining id. Send as many as you like, then collect the
+    /// replies **in the same order** with [`Client::recv_reply`] — the
+    /// daemon serves a session sequentially, so out-of-order collection
+    /// would deadlock on a reply that has not been produced yet.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures while buffering the line.
+    pub fn pipeline(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let id = self.next_req;
+        self.next_req += 1;
+        let mut wire = request.encode_with_meta(self.trace, Some(id));
         wire.push('\n');
         self.writer.write_all(wire.as_bytes())?;
-        Ok(self.writer.flush()?)
+        Ok(id)
     }
 
-    /// Blocks for the next response line and decodes it.
-    fn recv(&mut self) -> Result<Response, ClientError> {
-        Ok(Response::decode(self.recv_raw_line()?.trim())?)
+    /// Flushes any pipelined requests and blocks for the reply with
+    /// this id, discarding reply lines that belong to other requests
+    /// (stale lines of an abandoned stream, or replies the caller
+    /// chose not to collect). Lines without an echoed id — a daemon
+    /// predating pipelining, or its connection-bound `busy` refusal —
+    /// are accepted as the next in-order reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a reply that does not parse.
+    pub fn recv_reply(&mut self, id: u64) -> Result<Response, ClientError> {
+        self.writer.flush()?;
+        self.recv_matching(id)
+    }
+
+    /// Blocks for the next reply line belonging to request `id`.
+    fn recv_matching(&mut self, id: u64) -> Result<Response, ClientError> {
+        loop {
+            let line = self.recv_raw_line()?;
+            let (response, req) = Response::decode_with_req(line.trim())?;
+            match req {
+                Some(other) if other != id => continue,
+                _ => return Ok(response),
+            }
+        }
     }
 
     /// Blocks for the next raw reply line — the streaming counterpart
@@ -151,6 +195,17 @@ impl Client {
         self.request(&Request::Eval(point))
     }
 
+    /// Evaluates a batch of points as one scheduler job, returning one
+    /// outcome per point in order ([`Response::EvalBatch`]) — the
+    /// cluster coordinator's scatter-gather primitive.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures ([`ClientError`]).
+    pub fn eval_batch(&mut self, points: Vec<DesignPoint>) -> Result<Response, ClientError> {
+        self.request(&Request::EvalBatch(points))
+    }
+
     /// Runs one sweep.
     ///
     /// # Errors
@@ -183,9 +238,10 @@ impl Client {
         request: chain_nn_tuner::FrontierTuneRequest,
         mut on_step: impl FnMut(&crate::protocol::FrontierStepSummary),
     ) -> Result<Response, ClientError> {
-        self.send(&Request::TuneFrontier(Box::new(request)))?;
+        let id = self.pipeline(&Request::TuneFrontier(Box::new(request)))?;
+        self.writer.flush()?;
         loop {
-            match self.recv()? {
+            match self.recv_matching(id)? {
                 Response::TuneFrontierStep(step) => on_step(&step),
                 terminal => return Ok(terminal),
             }
@@ -233,13 +289,14 @@ impl Client {
         sqnr: bool,
         mut on_entry: impl FnMut(&crate::protocol::FrontierEntry),
     ) -> Result<Response, ClientError> {
-        self.send(&Request::Frontier {
+        let id = self.pipeline(&Request::Frontier {
             dims,
             sqnr,
             stream: true,
         })?;
+        self.writer.flush()?;
         loop {
-            match self.recv()? {
+            match self.recv_matching(id)? {
                 Response::FrontierStreamEntry { entry } => on_entry(&entry),
                 terminal => return Ok(terminal),
             }
@@ -290,9 +347,10 @@ impl Client {
         samples: u64,
         mut on_sample: impl FnMut(&crate::protocol::WatchSample),
     ) -> Result<Response, ClientError> {
-        self.send(&Request::Watch { samples })?;
+        let id = self.pipeline(&Request::Watch { samples })?;
+        self.writer.flush()?;
         loop {
-            match self.recv()? {
+            match self.recv_matching(id)? {
                 Response::WatchSample(sample) => on_sample(&sample),
                 terminal => return Ok(terminal),
             }

@@ -70,6 +70,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod json;
 pub mod protocol;
 pub mod scheduler;

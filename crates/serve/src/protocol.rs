@@ -72,8 +72,9 @@
 
 use std::fmt;
 
+use chain_nn_dse::pareto::Objectives;
 use chain_nn_dse::{
-    DesignPoint, MixEntry, MixResult, PointOutcome, PointResult, SweepSpec, WorkloadMix,
+    DesignPoint, MixEntry, MixResult, PointOutcome, PointResult, SweepPart, SweepSpec, WorkloadMix,
 };
 use chain_nn_obs::trace::{SpanRecord, TraceContext};
 use chain_nn_obs::{HistogramSummary, MetricEntry, MetricValue, Snapshot};
@@ -105,6 +106,12 @@ fn bad(msg: impl Into<String>) -> ProtocolError {
 pub enum Request {
     /// Evaluate one design point.
     Eval(DesignPoint),
+    /// Evaluate an explicit list of design points in one round trip,
+    /// returning outcomes aligned with the list. This is the cluster
+    /// coordinator's scatter-gather primitive: a tune round's expanded
+    /// points are hash-partitioned, each shard evaluates its slice as
+    /// one `eval_batch`, and the replies reassemble in order.
+    EvalBatch(Vec<DesignPoint>),
     /// Evaluate a whole sweep grid.
     Sweep(SweepSpec),
     /// Budget-constrained search of a grid for a workload mix (boxed:
@@ -180,6 +187,20 @@ pub struct SweepSummary {
     /// Indices of fps × power × SQNR non-dominated points (grid order,
     /// ascending) — the accuracy variant of the frontier.
     pub frontier_sqnr: Vec<usize>,
+    /// Frontier candidates with their objective vectors, only present
+    /// on partitioned sub-sweep replies (`spec.part` set): the union of
+    /// this shard's `frontier_3d`/`frontier_sqnr` points as
+    /// `(global grid index, objectives)` pairs, ascending. The
+    /// coordinator concatenates shard candidate lists, sorts by index
+    /// and re-filters to reproduce the single-daemon frontier exactly
+    /// ([`chain_nn_dse::pareto::merge_candidates`]). Empty — and absent
+    /// on the wire — for ordinary sweeps.
+    pub candidates: Vec<(usize, Objectives)>,
+    /// Set by the coordinator when one or more shards were lost
+    /// mid-sweep and the summary covers only the surviving partitions.
+    /// Absent on the wire when false, so non-degraded replies are
+    /// byte-identical to single-daemon ones.
+    pub degraded: bool,
 }
 
 /// One frontier entry: the point and its model results.
@@ -210,6 +231,11 @@ pub struct TuneSummary {
     pub rounds: usize,
     /// Configurations an exhaustive sweep of the space would evaluate.
     pub exhaustive_points: usize,
+    /// Set by the coordinator when shard loss forced rerouting during
+    /// the tune (results are still exact — any shard computes the same
+    /// pure models — but cache locality was lost). Absent on the wire
+    /// when false.
+    pub degraded: bool,
 }
 
 /// One budget step of a streaming frontier tune
@@ -250,8 +276,38 @@ pub struct FrontierDoneSummary {
     pub exhaustive_points: usize,
 }
 
+/// The transport envelope of one decoded request line: the optional
+/// propagated `"trace"` context plus the optional pipelining id
+/// `"req"`. When a client sends `"req"`, the daemon echoes it on
+/// *every* reply line of that request (streamed lines included), which
+/// is what lets a pipelining client discard stale lines of an
+/// abandoned stream instead of misattributing them to the next
+/// request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// Propagated trace context, if present.
+    pub trace: Option<TraceContext>,
+    /// Pipelining correlation id, if present.
+    pub req_id: Option<u64>,
+}
+
+/// Health of one cluster shard as seen by the coordinator, reported in
+/// coordinator [`Request::Stats`] replies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStat {
+    /// The shard's `host:port` address.
+    pub addr: String,
+    /// Requests the coordinator sent this shard.
+    pub requests: u64,
+    /// Transport/busy failures talking to this shard.
+    pub errors: u64,
+    /// Whether the shard is currently marked degraded (unreachable or
+    /// persistently busy at last contact).
+    pub degraded: bool,
+}
+
 /// Daemon-side counters reported by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Distinct points in the shared cache.
     pub cached_points: usize,
@@ -295,6 +351,9 @@ pub struct ServerStats {
     /// Sampler ticks on which at least one SLO was out of compliance,
     /// since daemon start (0 from pre-SLO daemons).
     pub slo_breach_ticks: u64,
+    /// Per-shard health, coordinator daemons only (empty — and absent
+    /// on the wire — for ordinary daemons).
+    pub shards: Vec<ShardStat>,
 }
 
 /// Windowed per-request-type statistics, shared by
@@ -390,6 +449,16 @@ pub enum Response {
         /// Feasible result or infeasibility reason.
         outcome: PointOutcome,
     },
+    /// Outcomes of an [`Request::EvalBatch`], aligned with the request's
+    /// point list.
+    EvalBatch {
+        /// One outcome per requested point, in request order.
+        outcomes: Vec<PointOutcome>,
+        /// Cache hits among the batch's lookups.
+        cache_hits: u64,
+        /// Fresh evaluations the batch ran.
+        cache_misses: u64,
+    },
     /// Sweep summary.
     Sweep(SweepSummary),
     /// Tune summary.
@@ -412,6 +481,8 @@ pub enum Response {
         dims: u8,
         /// Entry lines that preceded this line.
         entries: usize,
+        /// Coordinator only: the frontier covers surviving shards only.
+        degraded: bool,
     },
     /// Frontier of the whole cache, canonically ordered.
     Frontier {
@@ -419,6 +490,9 @@ pub enum Response {
         dims: u8,
         /// Non-dominated `(point, result)` pairs.
         entries: Vec<FrontierEntry>,
+        /// Coordinator only: the frontier covers surviving shards only.
+        /// Absent on the wire when false.
+        degraded: bool,
     },
     /// Counter snapshot.
     Stats(ServerStats),
@@ -498,7 +572,7 @@ fn point_to_json(p: &DesignPoint) -> Json {
 
 fn spec_to_json(s: &SweepSpec) -> Json {
     let us = |axis: &[usize]| Json::Arr(axis.iter().map(|&v| unum(v as u64)).collect());
-    Json::Obj(vec![
+    let mut fields = vec![
         (
             "nets".into(),
             Json::Arr(s.nets.iter().map(|n| Json::Str(n.clone())).collect()),
@@ -516,7 +590,17 @@ fn spec_to_json(s: &SweepSpec) -> Json {
             Json::Arr(s.word_bits.iter().map(|&b| unum(u64::from(b))).collect()),
         ),
         ("batches".into(), us(&s.batches)),
-    ])
+    ];
+    if let Some(part) = &s.part {
+        fields.push((
+            "part".into(),
+            Json::Obj(vec![
+                ("index".into(), unum(part.index as u64)),
+                ("of".into(), unum(part.of as u64)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn mix_to_json(mix: &WorkloadMix) -> Json {
@@ -644,18 +728,33 @@ impl Request {
     /// `"trace":{"id":...,"parent":...}` field (`parent` omitted when
     /// 0). Daemons that predate tracing ignore the extra field.
     pub fn encode_with_trace(&self, ctx: TraceContext) -> String {
-        let mut trace_fields = vec![("id".to_owned(), unum(ctx.id))];
-        if ctx.parent != 0 {
-            trace_fields.push(("parent".to_owned(), unum(ctx.parent)));
-        }
+        self.encode_with_meta(Some(ctx), None)
+    }
+
+    /// The wire form carrying the optional trace context plus an
+    /// optional pipelining request id (`"req":N`). A daemon echoes the
+    /// id on **every** reply line for the request — including streamed
+    /// lines and the terminal `done` line — so a pipelining client can
+    /// match replies to requests instead of assuming strict
+    /// request/reply alternation. Daemons predating pipelining ignore
+    /// the field.
+    pub fn encode_with_meta(&self, ctx: Option<TraceContext>, req_id: Option<u64>) -> String {
         let Json::Obj(mut fields) = self.to_json() else {
             unreachable!("requests encode as objects");
         };
         // Right after "type", so the wire reads naturally.
-        fields.insert(
-            1.min(fields.len()),
-            ("trace".to_owned(), Json::Obj(trace_fields)),
-        );
+        let mut at = 1.min(fields.len());
+        if let Some(ctx) = ctx {
+            let mut trace_fields = vec![("id".to_owned(), unum(ctx.id))];
+            if ctx.parent != 0 {
+                trace_fields.push(("parent".to_owned(), unum(ctx.parent)));
+            }
+            fields.insert(at, ("trace".to_owned(), Json::Obj(trace_fields)));
+            at += 1;
+        }
+        if let Some(id) = req_id {
+            fields.insert(at.min(fields.len()), ("req".to_owned(), unum(id)));
+        }
         Json::Obj(fields).to_string()
     }
 
@@ -664,6 +763,13 @@ impl Request {
             Request::Eval(point) => Json::Obj(vec![
                 ("type".into(), Json::Str("eval".into())),
                 ("point".into(), point_to_json(point)),
+            ]),
+            Request::EvalBatch(points) => Json::Obj(vec![
+                ("type".into(), Json::Str("eval_batch".into())),
+                (
+                    "points".into(),
+                    Json::Arr(points.iter().map(point_to_json).collect()),
+                ),
             ]),
             Request::Sweep(spec) => Json::Obj(vec![
                 ("type".into(), Json::Str("sweep".into())),
@@ -719,7 +825,27 @@ impl Request {
 impl Response {
     /// The single-line wire form (no trailing newline).
     pub fn encode(&self) -> String {
-        let json = match self {
+        self.to_json().to_string()
+    }
+
+    /// The wire form echoing a pipelining request id: the same line
+    /// [`Response::encode`] produces plus `"req":N` right after
+    /// `"type"` (after `"error"` on failure lines). The daemon uses
+    /// this for every line it writes in reply to a request that
+    /// carried `"req"`.
+    pub fn encode_with_req(&self, req_id: Option<u64>) -> String {
+        let Some(id) = req_id else {
+            return self.encode();
+        };
+        let Json::Obj(mut fields) = self.to_json() else {
+            unreachable!("responses encode as objects");
+        };
+        fields.insert(2.min(fields.len()), ("req".to_owned(), unum(id)));
+        Json::Obj(fields).to_string()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
             Response::Eval { point, outcome } => {
                 let mut fields = vec![
                     ("ok".into(), Json::Bool(true)),
@@ -729,23 +855,67 @@ impl Response {
                 fields.extend(outcome_fields(outcome));
                 Json::Obj(fields)
             }
-            Response::Sweep(s) => Json::Obj(vec![
+            Response::EvalBatch {
+                outcomes,
+                cache_hits,
+                cache_misses,
+            } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
-                ("type".into(), Json::Str("sweep".into())),
-                ("points".into(), unum(s.points as u64)),
-                ("feasible".into(), unum(s.feasible as u64)),
-                ("cache_hits".into(), unum(s.cache_hits)),
-                ("cache_misses".into(), unum(s.cache_misses)),
-                ("wall_ms".into(), num(s.wall_ms)),
+                ("type".into(), Json::Str("eval_batch".into())),
+                ("cache_hits".into(), unum(*cache_hits)),
+                ("cache_misses".into(), unum(*cache_misses)),
                 (
-                    "frontier_3d".into(),
-                    Json::Arr(s.frontier_3d.iter().map(|&i| unum(i as u64)).collect()),
-                ),
-                (
-                    "frontier_sqnr".into(),
-                    Json::Arr(s.frontier_sqnr.iter().map(|&i| unum(i as u64)).collect()),
+                    "outcomes".into(),
+                    Json::Arr(
+                        outcomes
+                            .iter()
+                            .map(|o| Json::Obj(outcome_fields(o)))
+                            .collect(),
+                    ),
                 ),
             ]),
+            Response::Sweep(s) => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("sweep".into())),
+                    ("points".into(), unum(s.points as u64)),
+                    ("feasible".into(), unum(s.feasible as u64)),
+                    ("cache_hits".into(), unum(s.cache_hits)),
+                    ("cache_misses".into(), unum(s.cache_misses)),
+                    ("wall_ms".into(), num(s.wall_ms)),
+                    (
+                        "frontier_3d".into(),
+                        Json::Arr(s.frontier_3d.iter().map(|&i| unum(i as u64)).collect()),
+                    ),
+                    (
+                        "frontier_sqnr".into(),
+                        Json::Arr(s.frontier_sqnr.iter().map(|&i| unum(i as u64)).collect()),
+                    ),
+                ];
+                if !s.candidates.is_empty() {
+                    fields.push((
+                        "candidates".into(),
+                        Json::Arr(
+                            s.candidates
+                                .iter()
+                                .map(|(i, o)| {
+                                    Json::Obj(vec![
+                                        ("i".into(), unum(*i as u64)),
+                                        ("fps".into(), num(o.fps)),
+                                        ("system_mw".into(), num(o.system_mw)),
+                                        ("gates_k".into(), num(o.gates_k)),
+                                        ("sqnr_db".into(), num(o.sqnr_db)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                if s.degraded {
+                    fields.push(("degraded".into(), Json::Bool(true)));
+                }
+                Json::Obj(fields)
+            }
             Response::Tune(s) => {
                 let mut fields = vec![
                     ("ok".into(), Json::Bool(true)),
@@ -764,6 +934,9 @@ impl Response {
                     ("rounds".into(), unum(s.rounds as u64)),
                     ("exhaustive_points".into(), unum(s.exhaustive_points as u64)),
                 ]);
+                if s.degraded {
+                    fields.push(("degraded".into(), Json::Bool(true)));
+                }
                 Json::Obj(fields)
             }
             Response::TuneFrontierStep(s) => {
@@ -818,55 +991,100 @@ impl Response {
                 fields.extend(result_fields(&entry.result));
                 Json::Obj(fields)
             }
-            Response::FrontierStreamDone { dims, entries } => Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("type".into(), Json::Str("frontier".into())),
-                ("done".into(), Json::Bool(true)),
-                ("dims".into(), unum(u64::from(*dims))),
-                ("entries".into(), unum(*entries as u64)),
-            ]),
-            Response::Frontier { dims, entries } => Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("type".into(), Json::Str("frontier".into())),
-                ("dims".into(), unum(u64::from(*dims))),
-                (
-                    "entries".into(),
-                    Json::Arr(
-                        entries
-                            .iter()
-                            .map(|e| {
-                                let mut fields = vec![("point".into(), point_to_json(&e.point))];
-                                fields.extend(result_fields(&e.result));
-                                Json::Obj(fields)
-                            })
-                            .collect(),
+            Response::FrontierStreamDone {
+                dims,
+                entries,
+                degraded,
+            } => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("frontier".into())),
+                    ("done".into(), Json::Bool(true)),
+                    ("dims".into(), unum(u64::from(*dims))),
+                    ("entries".into(), unum(*entries as u64)),
+                ];
+                if *degraded {
+                    fields.push(("degraded".into(), Json::Bool(true)));
+                }
+                Json::Obj(fields)
+            }
+            Response::Frontier {
+                dims,
+                entries,
+                degraded,
+            } => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("frontier".into())),
+                    ("dims".into(), unum(u64::from(*dims))),
+                    (
+                        "entries".into(),
+                        Json::Arr(
+                            entries
+                                .iter()
+                                .map(|e| {
+                                    let mut fields =
+                                        vec![("point".into(), point_to_json(&e.point))];
+                                    fields.extend(result_fields(&e.result));
+                                    Json::Obj(fields)
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
-            Response::Stats(st) => Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("type".into(), Json::Str("stats".into())),
-                ("cached_points".into(), unum(st.cached_points as u64)),
-                ("hits".into(), unum(st.hits)),
-                ("misses".into(), unum(st.misses)),
-                ("hit_rate".into(), num(st.hit_rate)),
-                ("requests".into(), unum(st.requests)),
-                ("active_jobs".into(), unum(st.active_jobs as u64)),
-                ("queue_capacity".into(), unum(st.queue_capacity as u64)),
-                ("open_connections".into(), unum(st.open_connections as u64)),
-                ("max_connections".into(), unum(st.max_connections as u64)),
-                ("threads".into(), unum(st.threads as u64)),
-                ("loaded_from_disk".into(), unum(st.loaded_from_disk as u64)),
-                ("persistent".into(), Json::Bool(st.persistent)),
-                ("uptime_s".into(), num(st.uptime_s)),
-                (
-                    "inflight_requests".into(),
-                    unum(st.inflight_requests as u64),
-                ),
-                ("queue_depth".into(), unum(st.queue_depth as u64)),
-                ("slos".into(), unum(st.slos as u64)),
-                ("slo_breach_ticks".into(), unum(st.slo_breach_ticks)),
-            ]),
+                ];
+                if *degraded {
+                    fields.push(("degraded".into(), Json::Bool(true)));
+                }
+                Json::Obj(fields)
+            }
+            Response::Stats(st) => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("stats".into())),
+                    ("cached_points".into(), unum(st.cached_points as u64)),
+                    ("hits".into(), unum(st.hits)),
+                    ("misses".into(), unum(st.misses)),
+                    ("hit_rate".into(), num(st.hit_rate)),
+                    ("requests".into(), unum(st.requests)),
+                    ("active_jobs".into(), unum(st.active_jobs as u64)),
+                    ("queue_capacity".into(), unum(st.queue_capacity as u64)),
+                    ("open_connections".into(), unum(st.open_connections as u64)),
+                    ("max_connections".into(), unum(st.max_connections as u64)),
+                    ("threads".into(), unum(st.threads as u64)),
+                    ("loaded_from_disk".into(), unum(st.loaded_from_disk as u64)),
+                    ("persistent".into(), Json::Bool(st.persistent)),
+                    ("uptime_s".into(), num(st.uptime_s)),
+                    (
+                        "inflight_requests".into(),
+                        unum(st.inflight_requests as u64),
+                    ),
+                    ("queue_depth".into(), unum(st.queue_depth as u64)),
+                    ("slos".into(), unum(st.slos as u64)),
+                    ("slo_breach_ticks".into(), unum(st.slo_breach_ticks)),
+                ];
+                if !st.shards.is_empty() {
+                    fields.push((
+                        "shards".into(),
+                        Json::Arr(
+                            st.shards
+                                .iter()
+                                .map(|s| {
+                                    let mut f = vec![
+                                        ("addr".into(), Json::Str(s.addr.clone())),
+                                        ("requests".into(), unum(s.requests)),
+                                        ("errors".into(), unum(s.errors)),
+                                    ];
+                                    if s.degraded {
+                                        f.push(("degraded".into(), Json::Bool(true)));
+                                    }
+                                    Json::Obj(f)
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::Obj(fields)
+            }
             Response::Metrics { snapshot } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("type".into(), Json::Str("metrics".into())),
@@ -959,8 +1177,7 @@ impl Response {
                 ("ok".into(), Json::Bool(false)),
                 ("error".into(), Json::Str(message.clone())),
             ]),
-        };
-        json.to_string()
+        }
     }
 }
 
@@ -1247,6 +1464,17 @@ fn spec_from_json(v: &Json) -> Result<SweepSpec, ProtocolError> {
             })
             .collect::<Result<_, _>>()?;
     }
+    if let Some(part) = v.get("part") {
+        if !matches!(part, Json::Obj(_)) {
+            return Err(bad("'part' must be an object"));
+        }
+        let of = get_usize(part, "of", 0)?;
+        let index = get_usize(part, "index", 0)?;
+        if of == 0 {
+            return Err(bad("'part' needs a positive 'of'"));
+        }
+        spec.part = Some(SweepPart { index, of });
+    }
     Ok(spec)
 }
 
@@ -1487,8 +1715,22 @@ impl Request {
     /// Everything [`Request::decode`] rejects, plus a malformed
     /// `"trace"` object (missing/zero `id`, mistyped fields).
     pub fn decode_with_trace(line: &str) -> Result<(Request, Option<TraceContext>), ProtocolError> {
+        let (request, meta) = Request::decode_with_meta(line)?;
+        Ok((request, meta.trace))
+    }
+
+    /// Parses one request line together with its full transport
+    /// envelope: the optional `"trace"` context *and* the optional
+    /// pipelining id `"req"`. The daemon's session loop uses this so it
+    /// can echo `"req"` on every reply line belonging to the request.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Request::decode`] rejects, plus a malformed
+    /// `"trace"` object or a non-integer `"req"`.
+    pub fn decode_with_meta(line: &str) -> Result<(Request, RequestMeta), ProtocolError> {
         let v = Json::parse(line).map_err(|e| bad(e.to_string()))?;
-        let ctx = match v.get("trace") {
+        let trace = match v.get("trace") {
             None => None,
             Some(t @ Json::Obj(_)) => {
                 let id = t
@@ -1505,7 +1747,14 @@ impl Request {
             }
             Some(_) => return Err(bad("'trace' must be an object")),
         };
-        Ok((Request::decode_value(&v)?, ctx))
+        let req_id = match v.get("req") {
+            None => None,
+            Some(r) => Some(
+                r.as_u64()
+                    .ok_or_else(|| bad("'req' must be a non-negative integer"))?,
+            ),
+        };
+        Ok((Request::decode_value(&v)?, RequestMeta { trace, req_id }))
     }
 
     fn decode_value(v: &Json) -> Result<Request, ProtocolError> {
@@ -1517,6 +1766,16 @@ impl Request {
             "eval" => {
                 let point = v.get("point").unwrap_or(&Json::Obj(vec![])).clone();
                 Ok(Request::Eval(point_from_json(&point)?))
+            }
+            "eval_batch" => {
+                let points = v
+                    .get("points")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("eval_batch request needs a 'points' array"))?
+                    .iter()
+                    .map(point_from_json)
+                    .collect::<Result<_, _>>()?;
+                Ok(Request::EvalBatch(points))
             }
             "sweep" => {
                 let spec = v
@@ -1588,7 +1847,30 @@ impl Response {
     ///
     /// [`ProtocolError`] on unparseable JSON or a malformed reply.
     pub fn decode(line: &str) -> Result<Response, ProtocolError> {
+        Ok(Response::decode_with_req(line)?.0)
+    }
+
+    /// Parses one response line together with its echoed pipelining id
+    /// (`"req"`), if any. Pipelining clients use this to match reply
+    /// lines to the requests that produced them.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Response::decode`] rejects, plus a non-integer
+    /// `"req"`.
+    pub fn decode_with_req(line: &str) -> Result<(Response, Option<u64>), ProtocolError> {
         let v = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+        let req_id = match v.get("req") {
+            None => None,
+            Some(r) => Some(
+                r.as_u64()
+                    .ok_or_else(|| bad("'req' must be a non-negative integer"))?,
+            ),
+        };
+        Ok((Response::decode_value(v)?, req_id))
+    }
+
+    fn decode_value(v: Json) -> Result<Response, ProtocolError> {
         let ok = match v.get("ok") {
             Some(Json::Bool(b)) => *b,
             _ => return Err(bad("response needs a boolean 'ok'")),
@@ -1621,6 +1903,20 @@ impl Response {
                     outcome: outcome_from_json(&v)?,
                 })
             }
+            "eval_batch" => {
+                let outcomes = v
+                    .get("outcomes")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("eval_batch response needs 'outcomes'"))?
+                    .iter()
+                    .map(outcome_from_json)
+                    .collect::<Result<_, _>>()?;
+                Ok(Response::EvalBatch {
+                    outcomes,
+                    cache_hits: get_usize(&v, "cache_hits", 0)? as u64,
+                    cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
+                })
+            }
             "sweep" => {
                 let indices = |key: &'static str| -> Result<Vec<usize>, ProtocolError> {
                     v.get(key)
@@ -1634,6 +1930,29 @@ impl Response {
                         })
                         .collect()
                 };
+                let candidates = match v.get("candidates") {
+                    None => Vec::new(),
+                    Some(arr) => arr
+                        .as_array()
+                        .ok_or_else(|| bad("'candidates' must be an array"))?
+                        .iter()
+                        .map(|c| {
+                            let i = c
+                                .get("i")
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| bad("candidate needs an integer 'i'"))?;
+                            Ok((
+                                i as usize,
+                                Objectives {
+                                    fps: get_f64(c, "fps", 0.0)?,
+                                    system_mw: get_f64(c, "system_mw", 0.0)?,
+                                    gates_k: get_f64(c, "gates_k", 0.0)?,
+                                    sqnr_db: get_f64(c, "sqnr_db", 0.0)?,
+                                },
+                            ))
+                        })
+                        .collect::<Result<_, ProtocolError>>()?,
+                };
                 Ok(Response::Sweep(SweepSummary {
                     points: get_usize(&v, "points", 0)?,
                     feasible: get_usize(&v, "feasible", 0)?,
@@ -1642,6 +1961,8 @@ impl Response {
                     wall_ms: get_f64(&v, "wall_ms", 0.0)?,
                     frontier_3d: indices("frontier_3d")?,
                     frontier_sqnr: indices("frontier_sqnr")?,
+                    candidates,
+                    degraded: matches!(v.get("degraded"), Some(Json::Bool(true))),
                 }))
             }
             "tune" => Ok(Response::Tune(TuneSummary {
@@ -1651,6 +1972,7 @@ impl Response {
                 cache_misses: get_usize(&v, "cache_misses", 0)? as u64,
                 rounds: get_usize(&v, "rounds", 0)?,
                 exhaustive_points: get_usize(&v, "exhaustive_points", 0)?,
+                degraded: matches!(v.get("degraded"), Some(Json::Bool(true))),
             })),
             "tune_frontier" => {
                 if matches!(v.get("done"), Some(Json::Bool(true))) {
@@ -1698,6 +2020,7 @@ impl Response {
                     return Ok(Response::FrontierStreamDone {
                         dims: get_usize(&v, "dims", 3)? as u8,
                         entries: get_usize(&v, "entries", 0)?,
+                        degraded: matches!(v.get("degraded"), Some(Json::Bool(true))),
                     });
                 }
                 if matches!(v.get("stream"), Some(Json::Bool(true))) {
@@ -1727,7 +2050,11 @@ impl Response {
                         })
                     })
                     .collect::<Result<_, ProtocolError>>()?;
-                Ok(Response::Frontier { dims, entries })
+                Ok(Response::Frontier {
+                    dims,
+                    entries,
+                    degraded: matches!(v.get("degraded"), Some(Json::Bool(true))),
+                })
             }
             "stats" => Ok(Response::Stats(ServerStats {
                 cached_points: get_usize(&v, "cached_points", 0)?,
@@ -1747,6 +2074,26 @@ impl Response {
                 queue_depth: get_usize(&v, "queue_depth", 0)?,
                 slos: get_usize(&v, "slos", 0)?,
                 slo_breach_ticks: get_usize(&v, "slo_breach_ticks", 0)? as u64,
+                shards: match v.get("shards") {
+                    None => Vec::new(),
+                    Some(arr) => arr
+                        .as_array()
+                        .ok_or_else(|| bad("'shards' must be an array"))?
+                        .iter()
+                        .map(|s| {
+                            Ok(ShardStat {
+                                addr: s
+                                    .get("addr")
+                                    .and_then(Json::as_str)
+                                    .ok_or_else(|| bad("shard stat needs a string 'addr'"))?
+                                    .to_owned(),
+                                requests: get_usize(s, "requests", 0)? as u64,
+                                errors: get_usize(s, "errors", 0)? as u64,
+                                degraded: matches!(s.get("degraded"), Some(Json::Bool(true))),
+                            })
+                        })
+                        .collect::<Result<_, ProtocolError>>()?,
+                },
             })),
             "metrics" => {
                 let entries = v
@@ -1960,13 +2307,56 @@ mod tests {
                 wall_ms: 1.25,
                 frontier_3d: vec![0, 3, 5],
                 frontier_sqnr: vec![0, 5],
+                candidates: Vec::new(),
+                degraded: false,
             }),
+            // A partitioned shard reply: frontier candidates attached,
+            // and the degraded marker set.
+            Response::Sweep(SweepSummary {
+                points: 3,
+                feasible: 3,
+                cache_hits: 0,
+                cache_misses: 3,
+                wall_ms: 0.5,
+                frontier_3d: vec![1, 4],
+                frontier_sqnr: vec![1],
+                candidates: vec![
+                    (
+                        1,
+                        Objectives {
+                            fps: 100.5,
+                            system_mw: 820.25,
+                            gates_k: 1024.0,
+                            sqnr_db: 60.125,
+                        },
+                    ),
+                    (
+                        4,
+                        Objectives {
+                            fps: 55.0,
+                            system_mw: 410.0,
+                            gates_k: 512.5,
+                            sqnr_db: 72.0,
+                        },
+                    ),
+                ],
+                degraded: true,
+            }),
+            Response::EvalBatch {
+                outcomes: vec![
+                    PointOutcome::Feasible(paper_result()),
+                    PointOutcome::Infeasible("chain too short".into()),
+                ],
+                cache_hits: 1,
+                cache_misses: 1,
+            },
             Response::Frontier {
                 dims: 3,
                 entries: vec![FrontierEntry {
                     point: DesignPoint::paper_alexnet(),
                     result: paper_result(),
                 }],
+                degraded: false,
             },
             Response::Stats(ServerStats {
                 cached_points: 10,
@@ -1986,6 +2376,20 @@ mod tests {
                 queue_depth: 1,
                 slos: 2,
                 slo_breach_ticks: 3,
+                shards: vec![
+                    ShardStat {
+                        addr: "127.0.0.1:7001".into(),
+                        requests: 12,
+                        errors: 0,
+                        degraded: false,
+                    },
+                    ShardStat {
+                        addr: "127.0.0.1:7002".into(),
+                        requests: 9,
+                        errors: 2,
+                        degraded: true,
+                    },
+                ],
             }),
             Response::Metrics {
                 snapshot: Snapshot {
@@ -2186,6 +2590,7 @@ mod tests {
             cache_misses: 58,
             rounds: 5,
             exhaustive_points: 244,
+            degraded: false,
         });
         let nothing = Response::Tune(TuneSummary {
             best: None,
@@ -2194,6 +2599,7 @@ mod tests {
             cache_misses: 20,
             rounds: 1,
             exhaustive_points: 244,
+            degraded: true,
         });
         for resp in [found, nothing] {
             let line = resp.encode();
@@ -2325,6 +2731,7 @@ mod tests {
         let stream_done = Response::FrontierStreamDone {
             dims: 3,
             entries: 7,
+            degraded: false,
         };
         for resp in [step_found, step_nothing, done, entry, stream_done] {
             let line = resp.encode();

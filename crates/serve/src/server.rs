@@ -302,6 +302,10 @@ struct RequestSpan {
     cache_hits: u64,
     /// Per-job cache misses attributed to this request.
     cache_misses: u64,
+    /// The client's pipelining id (`"req"`), echoed on every reply
+    /// line of this request. `None` for non-pipelining clients (and
+    /// for lines that never parsed), which keeps the wire unchanged.
+    req_id: Option<u64>,
 }
 
 impl RequestSpan {
@@ -320,6 +324,7 @@ impl RequestSpan {
             points: 0,
             cache_hits: 0,
             cache_misses: 0,
+            req_id: None,
         }
     }
 
@@ -545,6 +550,12 @@ impl Server {
             while !shared.shutdown.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _addr)) => {
+                        // Replies are small and a pipelining client
+                        // stuffs many requests down before reading:
+                        // without TCP_NODELAY, Nagle holds each reply
+                        // for the peer's delayed ACK once the lockstep
+                        // request/reply rhythm is gone.
+                        stream.set_nodelay(true).ok();
                         // The connection bound is enforced here, at the
                         // accept loop: beyond it the daemon answers one
                         // `busy` line and closes instead of accumulating
@@ -610,13 +621,26 @@ const MAX_REQUEST_BYTES: u64 = 1 << 20;
 /// step/entry/sample is computed.
 pub struct LineSink<'a> {
     writer: &'a mut dyn Write,
+    req_id: Option<u64>,
 }
 
 impl<'a> LineSink<'a> {
     /// Wraps a transport writer (a `BufWriter<TcpStream>` in the
     /// daemon; anything `Write` in tests).
     pub fn new(writer: &'a mut dyn Write) -> Self {
-        LineSink { writer }
+        LineSink {
+            writer,
+            req_id: None,
+        }
+    }
+
+    /// Wraps a transport writer and stamps every line with the
+    /// pipelining id the client sent (`None` leaves the wire
+    /// unchanged). Streamed lines carry the id too — that is what lets
+    /// a pipelining client attribute every line of an interleaved
+    /// session to the request that produced it.
+    pub fn with_id(writer: &'a mut dyn Write, req_id: Option<u64>) -> Self {
+        LineSink { writer, req_id }
     }
 
     /// Writes one response line and flushes it to the peer.
@@ -626,7 +650,7 @@ impl<'a> LineSink<'a> {
     /// The underlying transport failure — the peer is gone; abandon
     /// the session.
     pub fn send(&mut self, response: &Response) -> std::io::Result<()> {
-        let mut wire = response.encode();
+        let mut wire = response.encode_with_req(self.req_id);
         wire.push('\n');
         self.writer.write_all(wire.as_bytes())?;
         self.writer.flush()
@@ -710,7 +734,18 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         record_span(shared, &span, status, received, received.elapsed());
         match outcome {
             RequestOutcome::Reply(response, stop_after_reply) => {
-                if LineSink::new(&mut writer).send(&response).is_err() {
+                let mut wire = response.encode_with_req(span.req_id);
+                wire.push('\n');
+                if writer.write_all(wire.as_bytes()).is_err() {
+                    return;
+                }
+                // Pipelining: when the client has already buffered the
+                // next request line, hold the flush so a whole burst of
+                // replies coalesces into one write syscall (and fewer
+                // packets). A lockstep client always sees an immediate
+                // flush — its next line cannot be buffered yet.
+                let more_pending = reader.buffer().contains(&b'\n');
+                if (!more_pending || stop_after_reply) && writer.flush().is_err() {
                     return;
                 }
                 if stop_after_reply {
@@ -872,7 +907,7 @@ fn handle_request(
     span: &mut RequestSpan,
 ) -> RequestOutcome {
     let parse_started = Instant::now();
-    let (request, ctx) = match Request::decode_with_trace(line) {
+    let (request, meta) = match Request::decode_with_meta(line) {
         Ok(pair) => pair,
         Err(e) => {
             span.parse = parse_started.elapsed();
@@ -886,6 +921,8 @@ fn handle_request(
         }
     };
     span.parse = parse_started.elapsed();
+    span.req_id = meta.req_id;
+    let ctx = meta.trace;
     // Every well-formed request gets a trace: the client's propagated
     // context when present, a daemon-assigned id otherwise (offset so
     // it can never collide with small client-chosen ids).
@@ -898,6 +935,7 @@ fn handle_request(
     span.root_span = obs_trace::next_span_id();
     span.kind = match &request {
         Request::Eval(_) => "eval",
+        Request::EvalBatch(_) => "eval_batch",
         Request::Sweep(_) => "sweep",
         Request::Tune(_) => "tune",
         Request::TuneFrontier(_) => "tune_frontier",
@@ -912,29 +950,78 @@ fn handle_request(
     };
     match request {
         Request::Eval(point) => {
-            let response = match shared
-                .scheduler
-                .submit_traced(vec![point.clone()], span.trace_ref())
-            {
-                Err(e) => submit_error_response(e),
-                Ok(handle) => match handle.wait() {
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
-                    Ok(mut job) => {
-                        span.absorb_job(
-                            job.queue_wait,
-                            job.execute,
-                            job.cache_hits,
-                            job.cache_misses,
-                        );
-                        span.points = 1;
-                        Response::Eval {
-                            point,
-                            outcome: job.outcomes.remove(0),
+            // Cache-hit fast path: a memoized point is answered inline.
+            // The scheduler round trip (submit, wake a worker, wake the
+            // session) costs tens of microseconds of handoff — more
+            // than the lookup itself — and would serialize a pipelined
+            // client's cached evals behind it.
+            let response = if let Some(outcome) = shared.scheduler.cache().probe(&point) {
+                span.absorb_job(Duration::ZERO, Duration::ZERO, 1, 0);
+                span.points = 1;
+                Response::Eval { point, outcome }
+            } else {
+                match shared
+                    .scheduler
+                    .submit_traced(vec![point.clone()], span.trace_ref())
+                {
+                    Err(e) => submit_error_response(e),
+                    Ok(handle) => match handle.wait() {
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        },
+                        Ok(mut job) => {
+                            span.absorb_job(
+                                job.queue_wait,
+                                job.execute,
+                                job.cache_hits,
+                                job.cache_misses,
+                            );
+                            span.points = 1;
+                            Response::Eval {
+                                point,
+                                outcome: job.outcomes.remove(0),
+                            }
                         }
-                    }
-                },
+                    },
+                }
+            };
+            timed_flush(shared, span);
+            RequestOutcome::reply(response, false)
+        }
+        Request::EvalBatch(points) => {
+            // The coordinator's scatter-gather primitive: one job, one
+            // outcome per point, in order. An empty batch short-circuits
+            // (the engine has nothing to schedule).
+            let total = points.len();
+            let response = if total == 0 {
+                Response::EvalBatch {
+                    outcomes: Vec::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                }
+            } else {
+                match shared.scheduler.submit_traced(points, span.trace_ref()) {
+                    Err(e) => submit_error_response(e),
+                    Ok(handle) => match handle.wait() {
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        },
+                        Ok(job) => {
+                            span.absorb_job(
+                                job.queue_wait,
+                                job.execute,
+                                job.cache_hits,
+                                job.cache_misses,
+                            );
+                            span.points = total as u64;
+                            Response::EvalBatch {
+                                outcomes: job.outcomes,
+                                cache_hits: job.cache_hits,
+                                cache_misses: job.cache_misses,
+                            }
+                        }
+                    },
+                }
             };
             timed_flush(shared, span);
             RequestOutcome::reply(response, false)
@@ -948,7 +1035,12 @@ fn handle_request(
                     false,
                 );
             }
-            let points = spec.points();
+            // Partitioned sweeps (`spec.part` set by a cluster
+            // coordinator) walk the same full grid but keep only the
+            // owned points; indices stay *global*, so per-shard
+            // frontiers merge into exactly the single-daemon indices.
+            let indexed = spec.indexed_points();
+            let points: Vec<_> = indexed.iter().map(|(_, p)| p.clone()).collect();
             let total = points.len();
             let start = Instant::now();
             let response = match shared.scheduler.submit_traced(points, span.trace_ref()) {
@@ -968,9 +1060,31 @@ fn handle_request(
                         let objectives: Vec<(usize, pareto::Objectives)> = job
                             .outcomes
                             .iter()
-                            .enumerate()
-                            .filter_map(|(i, o)| Some((i, pareto::Objectives::from(o.result()?))))
+                            .zip(&indexed)
+                            .filter_map(|(o, (gi, _))| {
+                                Some((*gi, pareto::Objectives::from(o.result()?)))
+                            })
                             .collect();
+                        let frontier_3d = pareto::frontier_3d(&objectives);
+                        let frontier_sqnr = pareto::frontier_accuracy(&objectives);
+                        // A partitioned reply carries its frontier
+                        // *candidates* (index + objectives of every
+                        // point on either frontier) so the coordinator
+                        // can re-filter the merged set without
+                        // re-evaluating anything.
+                        let candidates = if spec.part.is_some() {
+                            let mut keep: Vec<usize> =
+                                frontier_3d.iter().chain(&frontier_sqnr).copied().collect();
+                            keep.sort_unstable();
+                            keep.dedup();
+                            objectives
+                                .iter()
+                                .filter(|(i, _)| keep.binary_search(i).is_ok())
+                                .copied()
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
                         Response::Sweep(SweepSummary {
                             points: total,
                             feasible: objectives.len(),
@@ -980,8 +1094,10 @@ fn handle_request(
                             cache_hits: job.cache_hits,
                             cache_misses: job.cache_misses,
                             wall_ms: start.elapsed().as_secs_f64() * 1e3,
-                            frontier_3d: pareto::frontier_3d(&objectives),
-                            frontier_sqnr: pareto::frontier_accuracy(&objectives),
+                            frontier_3d,
+                            frontier_sqnr,
+                            candidates,
+                            degraded: false,
                         })
                     }
                 },
@@ -1013,6 +1129,7 @@ fn handle_request(
                                 cache_misses: report.cache_misses,
                                 rounds: report.rounds,
                                 exhaustive_points: report.exhaustive_points,
+                                degraded: false,
                             })
                         }
                     }
@@ -1032,7 +1149,7 @@ fn handle_request(
                     let mut evaluator =
                         SchedulerEvaluator::new(&shared.scheduler, &slot, span.trace_ref());
                     let steps = request.sweep.values.len();
-                    let mut sink = LineSink::new(writer);
+                    let mut sink = LineSink::with_id(writer, span.req_id);
                     let mut sink_dead = false;
                     let result = frontier::tune_frontier(&request, &mut evaluator, |i, step| {
                         let line = Response::TuneFrontierStep(FrontierStepSummary {
@@ -1106,7 +1223,7 @@ fn handle_request(
                 // shared sink, then the terminal line. For very large
                 // caches the client starts consuming the frontier while
                 // the daemon is still writing it.
-                let mut sink = LineSink::new(writer);
+                let mut sink = LineSink::with_id(writer, span.req_id);
                 let total = keep.len();
                 for i in keep {
                     let line = Response::FrontierStreamEntry {
@@ -1119,13 +1236,21 @@ fn handle_request(
                 let done = Response::FrontierStreamDone {
                     dims,
                     entries: total,
+                    degraded: false,
                 };
                 return RequestOutcome::Streamed {
                     sink_dead: sink.send(&done).is_err(),
                 };
             }
             let entries = keep.into_iter().map(|i| feasible[i].clone()).collect();
-            RequestOutcome::reply(Response::Frontier { dims, entries }, false)
+            RequestOutcome::reply(
+                Response::Frontier {
+                    dims,
+                    entries,
+                    degraded: false,
+                },
+                false,
+            )
         }
         Request::Stats => {
             // A scrape-adjacent path: refresh the gauges here too, so a
@@ -1154,6 +1279,7 @@ fn handle_request(
                     queue_depth: shared.scheduler.queue_depth(),
                     slos: shared.slo.lock().expect("slo lock poisoned").len(),
                     slo_breach_ticks: shared.slo_breach_ticks.load(Ordering::Relaxed),
+                    shards: Vec::new(),
                 }),
                 false,
             )
@@ -1186,7 +1312,7 @@ fn handle_request(
             // pushed as the tick lands. No admission slot — a watcher
             // only reads the history ring, and a dashboard must not
             // occupy capacity a sweep could use.
-            let mut sink = LineSink::new(writer);
+            let mut sink = LineSink::with_id(writer, span.req_id);
             let mut last_seq = shared.history.lock().expect("history lock poisoned").seq();
             let mut sent: u64 = 0;
             while (samples == 0 || sent < samples) && !shared.shutdown.load(Ordering::SeqCst) {
@@ -1652,8 +1778,10 @@ mod tests {
             .expect("eval execute histogram");
         assert_eq!(execute.count, 3);
         // The scheduler-side metrics live in the same (private)
-        // registry: 3 evals + the 2-point sweep → 5 points total.
-        assert_eq!(snapshot.counter("sched_points_total", &[]), Some(5));
+        // registry: the first (cold) eval + the 2-point sweep → 3
+        // scheduled points; the two warm repeat evals were answered
+        // inline from the cache and never entered the scheduler.
+        assert_eq!(snapshot.counter("sched_points_total", &[]), Some(3));
         // Scrape-time gauges were sampled into the snapshot.
         assert!(snapshot.gauge("serve_uptime_seconds", &[]).expect("uptime") > 0.0);
         assert_eq!(
@@ -1801,7 +1929,7 @@ mod tests {
             }
         }
         match Response::decode(probe.lines.last().expect("done line")).expect("decodes") {
-            Response::FrontierStreamDone { dims, entries } => {
+            Response::FrontierStreamDone { dims, entries, .. } => {
                 assert_eq!(dims, 3);
                 assert_eq!(entries, aggregate.len());
             }

@@ -130,6 +130,61 @@ impl MixEvaluator for CacheEvaluator<'_> {
     }
 }
 
+/// An evaluator over any batch-evaluation backend: the closure takes a
+/// round's expanded point list and returns `(outcomes, hits, misses)`
+/// with outcomes aligned to the points. [`expand`]/[`collapse`] are
+/// handled here, so a backend only has to evaluate a flat point list —
+/// this is how the cluster coordinator's scatter-gather (partition by
+/// content hash, fan out, reassemble in order) plugs the tuner in
+/// without the tuner knowing about shards.
+pub struct BatchFnEvaluator<F> {
+    eval: F,
+    hits: u64,
+    misses: u64,
+}
+
+impl<F> BatchFnEvaluator<F>
+where
+    F: FnMut(&[DesignPoint]) -> Result<(Vec<chain_nn_dse::PointOutcome>, u64, u64), TuneError>,
+{
+    /// An evaluator delegating each round's flat point list to `eval`.
+    pub fn new(eval: F) -> Self {
+        BatchFnEvaluator {
+            eval,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<F> MixEvaluator for BatchFnEvaluator<F>
+where
+    F: FnMut(&[DesignPoint]) -> Result<(Vec<chain_nn_dse::PointOutcome>, u64, u64), TuneError>,
+{
+    fn evaluate(
+        &mut self,
+        mix: &WorkloadMix,
+        bases: &[DesignPoint],
+    ) -> Result<Vec<MixOutcome>, TuneError> {
+        let points = expand(mix, bases);
+        let (outcomes, hits, misses) = (self.eval)(&points)?;
+        if outcomes.len() != points.len() {
+            return Err(TuneError::Backend(format!(
+                "batch backend returned {} outcomes for {} points",
+                outcomes.len(),
+                points.len()
+            )));
+        }
+        self.hits += hits;
+        self.misses += misses;
+        Ok(collapse(mix, bases, &outcomes))
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

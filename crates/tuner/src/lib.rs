@@ -75,7 +75,7 @@ use std::str::FromStr;
 use chain_nn_dse::{DesignPoint, DseError, MixResult, SweepSpec, WorkloadMix};
 
 pub use budget::Budget;
-pub use evaluator::{CacheEvaluator, MixEvaluator};
+pub use evaluator::{BatchFnEvaluator, CacheEvaluator, MixEvaluator};
 pub use frontier::{
     tune_frontier, BudgetAxis, BudgetSweep, FrontierStep, FrontierTuneReport, FrontierTuneRequest,
 };

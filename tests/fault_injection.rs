@@ -165,3 +165,303 @@ fn partial_tile_ignores_inactive_primitives() {
         .expect("runs");
     assert_eq!(run.ofmaps, big.ofmaps);
 }
+
+// ===================================================================
+// Cluster faults: the coordinator under shard loss, persistent busy
+// refusal, and torn per-shard cache tails. The contract mirrors the
+// simulator half of this suite — a fault must land exactly where the
+// design says it lands (a degraded partial reply, a bounded retry, a
+// truncated tail) and nowhere else (no hang, no wrong merged frontier).
+// ===================================================================
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use chain_nn_repro::dse::{SweepPart, SweepSpec};
+use chain_nn_repro::serve::cluster::{ClusterConfig, Coordinator};
+use chain_nn_repro::serve::protocol::{Response, SweepSummary};
+use chain_nn_repro::serve::{Client, Server, ServerConfig, ServerReport};
+
+/// The conformance grid from `tests/cluster.rs`: 16 lenet points that
+/// hash onto both shards of a 2-shard fleet.
+fn cluster_grid() -> SweepSpec {
+    SweepSpec {
+        pes: vec![25, 50, 100, 200],
+        freqs_mhz: vec![350.0, 700.0],
+        word_bits: vec![8, 16],
+        nets: vec!["lenet".into()],
+        ..SweepSpec::paper_point()
+    }
+}
+
+/// One shard daemon on an ephemeral port.
+fn spawn_shard(
+    config: ServerConfig,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<ServerReport>) {
+    let server = Server::bind(config).expect("bind shard");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run().expect("shard runs"));
+    (addr, handle)
+}
+
+/// A coordinator routing across `shards` (already-bound addresses).
+fn spawn_coordinator(shards: Vec<String>) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let coordinator = Coordinator::bind(ClusterConfig {
+        shards,
+        ..ClusterConfig::default()
+    })
+    .expect("bind coordinator");
+    let addr = coordinator.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        coordinator.run().expect("coordinator runs");
+    });
+    (addr, handle)
+}
+
+fn sweep_via(client: &mut Client, spec: &SweepSpec) -> SweepSummary {
+    match client.sweep(spec.clone()).expect("sweep round trip") {
+        Response::Sweep(summary) => summary,
+        other => panic!("expected sweep summary, got {other:?}"),
+    }
+}
+
+/// Killing one shard mid-fleet must yield a *partial* reply with the
+/// `degraded` marker — covering exactly the surviving partition, with
+/// the frontier a single daemon would report for that partition — and
+/// evals owned by the dead shard must re-route to a survivor.
+#[test]
+fn killed_shard_degrades_sweep_to_surviving_partition() {
+    let spec = cluster_grid();
+    let (addr0, shard0) = spawn_shard(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let (addr1, shard1) = spawn_shard(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let (coord_addr, coordinator) = spawn_coordinator(vec![addr0.to_string(), addr1.to_string()]);
+
+    // Kill shard 1 before the coordinator ever reaches it.
+    Client::connect(addr1)
+        .expect("connect doomed shard")
+        .shutdown()
+        .expect("shutdown doomed shard");
+    shard1.join().expect("doomed shard exits");
+
+    // Reference: what a lone daemon reports for the surviving partition.
+    let (ref_addr, ref_daemon) = spawn_shard(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut reference = Client::connect(ref_addr).expect("connect reference");
+    let part_spec = SweepSpec {
+        part: Some(SweepPart { index: 0, of: 2 }),
+        ..spec.clone()
+    };
+    let expected = sweep_via(&mut reference, &part_spec);
+    assert!(
+        expected.points > 0 && expected.points < spec.len(),
+        "partition 0 should be a proper subset of the grid"
+    );
+
+    let mut client = Client::connect(coord_addr).expect("connect coordinator");
+    let partial = sweep_via(&mut client, &spec);
+    assert!(partial.degraded, "shard loss must be marked, not hidden");
+    assert_eq!(partial.points, expected.points);
+    assert_eq!(partial.feasible, expected.feasible);
+    assert_eq!(partial.cache_misses, expected.cache_misses);
+    assert_eq!(
+        partial.frontier_3d, expected.frontier_3d,
+        "partial frontier must equal the surviving partition's frontier"
+    );
+    assert_eq!(partial.frontier_sqnr, expected.frontier_sqnr);
+    assert!(
+        partial.candidates.is_empty(),
+        "candidates are shard-internal"
+    );
+
+    // An eval owned by the dead shard re-routes to the survivor.
+    let dead_owned = {
+        let survivors = SweepPart { index: 1, of: 2 };
+        spec.points()
+            .into_iter()
+            .find(|p| survivors.owns(p))
+            .expect("grid spans both shards")
+    };
+    match client.eval(dead_owned.clone()).expect("eval re-routes") {
+        Response::Eval { point, .. } => assert_eq!(point, dead_owned),
+        other => panic!("expected eval reply, got {other:?}"),
+    }
+
+    // The stats ledger shows exactly one shard degraded.
+    let stats = match client.stats().expect("stats") {
+        Response::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let degraded: Vec<bool> = stats.shards.iter().map(|s| s.degraded).collect();
+    assert_eq!(degraded, vec![false, true]);
+    assert!(stats.shards[1].errors > 0);
+
+    reference.shutdown().expect("shutdown reference");
+    ref_daemon.join().expect("reference exits");
+    client.shutdown().expect("shutdown cluster");
+    coordinator.join().expect("coordinator exits");
+    shard0.join().expect("survivor exits");
+}
+
+/// A shard refusing with `busy` is retried a bounded number of times
+/// (1 initial + BUSY_RETRIES backoff attempts) and then degraded — the
+/// sweep completes on the healthy shard instead of hanging.
+#[test]
+fn busy_shard_is_retried_then_degraded() {
+    let spec = cluster_grid();
+    let (addr0, shard0) = spawn_shard(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    // A stub shard that answers every request line with `busy` and
+    // counts the lines it saw.
+    let stub = std::net::TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let stub_addr = stub.local_addr().expect("stub addr");
+    let lines_seen = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&lines_seen);
+    std::thread::spawn(move || {
+        while let Ok((stream, _)) = stub.accept() {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = BufWriter::new(stream);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    let mut wire = Response::Busy {
+                        active: 1,
+                        capacity: 1,
+                    }
+                    .encode();
+                    wire.push('\n');
+                    if writer.write_all(wire.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let (coord_addr, coordinator) =
+        spawn_coordinator(vec![addr0.to_string(), stub_addr.to_string()]);
+    let mut client = Client::connect(coord_addr).expect("connect coordinator");
+
+    let partial = sweep_via(&mut client, &spec);
+    assert!(partial.degraded, "persistent busy must degrade the reply");
+    let reference_part = SweepPart { index: 0, of: 2 };
+    let expected_points = spec
+        .points()
+        .into_iter()
+        .filter(|p| reference_part.owns(p))
+        .count();
+    assert_eq!(partial.points, expected_points);
+    // Bounded retry: the stub saw the initial attempt plus exactly the
+    // configured backoff retries for its one sub-sweep — no livelock,
+    // no premature give-up. (Checked before shutdown, which forwards
+    // one more line to every shard.)
+    assert_eq!(
+        lines_seen.load(Ordering::SeqCst),
+        4,
+        "expected 1 initial + 3 busy retries"
+    );
+
+    let stats = match client.stats().expect("stats") {
+        Response::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert!(
+        stats.shards[1].degraded,
+        "busy shard must be marked degraded"
+    );
+
+    client.shutdown().expect("shutdown cluster");
+    coordinator.join().expect("coordinator exits");
+    shard0.join().expect("healthy shard exits");
+}
+
+/// A torn tail on one shard's cache file — the expected debris of a
+/// crash mid-append — recovers exactly as in single-node operation:
+/// whole records survive, the tear is truncated away, and a restarted
+/// fleet re-serves the sweep without re-evaluating anything.
+#[test]
+fn torn_shard_cache_tail_recovers_like_single_node() {
+    let base = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("chain_nn_cluster_torn_{}", std::process::id()));
+        p
+    };
+    let shard_cache = |i: usize| {
+        let mut file = base.clone().into_os_string();
+        file.push(format!(".shard{i}"));
+        std::path::PathBuf::from(file)
+    };
+    for i in 0..2 {
+        let _ = std::fs::remove_file(shard_cache(i));
+    }
+    let start_fleet = |n: usize| {
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let (addr, handle) = spawn_shard(ServerConfig {
+                threads: 1,
+                cache_file: Some(shard_cache(i)),
+                ..ServerConfig::default()
+            });
+            addrs.push(addr.to_string());
+            handles.push(handle);
+        }
+        let (addr, coord) = spawn_coordinator(addrs);
+        (addr, coord, handles)
+    };
+    let spec = cluster_grid();
+
+    // First lifetime: evaluate and persist everything.
+    let (addr, coordinator, shards) = start_fleet(2);
+    let mut client = Client::connect(addr).expect("connect");
+    let first = sweep_via(&mut client, &spec);
+    assert_eq!(first.cache_misses, spec.len() as u64);
+    client.shutdown().expect("shutdown");
+    coordinator.join().expect("coordinator");
+    for handle in shards {
+        handle.join().expect("shard");
+    }
+
+    // Crash debris: a torn, never-terminated record at shard 0's tail.
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(shard_cache(0))
+            .expect("open shard 0 cache");
+        file.write_all(b"{\"torn\":\"mid-app")
+            .expect("append torn tail");
+    }
+
+    // Second lifetime: the tear costs nothing that was whole.
+    let (addr, coordinator, shards) = start_fleet(2);
+    let mut client = Client::connect(addr).expect("reconnect");
+    let again = sweep_via(&mut client, &spec);
+    assert_eq!(again.cache_misses, 0, "whole records must survive the tear");
+    assert_eq!(again.cache_hits, spec.len() as u64);
+    assert_eq!(again.frontier_3d, first.frontier_3d);
+    assert_eq!(again.frontier_sqnr, first.frontier_sqnr);
+    client.shutdown().expect("shutdown");
+    coordinator.join().expect("coordinator");
+    for (i, handle) in shards.into_iter().enumerate() {
+        handle.join().expect("shard");
+        std::fs::remove_file(shard_cache(i)).ok();
+    }
+}

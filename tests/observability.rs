@@ -97,12 +97,14 @@ fn metrics_reconcile_with_the_clients_own_request_tally() {
         .histogram("serve_request_ns", &[("type", "sweep")])
         .expect("sweep latency histogram");
     assert_eq!(sweep_latency.count, 2);
-    // Scheduler-side reconciliation: every submitted point was counted
-    // (5 one-point evals + two sweeps of the same 6-point grid; warm
-    // points still pass through the scheduler).
+    // Scheduler-side reconciliation: every *scheduled* point was
+    // counted — the first (cold) eval plus two sweeps of the same
+    // 6-point grid. The four warm repeat evals were answered inline
+    // from the cache and never entered the scheduler; sweeps always
+    // travel it, warm or not.
     assert_eq!(
         snapshot.counter("sched_points_total", &[]),
-        Some(EVALS + 2 * grid.len() as u64)
+        Some(1 + 2 * grid.len() as u64)
     );
     // Per-job cache traffic folded into the registry: the second sweep
     // and the repeated evals were answered from the cache.

@@ -442,7 +442,7 @@ fn streaming_frontier_matches_the_aggregate_reply() {
         .frontier_stream(3, false, |entry| streamed.push(entry.clone()))
         .expect("streamed frontier");
     match done {
-        Response::FrontierStreamDone { dims, entries } => {
+        Response::FrontierStreamDone { dims, entries, .. } => {
             assert_eq!(dims, 3);
             assert_eq!(entries, aggregate.len());
         }
